@@ -1,0 +1,536 @@
+package popana_test
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper's evaluation, plus the extension experiments of DESIGN.md and
+// micro-benchmarks of the primitives. Each paper benchmark runs the
+// corresponding experiment at a reduced-but-faithful scale per iteration
+// and reports the headline quantity via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the shape of every artifact. The full paper-scale run
+// (10 trees × 1000 points, n up to 4096) is `go run ./cmd/paper`; its
+// output is recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"popana"
+	"popana/internal/experiment"
+)
+
+// benchCfg is the per-iteration experiment scale: large enough for the
+// statistics to hold their shape, small enough to keep -bench=. minutes
+// not hours.
+func benchCfg() experiment.Config {
+	return experiment.Config{Trials: 3, Points: 500, Seed: 11}
+}
+
+// BenchmarkTable1ExpectedDistribution regenerates Table 1: theoretical
+// vs experimental expected distribution for capacities 1..8.
+func BenchmarkTable1ExpectedDistribution(b *testing.B) {
+	var rs []experiment.CapacityResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rs, err = experiment.RunTables12(benchCfg(), 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Headline: worst absolute component error across all capacities.
+	worst := 0.0
+	for _, r := range rs {
+		for j := range r.Experimental {
+			d := r.Theory.E[j] - r.Experimental[j]
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	b.ReportMetric(worst, "maxComponentErr")
+}
+
+// BenchmarkTable2AverageOccupancy regenerates Table 2: average node
+// occupancy, theory vs experiment, with the percent difference the
+// paper reports (4-13%, theory uniformly high).
+func BenchmarkTable2AverageOccupancy(b *testing.B) {
+	var rs []experiment.CapacityResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rs, err = experiment.RunTables12(benchCfg(), 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	mean := 0.0
+	for _, r := range rs {
+		mean += r.PercentDifference
+	}
+	b.ReportMetric(mean/float64(len(rs)), "meanPctDiff")
+}
+
+// BenchmarkTable3OccupancyByDepth regenerates Table 3: per-depth
+// occupancy decaying toward the post-split value 0.40 (aging).
+func BenchmarkTable3OccupancyByDepth(b *testing.B) {
+	var res experiment.Table3Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiment.RunTable3(benchCfg(), 1, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Headline: occupancy of the most populated depth band's last row
+	// relative to the 0.40 asymptote.
+	if len(res.Rows) > 0 {
+		b.ReportMetric(res.Rows[len(res.Rows)-1].Occupancy, "deepestOccupancy")
+		b.ReportMetric(res.PostSplitOccupancy, "asymptote")
+	}
+}
+
+// BenchmarkTable4UniformPhasing regenerates Table 4: occupancy vs tree
+// size under uniform data (m=8), oscillating without damping.
+func BenchmarkTable4UniformPhasing(b *testing.B) {
+	sizes := experiment.GeometricSizes(64, 1024)
+	var res experiment.SweepResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiment.RunSweep(benchCfg(), 8, sizes, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.OscillationAmplitude(64, 1024), "amplitude")
+}
+
+// BenchmarkFigure2 renders Figure 2 (the semi-log chart of Table 4).
+func BenchmarkFigure2(b *testing.B) {
+	sizes := experiment.GeometricSizes(64, 1024)
+	res, err := experiment.RunSweep(benchCfg(), 8, sizes, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var chart string
+	for i := 0; i < b.N; i++ {
+		chart = experiment.RenderSweepFigure(res, 2)
+	}
+	if len(chart) == 0 {
+		b.Fatal("empty figure")
+	}
+}
+
+// BenchmarkTable5GaussianPhasing regenerates Table 5: the same sweep
+// under the Gaussian distribution, with the oscillation damping out.
+func BenchmarkTable5GaussianPhasing(b *testing.B) {
+	sizes := experiment.GeometricSizes(64, 1024)
+	var res experiment.SweepResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiment.RunSweep(benchCfg(), 8, sizes, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.OscillationAmplitude(256, 1024), "lateAmplitude")
+}
+
+// BenchmarkFigure3 renders Figure 3 (the semi-log chart of Table 5).
+func BenchmarkFigure3(b *testing.B) {
+	sizes := experiment.GeometricSizes(64, 1024)
+	res, err := experiment.RunSweep(benchCfg(), 8, sizes, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var chart string
+	for i := 0; i < b.N; i++ {
+		chart = experiment.RenderSweepFigure(res, 3)
+	}
+	if len(chart) == 0 {
+		b.Fatal("empty figure")
+	}
+}
+
+// BenchmarkSimplePRAnchor verifies the Section III closed form
+// ē = (1/2, 1/2) against both solvers and simulation (E6).
+func BenchmarkSimplePRAnchor(b *testing.B) {
+	var a experiment.AnchorResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		a, err = experiment.RunAnchor(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(a.Experimental[0], "observedEmptyFrac") // paper: 0.536
+}
+
+// BenchmarkFanoutSweep runs E7: the generalized model on fanout-2, -4,
+// and -8 structures.
+func BenchmarkFanoutSweep(b *testing.B) {
+	var rows []experiment.FanoutRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiment.RunFanoutSweep(experiment.Config{Trials: 2, Points: 300, Seed: 11}, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	worst := 0.0
+	for _, r := range rows {
+		d := r.PercentDifference
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	b.ReportMetric(worst, "worstPctDiff")
+}
+
+// BenchmarkPMRLineModel runs E8: the reconstructed line model against
+// simulated PMR quadtrees.
+func BenchmarkPMRLineModel(b *testing.B) {
+	var rows []experiment.PMRRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiment.RunPMR(experiment.Config{Trials: 2, Points: 400, Seed: 11}, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	worst := 0.0
+	for _, r := range rows {
+		d := r.PercentDifference
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	b.ReportMetric(worst, "worstPctDiff")
+}
+
+// BenchmarkStatModelPhasing runs E9: the exact statistical baseline and
+// its non-damping oscillation (lim d̄_n does not exist).
+func BenchmarkStatModelPhasing(b *testing.B) {
+	var res experiment.StatModelResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiment.RunStatModel(8, 2048)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.EarlyAmplitude, "earlyAmplitude")
+	b.ReportMetric(res.LateAmplitude, "lateAmplitude")
+}
+
+// BenchmarkExtHashUtilization runs E10: utilization of the bucketing
+// baselines (extendible hashing's ln 2, grid file, EXCELL).
+func BenchmarkExtHashUtilization(b *testing.B) {
+	var rows []experiment.BucketRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiment.RunBucketBaselines(experiment.Config{Trials: 2, Seed: 11}, 8, 2048)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Utilization, "exthashUtil") // ln 2 ≈ 0.693
+}
+
+// BenchmarkAgingCorrection runs E11: the area-weighted model ablation.
+func BenchmarkAgingCorrection(b *testing.B) {
+	var rows []experiment.AgingRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiment.RunAging(experiment.Config{Trials: 3, Points: 500, Seed: 11}, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	base, corr := 0.0, 0.0
+	for _, r := range rows {
+		if r.BaseErr < 0 {
+			base -= r.BaseErr
+		} else {
+			base += r.BaseErr
+		}
+		if r.CorrectedErr < 0 {
+			corr -= r.CorrectedErr
+		} else {
+			corr += r.CorrectedErr
+		}
+	}
+	b.ReportMetric(base/float64(len(rows)), "baseMeanAbsErr%")
+	b.ReportMetric(corr/float64(len(rows)), "correctedMeanAbsErr%")
+}
+
+// BenchmarkChurnSteadyState runs E12: the model under a dynamic
+// insert/delete workload at stable size.
+func BenchmarkChurnSteadyState(b *testing.B) {
+	var r experiment.ChurnResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiment.RunChurn(experiment.Config{Trials: 2, Points: 400, Seed: 11}, 4, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.ChurnedOccupancy, "churnedOcc")
+	b.ReportMetric(r.FreshOccupancy, "freshOcc")
+}
+
+// BenchmarkPointQuadtreeContrast runs E13: order dependence of the
+// classical point quadtree vs the canonical PR quadtree.
+func BenchmarkPointQuadtreeContrast(b *testing.B) {
+	var r experiment.PointQuadtreeResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiment.RunPointQuadtree(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*r.HeightSpread, "heightSpread%")
+}
+
+// BenchmarkRobustness runs E14: the uniform-data model on non-uniform
+// inputs.
+func BenchmarkRobustness(b *testing.B) {
+	var rows []experiment.RobustnessRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiment.RunRobustness(benchCfg(), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	worst := 0.0
+	for _, r := range rows {
+		d := r.PercentDifference
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	b.ReportMetric(worst, "worstPctDiff")
+}
+
+// BenchmarkExtHashExactAnalysis runs E16: the exact F=2 recursion
+// against a simulated extendible-hashing table.
+func BenchmarkExtHashExactAnalysis(b *testing.B) {
+	var r experiment.ExtHashAnalysis
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiment.RunExtHashAnalysis(experiment.Config{Trials: 2, Seed: 11}, 8, 1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.ExactMean, "exactCycleMeanUtil")
+}
+
+// BenchmarkSpectrum runs E15: spectral diagnostics across fanouts.
+func BenchmarkSpectrum(b *testing.B) {
+	var rows []experiment.SpectrumRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiment.RunSpectrum([]int{2, 4, 8}, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[len(rows)-1].Gap, "octreeM8Gap")
+}
+
+// BenchmarkSearchCost runs E17: measured vs model-predicted point-search
+// depth.
+func BenchmarkSearchCost(b *testing.B) {
+	var r experiment.SearchCostResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiment.RunSearchCost(experiment.Config{Trials: 2, Seed: 11}, 4, []int{256, 1024})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := r.Rows[len(r.Rows)-1]
+	b.ReportMetric(last.MeasuredSearchDepth, "measuredDepth")
+	b.ReportMetric(last.PredictedDepth, "predictedDepth")
+}
+
+// ---- Micro-benchmarks of the primitives ----
+
+func BenchmarkModelSolveM8(b *testing.B) {
+	model, err := popana.NewPointModel(8, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelSolveM32(b *testing.B) {
+	model, err := popana.NewPointModel(32, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuadtreeInsert(b *testing.B) {
+	qt := popana.NewQuadtree(popana.QuadtreeConfig{Capacity: 8})
+	rng := popana.NewRand(1)
+	src := popana.NewUniform(qt.Region(), rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qt.Insert(src.Next(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuadtreeGet(b *testing.B) {
+	qt := popana.NewQuadtree(popana.QuadtreeConfig{Capacity: 8})
+	rng := popana.NewRand(2)
+	src := popana.NewUniform(qt.Region(), rng)
+	pts := make([]popana.Point, 100000)
+	for i := range pts {
+		pts[i] = src.Next()
+		if _, err := qt.Insert(pts[i], nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := qt.Get(pts[i%len(pts)]); !ok {
+			b.Fatal("lost point")
+		}
+	}
+}
+
+func BenchmarkQuadtreeRange(b *testing.B) {
+	qt := popana.NewQuadtree(popana.QuadtreeConfig{Capacity: 8})
+	src := popana.NewUniform(qt.Region(), popana.NewRand(3))
+	for qt.Len() < 100000 {
+		if _, err := qt.Insert(src.Next(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := popana.R(0.4, 0.4, 0.6, 0.6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n := qt.CountRange(q); n == 0 {
+			b.Fatal("empty range")
+		}
+	}
+}
+
+func BenchmarkQuadtreeNearest(b *testing.B) {
+	qt := popana.NewQuadtree(popana.QuadtreeConfig{Capacity: 8})
+	rng := popana.NewRand(4)
+	src := popana.NewUniform(qt.Region(), rng)
+	for qt.Len() < 100000 {
+		if _, err := qt.Insert(src.Next(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := qt.Nearest(popana.Pt(rng.Float64(), rng.Float64())); !ok {
+			b.Fatal("nearest failed")
+		}
+	}
+}
+
+func BenchmarkExtHashPut(b *testing.B) {
+	t, err := popana.NewExtHash(popana.ExtHashConfig{BucketCapacity: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := popana.NewRand(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := t.Put(rng.Uint64(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGridFilePut(b *testing.B) {
+	f, err := popana.NewGridFile(popana.GridFileConfig{BucketCapacity: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := popana.NewRand(6)
+	src := popana.NewUniform(popana.UnitSquare, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Put(src.Next(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPM3Insert(b *testing.B) {
+	tree, err := popana.NewPM3Tree(popana.PM3Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := popana.NewShortSegments(tree.Region(), 0.05, popana.NewRand(8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tree.Insert(src.Next()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegionQuadtreeBuild(b *testing.B) {
+	rng := popana.NewRand(9)
+	const size = 128
+	bm := make([][]bool, size)
+	for y := range bm {
+		bm[y] = make([]bool, size)
+		for x := range bm[y] {
+			bm[y][x] = rng.Float64() < 0.3
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := popana.FromBitmap(bm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPMRInsert(b *testing.B) {
+	tree, err := popana.NewPMRTree(popana.PMRConfig{Threshold: 8, MaxDepth: 12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := popana.NewShortSegments(tree.Region(), 0.05, popana.NewRand(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tree.Insert(src.Next()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

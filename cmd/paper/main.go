@@ -1,0 +1,222 @@
+// Command paper regenerates every table and figure of the paper's
+// evaluation, plus the extension experiments of DESIGN.md, printing the
+// artifacts to stdout (or a file via -o). It is the one-shot
+// reproduction entry point:
+//
+//	go run ./cmd/paper            # full run (paper-scale parameters)
+//	go run ./cmd/paper -quick     # reduced trials for smoke testing
+//	go run ./cmd/paper -only t1,t2,f2
+//
+// Artifact names: t1 t2 t3 t4 t5 f2 f3 anchor e7 e8 e9 e10 e11 e12 e13
+// e14 e15 e16 e17.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"popana/internal/experiment"
+	"popana/internal/report"
+)
+
+func main() {
+	var (
+		trials = flag.Int("trials", 10, "trees averaged per data point")
+		points = flag.Int("points", 1000, "points per tree for Tables 1-3")
+		seed   = flag.Uint64("seed", 0, "base RNG seed")
+		quick  = flag.Bool("quick", false, "reduced parameters for a fast smoke run")
+		only   = flag.String("only", "", "comma-separated artifact list (default: all)")
+		out    = flag.String("o", "", "write output to file instead of stdout")
+	)
+	flag.Parse()
+
+	cfg := experiment.Config{Trials: *trials, Points: *points, Seed: *seed}
+	maxN := 4096
+	maxCap := 8
+	if *quick {
+		cfg.Trials = 3
+		cfg.Points = 300
+		maxN = 1024
+		maxCap = 4
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, a := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(a)] = true
+		}
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+
+	if sel("anchor") {
+		a, err := experiment.RunAnchor(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(w, "Section III anchor (simple PR quadtree, m=1):\n")
+		fmt.Fprintf(w, "  exact       %s\n", report.FormatVec(a.Exact.E))
+		fmt.Fprintf(w, "  fixed point %s  (%d iterations, residual %.2g)\n",
+			report.FormatVec(a.FixedPoint.E), a.FixedPoint.Iterations, a.FixedPoint.Residual)
+		fmt.Fprintf(w, "  newton      %s  (%d iterations, residual %.2g)\n",
+			report.FormatVec(a.Newton.E), a.Newton.Iterations, a.Newton.Residual)
+		fmt.Fprintf(w, "  experiment  %s  (paper observed (0.536, 0.464))\n\n", report.FormatVec(a.Experimental))
+	}
+
+	var caps []experiment.CapacityResult
+	if sel("t1") || sel("t2") {
+		var err error
+		caps, err = experiment.RunTables12(cfg, maxCap)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if sel("t1") {
+		fmt.Fprintln(w, experiment.RenderTable1(caps))
+	}
+	if sel("t2") {
+		fmt.Fprintln(w, experiment.RenderTable2(caps))
+	}
+
+	if sel("t3") {
+		t3, err := experiment.RunTable3(cfg, 1, 9)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, experiment.RenderTable3(t3))
+	}
+
+	var uniform, gaussian experiment.SweepResult
+	sizes := experiment.GeometricSizes(64, maxN)
+	if sel("t4") || sel("f2") {
+		var err error
+		uniform, err = experiment.RunSweep(cfg, 8, sizes, false)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if sel("t4") {
+		fmt.Fprintln(w, experiment.RenderSweepTable(uniform, 4))
+	}
+	if sel("f2") {
+		fmt.Fprintln(w, experiment.RenderSweepFigure(uniform, 2))
+		if exact, err := experiment.RunStatModel(8, maxN); err == nil {
+			fmt.Fprintln(w, experiment.RenderFigureWithExact(uniform, exact, 2))
+		}
+	}
+	if sel("t5") || sel("f3") {
+		var err error
+		gaussian, err = experiment.RunSweep(cfg, 8, sizes, true)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if sel("t5") {
+		fmt.Fprintln(w, experiment.RenderSweepTable(gaussian, 5))
+	}
+	if sel("f3") {
+		fmt.Fprintln(w, experiment.RenderSweepFigure(gaussian, 3))
+	}
+
+	if sel("e7") {
+		rows, err := experiment.RunFanoutSweep(cfg, maxCap)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, experiment.RenderFanoutSweep(rows))
+	}
+	if sel("e8") {
+		rows, err := experiment.RunPMR(cfg, maxCap)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, experiment.RenderPMR(rows))
+	}
+	if sel("e9") {
+		r, err := experiment.RunStatModel(8, maxN)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, experiment.RenderStatModel(r))
+	}
+	if sel("e10") {
+		rows, err := experiment.RunBucketBaselines(cfg, 8, 4096)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, experiment.RenderBucketBaselines(rows))
+	}
+	if sel("e11") {
+		rows, err := experiment.RunAging(cfg, maxCap)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, experiment.RenderAging(rows))
+	}
+	if sel("e12") {
+		var rs []experiment.ChurnResult
+		for _, m := range []int{1, 4, 8} {
+			if m > maxCap {
+				continue
+			}
+			r, err := experiment.RunChurn(cfg, m, 3)
+			if err != nil {
+				fatal(err)
+			}
+			rs = append(rs, r)
+		}
+		fmt.Fprintln(w, experiment.RenderChurn(rs))
+	}
+	if sel("e13") {
+		r, err := experiment.RunPointQuadtree(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, experiment.RenderPointQuadtree(r))
+	}
+	if sel("e14") {
+		rows, err := experiment.RunRobustness(cfg, 4)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, experiment.RenderRobustness(rows, 4))
+	}
+	if sel("e15") {
+		rows, err := experiment.RunSpectrum([]int{2, 4, 8}, maxCap)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, experiment.RenderSpectrum(rows))
+	}
+	if sel("e16") {
+		r, err := experiment.RunExtHashAnalysis(cfg, 8, maxN)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, experiment.RenderExtHashAnalysis(r))
+	}
+	if sel("e17") {
+		r, err := experiment.RunSearchCost(cfg, 4, experiment.GeometricSizes(256, maxN))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, experiment.RenderSearchCost(r))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paper:", err)
+	os.Exit(1)
+}

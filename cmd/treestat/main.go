@@ -1,0 +1,237 @@
+// Command treestat builds hierarchical structures over synthetic
+// workloads and prints their occupancy statistics next to the population
+// model's prediction — the per-structure experimental half of the paper,
+// as a tool.
+//
+//	treestat -structure quadtree -capacity 8 -points 4096
+//	treestat -structure octree -capacity 4 -dist gaussian
+//	treestat -structure pmr -capacity 4 -points 2000
+//	treestat -structure exthash -capacity 8 -points 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"popana/internal/bintree"
+	"popana/internal/core"
+	"popana/internal/dist"
+	"popana/internal/excell"
+	"popana/internal/exthash"
+	"popana/internal/geom"
+	"popana/internal/gridfile"
+	"popana/internal/hypertree"
+	"popana/internal/pmr"
+	"popana/internal/quadtree"
+	"popana/internal/report"
+	"popana/internal/stats"
+	"popana/internal/xrand"
+)
+
+func main() {
+	var (
+		structure = flag.String("structure", "quadtree", "quadtree|bintree|octree|pmr|gridfile|exthash|excell")
+		capacity  = flag.Int("capacity", 8, "node/bucket capacity (pmr: threshold)")
+		points    = flag.Int("points", 1000, "data items per trial")
+		trials    = flag.Int("trials", 10, "independent trials to average")
+		distName  = flag.String("dist", "uniform", "uniform|gaussian|clusters|diagonal (point structures)")
+		seed      = flag.Uint64("seed", 0, "base RNG seed")
+		draw      = flag.Bool("draw", false, "render the decomposition as ASCII art (quadtree only)")
+	)
+	flag.Parse()
+
+	var censuses []stats.Census
+	fanout := 0
+	for trial := 0; trial < *trials; trial++ {
+		rng := xrand.New(*seed + uint64(trial)*0x9e3779b97f4a7c15 + 1)
+		c, f, err := buildOne(*structure, *capacity, *points, *distName, rng)
+		if err != nil {
+			fatal(err)
+		}
+		censuses = append(censuses, c)
+		fanout = f
+	}
+
+	n := *capacity + 1
+	for _, c := range censuses {
+		if len(c.ByOccupancy) > n {
+			n = len(c.ByOccupancy)
+		}
+	}
+	sum := stats.Summarize(censuses, n)
+
+	fmt.Printf("%s: capacity %d, %d points x %d trials, %s data\n\n",
+		*structure, *capacity, *points, *trials, *distName)
+	fmt.Printf("mean leaf/bucket count : %.1f\n", sum.MeanLeaves)
+	fmt.Printf("mean occupancy         : %.3f items/node\n", sum.MeanOccupancy)
+	fmt.Printf("occupancy spread       : %.1f%% across trials\n", 100*sum.OccupancySpread)
+	fmt.Printf("distribution           : %s\n", report.FormatVec(sum.MeanProportions))
+
+	// Model prediction where one exists.
+	switch *structure {
+	case "quadtree", "bintree", "octree":
+		model, err := core.NewPointModel(*capacity, fanout)
+		if err != nil {
+			fatal(err)
+		}
+		d, err := model.Solve()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\npopulation model       : %s\n", report.FormatVec(d.E))
+		fmt.Printf("predicted occupancy    : %.3f (%.1f%% vs observed)\n",
+			d.AverageOccupancy(),
+			100*(d.AverageOccupancy()-sum.MeanOccupancy)/sum.MeanOccupancy)
+	case "pmr":
+		model, err := core.NewLineModel(*capacity, 4, core.LineModelOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		d, err := model.Solve()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nline model (chord p)   : occupancy %.3f\n", d.AverageOccupancy())
+	case "exthash":
+		fmt.Printf("\nFagin asymptote        : utilization ln 2 = 0.693\n")
+	}
+
+	if *draw {
+		if *structure != "quadtree" {
+			fatal(fmt.Errorf("-draw supports only -structure quadtree"))
+		}
+		rng := xrand.New(*seed + 12345)
+		t := quadtree.MustNew[struct{}](quadtree.Config{Capacity: *capacity})
+		src, err := func() (dist.PointSource, error) {
+			switch *distName {
+			case "uniform":
+				return dist.NewUniform(t.Region(), rng), nil
+			case "gaussian":
+				return dist.NewGaussian(t.Region(), rng), nil
+			case "clusters":
+				return dist.NewClusters(t.Region(), 8, 0.03, rng), nil
+			case "diagonal":
+				return dist.NewDiagonal(t.Region(), 0.05, rng), nil
+			default:
+				return nil, fmt.Errorf("unknown distribution %q", *distName)
+			}
+		}()
+		if err != nil {
+			fatal(err)
+		}
+		for t.Len() < *points {
+			if _, err := t.Insert(src.Next(), struct{}{}); err != nil {
+				fatal(err)
+			}
+		}
+		var blocks []report.Block
+		t.WalkBlocks(func(block geom.Rect, _, occ int) bool {
+			blocks = append(blocks, report.Block{Rect: block, Occupancy: occ})
+			return true
+		})
+		fmt.Println()
+		fmt.Print(report.DrawBlocks(t.Region(), blocks, 96))
+	}
+}
+
+// buildOne builds one structure instance and returns its census and the
+// structure's fanout (0 when the model does not apply).
+func buildOne(structure string, capacity, points int, distName string, rng *xrand.Rand) (stats.Census, int, error) {
+	mkPoints := func(r geom.Rect) (dist.PointSource, error) {
+		switch distName {
+		case "uniform":
+			return dist.NewUniform(r, rng), nil
+		case "gaussian":
+			return dist.NewGaussian(r, rng), nil
+		case "clusters":
+			return dist.NewClusters(r, 8, 0.03, rng), nil
+		case "diagonal":
+			return dist.NewDiagonal(r, 0.05, rng), nil
+		default:
+			return nil, fmt.Errorf("unknown distribution %q", distName)
+		}
+	}
+	switch structure {
+	case "quadtree":
+		t := quadtree.MustNew[struct{}](quadtree.Config{Capacity: capacity})
+		src, err := mkPoints(t.Region())
+		if err != nil {
+			return stats.Census{}, 0, err
+		}
+		for t.Len() < points {
+			if _, err := t.Insert(src.Next(), struct{}{}); err != nil {
+				return stats.Census{}, 0, err
+			}
+		}
+		return t.Census(), 4, nil
+	case "bintree":
+		t := bintree.MustNew(bintree.Config{Capacity: capacity})
+		src, err := mkPoints(t.Region())
+		if err != nil {
+			return stats.Census{}, 0, err
+		}
+		for t.Len() < points {
+			if _, err := t.Insert(src.Next()); err != nil {
+				return stats.Census{}, 0, err
+			}
+		}
+		return t.Census(), 2, nil
+	case "octree":
+		t := hypertree.MustNew(hypertree.Config{Dim: 3, Capacity: capacity})
+		for t.Len() < points {
+			if _, err := t.Insert(hypertree.RandomPoint(3, rng)); err != nil {
+				return stats.Census{}, 0, err
+			}
+		}
+		return t.Census(), 8, nil
+	case "pmr":
+		t := pmr.MustNew(pmr.Config{Threshold: capacity, MaxDepth: 12})
+		src := dist.NewShortSegments(t.Region(), 0.05, rng)
+		for t.Len() < points {
+			if err := t.Insert(src.Next()); err != nil {
+				return stats.Census{}, 0, err
+			}
+		}
+		return t.Census(), 0, nil
+	case "gridfile":
+		f := gridfile.MustNew(gridfile.Config{BucketCapacity: capacity})
+		src, err := mkPoints(geom.UnitSquare)
+		if err != nil {
+			return stats.Census{}, 0, err
+		}
+		for f.Len() < points {
+			if _, err := f.Put(src.Next(), nil); err != nil {
+				return stats.Census{}, 0, err
+			}
+		}
+		return f.Census(), 0, nil
+	case "exthash":
+		t := exthash.MustNew(exthash.Config{BucketCapacity: capacity})
+		for t.Len() < points {
+			if _, err := t.Put(rng.Uint64(), nil); err != nil {
+				return stats.Census{}, 0, err
+			}
+		}
+		return t.Census(), 0, nil
+	case "excell":
+		f := excell.MustNew(excell.Config{BucketCapacity: capacity})
+		src, err := mkPoints(geom.UnitSquare)
+		if err != nil {
+			return stats.Census{}, 0, err
+		}
+		for f.Len() < points {
+			if _, err := f.Put(src.Next(), nil); err != nil {
+				return stats.Census{}, 0, err
+			}
+		}
+		return f.Census(), 0, nil
+	default:
+		return stats.Census{}, 0, fmt.Errorf("unknown structure %q", structure)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "treestat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Capacity planning: use the population model to choose a node capacity
+// before building anything. For each candidate bucket size, the model
+// gives expected storage utilization and nodes per item in microseconds;
+// a simulation pass then confirms the choice. This is the engineering
+// decision the paper's "typical case" analysis was built for — worst
+// case analysis would be uselessly pessimistic here.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"popana"
+)
+
+func main() {
+	const items = 50000
+	const bytesPerItem = 64
+	const nodeOverheadBytes = 128
+
+	fmt.Println("capacity planning for a 50,000-point spatial index")
+	fmt.Println("(model is instantaneous; simulation column verifies it)")
+	fmt.Println()
+	fmt.Println("capacity  util(model)  nodes/item  est. MB  util(simulated)")
+	fmt.Println("-----------------------------------------------------------")
+
+	bestCap, bestBytes := 0, int64(1)<<62
+	for _, m := range []int{1, 2, 4, 8, 16, 32} {
+		model, err := popana.NewPointModel(m, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e, err := model.Solve()
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes := float64(items) * e.NodesPerItem()
+		// Each leaf reserves capacity slots; internal nodes ~ leaves/3.
+		bytes := int64(nodes*(float64(m*bytesPerItem)+nodeOverheadBytes) +
+			nodes/3*nodeOverheadBytes)
+		if bytes < bestBytes {
+			bestBytes, bestCap = bytes, m
+		}
+
+		// Verify with one simulated tree (smaller, same statistics).
+		qt := popana.NewQuadtree(popana.QuadtreeConfig{Capacity: m})
+		src := popana.NewUniform(qt.Region(), popana.NewRand(uint64(m)))
+		for qt.Len() < 8000 {
+			if _, err := qt.Insert(src.Next(), nil); err != nil {
+				log.Fatal(err)
+			}
+		}
+		c := qt.Census()
+		fmt.Printf("%8d  %10.1f%%  %10.3f  %7.1f  %14.1f%%\n",
+			m, 100*e.Utilization(m), e.NodesPerItem(),
+			float64(bytes)/1e6, 100*c.AverageOccupancy()/float64(m))
+	}
+
+	fmt.Printf("\nrecommendation: capacity %d minimizes estimated footprint (%.1f MB)\n",
+		bestCap, float64(bestBytes)/1e6)
+	fmt.Println("\nnote: utilization hovers near 50% for quadtrees at any capacity —")
+	fmt.Println("the model explains why doubling capacity roughly halves node count")
+	fmt.Println("without improving utilization, so capacity should be chosen to match")
+	fmt.Println("the I/O transfer unit rather than to chase utilization.")
+}

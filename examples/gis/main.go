@@ -1,0 +1,95 @@
+// GIS example: the workload that motivated the paper. A geographic
+// information system stores city locations in a PR quadtree whose node
+// capacity corresponds to a disk bucket. The population model predicts,
+// before any data arrives, how many buckets the database will allocate —
+// and the example verifies the prediction against a synthetic
+// city-cluster dataset, then runs the spatial queries a GIS needs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"popana"
+)
+
+// city is the payload stored per point.
+type city struct {
+	Name string
+	Pop  int
+}
+
+func main() {
+	const bucketCapacity = 8
+	const nCities = 20000
+
+	// Capacity planning with the model: how many disk buckets per city?
+	model, err := popana.NewPointModel(bucketCapacity, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, err := model.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: with bucket capacity %d expect %.2f cities/bucket → ~%.0f buckets for %d cities\n",
+		bucketCapacity, e.AverageOccupancy(), float64(nCities)*e.NodesPerItem(), nCities)
+
+	// Build the database. Cities cluster around metropolitan centers —
+	// the population model assumes uniformity, so this also probes its
+	// robustness on realistic data.
+	qt := popana.NewQuadtree(popana.QuadtreeConfig{Capacity: bucketCapacity})
+	rng := popana.NewRand(7)
+	src := popana.NewClusters(qt.Region(), 40, 0.02, rng)
+	for qt.Len() < nCities {
+		p := src.Next()
+		name := fmt.Sprintf("city-%05d", qt.Len())
+		if _, err := qt.Insert(p, city{Name: name, Pop: 1000 + rng.Intn(5_000_000)}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	c := qt.Census()
+	fmt.Printf("built: %d buckets (%.2f cities/bucket measured), tree height %d\n\n",
+		c.Leaves, c.AverageOccupancy(), c.Height)
+
+	// Range query: everything in a map window.
+	window := popana.R(0.40, 0.40, 0.60, 0.60)
+	var inWindow []city
+	qt.Range(window, func(p popana.Point, v any) bool {
+		inWindow = append(inWindow, v.(city))
+		return true
+	})
+	fmt.Printf("map window %v contains %d cities\n", window, len(inWindow))
+
+	// Top three by population inside the window.
+	sort.Slice(inWindow, func(i, j int) bool { return inWindow[i].Pop > inWindow[j].Pop })
+	for i := 0; i < 3 && i < len(inWindow); i++ {
+		fmt.Printf("  #%d %s (population %d)\n", i+1, inWindow[i].Name, inWindow[i].Pop)
+	}
+
+	// Nearest-city lookup for a user's location.
+	user := popana.Pt(0.123, 0.456)
+	p, v, ok := qt.Nearest(user)
+	if !ok {
+		log.Fatal("empty database")
+	}
+	fmt.Printf("\nnearest city to %v: %s at %v (%.4f away)\n", user, v.(city).Name, p, p.Dist(user))
+
+	// Five nearest (e.g. for a search-results list).
+	fmt.Println("five nearest cities:")
+	for _, q := range qt.KNearest(user, 5) {
+		cv, _ := qt.Get(q)
+		fmt.Printf("  %s  %v\n", cv.(city).Name, q)
+	}
+
+	// Deletion keeps the structure canonical (blocks merge back).
+	removed := 0
+	for _, q := range qt.KNearest(user, 100) {
+		if qt.Delete(q) {
+			removed++
+		}
+	}
+	fmt.Printf("\nremoved %d cities around the user; database now %d cities in %d buckets\n",
+		removed, qt.Len(), qt.Census().Leaves)
+}

@@ -1,0 +1,76 @@
+// Line-map example: a PMR quadtree over road-like segments, with the
+// reconstructed line population model ([Nels86b]) predicting the block
+// occupancy distribution. Mirrors the paper's concluding claim that the
+// population technique carries over to line data "with results which
+// agree with experimental data even better than in the case of the PR
+// quadtree".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"popana"
+)
+
+func main() {
+	const threshold = 4 // PMR splitting threshold
+	const nSegments = 4000
+
+	// Build a PMR quadtree over short segments (a synthetic road map).
+	tree, err := popana.NewPMRTree(popana.PMRConfig{Threshold: threshold, MaxDepth: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := popana.NewRand(3)
+	src := popana.NewShortSegments(tree.Region(), 0.05, rng)
+	for tree.Len() < nSegments {
+		if err := tree.Insert(src.Next()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	c := tree.Census()
+	fmt.Printf("road map: %d segments in %d blocks (%.2f segments/block, height %d)\n",
+		tree.Len(), c.Leaves, c.AverageOccupancy(), c.Height)
+
+	// Measure the local geometry — the one statistic the line model
+	// needs: how often a stored segment crosses a given quadrant of
+	// its block.
+	crossings, incidences := 0.0, 0.0
+	tree.WalkLeaves(func(block popana.Rect, segs []popana.Segment) bool {
+		for _, s := range segs {
+			for q := 0; q < 4; q++ {
+				if clipped, ok := s.ClipToRect(block.Quadrant(q)); ok && clipped.Length() > 1e-12 {
+					crossings++
+				}
+			}
+			incidences += 4
+		}
+		return true
+	})
+	p := crossings / incidences
+	fmt.Printf("measured quadrant-crossing probability: %.3f\n\n", p)
+
+	// Solve the line model with that one number.
+	model, err := popana.NewLineModel(threshold, 4, popana.LineModelOptions{CrossProb: p})
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, err := model.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	obs := c.Proportions(model.Types())
+	fmt.Println("occupancy  model   observed")
+	for i := 0; i < model.Types() && (e.E[i] > 0.001 || obs[i] > 0.001); i++ {
+		fmt.Printf("%9d  %.3f   %.3f\n", i, e.E[i], obs[i])
+	}
+	fmt.Printf("\navg occupancy: model %.2f, observed %.2f\n",
+		e.AverageOccupancy(), c.AverageOccupancy())
+
+	// The tree answers the queries a map service needs.
+	window := popana.R(0.3, 0.3, 0.5, 0.5)
+	fmt.Printf("\nsegments crossing window %v: %d\n", window, len(tree.RangeSegments(window)))
+	probe := popana.Pt(0.5, 0.5)
+	fmt.Printf("segments in the block containing %v: %d\n", probe, len(tree.Stab(probe)))
+}

@@ -1,0 +1,72 @@
+// Phasing demo: Section IV's second phenomenon, live. Under a uniform
+// distribution all blocks of a generation fill and split roughly in
+// step, so average occupancy oscillates with period log₄(n) — forever.
+// Under a Gaussian distribution the regions of different density drift
+// out of phase and the oscillation damps. This is also why the
+// statistical limit lim d̄_n does not exist: the exact recursion
+// (internal/statmodel) oscillates identically.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"popana"
+)
+
+func main() {
+	const capacity = 8
+
+	model, err := popana.NewPointModel(capacity, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, err := model.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("population model predicts the cycle-mean occupancy: %.2f\n\n", e.AverageOccupancy())
+
+	// Exact statistical sequence (no Monte Carlo noise at all).
+	exact, err := popana.NewStatAnalysis(capacity, 4, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("     n   simulated(uniform)  simulated(gaussian)  exact(uniform)")
+	fmt.Println("---------------------------------------------------------------")
+	sizes := []int{64, 90, 128, 181, 256, 362, 512, 724, 1024, 1448, 2048, 2896, 4096}
+	for _, n := range sizes {
+		uo := meanOccupancy(n, capacity, false)
+		gs := meanOccupancy(n, capacity, true)
+		fmt.Printf("%6d   %18.2f  %19.2f  %14.3f\n", n, uo, gs, exact.AverageOccupancy(n))
+	}
+
+	fmt.Println()
+	fmt.Println("watch the uniform column swing with period ×4 in n while the")
+	fmt.Println("gaussian column flattens — and the exact column confirms the")
+	fmt.Println("swing is a property of the structure, not sampling noise.")
+}
+
+// meanOccupancy builds five trees of n points and averages occupancy.
+func meanOccupancy(n, capacity int, gaussian bool) float64 {
+	total := 0.0
+	const trials = 5
+	for trial := 0; trial < trials; trial++ {
+		qt := popana.NewQuadtree(popana.QuadtreeConfig{Capacity: capacity})
+		rng := popana.NewRand(uint64(n)*31 + uint64(trial))
+		var src popana.PointSource
+		if gaussian {
+			src = popana.NewGaussian(qt.Region(), rng)
+		} else {
+			src = popana.NewUniform(qt.Region(), rng)
+		}
+		for qt.Len() < n {
+			if _, err := qt.Insert(src.Next(), nil); err != nil {
+				log.Fatal(err)
+			}
+		}
+		total += qt.Census().AverageOccupancy()
+	}
+	return total / trials
+}

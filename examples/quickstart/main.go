@@ -1,0 +1,63 @@
+// Quickstart: solve the population model for a PR quadtree, build a real
+// tree over uniform random points, and compare prediction to
+// measurement — the core loop of the paper in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"popana"
+)
+
+func main() {
+	const capacity = 4 // points per node before a block splits
+
+	// 1. Analytical side: the expected distribution ē from nothing but
+	// the local split statistics (Section III of the paper).
+	model, err := popana.NewPointModel(capacity, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, err := model.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("population model prediction:")
+	fmt.Printf("  distribution over occupancies: %v\n", fmtVec(e.E))
+	fmt.Printf("  average occupancy:  %.3f points/node\n", e.AverageOccupancy())
+	fmt.Printf("  storage utilization: %.1f%%\n", 100*e.Utilization(capacity))
+
+	// 2. Experimental side: an actual PR quadtree over 10,000 uniform
+	// points.
+	qt := popana.NewQuadtree(popana.QuadtreeConfig{Capacity: capacity})
+	rng := popana.NewRand(42)
+	src := popana.NewUniform(qt.Region(), rng)
+	for qt.Len() < 10000 {
+		if _, err := qt.Insert(src.Next(), nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	c := qt.Census()
+	fmt.Println("\nmeasured on a 10,000-point tree:")
+	fmt.Printf("  distribution over occupancies: %v\n", fmtVec(c.Proportions(capacity+1)))
+	fmt.Printf("  average occupancy:  %.3f points/node\n", c.AverageOccupancy())
+	fmt.Printf("  leaf blocks: %d, height: %d\n", c.Leaves, c.Height)
+
+	// 3. The tree is also a live spatial index.
+	nearest, _, _ := qt.Nearest(popana.Pt(0.5, 0.5))
+	fmt.Printf("\nnearest stored point to the center: %v\n", nearest)
+	count := qt.CountRange(popana.R(0.25, 0.25, 0.75, 0.75))
+	fmt.Printf("points in the central quarter: %d (expect ≈ 2500)\n", count)
+}
+
+func fmtVec(v []float64) string {
+	s := "["
+	for i, x := range v {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.3f", x)
+	}
+	return s + "]"
+}

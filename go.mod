@@ -1,0 +1,3 @@
+module popana
+
+go 1.22

@@ -1,0 +1,130 @@
+// Package binom supplies numerically stable binomial coefficients and
+// binomial/multinomial probability mass functions.
+//
+// Population analysis reduces a hierarchical structure's splitting rule to
+// the distribution of m+1 items placed independently into F congruent
+// buckets — a binomial law — so these functions sit underneath every
+// transform matrix in internal/core, and underneath the exact statistical
+// baseline in internal/statmodel. Coefficients are computed in log space
+// so that the statistical recursion remains accurate for n in the
+// thousands.
+package binom
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// logFactCache memoizes log(n!) values; index i holds log(i!).
+var (
+	logFactMu    sync.Mutex
+	logFactCache = []float64{0, 0} // log(0!)=log(1!)=0
+)
+
+// LogFactorial returns log(n!). It panics if n < 0.
+func LogFactorial(n int) float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("binom: LogFactorial(%d)", n))
+	}
+	logFactMu.Lock()
+	defer logFactMu.Unlock()
+	for len(logFactCache) <= n {
+		k := len(logFactCache)
+		logFactCache = append(logFactCache, logFactCache[k-1]+math.Log(float64(k)))
+	}
+	return logFactCache[n]
+}
+
+// LogChoose returns log C(n, k). Out-of-range k yields -Inf.
+func LogChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	return LogFactorial(n) - LogFactorial(k) - LogFactorial(n-k)
+}
+
+// Choose returns the binomial coefficient C(n, k) as a float64.
+// For n beyond float64's exact-integer range the result is an
+// approximation accurate to within a few ulps.
+func Choose(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	// Exact for small n via the multiplicative formula; avoids exp/log
+	// roundoff on the sizes the transform matrices need (n <= ~60).
+	if n <= 60 {
+		if k > n-k {
+			k = n - k
+		}
+		c := 1.0
+		for i := 0; i < k; i++ {
+			c = c * float64(n-i) / float64(i+1)
+		}
+		return math.Round(c)
+	}
+	return math.Exp(LogChoose(n, k))
+}
+
+// PMF returns the binomial probability P[X = k] for X ~ Binomial(n, p).
+func PMF(n int, p float64, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lp := LogChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+	return math.Exp(lp)
+}
+
+// Dist returns the full binomial PMF for X ~ Binomial(n, p) as a slice of
+// length n+1 whose entries sum to 1 up to roundoff.
+func Dist(n int, p float64) []float64 {
+	d := make([]float64, n+1)
+	for k := 0; k <= n; k++ {
+		d[k] = PMF(n, p, k)
+	}
+	return d
+}
+
+// ExpectedBuckets returns, for n items placed independently and uniformly
+// into f buckets, the expected number of buckets that contain exactly k
+// items: f * C(n,k) * (1/f)^k * ((f-1)/f)^(n-k).
+//
+// This is the quantity the paper calls P_i (for f = 4, n = m+1): the
+// expected occupancy profile of the children of a splitting node.
+func ExpectedBuckets(n, f, k int) float64 {
+	if f < 2 {
+		panic("binom: ExpectedBuckets requires at least two buckets")
+	}
+	return float64(f) * PMF(n, 1/float64(f), k)
+}
+
+// MultinomialLogPMF returns the log-probability that n items distributed
+// uniformly over len(counts) buckets land exactly as counts. The counts
+// must sum to n.
+func MultinomialLogPMF(counts []int) float64 {
+	n := 0
+	for _, c := range counts {
+		if c < 0 {
+			panic("binom: negative count")
+		}
+		n += c
+	}
+	f := float64(len(counts))
+	lp := LogFactorial(n) - float64(n)*math.Log(f)
+	for _, c := range counts {
+		lp -= LogFactorial(c)
+	}
+	return lp
+}

@@ -1,0 +1,203 @@
+package binom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestChooseSmall(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {4, 2, 6}, {5, 2, 10},
+		{9, 3, 84}, {10, 5, 252}, {52, 5, 2598960}, {60, 30, 118264581564861424},
+		{5, -1, 0}, {5, 6, 0},
+	}
+	for _, c := range cases {
+		if got := Choose(c.n, c.k); got != c.want {
+			t.Errorf("Choose(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestChooseSymmetry(t *testing.T) {
+	f := func(n, k uint8) bool {
+		nn := int(n%50) + 1
+		kk := int(k) % (nn + 1)
+		return Choose(nn, kk) == Choose(nn, nn-kk)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChoosePascal(t *testing.T) {
+	// C(n,k) = C(n-1,k-1) + C(n-1,k) exactly for small n.
+	for n := 2; n <= 40; n++ {
+		for k := 1; k < n; k++ {
+			if got, want := Choose(n, k), Choose(n-1, k-1)+Choose(n-1, k); got != want {
+				t.Fatalf("Pascal violated at C(%d,%d): %v vs %v", n, k, got, want)
+			}
+		}
+	}
+}
+
+func TestChooseLargeMatchesLog(t *testing.T) {
+	for _, nk := range [][2]int{{100, 50}, {200, 13}, {500, 250}} {
+		got := Choose(nk[0], nk[1])
+		want := math.Exp(LogChoose(nk[0], nk[1]))
+		if math.Abs(got-want)/want > 1e-9 {
+			t.Errorf("Choose(%d,%d) = %v, log-space %v", nk[0], nk[1], got, want)
+		}
+	}
+}
+
+func TestLogFactorial(t *testing.T) {
+	fact := 1.0
+	for n := 1; n <= 20; n++ {
+		fact *= float64(n)
+		if got := LogFactorial(n); math.Abs(got-math.Log(fact)) > 1e-9 {
+			t.Errorf("LogFactorial(%d) = %v, want %v", n, got, math.Log(fact))
+		}
+	}
+}
+
+func TestLogFactorialPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LogFactorial(-1) did not panic")
+		}
+	}()
+	LogFactorial(-1)
+}
+
+func TestPMFSumsToOne(t *testing.T) {
+	for _, n := range []int{1, 5, 17, 100} {
+		for _, p := range []float64{0.25, 0.5, 0.9} {
+			sum := 0.0
+			for k := 0; k <= n; k++ {
+				sum += PMF(n, p, k)
+			}
+			if math.Abs(sum-1) > 1e-12 {
+				t.Errorf("PMF(%d, %v) sums to %v", n, p, sum)
+			}
+		}
+	}
+}
+
+func TestPMFMean(t *testing.T) {
+	// E[Binomial(n,p)] = np.
+	n, p := 30, 0.25
+	mean := 0.0
+	for k := 0; k <= n; k++ {
+		mean += float64(k) * PMF(n, p, k)
+	}
+	if math.Abs(mean-float64(n)*p) > 1e-10 {
+		t.Errorf("binomial mean %v, want %v", mean, float64(n)*p)
+	}
+}
+
+func TestPMFEdgeProbabilities(t *testing.T) {
+	if PMF(5, 0, 0) != 1 || PMF(5, 0, 3) != 0 {
+		t.Error("p=0 PMF wrong")
+	}
+	if PMF(5, 1, 5) != 1 || PMF(5, 1, 2) != 0 {
+		t.Error("p=1 PMF wrong")
+	}
+	if PMF(5, 0.5, -1) != 0 || PMF(5, 0.5, 6) != 0 {
+		t.Error("out-of-range k PMF wrong")
+	}
+}
+
+func TestDist(t *testing.T) {
+	d := Dist(10, 0.25)
+	if len(d) != 11 {
+		t.Fatalf("Dist length %d", len(d))
+	}
+	sum := 0.0
+	for k, v := range d {
+		if v != PMF(10, 0.25, k) {
+			t.Errorf("Dist[%d] mismatch", k)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("Dist sums to %v", sum)
+	}
+}
+
+func TestExpectedBucketsTotals(t *testing.T) {
+	// Σ_k E[buckets with k] = f and Σ_k k·E[buckets with k] = n.
+	for _, f := range []int{2, 4, 8} {
+		for _, n := range []int{1, 3, 9} {
+			totBuckets, totItems := 0.0, 0.0
+			for k := 0; k <= n; k++ {
+				e := ExpectedBuckets(n, f, k)
+				totBuckets += e
+				totItems += float64(k) * e
+			}
+			if math.Abs(totBuckets-float64(f)) > 1e-10 {
+				t.Errorf("f=%d n=%d: bucket total %v", f, n, totBuckets)
+			}
+			if math.Abs(totItems-float64(n)) > 1e-10 {
+				t.Errorf("f=%d n=%d: item total %v", f, n, totItems)
+			}
+		}
+	}
+}
+
+func TestExpectedBucketsPaperValues(t *testing.T) {
+	// Section III: P_i = C(m+1, i)·3^(m+1-i)/4^m for the quadtree.
+	m := 3
+	for i := 0; i <= m+1; i++ {
+		want := Choose(m+1, i) * math.Pow(3, float64(m+1-i)) / math.Pow(4, float64(m))
+		if got := ExpectedBuckets(m+1, 4, i); math.Abs(got-want) > 1e-12 {
+			t.Errorf("P_%d = %v, want %v", i, got, want)
+		}
+	}
+	// P_{m+1} = 4^{-m}.
+	if got := ExpectedBuckets(m+1, 4, m+1); math.Abs(got-math.Pow(4, -float64(m))) > 1e-15 {
+		t.Errorf("P_{m+1} = %v", got)
+	}
+}
+
+func TestMultinomialLogPMF(t *testing.T) {
+	// Two items in two buckets: (2,0) has prob 1/4, (1,1) has 1/2.
+	if got := math.Exp(MultinomialLogPMF([]int{2, 0})); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("P(2,0) = %v", got)
+	}
+	if got := math.Exp(MultinomialLogPMF([]int{1, 1})); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("P(1,1) = %v", got)
+	}
+}
+
+func TestMultinomialSumsToOne(t *testing.T) {
+	// All compositions of n=4 into 3 buckets.
+	n := 4
+	sum := 0.0
+	for a := 0; a <= n; a++ {
+		for b := 0; a+b <= n; b++ {
+			sum += math.Exp(MultinomialLogPMF([]int{a, b, n - a - b}))
+		}
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("multinomial total %v", sum)
+	}
+}
+
+func TestConcurrentLogFactorial(t *testing.T) {
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for n := 0; n < 500; n++ {
+				LogFactorial(n + g)
+			}
+			done <- true
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

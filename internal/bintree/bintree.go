@@ -1,0 +1,210 @@
+// Package bintree implements a 2D PR bintree [Same84c, Know80]: a
+// regular hierarchical decomposition that halves a block along one axis
+// per level, alternating x and y, with leaf capacity m. Its fanout is 2,
+// so it is the second structure (after internal/hypertree with d=1) on
+// which the fanout-2 population model is validated — but unlike the 1-D
+// trie it stores genuinely planar data, demonstrating that the model's
+// fanout parameter, not the data dimension, is what matters.
+package bintree
+
+import (
+	"errors"
+	"fmt"
+
+	"popana/internal/geom"
+	"popana/internal/stats"
+)
+
+// DefaultMaxDepth bounds decomposition when Config.MaxDepth is zero.
+// A bintree needs two levels to halve both axes, so depths run about
+// twice a quadtree's.
+const DefaultMaxDepth = 96
+
+// ErrOutOfRegion is returned when a point outside the region is inserted.
+var ErrOutOfRegion = errors.New("bintree: point outside region")
+
+// Config configures a tree.
+type Config struct {
+	// Capacity is the leaf capacity m >= 1.
+	Capacity int
+	// Region is the universe; the zero rectangle selects geom.UnitSquare.
+	Region geom.Rect
+	// MaxDepth truncates decomposition; zero selects DefaultMaxDepth.
+	MaxDepth int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Capacity < 1 {
+		return c, fmt.Errorf("bintree: capacity %d < 1", c.Capacity)
+	}
+	if c.Region == (geom.Rect{}) {
+		c.Region = geom.UnitSquare
+	}
+	if c.Region.Empty() {
+		return c, fmt.Errorf("bintree: empty region %v", c.Region)
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = DefaultMaxDepth
+	}
+	if c.MaxDepth < 1 {
+		return c, fmt.Errorf("bintree: max depth %d < 1", c.MaxDepth)
+	}
+	return c, nil
+}
+
+type node struct {
+	lo, hi *node // nil iff leaf
+	pts    []geom.Point
+}
+
+func (n *node) leaf() bool { return n.lo == nil }
+
+// Tree is a PR bintree over a rectangle storing distinct points.
+type Tree struct {
+	cfg  Config
+	root *node
+	size int
+}
+
+// New returns an empty tree.
+func New(cfg Config) (*Tree, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{cfg: c, root: &node{}}, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(cfg Config) *Tree {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Len returns the number of stored points.
+func (t *Tree) Len() int { return t.size }
+
+// Region returns the universe rectangle.
+func (t *Tree) Region() geom.Rect { return t.cfg.Region }
+
+// axisAt returns the split axis at a given depth: x (0) at even depths,
+// y (1) at odd depths.
+func axisAt(depth int) int { return depth & 1 }
+
+// childOf returns which half of block (split along axis) contains p, and
+// that half.
+func childOf(block geom.Rect, axis int, p geom.Point) (int, geom.Rect) {
+	lo, hi := block.Halves(axis)
+	if axis == 0 {
+		if p.X >= hi.MinX {
+			return 1, hi
+		}
+		return 0, lo
+	}
+	if p.Y >= hi.MinY {
+		return 1, hi
+	}
+	return 0, lo
+}
+
+// Insert stores p, returning whether an equal point was replaced.
+func (t *Tree) Insert(p geom.Point) (replaced bool, err error) {
+	if !t.cfg.Region.Contains(p) {
+		return false, fmt.Errorf("%w: %v not in %v", ErrOutOfRegion, p, t.cfg.Region)
+	}
+	n, block, depth := t.root, t.cfg.Region, 0
+	for !n.leaf() {
+		var c int
+		c, block = childOf(block, axisAt(depth), p)
+		if c == 0 {
+			n = n.lo
+		} else {
+			n = n.hi
+		}
+		depth++
+	}
+	for i := range n.pts {
+		if n.pts[i] == p {
+			return true, nil
+		}
+	}
+	n.pts = append(n.pts, p)
+	t.size++
+	for len(n.pts) > t.cfg.Capacity && depth < t.cfg.MaxDepth {
+		t.split(n, block, depth)
+		var over *node
+		if len(n.lo.pts) > t.cfg.Capacity {
+			over = n.lo
+			block, _ = block.Halves(axisAt(depth))
+		} else if len(n.hi.pts) > t.cfg.Capacity {
+			over = n.hi
+			_, block = block.Halves(axisAt(depth))
+		} else {
+			break
+		}
+		n = over
+		depth++
+	}
+	return false, nil
+}
+
+func (t *Tree) split(n *node, block geom.Rect, depth int) {
+	n.lo, n.hi = &node{}, &node{}
+	axis := axisAt(depth)
+	_, hi := block.Halves(axis)
+	for _, p := range n.pts {
+		upper := (axis == 0 && p.X >= hi.MinX) || (axis == 1 && p.Y >= hi.MinY)
+		if upper {
+			n.hi.pts = append(n.hi.pts, p)
+		} else {
+			n.lo.pts = append(n.lo.pts, p)
+		}
+	}
+	n.pts = nil
+}
+
+// Contains reports whether p is stored.
+func (t *Tree) Contains(p geom.Point) bool {
+	if !t.cfg.Region.Contains(p) {
+		return false
+	}
+	n, block, depth := t.root, t.cfg.Region, 0
+	for !n.leaf() {
+		var c int
+		c, block = childOf(block, axisAt(depth), p)
+		if c == 0 {
+			n = n.lo
+		} else {
+			n = n.hi
+		}
+		depth++
+	}
+	for i := range n.pts {
+		if n.pts[i] == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Census returns the occupancy census of the tree's leaves.
+func (t *Tree) Census() stats.Census {
+	var b stats.CensusBuilder
+	total := t.cfg.Region.Area()
+	census(t.root, t.cfg.Region, 0, total, &b)
+	return b.Census()
+}
+
+func census(n *node, block geom.Rect, depth int, total float64, b *stats.CensusBuilder) {
+	if n.leaf() {
+		b.AddLeaf(depth, len(n.pts), block.Area()/total)
+		return
+	}
+	b.AddInternal(depth)
+	lo, hi := block.Halves(axisAt(depth))
+	census(n.lo, lo, depth+1, total, b)
+	census(n.hi, hi, depth+1, total, b)
+}

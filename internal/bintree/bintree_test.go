@@ -1,0 +1,156 @@
+package bintree
+
+import (
+	"testing"
+
+	"popana/internal/geom"
+	"popana/internal/xrand"
+)
+
+func randomPoints(rng *xrand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64(), rng.Float64())
+	}
+	return pts
+}
+
+func TestInsertContains(t *testing.T) {
+	tr := MustNew(Config{Capacity: 2})
+	pts := randomPoints(xrand.New(1), 500)
+	for _, p := range pts {
+		replaced, err := tr.Insert(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if replaced {
+			t.Fatal("fresh point reported replaced")
+		}
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for _, p := range pts {
+		if !tr.Contains(p) {
+			t.Fatalf("lost %v", p)
+		}
+	}
+	if tr.Contains(geom.Pt(0.123456, 0.654321)) {
+		t.Fatal("contains absent point")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{Capacity: 0}); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := New(Config{Capacity: 1, Region: geom.R(0, 0, 0, 1)}); err == nil {
+		t.Error("empty region accepted")
+	}
+	if _, err := New(Config{Capacity: 1, MaxDepth: -5}); err == nil {
+		t.Error("negative max depth accepted")
+	}
+	tr := MustNew(Config{Capacity: 1})
+	if _, err := tr.Insert(geom.Pt(1.2, 0.5)); err == nil {
+		t.Error("out-of-region point accepted")
+	}
+}
+
+func TestAlternatingAxes(t *testing.T) {
+	// Two points separated only in x split once (axis x at depth 0);
+	// two points separated only in y need two levels (y splits at odd
+	// depth).
+	tr := MustNew(Config{Capacity: 1})
+	if _, err := tr.Insert(geom.Pt(0.2, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Insert(geom.Pt(0.8, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if h := tr.Census().Height; h != 1 {
+		t.Fatalf("x-separated points at height %d, want 1", h)
+	}
+	tr2 := MustNew(Config{Capacity: 1})
+	if _, err := tr2.Insert(geom.Pt(0.2, 0.2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr2.Insert(geom.Pt(0.2, 0.8)); err != nil {
+		t.Fatal(err)
+	}
+	if h := tr2.Census().Height; h != 2 {
+		t.Fatalf("y-separated points at height %d, want 2", h)
+	}
+}
+
+func TestCapacityInvariant(t *testing.T) {
+	for _, m := range []int{1, 2, 5} {
+		tr := MustNew(Config{Capacity: m})
+		rng := xrand.New(uint64(m) + 7)
+		for i := 0; i < 1000; i++ {
+			if _, err := tr.Insert(geom.Pt(rng.Float64(), rng.Float64())); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c := tr.Census()
+		if c.Items != 1000 {
+			t.Fatalf("m=%d: items %d", m, c.Items)
+		}
+		for occ, cnt := range c.ByOccupancy {
+			if occ > m && cnt > 0 && c.Height < tr.cfg.MaxDepth {
+				t.Fatalf("m=%d: leaf with occupancy %d", m, occ)
+			}
+		}
+		// Binary split arithmetic: leaves = internal + 1.
+		if c.Leaves != c.Internal+1 {
+			t.Fatalf("m=%d: leaves %d, internal %d", m, c.Leaves, c.Internal)
+		}
+	}
+}
+
+func TestReplace(t *testing.T) {
+	tr := MustNew(Config{Capacity: 1})
+	p := geom.Pt(0.4, 0.6)
+	if _, err := tr.Insert(p); err != nil {
+		t.Fatal(err)
+	}
+	replaced, err := tr.Insert(p)
+	if err != nil || !replaced {
+		t.Fatalf("replace = %v, %v", replaced, err)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestMaxDepthTruncation(t *testing.T) {
+	tr := MustNew(Config{Capacity: 1, MaxDepth: 4})
+	for i := 0; i < 6; i++ {
+		if _, err := tr.Insert(geom.Pt(0.001+float64(i)*1e-5, 0.001)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h := tr.Census().Height; h > 4 {
+		t.Fatalf("height %d > 4", h)
+	}
+	if tr.Len() != 6 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestCensusAreas(t *testing.T) {
+	tr := MustNew(Config{Capacity: 1})
+	if _, err := tr.Insert(geom.Pt(0.2, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Insert(geom.Pt(0.8, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	c := tr.Census()
+	total := 0.0
+	for _, a := range c.AreaByOccupancy {
+		total += a
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("leaf areas sum to %v, want 1", total)
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"popana/internal/solver"
+	"popana/internal/vecmat"
+)
+
+func TestSolveWeightedUnitWeightsReducesToBase(t *testing.T) {
+	for _, m := range []int{1, 3, 8} {
+		model, _ := NewPointModel(m, 4)
+		base, err := model.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ones := make(vecmat.Vec, m+1)
+		for i := range ones {
+			ones[i] = 1
+		}
+		w, err := model.SolveWeighted(ones, solver.Options{})
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		for i := range base.E {
+			if math.Abs(base.E[i]-w.E[i]) > 1e-9 {
+				t.Errorf("m=%d: unit-weighted differs at %d: %v vs %v", m, i, base.E[i], w.E[i])
+			}
+		}
+	}
+}
+
+func TestSolveWeightedAgingDirection(t *testing.T) {
+	// Section IV's qualitative prediction: if high-occupancy nodes are
+	// bigger (weights increasing in occupancy), the stationary fraction
+	// of high-occupancy nodes — and hence the average occupancy — must
+	// drop below the base model.
+	model, _ := NewPointModel(4, 4)
+	base, err := model.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := vecmat.Vec{0.8, 0.9, 1.0, 1.15, 1.3} // larger blocks run fuller
+	corrected, err := model.SolveWeighted(weights, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrected.AverageOccupancy() >= base.AverageOccupancy() {
+		t.Errorf("aging correction raised occupancy: %v >= %v",
+			corrected.AverageOccupancy(), base.AverageOccupancy())
+	}
+	// And the reverse weighting must raise it.
+	inv := vecmat.Vec{1.3, 1.15, 1.0, 0.9, 0.8}
+	anti, err := model.SolveWeighted(inv, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anti.AverageOccupancy() <= base.AverageOccupancy() {
+		t.Errorf("anti-aging weighting lowered occupancy: %v <= %v",
+			anti.AverageOccupancy(), base.AverageOccupancy())
+	}
+}
+
+func TestSolveWeightedResidual(t *testing.T) {
+	model, _ := NewPointModel(5, 4)
+	weights := vecmat.Vec{0.9, 0.95, 1, 1.05, 1.1, 1.2}
+	d, err := model.SolveWeighted(weights, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := model.WeightedResidual(d.E, weights); r > 1e-9 {
+		t.Errorf("weighted residual %v", r)
+	}
+	if err := d.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveWeightedValidation(t *testing.T) {
+	model, _ := NewPointModel(2, 4)
+	if _, err := model.SolveWeighted(vecmat.Vec{1, 1}, solver.Options{}); err == nil {
+		t.Error("wrong-length weights accepted")
+	}
+	if _, err := model.SolveWeighted(vecmat.Vec{1, 0, 1}, solver.Options{}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := model.SolveWeighted(vecmat.Vec{1, -1, 1}, solver.Options{}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestSolveWeightedScaleInvariance(t *testing.T) {
+	// Only weight ratios matter.
+	model, _ := NewPointModel(3, 4)
+	w1 := vecmat.Vec{0.9, 1, 1.1, 1.2}
+	w2 := w1.Scale(7)
+	d1, err := model.SolveWeighted(w1, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := model.SolveWeighted(w2, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1.E {
+		if math.Abs(d1.E[i]-d2.E[i]) > 1e-9 {
+			t.Errorf("scaled weights changed solution at %d", i)
+		}
+	}
+}

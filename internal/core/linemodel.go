@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"popana/internal/binom"
+	"popana/internal/geom"
+	"popana/internal/vecmat"
+	"popana/internal/xrand"
+)
+
+// The line model reconstructs the population analysis of the PMR
+// quadtree from [Nels86a]/[Nels86b]. The original technical report
+// (TR-1740) is not available, so the model below is rebuilt from the PMR
+// splitting rule as this paper cites it — see DESIGN.md, "Substitutions".
+//
+// PMR splitting rule: a line segment is inserted into every leaf block it
+// crosses. If the insertion raises a leaf's occupancy above the splitting
+// threshold k, that leaf is split exactly once (never recursively), and
+// its segments are re-distributed into the quadrants they cross. A block
+// can therefore hold more than k segments; occupancy is unbounded in
+// principle but the tail decays geometrically, so the model truncates it.
+
+// LineModelOptions configures NewLineModel.
+type LineModelOptions struct {
+	// CrossProb is the probability that a segment stored in a block
+	// crosses any one particular quadrant of that block. Zero selects
+	// DefaultCrossProb (the random-chord value, estimated once by
+	// deterministic Monte Carlo).
+	CrossProb float64
+	// MaxOccupancy is the truncation point of the occupancy state
+	// space. Zero selects threshold+8, by which point the stationary
+	// mass is far below 1e-6 for every threshold the paper's range
+	// covers.
+	MaxOccupancy int
+}
+
+// NewLineModel builds the PMR population model for the given splitting
+// threshold k ≥ 1 and fanout F (4 for the planar PMR quadtree).
+//
+// Node types are occupancies 0..MaxOccupancy. Rows:
+//
+//   - i < k: the inserted segment just joins the block: type i → i+1.
+//   - i ≥ k: the block, now holding i+1 segments, splits once into F
+//     quadrants. Under the independence approximation each segment
+//     crosses a given quadrant with probability p, so the expected
+//     number of children with occupancy j is F·C(i+1,j)·p^j·(1−p)^(i+1−j).
+//     No recursive-split correction applies: PMR splits exactly once.
+//
+// The truncation folds the (tiny) probability of children above
+// MaxOccupancy into the top state so the transform matrix stays
+// conservative (row sums are exact).
+func NewLineModel(threshold, fanout int, opts LineModelOptions) (*Model, error) {
+	if threshold < 1 {
+		return nil, fmt.Errorf("core: PMR threshold %d < 1", threshold)
+	}
+	if fanout < 2 {
+		return nil, fmt.Errorf("core: fanout %d < 2", fanout)
+	}
+	p := opts.CrossProb
+	if p == 0 {
+		p = DefaultCrossProb()
+	}
+	if p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("core: crossing probability %g outside (0,1)", p)
+	}
+	maxOcc := opts.MaxOccupancy
+	if maxOcc == 0 {
+		maxOcc = threshold + 8
+	}
+	if maxOcc <= threshold {
+		return nil, fmt.Errorf("core: max occupancy %d must exceed threshold %d", maxOcc, threshold)
+	}
+	n := maxOcc + 1
+	t := vecmat.NewMat(n, n)
+	for i := 0; i < threshold; i++ {
+		t.Set(i, i+1, 1)
+	}
+	for i := threshold; i <= maxOcc; i++ {
+		// A block with i segments absorbs one more (i+1) and splits.
+		segs := i + 1
+		row := make(vecmat.Vec, n)
+		for j := 0; j <= segs; j++ {
+			exp := float64(fanout) * binom.PMF(segs, p, j)
+			jj := j
+			if jj > maxOcc {
+				jj = maxOcc // fold truncated tail into the top state
+			}
+			row[jj] += exp
+		}
+		t.SetRow(i, row)
+	}
+	return &Model{
+		T:        t,
+		Capacity: threshold,
+		Fanout:   fanout,
+		Desc:     fmt.Sprintf("PMR line model (threshold %d, fanout %d, p=%.4f)", threshold, fanout, p),
+	}, nil
+}
+
+var defaultCrossProb float64
+
+// DefaultCrossProb returns the probability that a random chord of a
+// square block crosses any one particular quadrant of the block, under
+// the random-chord model of internal/dist (endpoints uniform on the
+// boundary). The value is estimated once by Monte Carlo with a fixed
+// seed, so it is deterministic across runs; EstimateCrossProb exposes the
+// estimator for other segment models.
+func DefaultCrossProb() float64 {
+	if defaultCrossProb == 0 {
+		defaultCrossProb = EstimateCrossProb(xrand.New(0x9e3779b97f4a7c15), 200000)
+	}
+	return defaultCrossProb
+}
+
+// EstimateCrossProb estimates, for random chords of the unit square, the
+// probability that a chord crosses one particular quadrant. By symmetry
+// all four quadrants have the same probability, so the estimator averages
+// the number of quadrants crossed and divides by four.
+func EstimateCrossProb(rng *xrand.Rand, samples int) float64 {
+	if samples <= 0 {
+		panic("core: EstimateCrossProb needs samples > 0")
+	}
+	square := geom.UnitSquare
+	quads := [4]geom.Rect{}
+	for q := 0; q < 4; q++ {
+		quads[q] = square.Quadrant(q)
+	}
+	total := 0
+	for s := 0; s < samples; s++ {
+		a := boundaryPoint(square, rng)
+		b := boundaryPoint(square, rng)
+		if a == b {
+			s--
+			continue
+		}
+		seg := geom.Segment{A: a, B: b}
+		for q := 0; q < 4; q++ {
+			if crossesInterior(seg, quads[q]) {
+				total++
+			}
+		}
+	}
+	return float64(total) / float64(4*samples)
+}
+
+// crossesInterior reports whether seg's intersection with r has positive
+// length (touching a corner or running along an edge only does not make
+// the segment a tenant of the block).
+func crossesInterior(seg geom.Segment, r geom.Rect) bool {
+	clipped, ok := seg.ClipToRect(r)
+	return ok && clipped.Length() > 1e-12
+}
+
+func boundaryPoint(r geom.Rect, rng *xrand.Rand) geom.Point {
+	w, h := r.Width(), r.Height()
+	t := rng.Float64() * 2 * (w + h)
+	switch {
+	case t < w:
+		return geom.Point{X: r.MinX + t, Y: r.MinY}
+	case t < w+h:
+		return geom.Point{X: r.MaxX, Y: r.MinY + (t - w)}
+	case t < 2*w+h:
+		return geom.Point{X: r.MaxX - (t - w - h), Y: r.MaxY}
+	default:
+		return geom.Point{X: r.MinX, Y: r.MaxY - (t - 2*w - h)}
+	}
+}
+
+// ExpectedQuadrantsCrossed returns F·p — the expected number of child
+// blocks a stored segment lands in after a split, a quantity useful for
+// sanity-checking a crossing probability against geometry (a straight
+// chord of a square crosses between 1 and 3 of its quadrants).
+func ExpectedQuadrantsCrossed(fanout int, crossProb float64) float64 {
+	return float64(fanout) * crossProb
+}
+
+// TailMass returns the stationary probability mass at the truncation
+// state of a line-model distribution — callers can verify the truncation
+// point was generous enough.
+func TailMass(d Distribution) float64 {
+	if len(d.E) == 0 {
+		return math.NaN()
+	}
+	return d.E[len(d.E)-1]
+}

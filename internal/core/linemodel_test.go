@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"popana/internal/xrand"
+)
+
+func TestLineModelRows(t *testing.T) {
+	p := 0.5
+	m, err := NewLineModel(2, 4, LineModelOptions{CrossProb: p, MaxOccupancy: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows below the threshold shift occupancy.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < m.Types(); j++ {
+			want := 0.0
+			if j == i+1 {
+				want = 1
+			}
+			if got := m.T.At(i, j); got != want {
+				t.Errorf("T[%d][%d] = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+	// Split rows: expected children with occupancy j is
+	// 4·C(s,j)·p^j·(1-p)^(s-j) with s = i+1 segments.
+	for i := 2; i <= 6; i++ {
+		s := i + 1
+		for j := 0; j <= 6; j++ {
+			want := 4 * choose(s, j) * math.Pow(p, float64(j)) * math.Pow(1-p, float64(s-j))
+			if j == 6 { // truncation folds the tail in
+				for jj := 7; jj <= s; jj++ {
+					want += 4 * choose(s, jj) * math.Pow(p, float64(jj)) * math.Pow(1-p, float64(s-jj))
+				}
+			}
+			if got := m.T.At(i, j); math.Abs(got-want) > 1e-12 {
+				t.Errorf("T[%d][%d] = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestLineModelSplitRowSumsToFanout(t *testing.T) {
+	// PMR splits exactly once: every split row must sum to exactly F
+	// (no recursive-split correction).
+	m, err := NewLineModel(3, 4, LineModelOptions{CrossProb: 0.47})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := m.T.RowSums()
+	for i := 3; i < m.Types(); i++ {
+		if math.Abs(sums[i]-4) > 1e-10 {
+			t.Errorf("split row %d sums to %v, want 4", i, sums[i])
+		}
+	}
+}
+
+func TestLineModelSolves(t *testing.T) {
+	for k := 1; k <= 8; k++ {
+		m, err := NewLineModel(k, 4, LineModelOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := m.Solve()
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if tail := TailMass(d); tail > 1e-6 {
+			t.Errorf("k=%d: truncation tail %v too heavy", k, tail)
+		}
+		// Occupancy must exceed what a PR point tree of the same
+		// capacity achieves: PMR blocks can exceed the threshold.
+		if occ := d.AverageOccupancy(); occ <= 0 {
+			t.Errorf("k=%d: occupancy %v", k, occ)
+		}
+	}
+}
+
+func TestLineModelOccupancyGrowsWithP(t *testing.T) {
+	// Higher crossing probability keeps more segments per child, so
+	// the stationary occupancy must increase with p.
+	prev := 0.0
+	for _, p := range []float64{0.3, 0.4, 0.5, 0.6} {
+		m, err := NewLineModel(4, 4, LineModelOptions{CrossProb: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := m.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if occ := d.AverageOccupancy(); occ <= prev {
+			t.Errorf("occupancy not increasing at p=%v: %v <= %v", p, occ, prev)
+		} else {
+			prev = occ
+		}
+	}
+}
+
+func TestLineModelValidation(t *testing.T) {
+	if _, err := NewLineModel(0, 4, LineModelOptions{}); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+	if _, err := NewLineModel(1, 1, LineModelOptions{}); err == nil {
+		t.Error("fanout 1 accepted")
+	}
+	if _, err := NewLineModel(1, 4, LineModelOptions{CrossProb: 1.5}); err == nil {
+		t.Error("crossing probability 1.5 accepted")
+	}
+	if _, err := NewLineModel(4, 4, LineModelOptions{MaxOccupancy: 3}); err == nil {
+		t.Error("max occupancy below threshold accepted")
+	}
+}
+
+func TestEstimateCrossProbChords(t *testing.T) {
+	// Integral geometry: lines hitting a convex body in proportion to
+	// perimeter gives p = 1/2 for a quadrant of a square; the
+	// chord-endpoint model lands near that.
+	p := EstimateCrossProb(xrand.New(1), 100000)
+	if p < 0.45 || p > 0.55 {
+		t.Errorf("chord crossing probability %v, expected ≈ 0.5", p)
+	}
+	// A chord crosses between 1 and 3 quadrants, so 4p in [1, 3].
+	if e := ExpectedQuadrantsCrossed(4, p); e < 1 || e > 3 {
+		t.Errorf("expected quadrants crossed %v outside [1,3]", e)
+	}
+}
+
+func TestDefaultCrossProbDeterministic(t *testing.T) {
+	a := DefaultCrossProb()
+	b := DefaultCrossProb()
+	if a != b {
+		t.Errorf("DefaultCrossProb unstable: %v vs %v", a, b)
+	}
+	if a <= 0 || a >= 1 {
+		t.Errorf("DefaultCrossProb = %v", a)
+	}
+}
+
+func TestEstimateCrossProbPanicsOnBadSamples(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	EstimateCrossProb(xrand.New(1), 0)
+}
+
+func TestTailMassEmpty(t *testing.T) {
+	if !math.IsNaN(TailMass(Distribution{})) {
+		t.Error("TailMass of empty distribution not NaN")
+	}
+}

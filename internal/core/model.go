@@ -1,0 +1,186 @@
+// Package core implements population analysis, the primary contribution
+// of Nelson & Samet, "A Population Analysis for Hierarchical Data
+// Structures" (SIGMOD 1987).
+//
+// A bucketing hierarchical structure (PR quadtree, bintree, octree, PMR
+// quadtree, ...) is modeled as a set of populations, one per node
+// occupancy. Inserting one datum transforms a node of occupancy i into
+// the mix of nodes described by row i of a transform matrix T: for
+// unsaturated nodes the row simply shifts occupancy i to i+1; for a full
+// node the row is the expected occupancy profile of the blocks created by
+// splitting. The expected distribution ē of node occupancies is the
+// distribution that is stationary under insertion:
+//
+//	ē·T = a·ē,   a = Σᵢ ēᵢ·(row-sum of T row i),  Σᵢ ēᵢ = 1, ēᵢ > 0.
+//
+// The paper treats this as a system of quadratic equations and solves it
+// with a convergent iteration. This implementation additionally observes
+// that the system is precisely the Perron–Frobenius left-eigenproblem of
+// the non-negative matrix T: a is the spectral radius and ē the unique
+// positive left eigenvector, which is why the paper's iteration — power
+// iteration with L1 normalization — always converges and why "at most one
+// positive solution is possible" ([Nels86b]).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"popana/internal/binom"
+	"popana/internal/vecmat"
+)
+
+// Model is a population model of a bucketing hierarchical data structure:
+// node types 0..Types-1 (usually occupancies) and the transform matrix
+// describing the average result of one insertion into each type.
+type Model struct {
+	// T is the transform matrix. Row i gives the expected number of
+	// nodes of each type produced when a datum is inserted into a node
+	// of type i (the transformed node itself is consumed).
+	T *vecmat.Mat
+	// Capacity is the node capacity m (maximum occupancy before a
+	// split). For point models, Types == Capacity+1.
+	Capacity int
+	// Fanout is the number of children a split produces (4 for
+	// quadtrees, 2 for bintrees, 8 for octrees, 2^d in general).
+	Fanout int
+	// Desc describes the model for reports.
+	Desc string
+}
+
+// Types returns the number of node types in the model.
+func (m *Model) Types() int { return m.T.Rows }
+
+// NewPointModel builds the generalized PR model of Section III for node
+// capacity m ≥ 1 and fanout F ≥ 2.
+//
+// Rows 0..m-1 are occupancy shifts. Row m describes a split: m+1 items
+// distributed independently and uniformly over F congruent blocks, with
+// the recursive-split correction for the case that all m+1 items land in
+// the same block,
+//
+//	T[m][i] = C(m+1, i) · (F−1)^(m+1−i) / (F^m − 1),  i = 0..m,
+//
+// which reduces to the paper's 3^(m+1−i)/(4^m−1) expression at F = 4.
+// The row sum is (F^(m+1)−1)/(F^m−1), slightly more than F: a split
+// produces F blocks, plus the occasional recursive cascade.
+func NewPointModel(capacity, fanout int) (*Model, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("core: node capacity %d < 1", capacity)
+	}
+	if fanout < 2 {
+		return nil, fmt.Errorf("core: fanout %d < 2", fanout)
+	}
+	n := capacity + 1
+	t := vecmat.NewMat(n, n)
+	for i := 0; i < capacity; i++ {
+		t.Set(i, i+1, 1)
+	}
+	// Split row: expected children with occupancy i, corrected for the
+	// probability F^(1-capacity-1)... i.e. P_{m+1} = F^{-m} of recursing.
+	pAll := math.Pow(float64(fanout), -float64(capacity))
+	inv := 1 / (1 - pAll)
+	for i := 0; i <= capacity; i++ {
+		t.Set(capacity, i, binom.ExpectedBuckets(capacity+1, fanout, i)*inv)
+	}
+	return &Model{
+		T:        t,
+		Capacity: capacity,
+		Fanout:   fanout,
+		Desc:     fmt.Sprintf("PR point model (capacity %d, fanout %d)", capacity, fanout),
+	}, nil
+}
+
+// SplitRow returns the transform vector t_m of the splitting row — the
+// expected occupancy profile of the blocks created when a full node
+// absorbs one more point.
+func (m *Model) SplitRow() vecmat.Vec { return m.T.Row(m.T.Rows - 1) }
+
+// PostSplitOccupancy returns the expected average occupancy of a
+// population created entirely by splitting full nodes: the dot product
+// t_m · (0, 1, ..., m) divided by the expected number of blocks produced.
+// Table 3 of the paper shows experimental per-depth occupancies decaying
+// toward this value (0.40 for m=1, F=4, in the paper's per-node-count
+// normalization t_m·(0..m)/rowsum... the paper quotes the raw dot product
+// scaled by 1/(number of blocks per split); see OccupancyByDepth docs).
+func (m *Model) PostSplitOccupancy() float64 {
+	row := m.SplitRow()
+	occ := 0.0
+	n := 0.0
+	for i, v := range row {
+		occ += float64(i) * v
+		n += v
+	}
+	return occ / n
+}
+
+// Distribution is an expected distribution ē over node types, normalized
+// to sum to one.
+type Distribution struct {
+	E vecmat.Vec // proportions by node type (occupancy)
+	// A is the paper's normalization scalar a — the expected number of
+	// nodes produced per insertion — equal to the Perron eigenvalue of T.
+	A float64
+	// Iterations and Residual report the solve diagnostics.
+	Iterations int
+	Residual   float64
+}
+
+// AverageOccupancy returns ē·(0, 1, ..., m): the model's expected number
+// of data items per node (Table 2's "theoretical occupancy").
+func (d Distribution) AverageOccupancy() float64 {
+	s := 0.0
+	for i, e := range d.E {
+		s += float64(i) * e
+	}
+	return s
+}
+
+// Utilization returns average occupancy divided by capacity — the
+// expected storage utilization of a bucket.
+func (d Distribution) Utilization(capacity int) float64 {
+	if capacity <= 0 {
+		panic("core: Utilization with non-positive capacity")
+	}
+	return d.AverageOccupancy() / float64(capacity)
+}
+
+// NodesPerItem returns the expected number of nodes the structure holds
+// per stored item (the reciprocal of average occupancy) — the storage
+// cost metric a systems designer actually budgets with.
+func (d Distribution) NodesPerItem() float64 {
+	occ := d.AverageOccupancy()
+	if occ == 0 {
+		return math.Inf(1)
+	}
+	return 1 / occ
+}
+
+// EmptyFraction returns ē₀, the expected proportion of empty nodes.
+func (d Distribution) EmptyFraction() float64 { return d.E[0] }
+
+// FullFraction returns ē_m, the expected proportion of full nodes.
+func (d Distribution) FullFraction() float64 { return d.E[len(d.E)-1] }
+
+// Validate checks the invariants every expected distribution must have:
+// components positive, summing to one, with finite diagnostics. It
+// returns a descriptive error on the first violation.
+func (d Distribution) Validate() error {
+	sum := 0.0
+	for i, e := range d.E {
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			return fmt.Errorf("core: component %d is %v", i, e)
+		}
+		if e <= 0 {
+			return fmt.Errorf("core: component %d = %g is not positive", i, e)
+		}
+		sum += e
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("core: distribution sums to %.12g, want 1", sum)
+	}
+	if d.A <= 1 {
+		return fmt.Errorf("core: normalization a = %g must exceed 1", d.A)
+	}
+	return nil
+}

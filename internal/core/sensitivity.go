@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"popana/internal/vecmat"
+)
+
+// Sensitivity analysis. The line model's one free parameter is the
+// quadrant-crossing probability p, which experiments estimate from
+// simulated trees (E8). The derivative of the model's predictions with
+// respect to p prices that estimation error: a measurement error Δp
+// moves the predicted occupancy by ≈ OccupancySensitivity·Δp. The same
+// machinery applies to any scalar parameterization of a model family.
+
+// SensitivityResult reports the first-order response of a model family
+// to its scalar parameter.
+type SensitivityResult struct {
+	// Occupancy and its derivative with respect to the parameter.
+	Occupancy  float64
+	DOccupancy float64
+	// DE[i] is the derivative of the expected-distribution component i.
+	DE vecmat.Vec
+	// Parameter is the value the derivatives were taken at.
+	Parameter float64
+}
+
+// LineModelSensitivity computes the line model's sensitivity to the
+// crossing probability p at the given threshold and fanout, by central
+// finite differences with step h (zero selects 1e-5).
+func LineModelSensitivity(threshold, fanout int, p, h float64) (SensitivityResult, error) {
+	if h == 0 {
+		h = 1e-5
+	}
+	if p-h <= 0 || p+h >= 1 {
+		return SensitivityResult{}, fmt.Errorf("core: sensitivity step %g leaves (0,1) at p=%g", h, p)
+	}
+	solveAt := func(pp float64) (Distribution, error) {
+		m, err := NewLineModel(threshold, fanout, LineModelOptions{CrossProb: pp})
+		if err != nil {
+			return Distribution{}, err
+		}
+		return m.Solve()
+	}
+	center, err := solveAt(p)
+	if err != nil {
+		return SensitivityResult{}, err
+	}
+	lo, err := solveAt(p - h)
+	if err != nil {
+		return SensitivityResult{}, err
+	}
+	hi, err := solveAt(p + h)
+	if err != nil {
+		return SensitivityResult{}, err
+	}
+	de := make(vecmat.Vec, len(center.E))
+	for i := range de {
+		de[i] = (hi.E[i] - lo.E[i]) / (2 * h)
+	}
+	return SensitivityResult{
+		Occupancy:  center.AverageOccupancy(),
+		DOccupancy: (hi.AverageOccupancy() - lo.AverageOccupancy()) / (2 * h),
+		DE:         de,
+		Parameter:  p,
+	}, nil
+}
+
+// RelativeError returns the relative occupancy error a parameter
+// mismeasurement dp induces, to first order.
+func (s SensitivityResult) RelativeError(dp float64) float64 {
+	if s.Occupancy == 0 {
+		return 0
+	}
+	return s.DOccupancy * dp / s.Occupancy
+}
+
+// CapacityLadder returns the model-predicted occupancy for every
+// capacity in [1, maxCapacity] at a fixed fanout — the discrete
+// "derivative" a designer actually tunes. (The continuous sensitivities
+// above complement it for the continuous parameter.)
+func CapacityLadder(fanout, maxCapacity int) ([]float64, error) {
+	out := make([]float64, 0, maxCapacity)
+	for m := 1; m <= maxCapacity; m++ {
+		model, err := NewPointModel(m, fanout)
+		if err != nil {
+			return nil, err
+		}
+		d, err := model.Solve()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d.AverageOccupancy())
+	}
+	return out, nil
+}

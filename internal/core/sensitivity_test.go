@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLineModelSensitivityPositive(t *testing.T) {
+	// Occupancy increases with p (children keep more segments), so the
+	// derivative must be positive and consistent with an explicit
+	// larger-step difference.
+	s, err := LineModelSensitivity(4, 4, 0.45, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DOccupancy <= 0 {
+		t.Fatalf("dOcc/dp = %v, want positive", s.DOccupancy)
+	}
+	// Compare against a coarse difference.
+	mLo, _ := NewLineModel(4, 4, LineModelOptions{CrossProb: 0.40})
+	mHi, _ := NewLineModel(4, 4, LineModelOptions{CrossProb: 0.50})
+	dLo, err := mLo.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dHi, err := mHi.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse := (dHi.AverageOccupancy() - dLo.AverageOccupancy()) / 0.10
+	if math.Abs(s.DOccupancy-coarse)/coarse > 0.10 {
+		t.Errorf("fine derivative %v vs coarse %v", s.DOccupancy, coarse)
+	}
+}
+
+func TestSensitivityDistributionDerivativesSumToZero(t *testing.T) {
+	// Σᵢ eᵢ = 1 for all p, so Σᵢ deᵢ/dp = 0.
+	s, err := LineModelSensitivity(3, 4, 0.45, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, d := range s.DE {
+		sum += d
+	}
+	if math.Abs(sum) > 1e-5 {
+		t.Errorf("distribution derivatives sum to %v, want 0", sum)
+	}
+}
+
+func TestSensitivityRelativeError(t *testing.T) {
+	s, err := LineModelSensitivity(4, 4, 0.43, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E8 measures p within about ±0.01; the induced occupancy error
+	// must stay below ~6% for the experiment's conclusions to be
+	// meaningful — this quantifies the methodology's robustness.
+	if rel := math.Abs(s.RelativeError(0.01)); rel > 0.06 {
+		t.Errorf("±0.01 in p induces %.1f%% occupancy error", 100*rel)
+	}
+	if (SensitivityResult{}).RelativeError(0.5) != 0 {
+		t.Error("zero-occupancy relative error not 0")
+	}
+}
+
+func TestSensitivityValidation(t *testing.T) {
+	if _, err := LineModelSensitivity(4, 4, 0.000001, 1e-5); err == nil {
+		t.Error("p at the boundary accepted")
+	}
+	if _, err := LineModelSensitivity(0, 4, 0.4, 0); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+}
+
+func TestCapacityLadder(t *testing.T) {
+	occ, err := CapacityLadder(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(occ) != 8 {
+		t.Fatalf("ladder length %d", len(occ))
+	}
+	// Matches Table 2's theory column and is strictly increasing.
+	want := []float64{0.50, 1.03, 1.56, 2.10, 2.63, 3.17, 3.72, 4.25}
+	for i := range occ {
+		if math.Abs(occ[i]-want[i]) > 0.011 {
+			t.Errorf("ladder[%d] = %v, want %v", i, occ[i], want[i])
+		}
+		if i > 0 && occ[i] <= occ[i-1] {
+			t.Errorf("ladder not increasing at %d", i)
+		}
+	}
+	if _, err := CapacityLadder(1, 3); err == nil {
+		t.Error("fanout 1 accepted")
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"popana/internal/solver"
+	"popana/internal/vecmat"
+)
+
+// Solve computes the expected distribution ē of the model: the unique
+// positive solution of ē·T = a·ē with Σē = 1.
+//
+// The method is the paper's own: iterate e ← (e·T)/‖e·T‖₁ from the
+// uniform vector. Because the component sum of e·T equals a(e) when e is
+// normalized, this is exactly the fixed-point iteration of the quadratic
+// system — and simultaneously power iteration on the non-negative,
+// primitive matrix T, so convergence to the unique positive solution is
+// guaranteed at the rate |λ₂/λ₁|.
+func (m *Model) Solve() (Distribution, error) {
+	return m.SolveOpts(solver.Options{})
+}
+
+// SolveOpts is Solve with explicit numerical options.
+func (m *Model) SolveOpts(opts solver.Options) (Distribution, error) {
+	n := m.Types()
+	x0 := uniformVec(n)
+	step := func(e vecmat.Vec) vecmat.Vec {
+		return m.T.VecMul(e).Normalize1()
+	}
+	res, err := solver.FixedPoint(step, x0, opts)
+	if err != nil {
+		return Distribution{}, fmt.Errorf("core: solving %s: %w", m.Desc, err)
+	}
+	e := res.X.Normalize1()
+	d := Distribution{
+		E:          e,
+		A:          m.normalization(e),
+		Iterations: res.Iterations,
+		Residual:   res.Residual,
+	}
+	if err := d.Validate(); err != nil {
+		return Distribution{}, fmt.Errorf("core: %s produced an invalid distribution: %w", m.Desc, err)
+	}
+	return d, nil
+}
+
+// SolveNewton solves the same system by Newton–Raphson on
+//
+//	Fᵢ(e) = (e·T − a(e)·e)ᵢ   for i = 0..n-2,
+//	F_{n-1}(e) = Σe − 1,
+//
+// replacing the last (linearly dependent) balance equation with the
+// simplex constraint. It exists to cross-validate Solve; the two must
+// agree to ~1e-12 (enforced by tests).
+func (m *Model) SolveNewton(opts solver.Options) (Distribution, error) {
+	n := m.Types()
+	F := func(e vecmat.Vec) vecmat.Vec {
+		a := m.normalization(e)
+		et := m.T.VecMul(e)
+		out := make(vecmat.Vec, n)
+		for i := 0; i < n-1; i++ {
+			out[i] = et[i] - a*e[i]
+		}
+		out[n-1] = e.Sum() - 1
+		return out
+	}
+	res, err := solver.Newton(F, uniformVec(n), opts)
+	if err != nil {
+		return Distribution{}, fmt.Errorf("core: Newton solve of %s: %w", m.Desc, err)
+	}
+	e := res.X
+	d := Distribution{
+		E:          e,
+		A:          m.normalization(e),
+		Iterations: res.Iterations,
+		Residual:   res.Residual,
+	}
+	if err := d.Validate(); err != nil {
+		return Distribution{}, fmt.Errorf("core: Newton solve of %s produced an invalid distribution: %w", m.Desc, err)
+	}
+	return d, nil
+}
+
+// normalization returns the paper's scalar a(e) = Σᵢⱼ Tᵢⱼ eᵢ — the
+// expected number of new nodes per insertion when the current
+// distribution is e.
+func (m *Model) normalization(e vecmat.Vec) float64 {
+	return m.T.RowSums().Dot(e)
+}
+
+// Residual returns ‖e·T − a(e)·e‖∞ for a candidate distribution —
+// how far e is from being a true fixed point. Tests and the experiment
+// harness use it to certify solutions.
+func (m *Model) Residual(e vecmat.Vec) float64 {
+	a := m.normalization(e)
+	et := m.T.VecMul(e)
+	r := 0.0
+	for i := range e {
+		if v := math.Abs(et[i] - a*e[i]); v > r {
+			r = v
+		}
+	}
+	return r
+}
+
+// SimplePRExact returns the closed-form solution for the simple PR
+// quadtree (capacity 1, fanout 4) derived analytically in Section III:
+// ē = (1/2, 1/2). The transform matrix is T = [[0,1],[3,2]], so
+// ē·T = (3/2, 3/2) = 3·ē and the normalization scalar is a = 3.
+// It anchors the numerical solvers.
+func SimplePRExact() Distribution {
+	return Distribution{E: vecmat.Vec{0.5, 0.5}, A: 3}
+}
+
+func uniformVec(n int) vecmat.Vec {
+	v := make(vecmat.Vec, n)
+	for i := range v {
+		v[i] = 1 / float64(n)
+	}
+	return v
+}

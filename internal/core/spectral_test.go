@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"popana/internal/vecmat"
+)
+
+func TestSpectrumSimplePR(t *testing.T) {
+	// T = [[0,1],[3,2]] has eigenvalues 3 and -1, so λ₁ = 3 (the
+	// normalization a) and |λ₂| = 1, gap 1/3.
+	m, _ := NewPointModel(1, 4)
+	s, err := m.Spectrum(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Lambda1-3) > 1e-10 {
+		t.Errorf("λ₁ = %v, want 3", s.Lambda1)
+	}
+	if math.Abs(s.Lambda2Abs-1) > 1e-6 {
+		t.Errorf("|λ₂| = %v, want 1", s.Lambda2Abs)
+	}
+	if math.Abs(s.Gap-1.0/3) > 1e-6 {
+		t.Errorf("gap = %v, want 1/3", s.Gap)
+	}
+}
+
+func TestSpectrumLambda1MatchesSolve(t *testing.T) {
+	for _, f := range []int{2, 4, 8} {
+		for _, m := range []int{1, 3, 8} {
+			model, _ := NewPointModel(m, f)
+			d, err := model.Solve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := model.Spectrum(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(s.Lambda1-d.A) > 1e-9 {
+				t.Errorf("F=%d m=%d: λ₁ %v vs a %v", f, m, s.Lambda1, d.A)
+			}
+			if s.Gap < 0 || s.Gap >= 1.00001 {
+				t.Errorf("F=%d m=%d: gap %v outside [0,1)", f, m, s.Gap)
+			}
+		}
+	}
+}
+
+func TestSpectrumRightEigenvector(t *testing.T) {
+	m, _ := NewPointModel(4, 4)
+	s, err := m.Spectrum(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T·r = λ₁·r.
+	tr := m.T.MulVec(s.Right)
+	for i := range s.Right {
+		if math.Abs(tr[i]-s.Lambda1*s.Right[i]) > 1e-8 {
+			t.Fatalf("right eigenvector residual at %d: %v vs %v", i, tr[i], s.Lambda1*s.Right[i])
+		}
+	}
+	// Biorthogonal scaling e·r = 1.
+	if math.Abs(s.Left.Dot(s.Right)-1) > 1e-9 {
+		t.Fatalf("e·r = %v", s.Left.Dot(s.Right))
+	}
+}
+
+func TestSpectrumGapPredictsIteration(t *testing.T) {
+	// The fixed-point solver's iteration count should scale like
+	// log(tol)/log(gap); check the ordering across capacities: larger
+	// m ⇒ smaller spectral gap distance from 1 ⇒ more iterations.
+	var gaps []float64
+	var iters []int
+	for _, m := range []int{2, 4, 8} {
+		model, _ := NewPointModel(m, 4)
+		s, err := model.Spectrum(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := model.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gaps = append(gaps, s.Gap)
+		iters = append(iters, d.Iterations)
+	}
+	for i := 1; i < len(gaps); i++ {
+		if gaps[i] <= gaps[i-1] {
+			t.Errorf("gap not increasing with capacity: %v", gaps)
+		}
+		if iters[i] <= iters[i-1] {
+			t.Errorf("iterations not increasing with capacity: %v", iters)
+		}
+	}
+}
+
+func TestMixingInsertions(t *testing.T) {
+	s := Spectrum{Gap: math.Exp(-1)}
+	if got := s.MixingInsertions(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("mixing = %v, want 1", got)
+	}
+	if got := (Spectrum{Gap: 0}).MixingInsertions(); got != 0 {
+		t.Errorf("zero gap mixing %v", got)
+	}
+	if got := (Spectrum{Gap: 1}).MixingInsertions(); !math.IsInf(got, 1) {
+		t.Errorf("unit gap mixing %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := geoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("geoMean = %v", got)
+	}
+	if !math.IsNaN(geoMean(nil)) {
+		t.Error("empty geoMean not NaN")
+	}
+}
+
+func TestSpectrumLineModel(t *testing.T) {
+	m, err := NewLineModel(4, 4, LineModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Spectrum(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Lambda1 <= 1 || s.Gap <= 0 || s.Gap >= 1 {
+		t.Fatalf("line model spectrum %+v", s)
+	}
+	_ = vecmat.Vec{} // keep the import for clarity of the file's domain
+}

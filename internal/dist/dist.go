@@ -1,0 +1,298 @@
+// Package dist generates the synthetic workloads used throughout the
+// paper's evaluation: uniformly distributed points (Tables 1-4, Figure 2),
+// Gaussian-distributed points (Table 5, Figure 3), and the extra
+// distributions used by this repository's extension experiments
+// (clusters, grids, and random line segments for the PMR quadtree).
+//
+// Every generator draws from an explicit *xrand.Rand so experiments are
+// reproducible, and every generator confines its output to a target
+// rectangle because the trees cover a fixed region.
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"popana/internal/geom"
+	"popana/internal/xrand"
+)
+
+// PointSource yields a stream of points inside a fixed region.
+type PointSource interface {
+	// Next returns the next point. Implementations must return points
+	// inside their region (rejection-sampling if necessary).
+	Next() geom.Point
+	// Region returns the rectangle all generated points lie in.
+	Region() geom.Rect
+}
+
+// Points draws n points from src.
+func Points(src PointSource, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = src.Next()
+	}
+	return pts
+}
+
+// Uniform generates independent points uniformly distributed over a
+// rectangle. This is the data model under which the paper derives the
+// transform matrices.
+type Uniform struct {
+	rect geom.Rect
+	rng  *xrand.Rand
+}
+
+// NewUniform returns a uniform source over rect seeded by rng.
+func NewUniform(rect geom.Rect, rng *xrand.Rand) *Uniform {
+	if rect.Empty() {
+		panic("dist: NewUniform with empty rect")
+	}
+	return &Uniform{rect: rect, rng: rng}
+}
+
+// Next implements PointSource.
+func (u *Uniform) Next() geom.Point {
+	return geom.Point{
+		X: u.rect.MinX + u.rng.Float64()*u.rect.Width(),
+		Y: u.rect.MinY + u.rng.Float64()*u.rect.Height(),
+	}
+}
+
+// Region implements PointSource.
+func (u *Uniform) Region() geom.Rect { return u.rect }
+
+// Gaussian generates points from an isotropic normal distribution
+// centered in a rectangle, truncated to the rectangle by rejection.
+//
+// The paper describes "a Gaussian distribution of points two standard
+// deviations wide centered in the square region": the region's half-width
+// equals two standard deviations, i.e. sigma = side/4, so about 95% of
+// the mass falls inside each axis before truncation. NewGaussian uses
+// that default; NewGaussianSigma lets extension experiments vary it.
+type Gaussian struct {
+	rect   geom.Rect
+	center geom.Point
+	sigmaX float64
+	sigmaY float64
+	rng    *xrand.Rand
+}
+
+// NewGaussian returns the paper's Gaussian source over rect.
+func NewGaussian(rect geom.Rect, rng *xrand.Rand) *Gaussian {
+	return NewGaussianSigma(rect, rect.Width()/4, rect.Height()/4, rng)
+}
+
+// NewGaussianSigma returns a Gaussian source with explicit per-axis
+// standard deviations.
+func NewGaussianSigma(rect geom.Rect, sigmaX, sigmaY float64, rng *xrand.Rand) *Gaussian {
+	if rect.Empty() {
+		panic("dist: NewGaussianSigma with empty rect")
+	}
+	if sigmaX <= 0 || sigmaY <= 0 {
+		panic(fmt.Sprintf("dist: non-positive sigma (%g, %g)", sigmaX, sigmaY))
+	}
+	return &Gaussian{
+		rect:   rect,
+		center: rect.Center(),
+		sigmaX: sigmaX,
+		sigmaY: sigmaY,
+		rng:    rng,
+	}
+}
+
+// Next implements PointSource, rejection-sampling until the deviate lands
+// inside the region.
+func (g *Gaussian) Next() geom.Point {
+	for {
+		p := geom.Point{
+			X: g.center.X + g.rng.NormFloat64()*g.sigmaX,
+			Y: g.center.Y + g.rng.NormFloat64()*g.sigmaY,
+		}
+		if g.rect.Contains(p) {
+			return p
+		}
+	}
+}
+
+// Region implements PointSource.
+func (g *Gaussian) Region() geom.Rect { return g.rect }
+
+// Clusters generates points from a mixture of k Gaussian clusters whose
+// centers are drawn uniformly at construction time. It models the
+// clustered geographic data (cities, road endpoints) that motivated the
+// authors' GIS work, and is used by extension experiments to probe how
+// far from uniform the model stays useful.
+type Clusters struct {
+	rect    geom.Rect
+	centers []geom.Point
+	sigma   float64
+	rng     *xrand.Rand
+}
+
+// NewClusters returns a k-cluster source with per-cluster standard
+// deviation sigma.
+func NewClusters(rect geom.Rect, k int, sigma float64, rng *xrand.Rand) *Clusters {
+	if k <= 0 {
+		panic("dist: NewClusters needs k >= 1")
+	}
+	if sigma <= 0 {
+		panic("dist: NewClusters needs sigma > 0")
+	}
+	c := &Clusters{rect: rect, sigma: sigma, rng: rng}
+	u := NewUniform(rect, rng)
+	c.centers = Points(u, k)
+	return c
+}
+
+// Next implements PointSource.
+func (c *Clusters) Next() geom.Point {
+	center := c.centers[c.rng.Intn(len(c.centers))]
+	for {
+		p := geom.Point{
+			X: center.X + c.rng.NormFloat64()*c.sigma,
+			Y: center.Y + c.rng.NormFloat64()*c.sigma,
+		}
+		if c.rect.Contains(p) {
+			return p
+		}
+	}
+}
+
+// Region implements PointSource.
+func (c *Clusters) Region() geom.Rect { return c.rect }
+
+// Diagonal generates points spread uniformly along the main diagonal with
+// small isotropic jitter — a pathological, strongly one-dimensional
+// distribution used by the failure-injection tests (hierarchical
+// structures degrade gracefully but the population model's uniformity
+// assumption is maximally violated).
+type Diagonal struct {
+	rect   geom.Rect
+	jitter float64
+	rng    *xrand.Rand
+}
+
+// NewDiagonal returns a diagonal source with the given jitter amplitude
+// (as a fraction of the region's width).
+func NewDiagonal(rect geom.Rect, jitter float64, rng *xrand.Rand) *Diagonal {
+	if jitter < 0 {
+		panic("dist: NewDiagonal with negative jitter")
+	}
+	return &Diagonal{rect: rect, jitter: jitter, rng: rng}
+}
+
+// Next implements PointSource.
+func (d *Diagonal) Next() geom.Point {
+	for {
+		t := d.rng.Float64()
+		p := geom.Point{
+			X: d.rect.MinX + t*d.rect.Width() + (d.rng.Float64()-0.5)*d.jitter*d.rect.Width(),
+			Y: d.rect.MinY + t*d.rect.Height() + (d.rng.Float64()-0.5)*d.jitter*d.rect.Height(),
+		}
+		if d.rect.Contains(p) {
+			return p
+		}
+	}
+}
+
+// Region implements PointSource.
+func (d *Diagonal) Region() geom.Rect { return d.rect }
+
+// SegmentSource yields a stream of line segments for the PMR quadtree
+// experiments.
+type SegmentSource interface {
+	Next() geom.Segment
+	Region() geom.Rect
+}
+
+// Chords generates random chords of the region: segments whose endpoints
+// are drawn uniformly and independently on the region's boundary. This is
+// the "random lines" model under which the line population analysis
+// [Nels86b] is reconstructed.
+type Chords struct {
+	rect geom.Rect
+	rng  *xrand.Rand
+}
+
+// NewChords returns a chord source over rect.
+func NewChords(rect geom.Rect, rng *xrand.Rand) *Chords {
+	if rect.Empty() {
+		panic("dist: NewChords with empty rect")
+	}
+	return &Chords{rect: rect, rng: rng}
+}
+
+// Next implements SegmentSource. Endpoints are resampled until distinct
+// so zero-length chords never appear.
+func (c *Chords) Next() geom.Segment {
+	for {
+		a, b := c.boundaryPoint(), c.boundaryPoint()
+		if a != b {
+			return geom.Segment{A: a, B: b}
+		}
+	}
+}
+
+// boundaryPoint returns a point uniform (by perimeter length) on the
+// boundary of the region.
+func (c *Chords) boundaryPoint() geom.Point {
+	w, h := c.rect.Width(), c.rect.Height()
+	t := c.rng.Float64() * 2 * (w + h)
+	switch {
+	case t < w:
+		return geom.Point{X: c.rect.MinX + t, Y: c.rect.MinY}
+	case t < w+h:
+		return geom.Point{X: c.rect.MaxX, Y: c.rect.MinY + (t - w)}
+	case t < 2*w+h:
+		return geom.Point{X: c.rect.MaxX - (t - w - h), Y: c.rect.MaxY}
+	default:
+		return geom.Point{X: c.rect.MinX, Y: c.rect.MaxY - (t - 2*w - h)}
+	}
+}
+
+// Region implements SegmentSource.
+func (c *Chords) Region() geom.Rect { return c.rect }
+
+// ShortSegments generates segments with uniformly random start points and
+// a fixed length at a uniformly random angle, clipped to the region.
+// This approximates the road-segment data of the authors' GIS system.
+type ShortSegments struct {
+	rect   geom.Rect
+	length float64
+	rng    *xrand.Rand
+}
+
+// NewShortSegments returns a source of segments of the given length
+// (as a fraction of the region width) clipped to rect.
+func NewShortSegments(rect geom.Rect, lengthFrac float64, rng *xrand.Rand) *ShortSegments {
+	if lengthFrac <= 0 {
+		panic("dist: NewShortSegments needs a positive length")
+	}
+	return &ShortSegments{rect: rect, length: lengthFrac * rect.Width(), rng: rng}
+}
+
+// Next implements SegmentSource.
+func (s *ShortSegments) Next() geom.Segment {
+	u := NewUniform(s.rect, s.rng)
+	for {
+		a := u.Next()
+		// Uniform angle via a random point on the unit circle.
+		x, y := s.rng.NormFloat64(), s.rng.NormFloat64()
+		n := x*x + y*y
+		if n == 0 {
+			continue
+		}
+		inv := s.length / sqrt(n)
+		b := geom.Point{X: a.X + x*inv, Y: a.Y + y*inv}
+		seg := geom.Segment{A: a, B: b}
+		if clipped, ok := seg.ClipToRect(s.rect); ok && clipped.Length() > 0 {
+			return clipped
+		}
+	}
+}
+
+// Region implements SegmentSource.
+func (s *ShortSegments) Region() geom.Rect { return s.rect }
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }

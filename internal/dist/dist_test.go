@@ -1,0 +1,242 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"popana/internal/geom"
+	"popana/internal/xrand"
+)
+
+func TestUniformInRegion(t *testing.T) {
+	r := geom.R(2, 3, 5, 7)
+	u := NewUniform(r, xrand.New(1))
+	for i := 0; i < 10000; i++ {
+		p := u.Next()
+		if !r.Contains(p) {
+			t.Fatalf("point %v outside %v", p, r)
+		}
+	}
+	if u.Region() != r {
+		t.Fatal("Region mismatch")
+	}
+}
+
+func TestUniformCoverage(t *testing.T) {
+	// All four quadrants get roughly a quarter of the mass.
+	r := geom.UnitSquare
+	u := NewUniform(r, xrand.New(2))
+	counts := [4]int{}
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[r.QuadrantOf(u.Next())]++
+	}
+	for q, c := range counts {
+		if math.Abs(float64(c)-n/4) > 5*math.Sqrt(n/4) {
+			t.Errorf("quadrant %d: %d draws", q, c)
+		}
+	}
+}
+
+func TestGaussianInRegionAndCentered(t *testing.T) {
+	r := geom.UnitSquare
+	g := NewGaussian(r, xrand.New(3))
+	const n = 20000
+	var sx, sy float64
+	center := 0
+	for i := 0; i < n; i++ {
+		p := g.Next()
+		if !r.Contains(p) {
+			t.Fatalf("point %v outside region", p)
+		}
+		sx += p.X
+		sy += p.Y
+		if p.X > 0.25 && p.X < 0.75 && p.Y > 0.25 && p.Y < 0.75 {
+			center++
+		}
+	}
+	if math.Abs(sx/n-0.5) > 0.01 || math.Abs(sy/n-0.5) > 0.01 {
+		t.Errorf("mean (%v, %v), want (0.5, 0.5)", sx/n, sy/n)
+	}
+	// With sigma = 1/4, the central half-square holds ~(0.683)² ≈ 47%
+	// before truncation — far more than the uniform 25%.
+	if frac := float64(center) / n; frac < 0.35 {
+		t.Errorf("central mass %v, expected concentration", frac)
+	}
+}
+
+func TestGaussianSigmaValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for sigma <= 0")
+		}
+	}()
+	NewGaussianSigma(geom.UnitSquare, 0, 1, xrand.New(1))
+}
+
+func TestClustersInRegion(t *testing.T) {
+	r := geom.UnitSquare
+	c := NewClusters(r, 5, 0.03, xrand.New(5))
+	for i := 0; i < 5000; i++ {
+		if p := c.Next(); !r.Contains(p) {
+			t.Fatalf("point %v outside region", p)
+		}
+	}
+}
+
+func TestClustersAreClustered(t *testing.T) {
+	// Mean nearest-centroid distance must be about sigma, far below
+	// the uniform expectation.
+	r := geom.UnitSquare
+	c := NewClusters(r, 3, 0.02, xrand.New(6))
+	var sum float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		p := c.Next()
+		best := math.Inf(1)
+		for _, ct := range c.centers {
+			best = math.Min(best, p.Dist(ct))
+		}
+		sum += best
+	}
+	if mean := sum / n; mean > 0.1 {
+		t.Errorf("mean distance to nearest center %v — not clustered", mean)
+	}
+}
+
+func TestClustersValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewClusters(geom.UnitSquare, 0, 0.1, xrand.New(1)) },
+		func() { NewClusters(geom.UnitSquare, 2, 0, xrand.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDiagonal(t *testing.T) {
+	r := geom.UnitSquare
+	d := NewDiagonal(r, 0.02, xrand.New(7))
+	for i := 0; i < 3000; i++ {
+		p := d.Next()
+		if !r.Contains(p) {
+			t.Fatalf("point %v outside region", p)
+		}
+		if math.Abs(p.X-p.Y) > 0.05 {
+			t.Fatalf("point %v far from diagonal", p)
+		}
+	}
+}
+
+func TestChordsOnBoundary(t *testing.T) {
+	r := geom.UnitSquare
+	c := NewChords(r, xrand.New(8))
+	onBoundary := func(p geom.Point) bool {
+		const eps = 1e-12
+		onX := math.Abs(p.X-r.MinX) < eps || math.Abs(p.X-r.MaxX) < eps
+		onY := math.Abs(p.Y-r.MinY) < eps || math.Abs(p.Y-r.MaxY) < eps
+		inX := p.X >= r.MinX-eps && p.X <= r.MaxX+eps
+		inY := p.Y >= r.MinY-eps && p.Y <= r.MaxY+eps
+		return (onX && inY) || (onY && inX)
+	}
+	for i := 0; i < 5000; i++ {
+		s := c.Next()
+		if !onBoundary(s.A) || !onBoundary(s.B) {
+			t.Fatalf("chord %v endpoints not on boundary", s)
+		}
+		if s.A == s.B {
+			t.Fatal("degenerate chord")
+		}
+	}
+}
+
+func TestShortSegments(t *testing.T) {
+	r := geom.UnitSquare
+	src := NewShortSegments(r, 0.05, xrand.New(9))
+	for i := 0; i < 3000; i++ {
+		s := src.Next()
+		if l := s.Length(); l <= 0 || l > 0.05+1e-9 {
+			t.Fatalf("segment length %v", l)
+		}
+		// Clipped to region: both endpoints inside its closure.
+		for _, p := range []geom.Point{s.A, s.B} {
+			if p.X < -1e-9 || p.X > 1+1e-9 || p.Y < -1e-9 || p.Y > 1+1e-9 {
+				t.Fatalf("endpoint %v outside region", p)
+			}
+		}
+	}
+}
+
+func TestPointsHelper(t *testing.T) {
+	u := NewUniform(geom.UnitSquare, xrand.New(10))
+	pts := Points(u, 17)
+	if len(pts) != 17 {
+		t.Fatalf("Points returned %d", len(pts))
+	}
+}
+
+func TestSourceValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for empty rect")
+		}
+	}()
+	NewUniform(geom.R(1, 1, 1, 1), xrand.New(1))
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewUniform(geom.UnitSquare, xrand.New(55))
+	b := NewUniform(geom.UnitSquare, xrand.New(55))
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed, different stream")
+		}
+	}
+}
+
+func TestRegionAccessors(t *testing.T) {
+	r := geom.R(0, 0, 2, 2)
+	rng := xrand.New(20)
+	sources := []PointSource{
+		NewUniform(r, rng),
+		NewGaussian(r, rng),
+		NewClusters(r, 2, 0.1, rng),
+		NewDiagonal(r, 0.01, rng),
+	}
+	for i, s := range sources {
+		if s.Region() != r {
+			t.Errorf("source %d Region = %v", i, s.Region())
+		}
+	}
+	if NewChords(r, rng).Region() != r {
+		t.Error("chords Region wrong")
+	}
+	if NewShortSegments(r, 0.1, rng).Region() != r {
+		t.Error("short segments Region wrong")
+	}
+}
+
+func TestGeneratorValidationPanics(t *testing.T) {
+	rng := xrand.New(21)
+	cases := []func(){
+		func() { NewDiagonal(geom.UnitSquare, -1, rng) },
+		func() { NewChords(geom.R(0, 0, 0, 0), rng) },
+		func() { NewShortSegments(geom.UnitSquare, 0, rng) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,104 @@
+// Package experiment contains one runner per artifact of the paper's
+// evaluation (Tables 1-5, Figures 2-3, the Section III anchor) plus the
+// extension experiments listed in DESIGN.md (fanout sweep, PMR line
+// model, exact statistical baseline, extendible-hashing utilization, and
+// the aging-correction ablation). Each runner is deterministic given its
+// Config and returns typed results; rendering to text lives beside each
+// result type so cmd/paper and the benchmarks share one code path.
+package experiment
+
+import (
+	"fmt"
+
+	"popana/internal/dist"
+	"popana/internal/geom"
+	"popana/internal/quadtree"
+	"popana/internal/stats"
+	"popana/internal/xrand"
+)
+
+// Config holds the shared experimental parameters. The zero value
+// reproduces the paper: 10 trees of 1000 points per data point.
+type Config struct {
+	// Trials is the number of independently built trees averaged per
+	// data point; zero selects the paper's 10.
+	Trials int
+	// Points is the number of points per tree for the fixed-size
+	// experiments (Tables 1-3); zero selects the paper's 1000.
+	Points int
+	// Seed is the base RNG seed; trial t of experiment e derives its
+	// stream independently. Zero is a valid (and the default) seed.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Trials == 0 {
+		c.Trials = 10
+	}
+	if c.Points == 0 {
+		c.Points = 1000
+	}
+	return c
+}
+
+// rng derives a deterministic generator for (experiment, capacity/param,
+// trial).
+func (c Config) rng(experiment, param, trial int) *xrand.Rand {
+	seed := c.Seed
+	seed ^= uint64(experiment) * 0x9e3779b97f4a7c15
+	seed ^= uint64(param) * 0xc2b2ae3d27d4eb4f
+	seed ^= uint64(trial) * 0x165667b19e3779f9
+	return xrand.New(seed + 1) // +1 keeps the all-defaults seed nonzero
+}
+
+// experiment identifiers for seed derivation.
+const (
+	expTables12 = iota + 1
+	expTable3
+	expSweepUniform
+	expSweepGaussian
+	expFanout
+	expPMR
+	expExtHash
+	expAging
+	expBuckets
+)
+
+// buildTrees builds cfg.Trials PR quadtrees of n points drawn from the
+// source factory and returns their censuses. The factory receives the
+// trial's RNG so every tree gets an independent stream.
+func (c Config) buildTrees(expID, param, n, capacity, maxDepth int,
+	mkSource func(r geom.Rect, rng *xrand.Rand) dist.PointSource) []stats.Census {
+	censuses := make([]stats.Census, 0, c.Trials)
+	for trial := 0; trial < c.Trials; trial++ {
+		rng := c.rng(expID, param, trial)
+		t := quadtree.MustNew[struct{}](quadtree.Config{Capacity: capacity, MaxDepth: maxDepth})
+		src := mkSource(t.Region(), rng)
+		for t.Len() < n {
+			if _, err := t.Insert(src.Next(), struct{}{}); err != nil {
+				panic(fmt.Sprintf("experiment: insert: %v", err))
+			}
+		}
+		censuses = append(censuses, t.Census())
+	}
+	return censuses
+}
+
+// GeometricSizes returns the paper's tree-size grid for Tables 4-5: from
+// lo to hi, points quadrupling every four steps (each step multiplies by
+// √2, truncated to an integer, which regenerates the paper's exact
+// sequence 64, 90, 128, 181, 256, 362, 512, 724, 1024, 1448, 2048, 2896,
+// 4096).
+func GeometricSizes(lo, hi int) []int {
+	var out []int
+	x := float64(lo)
+	for {
+		n := int(x)
+		if n > hi {
+			break
+		}
+		out = append(out, n)
+		x *= 1.4142135623730951
+	}
+	return out
+}

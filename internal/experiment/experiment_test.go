@@ -1,0 +1,284 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Reduced config keeps the experiment tests fast while still exercising
+// every code path; the full paper-scale run lives in cmd/paper and the
+// benchmarks.
+func quickCfg() Config { return Config{Trials: 3, Points: 250, Seed: 7} }
+
+func TestGeometricSizesMatchesPaper(t *testing.T) {
+	want := []int{64, 90, 128, 181, 256, 362, 512, 724, 1024, 1448, 2048, 2896, 4096}
+	got := GeometricSizes(64, 4096)
+	if len(got) != len(want) {
+		t.Fatalf("sizes %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sizes[%d] = %d, want %d (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestRunTables12(t *testing.T) {
+	rs, err := RunTables12(quickCfg(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("%d results", len(rs))
+	}
+	for _, r := range rs {
+		if len(r.Experimental) != r.Capacity+1 {
+			t.Fatalf("m=%d: experimental vector %v", r.Capacity, r.Experimental)
+		}
+		sum := 0.0
+		for _, p := range r.Experimental {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("m=%d: proportions sum %v", r.Capacity, sum)
+		}
+		// Theory consistently above experiment (aging).
+		if r.PercentDifference < -5 {
+			t.Errorf("m=%d: theory below experiment by %v%%", r.Capacity, r.PercentDifference)
+		}
+		if r.TheoryOccupancy <= 0 || r.ExperimentalOccupancy <= 0 {
+			t.Errorf("m=%d: non-positive occupancy", r.Capacity)
+		}
+	}
+	if s := RenderTable1(rs); !strings.Contains(s, "thy") || !strings.Contains(s, "exp") {
+		t.Error("Table 1 rendering incomplete")
+	}
+	if s := RenderTable2(rs); !strings.Contains(s, "percent difference") {
+		t.Error("Table 2 rendering incomplete")
+	}
+}
+
+func TestRunTables12Validation(t *testing.T) {
+	if _, err := RunTables12(quickCfg(), 0); err == nil {
+		t.Error("max capacity 0 accepted")
+	}
+}
+
+func TestRunTable3(t *testing.T) {
+	res, err := RunTable3(quickCfg(), 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.PostSplitOccupancy-0.4) > 1e-12 {
+		t.Fatalf("post-split occupancy %v", res.PostSplitOccupancy)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no depth rows")
+	}
+	// Aging: the most populated depths show decreasing occupancy.
+	var occs []float64
+	for _, row := range res.Rows {
+		total := 0.0
+		for _, v := range row.MeanLeavesByOccupancy {
+			total += v
+		}
+		if total >= 5 {
+			occs = append(occs, row.Occupancy)
+		}
+	}
+	if len(occs) >= 3 && !(occs[0] > occs[len(occs)-1]) {
+		t.Errorf("occupancy does not decrease with depth: %v", occs)
+	}
+	if s := RenderTable3(res); !strings.Contains(s, "depth") {
+		t.Error("Table 3 rendering incomplete")
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	sizes := []int{64, 128, 256}
+	uni, err := RunSweep(quickCfg(), 4, sizes, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uni.Distribution != "uniform" || len(uni.Rows) != 3 {
+		t.Fatalf("sweep %+v", uni)
+	}
+	for i, row := range uni.Rows {
+		if row.Points != sizes[i] || row.MeanLeaves <= 0 || row.MeanOccupancy <= 0 {
+			t.Fatalf("row %+v", row)
+		}
+	}
+	g, err := RunSweep(quickCfg(), 4, sizes, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Distribution != "gaussian" {
+		t.Fatalf("gaussian sweep labeled %q", g.Distribution)
+	}
+	if s := RenderSweepTable(uni, 4); !strings.Contains(s, "Table 4") {
+		t.Error("sweep table rendering")
+	}
+	if s := RenderSweepFigure(uni, 2); !strings.Contains(s, "Figure 2") {
+		t.Error("figure rendering")
+	}
+	if amp := uni.OscillationAmplitude(64, 256); amp < 0 {
+		t.Error("negative amplitude")
+	}
+	if amp := uni.OscillationAmplitude(10000, 20000); amp != 0 {
+		t.Error("empty window amplitude nonzero")
+	}
+}
+
+func TestRunSweepValidation(t *testing.T) {
+	if _, err := RunSweep(quickCfg(), 0, []int{64}, false); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+}
+
+func TestRunAnchor(t *testing.T) {
+	a, err := RunAnchor(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Exact.E {
+		if math.Abs(a.FixedPoint.E[i]-a.Exact.E[i]) > 1e-10 {
+			t.Errorf("fixed point differs from exact at %d", i)
+		}
+		if math.Abs(a.Newton.E[i]-a.Exact.E[i]) > 1e-8 {
+			t.Errorf("newton differs from exact at %d", i)
+		}
+	}
+	// Experiment lands near (0.53, 0.47).
+	if math.Abs(a.Experimental[0]-0.53) > 0.05 {
+		t.Errorf("experimental empty fraction %v", a.Experimental[0])
+	}
+}
+
+func TestRunFanoutSweep(t *testing.T) {
+	rows, err := RunFanoutSweep(quickCfg(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 structures × 2 capacities.
+	if len(rows) != 8 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if math.Abs(r.PercentDifference) > 30 {
+			t.Errorf("%s m=%d: theory %v vs experiment %v (%.1f%%)",
+				r.Structure, r.Capacity, r.TheoryOccupancy, r.ExperimentalOccupancy, r.PercentDifference)
+		}
+	}
+	if s := RenderFanoutSweep(rows); !strings.Contains(s, "bintree") {
+		t.Error("fanout rendering")
+	}
+}
+
+func TestRunPMR(t *testing.T) {
+	rows, err := RunPMR(quickCfg(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.CrossProb <= 0.2 || r.CrossProb >= 0.6 {
+			t.Errorf("k=%d: implausible measured p %v", r.Threshold, r.CrossProb)
+		}
+		if math.Abs(r.PercentDifference) > 35 {
+			t.Errorf("k=%d: %v%% difference", r.Threshold, r.PercentDifference)
+		}
+		if r.TailMass > 1e-6 {
+			t.Errorf("k=%d: tail %v", r.Threshold, r.TailMass)
+		}
+	}
+	if s := RenderPMR(rows); !strings.Contains(s, "threshold") {
+		t.Error("PMR rendering")
+	}
+}
+
+func TestRunStatModel(t *testing.T) {
+	r, err := RunStatModel(4, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Sizes) != len(r.Occupancy) {
+		t.Fatal("ragged result")
+	}
+	if r.LateAmplitude < 0.5*r.EarlyAmplitude {
+		t.Errorf("phasing damped: early %v late %v", r.EarlyAmplitude, r.LateAmplitude)
+	}
+	if r.PopulationPrediction <= 0 {
+		t.Error("no population prediction")
+	}
+	if s := RenderStatModel(r); !strings.Contains(s, "oscillation") {
+		t.Error("statmodel rendering")
+	}
+}
+
+func TestRunBucketBaselines(t *testing.T) {
+	rows, err := RunBucketBaselines(quickCfg(), 4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Utilization <= 0.2 || r.Utilization > 1 {
+			t.Errorf("%s: utilization %v", r.Structure, r.Utilization)
+		}
+	}
+	// Extendible hashing near ln 2.
+	if math.Abs(rows[0].Utilization-0.693) > 0.12 {
+		t.Errorf("exthash utilization %v", rows[0].Utilization)
+	}
+	if s := RenderBucketBaselines(rows); !strings.Contains(s, "EXCELL") {
+		t.Error("baseline rendering")
+	}
+}
+
+func TestRunAging(t *testing.T) {
+	rows, err := RunAging(quickCfg(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// The corrected model must beat the base model (that is the
+		// entire point of E11); allow equality margin for m=1 noise.
+		if math.Abs(r.CorrectedErr) > math.Abs(r.BaseErr)+2 {
+			t.Errorf("m=%d: corrected %.1f%% worse than base %.1f%%", r.Capacity, r.CorrectedErr, r.BaseErr)
+		}
+		if len(r.Weights) != r.Capacity+1 {
+			t.Errorf("m=%d: %d weights", r.Capacity, len(r.Weights))
+		}
+	}
+	if s := RenderAging(rows); !strings.Contains(s, "corrected") {
+		t.Error("aging rendering")
+	}
+}
+
+func TestConfigDeterminism(t *testing.T) {
+	a, err := RunTables12(quickCfg(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTables12(quickCfg(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a[0].Experimental {
+		if a[0].Experimental[i] != b[0].Experimental[i] {
+			t.Fatal("same config produced different results")
+		}
+	}
+	// Different seed changes results.
+	c := quickCfg()
+	c.Seed = 1234
+	d, err := RunTables12(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Experimental[0] == d[0].Experimental[0] {
+		t.Error("different seeds produced identical results (suspicious)")
+	}
+}

@@ -1,0 +1,385 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"popana/internal/core"
+	"popana/internal/dist"
+	"popana/internal/geom"
+	"popana/internal/pointquadtree"
+	"popana/internal/quadtree"
+	"popana/internal/report"
+	"popana/internal/stats"
+	"popana/internal/xrand"
+)
+
+// experiment identifiers (continued).
+const (
+	expChurn = iota + 100
+	expPointQuadtree
+	expRobustness
+	expSearchCost
+)
+
+// ChurnResult is experiment E12: the steady state under a dynamic
+// insert/delete workload. The paper analyzes pure insertion; because
+// the PR quadtree's shape is canonical in its point set (deletion
+// merges blocks back), the population model should hold for a churning
+// structure of stable size too — this experiment verifies it, and with
+// it the delete/merge path's statistical correctness.
+type ChurnResult struct {
+	Capacity int
+	// FreshOccupancy is the average occupancy of freshly built trees.
+	FreshOccupancy float64
+	// ChurnedOccupancy is the occupancy after ChurnOps random
+	// insert/delete pairs at stable size.
+	ChurnedOccupancy float64
+	// ModelOccupancy is the population-model prediction.
+	ModelOccupancy float64
+	// FreshDistribution and ChurnedDistribution are the measured
+	// distributions.
+	FreshDistribution, ChurnedDistribution []float64
+	ChurnOps                               int
+}
+
+// RunChurn runs E12 for one capacity: build to Config.Points, then
+// churn with opsFactor·Points delete+insert pairs, comparing censuses.
+func RunChurn(cfg Config, capacity, opsFactor int) (ChurnResult, error) {
+	c := cfg.withDefaults()
+	model, err := core.NewPointModel(capacity, 4)
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	thy, err := model.Solve()
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	var fresh, churned []stats.Census
+	ops := opsFactor * c.Points
+	for trial := 0; trial < c.Trials; trial++ {
+		rng := c.rng(expChurn, capacity, trial)
+		t := quadtree.MustNew[struct{}](quadtree.Config{Capacity: capacity})
+		src := dist.NewUniform(t.Region(), rng)
+		var live []geom.Point
+		for t.Len() < c.Points {
+			p := src.Next()
+			if replaced, err := t.Insert(p, struct{}{}); err != nil {
+				return ChurnResult{}, err
+			} else if !replaced {
+				live = append(live, p)
+			}
+		}
+		fresh = append(fresh, t.Census())
+		for op := 0; op < ops; op++ {
+			// Delete a random live point, insert a fresh one.
+			i := rng.Intn(len(live))
+			if !t.Delete(live[i]) {
+				return ChurnResult{}, fmt.Errorf("experiment: churn delete failed")
+			}
+			p := src.Next()
+			if replaced, err := t.Insert(p, struct{}{}); err != nil {
+				return ChurnResult{}, err
+			} else if replaced {
+				// Point collision (astronomically rare): retry once.
+				op--
+				continue
+			}
+			live[i] = p
+		}
+		churned = append(churned, t.Census())
+	}
+	fs := stats.Summarize(fresh, capacity+1)
+	cs := stats.Summarize(churned, capacity+1)
+	return ChurnResult{
+		Capacity:            capacity,
+		FreshOccupancy:      fs.MeanOccupancy,
+		ChurnedOccupancy:    cs.MeanOccupancy,
+		ModelOccupancy:      thy.AverageOccupancy(),
+		FreshDistribution:   fs.MeanProportions,
+		ChurnedDistribution: cs.MeanProportions,
+		ChurnOps:            ops,
+	}, nil
+}
+
+// RenderChurn prints E12.
+func RenderChurn(rs []ChurnResult) string {
+	t := report.NewTable("E12: steady state under churn (delete+insert pairs at stable size)",
+		"capacity", "fresh occ", "churned occ", "model occ", "churn ops")
+	for _, r := range rs {
+		t.AddRow(fmt.Sprintf("%d", r.Capacity),
+			fmt.Sprintf("%.3f", r.FreshOccupancy),
+			fmt.Sprintf("%.3f", r.ChurnedOccupancy),
+			fmt.Sprintf("%.3f", r.ModelOccupancy),
+			fmt.Sprintf("%d", r.ChurnOps))
+	}
+	return t.String()
+}
+
+// PointQuadtreeResult is experiment E13: the Section II contrast between
+// regular (PR) and data-dependent (point quadtree) decomposition.
+type PointQuadtreeResult struct {
+	Points int
+	// RandomOrderMeanDepth and Height are averaged over trials with
+	// random insertion order.
+	RandomOrderMeanDepth float64
+	RandomOrderHeight    float64
+	// HeightSpread is (max-min)/mean of the point quadtree height
+	// across insertion orders of the SAME point set — nonzero order
+	// dependence.
+	HeightSpread float64
+	// SortedOrderHeight is the height when the same points are
+	// inserted in sorted order (the degenerate case).
+	SortedOrderHeight float64
+	// PRHeight is the PR quadtree height for the same point sets (any
+	// order — it is canonical).
+	PRHeight float64
+}
+
+// RunPointQuadtree runs E13 with Config.Points uniform points.
+func RunPointQuadtree(cfg Config) (PointQuadtreeResult, error) {
+	c := cfg.withDefaults()
+	var meanDepths, heights, prHeights []float64
+	var spreadHeights []float64
+	var sortedHeight float64
+	for trial := 0; trial < c.Trials; trial++ {
+		rng := c.rng(expPointQuadtree, 0, trial)
+		pts := make([]geom.Point, c.Points)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64(), rng.Float64())
+		}
+		// Random order (as generated).
+		pq := pointquadtree.MustNew(geom.Rect{})
+		for _, p := range pts {
+			if _, err := pq.Insert(p, nil); err != nil {
+				return PointQuadtreeResult{}, err
+			}
+		}
+		s := pq.Analyze()
+		meanDepths = append(meanDepths, s.MeanDepth())
+		heights = append(heights, float64(s.Height))
+		// Order sensitivity: rebuild the same set under permutations.
+		if trial == 0 {
+			var hs []float64
+			for perm := 0; perm < 8; perm++ {
+				order := rng.Perm(len(pts))
+				pq2 := pointquadtree.MustNew(geom.Rect{})
+				for _, i := range order {
+					if _, err := pq2.Insert(pts[i], nil); err != nil {
+						return PointQuadtreeResult{}, err
+					}
+				}
+				hs = append(hs, float64(pq2.Analyze().Height))
+			}
+			spreadHeights = hs
+			// Sorted order: ascending x then y — strongly degenerate.
+			sorted := append([]geom.Point{}, pts...)
+			sortPoints(sorted)
+			pq3 := pointquadtree.MustNew(geom.Rect{})
+			for _, p := range sorted {
+				if _, err := pq3.Insert(p, nil); err != nil {
+					return PointQuadtreeResult{}, err
+				}
+			}
+			sortedHeight = float64(pq3.Analyze().Height)
+		}
+		// PR quadtree reference.
+		pr := quadtree.MustNew[struct{}](quadtree.Config{Capacity: 1})
+		for _, p := range pts {
+			if _, err := pr.Insert(p, struct{}{}); err != nil {
+				return PointQuadtreeResult{}, err
+			}
+		}
+		prHeights = append(prHeights, float64(pr.Census().Height))
+	}
+	return PointQuadtreeResult{
+		Points:               c.Points,
+		RandomOrderMeanDepth: stats.Mean(meanDepths),
+		RandomOrderHeight:    stats.Mean(heights),
+		HeightSpread:         stats.RelativeSpread(spreadHeights),
+		SortedOrderHeight:    sortedHeight,
+		PRHeight:             stats.Mean(prHeights),
+	}, nil
+}
+
+// sortPoints sorts ascending by (X, Y) with a simple in-place heapsort
+// (avoids importing sort for a slice of structs in two lines... sort is
+// fine, actually — but keep allocation-free).
+func sortPoints(pts []geom.Point) {
+	less := func(a, b geom.Point) bool {
+		if a.X != b.X {
+			return a.X < b.X
+		}
+		return a.Y < b.Y
+	}
+	// Heapsort.
+	n := len(pts)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(pts, i, n, less)
+	}
+	for end := n - 1; end > 0; end-- {
+		pts[0], pts[end] = pts[end], pts[0]
+		siftDown(pts, 0, end, less)
+	}
+}
+
+func siftDown(pts []geom.Point, root, end int, less func(a, b geom.Point) bool) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && less(pts[child], pts[child+1]) {
+			child++
+		}
+		if !less(pts[root], pts[child]) {
+			return
+		}
+		pts[root], pts[child] = pts[child], pts[root]
+		root = child
+	}
+}
+
+// RenderPointQuadtree prints E13.
+func RenderPointQuadtree(r PointQuadtreeResult) string {
+	t := report.NewTable(
+		fmt.Sprintf("E13: point quadtree (data-dependent) vs PR quadtree (regular), %d points", r.Points),
+		"statistic", "value").AlignLeft(0)
+	t.AddRow("point quadtree mean depth (random order)", fmt.Sprintf("%.2f", r.RandomOrderMeanDepth))
+	t.AddRow("point quadtree height (random order)", fmt.Sprintf("%.1f", r.RandomOrderHeight))
+	t.AddRow("height spread across insertion orders", fmt.Sprintf("%.0f%%", 100*r.HeightSpread))
+	t.AddRow("point quadtree height (sorted order)", fmt.Sprintf("%.0f", r.SortedOrderHeight))
+	t.AddRow("PR quadtree height (any order)", fmt.Sprintf("%.1f", r.PRHeight))
+	return t.String()
+}
+
+// RobustnessRow is experiment E14: how the uniform-data model degrades
+// on non-uniform inputs.
+type RobustnessRow struct {
+	Distribution          string
+	ExperimentalOccupancy float64
+	ModelOccupancy        float64
+	PercentDifference     float64
+}
+
+// RunRobustness runs E14 for one capacity over a ladder of increasingly
+// non-uniform distributions.
+func RunRobustness(cfg Config, capacity int) ([]RobustnessRow, error) {
+	c := cfg.withDefaults()
+	model, err := core.NewPointModel(capacity, 4)
+	if err != nil {
+		return nil, err
+	}
+	thy, err := model.Solve()
+	if err != nil {
+		return nil, err
+	}
+	thyOcc := thy.AverageOccupancy()
+	type spec struct {
+		name string
+		mk   func(r geom.Rect, rng *xrand.Rand) dist.PointSource
+	}
+	specs := []spec{
+		{"uniform", func(r geom.Rect, rng *xrand.Rand) dist.PointSource { return dist.NewUniform(r, rng) }},
+		{"gaussian (2σ wide)", func(r geom.Rect, rng *xrand.Rand) dist.PointSource { return dist.NewGaussian(r, rng) }},
+		{"clusters k=16 σ=0.05", func(r geom.Rect, rng *xrand.Rand) dist.PointSource { return dist.NewClusters(r, 16, 0.05, rng) }},
+		{"clusters k=4 σ=0.01", func(r geom.Rect, rng *xrand.Rand) dist.PointSource { return dist.NewClusters(r, 4, 0.01, rng) }},
+		{"diagonal jitter=0.05", func(r geom.Rect, rng *xrand.Rand) dist.PointSource { return dist.NewDiagonal(r, 0.05, rng) }},
+	}
+	var rows []RobustnessRow
+	for si, sp := range specs {
+		censuses := make([]stats.Census, 0, c.Trials)
+		for trial := 0; trial < c.Trials; trial++ {
+			rng := c.rng(expRobustness, si*10+capacity, trial)
+			t := quadtree.MustNew[struct{}](quadtree.Config{Capacity: capacity})
+			src := sp.mk(t.Region(), rng)
+			for t.Len() < c.Points {
+				if _, err := t.Insert(src.Next(), struct{}{}); err != nil {
+					return nil, err
+				}
+			}
+			censuses = append(censuses, t.Census())
+		}
+		sum := stats.Summarize(censuses, capacity+1)
+		rows = append(rows, RobustnessRow{
+			Distribution:          sp.name,
+			ExperimentalOccupancy: sum.MeanOccupancy,
+			ModelOccupancy:        thyOcc,
+			PercentDifference:     100 * (thyOcc - sum.MeanOccupancy) / sum.MeanOccupancy,
+		})
+	}
+	return rows, nil
+}
+
+// RenderRobustness prints E14.
+func RenderRobustness(rows []RobustnessRow, capacity int) string {
+	t := report.NewTable(
+		fmt.Sprintf("E14: model robustness to non-uniform data (m=%d; model predicts %.2f)",
+			capacity, rows[0].ModelOccupancy),
+		"distribution", "exp occ", "% diff vs model").AlignLeft(0)
+	for _, r := range rows {
+		t.AddRow(r.Distribution,
+			fmt.Sprintf("%.2f", r.ExperimentalOccupancy),
+			fmt.Sprintf("%.1f", r.PercentDifference))
+	}
+	return t.String()
+}
+
+// SpectrumRow is experiment E15: spectral diagnostics of the transform
+// matrices — the quantity that governs how fast the paper's iteration
+// converges and how quickly the physical structure forgets its past.
+type SpectrumRow struct {
+	Fanout, Capacity int
+	Lambda1          float64
+	Lambda2Abs       float64
+	Gap              float64
+	Mixing           float64
+	SolverIterations int
+}
+
+// RunSpectrum computes E15 for the given fanouts and capacities.
+func RunSpectrum(fanouts []int, maxCapacity int) ([]SpectrumRow, error) {
+	var rows []SpectrumRow
+	for _, f := range fanouts {
+		for m := 1; m <= maxCapacity; m++ {
+			model, err := core.NewPointModel(m, f)
+			if err != nil {
+				return nil, err
+			}
+			s, err := model.Spectrum(0)
+			if err != nil {
+				return nil, err
+			}
+			d, err := model.Solve()
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, SpectrumRow{
+				Fanout:           f,
+				Capacity:         m,
+				Lambda1:          s.Lambda1,
+				Lambda2Abs:       s.Lambda2Abs,
+				Gap:              s.Gap,
+				Mixing:           s.MixingInsertions(),
+				SolverIterations: d.Iterations,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderSpectrum prints E15.
+func RenderSpectrum(rows []SpectrumRow) string {
+	t := report.NewTable("E15: spectral diagnostics of the transform matrices",
+		"fanout", "capacity", "lambda1 (=a)", "|lambda2|", "gap", "mixing (insertions/node)", "solver iterations")
+	for _, r := range rows {
+		mix := fmt.Sprintf("%.1f", r.Mixing)
+		if math.IsInf(r.Mixing, 1) {
+			mix = "inf"
+		}
+		t.AddRow(fmt.Sprintf("%d", r.Fanout), fmt.Sprintf("%d", r.Capacity),
+			fmt.Sprintf("%.4f", r.Lambda1), fmt.Sprintf("%.4f", r.Lambda2Abs),
+			fmt.Sprintf("%.4f", r.Gap), mix, fmt.Sprintf("%d", r.SolverIterations))
+	}
+	return t.String()
+}

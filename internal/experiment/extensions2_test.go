@@ -1,0 +1,174 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunChurn(t *testing.T) {
+	r, err := RunChurn(quickCfg(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Canonical shape: the churned distribution must match the fresh
+	// one within Monte Carlo noise.
+	if math.Abs(r.ChurnedOccupancy-r.FreshOccupancy)/r.FreshOccupancy > 0.10 {
+		t.Errorf("churn changed steady state: fresh %v churned %v", r.FreshOccupancy, r.ChurnedOccupancy)
+	}
+	if r.ModelOccupancy <= 0 {
+		t.Error("no model prediction")
+	}
+	if s := RenderChurn([]ChurnResult{r}); !strings.Contains(s, "churned") {
+		t.Error("churn rendering")
+	}
+}
+
+func TestRunPointQuadtree(t *testing.T) {
+	r, err := RunPointQuadtree(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random order: depth ~ log4(n); sorted order: a path of length
+	// n-1 (all points in quadrant 3 of the previous one when sorted by
+	// x then y... strictly, sorted x ascending need not be monotone in
+	// y, but heights must still be far above random).
+	if r.RandomOrderHeight >= r.SortedOrderHeight {
+		t.Errorf("sorted height %v not worse than random %v", r.SortedOrderHeight, r.RandomOrderHeight)
+	}
+	if r.HeightSpread < 0 {
+		t.Error("negative spread")
+	}
+	if r.RandomOrderMeanDepth <= 0 {
+		t.Error("no mean depth")
+	}
+	if s := RenderPointQuadtree(r); !strings.Contains(s, "PR quadtree") {
+		t.Error("E13 rendering")
+	}
+}
+
+func TestRunRobustness(t *testing.T) {
+	rows, err := RunRobustness(quickCfg(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Uniform must be the best-predicted case.
+	uniformErr := math.Abs(rows[0].PercentDifference)
+	worst := 0.0
+	for _, r := range rows[1:] {
+		if e := math.Abs(r.PercentDifference); e > worst {
+			worst = e
+		}
+	}
+	if uniformErr > worst+5 {
+		t.Errorf("uniform error %v worse than worst non-uniform %v", uniformErr, worst)
+	}
+	if s := RenderRobustness(rows, 4); !strings.Contains(s, "diagonal") {
+		t.Error("E14 rendering")
+	}
+}
+
+func TestRunSpectrum(t *testing.T) {
+	rows, err := RunSpectrum([]int{2, 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Lambda1 <= 1 {
+			t.Errorf("F=%d m=%d: λ₁ %v", r.Fanout, r.Capacity, r.Lambda1)
+		}
+		if r.Gap < 0 || r.Gap > 1 {
+			t.Errorf("F=%d m=%d: gap %v", r.Fanout, r.Capacity, r.Gap)
+		}
+	}
+	// Gap grows with capacity at fixed fanout (slower mixing).
+	for f := 0; f < 2; f++ {
+		base := rows[f*3]
+		for i := 1; i < 3; i++ {
+			if rows[f*3+i].Gap <= base.Gap {
+				t.Errorf("gap not increasing with capacity at fanout %d", rows[f*3].Fanout)
+			}
+			base = rows[f*3+i]
+		}
+	}
+	if s := RenderSpectrum(rows); !strings.Contains(s, "lambda1") {
+		t.Error("E15 rendering")
+	}
+}
+
+func TestRunExtHashAnalysis(t *testing.T) {
+	r, err := RunExtHashAnalysis(quickCfg(), 8, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range r.Rows {
+		// Exact and simulated must track each other closely: the
+		// simulation IS the process the recursion describes.
+		d := row.ExactUtilization - row.SimUtilization
+		if d < 0 {
+			d = -d
+		}
+		if d > 0.08 {
+			t.Errorf("n=%d: exact %v vs sim %v", row.Records, row.ExactUtilization, row.SimUtilization)
+		}
+	}
+	// Cycle mean near ln 2.
+	if r.ExactMean < 0.64 || r.ExactMean > 0.75 {
+		t.Errorf("cycle mean %v, want near 0.693", r.ExactMean)
+	}
+	if s := RenderExtHashAnalysis(r); !strings.Contains(s, "exact util") {
+		t.Error("E16 rendering")
+	}
+}
+
+func TestRunSearchCost(t *testing.T) {
+	r, err := RunSearchCost(quickCfg(), 4, []int{256, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// Search depth within 1.5 levels of the model prediction.
+		if math.Abs(row.MeasuredSearchDepth-row.PredictedDepth) > 1.5 {
+			t.Errorf("n=%d: measured %v vs predicted %v", row.Points, row.MeasuredSearchDepth, row.PredictedDepth)
+		}
+		// Aging: searches land shallower than counting leaves suggests.
+		if row.MeasuredSearchDepth >= row.MeanLeafDepth {
+			t.Errorf("n=%d: search depth %v not below mean leaf depth %v", row.Points, row.MeasuredSearchDepth, row.MeanLeafDepth)
+		}
+	}
+	if s := RenderSearchCost(r); !strings.Contains(s, "log4") {
+		t.Error("E17 rendering")
+	}
+	// Depth grows by ~1 when n quadruples.
+	d := r.Rows[1].MeasuredSearchDepth - r.Rows[0].MeasuredSearchDepth
+	if d < 0.5 || d > 1.5 {
+		t.Errorf("depth growth per 4x points: %v, want ~1", d)
+	}
+}
+
+func TestRenderFigureWithExact(t *testing.T) {
+	sim, err := RunSweep(quickCfg(), 8, []int{64, 128, 256}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := RunStatModel(8, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := RenderFigureWithExact(sim, exact, 2)
+	if !strings.Contains(s, "exact recursion") || !strings.Contains(s, "simulated") {
+		t.Fatalf("combined figure incomplete:\n%s", s)
+	}
+}

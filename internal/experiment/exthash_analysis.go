@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"fmt"
+
+	"popana/internal/exthash"
+	"popana/internal/report"
+	"popana/internal/statmodel"
+	"popana/internal/stats"
+)
+
+// E16 — exact analysis of extendible hashing.
+//
+// Fagin et al.'s analysis of extendible hashing and the quadtree
+// statistical baseline are the same mathematics: a bucket splits its
+// keys by one more hash bit, i.e. Binomial(n, 1/2) per child — the
+// fanout-2 instance of the recursion in internal/statmodel. E16 makes
+// the identification concrete: the exact expected utilization from the
+// F=2 recursion is compared against a simulated extendible-hashing
+// table at every size on the paper's √2 grid, exhibiting the ln 2
+// asymptote with the non-damping oscillation Fagin et al. predicted and
+// Section IV reinterprets as phasing.
+
+// ExtHashPoint is one row of E16.
+type ExtHashPoint struct {
+	Records          int
+	ExactUtilization float64
+	SimUtilization   float64
+}
+
+// ExtHashAnalysis is the E16 result.
+type ExtHashAnalysis struct {
+	BucketCapacity int
+	Rows           []ExtHashPoint
+	// ExactMean is the cycle-mean exact utilization over the last
+	// period — the quantity that converges to ln 2 as capacity grows.
+	ExactMean float64
+}
+
+// RunExtHashAnalysis runs E16 for one bucket capacity over sizes up to
+// maxN.
+func RunExtHashAnalysis(cfg Config, capacity, maxN int) (ExtHashAnalysis, error) {
+	c := cfg.withDefaults()
+	exact, err := statmodel.New(capacity, 2, maxN)
+	if err != nil {
+		return ExtHashAnalysis{}, err
+	}
+	sizes := GeometricSizes(64, maxN)
+	res := ExtHashAnalysis{BucketCapacity: capacity}
+	for _, n := range sizes {
+		// Exact: utilization = n / (b · E[buckets]).
+		exactUtil := float64(n) / (float64(capacity) * exact.ExpectedLeaves(n))
+		// Simulated.
+		utils := make([]float64, 0, c.Trials)
+		for trial := 0; trial < c.Trials; trial++ {
+			rng := c.rng(expExtHash, n, trial)
+			tab := exthash.MustNew(exthash.Config{BucketCapacity: capacity})
+			for tab.Len() < n {
+				if _, err := tab.Put(rng.Uint64(), nil); err != nil {
+					return ExtHashAnalysis{}, err
+				}
+			}
+			utils = append(utils, tab.Utilization())
+		}
+		res.Rows = append(res.Rows, ExtHashPoint{
+			Records:          n,
+			ExactUtilization: exactUtil,
+			SimUtilization:   stats.Mean(utils),
+		})
+	}
+	// Cycle mean over the last factor-of-2 window (period of F=2).
+	sum, cnt := 0.0, 0
+	for _, r := range res.Rows {
+		if r.Records > maxN/2 {
+			sum += r.ExactUtilization
+			cnt++
+		}
+	}
+	if cnt > 0 {
+		res.ExactMean = sum / float64(cnt)
+	}
+	return res, nil
+}
+
+// RenderExtHashAnalysis prints E16.
+func RenderExtHashAnalysis(r ExtHashAnalysis) string {
+	t := report.NewTable(
+		fmt.Sprintf("E16: extendible hashing — exact analysis (F=2 recursion) vs simulation (b=%d; ln 2 = 0.693)",
+			r.BucketCapacity),
+		"records", "exact util", "simulated util")
+	for _, row := range r.Rows {
+		t.AddRow(fmt.Sprintf("%d", row.Records),
+			fmt.Sprintf("%.4f", row.ExactUtilization),
+			fmt.Sprintf("%.4f", row.SimUtilization))
+	}
+	s := t.String()
+	s += fmt.Sprintf("cycle-mean exact utilization over the last period: %.4f\n", r.ExactMean)
+	return s
+}

@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"popana/internal/core"
+	"popana/internal/dist"
+	"popana/internal/geom"
+	"popana/internal/report"
+	"popana/internal/stats"
+	"popana/internal/xrand"
+)
+
+// E17 — search cost. The population model predicts the number of leaf
+// blocks (n / avg-occupancy); under uniform data a regular decomposition
+// with L leaves sits within one level of depth log₄ L, so the model
+// implicitly prices a point search:
+//
+//	E[search depth] ≈ log₄( n / (model avg occupancy) ).
+//
+// E17 measures the area-weighted search depth of simulated trees against
+// that prediction across tree sizes, and also reports the
+// count-weighted mean leaf depth — the gap between the two is the aging
+// effect viewed through the cost lens.
+
+// SearchCostRow is one tree size of E17.
+type SearchCostRow struct {
+	Points int
+	// MeasuredSearchDepth is the area-weighted mean leaf depth.
+	MeasuredSearchDepth float64
+	// MeanLeafDepth is the count-weighted mean leaf depth.
+	MeanLeafDepth float64
+	// PredictedDepth is log₄ of the model-predicted leaf count.
+	PredictedDepth float64
+}
+
+// SearchCostResult is the E17 result.
+type SearchCostResult struct {
+	Capacity int
+	Rows     []SearchCostRow
+}
+
+// RunSearchCost runs E17 for one capacity over the given tree sizes.
+func RunSearchCost(cfg Config, capacity int, sizes []int) (SearchCostResult, error) {
+	c := cfg.withDefaults()
+	model, err := core.NewPointModel(capacity, 4)
+	if err != nil {
+		return SearchCostResult{}, err
+	}
+	thy, err := model.Solve()
+	if err != nil {
+		return SearchCostResult{}, err
+	}
+	res := SearchCostResult{Capacity: capacity}
+	for _, n := range sizes {
+		censuses := c.buildTrees(expSearchCost, n, n, capacity, 0,
+			func(r geom.Rect, rng *xrand.Rand) dist.PointSource { return dist.NewUniform(r, rng) })
+		var search, mean []float64
+		for _, cs := range censuses {
+			search = append(search, cs.ExpectedSearchDepth())
+			mean = append(mean, cs.MeanLeafDepth())
+		}
+		res.Rows = append(res.Rows, SearchCostRow{
+			Points:              n,
+			MeasuredSearchDepth: stats.Mean(search),
+			MeanLeafDepth:       stats.Mean(mean),
+			PredictedDepth:      math.Log(float64(n)/thy.AverageOccupancy()) / math.Log(4),
+		})
+	}
+	return res, nil
+}
+
+// RenderSearchCost prints E17.
+func RenderSearchCost(r SearchCostResult) string {
+	t := report.NewTable(
+		fmt.Sprintf("E17: point-search cost (m=%d) — levels descended for a uniform query", r.Capacity),
+		"points", "measured E[depth]", "mean leaf depth", "model log4(n/occ)")
+	for _, row := range r.Rows {
+		t.AddRow(fmt.Sprintf("%d", row.Points),
+			fmt.Sprintf("%.2f", row.MeasuredSearchDepth),
+			fmt.Sprintf("%.2f", row.MeanLeafDepth),
+			fmt.Sprintf("%.2f", row.PredictedDepth))
+	}
+	return t.String()
+}

@@ -1,0 +1,154 @@
+package experiment
+
+import (
+	"fmt"
+
+	"popana/internal/dist"
+	"popana/internal/geom"
+	"popana/internal/report"
+	"popana/internal/solver"
+	"popana/internal/stats"
+	"popana/internal/xrand"
+)
+
+func solverOptions() solver.Options {
+	return solver.Options{Tolerance: 1e-13, MaxIterations: 100000}
+}
+
+// SweepPoint is one row of Table 4 or 5: tree-size n against mean leaf
+// count and mean occupancy.
+type SweepPoint struct {
+	Points        int
+	MeanLeaves    float64
+	MeanOccupancy float64
+}
+
+// SweepResult holds a full occupancy-vs-size sweep (phasing experiment).
+type SweepResult struct {
+	Distribution string // "uniform" or "gaussian"
+	Capacity     int
+	Rows         []SweepPoint
+}
+
+// RunSweep reproduces Table 4 (uniform) or Table 5 (gaussian): build
+// Config.Trials trees at every size in sizes and record mean leaves and
+// occupancy. gaussian selects the paper's 2σ-wide centered normal
+// distribution.
+func RunSweep(cfg Config, capacity int, sizes []int, gaussian bool) (SweepResult, error) {
+	c := cfg.withDefaults()
+	if capacity < 1 {
+		return SweepResult{}, fmt.Errorf("experiment: capacity %d < 1", capacity)
+	}
+	expID := expSweepUniform
+	name := "uniform"
+	mk := func(r geom.Rect, rng *xrand.Rand) dist.PointSource { return dist.NewUniform(r, rng) }
+	if gaussian {
+		expID = expSweepGaussian
+		name = "gaussian"
+		mk = func(r geom.Rect, rng *xrand.Rand) dist.PointSource { return dist.NewGaussian(r, rng) }
+	}
+	res := SweepResult{Distribution: name, Capacity: capacity}
+	for _, n := range sizes {
+		censuses := c.buildTrees(expID, n, n, capacity, 0, mk)
+		sum := stats.Summarize(censuses, capacity+1)
+		res.Rows = append(res.Rows, SweepPoint{
+			Points:        n,
+			MeanLeaves:    sum.MeanLeaves,
+			MeanOccupancy: sum.MeanOccupancy,
+		})
+	}
+	return res, nil
+}
+
+// RenderSweepTable prints a sweep in the layout of Tables 4 and 5.
+func RenderSweepTable(r SweepResult, tableNo int) string {
+	t := report.NewTable(
+		fmt.Sprintf("Table %d: Variation of occupancy with tree size, %s distribution (m=%d)",
+			tableNo, r.Distribution, r.Capacity),
+		"points", "nodes", "occupancy")
+	for _, row := range r.Rows {
+		t.AddRow(fmt.Sprintf("%d", row.Points),
+			fmt.Sprintf("%.1f", row.MeanLeaves),
+			fmt.Sprintf("%.2f", row.MeanOccupancy))
+	}
+	return t.String()
+}
+
+// RenderSweepFigure renders a sweep as the semi-log chart of Figures 2
+// and 3.
+func RenderSweepFigure(r SweepResult, figNo int) string {
+	xs := make([]float64, len(r.Rows))
+	ys := make([]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		xs[i] = float64(row.Points)
+		ys[i] = row.MeanOccupancy
+	}
+	ch := report.Chart{
+		Title: fmt.Sprintf("Figure %d: average node occupancy vs number of data points (%s distribution, m=%d)",
+			figNo, r.Distribution, r.Capacity),
+		XLabel:   "number of data points",
+		YLabel:   "average occupancy",
+		SemiLogX: true,
+		Series:   []report.Series{{Name: r.Distribution, X: xs, Y: ys, Marker: '*'}},
+	}
+	return ch.Render()
+}
+
+// RenderFigureWithExact renders Figure 2 with both the simulated data
+// points and the exact-recursion curve — the paper's figure shows
+// "experimental results and interpolated curve", and the exact expected
+// occupancy is precisely that curve, computed rather than fitted.
+func RenderFigureWithExact(sim SweepResult, exact StatModelResult, figNo int) string {
+	simX := make([]float64, len(sim.Rows))
+	simY := make([]float64, len(sim.Rows))
+	for i, row := range sim.Rows {
+		simX[i] = float64(row.Points)
+		simY[i] = row.MeanOccupancy
+	}
+	exX := make([]float64, len(exact.Sizes))
+	exY := make([]float64, len(exact.Sizes))
+	for i, n := range exact.Sizes {
+		exX[i] = float64(n)
+		exY[i] = exact.Occupancy[i]
+	}
+	ch := report.Chart{
+		Title: fmt.Sprintf("Figure %d: occupancy vs points (%s, m=%d) — simulation and exact curve",
+			figNo, sim.Distribution, sim.Capacity),
+		XLabel:   "number of data points",
+		YLabel:   "average occupancy",
+		SemiLogX: true,
+		Series: []report.Series{
+			{Name: "simulated (10-tree mean)", X: simX, Y: simY, Marker: '*'},
+			{Name: "exact recursion", X: exX, Y: exY, Marker: 'o'},
+		},
+	}
+	return ch.Render()
+}
+
+// OscillationAmplitude measures max-min of occupancy over the rows whose
+// point counts lie in [lo, hi]. Comparing early and late windows
+// quantifies phasing persistence (uniform) vs damping (gaussian).
+func (r SweepResult) OscillationAmplitude(lo, hi int) float64 {
+	first := true
+	var mn, mx float64
+	for _, row := range r.Rows {
+		if row.Points < lo || row.Points > hi {
+			continue
+		}
+		if first {
+			mn, mx = row.MeanOccupancy, row.MeanOccupancy
+			first = false
+			continue
+		}
+		if row.MeanOccupancy < mn {
+			mn = row.MeanOccupancy
+		}
+		if row.MeanOccupancy > mx {
+			mx = row.MeanOccupancy
+		}
+	}
+	if first {
+		return 0
+	}
+	return mx - mn
+}

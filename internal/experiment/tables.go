@@ -1,0 +1,229 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"popana/internal/core"
+	"popana/internal/dist"
+	"popana/internal/geom"
+	"popana/internal/report"
+	"popana/internal/stats"
+	"popana/internal/xrand"
+)
+
+// CapacityResult is one row of Tables 1 and 2: theory vs experiment for
+// a single node capacity.
+type CapacityResult struct {
+	Capacity int
+	// Theory is the model's expected distribution ē.
+	Theory core.Distribution
+	// Experimental is the trial-mean distribution of leaf occupancies.
+	Experimental []float64
+	// TheoryOccupancy and ExperimentalOccupancy are the average node
+	// occupancies (Table 2's columns).
+	TheoryOccupancy       float64
+	ExperimentalOccupancy float64
+	// PercentDifference is 100·(thy−exp)/exp, Table 2's last column.
+	PercentDifference float64
+	// Spread is the relative spread of per-trial occupancies — the
+	// paper's "typically within about 10%" check.
+	Spread float64
+}
+
+// RunTables12 reproduces Tables 1 and 2: for each node capacity in
+// [1, maxCapacity], solve the model and build Config.Trials uniform
+// random trees of Config.Points points.
+func RunTables12(cfg Config, maxCapacity int) ([]CapacityResult, error) {
+	c := cfg.withDefaults()
+	if maxCapacity < 1 {
+		return nil, fmt.Errorf("experiment: max capacity %d < 1", maxCapacity)
+	}
+	results := make([]CapacityResult, 0, maxCapacity)
+	for m := 1; m <= maxCapacity; m++ {
+		model, err := core.NewPointModel(m, 4)
+		if err != nil {
+			return nil, err
+		}
+		theory, err := model.Solve()
+		if err != nil {
+			return nil, err
+		}
+		censuses := c.buildTrees(expTables12, m, c.Points, m, 0,
+			func(r geom.Rect, rng *xrand.Rand) dist.PointSource { return dist.NewUniform(r, rng) })
+		sum := stats.Summarize(censuses, m+1)
+		expOcc := sum.MeanOccupancy
+		thyOcc := theory.AverageOccupancy()
+		results = append(results, CapacityResult{
+			Capacity:              m,
+			Theory:                theory,
+			Experimental:          sum.MeanProportions,
+			TheoryOccupancy:       thyOcc,
+			ExperimentalOccupancy: expOcc,
+			PercentDifference:     100 * (thyOcc - expOcc) / expOcc,
+			Spread:                sum.OccupancySpread,
+		})
+	}
+	return results, nil
+}
+
+// RenderTable1 prints the results in the layout of Table 1.
+func RenderTable1(rs []CapacityResult) string {
+	t := report.NewTable("Table 1: Expected distribution in PR quadtrees, theoretical (thy) and experimental (exp)",
+		"bucket size", "", "expected distribution vector").AlignLeft(1, 2)
+	for _, r := range rs {
+		t.AddRow(fmt.Sprintf("%d", r.Capacity), "thy", report.FormatVec(r.Theory.E))
+		t.AddRow("", "exp", report.FormatVec(r.Experimental))
+	}
+	return t.String()
+}
+
+// RenderTable2 prints the results in the layout of Table 2.
+func RenderTable2(rs []CapacityResult) string {
+	t := report.NewTable("Table 2: Average node occupancy",
+		"node capacity", "experimental occupancy", "theoretical occupancy", "percent difference")
+	for _, r := range rs {
+		t.AddRowf("%.2f", r.Capacity, r.ExperimentalOccupancy, r.TheoryOccupancy,
+			fmt.Sprintf("%.1f", r.PercentDifference))
+	}
+	return t.String()
+}
+
+// DepthRow is one row of Table 3: the mean leaf populations at a depth.
+type DepthRow struct {
+	Depth int
+	// MeanLeavesByOccupancy[i] is the trial-mean count of occupancy-i
+	// leaves at this depth (Table 3's n_0 and n_1 columns for m=1).
+	MeanLeavesByOccupancy []float64
+	// Occupancy is mean items per leaf at this depth.
+	Occupancy float64
+}
+
+// Table3Result reproduces Table 3 (the aging measurement) plus the
+// model's post-split occupancy the depths converge to.
+type Table3Result struct {
+	Capacity int
+	Rows     []DepthRow
+	// PostSplitOccupancy is the model's expected occupancy of a
+	// freshly split population (0.40 for m=1), the asymptote of the
+	// occupancy column.
+	PostSplitOccupancy float64
+}
+
+// RunTable3 reproduces Table 3: occupancy by node depth for capacity m
+// trees of Config.Points uniform points, truncated at maxDepth as the
+// paper's implementation was (depth 9).
+func RunTable3(cfg Config, capacity, maxDepth int) (Table3Result, error) {
+	c := cfg.withDefaults()
+	model, err := core.NewPointModel(capacity, 4)
+	if err != nil {
+		return Table3Result{}, err
+	}
+	censuses := c.buildTrees(expTable3, capacity, c.Points, capacity, maxDepth,
+		func(r geom.Rect, rng *xrand.Rand) dist.PointSource { return dist.NewUniform(r, rng) })
+	// Aggregate per-depth occupancy histograms across trials.
+	maxD := 0
+	for _, cs := range censuses {
+		if len(cs.ByDepth) > maxD {
+			maxD = len(cs.ByDepth)
+		}
+	}
+	rows := make([]DepthRow, maxD)
+	for d := range rows {
+		rows[d].Depth = d
+		rows[d].MeanLeavesByOccupancy = make([]float64, capacity+1)
+	}
+	leaves := make([]float64, maxD)
+	items := make([]float64, maxD)
+	for _, cs := range censuses {
+		for d, dc := range cs.ByDepth {
+			leaves[d] += float64(dc.Leaves)
+			items[d] += float64(dc.Items)
+			for occ, cnt := range dc.ByOccupancy {
+				i := occ
+				if i > capacity {
+					i = capacity
+				}
+				rows[d].MeanLeavesByOccupancy[i] += float64(cnt)
+			}
+		}
+	}
+	inv := 1 / float64(len(censuses))
+	for d := range rows {
+		for i := range rows[d].MeanLeavesByOccupancy {
+			rows[d].MeanLeavesByOccupancy[i] *= inv
+		}
+		if leaves[d] > 0 {
+			rows[d].Occupancy = items[d] / leaves[d]
+		} else {
+			rows[d].Occupancy = math.NaN()
+		}
+	}
+	// Drop leading depths with no leaves (the paper's table starts at
+	// the first populated depth).
+	first := 0
+	for first < len(rows) && leaves[first] == 0 {
+		first++
+	}
+	return Table3Result{
+		Capacity:           capacity,
+		Rows:               rows[first:],
+		PostSplitOccupancy: model.PostSplitOccupancy(),
+	}, nil
+}
+
+// RenderTable3 prints the result in the layout of Table 3.
+func RenderTable3(r Table3Result) string {
+	header := []string{"depth"}
+	for i := 0; i <= r.Capacity; i++ {
+		header = append(header, fmt.Sprintf("n%d nodes", i))
+	}
+	header = append(header, "occupancy")
+	t := report.NewTable(
+		fmt.Sprintf("Table 3: Occupancy by node size (m=%d; post-split asymptote %.2f)", r.Capacity, r.PostSplitOccupancy),
+		header...)
+	for _, row := range r.Rows {
+		cells := []string{fmt.Sprintf("%d", row.Depth)}
+		for _, v := range row.MeanLeavesByOccupancy {
+			cells = append(cells, fmt.Sprintf("%.1f", v))
+		}
+		cells = append(cells, fmt.Sprintf("%.2f", row.Occupancy))
+		t.AddRow(cells...)
+	}
+	return t.String()
+}
+
+// AnchorResult is experiment E6: the closed-form simple PR quadtree
+// solution against both solvers and the simulation.
+type AnchorResult struct {
+	Exact        core.Distribution
+	FixedPoint   core.Distribution
+	Newton       core.Distribution
+	Experimental []float64
+}
+
+// RunAnchor verifies the m=1 analytic anchor of Section III.
+func RunAnchor(cfg Config) (AnchorResult, error) {
+	c := cfg.withDefaults()
+	model, err := core.NewPointModel(1, 4)
+	if err != nil {
+		return AnchorResult{}, err
+	}
+	fp, err := model.Solve()
+	if err != nil {
+		return AnchorResult{}, err
+	}
+	nw, err := model.SolveNewton(solverOptions())
+	if err != nil {
+		return AnchorResult{}, err
+	}
+	censuses := c.buildTrees(expTables12, 1, c.Points, 1, 0,
+		func(r geom.Rect, rng *xrand.Rand) dist.PointSource { return dist.NewUniform(r, rng) })
+	sum := stats.Summarize(censuses, 2)
+	return AnchorResult{
+		Exact:        core.SimplePRExact(),
+		FixedPoint:   fp,
+		Newton:       nw,
+		Experimental: sum.MeanProportions,
+	}, nil
+}

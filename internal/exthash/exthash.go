@@ -1,0 +1,383 @@
+// Package exthash implements extendible hashing [Fagi79] — the structure
+// whose statistical analysis the paper contrasts with population
+// analysis. A directory of 2^g pointers (g = global depth) indexes
+// buckets of capacity b; each bucket has a local depth l <= g and is
+// shared by 2^(g-l) directory cells. An overflowing bucket splits on the
+// next hash bit; a split of a bucket with l == g first doubles the
+// directory.
+//
+// Fagin et al. showed the expected storage utilization tends to ln 2 ≈
+// 0.693 with a non-damping oscillation in log n — exactly the phasing
+// phenomenon of Section IV. Experiment E10 measures both here.
+package exthash
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"popana/internal/stats"
+)
+
+// DefaultMaxGlobalDepth bounds directory doubling; 2^28 cells is beyond
+// anything the experiments need and protects against adversarial keys.
+const DefaultMaxGlobalDepth = 28
+
+// ErrDirectoryOverflow is returned when a pathological key set would
+// force the directory beyond MaxGlobalDepth.
+var ErrDirectoryOverflow = errors.New("exthash: directory overflow (too many equal hash prefixes)")
+
+// Config configures a table.
+type Config struct {
+	// BucketCapacity is the number of records a bucket holds, b >= 1.
+	BucketCapacity int
+	// MaxGlobalDepth bounds directory doubling; zero selects
+	// DefaultMaxGlobalDepth.
+	MaxGlobalDepth int
+	// Hash maps a key to a 64-bit hash whose high bits index the
+	// directory. Nil selects Mix64. Tests use Identity to steer keys
+	// into chosen buckets.
+	Hash func(k uint64) uint64
+}
+
+// Mix64 is a strong 64-bit mixer (SplitMix64 finalizer) suitable as the
+// Config.Hash for integer keys.
+func Mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Identity uses the key itself as its hash; useful in tests that want to
+// force directory behavior, and for keys that are already uniform.
+func Identity(x uint64) uint64 { return x }
+
+type record struct {
+	key  uint64
+	hash uint64
+	val  any
+}
+
+type bucket struct {
+	localDepth int
+	recs       []record
+}
+
+// Table is an extendible-hashing map from uint64 keys to values.
+type Table struct {
+	cfg  Config
+	dir  []*bucket
+	g    int // global depth; len(dir) == 1<<g
+	size int
+}
+
+// New returns an empty table.
+func New(cfg Config) (*Table, error) {
+	if cfg.BucketCapacity < 1 {
+		return nil, fmt.Errorf("exthash: bucket capacity %d < 1", cfg.BucketCapacity)
+	}
+	if cfg.MaxGlobalDepth == 0 {
+		cfg.MaxGlobalDepth = DefaultMaxGlobalDepth
+	}
+	if cfg.MaxGlobalDepth < 1 || cfg.MaxGlobalDepth > 62 {
+		return nil, fmt.Errorf("exthash: max global depth %d outside 1..62", cfg.MaxGlobalDepth)
+	}
+	if cfg.Hash == nil {
+		cfg.Hash = Mix64
+	}
+	return &Table{cfg: cfg, dir: []*bucket{{localDepth: 0}}, g: 0}, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(cfg Config) *Table {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Len returns the number of stored records.
+func (t *Table) Len() int { return t.size }
+
+// GlobalDepth returns the directory's depth g (directory size is 2^g).
+func (t *Table) GlobalDepth() int { return t.g }
+
+// DirectorySize returns the number of directory cells, 2^g.
+func (t *Table) DirectorySize() int { return len(t.dir) }
+
+// dirIndex extracts the g most significant hash bits, following Fagin's
+// prefix scheme (so doubling appends one more bit of discrimination).
+func (t *Table) dirIndex(h uint64) int {
+	if t.g == 0 {
+		return 0
+	}
+	return int(h >> (64 - uint(t.g)))
+}
+
+// Get returns the value stored under key.
+func (t *Table) Get(key uint64) (any, bool) {
+	h := t.cfg.Hash(key)
+	b := t.dir[t.dirIndex(h)]
+	for i := range b.recs {
+		if b.recs[i].key == key {
+			return b.recs[i].val, true
+		}
+	}
+	return nil, false
+}
+
+// Put stores val under key, replacing any previous value.
+func (t *Table) Put(key uint64, val any) (replaced bool, err error) {
+	h := t.cfg.Hash(key)
+	b := t.dir[t.dirIndex(h)]
+	for i := range b.recs {
+		if b.recs[i].key == key {
+			b.recs[i].val = val
+			return true, nil
+		}
+	}
+	b.recs = append(b.recs, record{key: key, hash: h, val: val})
+	t.size++
+	// Split until the bucket holding our hash fits, doubling the
+	// directory as needed. Repeated splits happen when every record
+	// shares a longer hash prefix.
+	for {
+		b = t.dir[t.dirIndex(h)]
+		if len(b.recs) <= t.cfg.BucketCapacity {
+			return false, nil
+		}
+		if b.localDepth == t.g {
+			if t.g >= t.cfg.MaxGlobalDepth {
+				return false, fmt.Errorf("%w at global depth %d", ErrDirectoryOverflow, t.g)
+			}
+			t.doubleDirectory()
+		}
+		t.splitBucket(t.dirIndex(h))
+	}
+}
+
+// doubleDirectory doubles the directory, making each bucket shared by
+// twice as many cells.
+func (t *Table) doubleDirectory() {
+	nd := make([]*bucket, 2*len(t.dir))
+	for i, b := range t.dir {
+		nd[2*i], nd[2*i+1] = b, b
+	}
+	t.dir = nd
+	t.g++
+}
+
+// splitBucket splits the bucket referenced by directory cell idx into
+// two buckets of local depth l+1, redistributing records on hash bit
+// g-l-1 (counting from the top).
+func (t *Table) splitBucket(idx int) {
+	old := t.dir[idx]
+	l := old.localDepth
+	lo := &bucket{localDepth: l + 1}
+	hi := &bucket{localDepth: l + 1}
+	// The distinguishing bit is the (l+1)-th most significant hash bit.
+	bit := uint64(1) << (64 - uint(l) - 1)
+	for _, r := range old.recs {
+		if r.hash&bit != 0 {
+			hi.recs = append(hi.recs, r)
+		} else {
+			lo.recs = append(lo.recs, r)
+		}
+	}
+	// Rewire the 2^(g-l) contiguous cells that shared old: the first
+	// half get lo, the second half hi.
+	span := 1 << uint(t.g-l)
+	start := idx &^ (span - 1)
+	for i := 0; i < span; i++ {
+		if i < span/2 {
+			t.dir[start+i] = lo
+		} else {
+			t.dir[start+i] = hi
+		}
+	}
+}
+
+// Delete removes key, returning whether it was present. Buddy buckets
+// whose combined records fit are merged and the directory halved when
+// every pair of cells agrees — keeping utilization meaningful under
+// shrinking workloads.
+func (t *Table) Delete(key uint64) bool {
+	h := t.cfg.Hash(key)
+	idx := t.dirIndex(h)
+	b := t.dir[idx]
+	for i := range b.recs {
+		if b.recs[i].key == key {
+			last := len(b.recs) - 1
+			b.recs[i] = b.recs[last]
+			b.recs = b.recs[:last]
+			t.size--
+			t.maybeMerge(idx)
+			return true
+		}
+	}
+	return false
+}
+
+// maybeMerge merges the bucket at cell idx with its buddy while both are
+// leaf-level splits whose union fits one bucket, then shrinks the
+// directory if possible.
+func (t *Table) maybeMerge(idx int) {
+	for {
+		b := t.dir[idx]
+		if b.localDepth == 0 {
+			break
+		}
+		span := 1 << uint(t.g-b.localDepth)
+		start := idx &^ (2*span - 1) // the buddy pair's full range
+		buddyStart := start + span
+		var buddy *bucket
+		if idx >= buddyStart {
+			buddy = t.dir[start]
+		} else {
+			buddy = t.dir[buddyStart]
+		}
+		if buddy.localDepth != b.localDepth || len(b.recs)+len(buddy.recs) > t.cfg.BucketCapacity {
+			break
+		}
+		merged := &bucket{localDepth: b.localDepth - 1, recs: append(append([]record{}, b.recs...), buddy.recs...)}
+		for i := 0; i < 2*span; i++ {
+			t.dir[start+i] = merged
+		}
+		idx = start
+	}
+	t.shrinkDirectory()
+}
+
+// shrinkDirectory halves the directory while every even/odd cell pair
+// points at the same bucket.
+func (t *Table) shrinkDirectory() {
+	for t.g > 0 {
+		can := true
+		for i := 0; i < len(t.dir); i += 2 {
+			if t.dir[i] != t.dir[i+1] {
+				can = false
+				break
+			}
+		}
+		if !can {
+			return
+		}
+		nd := make([]*bucket, len(t.dir)/2)
+		for i := range nd {
+			nd[i] = t.dir[2*i]
+		}
+		t.dir = nd
+		t.g--
+	}
+}
+
+// Walk calls fn for every stored record in an unspecified order;
+// returning false stops the walk.
+func (t *Table) Walk(fn func(key uint64, val any) bool) bool {
+	seen := map[*bucket]bool{}
+	for _, b := range t.dir {
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		for i := range b.recs {
+			if !fn(b.recs[i].key, b.recs[i].val) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Buckets returns the number of distinct buckets.
+func (t *Table) Buckets() int {
+	seen := map[*bucket]bool{}
+	for _, b := range t.dir {
+		seen[b] = true
+	}
+	return len(seen)
+}
+
+// Utilization returns stored records divided by total bucket capacity —
+// the quantity whose expectation Fagin et al. proved tends to ln 2.
+func (t *Table) Utilization() float64 {
+	nb := t.Buckets()
+	if nb == 0 {
+		return 0
+	}
+	return float64(t.size) / float64(nb*t.cfg.BucketCapacity)
+}
+
+// Census returns the bucket-occupancy census. Depth is the bucket's
+// local depth; relative "area" is the fraction of hash space the bucket
+// covers, 2^(-localDepth) — the exact analogue of block area, making the
+// aging machinery reusable for hashing.
+func (t *Table) Census() stats.Census {
+	var b stats.CensusBuilder
+	seen := map[*bucket]bool{}
+	for _, bk := range t.dir {
+		if seen[bk] {
+			continue
+		}
+		seen[bk] = true
+		b.AddLeaf(bk.localDepth, len(bk.recs), pow2neg(bk.localDepth))
+	}
+	return b.Census()
+}
+
+func pow2neg(n int) float64 {
+	if n < 0 {
+		return 0
+	}
+	if n > 62 {
+		n = 62
+	}
+	return 1 / float64(uint64(1)<<uint(n))
+}
+
+// CheckInvariants verifies the structural invariants of the table and
+// returns the first violation: directory size 2^g; every bucket's local
+// depth <= g; every bucket shared by exactly 2^(g-l) contiguous,
+// properly aligned cells; every record hashed into the right bucket.
+// Tests and failure-injection harnesses call this after every mutation
+// batch.
+func (t *Table) CheckInvariants() error {
+	if len(t.dir) != 1<<uint(t.g) {
+		return fmt.Errorf("exthash: directory size %d != 2^%d", len(t.dir), t.g)
+	}
+	if t.g > 0 && bits.OnesCount(uint(len(t.dir))) != 1 {
+		return fmt.Errorf("exthash: directory size %d not a power of two", len(t.dir))
+	}
+	counts := map[*bucket]int{}
+	first := map[*bucket]int{}
+	for i, b := range t.dir {
+		if _, ok := first[b]; !ok {
+			first[b] = i
+		}
+		counts[b]++
+	}
+	total := 0
+	for b, c := range counts {
+		if b.localDepth > t.g {
+			return fmt.Errorf("exthash: bucket local depth %d > global %d", b.localDepth, t.g)
+		}
+		want := 1 << uint(t.g-b.localDepth)
+		if c != want {
+			return fmt.Errorf("exthash: bucket at depth %d shared by %d cells, want %d", b.localDepth, c, want)
+		}
+		if first[b]%want != 0 {
+			return fmt.Errorf("exthash: bucket cells start at %d, not aligned to %d", first[b], want)
+		}
+		for _, r := range b.recs {
+			if t.dir[t.dirIndex(r.hash)] != b {
+				return fmt.Errorf("exthash: record with hash %x misfiled", r.hash)
+			}
+		}
+		total += len(b.recs)
+	}
+	if total != t.size {
+		return fmt.Errorf("exthash: %d records stored but size is %d", total, t.size)
+	}
+	return nil
+}

@@ -1,0 +1,313 @@
+package exthash
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"popana/internal/xrand"
+)
+
+func TestPutGet(t *testing.T) {
+	tab := MustNew(Config{BucketCapacity: 2})
+	rng := xrand.New(1)
+	keys := make([]uint64, 2000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		replaced, err := tab.Put(keys[i], i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if replaced {
+			t.Fatalf("fresh key %d reported replaced", keys[i])
+		}
+	}
+	if err := tab.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 2000 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	for i, k := range keys {
+		v, ok := tab.Get(k)
+		if !ok || v != i {
+			t.Fatalf("Get(%d) = %v, %v", k, v, ok)
+		}
+	}
+	if _, ok := tab.Get(0xdeadbeefdeadbeef); ok {
+		t.Fatal("found absent key (astronomically unlikely)")
+	}
+}
+
+func TestPutReplace(t *testing.T) {
+	tab := MustNew(Config{BucketCapacity: 4})
+	if _, err := tab.Put(42, "a"); err != nil {
+		t.Fatal(err)
+	}
+	replaced, err := tab.Put(42, "b")
+	if err != nil || !replaced {
+		t.Fatalf("replace = %v, %v", replaced, err)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	if v, _ := tab.Get(42); v != "b" {
+		t.Fatalf("value %v", v)
+	}
+}
+
+func TestDirectoryDoubling(t *testing.T) {
+	tab := MustNew(Config{BucketCapacity: 1, Hash: Identity})
+	// Keys with distinct top bits split cleanly.
+	keys := []uint64{0x0 << 62, 0x1 << 62, 0x2 << 62, 0x3 << 62}
+	for i, k := range keys {
+		if _, err := tab.Put(k, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tab.GlobalDepth() != 2 || tab.DirectorySize() != 4 {
+		t.Fatalf("global depth %d, directory %d", tab.GlobalDepth(), tab.DirectorySize())
+	}
+	if err := tab.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepeatedSplitOnSharedPrefix(t *testing.T) {
+	// Two keys sharing a long prefix force several doublings at once.
+	tab := MustNew(Config{BucketCapacity: 1, Hash: Identity})
+	a := uint64(0xF000000000000000)
+	b := uint64(0xF100000000000000) // differs at bit 56 (8 levels deep)
+	if _, err := tab.Put(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Put(b, 2); err != nil {
+		t.Fatal(err)
+	}
+	if tab.GlobalDepth() < 8 {
+		t.Fatalf("global depth %d, want >= 8", tab.GlobalDepth())
+	}
+	if err := tab.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tab.Get(a); !ok || v != 1 {
+		t.Fatal("key a lost")
+	}
+	if v, ok := tab.Get(b); !ok || v != 2 {
+		t.Fatal("key b lost")
+	}
+}
+
+func TestDirectoryOverflow(t *testing.T) {
+	tab := MustNew(Config{BucketCapacity: 1, MaxGlobalDepth: 4, Hash: Identity})
+	// Keys identical in the top 4 bits but distinct below cannot be
+	// separated within the depth bound.
+	if _, err := tab.Put(0x8000000000000000, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, err := tab.Put(0x8000000000000001, 2)
+	if err == nil {
+		t.Fatal("overflow not reported")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tab := MustNew(Config{BucketCapacity: 2})
+	rng := xrand.New(3)
+	keys := make([]uint64, 500)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		if _, err := tab.Put(keys[i], i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, k := range keys {
+		if !tab.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+		if _, ok := tab.Get(k); ok {
+			t.Fatalf("key %d present after delete", k)
+		}
+		if i%100 == 0 {
+			if err := tab.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tab.Len())
+	}
+	// Full merge shrinks the directory back to one bucket.
+	if tab.GlobalDepth() != 0 || tab.Buckets() != 1 {
+		t.Fatalf("after deleting all: depth %d, buckets %d", tab.GlobalDepth(), tab.Buckets())
+	}
+}
+
+func TestDeleteAbsent(t *testing.T) {
+	tab := MustNew(Config{BucketCapacity: 2})
+	if tab.Delete(123) {
+		t.Fatal("deleted absent key")
+	}
+}
+
+func TestChurnAgainstMap(t *testing.T) {
+	tab := MustNew(Config{BucketCapacity: 3})
+	rng := xrand.New(17)
+	model := map[uint64]int{}
+	var keys []uint64
+	for op := 0; op < 20000; op++ {
+		switch {
+		case rng.Float64() < 0.55 || len(keys) == 0:
+			k := uint64(rng.Intn(5000)) // small key space forces replacements
+			_, had := model[k]
+			replaced, err := tab.Put(k, op)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if replaced != had {
+				t.Fatalf("op %d: replaced=%v, model had=%v", op, replaced, had)
+			}
+			if !had {
+				keys = append(keys, k)
+			}
+			model[k] = op
+		default:
+			i := rng.Intn(len(keys))
+			k := keys[i]
+			keys[i] = keys[len(keys)-1]
+			keys = keys[:len(keys)-1]
+			if !tab.Delete(k) {
+				t.Fatalf("op %d: delete of live key failed", op)
+			}
+			delete(model, k)
+		}
+		if tab.Len() != len(model) {
+			t.Fatalf("op %d: size %d, model %d", op, tab.Len(), len(model))
+		}
+	}
+	if err := tab.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range model {
+		got, ok := tab.Get(k)
+		if !ok || got != v {
+			t.Fatalf("Get(%d) = %v, %v; want %d", k, got, ok, v)
+		}
+	}
+}
+
+func TestUtilizationNearLn2(t *testing.T) {
+	// Fagin et al.: expected utilization tends to ln 2 ≈ 0.693.
+	tab := MustNew(Config{BucketCapacity: 8})
+	rng := xrand.New(29)
+	for tab.Len() < 20000 {
+		if _, err := tab.Put(rng.Uint64(), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u := tab.Utilization()
+	if u < 0.6 || u > 0.78 {
+		t.Fatalf("utilization %v, expected near ln 2", u)
+	}
+}
+
+func TestCensus(t *testing.T) {
+	tab := MustNew(Config{BucketCapacity: 4})
+	rng := xrand.New(31)
+	for tab.Len() < 1000 {
+		if _, err := tab.Put(rng.Uint64(), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := tab.Census()
+	if c.Items != 1000 {
+		t.Fatalf("census items %d", c.Items)
+	}
+	if c.Leaves != tab.Buckets() {
+		t.Fatalf("census leaves %d, buckets %d", c.Leaves, tab.Buckets())
+	}
+	for occ, cnt := range c.ByOccupancy {
+		if occ > 4 && cnt > 0 {
+			t.Fatalf("bucket with occupancy %d > capacity", occ)
+		}
+	}
+}
+
+func TestWalk(t *testing.T) {
+	tab := MustNew(Config{BucketCapacity: 2})
+	for i := uint64(0); i < 100; i++ {
+		if _, err := tab.Put(i, int(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[uint64]bool{}
+	tab.Walk(func(k uint64, v any) bool {
+		seen[k] = true
+		return true
+	})
+	if len(seen) != 100 {
+		t.Fatalf("walk saw %d keys", len(seen))
+	}
+	n := 0
+	if tab.Walk(func(uint64, any) bool { n++; return n < 5 }) {
+		t.Fatal("early-stopped walk reported complete")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{BucketCapacity: 0}); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := New(Config{BucketCapacity: 1, MaxGlobalDepth: 63}); err == nil {
+		t.Error("max depth 63 accepted")
+	}
+	if _, err := New(Config{BucketCapacity: 1, MaxGlobalDepth: -1}); err == nil {
+		t.Error("negative max depth accepted")
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping one input bit flips roughly half the output bits.
+	rng := xrand.New(37)
+	f := func(x uint64, bitRaw uint8) bool {
+		x = rng.Uint64()
+		bit := uint(bitRaw % 64)
+		a, b := Mix64(x), Mix64(x^(1<<bit))
+		diff := a ^ b
+		n := 0
+		for i := 0; i < 64; i++ {
+			if diff>>uint(i)&1 == 1 {
+				n++
+			}
+		}
+		return n >= 10 && n <= 54
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhasingInUtilization(t *testing.T) {
+	// Utilization oscillates in log n: sample at powers of two times
+	// √2 and check the spread over a late window is non-trivial.
+	tab := MustNew(Config{BucketCapacity: 8})
+	rng := xrand.New(41)
+	var utils []float64
+	targets := []int{1024, 1448, 2048, 2896, 4096}
+	for _, n := range targets {
+		for tab.Len() < n {
+			if _, err := tab.Put(rng.Uint64(), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		utils = append(utils, tab.Utilization())
+	}
+	lo, hi := utils[0], utils[0]
+	for _, u := range utils {
+		lo = math.Min(lo, u)
+		hi = math.Max(hi, u)
+	}
+	if hi-lo < 0.01 {
+		t.Fatalf("no oscillation visible: %v", utils)
+	}
+}

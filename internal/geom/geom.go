@@ -1,0 +1,214 @@
+// Package geom provides the planar geometry shared by every hierarchical
+// structure in this repository: points, axis-aligned rectangles,
+// quadrant decomposition, and line segments with rectangle clipping
+// (needed by the PMR quadtree).
+//
+// Coordinates are float64 in an arbitrary unit square or rectangle; the
+// trees never assume integer grids. Quadrant numbering follows the usual
+// quadtree convention:
+//
+//	2 | 3        (y grows upward; bit 0 = east, bit 1 = north)
+//	--+--
+//	0 | 1
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a point in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{x, y} }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.6g, %.6g)", p.X, p.Y) }
+
+// Dist2 returns the squared Euclidean distance between p and q.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return math.Sqrt(p.Dist2(q)) }
+
+// Rect is an axis-aligned rectangle, closed on its min edges and open on
+// its max edges: a point p is inside iff MinX <= p.X < MaxX and
+// MinY <= p.Y < MaxY. Half-openness makes quadrant decomposition a true
+// partition, so a point on an internal boundary belongs to exactly one
+// quadrant.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// UnitSquare is the canonical [0,1)×[0,1) region the paper's experiments
+// use.
+var UnitSquare = Rect{0, 0, 1, 1}
+
+// R is shorthand for Rect{minX, minY, maxX, maxY}.
+func R(minX, minY, maxX, maxY float64) Rect { return Rect{minX, minY, maxX, maxY} }
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.6g,%.6g)x[%.6g,%.6g)", r.MinX, r.MaxX, r.MinY, r.MaxY)
+}
+
+// Width returns the horizontal extent.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the vertical extent.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Area returns the rectangle's area.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the rectangle's center point.
+func (r Rect) Center() Point {
+	return Point{r.MinX + r.Width()/2, r.MinY + r.Height()/2}
+}
+
+// Empty reports whether the rectangle encloses no area.
+func (r Rect) Empty() bool { return r.MinX >= r.MaxX || r.MinY >= r.MaxY }
+
+// Contains reports whether p lies in the half-open rectangle.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X < r.MaxX && p.Y >= r.MinY && p.Y < r.MaxY
+}
+
+// ContainsClosed reports whether p lies in the closure of r (all edges
+// inclusive). Range queries use the closed test so callers are not
+// surprised when points sit exactly on a query edge.
+func (r Rect) ContainsClosed(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// Intersects reports whether r and s share any area.
+func (r Rect) Intersects(s Rect) bool {
+	return r.MinX < s.MaxX && s.MinX < r.MaxX && r.MinY < s.MaxY && s.MinY < r.MaxY
+}
+
+// ContainsRect reports whether s is entirely inside r.
+func (r Rect) ContainsRect(s Rect) bool {
+	return s.MinX >= r.MinX && s.MaxX <= r.MaxX && s.MinY >= r.MinY && s.MaxY <= r.MaxY
+}
+
+// Quadrant returns quadrant q of r (q in 0..3; bit 0 = east half,
+// bit 1 = north half).
+func (r Rect) Quadrant(q int) Rect {
+	cx, cy := r.MinX+r.Width()/2, r.MinY+r.Height()/2
+	out := r
+	if q&1 == 0 {
+		out.MaxX = cx
+	} else {
+		out.MinX = cx
+	}
+	if q&2 == 0 {
+		out.MaxY = cy
+	} else {
+		out.MinY = cy
+	}
+	return out
+}
+
+// QuadrantOf returns the quadrant index (0..3) of p within r. The point
+// need not be inside r; callers that care must check Contains first.
+func (r Rect) QuadrantOf(p Point) int {
+	cx, cy := r.MinX+r.Width()/2, r.MinY+r.Height()/2
+	q := 0
+	if p.X >= cx {
+		q |= 1
+	}
+	if p.Y >= cy {
+		q |= 2
+	}
+	return q
+}
+
+// Halves splits r in two along the given axis (0 = split vertically into
+// west/east, 1 = split horizontally into south/north), as a bintree does.
+func (r Rect) Halves(axis int) (lo, hi Rect) {
+	lo, hi = r, r
+	if axis == 0 {
+		cx := r.MinX + r.Width()/2
+		lo.MaxX, hi.MinX = cx, cx
+	} else {
+		cy := r.MinY + r.Height()/2
+		lo.MaxY, hi.MinY = cy, cy
+	}
+	return lo, hi
+}
+
+// Segment is a line segment from A to B.
+type Segment struct {
+	A, B Point
+}
+
+// Seg is shorthand for Segment{a, b}.
+func Seg(a, b Point) Segment { return Segment{a, b} }
+
+// String implements fmt.Stringer.
+func (s Segment) String() string { return fmt.Sprintf("%v-%v", s.A, s.B) }
+
+// Length returns the segment's Euclidean length.
+func (s Segment) Length() float64 { return s.A.Dist(s.B) }
+
+// IntersectsRect reports whether the segment has a non-empty intersection
+// with the closed rectangle r. It uses Liang–Barsky clipping, which also
+// yields the clip parameters for ClipToRect.
+func (s Segment) IntersectsRect(r Rect) bool {
+	_, _, ok := s.clipParams(r)
+	return ok
+}
+
+// ClipToRect returns the part of s inside the closed rectangle r, and
+// whether any part lies inside.
+func (s Segment) ClipToRect(r Rect) (Segment, bool) {
+	t0, t1, ok := s.clipParams(r)
+	if !ok {
+		return Segment{}, false
+	}
+	dx, dy := s.B.X-s.A.X, s.B.Y-s.A.Y
+	return Segment{
+		A: Point{s.A.X + t0*dx, s.A.Y + t0*dy},
+		B: Point{s.A.X + t1*dx, s.A.Y + t1*dy},
+	}, true
+}
+
+// clipParams runs Liang–Barsky, returning the parameter interval of s
+// inside r (treating r as closed) and whether it is non-empty.
+func (s Segment) clipParams(r Rect) (t0, t1 float64, ok bool) {
+	dx, dy := s.B.X-s.A.X, s.B.Y-s.A.Y
+	t0, t1 = 0, 1
+	clip := func(p, q float64) bool {
+		if p == 0 {
+			return q >= 0 // parallel: inside iff q >= 0
+		}
+		t := q / p
+		if p < 0 {
+			if t > t1 {
+				return false
+			}
+			if t > t0 {
+				t0 = t
+			}
+		} else {
+			if t < t0 {
+				return false
+			}
+			if t < t1 {
+				t1 = t
+			}
+		}
+		return true
+	}
+	if !clip(-dx, s.A.X-r.MinX) || !clip(dx, r.MaxX-s.A.X) ||
+		!clip(-dy, s.A.Y-r.MinY) || !clip(dy, r.MaxY-s.A.Y) {
+		return 0, 0, false
+	}
+	return t0, t1, true
+}

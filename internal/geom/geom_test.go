@@ -1,0 +1,250 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"popana/internal/xrand"
+)
+
+func TestPointDist(t *testing.T) {
+	a, b := Pt(0, 0), Pt(3, 4)
+	if d := a.Dist(b); d != 5 {
+		t.Errorf("Dist = %v", d)
+	}
+	if d := a.Dist2(b); d != 25 {
+		t.Errorf("Dist2 = %v", d)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := R(0, 0, 2, 4)
+	if r.Width() != 2 || r.Height() != 4 || r.Area() != 8 {
+		t.Errorf("dims wrong: %v", r)
+	}
+	if c := r.Center(); c != Pt(1, 2) {
+		t.Errorf("Center = %v", c)
+	}
+	if r.Empty() {
+		t.Error("non-empty rect reported empty")
+	}
+	if !R(1, 1, 1, 2).Empty() {
+		t.Error("zero-width rect not empty")
+	}
+}
+
+func TestRectContainsHalfOpen(t *testing.T) {
+	r := R(0, 0, 1, 1)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(0, 0), true},       // min corner inside
+		{Pt(1, 1), false},      // max corner outside
+		{Pt(1, 0), false},      // max-x edge outside
+		{Pt(0, 1), false},      // max-y edge outside
+		{Pt(0.5, 0.5), true},   // interior
+		{Pt(-0.1, 0.5), false}, // west of r
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Closed variant includes max edges.
+	if !r.ContainsClosed(Pt(1, 1)) {
+		t.Error("ContainsClosed excludes max corner")
+	}
+}
+
+func TestQuadrantsPartition(t *testing.T) {
+	// Every point of the parent belongs to exactly one quadrant, and
+	// QuadrantOf agrees with Quadrant geometry.
+	rng := xrand.New(5)
+	r := R(0, 0, 1, 1)
+	for i := 0; i < 10000; i++ {
+		p := Pt(rng.Float64(), rng.Float64())
+		count := 0
+		for q := 0; q < 4; q++ {
+			if r.Quadrant(q).Contains(p) {
+				count++
+				if r.QuadrantOf(p) != q {
+					t.Fatalf("QuadrantOf(%v) = %d but point is in quadrant %d", p, r.QuadrantOf(p), q)
+				}
+			}
+		}
+		if count != 1 {
+			t.Fatalf("point %v in %d quadrants", p, count)
+		}
+	}
+}
+
+func TestQuadrantOnCenterlines(t *testing.T) {
+	r := R(0, 0, 1, 1)
+	// Points exactly on the center lines belong to the upper/right
+	// quadrants (half-open convention).
+	if q := r.QuadrantOf(Pt(0.5, 0.25)); q != 1 {
+		t.Errorf("center-x point in quadrant %d, want 1", q)
+	}
+	if q := r.QuadrantOf(Pt(0.25, 0.5)); q != 2 {
+		t.Errorf("center-y point in quadrant %d, want 2", q)
+	}
+	if q := r.QuadrantOf(Pt(0.5, 0.5)); q != 3 {
+		t.Errorf("center point in quadrant %d, want 3", q)
+	}
+}
+
+func TestQuadrantAreas(t *testing.T) {
+	r := R(0, 0, 2, 2)
+	for q := 0; q < 4; q++ {
+		if a := r.Quadrant(q).Area(); a != 1 {
+			t.Errorf("quadrant %d area %v", q, a)
+		}
+	}
+}
+
+func TestHalves(t *testing.T) {
+	r := R(0, 0, 2, 2)
+	lo, hi := r.Halves(0)
+	if lo != R(0, 0, 1, 2) || hi != R(1, 0, 2, 2) {
+		t.Errorf("x halves: %v %v", lo, hi)
+	}
+	lo, hi = r.Halves(1)
+	if lo != R(0, 0, 2, 1) || hi != R(0, 1, 2, 2) {
+		t.Errorf("y halves: %v %v", lo, hi)
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := R(0, 0, 1, 1)
+	if !a.Intersects(R(0.5, 0.5, 2, 2)) {
+		t.Error("overlapping rects do not intersect")
+	}
+	if a.Intersects(R(1, 0, 2, 1)) {
+		t.Error("edge-touching half-open rects intersect")
+	}
+	if a.Intersects(R(2, 2, 3, 3)) {
+		t.Error("disjoint rects intersect")
+	}
+}
+
+func TestContainsRect(t *testing.T) {
+	if !R(0, 0, 2, 2).ContainsRect(R(0.5, 0.5, 1, 1)) {
+		t.Error("inner rect not contained")
+	}
+	if R(0, 0, 2, 2).ContainsRect(R(1, 1, 3, 3)) {
+		t.Error("overflowing rect contained")
+	}
+}
+
+func TestSegmentLength(t *testing.T) {
+	if l := Seg(Pt(0, 0), Pt(3, 4)).Length(); l != 5 {
+		t.Errorf("Length = %v", l)
+	}
+}
+
+func TestClipInsideSegment(t *testing.T) {
+	r := R(0, 0, 1, 1)
+	s := Seg(Pt(0.2, 0.2), Pt(0.8, 0.8))
+	c, ok := s.ClipToRect(r)
+	if !ok || c != s {
+		t.Fatalf("interior segment clipped to %v, ok=%v", c, ok)
+	}
+}
+
+func TestClipCrossingSegment(t *testing.T) {
+	r := R(0, 0, 1, 1)
+	s := Seg(Pt(-1, 0.5), Pt(2, 0.5))
+	c, ok := s.ClipToRect(r)
+	if !ok {
+		t.Fatal("crossing segment not clipped")
+	}
+	if math.Abs(c.A.X-0) > 1e-12 || math.Abs(c.B.X-1) > 1e-12 || c.A.Y != 0.5 {
+		t.Fatalf("clip = %v", c)
+	}
+}
+
+func TestClipMissingSegment(t *testing.T) {
+	r := R(0, 0, 1, 1)
+	if _, ok := Seg(Pt(2, 2), Pt(3, 3)).ClipToRect(r); ok {
+		t.Fatal("disjoint segment clipped")
+	}
+	if Seg(Pt(2, 2), Pt(3, 3)).IntersectsRect(r) {
+		t.Fatal("disjoint segment intersects")
+	}
+}
+
+func TestClipDiagonalCorner(t *testing.T) {
+	// Segment cutting a corner.
+	r := R(0, 0, 1, 1)
+	s := Seg(Pt(0.5, -0.25), Pt(1.25, 0.5))
+	c, ok := s.ClipToRect(r)
+	if !ok {
+		t.Fatal("corner-cutting segment not clipped")
+	}
+	if c.A.Y < -1e-12 || c.B.X > 1+1e-12 {
+		t.Fatalf("clip out of rect: %v", c)
+	}
+}
+
+func TestClipTouchingCorner(t *testing.T) {
+	// Segment through the exact corner has a degenerate (point)
+	// intersection; Liang-Barsky reports it with zero length.
+	r := R(0, 0, 1, 1)
+	s := Seg(Pt(-1, 1), Pt(1, -1)) // passes through (0,0)
+	c, ok := s.ClipToRect(r)
+	if ok && c.Length() > 1e-12 {
+		t.Fatalf("corner touch clipped to positive length %v", c.Length())
+	}
+}
+
+func TestClipVerticalSegment(t *testing.T) {
+	r := R(0, 0, 1, 1)
+	c, ok := Seg(Pt(0.5, -1), Pt(0.5, 2)).ClipToRect(r)
+	if !ok || math.Abs(c.Length()-1) > 1e-12 {
+		t.Fatalf("vertical clip %v ok=%v", c, ok)
+	}
+}
+
+func TestClipPropertyEndpointsInsideRect(t *testing.T) {
+	rng := xrand.New(9)
+	f := func(a, b uint16) bool {
+		r := R(0.25, 0.25, 0.75, 0.75)
+		s := Seg(
+			Pt(float64(a%100)/50-1, float64(a/100%100)/50-1),
+			Pt(float64(b%100)/50-1, float64(b/100%100)/50-1),
+		)
+		_ = rng
+		c, ok := s.ClipToRect(r)
+		if !ok {
+			return true
+		}
+		eps := 1e-9
+		return c.A.X >= r.MinX-eps && c.A.X <= r.MaxX+eps &&
+			c.B.X >= r.MinX-eps && c.B.X <= r.MaxX+eps &&
+			c.A.Y >= r.MinY-eps && c.A.Y <= r.MaxY+eps &&
+			c.B.Y >= r.MinY-eps && c.B.Y <= r.MaxY+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClipConsistentWithIntersects(t *testing.T) {
+	rng := xrand.New(10)
+	r := R(0.3, 0.3, 0.7, 0.7)
+	for i := 0; i < 5000; i++ {
+		s := Seg(Pt(rng.Float64(), rng.Float64()), Pt(rng.Float64(), rng.Float64()))
+		_, okClip := s.ClipToRect(r)
+		if okClip != s.IntersectsRect(r) {
+			t.Fatalf("Clip and Intersects disagree for %v", s)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Pt(1, 2).String() == "" || R(0, 0, 1, 1).String() == "" || Seg(Pt(0, 0), Pt(1, 1)).String() == "" {
+		t.Error("empty Stringer output")
+	}
+}

@@ -1,0 +1,256 @@
+// Package hypertree generalizes the PR quadtree to d dimensions: a
+// regular recursive decomposition of a d-dimensional unit box into 2^d
+// congruent orthants, with leaf capacity m. For d = 2 it is the PR
+// quadtree, d = 3 the PR octree [Jack80, Meag82], d = 1 a bucketed
+// binary trie over an interval.
+//
+// The paper asserts that "the same principles apply in the case of
+// octrees and higher dimensional data structures"; this package is the
+// substrate on which the fanout-F population model (F = 2^d) is
+// validated experimentally (experiment E7).
+package hypertree
+
+import (
+	"errors"
+	"fmt"
+
+	"popana/internal/stats"
+	"popana/internal/xrand"
+)
+
+// DefaultMaxDepth bounds decomposition when Config.MaxDepth is zero.
+const DefaultMaxDepth = 40
+
+// ErrOutOfRegion is returned for points outside the unit box.
+var ErrOutOfRegion = errors.New("hypertree: point outside unit box")
+
+// Point is a point in [0,1)^d; its length fixes the dimension.
+type Point []float64
+
+// Clone returns a copy of p.
+func (p Point) Clone() Point {
+	q := make(Point, len(p))
+	copy(q, p)
+	return q
+}
+
+func (p Point) equal(q Point) bool {
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RandomPoint draws a uniform point in [0,1)^d.
+func RandomPoint(d int, rng *xrand.Rand) Point {
+	p := make(Point, d)
+	for i := range p {
+		p[i] = rng.Float64()
+	}
+	return p
+}
+
+// Config configures a tree.
+type Config struct {
+	// Dim is the dimension d >= 1; fanout is 2^d.
+	Dim int
+	// Capacity is the leaf capacity m >= 1.
+	Capacity int
+	// MaxDepth truncates decomposition; zero selects DefaultMaxDepth.
+	MaxDepth int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Dim < 1 || c.Dim > 16 {
+		return c, fmt.Errorf("hypertree: dimension %d outside 1..16", c.Dim)
+	}
+	if c.Capacity < 1 {
+		return c, fmt.Errorf("hypertree: capacity %d < 1", c.Capacity)
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = DefaultMaxDepth
+	}
+	if c.MaxDepth < 1 {
+		return c, fmt.Errorf("hypertree: max depth %d < 1", c.MaxDepth)
+	}
+	return c, nil
+}
+
+type node struct {
+	children []*node // nil iff leaf; length 2^d otherwise
+	pts      []Point
+}
+
+func (n *node) leaf() bool { return n.children == nil }
+
+// Tree is a PR 2^d-tree over the unit box storing distinct points.
+type Tree struct {
+	cfg    Config
+	fanout int
+	root   *node
+	size   int
+}
+
+// New returns an empty tree.
+func New(cfg Config) (*Tree, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{cfg: c, fanout: 1 << c.Dim, root: &node{}}, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(cfg Config) *Tree {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Len returns the number of stored points.
+func (t *Tree) Len() int { return t.size }
+
+// Fanout returns 2^d.
+func (t *Tree) Fanout() int { return t.fanout }
+
+// Dim returns the dimension d.
+func (t *Tree) Dim() int { return t.cfg.Dim }
+
+// orthant computes the orthant index of p within the block identified by
+// origin/size: bit i of the index is set when p lies in the upper half
+// along axis i. It also advances origin to the chosen child's origin.
+func (t *Tree) orthant(p Point, origin []float64, size float64) int {
+	idx := 0
+	half := size / 2
+	for i := 0; i < t.cfg.Dim; i++ {
+		if p[i] >= origin[i]+half {
+			idx |= 1 << i
+			origin[i] += half
+		}
+	}
+	return idx
+}
+
+// Insert stores p, returning whether an equal point was replaced.
+// The point must lie in [0,1)^d and have the tree's dimension.
+func (t *Tree) Insert(p Point) (replaced bool, err error) {
+	if len(p) != t.cfg.Dim {
+		return false, fmt.Errorf("hypertree: point dimension %d, tree dimension %d", len(p), t.cfg.Dim)
+	}
+	for _, x := range p {
+		if x < 0 || x >= 1 {
+			return false, fmt.Errorf("%w: %v", ErrOutOfRegion, p)
+		}
+	}
+	origin := make([]float64, t.cfg.Dim)
+	size := 1.0
+	n, depth := t.root, 0
+	for !n.leaf() {
+		q := t.orthant(p, origin, size)
+		size /= 2
+		n = n.children[q]
+		depth++
+	}
+	for i := range n.pts {
+		if n.pts[i].equal(p) {
+			n.pts[i] = p.Clone()
+			return true, nil
+		}
+	}
+	n.pts = append(n.pts, p.Clone())
+	t.size++
+	for len(n.pts) > t.cfg.Capacity && depth < t.cfg.MaxDepth {
+		t.split(n, origin, size)
+		over := -1
+		for c, ch := range n.children {
+			if len(ch.pts) > t.cfg.Capacity {
+				over = c
+				break
+			}
+		}
+		if over < 0 {
+			break
+		}
+		half := size / 2
+		for i := 0; i < t.cfg.Dim; i++ {
+			if over&(1<<i) != 0 {
+				origin[i] += half
+			}
+		}
+		size = half
+		n = n.children[over]
+		depth++
+	}
+	return false, nil
+}
+
+func (t *Tree) split(n *node, origin []float64, size float64) {
+	n.children = make([]*node, t.fanout)
+	for q := range n.children {
+		n.children[q] = &node{}
+	}
+	half := size / 2
+	for _, p := range n.pts {
+		idx := 0
+		for i := 0; i < t.cfg.Dim; i++ {
+			if p[i] >= origin[i]+half {
+				idx |= 1 << i
+			}
+		}
+		n.children[idx].pts = append(n.children[idx].pts, p)
+	}
+	n.pts = nil
+}
+
+// Contains reports whether an equal point is stored.
+func (t *Tree) Contains(p Point) bool {
+	if len(p) != t.cfg.Dim {
+		return false
+	}
+	for _, x := range p {
+		if x < 0 || x >= 1 {
+			return false
+		}
+	}
+	origin := make([]float64, t.cfg.Dim)
+	size := 1.0
+	n := t.root
+	for !n.leaf() {
+		q := t.orthant(p, origin, size)
+		size /= 2
+		n = n.children[q]
+	}
+	for i := range n.pts {
+		if n.pts[i].equal(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Census returns the occupancy census of the tree's leaves. Relative
+// block volume at depth k is 2^(-dk).
+func (t *Tree) Census() stats.Census {
+	var b stats.CensusBuilder
+	t.census(t.root, 0, &b)
+	return b.Census()
+}
+
+func (t *Tree) census(n *node, depth int, b *stats.CensusBuilder) {
+	if n.leaf() {
+		vol := 1.0
+		for i := 0; i < depth*t.cfg.Dim; i++ {
+			vol /= 2
+		}
+		b.AddLeaf(depth, len(n.pts), vol)
+		return
+	}
+	b.AddInternal(depth)
+	for _, c := range n.children {
+		t.census(c, depth+1, b)
+	}
+}

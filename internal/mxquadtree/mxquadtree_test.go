@@ -1,0 +1,176 @@
+package mxquadtree
+
+import (
+	"testing"
+
+	"popana/internal/xrand"
+)
+
+func TestInsertGet(t *testing.T) {
+	tr := MustNew(6) // 64x64
+	rng := xrand.New(1)
+	type cell struct{ x, y int }
+	live := map[cell]int{}
+	for i := 0; i < 500; i++ {
+		c := cell{rng.Intn(64), rng.Intn(64)}
+		_, had := live[c]
+		replaced, err := tr.Insert(c.x, c.y, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if replaced != had {
+			t.Fatalf("replace flag wrong at %v", c)
+		}
+		live[c] = i
+	}
+	if tr.Len() != len(live) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(live))
+	}
+	for c, v := range live {
+		got, ok := tr.Get(c.x, c.y)
+		if !ok || got != v {
+			t.Fatalf("Get(%v) = %v, %v", c, got, ok)
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	tr := MustNew(4)
+	if _, err := tr.Insert(16, 0, nil); err == nil {
+		t.Error("x=16 accepted on 16-grid")
+	}
+	if _, err := tr.Insert(-1, 0, nil); err == nil {
+		t.Error("negative accepted")
+	}
+	if _, ok := tr.Get(99, 0); ok {
+		t.Error("out-of-grid Get ok")
+	}
+	if tr.Delete(99, 0) {
+		t.Error("out-of-grid Delete ok")
+	}
+	if _, err := New(0); err == nil {
+		t.Error("depth 0 accepted")
+	}
+	if _, err := New(31); err == nil {
+		t.Error("depth 31 accepted")
+	}
+}
+
+func TestDeleteAndPrune(t *testing.T) {
+	tr := MustNew(5)
+	rng := xrand.New(2)
+	type cell struct{ x, y int }
+	var cells []cell
+	seen := map[cell]bool{}
+	for len(cells) < 200 {
+		c := cell{rng.Intn(32), rng.Intn(32)}
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		cells = append(cells, c)
+		if _, err := tr.Insert(c.x, c.y, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range cells {
+		if !tr.Delete(c.x, c.y) {
+			t.Fatalf("Delete(%v) failed", c)
+		}
+		if _, ok := tr.Get(c.x, c.y); ok {
+			t.Fatalf("cell %v present after delete", c)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Fully pruned: the root is a leaf again.
+	c := tr.Census()
+	if c.Internal != 0 || c.Leaves != 1 {
+		t.Fatalf("not pruned: %+v", c)
+	}
+	if tr.Delete(1, 1) {
+		t.Fatal("deleted from empty tree")
+	}
+}
+
+func TestRangeCountMatchesBruteForce(t *testing.T) {
+	tr := MustNew(6)
+	rng := xrand.New(3)
+	grid := [64][64]bool{}
+	for i := 0; i < 800; i++ {
+		x, y := rng.Intn(64), rng.Intn(64)
+		grid[x][y] = true
+		if _, err := tr.Insert(x, y, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 100; trial++ {
+		x0, x1 := rng.Intn(64), rng.Intn(64)
+		y0, y1 := rng.Intn(64), rng.Intn(64)
+		if x0 > x1 {
+			x0, x1 = x1, x0
+		}
+		if y0 > y1 {
+			y0, y1 = y1, y0
+		}
+		want := 0
+		for x := x0; x <= x1; x++ {
+			for y := y0; y <= y1; y++ {
+				if grid[x][y] {
+					want++
+				}
+			}
+		}
+		if got := tr.RangeCount(x0, y0, x1, y1); got != want {
+			t.Fatalf("RangeCount(%d,%d,%d,%d) = %d, want %d", x0, y0, x1, y1, got, want)
+		}
+	}
+}
+
+func TestCensusDegenerate(t *testing.T) {
+	// MX leaves have occupancy 0 or 1 only — the negative control for
+	// population analysis.
+	tr := MustNew(5)
+	rng := xrand.New(4)
+	for i := 0; i < 300; i++ {
+		if _, err := tr.Insert(rng.Intn(32), rng.Intn(32), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := tr.Census()
+	for occ, cnt := range c.ByOccupancy {
+		if occ > 1 && cnt > 0 {
+			t.Fatalf("MX leaf with occupancy %d", occ)
+		}
+	}
+	// All occupied leaves at depth k.
+	for d, dc := range c.ByDepth {
+		if d != 5 && dc.Items > 0 {
+			t.Fatalf("occupied leaf at depth %d", d)
+		}
+	}
+	if c.Items != tr.Len() {
+		t.Fatalf("census items %d, len %d", c.Items, tr.Len())
+	}
+}
+
+func TestDeterministicShape(t *testing.T) {
+	// Shape depends only on the occupied cells, not insertion order.
+	cells := [][2]int{{1, 1}, {30, 2}, {17, 29}, {5, 5}, {9, 23}}
+	build := func(order []int) (int, int) {
+		tr := MustNew(5)
+		for _, i := range order {
+			if _, err := tr.Insert(cells[i][0], cells[i][1], nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c := tr.Census()
+		return c.Leaves, c.Internal
+	}
+	l1, i1 := build([]int{0, 1, 2, 3, 4})
+	l2, i2 := build([]int{4, 2, 0, 3, 1})
+	if l1 != l2 || i1 != i2 {
+		t.Fatal("MX shape depends on insertion order")
+	}
+}

@@ -1,0 +1,266 @@
+// Package pm implements the PM3 quadtree of Samet and Webber [Same85b]:
+// a hierarchical structure for polygonal subdivisions (collections of
+// edges). Unlike the PMR quadtree's occupancy threshold, PM quadtrees
+// split on a *vertex* rule — PM3's is "split until no block contains
+// more than one vertex" — so edges meeting at a shared vertex, however
+// many, stay together in one block. Edges are stored in every leaf
+// block they cross.
+//
+// The PM3 member was chosen because its splitting rule is the direct
+// vertex analogue of the simple PR quadtree's point rule, making it the
+// natural bridge between the paper's point analysis and its line-data
+// extension.
+package pm
+
+import (
+	"errors"
+	"fmt"
+
+	"popana/internal/geom"
+	"popana/internal/stats"
+)
+
+// DefaultMaxDepth bounds decomposition when Config.MaxDepth is zero.
+// Two distinct vertices closer than 2^-24 of the region cannot be
+// separated; such blocks keep both (the same truncation the other trees
+// apply).
+const DefaultMaxDepth = 24
+
+// ErrOutsideRegion is returned when an edge does not intersect the
+// region.
+var ErrOutsideRegion = errors.New("pm: edge outside region")
+
+// Config configures a tree.
+type Config struct {
+	// Region is the universe; the zero rectangle selects geom.UnitSquare.
+	Region geom.Rect
+	// MaxDepth truncates decomposition; zero selects DefaultMaxDepth.
+	MaxDepth int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Region == (geom.Rect{}) {
+		c.Region = geom.UnitSquare
+	}
+	if c.Region.Empty() {
+		return c, fmt.Errorf("pm: empty region %v", c.Region)
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = DefaultMaxDepth
+	}
+	if c.MaxDepth < 1 {
+		return c, fmt.Errorf("pm: max depth %d < 1", c.MaxDepth)
+	}
+	return c, nil
+}
+
+type edgeRef struct {
+	id  int
+	seg geom.Segment
+}
+
+type node struct {
+	children *[4]*node
+	edges    []edgeRef
+}
+
+func (n *node) leaf() bool { return n.children == nil }
+
+// Tree is a PM3 quadtree over a rectangle.
+type Tree struct {
+	cfg    Config
+	root   *node
+	size   int
+	nextID int
+}
+
+// New returns an empty tree.
+func New(cfg Config) (*Tree, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{cfg: c, root: &node{}}, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(cfg Config) *Tree {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Len returns the number of distinct edges stored.
+func (t *Tree) Len() int { return t.size }
+
+// Region returns the universe rectangle.
+func (t *Tree) Region() geom.Rect { return t.cfg.Region }
+
+// crosses reports whether seg occupies block with positive length.
+func crosses(seg geom.Segment, block geom.Rect) bool {
+	clipped, ok := seg.ClipToRect(block)
+	return ok && clipped.Length() > 1e-12
+}
+
+// vertexCount returns the number of distinct edge endpoints lying
+// strictly inside (half-open) block among the given edges.
+func vertexCount(edges []edgeRef, block geom.Rect) int {
+	seen := map[geom.Point]bool{}
+	for _, e := range edges {
+		for _, p := range [2]geom.Point{e.seg.A, e.seg.B} {
+			if block.Contains(p) {
+				seen[p] = true
+			}
+		}
+	}
+	return len(seen)
+}
+
+// Insert stores the edge, splitting blocks recursively until no block
+// holds more than one distinct vertex (PM3 rule), subject to the depth
+// truncation. Degenerate (zero-length) edges are rejected.
+func (t *Tree) Insert(seg geom.Segment) error {
+	if seg.Length() <= 1e-12 {
+		return fmt.Errorf("pm: degenerate edge %v", seg)
+	}
+	if !crosses(seg, t.cfg.Region) {
+		return fmt.Errorf("%w: %v vs %v", ErrOutsideRegion, seg, t.cfg.Region)
+	}
+	ref := edgeRef{id: t.nextID, seg: seg}
+	t.nextID++
+	t.size++
+	t.insert(t.root, t.cfg.Region, 0, ref)
+	return nil
+}
+
+func (t *Tree) insert(n *node, block geom.Rect, depth int, ref edgeRef) {
+	if !n.leaf() {
+		for q := 0; q < 4; q++ {
+			child := block.Quadrant(q)
+			if crosses(ref.seg, child) {
+				t.insert(n.children[q], child, depth+1, ref)
+			}
+		}
+		return
+	}
+	n.edges = append(n.edges, ref)
+	t.enforce(n, block, depth)
+}
+
+// enforce recursively splits leaf n while it violates the PM3 vertex
+// rule and the depth cap permits.
+func (t *Tree) enforce(n *node, block geom.Rect, depth int) {
+	if vertexCount(n.edges, block) <= 1 || depth >= t.cfg.MaxDepth {
+		return
+	}
+	var ch [4]*node
+	for q := range ch {
+		ch[q] = &node{}
+	}
+	for _, e := range n.edges {
+		for q := 0; q < 4; q++ {
+			if crosses(e.seg, block.Quadrant(q)) {
+				ch[q].edges = append(ch[q].edges, e)
+			}
+		}
+	}
+	n.edges = nil
+	n.children = &ch
+	for q := 0; q < 4; q++ {
+		t.enforce(ch[q], block.Quadrant(q), depth+1)
+	}
+}
+
+// Stab returns the edges stored in the leaf block containing p.
+func (t *Tree) Stab(p geom.Point) []geom.Segment {
+	if !t.cfg.Region.Contains(p) {
+		return nil
+	}
+	n, block := t.root, t.cfg.Region
+	for !n.leaf() {
+		q := block.QuadrantOf(p)
+		block = block.Quadrant(q)
+		n = n.children[q]
+	}
+	out := make([]geom.Segment, len(n.edges))
+	for i, e := range n.edges {
+		out[i] = e.seg
+	}
+	return out
+}
+
+// RangeEdges returns the distinct edges crossing the query rectangle.
+func (t *Tree) RangeEdges(query geom.Rect) []geom.Segment {
+	seen := map[int]geom.Segment{}
+	t.rangeEdges(t.root, t.cfg.Region, query, seen)
+	out := make([]geom.Segment, 0, len(seen))
+	for _, s := range seen {
+		out = append(out, s)
+	}
+	return out
+}
+
+func (t *Tree) rangeEdges(n *node, block, query geom.Rect, seen map[int]geom.Segment) {
+	if n.leaf() {
+		for _, e := range n.edges {
+			if _, ok := seen[e.id]; ok {
+				continue
+			}
+			if crosses(e.seg, query) {
+				seen[e.id] = e.seg
+			}
+		}
+		return
+	}
+	for q := 0; q < 4; q++ {
+		child := block.Quadrant(q)
+		if child.Intersects(query) {
+			t.rangeEdges(n.children[q], child, query, seen)
+		}
+	}
+}
+
+// CheckVertexRule walks the tree verifying the PM3 invariant: every
+// leaf above the depth cap holds at most one distinct vertex.
+func (t *Tree) CheckVertexRule() error {
+	return t.check(t.root, t.cfg.Region, 0)
+}
+
+func (t *Tree) check(n *node, block geom.Rect, depth int) error {
+	if n.leaf() {
+		if depth < t.cfg.MaxDepth {
+			if v := vertexCount(n.edges, block); v > 1 {
+				return fmt.Errorf("pm: leaf %v at depth %d holds %d vertices", block, depth, v)
+			}
+		}
+		return nil
+	}
+	for q := 0; q < 4; q++ {
+		if err := t.check(n.children[q], block.Quadrant(q), depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Census returns the edge-tenancy census of the leaves (occupancy =
+// edges stored per block), comparable with the PMR census.
+func (t *Tree) Census() stats.Census {
+	var b stats.CensusBuilder
+	total := t.cfg.Region.Area()
+	t.census(t.root, t.cfg.Region, 0, total, &b)
+	return b.Census()
+}
+
+func (t *Tree) census(n *node, block geom.Rect, depth int, total float64, b *stats.CensusBuilder) {
+	if n.leaf() {
+		b.AddLeaf(depth, len(n.edges), block.Area()/total)
+		return
+	}
+	b.AddInternal(depth)
+	for q := 0; q < 4; q++ {
+		t.census(n.children[q], block.Quadrant(q), depth+1, total, b)
+	}
+}

@@ -1,0 +1,163 @@
+package pm
+
+import (
+	"testing"
+
+	"popana/internal/dist"
+	"popana/internal/geom"
+	"popana/internal/xrand"
+)
+
+func TestInsertAndVertexRule(t *testing.T) {
+	tr := MustNew(Config{})
+	// A star of edges sharing one vertex in generic position (not on
+	// any split line): PM3 keeps the hub's incident edges together —
+	// splits isolate the outer endpoints, and the block containing the
+	// hub holds every spoke.
+	hub := geom.Pt(0.53, 0.51)
+	spokes := []geom.Segment{
+		geom.Seg(hub, geom.Pt(0.91, 0.57)),
+		geom.Seg(hub, geom.Pt(0.47, 0.93)),
+		geom.Seg(hub, geom.Pt(0.11, 0.43)),
+		geom.Seg(hub, geom.Pt(0.59, 0.09)),
+	}
+	for _, s := range spokes {
+		if err := tr.Insert(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckVertexRule(); err != nil {
+		t.Fatal(err)
+	}
+	// The hub's block holds all four spokes.
+	got := tr.Stab(hub)
+	if len(got) != 4 {
+		t.Fatalf("hub stab returned %d edges", len(got))
+	}
+}
+
+func TestTwoVerticesForceSplit(t *testing.T) {
+	tr := MustNew(Config{})
+	if err := tr.Insert(geom.Seg(geom.Pt(0.2, 0.2), geom.Pt(0.3, 0.3))); err != nil {
+		t.Fatal(err)
+	}
+	// One edge has two endpoints in the root: must have split until
+	// they are separated.
+	if err := tr.CheckVertexRule(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Census().Height == 0 {
+		t.Fatal("two-vertex edge did not split the root")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{MaxDepth: -1}); err == nil {
+		t.Error("negative max depth accepted")
+	}
+	if _, err := New(Config{Region: geom.R(1, 1, 1, 2)}); err == nil {
+		t.Error("empty region accepted")
+	}
+	tr := MustNew(Config{})
+	if err := tr.Insert(geom.Seg(geom.Pt(0.5, 0.5), geom.Pt(0.5, 0.5))); err == nil {
+		t.Error("degenerate edge accepted")
+	}
+	if err := tr.Insert(geom.Seg(geom.Pt(2, 2), geom.Pt(3, 3))); err == nil {
+		t.Error("outside edge accepted")
+	}
+}
+
+func TestRandomSubdivision(t *testing.T) {
+	tr := MustNew(Config{})
+	rng := xrand.New(5)
+	src := dist.NewShortSegments(tr.Region(), 0.1, rng)
+	for tr.Len() < 300 {
+		if err := tr.Insert(src.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckVertexRule(); err != nil {
+		t.Fatal(err)
+	}
+	c := tr.Census()
+	if c.Leaves == 0 || c.Items < 300 {
+		t.Fatalf("census %+v", c)
+	}
+}
+
+func TestPolygonStaysQueryable(t *testing.T) {
+	// A closed polygon: consecutive edges share vertices, so the PM3
+	// rule never separates a vertex from its incident edges.
+	tr := MustNew(Config{})
+	poly := []geom.Point{
+		geom.Pt(0.2, 0.2), geom.Pt(0.8, 0.25), geom.Pt(0.7, 0.7), geom.Pt(0.3, 0.75),
+	}
+	for i := range poly {
+		if err := tr.Insert(geom.Seg(poly[i], poly[(i+1)%len(poly)])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckVertexRule(); err != nil {
+		t.Fatal(err)
+	}
+	// Every vertex's block contains its two incident edges.
+	for i, v := range poly {
+		segs := tr.Stab(geom.Pt(v.X+1e-6, v.Y+1e-6))
+		if len(segs) < 2 {
+			t.Errorf("vertex %d block holds %d edges, want >= 2", i, len(segs))
+		}
+	}
+	// Range query over the whole region returns all 4 distinct edges.
+	if got := tr.RangeEdges(geom.UnitSquare); len(got) != 4 {
+		t.Fatalf("range returned %d edges", len(got))
+	}
+	// A window over one side only.
+	if got := tr.RangeEdges(geom.R(0.0, 0.0, 0.25, 0.25)); len(got) == 0 {
+		t.Fatal("corner window empty")
+	}
+}
+
+func TestStabOutsideRegion(t *testing.T) {
+	tr := MustNew(Config{})
+	if tr.Stab(geom.Pt(2, 2)) != nil {
+		t.Fatal("stab outside region returned edges")
+	}
+}
+
+func TestMaxDepthTruncation(t *testing.T) {
+	tr := MustNew(Config{MaxDepth: 3})
+	// Two vertices too close to separate within 3 levels.
+	if err := tr.Insert(geom.Seg(geom.Pt(0.01, 0.01), geom.Pt(0.011, 0.011))); err != nil {
+		t.Fatal(err)
+	}
+	if h := tr.Census().Height; h > 3 {
+		t.Fatalf("height %d > 3", h)
+	}
+	// CheckVertexRule tolerates the depth-cap truncation.
+	if err := tr.CheckVertexRule(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicShape(t *testing.T) {
+	build := func() (int, int) {
+		tr := MustNew(Config{})
+		rng := xrand.New(42)
+		src := dist.NewShortSegments(tr.Region(), 0.08, rng)
+		for tr.Len() < 150 {
+			if err := tr.Insert(src.Next()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c := tr.Census()
+		return c.Leaves, c.Items
+	}
+	l1, i1 := build()
+	l2, i2 := build()
+	if l1 != l2 || i1 != i2 {
+		t.Fatal("same edges, different shapes")
+	}
+}

@@ -1,0 +1,263 @@
+// Package pmr implements the PMR quadtree of Nelson and Samet [Nels86a]:
+// a hierarchical structure for line segments. Each segment is stored in
+// every leaf block it crosses. When inserting a segment pushes a leaf's
+// occupancy above the splitting threshold k, that leaf is split exactly
+// once — never recursively — and its segments are redistributed into the
+// quadrants they cross. Blocks may therefore transiently hold more than
+// k segments; the threshold bounds expected, not worst-case, occupancy.
+//
+// This is the structure whose population analysis the paper reports
+// applying "with results which agree with experimental data even better
+// than in the case of the PR quadtree" ([Nels86b]); experiment E8
+// validates our reconstruction of that model (core.NewLineModel) against
+// this implementation.
+package pmr
+
+import (
+	"errors"
+	"fmt"
+
+	"popana/internal/geom"
+	"popana/internal/stats"
+)
+
+// DefaultMaxDepth bounds decomposition when Config.MaxDepth is zero.
+const DefaultMaxDepth = 24
+
+// ErrOutsideRegion is returned when a segment does not intersect the
+// tree's region at all.
+var ErrOutsideRegion = errors.New("pmr: segment outside region")
+
+// Config configures a tree.
+type Config struct {
+	// Threshold is the splitting threshold k >= 1.
+	Threshold int
+	// Region is the universe; the zero rectangle selects geom.UnitSquare.
+	Region geom.Rect
+	// MaxDepth truncates decomposition; zero selects DefaultMaxDepth.
+	MaxDepth int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Threshold < 1 {
+		return c, fmt.Errorf("pmr: threshold %d < 1", c.Threshold)
+	}
+	if c.Region == (geom.Rect{}) {
+		c.Region = geom.UnitSquare
+	}
+	if c.Region.Empty() {
+		return c, fmt.Errorf("pmr: empty region %v", c.Region)
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = DefaultMaxDepth
+	}
+	if c.MaxDepth < 1 {
+		return c, fmt.Errorf("pmr: max depth %d < 1", c.MaxDepth)
+	}
+	return c, nil
+}
+
+// segRef is a stored segment; ids distinguish identical geometries.
+type segRef struct {
+	id  int
+	seg geom.Segment
+}
+
+type node struct {
+	children *[4]*node // nil iff leaf
+	segs     []segRef
+}
+
+func (n *node) leaf() bool { return n.children == nil }
+
+// Tree is a PMR quadtree over a rectangle.
+type Tree struct {
+	cfg    Config
+	root   *node
+	size   int // distinct segments stored
+	nextID int
+}
+
+// New returns an empty tree.
+func New(cfg Config) (*Tree, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{cfg: c, root: &node{}}, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(cfg Config) *Tree {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Len returns the number of distinct segments stored.
+func (t *Tree) Len() int { return t.size }
+
+// Region returns the universe rectangle.
+func (t *Tree) Region() geom.Rect { return t.cfg.Region }
+
+// Threshold returns the splitting threshold k.
+func (t *Tree) Threshold() int { return t.cfg.Threshold }
+
+// crosses reports whether seg occupies block: their intersection has
+// positive length. Segments that merely touch a block's corner or run
+// along the shared boundary with measure zero inside do not count as
+// tenants, matching the geometric model in internal/core.
+func crosses(seg geom.Segment, block geom.Rect) bool {
+	clipped, ok := seg.ClipToRect(block)
+	return ok && clipped.Length() > 1e-12
+}
+
+// Insert stores the segment, splitting overflowing leaves once each, per
+// the PMR rule. Segments wholly outside the region are rejected.
+func (t *Tree) Insert(seg geom.Segment) error {
+	if !crosses(seg, t.cfg.Region) {
+		return fmt.Errorf("%w: %v vs %v", ErrOutsideRegion, seg, t.cfg.Region)
+	}
+	ref := segRef{id: t.nextID, seg: seg}
+	t.nextID++
+	t.size++
+	t.insert(t.root, t.cfg.Region, 0, ref)
+	return nil
+}
+
+func (t *Tree) insert(n *node, block geom.Rect, depth int, ref segRef) {
+	if !n.leaf() {
+		for q := 0; q < 4; q++ {
+			child := block.Quadrant(q)
+			if crosses(ref.seg, child) {
+				t.insert(n.children[q], child, depth+1, ref)
+			}
+		}
+		return
+	}
+	n.segs = append(n.segs, ref)
+	// PMR rule: split once if the insertion pushed occupancy above the
+	// threshold (and the depth cap permits).
+	if len(n.segs) > t.cfg.Threshold && depth < t.cfg.MaxDepth {
+		t.split(n, block)
+	}
+}
+
+// split turns leaf n into an internal node, distributing segments into
+// the quadrants they cross. Children are NOT split further even if over
+// the threshold — that is the defining difference from the PR quadtree.
+func (t *Tree) split(n *node, block geom.Rect) {
+	var ch [4]*node
+	for q := range ch {
+		ch[q] = &node{}
+	}
+	for _, ref := range n.segs {
+		for q := 0; q < 4; q++ {
+			if crosses(ref.seg, block.Quadrant(q)) {
+				ch[q].segs = append(ch[q].segs, ref)
+			}
+		}
+	}
+	n.segs = nil
+	n.children = &ch
+}
+
+// Stab returns the distinct segments whose blocks contain p — the
+// candidates for an exact point-on-segment test, which is how a PMR
+// quadtree answers "what passes through here" queries.
+func (t *Tree) Stab(p geom.Point) []geom.Segment {
+	n, block := t.root, t.cfg.Region
+	if !block.Contains(p) {
+		return nil
+	}
+	for !n.leaf() {
+		q := block.QuadrantOf(p)
+		block = block.Quadrant(q)
+		n = n.children[q]
+	}
+	out := make([]geom.Segment, len(n.segs))
+	for i, r := range n.segs {
+		out[i] = r.seg
+	}
+	return out
+}
+
+// RangeSegments returns the distinct segments crossing the closed query
+// rectangle.
+func (t *Tree) RangeSegments(query geom.Rect) []geom.Segment {
+	seen := map[int]geom.Segment{}
+	t.rangeSegs(t.root, t.cfg.Region, query, seen)
+	out := make([]geom.Segment, 0, len(seen))
+	for _, s := range seen {
+		out = append(out, s)
+	}
+	return out
+}
+
+func (t *Tree) rangeSegs(n *node, block, query geom.Rect, seen map[int]geom.Segment) {
+	if n.leaf() {
+		for _, r := range n.segs {
+			if _, ok := seen[r.id]; ok {
+				continue
+			}
+			if crosses(r.seg, query) {
+				seen[r.id] = r.seg
+			}
+		}
+		return
+	}
+	for q := 0; q < 4; q++ {
+		child := block.Quadrant(q)
+		if child.Intersects(query) {
+			t.rangeSegs(n.children[q], child, query, seen)
+		}
+	}
+}
+
+// WalkLeaves visits every leaf block with the segments stored in it;
+// returning false stops the walk. It exposes the raw populations for
+// analyses that need more than the census (e.g. estimating the
+// equilibrium quadrant-crossing probability of stored segments).
+func (t *Tree) WalkLeaves(fn func(block geom.Rect, segs []geom.Segment) bool) bool {
+	return t.walkLeaves(t.root, t.cfg.Region, fn)
+}
+
+func (t *Tree) walkLeaves(n *node, block geom.Rect, fn func(geom.Rect, []geom.Segment) bool) bool {
+	if n.leaf() {
+		segs := make([]geom.Segment, len(n.segs))
+		for i, r := range n.segs {
+			segs[i] = r.seg
+		}
+		return fn(block, segs)
+	}
+	for q := 0; q < 4; q++ {
+		if !t.walkLeaves(n.children[q], block.Quadrant(q), fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Census returns the occupancy census of the tree's leaves. Note that
+// Items counts segment *tenancies* (a segment crossing five leaves adds
+// five), since populations are defined over blocks, matching the line
+// population model.
+func (t *Tree) Census() stats.Census {
+	var b stats.CensusBuilder
+	total := t.cfg.Region.Area()
+	t.census(t.root, t.cfg.Region, 0, total, &b)
+	return b.Census()
+}
+
+func (t *Tree) census(n *node, block geom.Rect, depth int, total float64, b *stats.CensusBuilder) {
+	if n.leaf() {
+		b.AddLeaf(depth, len(n.segs), block.Area()/total)
+		return
+	}
+	b.AddInternal(depth)
+	for q := 0; q < 4; q++ {
+		t.census(n.children[q], block.Quadrant(q), depth+1, total, b)
+	}
+}

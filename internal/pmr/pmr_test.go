@@ -1,0 +1,217 @@
+package pmr
+
+import (
+	"testing"
+
+	"popana/internal/dist"
+	"popana/internal/geom"
+	"popana/internal/xrand"
+)
+
+func TestInsertAndStab(t *testing.T) {
+	tr := MustNew(Config{Threshold: 2})
+	segs := []geom.Segment{
+		geom.Seg(geom.Pt(0.1, 0.5), geom.Pt(0.9, 0.5)),
+		geom.Seg(geom.Pt(0.5, 0.1), geom.Pt(0.5, 0.9)),
+		geom.Seg(geom.Pt(0.1, 0.1), geom.Pt(0.9, 0.9)),
+	}
+	for _, s := range segs {
+		if err := tr.Insert(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// A stab near the horizontal segment must return it.
+	got := tr.Stab(geom.Pt(0.2, 0.5))
+	found := false
+	for _, s := range got {
+		if s == segs[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Stab(0.2, 0.5) = %v, missing horizontal segment", got)
+	}
+	if tr.Stab(geom.Pt(1.5, 1.5)) != nil {
+		t.Fatal("Stab outside region returned segments")
+	}
+}
+
+func TestInsertRejectsOutside(t *testing.T) {
+	tr := MustNew(Config{Threshold: 1})
+	if err := tr.Insert(geom.Seg(geom.Pt(2, 2), geom.Pt(3, 3))); err == nil {
+		t.Fatal("outside segment accepted")
+	}
+	if tr.Len() != 0 {
+		t.Fatal("rejected insert changed size")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{Threshold: 0}); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+	if _, err := New(Config{Threshold: 1, Region: geom.R(0, 0, 0, 0)}); err != nil {
+		t.Errorf("zero region should default to the unit square: %v", err)
+	}
+	if _, err := New(Config{Threshold: 1, Region: geom.R(1, 1, 1, 2)}); err == nil {
+		t.Error("degenerate non-zero region accepted")
+	}
+	if _, err := New(Config{Threshold: 1, MaxDepth: -1}); err == nil {
+		t.Error("negative max depth accepted")
+	}
+}
+
+func TestSplitOncePerInsertion(t *testing.T) {
+	// Threshold 1: inserting a second crossing segment splits the leaf
+	// exactly once, even if a child still exceeds the threshold.
+	tr := MustNew(Config{Threshold: 1})
+	// Two nearly parallel diagonals crossing all four quadrants.
+	a := geom.Seg(geom.Pt(0.0, 0.01), geom.Pt(0.99, 1.0))
+	b := geom.Seg(geom.Pt(0.01, 0.0), geom.Pt(1.0, 0.99))
+	if err := tr.Insert(a); err != nil {
+		t.Fatal(err)
+	}
+	h0 := tr.Census().Height
+	if h0 != 0 {
+		t.Fatalf("single segment split the root: height %d", h0)
+	}
+	if err := tr.Insert(b); err != nil {
+		t.Fatal(err)
+	}
+	// One split only: height exactly 1.
+	if h := tr.Census().Height; h != 1 {
+		t.Fatalf("height %d after one overflowing insertion, want 1 (split once)", h)
+	}
+}
+
+func TestOccupancyCanExceedThreshold(t *testing.T) {
+	tr := MustNew(Config{Threshold: 1, MaxDepth: 8})
+	rng := xrand.New(5)
+	src := dist.NewShortSegments(tr.Region(), 0.1, rng)
+	for tr.Len() < 200 {
+		if err := tr.Insert(src.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := tr.Census()
+	over := 0
+	for occ, cnt := range c.ByOccupancy {
+		if occ > 1 {
+			over += cnt
+		}
+	}
+	if over == 0 {
+		t.Fatal("no block ever exceeded the threshold — that is the defining PMR behavior")
+	}
+}
+
+func TestSegmentsStoredInEveryCrossedLeaf(t *testing.T) {
+	tr := MustNew(Config{Threshold: 1})
+	// Force a split with two crossing diagonals, then verify via
+	// WalkLeaves that each leaf a segment crosses actually stores it.
+	if err := tr.Insert(geom.Seg(geom.Pt(0, 0.3), geom.Pt(1, 0.3))); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(geom.Seg(geom.Pt(0.3, 0), geom.Pt(0.3, 1))); err != nil {
+		t.Fatal(err)
+	}
+	ok := tr.WalkLeaves(func(block geom.Rect, segs []geom.Segment) bool {
+		for _, s := range segs {
+			clipped, has := s.ClipToRect(block)
+			if !has || clipped.Length() <= 1e-12 {
+				t.Errorf("leaf %v stores non-crossing segment %v", block, s)
+			}
+		}
+		return true
+	})
+	if !ok {
+		t.Fatal("walk stopped early")
+	}
+}
+
+func TestRangeSegments(t *testing.T) {
+	tr := MustNew(Config{Threshold: 2})
+	h := geom.Seg(geom.Pt(0.1, 0.2), geom.Pt(0.9, 0.2))
+	v := geom.Seg(geom.Pt(0.8, 0.6), geom.Pt(0.8, 0.95))
+	if err := tr.Insert(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(v); err != nil {
+		t.Fatal(err)
+	}
+	got := tr.RangeSegments(geom.R(0, 0, 1, 0.4))
+	if len(got) != 1 || got[0] != h {
+		t.Fatalf("range = %v, want only horizontal", got)
+	}
+	all := tr.RangeSegments(geom.R(0, 0, 1, 1))
+	if len(all) != 2 {
+		t.Fatalf("full range = %d segments", len(all))
+	}
+	// Duplicate tenancies must be deduplicated.
+	tr2 := MustNew(Config{Threshold: 1})
+	long := geom.Seg(geom.Pt(0.05, 0.55), geom.Pt(0.95, 0.55))
+	cross := geom.Seg(geom.Pt(0.5, 0.05), geom.Pt(0.5, 0.95))
+	if err := tr2.Insert(long); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.Insert(cross); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr2.RangeSegments(geom.R(0, 0, 1, 1)); len(got) != 2 {
+		t.Fatalf("dedup failed: %d segments", len(got))
+	}
+}
+
+func TestCensusTenancies(t *testing.T) {
+	tr := MustNew(Config{Threshold: 1})
+	// One horizontal and one vertical segment that cross: after the
+	// split each lives in multiple leaves — Items counts tenancies.
+	if err := tr.Insert(geom.Seg(geom.Pt(0.1, 0.5), geom.Pt(0.9, 0.5))); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(geom.Seg(geom.Pt(0.5, 0.1), geom.Pt(0.5, 0.9))); err != nil {
+		t.Fatal(err)
+	}
+	c := tr.Census()
+	if c.Items <= 2 {
+		t.Fatalf("tenancies %d, expected more than segment count after split", c.Items)
+	}
+	if c.Leaves != 4 || c.Internal != 1 {
+		t.Fatalf("census %+v", c)
+	}
+}
+
+func TestMaxDepthStopsSplitting(t *testing.T) {
+	tr := MustNew(Config{Threshold: 1, MaxDepth: 2})
+	rng := xrand.New(11)
+	src := dist.NewChords(tr.Region(), rng)
+	for tr.Len() < 50 {
+		if err := tr.Insert(src.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h := tr.Census().Height; h > 2 {
+		t.Fatalf("height %d > max depth 2", h)
+	}
+}
+
+func TestDeterministicGivenSegmentSequence(t *testing.T) {
+	build := func() int {
+		tr := MustNew(Config{Threshold: 2, MaxDepth: 10})
+		rng := xrand.New(77)
+		src := dist.NewShortSegments(tr.Region(), 0.08, rng)
+		for tr.Len() < 300 {
+			if err := tr.Insert(src.Next()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c := tr.Census()
+		return c.Leaves*1000003 + c.Items
+	}
+	if build() != build() {
+		t.Fatal("identical segment sequences produced different trees")
+	}
+}

@@ -1,0 +1,265 @@
+// Package pointquadtree implements the classical point quadtree of
+// Finkel and Bentley [Fink74], the Section II counterexample to regular
+// decomposition: every stored point becomes an internal node whose
+// coordinates split the plane into four irregular quadrants, so "the
+// shape of the final structure depends critically on the order in which
+// the information was inserted into the tree."
+//
+// It is included as a substrate for the extension experiment E13, which
+// contrasts its insertion-order sensitivity and occupancy behavior with
+// the PR quadtree the population model targets: a point quadtree has no
+// bucket populations at all (every node holds exactly one point), so the
+// model's natural analogues are depth and balance statistics.
+package pointquadtree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"popana/internal/geom"
+)
+
+// ErrOutOfRegion is returned when a point outside the region is inserted.
+var ErrOutOfRegion = errors.New("pointquadtree: point outside region")
+
+// node is one stored point; children are the four irregular quadrants
+// around it (indexed like geom quadrants: bit 0 = east, bit 1 = north).
+type node struct {
+	p        geom.Point
+	val      any
+	children [4]*node
+}
+
+// Tree is a classical point quadtree over a rectangle.
+type Tree struct {
+	region geom.Rect
+	root   *node
+	size   int
+}
+
+// New returns an empty tree over region (the zero rectangle selects
+// geom.UnitSquare).
+func New(region geom.Rect) (*Tree, error) {
+	if region == (geom.Rect{}) {
+		region = geom.UnitSquare
+	}
+	if region.Empty() {
+		return nil, fmt.Errorf("pointquadtree: empty region %v", region)
+	}
+	return &Tree{region: region}, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(region geom.Rect) *Tree {
+	t, err := New(region)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Len returns the number of stored points.
+func (t *Tree) Len() int { return t.size }
+
+// Region returns the tree's universe rectangle.
+func (t *Tree) Region() geom.Rect { return t.region }
+
+// quadrantAround returns which irregular quadrant of pivot contains p.
+func quadrantAround(pivot, p geom.Point) int {
+	q := 0
+	if p.X >= pivot.X {
+		q |= 1
+	}
+	if p.Y >= pivot.Y {
+		q |= 2
+	}
+	return q
+}
+
+// Insert stores val at p, replacing the value if p is already present.
+func (t *Tree) Insert(p geom.Point, val any) (replaced bool, err error) {
+	if !t.region.Contains(p) {
+		return false, fmt.Errorf("%w: %v not in %v", ErrOutOfRegion, p, t.region)
+	}
+	if t.root == nil {
+		t.root = &node{p: p, val: val}
+		t.size++
+		return false, nil
+	}
+	n := t.root
+	for {
+		if n.p == p {
+			n.val = val
+			return true, nil
+		}
+		q := quadrantAround(n.p, p)
+		if n.children[q] == nil {
+			n.children[q] = &node{p: p, val: val}
+			t.size++
+			return false, nil
+		}
+		n = n.children[q]
+	}
+}
+
+// Get returns the value stored at p.
+func (t *Tree) Get(p geom.Point) (any, bool) {
+	n := t.root
+	for n != nil {
+		if n.p == p {
+			return n.val, true
+		}
+		n = n.children[quadrantAround(n.p, p)]
+	}
+	return nil, false
+}
+
+// Contains reports whether p is stored.
+func (t *Tree) Contains(p geom.Point) bool {
+	_, ok := t.Get(p)
+	return ok
+}
+
+// Range calls visit for every stored point in the closed query
+// rectangle, pruning subtrees whose quadrant cannot intersect it;
+// returning false stops the scan.
+func (t *Tree) Range(query geom.Rect, visit func(p geom.Point, v any) bool) bool {
+	return rangeQuery(t.root, t.region, query, visit)
+}
+
+func rangeQuery(n *node, cell, query geom.Rect, visit func(geom.Point, any) bool) bool {
+	if n == nil {
+		return true
+	}
+	if query.ContainsClosed(n.p) {
+		if !visit(n.p, n.val) {
+			return false
+		}
+	}
+	// Child q covers the sub-rectangle of cell around n.p.
+	for q := 0; q < 4; q++ {
+		child := childCell(cell, n.p, q)
+		if child.MinX > query.MaxX || query.MinX > child.MaxX ||
+			child.MinY > query.MaxY || query.MinY > child.MaxY {
+			continue
+		}
+		if !rangeQuery(n.children[q], child, query, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// childCell returns the irregular quadrant q of cell pivoted at p.
+func childCell(cell geom.Rect, p geom.Point, q int) geom.Rect {
+	out := cell
+	if q&1 == 0 {
+		out.MaxX = p.X
+	} else {
+		out.MinX = p.X
+	}
+	if q&2 == 0 {
+		out.MaxY = p.Y
+	} else {
+		out.MinY = p.Y
+	}
+	return out
+}
+
+// Nearest returns the stored point closest to p (Euclidean), with its
+// value; ok is false for an empty tree.
+func (t *Tree) Nearest(p geom.Point) (best geom.Point, v any, ok bool) {
+	if t.root == nil {
+		return geom.Point{}, nil, false
+	}
+	bestD := math.Inf(1)
+	nearest(t.root, t.region, p, &bestD, &best, &v)
+	return best, v, true
+}
+
+func nearest(n *node, cell geom.Rect, p geom.Point, bestD *float64, best *geom.Point, bestV *any) {
+	if n == nil {
+		return
+	}
+	if d := n.p.Dist2(p); d < *bestD {
+		*bestD = d
+		*best = n.p
+		*bestV = n.val
+	}
+	// Order children by distance to their cells.
+	type cand struct {
+		q int
+		d float64
+	}
+	var cands [4]cand
+	for q := 0; q < 4; q++ {
+		cands[q] = cand{q, rectDist2(childCell(cell, n.p, q), p)}
+	}
+	for i := 1; i < 4; i++ {
+		for j := i; j > 0 && cands[j].d < cands[j-1].d; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	for _, c := range cands {
+		if c.d >= *bestD {
+			return
+		}
+		nearest(n.children[c.q], childCell(cell, n.p, c.q), p, bestD, best, bestV)
+	}
+}
+
+func rectDist2(r geom.Rect, p geom.Point) float64 {
+	dx := math.Max(math.Max(r.MinX-p.X, 0), p.X-r.MaxX)
+	dy := math.Max(math.Max(r.MinY-p.Y, 0), p.Y-r.MaxY)
+	return dx*dx + dy*dy
+}
+
+// Shape summarizes the structure: the statistics that replace occupancy
+// populations for a structure with exactly one point per node.
+type Shape struct {
+	Nodes int
+	// Height is the deepest node's depth (root = 0); -1 when empty.
+	Height int
+	// TotalDepth is the sum of node depths; TotalDepth/Nodes is the
+	// expected comparison count for a successful search.
+	TotalDepth int
+	// LeafCount is the number of nodes with no children.
+	LeafCount int
+}
+
+// MeanDepth returns the average node depth.
+func (s Shape) MeanDepth() float64 {
+	if s.Nodes == 0 {
+		return math.NaN()
+	}
+	return float64(s.TotalDepth) / float64(s.Nodes)
+}
+
+// Analyze walks the tree and returns its shape statistics.
+func (t *Tree) Analyze() Shape {
+	s := Shape{Height: -1}
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		if n == nil {
+			return
+		}
+		s.Nodes++
+		s.TotalDepth += depth
+		if depth > s.Height {
+			s.Height = depth
+		}
+		leaf := true
+		for _, c := range n.children {
+			if c != nil {
+				leaf = false
+				walk(c, depth+1)
+			}
+		}
+		if leaf {
+			s.LeafCount++
+		}
+	}
+	walk(t.root, 0)
+	return s
+}

@@ -1,0 +1,224 @@
+package pointquadtree
+
+import (
+	"math"
+	"testing"
+
+	"popana/internal/geom"
+	"popana/internal/xrand"
+)
+
+func randomPoints(rng *xrand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64(), rng.Float64())
+	}
+	return pts
+}
+
+func TestInsertGet(t *testing.T) {
+	tr := MustNew(geom.Rect{})
+	pts := randomPoints(xrand.New(1), 500)
+	for i, p := range pts {
+		replaced, err := tr.Insert(p, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if replaced {
+			t.Fatal("fresh point reported replaced")
+		}
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i, p := range pts {
+		v, ok := tr.Get(p)
+		if !ok || v != i {
+			t.Fatalf("Get(%v) = %v, %v", p, v, ok)
+		}
+	}
+	if tr.Contains(geom.Pt(0.424242, 0.73)) {
+		t.Fatal("contains absent point")
+	}
+}
+
+func TestReplace(t *testing.T) {
+	tr := MustNew(geom.Rect{})
+	p := geom.Pt(0.5, 0.5)
+	if _, err := tr.Insert(p, "a"); err != nil {
+		t.Fatal(err)
+	}
+	replaced, err := tr.Insert(p, "b")
+	if err != nil || !replaced {
+		t.Fatalf("replace = %v, %v", replaced, err)
+	}
+	if v, _ := tr.Get(p); v != "b" {
+		t.Fatalf("value %v", v)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestOutOfRegion(t *testing.T) {
+	tr := MustNew(geom.Rect{})
+	if _, err := tr.Insert(geom.Pt(2, 2), nil); err == nil {
+		t.Fatal("out-of-region accepted")
+	}
+	if _, err := New(geom.R(1, 1, 1, 5)); err == nil {
+		t.Fatal("empty region accepted")
+	}
+}
+
+func TestOrderDependence(t *testing.T) {
+	// The defining contrast with the PR quadtree: the same point set
+	// inserted in different orders gives different shapes.
+	rng := xrand.New(5)
+	pts := randomPoints(rng, 200)
+	build := func(order []int) Shape {
+		tr := MustNew(geom.Rect{})
+		for _, i := range order {
+			if _, err := tr.Insert(pts[i], i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tr.Analyze()
+	}
+	id := make([]int, len(pts))
+	for i := range id {
+		id[i] = i
+	}
+	s1 := build(id)
+	different := false
+	for trial := 0; trial < 5 && !different; trial++ {
+		if s2 := build(rng.Perm(len(pts))); s2.Height != s1.Height || s2.TotalDepth != s1.TotalDepth {
+			different = true
+		}
+	}
+	if !different {
+		t.Fatal("point quadtree shape did not depend on insertion order (5 permutations)")
+	}
+}
+
+func TestRandomOrderIsShallow(t *testing.T) {
+	// Random insertion order gives expected depth O(log n); sorted
+	// insertion along the diagonal degenerates to a path (every point
+	// is in quadrant 3 of its predecessor).
+	rng := xrand.New(6)
+	n := 512
+	tr := MustNew(geom.Rect{})
+	for _, p := range randomPoints(rng, n) {
+		if _, err := tr.Insert(p, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	random := tr.Analyze()
+	if random.Height > 40 {
+		t.Fatalf("random order height %d", random.Height)
+	}
+	deg := MustNew(geom.Rect{})
+	for i := 0; i < 64; i++ {
+		if _, err := deg.Insert(geom.Pt(float64(i)/64, float64(i)/64), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := deg.Analyze(); s.Height != 63 {
+		t.Fatalf("sorted diagonal height %d, want 63 (a path)", s.Height)
+	}
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	rng := xrand.New(7)
+	tr := MustNew(geom.Rect{})
+	pts := randomPoints(rng, 400)
+	for i, p := range pts {
+		if _, err := tr.Insert(p, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 100; trial++ {
+		x1, y1 := rng.Float64(), rng.Float64()
+		x2, y2 := rng.Float64(), rng.Float64()
+		q := geom.R(math.Min(x1, x2), math.Min(y1, y2), math.Max(x1, x2), math.Max(y1, y2))
+		want := 0
+		for _, p := range pts {
+			if q.ContainsClosed(p) {
+				want++
+			}
+		}
+		got := 0
+		tr.Range(q, func(geom.Point, any) bool { got++; return true })
+		if got != want {
+			t.Fatalf("trial %d: range %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	tr := MustNew(geom.Rect{})
+	for i, p := range randomPoints(xrand.New(8), 50) {
+		if _, err := tr.Insert(p, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	if tr.Range(geom.UnitSquare, func(geom.Point, any) bool { n++; return false }) {
+		t.Fatal("early stop reported complete")
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := xrand.New(9)
+	tr := MustNew(geom.Rect{})
+	pts := randomPoints(rng, 300)
+	for i, p := range pts {
+		if _, err := tr.Insert(p, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 200; trial++ {
+		q := geom.Pt(rng.Float64(), rng.Float64())
+		best, _, ok := tr.Nearest(q)
+		if !ok {
+			t.Fatal("Nearest failed")
+		}
+		bd := math.Inf(1)
+		for _, p := range pts {
+			bd = math.Min(bd, p.Dist2(q))
+		}
+		if math.Abs(best.Dist2(q)-bd) > 1e-15 {
+			t.Fatalf("nearest %v, brute %v", best.Dist2(q), bd)
+		}
+	}
+}
+
+func TestNearestEmpty(t *testing.T) {
+	tr := MustNew(geom.Rect{})
+	if _, _, ok := tr.Nearest(geom.Pt(0.5, 0.5)); ok {
+		t.Fatal("Nearest on empty tree")
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	tr := MustNew(geom.Rect{})
+	if s := tr.Analyze(); s.Nodes != 0 || s.Height != -1 || !math.IsNaN(s.MeanDepth()) {
+		t.Fatalf("empty shape %+v", s)
+	}
+	// Root plus two children: depths 0, 1, 1.
+	if _, err := tr.Insert(geom.Pt(0.5, 0.5), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Insert(geom.Pt(0.2, 0.2), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Insert(geom.Pt(0.8, 0.8), nil); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Analyze()
+	if s.Nodes != 3 || s.Height != 1 || s.TotalDepth != 2 || s.LeafCount != 2 {
+		t.Fatalf("shape %+v", s)
+	}
+	if s.MeanDepth() != 2.0/3 {
+		t.Fatalf("mean depth %v", s.MeanDepth())
+	}
+}

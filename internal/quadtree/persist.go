@@ -1,0 +1,140 @@
+package quadtree
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"popana/internal/geom"
+)
+
+// Persistence. Because the PR quadtree's shape is a function of the
+// point set alone (regular decomposition), the wire format stores only
+// the configuration and the entries; decoding rebuilds the canonical
+// tree. This keeps the format independent of internal node layout and
+// trivially forward-compatible.
+
+// wireHeader is the serialized form's envelope.
+type wireHeader struct {
+	Version  int
+	Capacity int
+	MaxDepth int
+	Region   geom.Rect
+	Count    int
+}
+
+// wireEntry is one serialized point.
+type wireEntry[V any] struct {
+	X, Y  float64
+	Value V
+}
+
+const wireVersion = 1
+
+// Encode writes the tree to w in a stable binary format (encoding/gob).
+// The value type V must be gob-encodable.
+func (t *Tree[V]) Encode(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(wireHeader{
+		Version:  wireVersion,
+		Capacity: t.cfg.Capacity,
+		MaxDepth: t.cfg.MaxDepth,
+		Region:   t.cfg.Region,
+		Count:    t.size,
+	}); err != nil {
+		return fmt.Errorf("quadtree: encode header: %w", err)
+	}
+	// Deterministic output: entries in sorted point order.
+	entries := make([]wireEntry[V], 0, t.size)
+	t.Walk(func(p geom.Point, v V) bool {
+		entries = append(entries, wireEntry[V]{p.X, p.Y, v})
+		return true
+	})
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].X != entries[j].X {
+			return entries[i].X < entries[j].X
+		}
+		return entries[i].Y < entries[j].Y
+	})
+	for i := range entries {
+		if err := enc.Encode(&entries[i]); err != nil {
+			return fmt.Errorf("quadtree: encode entry %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Decode reads a tree previously written by Encode.
+func Decode[V any](r io.Reader) (*Tree[V], error) {
+	dec := gob.NewDecoder(r)
+	var h wireHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("quadtree: decode header: %w", err)
+	}
+	if h.Version != wireVersion {
+		return nil, fmt.Errorf("quadtree: unsupported wire version %d", h.Version)
+	}
+	t, err := New[V](Config{Capacity: h.Capacity, MaxDepth: h.MaxDepth, Region: h.Region})
+	if err != nil {
+		return nil, fmt.Errorf("quadtree: decode config: %w", err)
+	}
+	for i := 0; i < h.Count; i++ {
+		var e wireEntry[V]
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("quadtree: decode entry %d: %w", i, err)
+		}
+		if _, err := t.Insert(geom.Pt(e.X, e.Y), e.Value); err != nil {
+			return nil, fmt.Errorf("quadtree: decode entry %d: %w", i, err)
+		}
+	}
+	return t, nil
+}
+
+// BulkLoad builds a tree from a batch of entries more efficiently than
+// repeated Insert: points are partitioned recursively, so each point is
+// routed O(depth) once with no transient splits. Duplicate points keep
+// the last value, matching Insert semantics.
+func BulkLoad[V any](cfg Config, points []geom.Point, values []V) (*Tree[V], error) {
+	if len(points) != len(values) {
+		return nil, fmt.Errorf("quadtree: %d points but %d values", len(points), len(values))
+	}
+	t, err := New[V](cfg)
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]entry[V], 0, len(points))
+	seen := make(map[geom.Point]int, len(points))
+	for i, p := range points {
+		if !t.cfg.Region.Contains(p) {
+			return nil, fmt.Errorf("%w: %v not in %v", ErrOutOfRegion, p, t.cfg.Region)
+		}
+		if j, dup := seen[p]; dup {
+			entries[j].v = values[i]
+			continue
+		}
+		seen[p] = len(entries)
+		entries = append(entries, entry[V]{p, values[i]})
+	}
+	t.size = len(entries)
+	t.root = bulkBuild(entries, t.cfg.Region, 0, t.cfg)
+	return t, nil
+}
+
+func bulkBuild[V any](entries []entry[V], block geom.Rect, depth int, cfg Config) *node[V] {
+	if len(entries) <= cfg.Capacity || depth >= cfg.MaxDepth {
+		n := &node[V]{}
+		n.entries = append(n.entries, entries...)
+		return n
+	}
+	var parts [4][]entry[V]
+	for _, e := range entries {
+		q := block.QuadrantOf(e.p)
+		parts[q] = append(parts[q], e)
+	}
+	var ch [4]*node[V]
+	for q := 0; q < 4; q++ {
+		ch[q] = bulkBuild(parts[q], block.Quadrant(q), depth+1, cfg)
+	}
+	return &node[V]{children: &ch}
+}

@@ -1,0 +1,174 @@
+package quadtree
+
+import (
+	"bytes"
+	"testing"
+
+	"popana/internal/geom"
+	"popana/internal/xrand"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := MustNew[int](Config{Capacity: 3})
+	pts := randomPoints(xrand.New(1), 500)
+	for i, p := range pts {
+		mustInsertV(t, tr, p, i)
+	}
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode[int](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() || got.Capacity() != tr.Capacity() || got.Region() != tr.Region() {
+		t.Fatalf("metadata mismatch: %d/%d", got.Len(), tr.Len())
+	}
+	for i, p := range pts {
+		v, ok := got.Get(p)
+		if !ok || v != i {
+			t.Fatalf("Get(%v) after decode = %v, %v", p, v, ok)
+		}
+	}
+	// Canonical shape: censuses identical.
+	a, b := tr.Census(), got.Census()
+	if a.Leaves != b.Leaves || a.Height != b.Height || a.Internal != b.Internal {
+		t.Fatalf("shape changed across the wire: %+v vs %+v", a, b)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	// Two trees with the same point set inserted in different orders
+	// encode to identical bytes.
+	rng := xrand.New(2)
+	pts := randomPoints(rng, 200)
+	enc := func(order []int) []byte {
+		tr := MustNew[int](Config{Capacity: 2})
+		for _, i := range order {
+			mustInsertV(t, tr, pts[i], i)
+		}
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	id := make([]int, len(pts))
+	for i := range id {
+		id[i] = i
+	}
+	if !bytes.Equal(enc(id), enc(rng.Perm(len(pts)))) {
+		t.Fatal("encoding depends on insertion order")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode[int](bytes.NewReader([]byte("not a quadtree"))); err == nil {
+		t.Fatal("garbage decoded")
+	}
+	if _, err := Decode[int](bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input decoded")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	tr := MustNew[int](Config{Capacity: 2})
+	for i, p := range randomPoints(xrand.New(3), 50) {
+		mustInsertV(t, tr, p, i)
+	}
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()/2]
+	if _, err := Decode[int](bytes.NewReader(cut)); err == nil {
+		t.Fatal("truncated stream decoded")
+	}
+}
+
+func TestEncodeEmptyTree(t *testing.T) {
+	tr := MustNew[string](Config{Capacity: 1})
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode[string](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("decoded empty tree has %d points", got.Len())
+	}
+}
+
+func TestBulkLoadMatchesIncremental(t *testing.T) {
+	rng := xrand.New(4)
+	pts := randomPoints(rng, 1000)
+	vals := make([]int, len(pts))
+	for i := range vals {
+		vals[i] = i
+	}
+	bulk, err := BulkLoad[int](Config{Capacity: 4}, pts, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := MustNew[int](Config{Capacity: 4})
+	for i, p := range pts {
+		mustInsertV(t, inc, p, i)
+	}
+	a, b := bulk.Census(), inc.Census()
+	if a.Leaves != b.Leaves || a.Height != b.Height || a.Internal != b.Internal || a.Items != b.Items {
+		t.Fatalf("bulk shape %+v != incremental %+v", a, b)
+	}
+	for i, p := range pts {
+		v, ok := bulk.Get(p)
+		if !ok || v != i {
+			t.Fatalf("bulk Get(%v) = %v, %v", p, v, ok)
+		}
+	}
+	checkInvariants(t, bulk)
+}
+
+func TestBulkLoadDuplicatesKeepLast(t *testing.T) {
+	p := geom.Pt(0.5, 0.5)
+	tr, err := BulkLoad[int](Config{Capacity: 2},
+		[]geom.Point{p, geom.Pt(0.1, 0.1), p}, []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if v, _ := tr.Get(p); v != 3 {
+		t.Fatalf("duplicate kept %v, want last", v)
+	}
+}
+
+func TestBulkLoadValidation(t *testing.T) {
+	if _, err := BulkLoad[int](Config{Capacity: 1}, randomPoints(xrand.New(5), 3), []int{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := BulkLoad[int](Config{Capacity: 1}, []geom.Point{geom.Pt(5, 5)}, []int{1}); err == nil {
+		t.Error("out-of-region point accepted")
+	}
+	if _, err := BulkLoad[int](Config{Capacity: 0}, nil, nil); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestBulkLoadRespectsMaxDepth(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0.001, 0.001), geom.Pt(0.0011, 0.0011), geom.Pt(0.0012, 0.0012)}
+	tr, err := BulkLoad[int](Config{Capacity: 1, MaxDepth: 3}, pts, []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := tr.Census().Height; h > 3 {
+		t.Fatalf("height %d > 3", h)
+	}
+	for _, p := range pts {
+		if !tr.Contains(p) {
+			t.Fatalf("lost %v", p)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+// Package quadtree implements the PR (point-region) quadtree of
+// Orenstein and Samet, the experimental structure of Sections III-IV of
+// the paper: a regular recursive decomposition of a square region in
+// which every leaf block holds at most Capacity distinct points, blocks
+// splitting into four congruent quadrants whenever the capacity is
+// exceeded ("split until no block contains more than m points").
+//
+// The tree is a key-value map from points to arbitrary values, with
+// point, range, and nearest-neighbor queries, deletion with block
+// merging, and the occupancy statistics (overall and per depth) that the
+// paper's experiments measure. It is deterministic: shape depends only on
+// the point set, not on insertion order (a defining property of regular
+// decomposition that the classical point quadtree lacks).
+//
+// Not safe for concurrent mutation; wrap with a lock if needed.
+package quadtree
+
+import (
+	"errors"
+	"fmt"
+
+	"popana/internal/geom"
+)
+
+// DefaultMaxDepth bounds recursion when Config.MaxDepth is zero. With
+// float64 coordinates, 48 halvings exhaust the mantissa for most regions;
+// the paper's own implementation truncated at depth 9.
+const DefaultMaxDepth = 48
+
+// ErrOutOfRegion is returned when a point outside the tree's region is
+// inserted.
+var ErrOutOfRegion = errors.New("quadtree: point outside region")
+
+// Config configures a tree.
+type Config struct {
+	// Capacity is the node capacity m >= 1: the maximum number of
+	// distinct points a leaf block may hold (except at MaxDepth).
+	Capacity int
+	// Region is the square (or rectangular) universe. Empty selects
+	// geom.UnitSquare.
+	Region geom.Rect
+	// MaxDepth truncates decomposition: a leaf at MaxDepth absorbs
+	// points beyond capacity rather than splitting, mirroring the
+	// truncation in the paper's implementation (their Table 3 notes
+	// the artifact at depth 9). Zero selects DefaultMaxDepth.
+	MaxDepth int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Capacity < 1 {
+		return c, fmt.Errorf("quadtree: capacity %d < 1", c.Capacity)
+	}
+	if c.Region.Empty() {
+		if c.Region == (geom.Rect{}) {
+			c.Region = geom.UnitSquare
+		} else {
+			return c, fmt.Errorf("quadtree: empty region %v", c.Region)
+		}
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = DefaultMaxDepth
+	}
+	if c.MaxDepth < 1 {
+		return c, fmt.Errorf("quadtree: max depth %d < 1", c.MaxDepth)
+	}
+	return c, nil
+}
+
+// entry is one stored point with its value.
+type entry[V any] struct {
+	p geom.Point
+	v V
+}
+
+// node is a quadtree node: a leaf holds entries; an internal node holds
+// four children and no entries.
+type node[V any] struct {
+	children *[4]*node[V] // nil iff leaf
+	entries  []entry[V]
+}
+
+func (n *node[V]) leaf() bool { return n.children == nil }
+
+// Tree is a PR quadtree mapping distinct points to values of type V.
+type Tree[V any] struct {
+	cfg  Config
+	root *node[V]
+	size int
+}
+
+// New returns an empty tree for the given configuration.
+func New[V any](cfg Config) (*Tree[V], error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Tree[V]{cfg: c, root: &node[V]{}}, nil
+}
+
+// MustNew is New for configurations known to be valid; it panics on error.
+func MustNew[V any](cfg Config) *Tree[V] {
+	t, err := New[V](cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Len returns the number of stored points.
+func (t *Tree[V]) Len() int { return t.size }
+
+// Capacity returns the node capacity m.
+func (t *Tree[V]) Capacity() int { return t.cfg.Capacity }
+
+// Region returns the tree's universe rectangle.
+func (t *Tree[V]) Region() geom.Rect { return t.cfg.Region }
+
+// MaxDepth returns the configured depth truncation.
+func (t *Tree[V]) MaxDepth() int { return t.cfg.MaxDepth }
+
+// Insert stores value v at point p. If p is already present its value is
+// replaced and replaced=true is returned (the PR quadtree stores distinct
+// points; re-inserting an existing point does not split anything).
+// Inserting a point outside the region returns ErrOutOfRegion.
+func (t *Tree[V]) Insert(p geom.Point, v V) (replaced bool, err error) {
+	if !t.cfg.Region.Contains(p) {
+		return false, fmt.Errorf("%w: %v not in %v", ErrOutOfRegion, p, t.cfg.Region)
+	}
+	replaced = t.insert(t.root, t.cfg.Region, 0, entry[V]{p, v})
+	if !replaced {
+		t.size++
+	}
+	return replaced, nil
+}
+
+func (t *Tree[V]) insert(n *node[V], block geom.Rect, depth int, e entry[V]) (replaced bool) {
+	for !n.leaf() {
+		q := block.QuadrantOf(e.p)
+		block = block.Quadrant(q)
+		n = n.children[q]
+		depth++
+	}
+	for i := range n.entries {
+		if n.entries[i].p == e.p {
+			n.entries[i].v = e.v
+			return true
+		}
+	}
+	n.entries = append(n.entries, e)
+	// Split until no block holds more than Capacity points, stopping at
+	// the depth truncation.
+	for len(n.entries) > t.cfg.Capacity && depth < t.cfg.MaxDepth {
+		n.split(block)
+		// At most one child can still be over capacity (the block held
+		// capacity+1 entries, so an overfull child must have received
+		// all of them); recurse into it if it exists.
+		over := -1
+		for c := 0; c < 4; c++ {
+			if len(n.children[c].entries) > t.cfg.Capacity {
+				over = c
+				break
+			}
+		}
+		if over < 0 {
+			break
+		}
+		block = block.Quadrant(over)
+		n = n.children[over]
+		depth++
+	}
+	return false
+}
+
+// split turns leaf n into an internal node, distributing its entries into
+// the four quadrants of block.
+func (n *node[V]) split(block geom.Rect) {
+	var ch [4]*node[V]
+	for q := range ch {
+		ch[q] = &node[V]{}
+	}
+	for _, e := range n.entries {
+		q := block.QuadrantOf(e.p)
+		ch[q].entries = append(ch[q].entries, e)
+	}
+	n.entries = nil
+	n.children = &ch
+}
+
+// Get returns the value stored at p, if any.
+func (t *Tree[V]) Get(p geom.Point) (V, bool) {
+	n, block := t.root, t.cfg.Region
+	if !block.Contains(p) {
+		var zero V
+		return zero, false
+	}
+	for !n.leaf() {
+		q := block.QuadrantOf(p)
+		block = block.Quadrant(q)
+		n = n.children[q]
+	}
+	for i := range n.entries {
+		if n.entries[i].p == p {
+			return n.entries[i].v, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether point p is stored in the tree.
+func (t *Tree[V]) Contains(p geom.Point) bool {
+	_, ok := t.Get(p)
+	return ok
+}
+
+// Delete removes the point p, returning whether it was present. After
+// removal, sibling blocks whose combined occupancy fits in one block are
+// merged back, so the tree shape stays the canonical shape for the
+// remaining point set.
+func (t *Tree[V]) Delete(p geom.Point) bool {
+	if !t.cfg.Region.Contains(p) {
+		return false
+	}
+	removed := t.delete(t.root, t.cfg.Region, p)
+	if removed {
+		t.size--
+	}
+	return removed
+}
+
+func (t *Tree[V]) delete(n *node[V], block geom.Rect, p geom.Point) bool {
+	if n.leaf() {
+		for i := range n.entries {
+			if n.entries[i].p == p {
+				last := len(n.entries) - 1
+				n.entries[i] = n.entries[last]
+				n.entries = n.entries[:last]
+				return true
+			}
+		}
+		return false
+	}
+	q := block.QuadrantOf(p)
+	if !t.delete(n.children[q], block.Quadrant(q), p) {
+		return false
+	}
+	t.maybeMerge(n)
+	return true
+}
+
+// maybeMerge collapses n's children back into n when all four are leaves
+// and their combined occupancy fits a single block.
+func (t *Tree[V]) maybeMerge(n *node[V]) {
+	total := 0
+	for _, c := range n.children {
+		if !c.leaf() {
+			return
+		}
+		total += len(c.entries)
+	}
+	if total > t.cfg.Capacity {
+		return
+	}
+	merged := make([]entry[V], 0, total)
+	for _, c := range n.children {
+		merged = append(merged, c.entries...)
+	}
+	n.children = nil
+	n.entries = merged
+}

@@ -1,0 +1,379 @@
+package quadtree
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"popana/internal/geom"
+	"popana/internal/xrand"
+)
+
+func randomPoints(rng *xrand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64(), rng.Float64())
+	}
+	return pts
+}
+
+// checkInvariants walks the tree verifying every structural invariant:
+// points live in the leaf whose block contains them, leaves respect
+// capacity (except at max depth), internal nodes hold no entries, and
+// the size counter matches.
+func checkInvariants[V any](t *testing.T, tr *Tree[V]) {
+	t.Helper()
+	total := 0
+	var walk func(n *node[V], block geom.Rect, depth int)
+	walk = func(n *node[V], block geom.Rect, depth int) {
+		if n.leaf() {
+			if len(n.entries) > tr.cfg.Capacity && depth < tr.cfg.MaxDepth {
+				t.Fatalf("leaf at depth %d holds %d > capacity %d", depth, len(n.entries), tr.cfg.Capacity)
+			}
+			for _, e := range n.entries {
+				if !block.Contains(e.p) {
+					t.Fatalf("point %v filed in wrong block %v", e.p, block)
+				}
+			}
+			total += len(n.entries)
+			return
+		}
+		if len(n.entries) != 0 {
+			t.Fatalf("internal node holds %d entries", len(n.entries))
+		}
+		for q := 0; q < 4; q++ {
+			walk(n.children[q], block.Quadrant(q), depth+1)
+		}
+	}
+	walk(tr.root, tr.cfg.Region, 0)
+	if total != tr.size {
+		t.Fatalf("tree claims %d points, found %d", tr.size, total)
+	}
+}
+
+func TestInsertGet(t *testing.T) {
+	tr := MustNew[int](Config{Capacity: 2})
+	pts := randomPoints(xrand.New(1), 500)
+	for i, p := range pts {
+		replaced, err := tr.Insert(p, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if replaced {
+			t.Fatalf("fresh point %v reported replaced", p)
+		}
+	}
+	checkInvariants(t, tr)
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i, p := range pts {
+		v, ok := tr.Get(p)
+		if !ok || v != i {
+			t.Fatalf("Get(%v) = %v, %v; want %d, true", p, v, ok, i)
+		}
+	}
+	if _, ok := tr.Get(geom.Pt(0.123456789, 0.987654321)); ok {
+		t.Fatal("Get of absent point succeeded")
+	}
+}
+
+func TestInsertReplace(t *testing.T) {
+	tr := MustNew[string](Config{Capacity: 1})
+	p := geom.Pt(0.5, 0.5)
+	if _, err := tr.Insert(p, "a"); err != nil {
+		t.Fatal(err)
+	}
+	replaced, err := tr.Insert(p, "b")
+	if err != nil || !replaced {
+		t.Fatalf("replace = %v, %v", replaced, err)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after replace", tr.Len())
+	}
+	if v, _ := tr.Get(p); v != "b" {
+		t.Fatalf("value %v after replace", v)
+	}
+}
+
+func TestInsertOutOfRegion(t *testing.T) {
+	tr := MustNew[int](Config{Capacity: 1})
+	_, err := tr.Insert(geom.Pt(1.5, 0.5), 0)
+	if !errors.Is(err, ErrOutOfRegion) {
+		t.Fatalf("err = %v", err)
+	}
+	// Max edges are exclusive.
+	if _, err := tr.Insert(geom.Pt(1, 0.5), 0); !errors.Is(err, ErrOutOfRegion) {
+		t.Fatalf("boundary err = %v", err)
+	}
+	if tr.Len() != 0 {
+		t.Fatal("rejected insert changed size")
+	}
+}
+
+func TestSplittingRule(t *testing.T) {
+	// m=1: two points in one quadrant force recursive splits until
+	// separated.
+	tr := MustNew[int](Config{Capacity: 1})
+	a := geom.Pt(0.1, 0.1)
+	b := geom.Pt(0.1001, 0.1001)
+	mustInsert(t, tr, a, b)
+	checkInvariants(t, tr)
+	c := tr.Census()
+	if c.Height < 3 {
+		t.Fatalf("close points at height %d, expected deep split", c.Height)
+	}
+	// Both still findable.
+	if !tr.Contains(a) || !tr.Contains(b) {
+		t.Fatal("points lost in split")
+	}
+}
+
+func TestOrderIndependence(t *testing.T) {
+	// Regular decomposition: tree shape depends only on the point set.
+	rng := xrand.New(42)
+	pts := randomPoints(rng, 300)
+	build := func(perm []int) *Tree[int] {
+		tr := MustNew[int](Config{Capacity: 3})
+		for _, i := range perm {
+			if _, err := tr.Insert(pts[i], i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tr
+	}
+	id := make([]int, len(pts))
+	for i := range id {
+		id[i] = i
+	}
+	t1 := build(id)
+	t2 := build(rng.Perm(len(pts)))
+	c1, c2 := t1.Census(), t2.Census()
+	if c1.Leaves != c2.Leaves || c1.Height != c2.Height || c1.Internal != c2.Internal {
+		t.Fatalf("shape depends on insertion order: %+v vs %+v", c1, c2)
+	}
+	for i := range c1.ByOccupancy {
+		if c1.ByOccupancy[i] != c2.ByOccupancy[i] {
+			t.Fatalf("occupancy histograms differ at %d", i)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := MustNew[int](Config{Capacity: 2})
+	pts := randomPoints(xrand.New(3), 400)
+	for i, p := range pts {
+		mustInsertV(t, tr, p, i)
+	}
+	for i, p := range pts {
+		if !tr.Delete(p) {
+			t.Fatalf("Delete(%v) failed", p)
+		}
+		if tr.Contains(p) {
+			t.Fatalf("point %v present after delete", p)
+		}
+		if tr.Len() != len(pts)-i-1 {
+			t.Fatalf("Len = %d after %d deletes", tr.Len(), i+1)
+		}
+		if i%50 == 0 {
+			checkInvariants(t, tr)
+		}
+	}
+	// Fully merged back to a single empty leaf.
+	c := tr.Census()
+	if c.Leaves != 1 || c.Internal != 0 {
+		t.Fatalf("after deleting all: %d leaves, %d internal", c.Leaves, c.Internal)
+	}
+}
+
+func TestDeleteAbsent(t *testing.T) {
+	tr := MustNew[int](Config{Capacity: 1})
+	mustInsertV(t, tr, geom.Pt(0.5, 0.5), 1)
+	if tr.Delete(geom.Pt(0.25, 0.25)) {
+		t.Fatal("deleted absent point")
+	}
+	if tr.Delete(geom.Pt(2, 2)) {
+		t.Fatal("deleted out-of-region point")
+	}
+	if tr.Len() != 1 {
+		t.Fatal("size changed")
+	}
+}
+
+func TestDeleteMergesBlocks(t *testing.T) {
+	tr := MustNew[int](Config{Capacity: 1})
+	a, b := geom.Pt(0.1, 0.1), geom.Pt(0.9, 0.9)
+	mustInsert(t, tr, a, b)
+	before := tr.Census()
+	if before.Internal == 0 {
+		t.Fatal("expected a split")
+	}
+	tr.Delete(b)
+	after := tr.Census()
+	if after.Internal != 0 || after.Leaves != 1 {
+		t.Fatalf("no merge after delete: %+v", after)
+	}
+	if !tr.Contains(a) {
+		t.Fatal("survivor lost in merge")
+	}
+}
+
+func TestInsertDeleteChurn(t *testing.T) {
+	// Random interleaving of inserts and deletes preserves exactly the
+	// live set (model-based test against a map).
+	rng := xrand.New(99)
+	tr := MustNew[int](Config{Capacity: 4})
+	live := map[geom.Point]int{}
+	var keys []geom.Point
+	for op := 0; op < 5000; op++ {
+		if rng.Float64() < 0.6 || len(keys) == 0 {
+			p := geom.Pt(rng.Float64(), rng.Float64())
+			replaced, err := tr.Insert(p, op)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, had := live[p]; had != replaced {
+				t.Fatalf("replace flag wrong for %v", p)
+			}
+			if !replaced {
+				keys = append(keys, p)
+			}
+			live[p] = op
+		} else {
+			i := rng.Intn(len(keys))
+			p := keys[i]
+			keys[i] = keys[len(keys)-1]
+			keys = keys[:len(keys)-1]
+			if !tr.Delete(p) {
+				t.Fatalf("delete of live key %v failed", p)
+			}
+			delete(live, p)
+		}
+		if tr.Len() != len(live) {
+			t.Fatalf("size %d, want %d", tr.Len(), len(live))
+		}
+	}
+	checkInvariants(t, tr)
+	for p, v := range live {
+		got, ok := tr.Get(p)
+		if !ok || got != v {
+			t.Fatalf("Get(%v) = %v, %v", p, got, ok)
+		}
+	}
+}
+
+func TestMaxDepthTruncation(t *testing.T) {
+	// Identical-quadrant points at max depth accumulate in one leaf
+	// instead of splitting forever — the paper's depth-9 artifact.
+	tr := MustNew[int](Config{Capacity: 1, MaxDepth: 3})
+	pts := []geom.Point{
+		geom.Pt(0.01, 0.01), geom.Pt(0.011, 0.011), geom.Pt(0.012, 0.012),
+		geom.Pt(0.013, 0.013), geom.Pt(0.014, 0.014),
+	}
+	mustInsert(t, tr, pts...)
+	c := tr.Census()
+	if c.Height > 3 {
+		t.Fatalf("height %d exceeds max depth 3", c.Height)
+	}
+	for _, p := range pts {
+		if !tr.Contains(p) {
+			t.Fatalf("point %v lost at max depth", p)
+		}
+	}
+	// The truncated leaf holds all five.
+	if len(c.ByOccupancy) <= 5 || c.ByOccupancy[5] != 1 {
+		t.Fatalf("expected one occupancy-5 leaf, got histogram %v", c.ByOccupancy)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New[int](Config{Capacity: 0}); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := New[int](Config{Capacity: 1, MaxDepth: -1}); err == nil {
+		t.Error("negative max depth accepted")
+	}
+	if _, err := New[int](Config{Capacity: 1, Region: geom.R(1, 1, 1, 2)}); err == nil {
+		t.Error("empty region accepted")
+	}
+	// Custom region works.
+	tr, err := New[int](Config{Capacity: 1, Region: geom.R(-10, -10, 10, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Insert(geom.Pt(-5, 5), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustNew[int](Config{Capacity: 0})
+}
+
+func TestCensusCounts(t *testing.T) {
+	tr := MustNew[int](Config{Capacity: 1})
+	// Four points in separate quadrants: exactly one split.
+	mustInsert(t, tr,
+		geom.Pt(0.25, 0.25), geom.Pt(0.75, 0.25),
+		geom.Pt(0.25, 0.75), geom.Pt(0.75, 0.75))
+	c := tr.Census()
+	if c.Leaves != 4 || c.Internal != 1 || c.Items != 4 || c.Height != 1 {
+		t.Fatalf("census %+v", c)
+	}
+	if c.ByOccupancy[0] != 0 || c.ByOccupancy[1] != 4 {
+		t.Fatalf("occupancy histogram %v", c.ByOccupancy)
+	}
+	if got := c.AverageOccupancy(); got != 1 {
+		t.Fatalf("avg occupancy %v", got)
+	}
+	// Areas: each leaf is a quarter of the region.
+	if len(c.AreaByOccupancy) < 2 || !close(c.AreaByOccupancy[1], 1.0) {
+		t.Fatalf("area by occupancy %v", c.AreaByOccupancy)
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-12
+}
+
+func mustInsert(t *testing.T, tr *Tree[int], pts ...geom.Point) {
+	t.Helper()
+	for i, p := range pts {
+		if _, err := tr.Insert(p, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func mustInsertV(t *testing.T, tr *Tree[int], p geom.Point, v int) {
+	t.Helper()
+	if _, err := tr.Insert(p, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyCapacities(t *testing.T) {
+	for m := 1; m <= 10; m++ {
+		t.Run(fmt.Sprintf("m=%d", m), func(t *testing.T) {
+			tr := MustNew[int](Config{Capacity: m})
+			pts := randomPoints(xrand.New(uint64(m)), 300)
+			for i, p := range pts {
+				mustInsertV(t, tr, p, i)
+			}
+			checkInvariants(t, tr)
+			c := tr.Census()
+			if c.Items != 300 {
+				t.Fatalf("census items %d", c.Items)
+			}
+		})
+	}
+}

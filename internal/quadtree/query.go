@@ -1,0 +1,296 @@
+package quadtree
+
+import (
+	"math"
+
+	"popana/internal/geom"
+)
+
+// Visit is a callback for spatial queries; returning false stops the
+// query early.
+type Visit[V any] func(p geom.Point, v V) bool
+
+// Range calls visit for every stored point inside the closed query
+// rectangle, in an unspecified order, pruning whole blocks that do not
+// intersect the query. It reports whether the traversal ran to
+// completion (i.e. visit never returned false).
+func (t *Tree[V]) Range(query geom.Rect, visit Visit[V]) bool {
+	return rangeQuery(t.root, t.cfg.Region, query, visit)
+}
+
+func rangeQuery[V any](n *node[V], block, query geom.Rect, visit Visit[V]) bool {
+	if n.leaf() {
+		for i := range n.entries {
+			if query.ContainsClosed(n.entries[i].p) {
+				if !visit(n.entries[i].p, n.entries[i].v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for q := 0; q < 4; q++ {
+		child := block.Quadrant(q)
+		if !child.Intersects(query) && !touchesClosed(child, query) {
+			continue
+		}
+		if !rangeQuery(n.children[q], child, query, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// touchesClosed reports whether the closed query rectangle touches the
+// half-open block: needed so range queries whose edge coincides with a
+// block boundary still see points lying exactly on that boundary.
+func touchesClosed(block, query geom.Rect) bool {
+	return block.MinX <= query.MaxX && query.MinX <= block.MaxX &&
+		block.MinY <= query.MaxY && query.MinY <= block.MaxY
+}
+
+// CountRange returns the number of stored points inside the closed query
+// rectangle.
+func (t *Tree[V]) CountRange(query geom.Rect) int {
+	n := 0
+	t.Range(query, func(geom.Point, V) bool { n++; return true })
+	return n
+}
+
+// RangeStats reports the work a Range traversal performed — the
+// measured counterpart of a cost model's estimate.
+type RangeStats struct {
+	// NodesVisited counts every node (internal and leaf) the
+	// traversal descended into after pruning.
+	NodesVisited int
+	// LeavesVisited counts leaf blocks scanned.
+	LeavesVisited int
+	// RecordsScanned counts stored points inspected (visited leaves'
+	// occupancies), whether or not they matched.
+	RecordsScanned int
+	// Matched counts points inside the query.
+	Matched int
+}
+
+// RangeCounted is Range with instrumentation: it returns the traversal
+// statistics alongside invoking visit for each match.
+func (t *Tree[V]) RangeCounted(query geom.Rect, visit Visit[V]) RangeStats {
+	var st RangeStats
+	rangeCounted(t.root, t.cfg.Region, query, visit, &st)
+	return st
+}
+
+func rangeCounted[V any](n *node[V], block, query geom.Rect, visit Visit[V], st *RangeStats) bool {
+	st.NodesVisited++
+	if n.leaf() {
+		st.LeavesVisited++
+		st.RecordsScanned += len(n.entries)
+		for i := range n.entries {
+			if query.ContainsClosed(n.entries[i].p) {
+				st.Matched++
+				if !visit(n.entries[i].p, n.entries[i].v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for q := 0; q < 4; q++ {
+		child := block.Quadrant(q)
+		if !child.Intersects(query) && !touchesClosed(child, query) {
+			continue
+		}
+		if !rangeCounted(n.children[q], child, query, visit, st) {
+			return false
+		}
+	}
+	return true
+}
+
+// Nearest returns the stored point closest to p in Euclidean distance,
+// breaking ties arbitrarily. ok is false when the tree is empty. The
+// query point need not lie inside the region.
+func (t *Tree[V]) Nearest(p geom.Point) (best geom.Point, v V, ok bool) {
+	if t.size == 0 {
+		return geom.Point{}, v, false
+	}
+	bestD := math.Inf(1)
+	nearest(t.root, t.cfg.Region, p, &bestD, &best, &v)
+	return best, v, true
+}
+
+func nearest[V any](n *node[V], block geom.Rect, p geom.Point, bestD *float64, best *geom.Point, bestV *V) {
+	if n.leaf() {
+		for i := range n.entries {
+			if d := n.entries[i].p.Dist2(p); d < *bestD {
+				*bestD = d
+				*best = n.entries[i].p
+				*bestV = n.entries[i].v
+			}
+		}
+		return
+	}
+	// Visit children nearest-first so pruning bites early.
+	type cand struct {
+		q int
+		d float64
+	}
+	var cands [4]cand
+	for q := 0; q < 4; q++ {
+		cands[q] = cand{q, rectDist2(block.Quadrant(q), p)}
+	}
+	// Insertion sort of four elements.
+	for i := 1; i < 4; i++ {
+		for j := i; j > 0 && cands[j].d < cands[j-1].d; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	for _, c := range cands {
+		if c.d >= *bestD {
+			return // remaining children are at least as far
+		}
+		nearest(n.children[c.q], block.Quadrant(c.q), p, bestD, best, bestV)
+	}
+}
+
+// KNearest returns the k stored points closest to p, nearest first.
+// Fewer than k are returned if the tree is smaller than k.
+func (t *Tree[V]) KNearest(p geom.Point, k int) []geom.Point {
+	if k <= 0 {
+		return nil
+	}
+	h := &maxHeap{}
+	kNearest(t.root, t.cfg.Region, p, k, h)
+	out := make([]geom.Point, len(h.pts))
+	for i := len(h.pts) - 1; i >= 0; i-- {
+		out[i] = h.pop()
+	}
+	return out
+}
+
+func kNearest[V any](n *node[V], block geom.Rect, p geom.Point, k int, h *maxHeap) {
+	if n.leaf() {
+		for i := range n.entries {
+			d := n.entries[i].p.Dist2(p)
+			if len(h.pts) < k {
+				h.push(n.entries[i].p, d)
+			} else if d < h.top() {
+				h.pop()
+				h.push(n.entries[i].p, d)
+			}
+		}
+		return
+	}
+	type cand struct {
+		q int
+		d float64
+	}
+	var cands [4]cand
+	for q := 0; q < 4; q++ {
+		cands[q] = cand{q, rectDist2(block.Quadrant(q), p)}
+	}
+	for i := 1; i < 4; i++ {
+		for j := i; j > 0 && cands[j].d < cands[j-1].d; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	for _, c := range cands {
+		if len(h.pts) == k && c.d >= h.top() {
+			return
+		}
+		kNearest(n.children[c.q], block.Quadrant(c.q), p, k, h)
+	}
+}
+
+// maxHeap is a small max-heap of points keyed by squared distance, used
+// by KNearest to keep the current best k.
+type maxHeap struct {
+	pts []geom.Point
+	ds  []float64
+}
+
+func (h *maxHeap) top() float64 { return h.ds[0] }
+
+func (h *maxHeap) push(p geom.Point, d float64) {
+	h.pts = append(h.pts, p)
+	h.ds = append(h.ds, d)
+	i := len(h.ds) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.ds[parent] >= h.ds[i] {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *maxHeap) pop() geom.Point {
+	p := h.pts[0]
+	last := len(h.ds) - 1
+	h.swap(0, last)
+	h.pts, h.ds = h.pts[:last], h.ds[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < last && h.ds[l] > h.ds[big] {
+			big = l
+		}
+		if r < last && h.ds[r] > h.ds[big] {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		h.swap(i, big)
+		i = big
+	}
+	return p
+}
+
+func (h *maxHeap) swap(i, j int) {
+	h.pts[i], h.pts[j] = h.pts[j], h.pts[i]
+	h.ds[i], h.ds[j] = h.ds[j], h.ds[i]
+}
+
+// rectDist2 returns the squared distance from p to the closest point of
+// rectangle r (zero when p is inside).
+func rectDist2(r geom.Rect, p geom.Point) float64 {
+	dx := math.Max(math.Max(r.MinX-p.X, 0), p.X-r.MaxX)
+	dy := math.Max(math.Max(r.MinY-p.Y, 0), p.Y-r.MaxY)
+	return dx*dx + dy*dy
+}
+
+// Walk visits every stored point in an unspecified order; returning false
+// from visit stops the walk.
+func (t *Tree[V]) Walk(visit Visit[V]) bool {
+	return walk(t.root, visit)
+}
+
+func walk[V any](n *node[V], visit Visit[V]) bool {
+	if n.leaf() {
+		for i := range n.entries {
+			if !visit(n.entries[i].p, n.entries[i].v) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !walk(c, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// Points returns all stored points in an unspecified order.
+func (t *Tree[V]) Points() []geom.Point {
+	pts := make([]geom.Point, 0, t.size)
+	t.Walk(func(p geom.Point, _ V) bool {
+		pts = append(pts, p)
+		return true
+	})
+	return pts
+}

@@ -1,0 +1,216 @@
+package quadtree
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"popana/internal/geom"
+	"popana/internal/xrand"
+)
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	rng := xrand.New(21)
+	tr := MustNew[int](Config{Capacity: 3})
+	pts := randomPoints(rng, 800)
+	for i, p := range pts {
+		mustInsertV(t, tr, p, i)
+	}
+	for trial := 0; trial < 200; trial++ {
+		x1, y1 := rng.Float64(), rng.Float64()
+		x2, y2 := rng.Float64(), rng.Float64()
+		q := geom.R(math.Min(x1, x2), math.Min(y1, y2), math.Max(x1, x2), math.Max(y1, y2))
+		want := 0
+		for _, p := range pts {
+			if q.ContainsClosed(p) {
+				want++
+			}
+		}
+		if got := tr.CountRange(q); got != want {
+			t.Fatalf("trial %d: CountRange(%v) = %d, want %d", trial, q, got, want)
+		}
+	}
+}
+
+func TestRangeOnBlockBoundary(t *testing.T) {
+	// A query whose edge coincides with a block boundary must still
+	// find points on that boundary.
+	tr := MustNew[int](Config{Capacity: 1})
+	p := geom.Pt(0.5, 0.5) // lands exactly on the root's center
+	mustInsert(t, tr, p, geom.Pt(0.1, 0.1), geom.Pt(0.9, 0.1))
+	q := geom.R(0.5, 0.5, 0.5, 0.5) // degenerate query exactly at the point
+	if got := tr.CountRange(q); got != 1 {
+		t.Fatalf("boundary point not found: %d", got)
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	tr := MustNew[int](Config{Capacity: 2})
+	for i, p := range randomPoints(xrand.New(4), 100) {
+		mustInsertV(t, tr, p, i)
+	}
+	visits := 0
+	completed := tr.Range(geom.UnitSquare, func(geom.Point, int) bool {
+		visits++
+		return visits < 5
+	})
+	if completed || visits != 5 {
+		t.Fatalf("early stop: completed=%v visits=%d", completed, visits)
+	}
+}
+
+func TestRangeEmptyTree(t *testing.T) {
+	tr := MustNew[int](Config{Capacity: 2})
+	if got := tr.CountRange(geom.UnitSquare); got != 0 {
+		t.Fatalf("empty tree range count %d", got)
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := xrand.New(31)
+	tr := MustNew[int](Config{Capacity: 4})
+	pts := randomPoints(rng, 600)
+	for i, p := range pts {
+		mustInsertV(t, tr, p, i)
+	}
+	for trial := 0; trial < 300; trial++ {
+		q := geom.Pt(rng.Float64()*1.4-0.2, rng.Float64()*1.4-0.2) // also outside region
+		best, _, ok := tr.Nearest(q)
+		if !ok {
+			t.Fatal("Nearest failed on non-empty tree")
+		}
+		bestD := math.Inf(1)
+		for _, p := range pts {
+			if d := p.Dist2(q); d < bestD {
+				bestD = d
+			}
+		}
+		if math.Abs(best.Dist2(q)-bestD) > 1e-15 {
+			t.Fatalf("trial %d: nearest %v at %v, brute force %v", trial, best, best.Dist2(q), bestD)
+		}
+	}
+}
+
+func TestNearestEmptyTree(t *testing.T) {
+	tr := MustNew[int](Config{Capacity: 1})
+	if _, _, ok := tr.Nearest(geom.Pt(0.5, 0.5)); ok {
+		t.Fatal("Nearest on empty tree returned ok")
+	}
+}
+
+func TestNearestReturnsValue(t *testing.T) {
+	tr := MustNew[int](Config{Capacity: 1})
+	mustInsertV(t, tr, geom.Pt(0.2, 0.2), 7)
+	mustInsertV(t, tr, geom.Pt(0.8, 0.8), 9)
+	p, v, ok := tr.Nearest(geom.Pt(0.75, 0.75))
+	if !ok || v != 9 || p != geom.Pt(0.8, 0.8) {
+		t.Fatalf("Nearest = %v, %v, %v", p, v, ok)
+	}
+}
+
+func TestKNearestMatchesBruteForce(t *testing.T) {
+	rng := xrand.New(41)
+	tr := MustNew[int](Config{Capacity: 3})
+	pts := randomPoints(rng, 300)
+	for i, p := range pts {
+		mustInsertV(t, tr, p, i)
+	}
+	for trial := 0; trial < 50; trial++ {
+		q := geom.Pt(rng.Float64(), rng.Float64())
+		k := 1 + rng.Intn(20)
+		got := tr.KNearest(q, k)
+		if len(got) != k {
+			t.Fatalf("KNearest returned %d points, want %d", len(got), k)
+		}
+		sorted := append([]geom.Point{}, pts...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Dist2(q) < sorted[j].Dist2(q) })
+		for i := range got {
+			if math.Abs(got[i].Dist2(q)-sorted[i].Dist2(q)) > 1e-15 {
+				t.Fatalf("trial %d: k-nearest[%d] at %v, want %v", trial, i, got[i].Dist2(q), sorted[i].Dist2(q))
+			}
+		}
+		// Ordering: nearest first.
+		for i := 1; i < len(got); i++ {
+			if got[i-1].Dist2(q) > got[i].Dist2(q) {
+				t.Fatalf("k-nearest not sorted at %d", i)
+			}
+		}
+	}
+}
+
+func TestKNearestEdgeCases(t *testing.T) {
+	tr := MustNew[int](Config{Capacity: 2})
+	if got := tr.KNearest(geom.Pt(0.5, 0.5), 0); got != nil {
+		t.Fatal("k=0 returned points")
+	}
+	mustInsertV(t, tr, geom.Pt(0.3, 0.3), 0)
+	if got := tr.KNearest(geom.Pt(0.5, 0.5), 10); len(got) != 1 {
+		t.Fatalf("k beyond size returned %d points", len(got))
+	}
+}
+
+func TestWalkAndPoints(t *testing.T) {
+	tr := MustNew[int](Config{Capacity: 2})
+	pts := randomPoints(xrand.New(51), 100)
+	for i, p := range pts {
+		mustInsertV(t, tr, p, i)
+	}
+	if got := len(tr.Points()); got != 100 {
+		t.Fatalf("Points returned %d", got)
+	}
+	n := 0
+	tr.Walk(func(geom.Point, int) bool { n++; return true })
+	if n != 100 {
+		t.Fatalf("Walk visited %d", n)
+	}
+	n = 0
+	if tr.Walk(func(geom.Point, int) bool { n++; return n < 3 }) {
+		t.Fatal("early-stopped walk reported complete")
+	}
+}
+
+func TestQuickPropertyInsertedAlwaysFound(t *testing.T) {
+	f := func(seed uint64, capRaw uint8) bool {
+		m := int(capRaw%8) + 1
+		tr := MustNew[uint64](Config{Capacity: m})
+		rng := xrand.New(seed)
+		pts := randomPoints(rng, 64)
+		for i, p := range pts {
+			if _, err := tr.Insert(p, uint64(i)); err != nil {
+				return false
+			}
+		}
+		for _, p := range pts {
+			if !tr.Contains(p) {
+				return false
+			}
+		}
+		// Range over the whole region sees everything.
+		return tr.CountRange(geom.R(0, 0, 1, 1)) == tr.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectDist2(t *testing.T) {
+	r := geom.R(0, 0, 1, 1)
+	cases := []struct {
+		p    geom.Point
+		want float64
+	}{
+		{geom.Pt(0.5, 0.5), 0}, // inside
+		{geom.Pt(2, 0.5), 1},   // east
+		{geom.Pt(0.5, -1), 1},  // south
+		{geom.Pt(2, 2), 2},     // corner
+		{geom.Pt(-3, 0.5), 9},  // west
+		{geom.Pt(1, 1), 0},     // on corner
+		{geom.Pt(1.5, -0.5), 0.5},
+	}
+	for _, c := range cases {
+		if got := rectDist2(r, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("rectDist2(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package quadtree
+
+import (
+	"popana/internal/geom"
+	"popana/internal/stats"
+)
+
+// Census walks the tree and returns its occupancy census: the leaf
+// populations by occupancy and depth that the paper's experiments
+// measure. Relative block areas are recorded for the aging analysis.
+func (t *Tree[V]) Census() stats.Census {
+	var b stats.CensusBuilder
+	totalArea := t.cfg.Region.Area()
+	census(t.root, t.cfg.Region, 0, totalArea, &b)
+	return b.Census()
+}
+
+func census[V any](n *node[V], block geom.Rect, depth int, totalArea float64, b *stats.CensusBuilder) {
+	if n.leaf() {
+		b.AddLeaf(depth, len(n.entries), block.Area()/totalArea)
+		return
+	}
+	b.AddInternal(depth)
+	for q := 0; q < 4; q++ {
+		census(n.children[q], block.Quadrant(q), depth+1, totalArea, b)
+	}
+}
+
+// WalkBlocks visits every leaf block with its depth and occupancy;
+// returning false stops the walk. It exposes the decomposition geometry
+// for visualization and analyses beyond the census.
+func (t *Tree[V]) WalkBlocks(visit func(block geom.Rect, depth, occupancy int) bool) bool {
+	return walkBlocks(t.root, t.cfg.Region, 0, visit)
+}
+
+func walkBlocks[V any](n *node[V], block geom.Rect, depth int, visit func(geom.Rect, int, int) bool) bool {
+	if n.leaf() {
+		return visit(block, depth, len(n.entries))
+	}
+	for q := 0; q < 4; q++ {
+		if !walkBlocks(n.children[q], block.Quadrant(q), depth+1, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// NodeCount returns the total number of nodes (leaves plus internal).
+func (t *Tree[V]) NodeCount() int {
+	c := t.Census()
+	return c.Leaves + c.Internal
+}
+
+// LeafCount returns the number of leaf blocks — the paper's "nodes"
+// column (populations are defined over leaves).
+func (t *Tree[V]) LeafCount() int { return t.Census().Leaves }
+
+// Height returns the maximum leaf depth (an empty tree has height 0).
+func (t *Tree[V]) Height() int { return t.Census().Height }

@@ -1,0 +1,120 @@
+package quadtree
+
+import (
+	"math"
+	"testing"
+
+	"popana/internal/geom"
+	"popana/internal/xrand"
+)
+
+func TestAccessors(t *testing.T) {
+	tr := MustNew[int](Config{Capacity: 3, MaxDepth: 7})
+	if tr.MaxDepth() != 7 {
+		t.Fatalf("MaxDepth = %d", tr.MaxDepth())
+	}
+	mustInsert(t, tr,
+		geom.Pt(0.1, 0.1), geom.Pt(0.9, 0.1),
+		geom.Pt(0.1, 0.9), geom.Pt(0.9, 0.9))
+	if tr.NodeCount() != tr.LeafCount()+tr.Census().Internal {
+		t.Fatal("NodeCount inconsistent")
+	}
+	if tr.LeafCount() != tr.Census().Leaves {
+		t.Fatal("LeafCount inconsistent")
+	}
+	if tr.Height() != tr.Census().Height {
+		t.Fatal("Height inconsistent")
+	}
+}
+
+func TestWalkBlocksPartitionsRegion(t *testing.T) {
+	tr := MustNew[int](Config{Capacity: 2})
+	for i, p := range randomPoints(xrand.New(7), 300) {
+		mustInsertV(t, tr, p, i)
+	}
+	area := 0.0
+	items := 0
+	ok := tr.WalkBlocks(func(block geom.Rect, depth, occ int) bool {
+		area += block.Area()
+		items += occ
+		if depth < 0 {
+			t.Fatal("negative depth")
+		}
+		return true
+	})
+	if !ok {
+		t.Fatal("walk stopped early")
+	}
+	if math.Abs(area-tr.Region().Area()) > 1e-9 {
+		t.Fatalf("leaf blocks cover area %v, region is %v", area, tr.Region().Area())
+	}
+	if items != 300 {
+		t.Fatalf("blocks hold %d items", items)
+	}
+	// Early stop works.
+	n := 0
+	if tr.WalkBlocks(func(geom.Rect, int, int) bool { n++; return false }) {
+		t.Fatal("early stop reported complete")
+	}
+	if n != 1 {
+		t.Fatalf("visited %d blocks before stopping", n)
+	}
+}
+
+func TestRangeCountedMatchesRange(t *testing.T) {
+	tr := MustNew[int](Config{Capacity: 3})
+	pts := randomPoints(xrand.New(8), 500)
+	for i, p := range pts {
+		mustInsertV(t, tr, p, i)
+	}
+	q := geom.R(0.2, 0.3, 0.7, 0.8)
+	want := tr.CountRange(q)
+	got := 0
+	st := tr.RangeCounted(q, func(geom.Point, int) bool { got++; return true })
+	if got != want || st.Matched != want {
+		t.Fatalf("RangeCounted matched %d/%d, want %d", got, st.Matched, want)
+	}
+	if st.RecordsScanned < want {
+		t.Fatalf("scanned %d < matched %d", st.RecordsScanned, want)
+	}
+	if st.LeavesVisited == 0 || st.NodesVisited < st.LeavesVisited {
+		t.Fatalf("stats %+v inconsistent", st)
+	}
+	// Pruning: scanning must not touch every record for a small query.
+	small := geom.R(0.1, 0.1, 0.15, 0.15)
+	st2 := tr.RangeCounted(small, func(geom.Point, int) bool { return true })
+	if st2.RecordsScanned >= len(pts) {
+		t.Fatalf("small query scanned everything (%d)", st2.RecordsScanned)
+	}
+	// Early stop propagates.
+	n := 0
+	st3 := tr.RangeCounted(geom.UnitSquare, func(geom.Point, int) bool { n++; return n < 3 })
+	if st3.Matched < 3 {
+		t.Fatalf("early-stopped stats %+v", st3)
+	}
+}
+
+func TestCensusSearchDepth(t *testing.T) {
+	// Four leaves at depth 1 with distinct occupancies: search depth
+	// is exactly 1 (all areas equal), mean leaf depth 1.
+	tr := MustNew[int](Config{Capacity: 1})
+	mustInsert(t, tr,
+		geom.Pt(0.1, 0.1), geom.Pt(0.9, 0.1),
+		geom.Pt(0.1, 0.9), geom.Pt(0.9, 0.9))
+	c := tr.Census()
+	if d := c.ExpectedSearchDepth(); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("search depth %v, want 1", d)
+	}
+	if d := c.MeanLeafDepth(); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("mean leaf depth %v, want 1", d)
+	}
+	// Uneven depths: area weighting must be below count weighting when
+	// the deep blocks are small (aging in cost form).
+	tr2 := MustNew[int](Config{Capacity: 1})
+	mustInsert(t, tr2, geom.Pt(0.01, 0.01), geom.Pt(0.02, 0.02), geom.Pt(0.9, 0.9))
+	c2 := tr2.Census()
+	if c2.ExpectedSearchDepth() >= c2.MeanLeafDepth() {
+		t.Fatalf("area-weighted %v not below count-weighted %v",
+			c2.ExpectedSearchDepth(), c2.MeanLeafDepth())
+	}
+}

@@ -1,0 +1,119 @@
+package quadtree
+
+import (
+	"io"
+	"sync"
+
+	"popana/internal/geom"
+	"popana/internal/stats"
+)
+
+// SyncTree wraps a Tree with a readers-writer lock so it can back a
+// concurrent service (the GIS servers that motivated the paper are
+// multi-client). Reads run concurrently; mutations are exclusive.
+//
+// The wrapper covers the operational API. Analyses that need a stable
+// snapshot (Census during a long report, Encode to disk) take the read
+// lock for their whole duration, so writers see bounded delay rather
+// than torn state.
+type SyncTree[V any] struct {
+	mu sync.RWMutex
+	t  *Tree[V]
+}
+
+// NewSync returns an empty synchronized tree.
+func NewSync[V any](cfg Config) (*SyncTree[V], error) {
+	t, err := New[V](cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SyncTree[V]{t: t}, nil
+}
+
+// Len returns the number of stored points.
+func (s *SyncTree[V]) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.t.Len()
+}
+
+// Region returns the tree's universe rectangle (immutable, no lock).
+func (s *SyncTree[V]) Region() geom.Rect { return s.t.Region() }
+
+// Insert stores value v at point p.
+func (s *SyncTree[V]) Insert(p geom.Point, v V) (replaced bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.Insert(p, v)
+}
+
+// Get returns the value stored at p, if any.
+func (s *SyncTree[V]) Get(p geom.Point) (V, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.t.Get(p)
+}
+
+// Contains reports whether p is stored.
+func (s *SyncTree[V]) Contains(p geom.Point) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.t.Contains(p)
+}
+
+// Delete removes the point p.
+func (s *SyncTree[V]) Delete(p geom.Point) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.Delete(p)
+}
+
+// Range calls visit for every stored point in the closed query
+// rectangle while holding the read lock: visit must not call mutating
+// methods of the same tree (it would deadlock) and should be quick.
+func (s *SyncTree[V]) Range(query geom.Rect, visit Visit[V]) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.t.Range(query, visit)
+}
+
+// CountRange returns the number of stored points in the closed query
+// rectangle.
+func (s *SyncTree[V]) CountRange(query geom.Rect) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.t.CountRange(query)
+}
+
+// Nearest returns the stored point closest to p.
+func (s *SyncTree[V]) Nearest(p geom.Point) (geom.Point, V, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.t.Nearest(p)
+}
+
+// KNearest returns the k stored points closest to p, nearest first.
+func (s *SyncTree[V]) KNearest(p geom.Point, k int) []geom.Point {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.t.KNearest(p, k)
+}
+
+// Census snapshots the occupancy census under the read lock.
+func (s *SyncTree[V]) Census() stats.Census {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.t.Census()
+}
+
+// Encode writes a consistent snapshot of the tree to w.
+func (s *SyncTree[V]) Encode(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.t.Encode(w)
+}
+
+// Unwrap returns the underlying tree for single-threaded phases (bulk
+// analysis after the writers are done). The caller takes responsibility
+// for synchronization from that point on.
+func (s *SyncTree[V]) Unwrap() *Tree[V] { return s.t }

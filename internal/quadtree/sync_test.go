@@ -1,0 +1,115 @@
+package quadtree
+
+import (
+	"sync"
+	"testing"
+
+	"popana/internal/geom"
+	"popana/internal/xrand"
+)
+
+func TestSyncTreeBasics(t *testing.T) {
+	s, err := NewSync[int](Config{Capacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSync[int](Config{Capacity: 0}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	p := geom.Pt(0.5, 0.5)
+	if _, err := s.Insert(p, 7); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get(p); !ok || v != 7 {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	if !s.Contains(p) || s.Len() != 1 {
+		t.Fatal("basic state wrong")
+	}
+	if s.Region() != geom.UnitSquare {
+		t.Fatal("region wrong")
+	}
+	if got, _, ok := s.Nearest(geom.Pt(0, 0)); !ok || got != p {
+		t.Fatal("nearest wrong")
+	}
+	if got := s.KNearest(geom.Pt(0, 0), 1); len(got) != 1 {
+		t.Fatal("knearest wrong")
+	}
+	if s.CountRange(geom.UnitSquare) != 1 {
+		t.Fatal("range wrong")
+	}
+	if c := s.Census(); c.Items != 1 {
+		t.Fatal("census wrong")
+	}
+	if !s.Delete(p) || s.Len() != 0 {
+		t.Fatal("delete wrong")
+	}
+	if s.Unwrap() == nil {
+		t.Fatal("unwrap nil")
+	}
+}
+
+// TestSyncTreeConcurrent hammers the tree from parallel writers and
+// readers; run with -race to catch synchronization bugs. The assertions
+// only check self-consistency (exact contents are racy by design).
+func TestSyncTreeConcurrent(t *testing.T) {
+	s, err := NewSync[int](Config{Capacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, readers, ops = 4, 4, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := xrand.New(seed)
+			var mine []geom.Point
+			for i := 0; i < ops; i++ {
+				if rng.Float64() < 0.7 || len(mine) == 0 {
+					p := geom.Pt(rng.Float64(), rng.Float64())
+					if _, err := s.Insert(p, i); err != nil {
+						t.Error(err)
+						return
+					}
+					mine = append(mine, p)
+				} else {
+					j := rng.Intn(len(mine))
+					s.Delete(mine[j])
+					mine[j] = mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+				}
+			}
+		}(uint64(w) + 1)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := xrand.New(seed + 100)
+			for i := 0; i < ops; i++ {
+				switch i % 4 {
+				case 0:
+					s.CountRange(geom.R(0.2, 0.2, 0.8, 0.8))
+				case 1:
+					s.Nearest(geom.Pt(rng.Float64(), rng.Float64()))
+				case 2:
+					s.Contains(geom.Pt(rng.Float64(), rng.Float64()))
+				case 3:
+					c := s.Census()
+					sum := 0
+					for occ, cnt := range c.ByOccupancy {
+						sum += occ * cnt
+					}
+					if c.Items != sum {
+						t.Error("torn census")
+						return
+					}
+				}
+			}
+		}(uint64(r))
+	}
+	wg.Wait()
+	// Final state is a consistent tree.
+	checkInvariants(t, s.Unwrap())
+}

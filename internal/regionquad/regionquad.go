@@ -1,0 +1,373 @@
+// Package regionquad implements the region quadtree of Klinger [Klin71]
+// — the image-representation branch of the quadtree family surveyed in
+// Section II: a 2^k × 2^k binary image is recursively quartered until
+// every block is uniformly black or white.
+//
+// It rounds out the hierarchical-structure inventory with the one member
+// whose "population" is colors rather than occupancies, and it gives the
+// examples a second data primitive (images) to exercise. The classic
+// algebra is provided: build/decode, union, intersection, complement,
+// and a per-level node census for storage analysis.
+package regionquad
+
+import (
+	"fmt"
+	"math"
+
+	"popana/internal/stats"
+)
+
+// Color of a leaf block.
+type Color uint8
+
+// Leaf colors. Gray is used only in census reporting for internal nodes.
+const (
+	White Color = iota
+	Black
+	Gray
+)
+
+// String implements fmt.Stringer.
+func (c Color) String() string {
+	switch c {
+	case White:
+		return "white"
+	case Black:
+		return "black"
+	case Gray:
+		return "gray"
+	default:
+		return fmt.Sprintf("Color(%d)", uint8(c))
+	}
+}
+
+// node is a quadtree node: leaf (children == nil) with a color, or gray
+// internal node with four children ordered SW, SE, NW, NE.
+type node struct {
+	color    Color
+	children *[4]*node
+}
+
+func (n *node) leaf() bool { return n.children == nil }
+
+// Tree is a region quadtree over a 2^k × 2^k binary image.
+type Tree struct {
+	size int // image side length, a power of two
+	root *node
+}
+
+// FromBitmap builds the minimal region quadtree for the bitmap, given in
+// row-major order with bitmap[y][x] true = black. The bitmap must be
+// square with a power-of-two side length.
+func FromBitmap(bitmap [][]bool) (*Tree, error) {
+	n := len(bitmap)
+	if n == 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("regionquad: side %d is not a positive power of two", n)
+	}
+	for y, row := range bitmap {
+		if len(row) != n {
+			return nil, fmt.Errorf("regionquad: row %d has %d pixels, want %d", y, len(row), n)
+		}
+	}
+	return &Tree{size: n, root: build(bitmap, 0, 0, n)}, nil
+}
+
+// Uniform returns a quadtree of the given side length (power of two)
+// entirely of one color.
+func Uniform(size int, c Color) (*Tree, error) {
+	if size <= 0 || size&(size-1) != 0 {
+		return nil, fmt.Errorf("regionquad: side %d is not a positive power of two", size)
+	}
+	if c != Black && c != White {
+		return nil, fmt.Errorf("regionquad: uniform color must be black or white")
+	}
+	return &Tree{size: size, root: &node{color: c}}, nil
+}
+
+// build constructs the minimal subtree for the square of side s at
+// (x0, y0).
+func build(bm [][]bool, x0, y0, s int) *node {
+	if s == 1 {
+		c := White
+		if bm[y0][x0] {
+			c = Black
+		}
+		return &node{color: c}
+	}
+	h := s / 2
+	var ch [4]*node
+	// Quadrant order: bit 0 = east, bit 1 = north (same as geom).
+	ch[0] = build(bm, x0, y0, h)
+	ch[1] = build(bm, x0+h, y0, h)
+	ch[2] = build(bm, x0, y0+h, h)
+	ch[3] = build(bm, x0+h, y0+h, h)
+	// Merge four same-colored leaves.
+	if ch[0].leaf() && ch[1].leaf() && ch[2].leaf() && ch[3].leaf() &&
+		ch[0].color == ch[1].color && ch[1].color == ch[2].color && ch[2].color == ch[3].color {
+		return &node{color: ch[0].color}
+	}
+	return &node{color: Gray, children: &ch}
+}
+
+// Size returns the image side length.
+func (t *Tree) Size() int { return t.size }
+
+// At reports the color of pixel (x, y).
+func (t *Tree) At(x, y int) (Color, error) {
+	if x < 0 || y < 0 || x >= t.size || y >= t.size {
+		return White, fmt.Errorf("regionquad: pixel (%d,%d) outside %dx%d image", x, y, t.size, t.size)
+	}
+	n, s := t.root, t.size
+	x0, y0 := 0, 0
+	for !n.leaf() {
+		s /= 2
+		q := 0
+		if x >= x0+s {
+			q |= 1
+			x0 += s
+		}
+		if y >= y0+s {
+			q |= 2
+			y0 += s
+		}
+		n = n.children[q]
+	}
+	return n.color, nil
+}
+
+// Bitmap decodes the quadtree back into a row-major bitmap.
+func (t *Tree) Bitmap() [][]bool {
+	bm := make([][]bool, t.size)
+	for y := range bm {
+		bm[y] = make([]bool, t.size)
+	}
+	paint(t.root, 0, 0, t.size, bm)
+	return bm
+}
+
+func paint(n *node, x0, y0, s int, bm [][]bool) {
+	if n.leaf() {
+		if n.color == Black {
+			for y := y0; y < y0+s; y++ {
+				for x := x0; x < x0+s; x++ {
+					bm[y][x] = true
+				}
+			}
+		}
+		return
+	}
+	h := s / 2
+	paint(n.children[0], x0, y0, h, bm)
+	paint(n.children[1], x0+h, y0, h, bm)
+	paint(n.children[2], x0, y0+h, h, bm)
+	paint(n.children[3], x0+h, y0+h, h, bm)
+}
+
+// BlackArea returns the number of black pixels, computed from the tree
+// in time proportional to the node count (not the pixel count).
+func (t *Tree) BlackArea() int { return blackArea(t.root, t.size) }
+
+func blackArea(n *node, s int) int {
+	if n.leaf() {
+		if n.color == Black {
+			return s * s
+		}
+		return 0
+	}
+	h := s / 2
+	total := 0
+	for _, c := range n.children {
+		total += blackArea(c, h)
+	}
+	return total
+}
+
+// Counts reports the number of black, white, and gray nodes.
+func (t *Tree) Counts() (black, white, gray int) {
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf() {
+			if n.color == Black {
+				black++
+			} else {
+				white++
+			}
+			return
+		}
+		gray++
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return black, white, gray
+}
+
+// Census reports the leaf populations by depth, with the "occupancy"
+// convention color: 0 = white, 1 = black, so population analysis
+// tooling (stats.Summarize and friends) applies unchanged.
+func (t *Tree) Census() stats.Census {
+	var b stats.CensusBuilder
+	total := float64(t.size) * float64(t.size)
+	var walk func(n *node, s, depth int)
+	walk = func(n *node, s, depth int) {
+		if n.leaf() {
+			b.AddLeaf(depth, int(n.color), float64(s)*float64(s)/total)
+			return
+		}
+		b.AddInternal(depth)
+		for _, c := range n.children {
+			walk(c, s/2, depth+1)
+		}
+	}
+	walk(t.root, t.size, 0)
+	return b.Census()
+}
+
+// Union returns the pixelwise OR of a and b, which must be the same
+// size. The result is minimal (merged).
+func Union(a, b *Tree) (*Tree, error) {
+	if a.size != b.size {
+		return nil, fmt.Errorf("regionquad: size mismatch %d vs %d", a.size, b.size)
+	}
+	return &Tree{size: a.size, root: combine(a.root, b.root, true)}, nil
+}
+
+// Intersect returns the pixelwise AND of a and b.
+func Intersect(a, b *Tree) (*Tree, error) {
+	if a.size != b.size {
+		return nil, fmt.Errorf("regionquad: size mismatch %d vs %d", a.size, b.size)
+	}
+	return &Tree{size: a.size, root: combine(a.root, b.root, false)}, nil
+}
+
+// combine merges two subtrees under OR (union=true) or AND.
+func combine(a, b *node, union bool) *node {
+	// Absorbing leaf: black for OR, white for AND.
+	if a.leaf() {
+		if (union && a.color == Black) || (!union && a.color == White) {
+			return &node{color: a.color}
+		}
+		return clone(b) // identity element: result is b
+	}
+	if b.leaf() {
+		if (union && b.color == Black) || (!union && b.color == White) {
+			return &node{color: b.color}
+		}
+		return clone(a)
+	}
+	var ch [4]*node
+	for q := 0; q < 4; q++ {
+		ch[q] = combine(a.children[q], b.children[q], union)
+	}
+	if ch[0].leaf() && ch[1].leaf() && ch[2].leaf() && ch[3].leaf() &&
+		ch[0].color == ch[1].color && ch[1].color == ch[2].color && ch[2].color == ch[3].color {
+		return &node{color: ch[0].color}
+	}
+	return &node{color: Gray, children: &ch}
+}
+
+// Complement returns the pixelwise NOT of t.
+func (t *Tree) Complement() *Tree {
+	return &Tree{size: t.size, root: complement(t.root)}
+}
+
+func complement(n *node) *node {
+	if n.leaf() {
+		c := Black
+		if n.color == Black {
+			c = White
+		}
+		return &node{color: c}
+	}
+	var ch [4]*node
+	for q := 0; q < 4; q++ {
+		ch[q] = complement(n.children[q])
+	}
+	return &node{color: Gray, children: &ch}
+}
+
+func clone(n *node) *node {
+	if n.leaf() {
+		return &node{color: n.color}
+	}
+	var ch [4]*node
+	for q := 0; q < 4; q++ {
+		ch[q] = clone(n.children[q])
+	}
+	return &node{color: Gray, children: &ch}
+}
+
+// ExpectedNodes returns the exact expected number of leaf and gray
+// nodes in the region quadtree of a 2^k × 2^k image whose pixels are
+// independently black with probability p — the population-analysis
+// counterpart for image data, where node "types" are colors rather than
+// occupancies.
+//
+// Derivation: a block of side 2^j is uniform with probability
+// u_j = p^(4^j·... ) — precisely u_j = p^s + (1-p)^s with s = 4^j
+// pixels. A block appears as a leaf iff it is uniform and its parent
+// block is not (the root is a leaf iff it is uniform). Gray nodes are
+// the non-uniform blocks. Summing over all blocks of each size gives
+// closed forms without any recursion.
+func ExpectedNodes(k int, p float64) (leaves, gray float64, err error) {
+	if k < 0 || k > 15 {
+		return 0, 0, fmt.Errorf("regionquad: depth %d outside 0..15", k)
+	}
+	if p < 0 || p > 1 {
+		return 0, 0, fmt.Errorf("regionquad: probability %g outside [0,1]", p)
+	}
+	// u[j] = P[a block of side 2^j is uniform].
+	u := make([]float64, k+1)
+	for j := 0; j <= k; j++ {
+		s := math.Pow(4, float64(j)) // pixels in the block
+		u[j] = math.Pow(p, s) + math.Pow(1-p, s)
+	}
+	// Blocks of side 2^j number 4^(k-j). A side-2^j block is a leaf
+	// iff it is uniform but its enclosing side-2^(j+1) block is not;
+	// P[leaf] = u_j − P[parent uniform] = u_j − u_{j+1} (a uniform
+	// parent forces uniform children, so the events nest).
+	for j := 0; j < k; j++ {
+		count := math.Pow(4, float64(k-j))
+		leaves += count * (u[j] - u[j+1])
+		gray += math.Pow(4, float64(k-j-1)) * (1 - u[j+1])
+	}
+	// The root: a leaf if uniform (it has no parent).
+	leaves += u[k]
+	return leaves, gray, nil
+}
+
+// CheckMinimal verifies the defining invariant of a well-formed region
+// quadtree: no internal node has four leaf children of equal color, and
+// no internal node is marked with a leaf color.
+func (t *Tree) CheckMinimal() error {
+	return checkMinimal(t.root)
+}
+
+func checkMinimal(n *node) error {
+	if n.leaf() {
+		if n.color == Gray {
+			return fmt.Errorf("regionquad: gray leaf")
+		}
+		return nil
+	}
+	if n.color != Gray {
+		return fmt.Errorf("regionquad: internal node colored %v", n.color)
+	}
+	allLeaf := true
+	for _, c := range n.children {
+		if err := checkMinimal(c); err != nil {
+			return err
+		}
+		if !c.leaf() {
+			allLeaf = false
+		}
+	}
+	if allLeaf {
+		c0 := n.children[0].color
+		if n.children[1].color == c0 && n.children[2].color == c0 && n.children[3].color == c0 {
+			return fmt.Errorf("regionquad: four %v siblings not merged", c0)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,328 @@
+package regionquad
+
+import (
+	"testing"
+	"testing/quick"
+
+	"popana/internal/xrand"
+)
+
+func randomBitmap(rng *xrand.Rand, size int, pBlack float64) [][]bool {
+	bm := make([][]bool, size)
+	for y := range bm {
+		bm[y] = make([]bool, size)
+		for x := range bm[y] {
+			bm[y][x] = rng.Float64() < pBlack
+		}
+	}
+	return bm
+}
+
+func bitmapsEqual(a, b [][]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for y := range a {
+		for x := range a[y] {
+			if a[y][x] != b[y][x] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := xrand.New(1)
+	for _, size := range []int{1, 2, 4, 8, 32} {
+		for _, p := range []float64{0, 0.1, 0.5, 0.9, 1} {
+			bm := randomBitmap(rng, size, p)
+			tr, err := FromBitmap(bm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bitmapsEqual(tr.Bitmap(), bm) {
+				t.Fatalf("size %d p %v: decode != encode", size, p)
+			}
+			if err := tr.CheckMinimal(); err != nil {
+				t.Fatalf("size %d p %v: %v", size, p, err)
+			}
+		}
+	}
+}
+
+func TestFromBitmapValidation(t *testing.T) {
+	if _, err := FromBitmap(nil); err == nil {
+		t.Error("empty bitmap accepted")
+	}
+	if _, err := FromBitmap([][]bool{{false}, {false}, {false}}); err == nil {
+		t.Error("side 3 accepted")
+	}
+	if _, err := FromBitmap([][]bool{{false, true}, {false}}); err == nil {
+		t.Error("ragged bitmap accepted")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	tr, err := Uniform(16, Black)
+	if err != nil {
+		t.Fatal(err)
+	}
+	black, white, gray := tr.Counts()
+	if black != 1 || white != 0 || gray != 0 {
+		t.Fatalf("counts %d %d %d", black, white, gray)
+	}
+	if tr.BlackArea() != 256 {
+		t.Fatalf("area %d", tr.BlackArea())
+	}
+	if _, err := Uniform(10, Black); err == nil {
+		t.Error("side 10 accepted")
+	}
+	if _, err := Uniform(8, Gray); err == nil {
+		t.Error("gray uniform accepted")
+	}
+}
+
+func TestAt(t *testing.T) {
+	bm := randomBitmap(xrand.New(2), 16, 0.4)
+	tr, err := FromBitmap(bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			c, err := tr.At(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := White
+			if bm[y][x] {
+				want = Black
+			}
+			if c != want {
+				t.Fatalf("At(%d,%d) = %v, want %v", x, y, c, want)
+			}
+		}
+	}
+	if _, err := tr.At(-1, 0); err == nil {
+		t.Error("negative pixel accepted")
+	}
+	if _, err := tr.At(16, 0); err == nil {
+		t.Error("out-of-range pixel accepted")
+	}
+}
+
+func TestBlackAreaMatchesBitmap(t *testing.T) {
+	rng := xrand.New(3)
+	f := func(seed uint32) bool {
+		bm := randomBitmap(xrand.New(uint64(seed)+rng.Uint64()), 16, 0.3)
+		tr, err := FromBitmap(bm)
+		if err != nil {
+			return false
+		}
+		want := 0
+		for _, row := range bm {
+			for _, b := range row {
+				if b {
+					want++
+				}
+			}
+		}
+		return tr.BlackArea() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionIntersectAgainstBitmaps(t *testing.T) {
+	rng := xrand.New(4)
+	for trial := 0; trial < 30; trial++ {
+		ab := randomBitmap(rng, 16, 0.3)
+		bb := randomBitmap(rng, 16, 0.3)
+		a, err := FromBitmap(ab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := FromBitmap(bb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := Union(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := Intersect(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := u.CheckMinimal(); err != nil {
+			t.Fatalf("union not minimal: %v", err)
+		}
+		if err := x.CheckMinimal(); err != nil {
+			t.Fatalf("intersection not minimal: %v", err)
+		}
+		ub, xb := u.Bitmap(), x.Bitmap()
+		for y := 0; y < 16; y++ {
+			for xx := 0; xx < 16; xx++ {
+				if ub[y][xx] != (ab[y][xx] || bb[y][xx]) {
+					t.Fatalf("union wrong at (%d,%d)", xx, y)
+				}
+				if xb[y][xx] != (ab[y][xx] && bb[y][xx]) {
+					t.Fatalf("intersection wrong at (%d,%d)", xx, y)
+				}
+			}
+		}
+	}
+}
+
+func TestUnionSizeMismatch(t *testing.T) {
+	a, _ := Uniform(8, Black)
+	b, _ := Uniform(16, Black)
+	if _, err := Union(a, b); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := Intersect(a, b); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestComplement(t *testing.T) {
+	rng := xrand.New(5)
+	bm := randomBitmap(rng, 32, 0.5)
+	tr, err := FromBitmap(bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tr.Complement()
+	cb := c.Bitmap()
+	for y := range bm {
+		for x := range bm[y] {
+			if cb[y][x] == bm[y][x] {
+				t.Fatalf("complement wrong at (%d,%d)", x, y)
+			}
+		}
+	}
+	if tr.BlackArea()+c.BlackArea() != 32*32 {
+		t.Fatal("areas do not partition the image")
+	}
+	// De Morgan: ¬(a ∪ b) = ¬a ∩ ¬b.
+	b2, _ := FromBitmap(randomBitmap(rng, 32, 0.5))
+	u, _ := Union(tr, b2)
+	lhs := u.Complement()
+	rhs, _ := Intersect(tr.Complement(), b2.Complement())
+	if !bitmapsEqual(lhs.Bitmap(), rhs.Bitmap()) {
+		t.Fatal("De Morgan violated")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	// Checkerboard at pixel resolution: no merging possible above the
+	// pixel level.
+	size := 8
+	bm := make([][]bool, size)
+	for y := range bm {
+		bm[y] = make([]bool, size)
+		for x := range bm[y] {
+			bm[y][x] = (x+y)%2 == 0
+		}
+	}
+	tr, err := FromBitmap(bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	black, white, gray := tr.Counts()
+	if black != 32 || white != 32 {
+		t.Fatalf("checkerboard counts: %d black, %d white", black, white)
+	}
+	// Internal nodes: 1 + 4 + 16 = 21 for an 8x8 fully split tree.
+	if gray != 21 {
+		t.Fatalf("gray count %d, want 21", gray)
+	}
+}
+
+func TestCensus(t *testing.T) {
+	bm := randomBitmap(xrand.New(6), 16, 0.5)
+	tr, err := FromBitmap(bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tr.Census()
+	black, white, gray := tr.Counts()
+	if c.Leaves != black+white || c.Internal != gray {
+		t.Fatalf("census %+v vs counts %d/%d/%d", c, black, white, gray)
+	}
+	// "Occupancy" 1 = black leaves.
+	if c.ByOccupancy[1] != black || c.ByOccupancy[0] != white {
+		t.Fatalf("census histogram %v", c.ByOccupancy)
+	}
+	total := 0.0
+	for _, a := range c.AreaByOccupancy {
+		total += a
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("areas sum to %v", total)
+	}
+}
+
+func TestColorString(t *testing.T) {
+	if White.String() != "white" || Black.String() != "black" || Gray.String() != "gray" {
+		t.Error("color names wrong")
+	}
+	if Color(9).String() == "" {
+		t.Error("unknown color empty")
+	}
+}
+
+func TestExpectedNodesIdentity(t *testing.T) {
+	// Every split turns 1 node into 4, so leaves = 3·gray + 1 exactly,
+	// and the expectation must satisfy the same identity by linearity.
+	for _, k := range []int{0, 1, 3, 6} {
+		for _, p := range []float64{0, 0.1, 0.5, 0.9, 1} {
+			leaves, gray, err := ExpectedNodes(k, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := leaves - (3*gray + 1); d > 1e-9 || d < -1e-9 {
+				t.Errorf("k=%d p=%v: leaves %v, gray %v violate 4-ary identity", k, p, leaves, gray)
+			}
+		}
+	}
+	// Degenerate images: p=0 or 1 give a single leaf.
+	leaves, gray, err := ExpectedNodes(5, 0)
+	if err != nil || leaves != 1 || gray != 0 {
+		t.Fatalf("all-white: %v %v %v", leaves, gray, err)
+	}
+}
+
+func TestExpectedNodesMatchesSimulation(t *testing.T) {
+	const k, p, trials = 5, 0.3, 40
+	want, _, err := ExpectedNodes(k, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	rng := xrand.New(99)
+	for trial := 0; trial < trials; trial++ {
+		bm := randomBitmap(rng, 1<<k, p)
+		tr, err := FromBitmap(bm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, w, _ := tr.Counts()
+		total += float64(b + w)
+	}
+	sim := total / trials
+	if rel := (sim - want) / want; rel > 0.03 || rel < -0.03 {
+		t.Errorf("simulated E[leaves] %v vs exact %v", sim, want)
+	}
+}
+
+func TestExpectedNodesValidation(t *testing.T) {
+	if _, _, err := ExpectedNodes(-1, 0.5); err == nil {
+		t.Error("negative k accepted")
+	}
+	if _, _, err := ExpectedNodes(2, 1.5); err == nil {
+		t.Error("p>1 accepted")
+	}
+}

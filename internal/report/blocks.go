@@ -1,0 +1,87 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"popana/internal/geom"
+)
+
+// Block is one leaf block for DrawBlocks: its rectangle and occupancy.
+type Block struct {
+	Rect      geom.Rect
+	Occupancy int
+}
+
+// DrawBlocks renders a decomposition as ASCII art: each character cell
+// shows the occupancy digit of the leaf block covering it ('.' for
+// empty, '+' for 10 or more), with block boundaries implied by the
+// digit changes. width counts character columns; the aspect ratio is
+// corrected for terminal cells being roughly twice as tall as wide.
+func DrawBlocks(region geom.Rect, blocks []Block, width int) string {
+	if width <= 0 {
+		width = 64
+	}
+	height := width / 2
+	if height < 1 {
+		height = 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, b := range blocks {
+		// Map block rect to character cells.
+		c0 := int(float64(width) * (b.Rect.MinX - region.MinX) / region.Width())
+		c1 := int(float64(width) * (b.Rect.MaxX - region.MinX) / region.Width())
+		r0 := int(float64(height) * (region.MaxY - b.Rect.MaxY) / region.Height())
+		r1 := int(float64(height) * (region.MaxY - b.Rect.MinY) / region.Height())
+		if c1 <= c0 {
+			c1 = c0 + 1
+		}
+		if r1 <= r0 {
+			r1 = r0 + 1
+		}
+		ch := occupancyGlyph(b.Occupancy)
+		for r := max(r0, 0); r < min(r1, height); r++ {
+			for c := max(c0, 0); c < min(c1, width); c++ {
+				grid[r][c] = ch
+			}
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	for _, row := range grid {
+		sb.WriteString("|")
+		sb.Write(row)
+		sb.WriteString("|\n")
+	}
+	sb.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	sb.WriteString(fmt.Sprintf("%d blocks; '.'=0 points, digits=occupancy, '+'=10+\n", len(blocks)))
+	return sb.String()
+}
+
+func occupancyGlyph(occ int) byte {
+	switch {
+	case occ == 0:
+		return '.'
+	case occ < 10:
+		return byte('0' + occ)
+	default:
+		return '+'
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,59 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"popana/internal/geom"
+)
+
+func TestDrawBlocksBasic(t *testing.T) {
+	region := geom.R(0, 0, 1, 1)
+	blocks := []Block{
+		{Rect: geom.R(0, 0, 0.5, 0.5), Occupancy: 0},
+		{Rect: geom.R(0.5, 0, 1, 0.5), Occupancy: 3},
+		{Rect: geom.R(0, 0.5, 0.5, 1), Occupancy: 12},
+		{Rect: geom.R(0.5, 0.5, 1, 1), Occupancy: 1},
+	}
+	s := DrawBlocks(region, blocks, 40)
+	if !strings.Contains(s, ".") || !strings.Contains(s, "3") || !strings.Contains(s, "+") || !strings.Contains(s, "1") {
+		t.Fatalf("glyphs missing:\n%s", s)
+	}
+	if !strings.Contains(s, "4 blocks") {
+		t.Fatalf("legend missing:\n%s", s)
+	}
+	// The north-west quadrant (occupancy 12) renders in the top-left.
+	lines := strings.Split(s, "\n")
+	if len(lines) < 3 || lines[1][1] != '+' {
+		t.Fatalf("orientation wrong (top-left should be '+'):\n%s", s)
+	}
+}
+
+func TestDrawBlocksTinyBlocks(t *testing.T) {
+	// Blocks smaller than a character cell still paint at least one
+	// cell and never panic.
+	region := geom.R(0, 0, 1, 1)
+	var blocks []Block
+	for i := 0; i < 64; i++ {
+		x := float64(i%8) / 8
+		y := float64(i/8) / 8
+		blocks = append(blocks, Block{Rect: geom.R(x, y, x+1.0/8, y+1.0/8), Occupancy: i % 11})
+	}
+	s := DrawBlocks(region, blocks, 8) // narrower than the grid
+	if s == "" {
+		t.Fatal("empty drawing")
+	}
+}
+
+func TestDrawBlocksDefaults(t *testing.T) {
+	s := DrawBlocks(geom.UnitSquare, nil, 0)
+	if !strings.Contains(s, "0 blocks") {
+		t.Fatalf("empty drawing:\n%s", s)
+	}
+}
+
+func TestOccupancyGlyph(t *testing.T) {
+	if occupancyGlyph(0) != '.' || occupancyGlyph(7) != '7' || occupancyGlyph(10) != '+' || occupancyGlyph(42) != '+' {
+		t.Fatal("glyph mapping wrong")
+	}
+}

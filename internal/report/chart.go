@@ -1,0 +1,170 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (x, y) points on a chart.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker byte
+}
+
+// Chart renders one or more series as an ASCII scatter/line chart.
+// SemiLogX reproduces the paper's Figures 2 and 3, which plot average
+// node occupancy against the number of points on a semi-log scale.
+type Chart struct {
+	Title    string
+	XLabel   string
+	YLabel   string
+	Width    int // plot area columns; zero selects 64
+	Height   int // plot area rows; zero selects 16
+	SemiLogX bool
+	Series   []Series
+}
+
+// Render draws the chart.
+func (c Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w == 0 {
+		w = 64
+	}
+	if h == 0 {
+		h = 16
+	}
+	tx := func(x float64) float64 {
+		if c.SemiLogX {
+			return math.Log(x)
+		}
+		return x
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			minX = math.Min(minX, tx(s.X[i]))
+			maxX = math.Max(maxX, tx(s.X[i]))
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return c.Title + "\n(no data)\n"
+	}
+	// Pad the y range slightly so extremes don't sit on the frame.
+	if maxY == minY {
+		maxY += 1
+		minY -= 1
+	} else {
+		pad := (maxY - minY) * 0.05
+		maxY += pad
+		minY -= pad
+	}
+	if maxX == minX {
+		maxX += 1
+		minX -= 1
+	}
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range c.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = "*+ox#@"[si%6]
+		}
+		// Plot points, then connect consecutive points with linear
+		// interpolation so the cycles read as curves.
+		var prevC, prevR = -1, -1
+		for i := range s.X {
+			col := int(math.Round((tx(s.X[i]) - minX) / (maxX - minX) * float64(w-1)))
+			row := int(math.Round((maxY - s.Y[i]) / (maxY - minY) * float64(h-1)))
+			if col < 0 || col >= w || row < 0 || row >= h {
+				continue
+			}
+			if prevC >= 0 {
+				steps := maxInt(absInt(col-prevC), absInt(row-prevR))
+				for t := 1; t < steps; t++ {
+					cc := prevC + (col-prevC)*t/steps
+					rr := prevR + (row-prevR)*t/steps
+					if grid[rr][cc] == ' ' {
+						grid[rr][cc] = '.'
+					}
+				}
+			}
+			grid[row][col] = marker
+			prevC, prevR = col, row
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+	}
+	yTop := fmt.Sprintf("%.3g", maxY)
+	yBot := fmt.Sprintf("%.3g", minY)
+	labelW := maxInt(len(yTop), len(yBot))
+	for r := 0; r < h; r++ {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%*s |", labelW, yTop)
+		case h - 1:
+			fmt.Fprintf(&b, "%*s |", labelW, yBot)
+		default:
+			fmt.Fprintf(&b, "%*s |", labelW, "")
+		}
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", labelW, "", strings.Repeat("-", w))
+	xl, xr := minX, maxX
+	if c.SemiLogX {
+		xl, xr = math.Exp(minX), math.Exp(maxX)
+	}
+	left := fmt.Sprintf("%.4g", xl)
+	right := fmt.Sprintf("%.4g", xr)
+	gap := w - len(left) - len(right)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%*s %s%s%s\n", labelW, "", left, strings.Repeat(" ", gap), right)
+	if c.XLabel != "" {
+		scale := ""
+		if c.SemiLogX {
+			scale = " (log scale)"
+		}
+		fmt.Fprintf(&b, "%*s %s%s\n", labelW, "", c.XLabel, scale)
+	}
+	if len(c.Series) > 1 || c.YLabel != "" {
+		legend := make([]string, 0, len(c.Series)+1)
+		if c.YLabel != "" {
+			legend = append(legend, "y: "+c.YLabel)
+		}
+		for si, s := range c.Series {
+			marker := s.Marker
+			if marker == 0 {
+				marker = "*+ox#@"[si%6]
+			}
+			legend = append(legend, fmt.Sprintf("%c %s", marker, s.Name))
+		}
+		fmt.Fprintf(&b, "%*s %s\n", labelW, "", strings.Join(legend, "   "))
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func absInt(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

@@ -1,0 +1,123 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Title", "name", "value").AlignLeft(0)
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "10000")
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Fatalf("title line %q", lines[0])
+	}
+	// All rows share the same width.
+	w := len(lines[1])
+	for _, l := range lines[2:] {
+		if len(l) > w+1 {
+			t.Fatalf("ragged table:\n%s", s)
+		}
+	}
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "10000") {
+		t.Fatalf("missing cells:\n%s", s)
+	}
+	// Numbers right-aligned: lines[3] is the first data row ("alpha"
+	// then the padded "    1").
+	if !strings.Contains(lines[3], "    1") || strings.HasSuffix(lines[3], "1 ") {
+		t.Fatalf("right alignment broken:\n%s", s)
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRowf("%.2f", 3, 1.23456, "x")
+	s := tb.String()
+	if !strings.Contains(s, "3") || !strings.Contains(s, "1.23") || !strings.Contains(s, "x") {
+		t.Fatalf("AddRowf rendering:\n%s", s)
+	}
+	if strings.Contains(s, "1.2345") {
+		t.Fatalf("float format ignored:\n%s", s)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("1", "2", "3") // more cells than headers must not panic
+	if s := tb.String(); !strings.Contains(s, "3") {
+		t.Fatalf("extra cells dropped:\n%s", s)
+	}
+}
+
+func TestFormatVec(t *testing.T) {
+	got := FormatVec([]float64{0.5, 0.25})
+	if got != "(0.500, 0.250)" {
+		t.Fatalf("FormatVec = %q", got)
+	}
+}
+
+func TestChartRendersSeries(t *testing.T) {
+	ch := Chart{
+		Title:    "test",
+		XLabel:   "n",
+		YLabel:   "occ",
+		SemiLogX: true,
+		Width:    40,
+		Height:   10,
+		Series: []Series{{
+			Name: "s",
+			X:    []float64{64, 128, 256, 512, 1024},
+			Y:    []float64{3.8, 3.6, 3.8, 3.5, 3.8},
+		}},
+	}
+	s := ch.Render()
+	if !strings.Contains(s, "test") || !strings.Contains(s, "*") {
+		t.Fatalf("chart missing content:\n%s", s)
+	}
+	if !strings.Contains(s, "n (log scale)") {
+		t.Fatalf("x label missing:\n%s", s)
+	}
+	// Frame present.
+	if !strings.Contains(s, "+----") {
+		t.Fatalf("axis missing:\n%s", s)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	s := Chart{Title: "empty"}.Render()
+	if !strings.Contains(s, "(no data)") {
+		t.Fatalf("empty chart: %q", s)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	ch := Chart{
+		Series: []Series{{Name: "flat", X: []float64{1, 2, 3}, Y: []float64{5, 5, 5}}},
+	}
+	s := ch.Render()
+	if s == "" || strings.Contains(s, "NaN") {
+		t.Fatalf("constant series render:\n%s", s)
+	}
+}
+
+func TestChartMultipleSeriesLegend(t *testing.T) {
+	ch := Chart{
+		Series: []Series{
+			{Name: "uniform", X: []float64{1, 10}, Y: []float64{1, 2}},
+			{Name: "gaussian", X: []float64{1, 10}, Y: []float64{2, 1}},
+		},
+	}
+	s := ch.Render()
+	if !strings.Contains(s, "uniform") || !strings.Contains(s, "gaussian") {
+		t.Fatalf("legend missing:\n%s", s)
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	ch := Chart{Series: []Series{{Name: "pt", X: []float64{5}, Y: []float64{1}}}}
+	if s := ch.Render(); s == "" {
+		t.Fatal("single-point chart empty")
+	}
+}

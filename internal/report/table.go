@@ -1,0 +1,130 @@
+// Package report renders experiment results as aligned text tables and
+// ASCII charts, so the benchmark harness can print the same artifacts —
+// Tables 1-5 and Figures 2-3 — that the paper's evaluation contains,
+// directly to a terminal or into EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned text table with a title.
+type Table struct {
+	Title   string
+	Header  []string
+	rows    [][]string
+	alignL  map[int]bool
+	started bool
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header, alignL: map[int]bool{}}
+}
+
+// AlignLeft marks columns (by index) as left-aligned; columns default to
+// right alignment, which suits numbers.
+func (t *Table) AlignLeft(cols ...int) *Table {
+	for _, c := range cols {
+		t.alignL[c] = true
+	}
+	return t
+}
+
+// AddRow appends a row of preformatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row built from values: strings pass through, float64
+// render with the given default format, ints with %d.
+func (t *Table) AddRowf(floatFormat string, values ...any) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case string:
+			cells[i] = x
+		case float64:
+			cells[i] = fmt.Sprintf(floatFormat, x)
+		case int:
+			cells[i] = fmt.Sprintf("%d", x)
+		default:
+			cells[i] = fmt.Sprint(x)
+		}
+	}
+	t.AddRow(cells...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	ncols := len(t.Header)
+	for _, r := range t.rows {
+		if len(r) > ncols {
+			ncols = len(r)
+		}
+	}
+	widths := make([]int, ncols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(r []string) {
+		for i := 0; i < ncols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := widths[i] - len(cell)
+			if t.alignL[i] {
+				b.WriteString(cell)
+				if i < ncols-1 {
+					b.WriteString(strings.Repeat(" ", pad))
+				}
+			} else {
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for i, w := range widths {
+		total += w
+		if i > 0 {
+			total += 2
+		}
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// FormatVec renders a distribution vector the way the paper's Table 1
+// prints them: parenthesized three-decimal proportions.
+func FormatVec(v []float64) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%.3f", x)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,187 @@
+// Package solver contains the nonlinear equation solvers behind the
+// population model.
+//
+// The steady-state condition of Section III of the paper, ē·T = a(ē)·ē,
+// is a system of quadratic equations whose unique positive solution the
+// authors found "numerically using an iterative technique which converged
+// on the positive solution". Two independent methods are provided:
+//
+//   - FixedPoint: damped fixed-point iteration x ← (1-ω)x + ω·f(x),
+//     the method the paper used (with normalization folded into f);
+//   - Newton: Newton–Raphson with a numerically differenced Jacobian,
+//     used by the tests to cross-validate the fixed point to ~1e-12.
+//
+// Both report convergence diagnostics instead of silently returning a
+// possibly-bogus answer.
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"popana/internal/vecmat"
+)
+
+// ErrMaxIterations is wrapped by errors returned when an iteration limit
+// is exhausted before the tolerance is met.
+var ErrMaxIterations = errors.New("solver: maximum iterations exceeded")
+
+// Options tunes an iterative solve. The zero value selects sensible
+// defaults (tolerance 1e-14, 10000 iterations, no damping).
+type Options struct {
+	// Tolerance is the convergence threshold on the infinity norm of the
+	// step (FixedPoint) or the residual (Newton). Zero means 1e-14.
+	Tolerance float64
+	// MaxIterations bounds the iteration count. Zero means 10000.
+	MaxIterations int
+	// Damping is the relaxation factor ω in (0, 1] for FixedPoint.
+	// Zero means 1 (undamped).
+	Damping float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-14
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 10000
+	}
+	if o.Damping == 0 {
+		o.Damping = 1
+	}
+	return o
+}
+
+// Result reports how a solve went.
+type Result struct {
+	X          vecmat.Vec // the solution estimate
+	Iterations int        // iterations actually used
+	Residual   float64    // final step/residual infinity norm
+	Converged  bool
+}
+
+// FixedPoint iterates x ← (1-ω)·x + ω·f(x) from x0 until the step norm
+// falls below the tolerance. f must not retain or mutate its argument.
+func FixedPoint(f func(vecmat.Vec) vecmat.Vec, x0 vecmat.Vec, opts Options) (Result, error) {
+	o := opts.withDefaults()
+	if o.Damping <= 0 || o.Damping > 1 {
+		return Result{}, fmt.Errorf("solver: damping %v out of (0,1]", opts.Damping)
+	}
+	x := x0.Clone()
+	var step float64
+	for it := 1; it <= o.MaxIterations; it++ {
+		fx := f(x)
+		if len(fx) != len(x) {
+			return Result{}, fmt.Errorf("solver: f changed dimension from %d to %d", len(x), len(fx))
+		}
+		next := x.Scale(1 - o.Damping).Add(fx.Scale(o.Damping))
+		step = next.Sub(x).NormInf()
+		x = next
+		if !isFinite(x) {
+			return Result{X: x, Iterations: it, Residual: math.Inf(1)},
+				fmt.Errorf("solver: fixed-point iterate diverged at iteration %d", it)
+		}
+		if step <= o.Tolerance {
+			return Result{X: x, Iterations: it, Residual: step, Converged: true}, nil
+		}
+	}
+	return Result{X: x, Iterations: o.MaxIterations, Residual: step},
+		fmt.Errorf("fixed-point residual %.3g after %d iterations: %w", step, o.MaxIterations, ErrMaxIterations)
+}
+
+// Newton solves F(x) = 0 by Newton–Raphson from x0, using a forward
+// finite-difference Jacobian. F must not retain or mutate its argument.
+func Newton(F func(vecmat.Vec) vecmat.Vec, x0 vecmat.Vec, opts Options) (Result, error) {
+	o := opts.withDefaults()
+	x := x0.Clone()
+	var res float64
+	for it := 1; it <= o.MaxIterations; it++ {
+		fx := F(x)
+		if len(fx) != len(x) {
+			return Result{}, fmt.Errorf("solver: F must map R^n to R^n, got %d to %d", len(x), len(fx))
+		}
+		res = fx.NormInf()
+		if res <= o.Tolerance {
+			return Result{X: x, Iterations: it, Residual: res, Converged: true}, nil
+		}
+		j := jacobian(F, x, fx)
+		step, err := vecmat.Solve(j, fx)
+		if err != nil {
+			return Result{X: x, Iterations: it, Residual: res},
+				fmt.Errorf("solver: Newton Jacobian singular at iteration %d: %w", it, err)
+		}
+		// Backtracking line search: halve the step until the residual
+		// decreases, guarding against overshoot on strongly curved F.
+		lambda := 1.0
+		for k := 0; k < 40; k++ {
+			trial := x.Sub(step.Scale(lambda))
+			if r := F(trial).NormInf(); r < res || k == 39 {
+				x = trial
+				break
+			}
+			lambda /= 2
+		}
+		if !isFinite(x) {
+			return Result{X: x, Iterations: it, Residual: math.Inf(1)},
+				fmt.Errorf("solver: Newton iterate diverged at iteration %d", it)
+		}
+	}
+	return Result{X: x, Iterations: o.MaxIterations, Residual: res},
+		fmt.Errorf("newton residual %.3g after %d iterations: %w", res, o.MaxIterations, ErrMaxIterations)
+}
+
+// jacobian builds the forward-difference Jacobian of F at x, reusing the
+// already-computed F(x).
+func jacobian(F func(vecmat.Vec) vecmat.Vec, x, fx vecmat.Vec) *vecmat.Mat {
+	n := len(x)
+	j := vecmat.NewMat(n, n)
+	for c := 0; c < n; c++ {
+		h := 1e-8 * math.Max(math.Abs(x[c]), 1)
+		xp := x.Clone()
+		xp[c] += h
+		fp := F(xp)
+		for r := 0; r < n; r++ {
+			j.Set(r, c, (fp[r]-fx[r])/h)
+		}
+	}
+	return j
+}
+
+// Bisect finds a root of the scalar function f in [lo, hi], which must
+// bracket a sign change. It is used for scalar calibration problems
+// (e.g. fitting the chord-crossing probability of the line model).
+func Bisect(f func(float64) float64, lo, hi float64, tol float64) (float64, error) {
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0, fmt.Errorf("solver: Bisect endpoints do not bracket a root: f(%g)=%g, f(%g)=%g", lo, flo, hi, fhi)
+	}
+	for i := 0; i < 200 && hi-lo > tol; i++ {
+		mid := lo + (hi-lo)/2
+		fm := f(mid)
+		if fm == 0 {
+			return mid, nil
+		}
+		if (fm > 0) == (flo > 0) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2, nil
+}
+
+func isFinite(v vecmat.Vec) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,164 @@
+package solver
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"popana/internal/vecmat"
+)
+
+func TestFixedPointLinearContraction(t *testing.T) {
+	// x ← x/2 + 1 converges to 2.
+	f := func(x vecmat.Vec) vecmat.Vec {
+		return vecmat.Vec{x[0]/2 + 1}
+	}
+	res, err := FixedPoint(f, vecmat.Vec{0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("not converged")
+	}
+	if math.Abs(res.X[0]-2) > 1e-10 {
+		t.Fatalf("fixed point %v, want 2", res.X[0])
+	}
+}
+
+func TestFixedPointMultidimensional(t *testing.T) {
+	// Rotation-contraction with fixed point (1, 1).
+	f := func(x vecmat.Vec) vecmat.Vec {
+		return vecmat.Vec{
+			0.5*x[1] + 0.5,
+			0.5*x[0] + 0.5,
+		}
+	}
+	res, err := FixedPoint(f, vecmat.Vec{0, 5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.X {
+		if math.Abs(res.X[i]-1) > 1e-10 {
+			t.Fatalf("fixed point %v, want (1,1)", res.X)
+		}
+	}
+}
+
+func TestFixedPointDampingStabilizes(t *testing.T) {
+	// x ← 3 - x oscillates forever undamped but converges to 1.5 with
+	// damping 0.5 (the damped map is a strict contraction).
+	f := func(x vecmat.Vec) vecmat.Vec { return vecmat.Vec{3 - x[0]} }
+	if _, err := FixedPoint(f, vecmat.Vec{0}, Options{MaxIterations: 100}); err == nil {
+		t.Fatal("undamped oscillation converged unexpectedly")
+	}
+	res, err := FixedPoint(f, vecmat.Vec{0}, Options{Damping: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1.5) > 1e-10 {
+		t.Fatalf("damped fixed point %v, want 1.5", res.X[0])
+	}
+}
+
+func TestFixedPointMaxIterations(t *testing.T) {
+	f := func(x vecmat.Vec) vecmat.Vec { return vecmat.Vec{x[0] + 1} } // no fixed point
+	_, err := FixedPoint(f, vecmat.Vec{0}, Options{MaxIterations: 50})
+	if !errors.Is(err, ErrMaxIterations) {
+		t.Fatalf("err = %v, want ErrMaxIterations", err)
+	}
+}
+
+func TestFixedPointRejectsBadDamping(t *testing.T) {
+	f := func(x vecmat.Vec) vecmat.Vec { return x }
+	if _, err := FixedPoint(f, vecmat.Vec{0}, Options{Damping: 1.5}); err == nil {
+		t.Fatal("damping 1.5 accepted")
+	}
+}
+
+func TestFixedPointDimensionChange(t *testing.T) {
+	f := func(x vecmat.Vec) vecmat.Vec { return vecmat.Vec{1, 2} }
+	if _, err := FixedPoint(f, vecmat.Vec{0}, Options{}); err == nil {
+		t.Fatal("dimension change accepted")
+	}
+}
+
+func TestNewtonScalarRoot(t *testing.T) {
+	// x² - 4 = 0 from x₀ = 3.
+	F := func(x vecmat.Vec) vecmat.Vec { return vecmat.Vec{x[0]*x[0] - 4} }
+	res, err := Newton(F, vecmat.Vec{3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-2) > 1e-8 {
+		t.Fatalf("root %v, want 2", res.X[0])
+	}
+}
+
+func TestNewtonSystem(t *testing.T) {
+	// x+y = 3, x·y = 2 → (1,2) or (2,1).
+	F := func(x vecmat.Vec) vecmat.Vec {
+		return vecmat.Vec{x[0] + x[1] - 3, x[0]*x[1] - 2}
+	}
+	res, err := Newton(F, vecmat.Vec{0.5, 2.5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := F(res.X)
+	if r.NormInf() > 1e-10 {
+		t.Fatalf("residual %v at %v", r.NormInf(), res.X)
+	}
+}
+
+func TestNewtonQuadraticConvergenceIsFast(t *testing.T) {
+	F := func(x vecmat.Vec) vecmat.Vec { return vecmat.Vec{x[0]*x[0]*x[0] - 8} }
+	res, err := Newton(F, vecmat.Vec{3}, Options{Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 20 {
+		t.Fatalf("Newton took %d iterations for a cubic", res.Iterations)
+	}
+}
+
+func TestNewtonSingularJacobian(t *testing.T) {
+	// F(x) = 1 (constant): zero Jacobian.
+	F := func(x vecmat.Vec) vecmat.Vec { return vecmat.Vec{1} }
+	if _, err := Newton(F, vecmat.Vec{0}, Options{MaxIterations: 10}); err == nil {
+		t.Fatal("constant F solved")
+	}
+}
+
+func TestBisect(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-math.Sqrt2) > 1e-10 {
+		t.Fatalf("root %v, want √2", root)
+	}
+}
+
+func TestBisectExactEndpoint(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x }, 0, 1, 1e-12)
+	if err != nil || root != 0 {
+		t.Fatalf("root %v err %v", root, err)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	if _, err := Bisect(func(x float64) float64 { return 1 + x*x }, -1, 1, 1e-9); err == nil {
+		t.Fatal("non-bracketing interval accepted")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Tolerance != 1e-14 || o.MaxIterations != 10000 || o.Damping != 1 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	// Explicit values survive.
+	o = Options{Tolerance: 1e-3, MaxIterations: 7, Damping: 0.25}.withDefaults()
+	if o.Tolerance != 1e-3 || o.MaxIterations != 7 || o.Damping != 0.25 {
+		t.Fatalf("explicit options clobbered: %+v", o)
+	}
+}

@@ -1,0 +1,350 @@
+// Package spatialdb is a small spatial query layer over the PR
+// quadtree, in the spirit of the geographic information system that
+// motivated the paper [Same85c]: named tables of located records,
+// window / nearest / radius queries, and — the point of the exercise —
+// an EXPLAIN whose cost estimates come from the population model.
+//
+// The population model turns the paper's analysis into an optimizer
+// statistic: from nothing but the node capacity it predicts the
+// expected number of leaf blocks per record, hence the expected number
+// of blocks a window query must touch, before a single page is read.
+// Explain returns that estimate next to the measured traversal cost so
+// callers can see the model earning its keep.
+package spatialdb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"popana/internal/core"
+	"popana/internal/geom"
+	"popana/internal/quadtree"
+)
+
+// ErrNoTable is returned for operations on unknown table names.
+var ErrNoTable = errors.New("spatialdb: no such table")
+
+// ErrDuplicateID is returned when inserting a record whose ID exists.
+var ErrDuplicateID = errors.New("spatialdb: duplicate record id")
+
+// Record is a located row: a caller-assigned ID, a position, and an
+// arbitrary payload.
+type Record struct {
+	ID   uint64
+	Loc  geom.Point
+	Data any
+}
+
+// DB is a collection of named spatial tables.
+type DB struct {
+	tables map[string]*Table
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: map[string]*Table{}}
+}
+
+// CreateTable creates a table with the given node capacity over the
+// unit square (the region every generator in this repository uses);
+// pass a non-zero region to cover other extents.
+func (db *DB) CreateTable(name string, capacity int, region geom.Rect) (*Table, error) {
+	if _, exists := db.tables[name]; exists {
+		return nil, fmt.Errorf("spatialdb: table %q already exists", name)
+	}
+	idx, err := quadtree.New[Record](quadtree.Config{Capacity: capacity, Region: region})
+	if err != nil {
+		return nil, fmt.Errorf("spatialdb: create %q: %w", name, err)
+	}
+	model, err := core.NewPointModel(capacity, 4)
+	if err != nil {
+		return nil, fmt.Errorf("spatialdb: create %q: %w", name, err)
+	}
+	dist, err := model.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("spatialdb: create %q: %w", name, err)
+	}
+	t := &Table{
+		name:     name,
+		capacity: capacity,
+		index:    idx,
+		byID:     map[uint64]geom.Point{},
+		occ:      dist.AverageOccupancy(),
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*Table, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+// Tables returns the table names, sorted.
+func (db *DB) Tables() []string {
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DropTable removes the named table.
+func (db *DB) DropTable(name string) error {
+	if _, ok := db.tables[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	delete(db.tables, name)
+	return nil
+}
+
+// Table is one spatially indexed record collection.
+type Table struct {
+	name     string
+	capacity int
+	index    *quadtree.Tree[Record]
+	byID     map[uint64]geom.Point
+	occ      float64 // model-predicted records per block
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Len returns the number of records.
+func (t *Table) Len() int { return t.index.Len() }
+
+// Insert adds a record; IDs must be unique and locations distinct (two
+// records at the same exact point would be a single map key for the
+// underlying structure).
+func (t *Table) Insert(rec Record) error {
+	if _, exists := t.byID[rec.ID]; exists {
+		return fmt.Errorf("%w: %d", ErrDuplicateID, rec.ID)
+	}
+	replaced, err := t.index.Insert(rec.Loc, rec)
+	if err != nil {
+		return fmt.Errorf("spatialdb: insert into %q: %w", t.name, err)
+	}
+	if replaced {
+		// Another record occupied this exact location; restore it and
+		// report the conflict.
+		return fmt.Errorf("spatialdb: insert into %q: location %v already occupied", t.name, rec.Loc)
+	}
+	t.byID[rec.ID] = rec.Loc
+	return nil
+}
+
+// Get returns the record with the given ID.
+func (t *Table) Get(id uint64) (Record, bool) {
+	loc, ok := t.byID[id]
+	if !ok {
+		return Record{}, false
+	}
+	rec, ok := t.index.Get(loc)
+	return rec, ok
+}
+
+// Delete removes the record with the given ID.
+func (t *Table) Delete(id uint64) bool {
+	loc, ok := t.byID[id]
+	if !ok {
+		return false
+	}
+	delete(t.byID, id)
+	return t.index.Delete(loc)
+}
+
+// Query is a spatial selection: exactly one of Window, Nearest, or
+// Within must be set; Filter optionally post-filters records.
+type Query struct {
+	// Window selects records inside a closed rectangle.
+	Window *geom.Rect
+	// Nearest selects the K records closest to At.
+	Nearest *NearestSpec
+	// Within selects records within Radius of At.
+	Within *WithinSpec
+	// Filter keeps only records for which it returns true (applied
+	// after the spatial predicate). Nil keeps everything.
+	Filter func(Record) bool
+}
+
+// NearestSpec parameterizes a k-nearest query.
+type NearestSpec struct {
+	At geom.Point
+	K  int
+}
+
+// WithinSpec parameterizes a radius query.
+type WithinSpec struct {
+	At     geom.Point
+	Radius float64
+}
+
+// Cost is the measured work of executing a query.
+type Cost struct {
+	NodesVisited   int
+	LeavesVisited  int
+	RecordsScanned int
+}
+
+// Select executes the query and returns matching records with the
+// measured cost. Results of window/radius queries are in no particular
+// order; nearest queries return closest-first.
+func (t *Table) Select(q Query) ([]Record, Cost, error) {
+	if err := q.validate(); err != nil {
+		return nil, Cost{}, err
+	}
+	keep := q.Filter
+	if keep == nil {
+		keep = func(Record) bool { return true }
+	}
+	switch {
+	case q.Window != nil:
+		var out []Record
+		st := t.index.RangeCounted(*q.Window, func(_ geom.Point, r Record) bool {
+			if keep(r) {
+				out = append(out, r)
+			}
+			return true
+		})
+		return out, Cost{st.NodesVisited, st.LeavesVisited, st.RecordsScanned}, nil
+	case q.Nearest != nil:
+		pts := t.index.KNearest(q.Nearest.At, q.Nearest.K)
+		out := make([]Record, 0, len(pts))
+		for _, p := range pts {
+			if rec, ok := t.index.Get(p); ok && keep(rec) {
+				out = append(out, rec)
+			}
+		}
+		// KNearest is not instrumented; report the records touched.
+		return out, Cost{RecordsScanned: len(pts)}, nil
+	default:
+		w := q.Within
+		r2 := w.Radius * w.Radius
+		box := geom.R(w.At.X-w.Radius, w.At.Y-w.Radius, w.At.X+w.Radius, w.At.Y+w.Radius)
+		var out []Record
+		st := t.index.RangeCounted(box, func(p geom.Point, rec Record) bool {
+			if p.Dist2(w.At) <= r2 && keep(rec) {
+				out = append(out, rec)
+			}
+			return true
+		})
+		return out, Cost{st.NodesVisited, st.LeavesVisited, st.RecordsScanned}, nil
+	}
+}
+
+func (q Query) validate() error {
+	set := 0
+	if q.Window != nil {
+		set++
+	}
+	if q.Nearest != nil {
+		set++
+		if q.Nearest.K <= 0 {
+			return fmt.Errorf("spatialdb: nearest K %d <= 0", q.Nearest.K)
+		}
+	}
+	if q.Within != nil {
+		set++
+		if q.Within.Radius <= 0 {
+			return fmt.Errorf("spatialdb: radius %g <= 0", q.Within.Radius)
+		}
+	}
+	if set != 1 {
+		return fmt.Errorf("spatialdb: query must set exactly one of Window, Nearest, Within (got %d)", set)
+	}
+	return nil
+}
+
+// Estimate is the model-based prediction Explain produces.
+type Estimate struct {
+	// Blocks is the expected number of leaf blocks the query touches.
+	Blocks float64
+	// Records is the expected number of records scanned.
+	Records float64
+	// Selectivity is the fraction of the table expected to match.
+	Selectivity float64
+}
+
+// Explain predicts the cost of a query from the population model before
+// running it: the table holds ~n/occ blocks; a window of area fraction
+// s touches about s·L interior blocks plus a boundary band of about
+// perimeter/blockSide blocks, with blockSide = sqrt(region/L).
+func (t *Table) Explain(q Query) (Estimate, error) {
+	if err := q.validate(); err != nil {
+		return Estimate{}, err
+	}
+	n := float64(t.Len())
+	if n == 0 {
+		return Estimate{}, nil
+	}
+	leaves := math.Max(n/t.occ, 1)
+	region := t.index.Region()
+	est := func(w geom.Rect) Estimate {
+		// Clip the window to the region.
+		minX := math.Max(w.MinX, region.MinX)
+		minY := math.Max(w.MinY, region.MinY)
+		maxX := math.Min(w.MaxX, region.MaxX)
+		maxY := math.Min(w.MaxY, region.MaxY)
+		if minX >= maxX || minY >= maxY {
+			return Estimate{}
+		}
+		cw, ch := maxX-minX, maxY-minY
+		frac := cw * ch / region.Area()
+		side := math.Sqrt(region.Area() / leaves) // typical block side
+		boundary := 2 * (cw + ch) / side          // blocks straddling the edge
+		blocks := math.Min(frac*leaves+boundary+1, leaves)
+		return Estimate{
+			Blocks:      blocks,
+			Records:     blocks * t.occ,
+			Selectivity: frac,
+		}
+	}
+	switch {
+	case q.Window != nil:
+		return est(*q.Window), nil
+	case q.Within != nil:
+		w := q.Within
+		e := est(geom.R(w.At.X-w.Radius, w.At.Y-w.Radius, w.At.X+w.Radius, w.At.Y+w.Radius))
+		// A disc covers π/4 of its bounding box.
+		e.Selectivity *= math.Pi / 4
+		return e, nil
+	default:
+		// K nearest: expect to inspect ~K records plus one block's
+		// worth of neighbors.
+		k := float64(q.Nearest.K)
+		return Estimate{
+			Blocks:      math.Min(k/t.occ+1, leaves),
+			Records:     k + t.occ,
+			Selectivity: k / n,
+		}, nil
+	}
+}
+
+// Stats summarizes the table for monitoring: measured occupancy next to
+// the model prediction it should hover near.
+type Stats struct {
+	Records           int
+	Blocks            int
+	Height            int
+	MeasuredOccupancy float64
+	ModelOccupancy    float64
+}
+
+// Stats returns the table's current statistics.
+func (t *Table) Stats() Stats {
+	c := t.index.Census()
+	return Stats{
+		Records:           t.index.Len(),
+		Blocks:            c.Leaves,
+		Height:            c.Height,
+		MeasuredOccupancy: c.AverageOccupancy(),
+		ModelOccupancy:    t.occ,
+	}
+}

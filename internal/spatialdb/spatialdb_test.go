@@ -1,0 +1,309 @@
+package spatialdb
+
+import (
+	"math"
+	"testing"
+
+	"popana/internal/dist"
+	"popana/internal/geom"
+	"popana/internal/xrand"
+)
+
+func fill(t *testing.T, tab *Table, n int, seed uint64) []Record {
+	t.Helper()
+	rng := xrand.New(seed)
+	src := dist.NewUniform(geom.UnitSquare, rng)
+	recs := make([]Record, 0, n)
+	for len(recs) < n {
+		rec := Record{ID: uint64(len(recs)), Loc: src.Next(), Data: len(recs)}
+		if err := tab.Insert(rec); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+func TestCreateInsertGetDelete(t *testing.T) {
+	db := NewDB()
+	tab, err := db.CreateTable("cities", 8, geom.UnitSquare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := fill(t, tab, 500, 1)
+	if tab.Len() != 500 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	for _, r := range recs {
+		got, ok := tab.Get(r.ID)
+		if !ok || got.ID != r.ID || got.Loc != r.Loc {
+			t.Fatalf("Get(%d) = %+v, %v", r.ID, got, ok)
+		}
+	}
+	if _, ok := tab.Get(99999); ok {
+		t.Fatal("found absent id")
+	}
+	if !tab.Delete(recs[0].ID) {
+		t.Fatal("delete failed")
+	}
+	if _, ok := tab.Get(recs[0].ID); ok {
+		t.Fatal("record present after delete")
+	}
+	if tab.Delete(recs[0].ID) {
+		t.Fatal("double delete succeeded")
+	}
+	if tab.Len() != 499 {
+		t.Fatalf("Len = %d after delete", tab.Len())
+	}
+}
+
+func TestInsertConflicts(t *testing.T) {
+	db := NewDB()
+	tab, err := db.CreateTable("t", 4, geom.UnitSquare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{ID: 1, Loc: geom.Pt(0.5, 0.5)}
+	if err := tab.Insert(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(Record{ID: 1, Loc: geom.Pt(0.1, 0.1)}); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if err := tab.Insert(Record{ID: 2, Loc: geom.Pt(0.5, 0.5)}); err == nil {
+		t.Fatal("duplicate location accepted")
+	}
+	if err := tab.Insert(Record{ID: 3, Loc: geom.Pt(5, 5)}); err == nil {
+		t.Fatal("out-of-region accepted")
+	}
+}
+
+func TestDBTableManagement(t *testing.T) {
+	db := NewDB()
+	if _, err := db.CreateTable("a", 4, geom.UnitSquare); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("a", 4, geom.UnitSquare); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+	if _, err := db.CreateTable("b", 0, geom.UnitSquare); err == nil {
+		t.Fatal("bad capacity accepted")
+	}
+	if _, err := db.Table("missing"); err == nil {
+		t.Fatal("missing table returned")
+	}
+	if _, err := db.CreateTable("b", 2, geom.UnitSquare); err != nil {
+		t.Fatal(err)
+	}
+	names := db.Tables()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("tables %v", names)
+	}
+	if err := db.DropTable("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropTable("a"); err == nil {
+		t.Fatal("double drop succeeded")
+	}
+}
+
+func TestWindowSelect(t *testing.T) {
+	db := NewDB()
+	tab, _ := db.CreateTable("t", 4, geom.UnitSquare)
+	recs := fill(t, tab, 800, 2)
+	w := geom.R(0.2, 0.2, 0.6, 0.6)
+	out, cost, err := tab.Select(Query{Window: &w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, r := range recs {
+		if w.ContainsClosed(r.Loc) {
+			want++
+		}
+	}
+	if len(out) != want {
+		t.Fatalf("window select: %d, want %d", len(out), want)
+	}
+	if cost.NodesVisited == 0 || cost.LeavesVisited == 0 || cost.RecordsScanned < want {
+		t.Fatalf("cost %+v implausible", cost)
+	}
+	// Pruning: a small window must not scan the whole table.
+	small := geom.R(0.4, 0.4, 0.45, 0.45)
+	_, cost2, err := tab.Select(Query{Window: &small})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost2.RecordsScanned > tab.Len()/4 {
+		t.Fatalf("small window scanned %d of %d records", cost2.RecordsScanned, tab.Len())
+	}
+}
+
+func TestFilterApplied(t *testing.T) {
+	db := NewDB()
+	tab, _ := db.CreateTable("t", 4, geom.UnitSquare)
+	fill(t, tab, 300, 3)
+	w := geom.UnitSquare
+	out, _, err := tab.Select(Query{
+		Window: &w,
+		Filter: func(r Record) bool { return r.ID%2 == 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range out {
+		if r.ID%2 != 0 {
+			t.Fatalf("filter leaked record %d", r.ID)
+		}
+	}
+	if len(out) != 150 {
+		t.Fatalf("filtered count %d", len(out))
+	}
+}
+
+func TestNearestSelect(t *testing.T) {
+	db := NewDB()
+	tab, _ := db.CreateTable("t", 4, geom.UnitSquare)
+	recs := fill(t, tab, 400, 4)
+	at := geom.Pt(0.3, 0.7)
+	out, _, err := tab.Select(Query{Nearest: &NearestSpec{At: at, K: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("nearest returned %d", len(out))
+	}
+	// Verify against brute force.
+	best := math.Inf(1)
+	for _, r := range recs {
+		if d := r.Loc.Dist2(at); d < best {
+			best = d
+		}
+	}
+	if out[0].Loc.Dist2(at) != best {
+		t.Fatalf("nearest[0] at %v, brute force %v", out[0].Loc.Dist2(at), best)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1].Loc.Dist2(at) > out[i].Loc.Dist2(at) {
+			t.Fatal("nearest not sorted")
+		}
+	}
+}
+
+func TestWithinSelect(t *testing.T) {
+	db := NewDB()
+	tab, _ := db.CreateTable("t", 4, geom.UnitSquare)
+	recs := fill(t, tab, 600, 5)
+	at, radius := geom.Pt(0.5, 0.5), 0.2
+	out, _, err := tab.Select(Query{Within: &WithinSpec{At: at, Radius: radius}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, r := range recs {
+		if r.Loc.Dist(at) <= radius {
+			want++
+		}
+	}
+	if len(out) != want {
+		t.Fatalf("within: %d, want %d", len(out), want)
+	}
+	for _, r := range out {
+		if r.Loc.Dist(at) > radius+1e-12 {
+			t.Fatalf("record outside radius: %v", r.Loc)
+		}
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	db := NewDB()
+	tab, _ := db.CreateTable("t", 4, geom.UnitSquare)
+	if _, _, err := tab.Select(Query{}); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	w := geom.UnitSquare
+	if _, _, err := tab.Select(Query{Window: &w, Nearest: &NearestSpec{At: geom.Pt(0, 0), K: 1}}); err == nil {
+		t.Fatal("two predicates accepted")
+	}
+	if _, _, err := tab.Select(Query{Nearest: &NearestSpec{K: 0}}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, _, err := tab.Select(Query{Within: &WithinSpec{Radius: 0}}); err == nil {
+		t.Fatal("radius 0 accepted")
+	}
+	if _, err := tab.Explain(Query{}); err == nil {
+		t.Fatal("explain of empty query accepted")
+	}
+}
+
+func TestExplainTracksMeasuredCost(t *testing.T) {
+	db := NewDB()
+	tab, _ := db.CreateTable("t", 8, geom.UnitSquare)
+	fill(t, tab, 4000, 6)
+	for _, side := range []float64{0.1, 0.3, 0.6} {
+		w := geom.R(0.2, 0.2, 0.2+side, 0.2+side)
+		est, err := tab.Explain(Query{Window: &w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, cost, err := tab.Select(Query{Window: &w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The estimate must be within a factor of 2.5 of reality (it
+		// is a planner statistic, not an oracle).
+		ratio := est.Blocks / float64(cost.LeavesVisited)
+		if ratio < 0.4 || ratio > 2.5 {
+			t.Errorf("side %v: estimated %v blocks, measured %d (ratio %v)",
+				side, est.Blocks, cost.LeavesVisited, ratio)
+		}
+		rratio := est.Records / float64(cost.RecordsScanned)
+		if rratio < 0.4 || rratio > 2.5 {
+			t.Errorf("side %v: estimated %v records, measured %d", side, est.Records, cost.RecordsScanned)
+		}
+	}
+}
+
+func TestExplainEdgeCases(t *testing.T) {
+	db := NewDB()
+	tab, _ := db.CreateTable("t", 4, geom.UnitSquare)
+	w := geom.UnitSquare
+	est, err := tab.Explain(Query{Window: &w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Blocks != 0 {
+		t.Fatalf("empty table estimate %+v", est)
+	}
+	fill(t, tab, 100, 7)
+	// Window outside the region.
+	out := geom.R(2, 2, 3, 3)
+	est, err = tab.Explain(Query{Window: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Blocks != 0 {
+		t.Fatalf("outside window estimate %+v", est)
+	}
+	// Nearest and within estimates exist.
+	if est, err = tab.Explain(Query{Nearest: &NearestSpec{At: geom.Pt(0.5, 0.5), K: 3}}); err != nil || est.Records <= 0 {
+		t.Fatalf("nearest estimate %+v err %v", est, err)
+	}
+	if est, err = tab.Explain(Query{Within: &WithinSpec{At: geom.Pt(0.5, 0.5), Radius: 0.1}}); err != nil || est.Blocks <= 0 {
+		t.Fatalf("within estimate %+v err %v", est, err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	db := NewDB()
+	tab, _ := db.CreateTable("t", 8, geom.UnitSquare)
+	fill(t, tab, 2000, 8)
+	s := tab.Stats()
+	if s.Records != 2000 || s.Blocks == 0 || s.Height == 0 {
+		t.Fatalf("stats %+v", s)
+	}
+	// Measured occupancy within the documented band of the model.
+	if math.Abs(s.ModelOccupancy-s.MeasuredOccupancy)/s.MeasuredOccupancy > 0.25 {
+		t.Errorf("occupancy %v vs model %v", s.MeasuredOccupancy, s.ModelOccupancy)
+	}
+}

@@ -1,0 +1,193 @@
+// Package statmodel implements the direct statistical analysis that the
+// paper positions population analysis against: the exact expected
+// occupancy profile of a PR tree over n uniformly distributed points,
+// in the style of Fagin et al.'s analysis of extendible hashing [Fagi79].
+//
+// For a node capacity m and fanout F, let L_j(n) be the expected number
+// of leaf blocks of occupancy j in the tree built over n uniform points.
+// Conditioning on the multinomial distribution of the n points over the
+// F congruent children (marginally Binomial(n, 1/F) each, and linearity
+// of expectation lets us use the marginal law):
+//
+//	L_j(n) = [j == n]                              for n <= m,
+//	L_j(n) = F · Σ_k  B(n, 1/F)(k) · L_j(k)        for n  > m,
+//
+// where the k = n self-term (all points in one child) is moved to the
+// left side, exactly as the paper's recurrence for t_m handles recursive
+// splitting:
+//
+//	L_j(n) · (1 − F·F^(−n)) = F · Σ_{k<n} B(n,1/F)(k) · L_j(k).
+//
+// The resulting sequence of state vectors d̄_n = L(n)/Σ_j L_j(n) is the
+// object whose limit the statistical approach would define as the
+// expected distribution; computing it exposes the paper's Section IV
+// claim that the limit does not exist — the average occupancy
+// n/Σ_j L_j(n) oscillates without damping, with period one decade of
+// log_F (phasing).
+//
+// The computation is O(N²·m) for all n up to N, which is exactly the
+// "considerable mathematical effort" the population model replaces with
+// an (m+1)-dimensional eigenproblem.
+package statmodel
+
+import (
+	"fmt"
+
+	"popana/internal/binom"
+)
+
+// Analysis holds the exact expected leaf-occupancy profile for all tree
+// sizes up to N.
+type Analysis struct {
+	Capacity int
+	Fanout   int
+	// L[n][j] is the expected number of leaves with occupancy j in a
+	// tree of n uniform points, j = 0..Capacity; n = 0..N.
+	L [][]float64
+}
+
+// New computes the exact analysis for node capacity m, fanout F, and all
+// point counts up to maxN.
+func New(capacity, fanout, maxN int) (*Analysis, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("statmodel: capacity %d < 1", capacity)
+	}
+	if fanout < 2 {
+		return nil, fmt.Errorf("statmodel: fanout %d < 2", fanout)
+	}
+	if maxN < 0 {
+		return nil, fmt.Errorf("statmodel: maxN %d < 0", maxN)
+	}
+	a := &Analysis{Capacity: capacity, Fanout: fanout}
+	a.L = make([][]float64, maxN+1)
+	p := 1 / float64(fanout)
+	for n := 0; n <= maxN; n++ {
+		row := make([]float64, capacity+1)
+		if n <= capacity {
+			row[n] = 1
+			a.L[n] = row
+			continue
+		}
+		// pmf over k = points landing in one particular child.
+		pmf := binom.Dist(n, p)
+		// selfCoef is the coefficient of L(n) on the right-hand side:
+		// F · P[all n points in one given child] = F^(1-n).
+		selfCoef := float64(fanout) * pmf[n]
+		scale := 1 / (1 - selfCoef)
+		for k := 0; k < n; k++ {
+			if pmf[k] == 0 {
+				continue
+			}
+			w := float64(fanout) * pmf[k] * scale
+			lk := a.L[k]
+			for j := 0; j <= capacity; j++ {
+				row[j] += w * lk[j]
+			}
+		}
+		a.L[n] = row
+	}
+	return a, nil
+}
+
+// ExpectedLeaves returns the expected total number of leaf blocks for a
+// tree of n points.
+func (a *Analysis) ExpectedLeaves(n int) float64 {
+	s := 0.0
+	for _, v := range a.L[n] {
+		s += v
+	}
+	return s
+}
+
+// StateVector returns d̄_n — the expected distribution of leaf
+// occupancies for a tree of n points, normalized to sum to one.
+func (a *Analysis) StateVector(n int) []float64 {
+	total := a.ExpectedLeaves(n)
+	out := make([]float64, a.Capacity+1)
+	if total == 0 {
+		return out
+	}
+	for j, v := range a.L[n] {
+		out[j] = v / total
+	}
+	return out
+}
+
+// AverageOccupancy returns the exact expected average occupancy
+// n / E[leaves] for a tree of n points. (Strictly this is the ratio of
+// expectations, the same estimator the paper's simulations report.)
+func (a *Analysis) AverageOccupancy(n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(n) / a.ExpectedLeaves(n)
+}
+
+// CycleMeanStateVector returns the average of the exact state vectors
+// d̄_n over n in [lo, hi], weighting each n equally on a log grid (the
+// natural measure for a log-periodic sequence). Comparing it against
+// the population model's ē separates the aging bias from the phasing
+// oscillation: phasing averages out over a full cycle, aging does not.
+func (a *Analysis) CycleMeanStateVector(lo, hi int) []float64 {
+	if lo < 1 {
+		lo = 1
+	}
+	if hi >= len(a.L) {
+		hi = len(a.L) - 1
+	}
+	out := make([]float64, a.Capacity+1)
+	count := 0
+	// Log grid: multiply by ~2^(1/8) per step.
+	for n := lo; n <= hi; {
+		v := a.StateVector(n)
+		for j := range out {
+			out[j] += v[j]
+		}
+		count++
+		next := n * 1090 / 1000
+		if next == n {
+			next = n + 1
+		}
+		n = next
+	}
+	if count == 0 {
+		return out
+	}
+	for j := range out {
+		out[j] /= float64(count)
+	}
+	return out
+}
+
+// OscillationStats summarizes the non-convergence of the sequence d̄_n.
+type OscillationStats struct {
+	// MaxOccupancy and MinOccupancy are the extrema of the average
+	// occupancy over the last full period examined.
+	MaxOccupancy, MinOccupancy float64
+	// Amplitude is their difference — phasing predicts this does not
+	// decay as n grows.
+	Amplitude float64
+}
+
+// Oscillation measures the occupancy oscillation over n in
+// [lo, hi] (one or more periods of factor-F growth).
+func (a *Analysis) Oscillation(lo, hi int) OscillationStats {
+	if lo < 1 {
+		lo = 1
+	}
+	if hi >= len(a.L) {
+		hi = len(a.L) - 1
+	}
+	st := OscillationStats{MinOccupancy: a.AverageOccupancy(lo), MaxOccupancy: a.AverageOccupancy(lo)}
+	for n := lo + 1; n <= hi; n++ {
+		occ := a.AverageOccupancy(n)
+		if occ > st.MaxOccupancy {
+			st.MaxOccupancy = occ
+		}
+		if occ < st.MinOccupancy {
+			st.MinOccupancy = occ
+		}
+	}
+	st.Amplitude = st.MaxOccupancy - st.MinOccupancy
+	return st
+}

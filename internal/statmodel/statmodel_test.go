@@ -1,0 +1,219 @@
+package statmodel
+
+import (
+	"math"
+	"testing"
+
+	"popana/internal/dist"
+	"popana/internal/quadtree"
+	"popana/internal/xrand"
+)
+
+func TestBaseCases(t *testing.T) {
+	a, err := New(3, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n <= m: exactly one leaf with occupancy n.
+	for n := 0; n <= 3; n++ {
+		for j := 0; j <= 3; j++ {
+			want := 0.0
+			if j == n {
+				want = 1
+			}
+			if got := a.L[n][j]; got != want {
+				t.Errorf("L_%d(%d) = %v, want %v", j, n, got, want)
+			}
+		}
+		if got := a.ExpectedLeaves(n); got != 1 {
+			t.Errorf("E[leaves](%d) = %v", n, got)
+		}
+	}
+}
+
+func TestMassConservation(t *testing.T) {
+	// Σ_j j·L_j(n) = n: every point is in exactly one leaf.
+	a, err := New(4, 4, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{5, 17, 100, 499} {
+		items := 0.0
+		for j, l := range a.L[n] {
+			items += float64(j) * l
+		}
+		if math.Abs(items-float64(n))/float64(n) > 1e-9 {
+			t.Errorf("n=%d: expected items %v", n, items)
+		}
+	}
+}
+
+func TestLeafCountArithmetic(t *testing.T) {
+	// Splits create leaves in multiples of F-1 plus 1:
+	// E[leaves] = 1 + (F-1)·E[splits], so (E[leaves]-1)/(F-1) >= 0 and
+	// leaves grow monotonically in n for n > m.
+	a, err := New(2, 4, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for n := 3; n <= 400; n++ {
+		l := a.ExpectedLeaves(n)
+		if l < prev-1e-9 {
+			t.Fatalf("expected leaves decreased at n=%d: %v < %v", n, l, prev)
+		}
+		prev = l
+	}
+}
+
+func TestMatchesSimulation(t *testing.T) {
+	// The exact recursion must match the simulated PR quadtree
+	// (averaged over many trees) within Monte Carlo error.
+	const m, n, trials = 2, 200, 60
+	a, err := New(m, 4, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leaves float64
+	for trial := 0; trial < trials; trial++ {
+		rng := xrand.New(uint64(trial) + 1000)
+		tr := quadtree.MustNew[struct{}](quadtree.Config{Capacity: m})
+		src := dist.NewUniform(tr.Region(), rng)
+		for tr.Len() < n {
+			if _, err := tr.Insert(src.Next(), struct{}{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		leaves += float64(tr.Census().Leaves)
+	}
+	simLeaves := leaves / trials
+	exact := a.ExpectedLeaves(n)
+	if math.Abs(simLeaves-exact)/exact > 0.05 {
+		t.Errorf("simulated E[leaves] = %v, exact %v", simLeaves, exact)
+	}
+}
+
+func TestStateVectorNormalized(t *testing.T) {
+	a, err := New(8, 4, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{10, 100, 300} {
+		v := a.StateVector(n)
+		sum := 0.0
+		for _, p := range v {
+			if p < 0 {
+				t.Fatalf("negative proportion at n=%d", n)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("state vector at n=%d sums to %v", n, sum)
+		}
+	}
+}
+
+func TestPhasingDoesNotDamp(t *testing.T) {
+	// Section IV: the oscillation amplitude of the occupancy sequence
+	// does not decay with n for a uniform distribution (scale
+	// invariance). Compare amplitude over [256,1024] and [1024,4096].
+	a, err := New(8, 4, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := a.Oscillation(256, 1024)
+	late := a.Oscillation(1024, 4096)
+	if mid.Amplitude < 0.3 {
+		t.Fatalf("mid-range amplitude %v suspiciously small", mid.Amplitude)
+	}
+	if late.Amplitude < 0.75*mid.Amplitude {
+		t.Errorf("amplitude damping: mid %v, late %v — phasing should persist", mid.Amplitude, late.Amplitude)
+	}
+	// Period: maxima near powers of four apart. The occupancy at 90
+	// and at 4·90 = 362ish should both be near local maxima (paper's
+	// Table 4 shows 90 → 4.15 and 1448 → 4.13, quadrupling twice).
+	occ90 := a.AverageOccupancy(90)
+	occ360 := a.AverageOccupancy(360)
+	if math.Abs(occ90-occ360) > 0.25 {
+		t.Errorf("log-periodicity broken: occ(90)=%v, occ(360)=%v", occ90, occ360)
+	}
+}
+
+func TestMatchesPaperTable4Shape(t *testing.T) {
+	// The exact analysis should land near the paper's Table 4 values
+	// (which are 10-tree averages, so allow a generous band).
+	a, err := New(8, 4, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := map[int]float64{
+		64: 3.79, 90: 4.15, 128: 3.64, 181: 3.33, 256: 3.80,
+		362: 3.99, 512: 3.53, 724: 3.35, 1024: 3.84, 1448: 4.13,
+		2048: 3.65, 2896: 3.30, 4096: 3.81,
+	}
+	for n, want := range paper {
+		got := a.AverageOccupancy(n)
+		if math.Abs(got-want) > 0.30 {
+			t.Errorf("n=%d: exact occupancy %v, paper measured %v", n, got, want)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0, 4, 10); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := New(1, 1, 10); err == nil {
+		t.Error("fanout 1 accepted")
+	}
+	if _, err := New(1, 4, -1); err == nil {
+		t.Error("negative maxN accepted")
+	}
+}
+
+func TestFanout2(t *testing.T) {
+	// The recursion generalizes to other fanouts; sanity-check mass
+	// conservation for a binary structure.
+	a, err := New(3, 2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := 0.0
+	for j, l := range a.L[200] {
+		items += float64(j) * l
+	}
+	if math.Abs(items-200)/200 > 1e-9 {
+		t.Errorf("fanout-2 mass %v", items)
+	}
+}
+
+func TestOscillationBoundsClamped(t *testing.T) {
+	a, err := New(2, 4, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := a.Oscillation(-5, 500) // out-of-range bounds are clamped
+	if st.Amplitude < 0 {
+		t.Fatal("negative amplitude")
+	}
+}
+
+func TestCycleMeanStateVector(t *testing.T) {
+	a, err := New(4, 4, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := a.CycleMeanStateVector(512, 2048)
+	sum := 0.0
+	for _, p := range v {
+		if p < 0 {
+			t.Fatal("negative cycle-mean component")
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("cycle mean sums to %v", sum)
+	}
+	// Out-of-range bounds clamp without panicking.
+	_ = a.CycleMeanStateVector(-5, 1<<30)
+}

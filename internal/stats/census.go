@@ -1,0 +1,262 @@
+package stats
+
+import "math"
+
+// Census is a snapshot of a hierarchical structure's node populations:
+// how many leaf blocks exist at each occupancy and each depth. In the
+// paper's terminology the leaves of occupancy i are the population n_i;
+// all distribution vectors and occupancy averages derive from here.
+type Census struct {
+	Leaves   int // total leaf blocks
+	Internal int // internal (non-leaf) nodes
+	Items    int // stored data items (sum over leaves of occupancy)
+	Height   int // maximum leaf depth (root = 0)
+
+	// ByOccupancy[i] counts leaf blocks holding exactly i items.
+	ByOccupancy []int
+	// ByDepth[d] is the per-depth census (index = depth).
+	ByDepth []DepthCensus
+	// AreaByOccupancy[i] sums the relative block area (fraction of the
+	// region) over leaves of occupancy i; used to quantify aging.
+	AreaByOccupancy []float64
+}
+
+// DepthCensus summarizes the leaves at one depth.
+type DepthCensus struct {
+	Leaves      int
+	Items       int
+	ByOccupancy []int
+	// Area is the total relative area of this depth's leaves — the
+	// probability that a uniformly random point lands at this depth,
+	// which prices point searches.
+	Area float64
+}
+
+// AverageOccupancy returns items per leaf for the depth slice.
+func (d DepthCensus) AverageOccupancy() float64 {
+	if d.Leaves == 0 {
+		return math.NaN()
+	}
+	return float64(d.Items) / float64(d.Leaves)
+}
+
+// CensusBuilder accumulates a Census during a tree walk.
+type CensusBuilder struct {
+	c Census
+}
+
+// AddLeaf records one leaf block at the given depth with the given
+// occupancy and relative area.
+func (b *CensusBuilder) AddLeaf(depth, occupancy int, relArea float64) {
+	c := &b.c
+	c.Leaves++
+	c.Items += occupancy
+	if depth > c.Height {
+		c.Height = depth
+	}
+	growInts(&c.ByOccupancy, occupancy+1)
+	c.ByOccupancy[occupancy]++
+	growFloats(&c.AreaByOccupancy, occupancy+1)
+	c.AreaByOccupancy[occupancy] += relArea
+	for len(c.ByDepth) <= depth {
+		c.ByDepth = append(c.ByDepth, DepthCensus{})
+	}
+	dc := &c.ByDepth[depth]
+	dc.Leaves++
+	dc.Items += occupancy
+	dc.Area += relArea
+	growInts(&dc.ByOccupancy, occupancy+1)
+	dc.ByOccupancy[occupancy]++
+}
+
+// AddInternal records one internal node.
+func (b *CensusBuilder) AddInternal(depth int) {
+	b.c.Internal++
+	if depth > b.c.Height {
+		b.c.Height = depth
+	}
+}
+
+// Census returns the accumulated census.
+func (b *CensusBuilder) Census() Census { return b.c }
+
+// Proportions returns the distribution of leaves over occupancies,
+// padded or truncated to n components (the paper's state vector d̄ for a
+// structure with capacity n-1). Leaves with occupancy beyond n-1 (depth
+// truncation, PMR blocks) are folded into the last component.
+func (c Census) Proportions(n int) []float64 {
+	p := make([]float64, n)
+	if c.Leaves == 0 {
+		return p
+	}
+	for occ, cnt := range c.ByOccupancy {
+		i := occ
+		if i >= n {
+			i = n - 1
+		}
+		p[i] += float64(cnt)
+	}
+	inv := 1 / float64(c.Leaves)
+	for i := range p {
+		p[i] *= inv
+	}
+	return p
+}
+
+// ExpectedSearchDepth returns the area-weighted mean leaf depth: the
+// expected number of tree levels a point search for a uniformly random
+// location descends — the structure's I/O cost metric. NaN for an empty
+// census.
+func (c Census) ExpectedSearchDepth() float64 {
+	totalArea, weighted := 0.0, 0.0
+	for d, dc := range c.ByDepth {
+		totalArea += dc.Area
+		weighted += float64(d) * dc.Area
+	}
+	if totalArea == 0 {
+		return math.NaN()
+	}
+	return weighted / totalArea
+}
+
+// MeanLeafDepth returns the count-weighted mean leaf depth (each leaf
+// counted once regardless of size). The gap between this and
+// ExpectedSearchDepth is another face of aging: searches land in big
+// shallow blocks more often than counting suggests.
+func (c Census) MeanLeafDepth() float64 {
+	if c.Leaves == 0 {
+		return math.NaN()
+	}
+	weighted := 0.0
+	for d, dc := range c.ByDepth {
+		weighted += float64(d) * float64(dc.Leaves)
+	}
+	return weighted / float64(c.Leaves)
+}
+
+// AverageOccupancy returns items per leaf block — the quantity Tables 2,
+// 4 and 5 report.
+func (c Census) AverageOccupancy() float64 {
+	if c.Leaves == 0 {
+		return math.NaN()
+	}
+	return float64(c.Items) / float64(c.Leaves)
+}
+
+// MeanAreaByOccupancy returns, for each occupancy, the mean relative
+// block area of leaves with that occupancy, normalized by the overall
+// mean leaf area. Values above 1 mean blocks of that occupancy run
+// larger than average — the aging signature of Section IV, and the
+// insertion weights for core's SolveWeighted.
+func (c Census) MeanAreaByOccupancy(n int) []float64 {
+	w := make([]float64, n)
+	if c.Leaves == 0 {
+		return w
+	}
+	totalArea := 0.0
+	for _, a := range c.AreaByOccupancy {
+		totalArea += a
+	}
+	overallMean := totalArea / float64(c.Leaves)
+	counts := make([]float64, n)
+	areas := make([]float64, n)
+	for occ, cnt := range c.ByOccupancy {
+		i := occ
+		if i >= n {
+			i = n - 1
+		}
+		counts[i] += float64(cnt)
+		if occ < len(c.AreaByOccupancy) {
+			areas[i] += c.AreaByOccupancy[occ]
+		}
+	}
+	for i := range w {
+		if counts[i] > 0 && overallMean > 0 {
+			w[i] = areas[i] / counts[i] / overallMean
+		}
+	}
+	return w
+}
+
+// TrialSummary aggregates censuses from repeated trials of the same
+// experiment, mirroring the paper's averaging of ten trees per
+// configuration.
+type TrialSummary struct {
+	Trials int
+	// MeanProportions is the trial-mean distribution over occupancies.
+	MeanProportions []float64
+	// MeanLeaves and MeanOccupancy are trial means of leaf count and
+	// average occupancy.
+	MeanLeaves    float64
+	MeanOccupancy float64
+	// OccupancySpread is the relative spread (max-min)/mean of the
+	// per-trial average occupancy.
+	OccupancySpread float64
+	// MeanLeavesByDepth[d] and MeanItemsByDepth[d] are trial means of
+	// the per-depth leaf and item counts (Table 3's columns).
+	MeanLeavesByDepth []float64
+	MeanItemsByDepth  []float64
+	// MeanAreaWeights is the trial-mean of MeanAreaByOccupancy.
+	MeanAreaWeights []float64
+}
+
+// Summarize aggregates the trials into a TrialSummary with distribution
+// vectors of length n.
+func Summarize(censuses []Census, n int) TrialSummary {
+	s := TrialSummary{
+		Trials:          len(censuses),
+		MeanProportions: make([]float64, n),
+		MeanAreaWeights: make([]float64, n),
+	}
+	if len(censuses) == 0 {
+		return s
+	}
+	occs := make([]float64, 0, len(censuses))
+	maxDepth := 0
+	for _, c := range censuses {
+		if len(c.ByDepth) > maxDepth {
+			maxDepth = len(c.ByDepth)
+		}
+	}
+	s.MeanLeavesByDepth = make([]float64, maxDepth)
+	s.MeanItemsByDepth = make([]float64, maxDepth)
+	for _, c := range censuses {
+		p := c.Proportions(n)
+		w := c.MeanAreaByOccupancy(n)
+		for i := 0; i < n; i++ {
+			s.MeanProportions[i] += p[i]
+			s.MeanAreaWeights[i] += w[i]
+		}
+		s.MeanLeaves += float64(c.Leaves)
+		occs = append(occs, c.AverageOccupancy())
+		for d, dc := range c.ByDepth {
+			s.MeanLeavesByDepth[d] += float64(dc.Leaves)
+			s.MeanItemsByDepth[d] += float64(dc.Items)
+		}
+	}
+	inv := 1 / float64(len(censuses))
+	for i := 0; i < n; i++ {
+		s.MeanProportions[i] *= inv
+		s.MeanAreaWeights[i] *= inv
+	}
+	for d := range s.MeanLeavesByDepth {
+		s.MeanLeavesByDepth[d] *= inv
+		s.MeanItemsByDepth[d] *= inv
+	}
+	s.MeanLeaves *= inv
+	s.MeanOccupancy = Mean(occs)
+	s.OccupancySpread = RelativeSpread(occs)
+	return s
+}
+
+func growInts(s *[]int, n int) {
+	for len(*s) < n {
+		*s = append(*s, 0)
+	}
+}
+
+func growFloats(s *[]float64, n int) {
+	for len(*s) < n {
+		*s = append(*s, 0)
+	}
+}

@@ -1,0 +1,56 @@
+// Package stats holds the measurement side of the reproduction: the
+// occupancy census a hierarchical structure reports about itself, the
+// aggregation of censuses over repeated trials (the paper averages ten
+// trees per data point), and small descriptive-statistics helpers.
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean of xs (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (NaN for fewer than
+// two samples).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// RelativeSpread returns (max-min)/mean — the paper notes corresponding
+// data points from different trees were "typically within about 10% of
+// each other", which this quantifies.
+func RelativeSpread(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	m := Mean(xs)
+	if m == 0 {
+		return math.NaN()
+	}
+	return (hi - lo) / m
+}

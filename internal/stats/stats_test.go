@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean of empty input not NaN")
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance with n-1 denominator: Σ(x-5)² = 32, /7.
+	want := 32.0 / 7.0
+	if got := Variance(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if got := StdDev(xs); math.Abs(got-math.Sqrt(want)) > 1e-12 {
+		t.Errorf("StdDev = %v", got)
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of one sample not NaN")
+	}
+}
+
+func TestRelativeSpread(t *testing.T) {
+	if got := RelativeSpread([]float64{9, 10, 11}); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("RelativeSpread = %v", got)
+	}
+	if !math.IsNaN(RelativeSpread(nil)) {
+		t.Error("empty spread not NaN")
+	}
+	if !math.IsNaN(RelativeSpread([]float64{0, 0})) {
+		t.Error("zero-mean spread not NaN")
+	}
+}
+
+func buildCensus(leafs ...[3]any) Census {
+	// each entry: depth, occupancy, area
+	var b CensusBuilder
+	for _, l := range leafs {
+		b.AddLeaf(l[0].(int), l[1].(int), l[2].(float64))
+	}
+	return b.Census()
+}
+
+func TestCensusBuilder(t *testing.T) {
+	var b CensusBuilder
+	b.AddInternal(0)
+	b.AddLeaf(1, 0, 0.25)
+	b.AddLeaf(1, 2, 0.25)
+	b.AddLeaf(1, 2, 0.25)
+	b.AddLeaf(2, 1, 0.125)
+	c := b.Census()
+	if c.Leaves != 4 || c.Internal != 1 || c.Items != 5 || c.Height != 2 {
+		t.Fatalf("census %+v", c)
+	}
+	if c.ByOccupancy[0] != 1 || c.ByOccupancy[1] != 1 || c.ByOccupancy[2] != 2 {
+		t.Fatalf("histogram %v", c.ByOccupancy)
+	}
+	if len(c.ByDepth) != 3 || c.ByDepth[1].Leaves != 3 || c.ByDepth[2].Items != 1 {
+		t.Fatalf("by depth %+v", c.ByDepth)
+	}
+	if got := c.ByDepth[1].AverageOccupancy(); math.Abs(got-4.0/3) > 1e-12 {
+		t.Fatalf("depth-1 occupancy %v", got)
+	}
+	if got := c.AverageOccupancy(); got != 1.25 {
+		t.Fatalf("avg occupancy %v", got)
+	}
+}
+
+func TestProportions(t *testing.T) {
+	c := buildCensus([3]any{1, 0, 0.5}, [3]any{1, 1, 0.25}, [3]any{1, 1, 0.25})
+	p := c.Proportions(2)
+	if math.Abs(p[0]-1.0/3) > 1e-12 || math.Abs(p[1]-2.0/3) > 1e-12 {
+		t.Fatalf("proportions %v", p)
+	}
+	// Overflow occupancies fold into the last component.
+	c2 := buildCensus([3]any{1, 5, 0.5}, [3]any{1, 0, 0.5})
+	p2 := c2.Proportions(3)
+	if p2[2] != 0.5 || p2[0] != 0.5 {
+		t.Fatalf("folded proportions %v", p2)
+	}
+	// Empty census: all zeros.
+	var empty Census
+	for _, v := range empty.Proportions(3) {
+		if v != 0 {
+			t.Fatal("empty census proportions nonzero")
+		}
+	}
+}
+
+func TestAverageOccupancyEmpty(t *testing.T) {
+	var c Census
+	if !math.IsNaN(c.AverageOccupancy()) {
+		t.Error("empty census occupancy not NaN")
+	}
+	var dc DepthCensus
+	if !math.IsNaN(dc.AverageOccupancy()) {
+		t.Error("empty depth census occupancy not NaN")
+	}
+}
+
+func TestMeanAreaByOccupancy(t *testing.T) {
+	// Two leaves with occupancy 0 of area 0.1 each, one leaf with
+	// occupancy 1 of area 0.8: mean areas 0.1 and 0.8; overall mean
+	// (0.1+0.1+0.8)/3 = 1/3. Weights: 0.3 and 2.4.
+	c := buildCensus([3]any{1, 0, 0.1}, [3]any{1, 0, 0.1}, [3]any{1, 1, 0.8})
+	w := c.MeanAreaByOccupancy(2)
+	if math.Abs(w[0]-0.3) > 1e-12 || math.Abs(w[1]-2.4) > 1e-12 {
+		t.Fatalf("weights %v", w)
+	}
+	// Empty census yields zeros without panicking.
+	var empty Census
+	for _, v := range empty.MeanAreaByOccupancy(2) {
+		if v != 0 {
+			t.Fatal("empty census weights nonzero")
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	c1 := buildCensus([3]any{1, 0, 0.5}, [3]any{1, 1, 0.5})
+	c2 := buildCensus([3]any{1, 1, 0.5}, [3]any{1, 1, 0.5})
+	s := Summarize([]Census{c1, c2}, 2)
+	if s.Trials != 2 {
+		t.Fatalf("trials %d", s.Trials)
+	}
+	// Mean proportions: ((0.5,0.5) + (0,1))/2 = (0.25, 0.75).
+	if math.Abs(s.MeanProportions[0]-0.25) > 1e-12 || math.Abs(s.MeanProportions[1]-0.75) > 1e-12 {
+		t.Fatalf("mean proportions %v", s.MeanProportions)
+	}
+	if s.MeanLeaves != 2 {
+		t.Fatalf("mean leaves %v", s.MeanLeaves)
+	}
+	// Occupancies 0.5 and 1.0: mean 0.75, spread (1-0.5)/0.75.
+	if math.Abs(s.MeanOccupancy-0.75) > 1e-12 {
+		t.Fatalf("mean occupancy %v", s.MeanOccupancy)
+	}
+	if math.Abs(s.OccupancySpread-0.5/0.75) > 1e-12 {
+		t.Fatalf("spread %v", s.OccupancySpread)
+	}
+	if len(s.MeanLeavesByDepth) != 2 || s.MeanLeavesByDepth[1] != 2 {
+		t.Fatalf("leaves by depth %v", s.MeanLeavesByDepth)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil, 3)
+	if s.Trials != 0 || len(s.MeanProportions) != 3 {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+func TestSummarizeDifferentDepths(t *testing.T) {
+	c1 := buildCensus([3]any{0, 1, 1.0})
+	c2 := buildCensus([3]any{3, 1, 0.015625})
+	s := Summarize([]Census{c1, c2}, 2)
+	if len(s.MeanLeavesByDepth) != 4 {
+		t.Fatalf("depth slices %d", len(s.MeanLeavesByDepth))
+	}
+	if s.MeanLeavesByDepth[0] != 0.5 || s.MeanLeavesByDepth[3] != 0.5 {
+		t.Fatalf("by depth %v", s.MeanLeavesByDepth)
+	}
+}

@@ -1,0 +1,347 @@
+// Package vecmat implements the small dense linear algebra kernel needed
+// by the population model: vectors, row-major matrices, and an
+// LU-decomposition linear solver used by the Newton iteration in
+// internal/solver.
+//
+// The systems involved are tiny (the transform matrix for node capacity m
+// is (m+1)×(m+1), with m ≤ a few dozen), so clarity wins over blocking or
+// SIMD tricks. All operations allocate their results; none mutate their
+// inputs unless the name says so.
+package vecmat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Vec is a dense vector of float64.
+type Vec []float64
+
+// NewVec returns a zero vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Clone returns a copy of v.
+func (v Vec) Clone() Vec {
+	w := make(Vec, len(v))
+	copy(w, v)
+	return w
+}
+
+// Dot returns the inner product of v and w. It panics on length mismatch.
+func (v Vec) Dot(w Vec) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("vecmat: Dot length mismatch %d vs %d", len(v), len(w)))
+	}
+	s := 0.0
+	for i, x := range v {
+		s += x * w[i]
+	}
+	return s
+}
+
+// Sum returns the sum of the components of v.
+func (v Vec) Sum() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Norm1 returns the L1 norm of v.
+func (v Vec) Norm1() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// NormInf returns the maximum absolute component of v.
+func (v Vec) NormInf() float64 {
+	s := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > s {
+			s = a
+		}
+	}
+	return s
+}
+
+// Scale returns c*v as a new vector.
+func (v Vec) Scale(c float64) Vec {
+	w := make(Vec, len(v))
+	for i, x := range v {
+		w[i] = c * x
+	}
+	return w
+}
+
+// Add returns v+w as a new vector. It panics on length mismatch.
+func (v Vec) Add(w Vec) Vec {
+	if len(v) != len(w) {
+		panic("vecmat: Add length mismatch")
+	}
+	u := make(Vec, len(v))
+	for i := range v {
+		u[i] = v[i] + w[i]
+	}
+	return u
+}
+
+// Sub returns v-w as a new vector. It panics on length mismatch.
+func (v Vec) Sub(w Vec) Vec {
+	if len(v) != len(w) {
+		panic("vecmat: Sub length mismatch")
+	}
+	u := make(Vec, len(v))
+	for i := range v {
+		u[i] = v[i] - w[i]
+	}
+	return u
+}
+
+// Normalize1 returns v scaled so its components sum to one. It panics if
+// the component sum is zero.
+func (v Vec) Normalize1() Vec {
+	s := v.Sum()
+	if s == 0 {
+		panic("vecmat: Normalize1 of zero-sum vector")
+	}
+	return v.Scale(1 / s)
+}
+
+// String renders v with enough precision for debugging.
+func (v Vec) String() string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%.6g", x)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, Data[r*Cols+c]
+}
+
+// NewMat returns a zero matrix of the given shape.
+func NewMat(rows, cols int) *Mat {
+	if rows <= 0 || cols <= 0 {
+		panic("vecmat: NewMat with non-positive dimension")
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Mat {
+	m := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (r, c).
+func (m *Mat) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Mat) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Clone returns a deep copy of m.
+func (m *Mat) Clone() *Mat {
+	n := NewMat(m.Rows, m.Cols)
+	copy(n.Data, m.Data)
+	return n
+}
+
+// Row returns a copy of row r as a Vec.
+func (m *Mat) Row(r int) Vec {
+	v := make(Vec, m.Cols)
+	copy(v, m.Data[r*m.Cols:(r+1)*m.Cols])
+	return v
+}
+
+// SetRow assigns row r from v. It panics on length mismatch.
+func (m *Mat) SetRow(r int, v Vec) {
+	if len(v) != m.Cols {
+		panic("vecmat: SetRow length mismatch")
+	}
+	copy(m.Data[r*m.Cols:(r+1)*m.Cols], v)
+}
+
+// RowSums returns the vector of row sums.
+func (m *Mat) RowSums() Vec {
+	s := make(Vec, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			s[r] += m.At(r, c)
+		}
+	}
+	return s
+}
+
+// VecMul returns the row-vector product v·M. It panics if len(v) != Rows.
+func (m *Mat) VecMul(v Vec) Vec {
+	if len(v) != m.Rows {
+		panic(fmt.Sprintf("vecmat: VecMul length %d vs %d rows", len(v), m.Rows))
+	}
+	out := make(Vec, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		x := v[r]
+		if x == 0 {
+			continue
+		}
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c, t := range row {
+			out[c] += x * t
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product M·v. It panics if len(v) != Cols.
+func (m *Mat) MulVec(v Vec) Vec {
+	if len(v) != m.Cols {
+		panic("vecmat: MulVec length mismatch")
+	}
+	out := make(Vec, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		s := 0.0
+		for c, t := range row {
+			s += t * v[c]
+		}
+		out[r] = s
+	}
+	return out
+}
+
+// Mul returns the matrix product m·n.
+func (m *Mat) Mul(n *Mat) *Mat {
+	if m.Cols != n.Rows {
+		panic("vecmat: Mul shape mismatch")
+	}
+	out := NewMat(m.Rows, n.Cols)
+	for r := 0; r < m.Rows; r++ {
+		for k := 0; k < m.Cols; k++ {
+			x := m.At(r, k)
+			if x == 0 {
+				continue
+			}
+			for c := 0; c < n.Cols; c++ {
+				out.Data[r*out.Cols+c] += x * n.At(k, c)
+			}
+		}
+	}
+	return out
+}
+
+// String renders the matrix row by row.
+func (m *Mat) String() string {
+	var b strings.Builder
+	for r := 0; r < m.Rows; r++ {
+		b.WriteString(m.Row(r).String())
+		if r < m.Rows-1 {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// LU holds an LU decomposition with partial pivoting: P·A = L·U.
+type LU struct {
+	lu    *Mat  // packed L (unit lower) and U
+	pivot []int // row permutation
+	sign  int   // permutation sign, for Det
+}
+
+// Factor computes the LU decomposition of the square matrix a.
+// It returns an error if a is singular to working precision.
+func Factor(a *Mat) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("vecmat: Factor of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	lu := a.Clone()
+	pivot := make([]int, n)
+	sign := 1
+	for k := 0; k < n; k++ {
+		// Partial pivoting: find the largest magnitude in column k.
+		p := k
+		max := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > max {
+				max, p = v, i
+			}
+		}
+		if max == 0 {
+			return nil, fmt.Errorf("vecmat: singular matrix at pivot %d", k)
+		}
+		pivot[k] = p
+		if p != k {
+			sign = -sign
+			for c := 0; c < n; c++ {
+				lu.Data[k*n+c], lu.Data[p*n+c] = lu.Data[p*n+c], lu.Data[k*n+c]
+			}
+		}
+		inv := 1 / lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			l := lu.At(i, k) * inv
+			lu.Set(i, k, l)
+			if l == 0 {
+				continue
+			}
+			for c := k + 1; c < n; c++ {
+				lu.Data[i*n+c] -= l * lu.Data[k*n+c]
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: pivot, sign: sign}, nil
+}
+
+// Solve returns x such that A·x = b for the factored matrix A.
+func (f *LU) Solve(b Vec) Vec {
+	n := f.lu.Rows
+	if len(b) != n {
+		panic("vecmat: LU.Solve length mismatch")
+	}
+	x := b.Clone()
+	// Apply permutation and forward-substitute through L.
+	for k := 0; k < n; k++ {
+		if p := f.pivot[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+		for i := k + 1; i < n; i++ {
+			x[i] -= f.lu.At(i, k) * x[k]
+		}
+	}
+	// Back-substitute through U.
+	for i := n - 1; i >= 0; i-- {
+		for c := i + 1; c < n; c++ {
+			x[i] -= f.lu.At(i, c) * x[c]
+		}
+		x[i] /= f.lu.At(i, i)
+	}
+	return x
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.lu.Rows; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Solve is a convenience wrapper: factor a and solve A·x = b.
+func Solve(a *Mat, b Vec) (Vec, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}

@@ -1,0 +1,253 @@
+package vecmat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"popana/internal/xrand"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVecBasics(t *testing.T) {
+	v := Vec{1, 2, 3}
+	w := Vec{4, 5, 6}
+	if got := v.Dot(w); got != 32 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := v.Sum(); got != 6 {
+		t.Errorf("Sum = %v", got)
+	}
+	if got := (Vec{-1, 2, -3}).Norm1(); got != 6 {
+		t.Errorf("Norm1 = %v", got)
+	}
+	if got := (Vec{-1, 2, -3}).NormInf(); got != 3 {
+		t.Errorf("NormInf = %v", got)
+	}
+	if got := v.Add(w); got[0] != 5 || got[2] != 9 {
+		t.Errorf("Add = %v", got)
+	}
+	if got := w.Sub(v); got[0] != 3 || got[2] != 3 {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got[1] != 4 {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestVecCloneIndependent(t *testing.T) {
+	v := Vec{1, 2}
+	w := v.Clone()
+	w[0] = 99
+	if v[0] != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestNormalize1(t *testing.T) {
+	v := Vec{1, 3}.Normalize1()
+	if !almostEq(v[0], 0.25, 1e-15) || !almostEq(v[1], 0.75, 1e-15) {
+		t.Errorf("Normalize1 = %v", v)
+	}
+}
+
+func TestNormalize1PanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	(Vec{1, -1}).Normalize1()
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	(Vec{1}).Dot(Vec{1, 2})
+}
+
+func TestMatVecMul(t *testing.T) {
+	m := NewMat(2, 3)
+	m.SetRow(0, Vec{1, 2, 3})
+	m.SetRow(1, Vec{4, 5, 6})
+	// Row vector times matrix.
+	got := m.VecMul(Vec{1, 1})
+	want := Vec{5, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("VecMul = %v, want %v", got, want)
+		}
+	}
+	// Matrix times column vector.
+	got = m.MulVec(Vec{1, 0, 1})
+	want = Vec{4, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MulVec = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a := NewMat(2, 2)
+	a.SetRow(0, Vec{1, 2})
+	a.SetRow(1, Vec{3, 4})
+	b := NewMat(2, 2)
+	b.SetRow(0, Vec{5, 6})
+	b.SetRow(1, Vec{7, 8})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for r := 0; r < 2; r++ {
+		for cc := 0; cc < 2; cc++ {
+			if c.At(r, cc) != want[r][cc] {
+				t.Fatalf("Mul = %v", c)
+			}
+		}
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	v := Vec{2, 5, 9}
+	got := id.VecMul(v)
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatalf("I·v = %v", got)
+		}
+	}
+}
+
+func TestRowSums(t *testing.T) {
+	m := NewMat(2, 2)
+	m.SetRow(0, Vec{1, 2})
+	m.SetRow(1, Vec{3, 4})
+	s := m.RowSums()
+	if s[0] != 3 || s[1] != 7 {
+		t.Fatalf("RowSums = %v", s)
+	}
+}
+
+func TestLUSolveKnown(t *testing.T) {
+	a := NewMat(2, 2)
+	a.SetRow(0, Vec{2, 1})
+	a.SetRow(1, Vec{1, 3})
+	x, err := Solve(a, Vec{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 1, 1e-12) || !almostEq(x[1], 3, 1e-12) {
+		t.Fatalf("solution %v, want (1, 3)", x)
+	}
+}
+
+func TestLUSolveRandomSystems(t *testing.T) {
+	rng := xrand.New(77)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(10)
+		a := NewMat(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.Float64()*2 - 1
+		}
+		// Diagonal dominance guarantees non-singularity.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		want := make(Vec, n)
+		for i := range want {
+			want[i] = rng.Float64()*10 - 5
+		}
+		b := a.MulVec(want)
+		got, err := Solve(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range want {
+			if !almostEq(got[i], want[i], 1e-8) {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewMat(2, 2)
+	a.SetRow(0, Vec{1, 2})
+	a.SetRow(1, Vec{2, 4})
+	if _, err := Factor(a); err == nil {
+		t.Fatal("singular matrix factored without error")
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	if _, err := Factor(NewMat(2, 3)); err == nil {
+		t.Fatal("non-square matrix factored without error")
+	}
+}
+
+func TestDet(t *testing.T) {
+	a := NewMat(2, 2)
+	a.SetRow(0, Vec{3, 1})
+	a.SetRow(1, Vec{2, 4})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f.Det(), 10, 1e-12) {
+		t.Fatalf("Det = %v", f.Det())
+	}
+}
+
+func TestDetPermutationSign(t *testing.T) {
+	// A matrix requiring a row swap: det([[0,1],[1,0]]) = -1.
+	a := NewMat(2, 2)
+	a.SetRow(0, Vec{0, 1})
+	a.SetRow(1, Vec{1, 0})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f.Det(), -1, 1e-12) {
+		t.Fatalf("Det = %v, want -1", f.Det())
+	}
+}
+
+func TestVecMulLinearity(t *testing.T) {
+	rng := xrand.New(3)
+	f := func(seed uint32) bool {
+		r := xrand.New(uint64(seed) + rng.Uint64())
+		n := 1 + r.Intn(6)
+		m := NewMat(n, n)
+		for i := range m.Data {
+			m.Data[i] = r.Float64()
+		}
+		u, v := make(Vec, n), make(Vec, n)
+		for i := 0; i < n; i++ {
+			u[i], v[i] = r.Float64(), r.Float64()
+		}
+		lhs := m.VecMul(u.Add(v))
+		rhs := m.VecMul(u).Add(m.VecMul(v))
+		for i := range lhs {
+			if !almostEq(lhs[i], rhs[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if s := (Vec{1, 2}).String(); s == "" {
+		t.Error("empty Vec string")
+	}
+	m := NewMat(2, 2)
+	if s := m.String(); s == "" {
+		t.Error("empty Mat string")
+	}
+}

@@ -1,0 +1,330 @@
+// Package popana is a library for population analysis of hierarchical
+// data structures, reproducing and extending R. C. Nelson and H. Samet,
+// "A Population Analysis for Hierarchical Data Structures" (SIGMOD 1987).
+//
+// Population analysis predicts the steady-state distribution of node
+// occupancies in bucketing hierarchical structures — PR quadtrees,
+// bintrees, octrees, PMR quadtrees — from nothing but the local
+// statistics of one node split. The structure is modeled as populations
+// of nodes (one population per occupancy); one insertion transforms a
+// node according to a transform matrix T; and the expected distribution
+// ē is the stationary point ē·T = a·ē, a positive Perron eigenproblem
+// solved in microseconds. From ē follow the engineering quantities:
+// average node occupancy, storage utilization, and nodes per stored
+// item.
+//
+// # Quick start
+//
+//	model, _ := popana.NewPointModel(8, 4) // capacity 8, quadtree fanout
+//	e, _ := model.Solve()
+//	fmt.Printf("expected occupancy: %.2f\n", e.AverageOccupancy())
+//
+//	qt := popana.NewQuadtree(popana.QuadtreeConfig{Capacity: 8})
+//	// ... insert points, then compare:
+//	fmt.Printf("observed occupancy: %.2f\n", qt.Census().AverageOccupancy())
+//
+// The packages under internal/ hold the implementations; this package is
+// the supported surface. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the reproduction of every table and figure in the
+// paper.
+package popana
+
+import (
+	"io"
+
+	"popana/internal/bintree"
+	"popana/internal/core"
+	"popana/internal/dist"
+	"popana/internal/excell"
+	"popana/internal/exthash"
+	"popana/internal/geom"
+	"popana/internal/gridfile"
+	"popana/internal/hypertree"
+	"popana/internal/pm"
+	"popana/internal/pmr"
+	"popana/internal/pointquadtree"
+	"popana/internal/quadtree"
+	"popana/internal/regionquad"
+	"popana/internal/solver"
+	"popana/internal/spatialdb"
+	"popana/internal/statmodel"
+	"popana/internal/stats"
+	"popana/internal/xrand"
+)
+
+// ---- Geometry ----
+
+// Point is a point in the plane.
+type Point = geom.Point
+
+// Rect is an axis-aligned rectangle, half-open on its max edges.
+type Rect = geom.Rect
+
+// Segment is a line segment.
+type Segment = geom.Segment
+
+// UnitSquare is the canonical [0,1)×[0,1) region.
+var UnitSquare = geom.UnitSquare
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// R is shorthand for Rect{minX, minY, maxX, maxY}.
+func R(minX, minY, maxX, maxY float64) Rect { return geom.R(minX, minY, maxX, maxY) }
+
+// Seg is shorthand for Segment{a, b}.
+func Seg(a, b Point) Segment { return geom.Seg(a, b) }
+
+// ---- The population model (the paper's contribution) ----
+
+// Model is a population model: node types plus the transform matrix
+// describing the average result of one insertion.
+type Model = core.Model
+
+// Distribution is an expected distribution ē over node occupancies,
+// with its normalization scalar a and solver diagnostics.
+type Distribution = core.Distribution
+
+// LineModelOptions configures NewLineModel.
+type LineModelOptions = core.LineModelOptions
+
+// SolverOptions tunes the numerical solvers.
+type SolverOptions = solver.Options
+
+// NewPointModel builds the generalized PR point model for node capacity
+// m and fanout F (4 = quadtree, 2 = bintree, 8 = octree, 2^d in
+// general). See Section III of the paper.
+func NewPointModel(capacity, fanout int) (*Model, error) {
+	return core.NewPointModel(capacity, fanout)
+}
+
+// NewLineModel builds the PMR quadtree line model for the given
+// splitting threshold (the [Nels86b] reconstruction).
+func NewLineModel(threshold, fanout int, opts LineModelOptions) (*Model, error) {
+	return core.NewLineModel(threshold, fanout, opts)
+}
+
+// SimplePRExact returns Section III's closed-form solution for the
+// simple PR quadtree: ē = (1/2, 1/2).
+func SimplePRExact() Distribution { return core.SimplePRExact() }
+
+// ---- Structures ----
+
+// Quadtree is a PR quadtree mapping distinct points to values.
+type Quadtree = quadtree.Tree[any]
+
+// QuadtreeConfig configures a Quadtree.
+type QuadtreeConfig = quadtree.Config
+
+// NewQuadtree returns an empty PR quadtree; it panics on invalid
+// configuration (use internal validation errors via NewQuadtreeErr for
+// recoverable construction).
+func NewQuadtree(cfg QuadtreeConfig) *Quadtree {
+	return quadtree.MustNew[any](cfg)
+}
+
+// NewQuadtreeErr is NewQuadtree returning configuration errors.
+func NewQuadtreeErr(cfg QuadtreeConfig) (*Quadtree, error) {
+	return quadtree.New[any](cfg)
+}
+
+// SyncQuadtree is a PR quadtree safe for concurrent use (RW-locked).
+type SyncQuadtree = quadtree.SyncTree[any]
+
+// NewSyncQuadtree returns an empty concurrency-safe PR quadtree.
+func NewSyncQuadtree(cfg QuadtreeConfig) (*SyncQuadtree, error) {
+	return quadtree.NewSync[any](cfg)
+}
+
+// Bintree is a 2D PR bintree (fanout 2).
+type Bintree = bintree.Tree
+
+// BintreeConfig configures a Bintree.
+type BintreeConfig = bintree.Config
+
+// NewBintree returns an empty bintree.
+func NewBintree(cfg BintreeConfig) (*Bintree, error) { return bintree.New(cfg) }
+
+// Hypertree is the 2^d-ary generalization (d=2 quadtree, d=3 octree).
+type Hypertree = hypertree.Tree
+
+// HypertreeConfig configures a Hypertree.
+type HypertreeConfig = hypertree.Config
+
+// NewHypertree returns an empty hypertree.
+func NewHypertree(cfg HypertreeConfig) (*Hypertree, error) { return hypertree.New(cfg) }
+
+// PMRTree is a PMR quadtree for line segments.
+type PMRTree = pmr.Tree
+
+// PMRConfig configures a PMRTree.
+type PMRConfig = pmr.Config
+
+// NewPMRTree returns an empty PMR quadtree.
+func NewPMRTree(cfg PMRConfig) (*PMRTree, error) { return pmr.New(cfg) }
+
+// PM3Tree is a PM3 quadtree for polygonal subdivisions (vertex-rule
+// splitting: at most one distinct vertex per block).
+type PM3Tree = pm.Tree
+
+// PM3Config configures a PM3Tree.
+type PM3Config = pm.Config
+
+// NewPM3Tree returns an empty PM3 quadtree.
+func NewPM3Tree(cfg PM3Config) (*PM3Tree, error) { return pm.New(cfg) }
+
+// ExtHash is an extendible-hashing table (the Fagin et al. baseline).
+type ExtHash = exthash.Table
+
+// ExtHashConfig configures an ExtHash.
+type ExtHashConfig = exthash.Config
+
+// NewExtHash returns an empty extendible-hashing table.
+func NewExtHash(cfg ExtHashConfig) (*ExtHash, error) { return exthash.New(cfg) }
+
+// GridFile is a grid file (Nievergelt et al.).
+type GridFile = gridfile.File
+
+// GridFileConfig configures a GridFile.
+type GridFileConfig = gridfile.Config
+
+// NewGridFile returns an empty grid file.
+func NewGridFile(cfg GridFileConfig) (*GridFile, error) { return gridfile.New(cfg) }
+
+// Excell is an EXCELL file (Tamminen).
+type Excell = excell.File
+
+// ExcellConfig configures an Excell.
+type ExcellConfig = excell.Config
+
+// NewExcell returns an empty EXCELL file.
+func NewExcell(cfg ExcellConfig) (*Excell, error) { return excell.New(cfg) }
+
+// PointQuadtree is the classical (data-dependent) point quadtree of
+// Finkel and Bentley — the Section II contrast to regular decomposition.
+type PointQuadtree = pointquadtree.Tree
+
+// NewPointQuadtree returns an empty point quadtree over region (the
+// zero rectangle selects the unit square).
+func NewPointQuadtree(region Rect) (*PointQuadtree, error) { return pointquadtree.New(region) }
+
+// RegionQuadtree is a region quadtree over a binary image.
+type RegionQuadtree = regionquad.Tree
+
+// FromBitmap builds the minimal region quadtree for a square
+// power-of-two bitmap (row-major, true = black).
+func FromBitmap(bitmap [][]bool) (*RegionQuadtree, error) { return regionquad.FromBitmap(bitmap) }
+
+// RegionUnion returns the pixelwise OR of two same-size region
+// quadtrees.
+func RegionUnion(a, b *RegionQuadtree) (*RegionQuadtree, error) { return regionquad.Union(a, b) }
+
+// RegionIntersect returns the pixelwise AND of two same-size region
+// quadtrees.
+func RegionIntersect(a, b *RegionQuadtree) (*RegionQuadtree, error) {
+	return regionquad.Intersect(a, b)
+}
+
+// ---- Persistence and bulk construction ----
+
+// EncodeQuadtree writes a quadtree to w in a stable binary format.
+func EncodeQuadtree(t *Quadtree, w io.Writer) error { return t.Encode(w) }
+
+// DecodeQuadtree reads a quadtree written by EncodeQuadtree.
+func DecodeQuadtree(r io.Reader) (*Quadtree, error) { return quadtree.Decode[any](r) }
+
+// BulkLoadQuadtree builds a quadtree from a batch of points in one
+// recursive partitioning pass (no transient splits).
+func BulkLoadQuadtree(cfg QuadtreeConfig, points []Point, values []any) (*Quadtree, error) {
+	return quadtree.BulkLoad[any](cfg, points, values)
+}
+
+// ---- Spatial query layer ----
+
+// SpatialDB is a small database of spatially indexed tables with
+// model-based query cost estimation (EXPLAIN).
+type SpatialDB = spatialdb.DB
+
+// SpatialTable is one spatially indexed record collection.
+type SpatialTable = spatialdb.Table
+
+// SpatialRecord is a located row in a SpatialTable.
+type SpatialRecord = spatialdb.Record
+
+// SpatialQuery selects records by window, nearest, or radius.
+type SpatialQuery = spatialdb.Query
+
+// NearestSpec and WithinSpec parameterize SpatialQuery predicates.
+type (
+	NearestSpec = spatialdb.NearestSpec
+	WithinSpec  = spatialdb.WithinSpec
+)
+
+// NewSpatialDB returns an empty spatial database.
+func NewSpatialDB() *SpatialDB { return spatialdb.NewDB() }
+
+// ---- Model diagnostics ----
+
+// Spectrum holds the dominant spectral structure of a model's transform
+// matrix: λ₁ (= a), |λ₂|, and the spectral gap governing convergence.
+type Spectrum = core.Spectrum
+
+// ---- Workloads ----
+
+// Rand is the deterministic random number generator used by all
+// experiments.
+type Rand = xrand.Rand
+
+// NewRand returns a deterministic generator seeded from seed.
+func NewRand(seed uint64) *Rand { return xrand.New(seed) }
+
+// PointSource yields a stream of points inside a region.
+type PointSource = dist.PointSource
+
+// SegmentSource yields a stream of segments inside a region.
+type SegmentSource = dist.SegmentSource
+
+// NewUniform returns the paper's uniform point source.
+func NewUniform(r Rect, rng *Rand) PointSource { return dist.NewUniform(r, rng) }
+
+// NewGaussian returns the paper's Gaussian source (2σ-wide, centered).
+func NewGaussian(r Rect, rng *Rand) PointSource { return dist.NewGaussian(r, rng) }
+
+// NewClusters returns a k-cluster mixture source.
+func NewClusters(r Rect, k int, sigma float64, rng *Rand) PointSource {
+	return dist.NewClusters(r, k, sigma, rng)
+}
+
+// NewChords returns the random-chord segment source for PMR experiments.
+func NewChords(r Rect, rng *Rand) SegmentSource { return dist.NewChords(r, rng) }
+
+// NewShortSegments returns a source of fixed-length segments (length as
+// a fraction of the region width) with uniform position and direction —
+// the GIS-like line workload.
+func NewShortSegments(r Rect, lengthFrac float64, rng *Rand) SegmentSource {
+	return dist.NewShortSegments(r, lengthFrac, rng)
+}
+
+// ---- Measurement ----
+
+// Census is a structure's occupancy census (leaf populations by
+// occupancy and depth).
+type Census = stats.Census
+
+// TrialSummary aggregates censuses over repeated trials.
+type TrialSummary = stats.TrialSummary
+
+// Summarize aggregates trial censuses into distribution vectors of
+// length n.
+func Summarize(censuses []Census, n int) TrialSummary { return stats.Summarize(censuses, n) }
+
+// ---- Exact statistical baseline ----
+
+// StatAnalysis is the exact Fagin-style expected-occupancy analysis.
+type StatAnalysis = statmodel.Analysis
+
+// NewStatAnalysis computes the exact analysis for capacity, fanout, and
+// all point counts up to maxN (O(maxN²·capacity) work).
+func NewStatAnalysis(capacity, fanout, maxN int) (*StatAnalysis, error) {
+	return statmodel.New(capacity, fanout, maxN)
+}

@@ -1,0 +1,294 @@
+package popana_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"popana"
+)
+
+// The facade tests exercise the public API end to end the way README
+// tells users to; deeper behavior is covered by the internal package
+// suites.
+
+func TestFacadeModelRoundTrip(t *testing.T) {
+	model, err := popana.NewPointModel(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := model.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.AverageOccupancy()-4.25) > 0.02 {
+		t.Errorf("m=8 occupancy %v, paper's Table 2 says 4.25", e.AverageOccupancy())
+	}
+	exact := popana.SimplePRExact()
+	if exact.E[0] != 0.5 || exact.E[1] != 0.5 {
+		t.Errorf("exact anchor %v", exact.E)
+	}
+}
+
+func TestFacadeQuadtree(t *testing.T) {
+	qt := popana.NewQuadtree(popana.QuadtreeConfig{Capacity: 4})
+	rng := popana.NewRand(1)
+	src := popana.NewUniform(qt.Region(), rng)
+	for qt.Len() < 1000 {
+		if _, err := qt.Insert(src.Next(), qt.Len()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := qt.Census()
+	if c.Items != 1000 {
+		t.Fatalf("census items %d", c.Items)
+	}
+	if n := qt.CountRange(popana.R(0, 0, 1, 1)); n != 1000 {
+		t.Fatalf("full-region range %d", n)
+	}
+	if _, _, ok := qt.Nearest(popana.Pt(0.5, 0.5)); !ok {
+		t.Fatal("Nearest failed")
+	}
+	if _, err := popana.NewQuadtreeErr(popana.QuadtreeConfig{Capacity: 0}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestFacadeStructures(t *testing.T) {
+	rng := popana.NewRand(2)
+	if bt, err := popana.NewBintree(popana.BintreeConfig{Capacity: 2}); err != nil {
+		t.Fatal(err)
+	} else if _, err := bt.Insert(popana.Pt(0.5, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if ht, err := popana.NewHypertree(popana.HypertreeConfig{Dim: 3, Capacity: 2}); err != nil {
+		t.Fatal(err)
+	} else if _, err := ht.Insert([]float64{0.1, 0.2, 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	if pt, err := popana.NewPMRTree(popana.PMRConfig{Threshold: 2}); err != nil {
+		t.Fatal(err)
+	} else if err := pt.Insert(popana.Seg(popana.Pt(0.1, 0.1), popana.Pt(0.4, 0.4))); err != nil {
+		t.Fatal(err)
+	}
+	if eh, err := popana.NewExtHash(popana.ExtHashConfig{BucketCapacity: 2}); err != nil {
+		t.Fatal(err)
+	} else if _, err := eh.Put(rng.Uint64(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if gf, err := popana.NewGridFile(popana.GridFileConfig{BucketCapacity: 2}); err != nil {
+		t.Fatal(err)
+	} else if _, err := gf.Put(popana.Pt(0.3, 0.3), nil); err != nil {
+		t.Fatal(err)
+	}
+	if ex, err := popana.NewExcell(popana.ExcellConfig{BucketCapacity: 2}); err != nil {
+		t.Fatal(err)
+	} else if _, err := ex.Put(popana.Pt(0.7, 0.7), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeLineModel(t *testing.T) {
+	model, err := popana.NewLineModel(4, 4, popana.LineModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := model.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.AverageOccupancy() <= 0 {
+		t.Fatal("line model degenerate")
+	}
+}
+
+func TestFacadeStatAnalysis(t *testing.T) {
+	a, err := popana.NewStatAnalysis(2, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ := a.AverageOccupancy(100); occ <= 0 || occ > 2 {
+		t.Fatalf("exact occupancy %v", occ)
+	}
+}
+
+func TestFacadeSummarize(t *testing.T) {
+	qt := popana.NewQuadtree(popana.QuadtreeConfig{Capacity: 2})
+	src := popana.NewUniform(qt.Region(), popana.NewRand(3))
+	for qt.Len() < 100 {
+		if _, err := qt.Insert(src.Next(), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := popana.Summarize([]popana.Census{qt.Census()}, 3)
+	if s.Trials != 1 || s.MeanOccupancy <= 0 {
+		t.Fatalf("summary %+v", s)
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	rng := popana.NewRand(4)
+	r := popana.UnitSquare
+	for _, src := range []popana.PointSource{
+		popana.NewUniform(r, rng),
+		popana.NewGaussian(r, rng),
+		popana.NewClusters(r, 3, 0.05, rng),
+	} {
+		for i := 0; i < 100; i++ {
+			if p := src.Next(); !r.Contains(p) {
+				t.Fatalf("point %v escaped region", p)
+			}
+		}
+	}
+	chords := popana.NewChords(r, rng)
+	if s := chords.Next(); s.Length() == 0 {
+		t.Fatal("degenerate chord")
+	}
+	short := popana.NewShortSegments(r, 0.1, rng)
+	if s := short.Next(); s.Length() <= 0 || s.Length() > 0.1+1e-9 {
+		t.Fatalf("short segment length %v", s.Length())
+	}
+}
+
+func TestFacadeNewStructures(t *testing.T) {
+	pq, err := popana.NewPointQuadtree(popana.UnitSquare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pq.Insert(popana.Pt(0.5, 0.5), "x"); err != nil {
+		t.Fatal(err)
+	}
+	if !pq.Contains(popana.Pt(0.5, 0.5)) {
+		t.Fatal("point quadtree lost its point")
+	}
+	bm := [][]bool{{true, false}, {false, true}}
+	rq, err := popana.FromBitmap(bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rq.BlackArea() != 2 {
+		t.Fatalf("black area %d", rq.BlackArea())
+	}
+	u, err := popana.RegionUnion(rq, rq.Complement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.BlackArea() != 4 {
+		t.Fatalf("union with complement area %d", u.BlackArea())
+	}
+	x, err := popana.RegionIntersect(rq, rq.Complement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.BlackArea() != 0 {
+		t.Fatalf("intersection with complement area %d", x.BlackArea())
+	}
+}
+
+func TestFacadePersistence(t *testing.T) {
+	qt := popana.NewQuadtree(popana.QuadtreeConfig{Capacity: 2})
+	src := popana.NewUniform(qt.Region(), popana.NewRand(9))
+	for qt.Len() < 200 {
+		if _, err := qt.Insert(src.Next(), qt.Len()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := popana.EncodeQuadtree(qt, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := popana.DecodeQuadtree(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != qt.Len() {
+		t.Fatalf("decoded %d points, want %d", got.Len(), qt.Len())
+	}
+}
+
+func TestFacadeBulkLoad(t *testing.T) {
+	pts := []popana.Point{popana.Pt(0.1, 0.1), popana.Pt(0.9, 0.9)}
+	qt, err := popana.BulkLoadQuadtree(popana.QuadtreeConfig{Capacity: 1}, pts, []any{nil, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qt.Len() != 2 {
+		t.Fatalf("Len = %d", qt.Len())
+	}
+}
+
+func TestFacadeSpectrum(t *testing.T) {
+	model, err := popana.NewPointModel(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := model.Spectrum(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Lambda1-3) > 1e-9 || math.Abs(s.Gap-1.0/3) > 1e-6 {
+		t.Fatalf("spectrum %+v", s)
+	}
+}
+
+func TestFacadeSpatialDB(t *testing.T) {
+	db := popana.NewSpatialDB()
+	tab, err := db.CreateTable("pts", 4, popana.UnitSquare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := popana.NewRand(10)
+	src := popana.NewUniform(popana.UnitSquare, rng)
+	for i := 0; tab.Len() < 500; i++ {
+		if err := tab.Insert(popana.SpatialRecord{ID: uint64(i), Loc: src.Next(), Data: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := popana.R(0.25, 0.25, 0.75, 0.75)
+	recs, cost, err := tab.Select(popana.SpatialQuery{Window: &w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || cost.LeavesVisited == 0 {
+		t.Fatalf("select returned %d records, cost %+v", len(recs), cost)
+	}
+	est, err := tab.Explain(popana.SpatialQuery{Window: &w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Blocks <= 0 || est.Selectivity <= 0 {
+		t.Fatalf("estimate %+v", est)
+	}
+}
+
+func TestFacadeSyncQuadtree(t *testing.T) {
+	sq, err := popana.NewSyncQuadtree(popana.QuadtreeConfig{Capacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sq.Insert(popana.Pt(0.4, 0.4), 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := sq.Get(popana.Pt(0.4, 0.4)); !ok || v != 1 {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	if sq.Len() != 1 {
+		t.Fatalf("Len = %d", sq.Len())
+	}
+}
+
+func TestFacadePM3(t *testing.T) {
+	tr, err := popana.NewPM3Tree(popana.PM3Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(popana.Seg(popana.Pt(0.2, 0.2), popana.Pt(0.7, 0.6))); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckVertexRule(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.RangeEdges(popana.UnitSquare); len(got) != 1 {
+		t.Fatalf("range edges %d", len(got))
+	}
+}
