@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"popana/internal/solver"
+)
+
+// TestSolveRobustMatchesSolve: on well-behaved models the ladder must
+// reproduce the paper's iteration to high accuracy, whichever rung wins.
+func TestSolveRobustMatchesSolve(t *testing.T) {
+	for capacity := 1; capacity <= 8; capacity++ {
+		m, err := NewPointModel(capacity, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := m.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, attempts, err := m.SolveRobust(solver.Options{})
+		if err != nil {
+			t.Fatalf("capacity %d: %v (attempts %+v)", capacity, err, attempts)
+		}
+		if len(attempts) == 0 {
+			t.Fatalf("capacity %d: no attempts recorded", capacity)
+		}
+		if d := math.Abs(got.AverageOccupancy() - want.AverageOccupancy()); d > 1e-8 {
+			t.Errorf("capacity %d: ladder occupancy %v, Solve %v (Δ=%g)",
+				capacity, got.AverageOccupancy(), want.AverageOccupancy(), d)
+		}
+		if d := math.Abs(got.A - want.A); d > 1e-8 {
+			t.Errorf("capacity %d: ladder a=%v, Solve a=%v", capacity, got.A, want.A)
+		}
+	}
+}
+
+// TestSolveLadderFallsThroughForcedNewtonFailure: with the Newton rung
+// failed by the fault hook, the fixed-point rung still solves the model
+// and the failure is recorded.
+func TestSolveLadderFallsThroughForcedNewtonFailure(t *testing.T) {
+	injected := errors.New("injected divergence")
+	m, err := NewPointModel(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, attempts, err := m.SolveLadder(solver.LadderConfig{
+		Fault: func(method string, _ float64) error {
+			if method == "newton" {
+				return injected
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(attempts) != 2 {
+		t.Fatalf("attempts %+v", attempts)
+	}
+	if !errors.Is(attempts[0].Err, injected) {
+		t.Fatalf("Newton failure not recorded: %+v", attempts[0])
+	}
+	if attempts[1].Method != "fixed-point" || attempts[1].Err != nil {
+		t.Fatalf("fixed-point rung %+v", attempts[1])
+	}
+	want, _ := m.Solve()
+	if diff := math.Abs(d.AverageOccupancy() - want.AverageOccupancy()); diff > 1e-8 {
+		t.Errorf("fallback occupancy off by %g", diff)
+	}
+}
+
+// TestSolveLadderExhaustedSurfacesSentinel: when every rung is failed
+// the sentinel must propagate so callers can choose to degrade.
+func TestSolveLadderExhaustedSurfacesSentinel(t *testing.T) {
+	m, err := NewPointModel(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, attempts, err := m.SolveLadder(solver.LadderConfig{
+		Fault: func(string, float64) error { return errors.New("forced") },
+	})
+	if !errors.Is(err, solver.ErrLadderExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(attempts) < 2 {
+		t.Fatalf("attempts %+v", attempts)
+	}
+}
+
+// TestOccupancyHeuristicTracksSolvedValue: the closed-form fallback must
+// stay positive, below capacity+1, and within a factor of 2 of the true
+// solved occupancy over a wide capacity range.
+func TestOccupancyHeuristicTracksSolvedValue(t *testing.T) {
+	for capacity := 1; capacity <= 16; capacity++ {
+		m, err := NewPointModel(capacity, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := m.OccupancyHeuristic()
+		if h <= 0 || h > float64(capacity) {
+			t.Fatalf("capacity %d: heuristic %v out of (0, capacity]", capacity, h)
+		}
+		d, err := m.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := h / d.AverageOccupancy()
+		if ratio < 0.5 || ratio > 2 {
+			t.Errorf("capacity %d: heuristic %v vs solved %v (ratio %v)",
+				capacity, h, d.AverageOccupancy(), ratio)
+		}
+	}
+}

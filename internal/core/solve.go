@@ -82,6 +82,49 @@ func (m *Model) SolveNewton(opts solver.Options) (Distribution, error) {
 	return d, nil
 }
 
+// SolveRobust solves the model with a fallback ladder — Newton first,
+// then fixed-point iteration with escalating damping — returning the
+// attempt log alongside the distribution. Use it where a failed solve
+// must degrade rather than abort (the spatialdb layer does).
+func (m *Model) SolveRobust(opts solver.Options) (Distribution, []solver.Attempt, error) {
+	return m.SolveLadder(solver.LadderConfig{Options: opts})
+}
+
+// SolveLadder is SolveRobust with an explicit ladder configuration
+// (damping floor, fault-injection hook).
+func (m *Model) SolveLadder(cfg solver.LadderConfig) (Distribution, []solver.Attempt, error) {
+	step := func(e vecmat.Vec) vecmat.Vec {
+		return m.T.VecMul(e).Normalize1()
+	}
+	res, attempts, err := solver.Ladder(step, uniformVec(m.Types()), cfg)
+	if err != nil {
+		return Distribution{}, attempts, fmt.Errorf("core: ladder solve of %s: %w", m.Desc, err)
+	}
+	e := res.X.Normalize1()
+	d := Distribution{
+		E:          e,
+		A:          m.normalization(e),
+		Iterations: res.Iterations,
+		Residual:   res.Residual,
+	}
+	if err := d.Validate(); err != nil {
+		return Distribution{}, attempts, fmt.Errorf("core: ladder solve of %s produced an invalid distribution: %w", m.Desc, err)
+	}
+	return d, attempts, nil
+}
+
+// OccupancyHeuristic returns a closed-form approximation to the expected
+// average occupancy that needs no iterative solve: the midpoint between
+// the post-split occupancy (what a freshly created block holds) and the
+// capacity (what a block holds the moment before it splits), i.e. a
+// block's expected occupancy if it spent its life uniformly between
+// birth and split. It overestimates the solved value by roughly 10–40%
+// across the PR family — coarse, but finite, positive, and monotone in
+// capacity, which is what a degraded-mode planner statistic needs.
+func (m *Model) OccupancyHeuristic() float64 {
+	return (m.PostSplitOccupancy() + float64(m.Capacity)) / 2
+}
+
 // normalization returns the paper's scalar a(e) = Σᵢⱼ Tᵢⱼ eᵢ — the
 // expected number of new nodes per insertion when the current
 // distribution is e.

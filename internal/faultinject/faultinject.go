@@ -1,0 +1,166 @@
+// Package faultinject provides deterministic, seedable failure points
+// for chaos testing the layers above the quadtree: forced solver
+// divergence, injected latency, and forced insert/split failures.
+//
+// A failure point is named by a Point constant and armed on an Injector
+// with a firing probability (and optionally a latency or a fire budget).
+// Production code consults the injector through nil-safe methods, so the
+// default — a nil *Injector — costs one pointer comparison and allocates
+// nothing; only test configurations that explicitly arm an injector pay
+// for the RNG draw and bookkeeping.
+//
+// Firing decisions come from a seeded xrand generator, so a chaos run is
+// reproducible from its seed even though the interleaving of goroutines
+// is not: the k-th visit to the injector fires identically across runs
+// with the same seed and visit order.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"popana/internal/xrand"
+)
+
+// ErrInjected is wrapped by every error an injector produces, so callers
+// (and chaos tests) can distinguish injected faults from real ones with
+// errors.Is.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Point names a failure site wired into the codebase.
+type Point string
+
+// Failure points consulted by the resilience layer.
+const (
+	// SolverNewton fails the Newton rung of a solver fallback ladder.
+	SolverNewton Point = "solver.newton"
+	// SolverFixedPoint fails a fixed-point rung (any damping) of a
+	// solver fallback ladder.
+	SolverFixedPoint Point = "solver.fixed-point"
+	// InsertFault fails a spatialdb insert before it mutates the table,
+	// simulating a failed block split or allocation.
+	InsertFault Point = "spatialdb.insert"
+	// InsertLatency delays a spatialdb insert.
+	InsertLatency Point = "spatialdb.insert.latency"
+	// QueryLatency delays a spatialdb select.
+	QueryLatency Point = "spatialdb.query.latency"
+)
+
+// rule is the armed behavior of one failure point.
+type rule struct {
+	prob      float64       // firing probability per visit
+	remaining int           // fires left; negative means unlimited
+	latency   time.Duration // sleep duration for Delay points
+}
+
+// Injector is a set of armed failure points. A nil *Injector is the
+// production default: every method is safe to call on it and does
+// nothing. The zero Injector is not usable; construct with New.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *xrand.Rand
+	rules map[Point]*rule
+	fired map[Point]int
+}
+
+// New returns an injector with no points armed, drawing firing decisions
+// from the given seed.
+func New(seed uint64) *Injector {
+	return &Injector{
+		rng:   xrand.New(seed),
+		rules: map[Point]*rule{},
+		fired: map[Point]int{},
+	}
+}
+
+// Enable arms p to fire with the given probability on every visit.
+func (in *Injector) Enable(p Point, prob float64) { in.EnableN(p, prob, -1) }
+
+// EnableN arms p to fire with the given probability at most n times
+// (n < 0 means unlimited).
+func (in *Injector) EnableN(p Point, prob float64, n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules[p] = &rule{prob: prob, remaining: n}
+}
+
+// EnableLatency arms p so that Delay sleeps d with the given probability
+// on each visit.
+func (in *Injector) EnableLatency(p Point, prob float64, d time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules[p] = &rule{prob: prob, remaining: -1, latency: d}
+}
+
+// Disable disarms p.
+func (in *Injector) Disable(p Point) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.rules, p)
+}
+
+// Fire reports whether failure point p fires on this visit, consuming
+// one fire from a bounded budget when it does. Nil-safe.
+func (in *Injector) Fire(p Point) bool {
+	if in == nil {
+		return false
+	}
+	fired, _ := in.fire(p)
+	return fired
+}
+
+// fire decides one visit under the lock, returning whether p fired and
+// the latency to apply if it did.
+func (in *Injector) fire(p Point) (bool, time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r := in.rules[p]
+	if r == nil || r.remaining == 0 {
+		return false, 0
+	}
+	if r.prob < 1 && in.rng.Float64() >= r.prob {
+		return false, 0
+	}
+	if r.remaining > 0 {
+		r.remaining--
+	}
+	in.fired[p]++
+	return true, r.latency
+}
+
+// Err returns an ErrInjected-wrapped error when p fires, nil otherwise.
+// Nil-safe.
+func (in *Injector) Err(p Point) error {
+	if in == nil {
+		return nil
+	}
+	if fired, _ := in.fire(p); fired {
+		return fmt.Errorf("%w at %s", ErrInjected, p)
+	}
+	return nil
+}
+
+// Delay sleeps the armed latency when p fires. The sleep happens outside
+// the injector lock so concurrent visits to other points are not
+// serialized behind it. Nil-safe.
+func (in *Injector) Delay(p Point) {
+	if in == nil {
+		return
+	}
+	if fired, d := in.fire(p); fired && d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Fired returns how many times p has fired, for test assertions that the
+// chaos actually happened.
+func (in *Injector) Fired(p Point) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[p]
+}

@@ -1,0 +1,113 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.Fire(InsertFault) {
+		t.Fatal("nil injector fired")
+	}
+	if err := in.Err(SolverNewton); err != nil {
+		t.Fatalf("nil injector errored: %v", err)
+	}
+	in.Delay(InsertLatency) // must not panic
+	if in.Fired(InsertFault) != 0 {
+		t.Fatal("nil injector counted fires")
+	}
+}
+
+func TestUnarmedPointNeverFires(t *testing.T) {
+	in := New(1)
+	for i := 0; i < 100; i++ {
+		if in.Fire(InsertFault) {
+			t.Fatal("unarmed point fired")
+		}
+	}
+}
+
+func TestCertainFireAndCount(t *testing.T) {
+	in := New(1)
+	in.Enable(InsertFault, 1)
+	for i := 0; i < 5; i++ {
+		if !in.Fire(InsertFault) {
+			t.Fatal("armed point did not fire at prob 1")
+		}
+	}
+	if got := in.Fired(InsertFault); got != 5 {
+		t.Fatalf("Fired = %d", got)
+	}
+	in.Disable(InsertFault)
+	if in.Fire(InsertFault) {
+		t.Fatal("disabled point fired")
+	}
+}
+
+func TestErrWrapsSentinel(t *testing.T) {
+	in := New(1)
+	in.Enable(SolverNewton, 1)
+	err := in.Err(SolverNewton)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	if in.Err(SolverFixedPoint) != nil {
+		t.Fatal("unarmed point errored")
+	}
+}
+
+func TestFireBudget(t *testing.T) {
+	in := New(1)
+	in.EnableN(InsertFault, 1, 3)
+	fires := 0
+	for i := 0; i < 10; i++ {
+		if in.Fire(InsertFault) {
+			fires++
+		}
+	}
+	if fires != 3 {
+		t.Fatalf("fired %d times, budget was 3", fires)
+	}
+}
+
+func TestProbabilisticFiringIsDeterministic(t *testing.T) {
+	run := func() []bool {
+		in := New(42)
+		in.Enable(InsertFault, 0.5)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Fire(InsertFault)
+		}
+		return out
+	}
+	a, b := run(), run()
+	someFired, someDidNot := false, false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("visit %d differs across identical seeds", i)
+		}
+		if a[i] {
+			someFired = true
+		} else {
+			someDidNot = true
+		}
+	}
+	if !someFired || !someDidNot {
+		t.Fatalf("prob 0.5 produced a constant sequence: %v", a)
+	}
+}
+
+func TestDelaySleepsWhenArmed(t *testing.T) {
+	in := New(1)
+	in.EnableLatency(QueryLatency, 1, 5*time.Millisecond)
+	start := time.Now()
+	in.Delay(QueryLatency)
+	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+		t.Fatalf("Delay returned after %v", elapsed)
+	}
+	if in.Fired(QueryLatency) != 1 {
+		t.Fatalf("Fired = %d", in.Fired(QueryLatency))
+	}
+}

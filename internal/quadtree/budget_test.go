@@ -1,0 +1,146 @@
+package quadtree
+
+import (
+	"testing"
+
+	"popana/internal/geom"
+	"popana/internal/xrand"
+)
+
+func TestRangeBudgetedTruncates(t *testing.T) {
+	rng := xrand.New(7)
+	tr := MustNew[int](Config{Capacity: 2})
+	for i, p := range randomPoints(rng, 2000) {
+		mustInsertV(t, tr, p, i)
+	}
+	full := tr.RangeCounted(geom.UnitSquare, func(geom.Point, int) bool { return true })
+	if full.Truncated {
+		t.Fatalf("unbudgeted traversal truncated: %+v", full)
+	}
+	if full.Matched != 2000 {
+		t.Fatalf("full scan matched %d", full.Matched)
+	}
+
+	const budget = 16
+	got := 0
+	st := tr.RangeBudgeted(geom.UnitSquare, budget, func(geom.Point, int) bool {
+		got++
+		return true
+	})
+	if !st.Truncated {
+		t.Fatalf("budget %d did not truncate a %d-node scan: %+v", budget, full.NodesVisited, st)
+	}
+	if st.NodesVisited > budget {
+		t.Fatalf("visited %d nodes, budget %d", st.NodesVisited, budget)
+	}
+	if got != st.Matched {
+		t.Fatalf("callback count %d != Matched %d", got, st.Matched)
+	}
+	if st.Matched >= full.Matched {
+		t.Fatalf("truncated scan matched everything (%d)", st.Matched)
+	}
+}
+
+func TestRangeBudgetedLargeBudgetEqualsUnbudgeted(t *testing.T) {
+	rng := xrand.New(8)
+	tr := MustNew[int](Config{Capacity: 4})
+	for i, p := range randomPoints(rng, 500) {
+		mustInsertV(t, tr, p, i)
+	}
+	q := geom.R(0.1, 0.1, 0.7, 0.7)
+	full := tr.RangeCounted(q, func(geom.Point, int) bool { return true })
+	budgeted := tr.RangeBudgeted(q, full.NodesVisited+1, func(geom.Point, int) bool { return true })
+	if budgeted.Truncated {
+		t.Fatalf("ample budget truncated: %+v", budgeted)
+	}
+	if budgeted != full {
+		t.Fatalf("budgeted %+v != unbudgeted %+v", budgeted, full)
+	}
+}
+
+func TestRangeBudgetedZeroAndNegativeMeanUnlimited(t *testing.T) {
+	rng := xrand.New(9)
+	tr := MustNew[int](Config{Capacity: 2})
+	for i, p := range randomPoints(rng, 300) {
+		mustInsertV(t, tr, p, i)
+	}
+	for _, budget := range []int{0, -5} {
+		st := tr.RangeBudgeted(geom.UnitSquare, budget, func(geom.Point, int) bool { return true })
+		if st.Truncated || st.Matched != 300 {
+			t.Fatalf("budget %d: %+v", budget, st)
+		}
+	}
+}
+
+// TestMaxDepthAdversarialCluster: hundreds of near-coincident points —
+// the worst case for a regular decomposition, which would otherwise
+// split forever trying to separate them — must terminate at MaxDepth
+// with the overflow absorbed into one deep leaf, and stay fully
+// queryable and deletable.
+func TestMaxDepthAdversarialCluster(t *testing.T) {
+	const (
+		maxDepth = 8
+		n        = 300
+	)
+	tr := MustNew[int](Config{Capacity: 2, MaxDepth: maxDepth})
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		// Distinct points packed into a span of ~3e-11 — far below the
+		// 2^-8 leaf size at MaxDepth, so they can never be separated.
+		pts[i] = geom.Pt(0.30000000001+float64(i)*1e-13, 0.70000000001)
+		mustInsertV(t, tr, pts[i], i)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	c := tr.Census()
+	if c.Height > maxDepth {
+		t.Fatalf("height %d exceeds max depth %d", c.Height, maxDepth)
+	}
+	for i, p := range pts {
+		if v, ok := tr.Get(p); !ok || v != i {
+			t.Fatalf("Get(%v) = %v, %v", p, v, ok)
+		}
+	}
+	// Range over the cluster sees every point and terminates.
+	box := geom.R(0.3, 0.7, 0.30001, 0.70001)
+	if got := tr.CountRange(box); got != n {
+		t.Fatalf("CountRange = %d, want %d", got, n)
+	}
+	// Deleting half the cluster keeps the rest intact.
+	for i := 0; i < n/2; i++ {
+		if !tr.Delete(pts[i]) {
+			t.Fatalf("Delete(%v) failed", pts[i])
+		}
+	}
+	if tr.Len() != n-n/2 {
+		t.Fatalf("Len after deletes = %d", tr.Len())
+	}
+	for i := n / 2; i < n; i++ {
+		if !tr.Contains(pts[i]) {
+			t.Fatalf("survivor %v lost after deletes", pts[i])
+		}
+	}
+}
+
+// TestMaxDepthCoincidentReplacement: exactly coincident points are a
+// replacement, not an occupancy explosion, even at tiny MaxDepth.
+func TestMaxDepthCoincidentReplacement(t *testing.T) {
+	tr := MustNew[int](Config{Capacity: 1, MaxDepth: 2})
+	p := geom.Pt(0.125, 0.125)
+	for i := 0; i < 50; i++ {
+		replaced, err := tr.Insert(p, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (i == 0) == replaced {
+			t.Fatalf("insert %d: replaced = %v", i, replaced)
+		}
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if v, _ := tr.Get(p); v != 49 {
+		t.Fatalf("value %v", v)
+	}
+}

@@ -70,17 +70,35 @@ type RangeStats struct {
 	RecordsScanned int
 	// Matched counts points inside the query.
 	Matched int
+	// Truncated reports that a node-visit budget stopped the traversal
+	// before it finished; the results delivered so far are a partial
+	// answer.
+	Truncated bool
 }
 
 // RangeCounted is Range with instrumentation: it returns the traversal
 // statistics alongside invoking visit for each match.
 func (t *Tree[V]) RangeCounted(query geom.Rect, visit Visit[V]) RangeStats {
+	return t.RangeBudgeted(query, 0, visit)
+}
+
+// RangeBudgeted is RangeCounted with a guardrail: the traversal stops
+// after descending into maxNodes nodes, marking the returned stats
+// Truncated and leaving whatever matches were delivered so far as a
+// partial result. maxNodes <= 0 means unlimited. It bounds the worst
+// case of adversarially large or clustered tables, where an unbudgeted
+// window query can touch every block.
+func (t *Tree[V]) RangeBudgeted(query geom.Rect, maxNodes int, visit Visit[V]) RangeStats {
 	var st RangeStats
-	rangeCounted(t.root, t.cfg.Region, query, visit, &st)
+	rangeCounted(t.root, t.cfg.Region, query, visit, &st, maxNodes)
 	return st
 }
 
-func rangeCounted[V any](n *node[V], block, query geom.Rect, visit Visit[V], st *RangeStats) bool {
+func rangeCounted[V any](n *node[V], block, query geom.Rect, visit Visit[V], st *RangeStats, maxNodes int) bool {
+	if maxNodes > 0 && st.NodesVisited >= maxNodes {
+		st.Truncated = true
+		return false
+	}
 	st.NodesVisited++
 	if n.leaf() {
 		st.LeavesVisited++
@@ -100,7 +118,7 @@ func rangeCounted[V any](n *node[V], block, query geom.Rect, visit Visit[V], st 
 		if !child.Intersects(query) && !touchesClosed(child, query) {
 			continue
 		}
-		if !rangeCounted(n.children[q], child, query, visit, st) {
+		if !rangeCounted(n.children[q], child, query, visit, st, maxNodes) {
 			return false
 		}
 	}

@@ -1,0 +1,95 @@
+package solver
+
+import (
+	"errors"
+	"fmt"
+
+	"popana/internal/vecmat"
+)
+
+// ErrLadderExhausted is wrapped by the error Ladder returns when every
+// rung — Newton and each damped fixed-point variant — has failed.
+var ErrLadderExhausted = errors.New("solver: fallback ladder exhausted")
+
+// Attempt records one rung of a fallback-ladder solve: which method ran
+// (or was failed by fault injection before running), with what damping,
+// and how it ended.
+type Attempt struct {
+	// Method is "newton" or "fixed-point".
+	Method string
+	// Damping is the relaxation factor ω of a fixed-point rung; zero for
+	// Newton.
+	Damping float64
+	// Iterations and Residual are the rung's final diagnostics (zero when
+	// the rung was failed by fault injection before running).
+	Iterations int
+	Residual   float64
+	// Err is nil iff the rung converged.
+	Err error
+}
+
+// LadderConfig tunes a fallback-ladder solve.
+type LadderConfig struct {
+	// Options applies to every rung (Damping is overridden per rung).
+	Options Options
+	// MinDamping is the smallest relaxation factor tried before giving
+	// up. Zero means 1/16.
+	MinDamping float64
+	// Fault, when non-nil, is consulted before each rung with the rung's
+	// method name and damping; returning a non-nil error fails the rung
+	// without running it. It exists as a fault-injection hook for chaos
+	// tests and stays nil in production.
+	Fault func(method string, damping float64) error
+}
+
+// Ladder solves the fixed-point problem x = f(x) by an escalating
+// fallback ladder: Newton–Raphson on F(x) = f(x) − x first (quadratic
+// convergence when it works), then fixed-point iteration with damping
+// ω = 1, 1/2, 1/4, ..., MinDamping. Damping trades speed for stability:
+// an undamped iteration that oscillates between two states converges
+// once averaged with its previous iterate, so each rung retries the
+// solve with a more conservative step — backoff in step size rather
+// than in time. The first converged rung wins; every attempt, including
+// failures, is returned for diagnostics.
+func Ladder(f func(vecmat.Vec) vecmat.Vec, x0 vecmat.Vec, cfg LadderConfig) (Result, []Attempt, error) {
+	minDamping := cfg.MinDamping
+	if minDamping <= 0 {
+		minDamping = 1.0 / 16
+	}
+	var attempts []Attempt
+	run := func(method string, damping float64, solve func() (Result, error)) (Result, bool) {
+		if cfg.Fault != nil {
+			if err := cfg.Fault(method, damping); err != nil {
+				attempts = append(attempts, Attempt{Method: method, Damping: damping, Err: err})
+				return Result{}, false
+			}
+		}
+		res, err := solve()
+		attempts = append(attempts, Attempt{
+			Method:     method,
+			Damping:    damping,
+			Iterations: res.Iterations,
+			Residual:   res.Residual,
+			Err:        err,
+		})
+		return res, err == nil && res.Converged
+	}
+
+	F := func(x vecmat.Vec) vecmat.Vec { return f(x).Sub(x) }
+	if res, ok := run("newton", 0, func() (Result, error) {
+		return Newton(F, x0, cfg.Options)
+	}); ok {
+		return res, attempts, nil
+	}
+	for omega := 1.0; omega >= minDamping*(1-1e-12); omega /= 2 {
+		opts := cfg.Options
+		opts.Damping = omega
+		if res, ok := run("fixed-point", omega, func() (Result, error) {
+			return FixedPoint(f, x0, opts)
+		}); ok {
+			return res, attempts, nil
+		}
+	}
+	return Result{}, attempts,
+		fmt.Errorf("solver: all %d ladder rungs failed: %w", len(attempts), ErrLadderExhausted)
+}

@@ -1,0 +1,136 @@
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"popana/internal/vecmat"
+)
+
+// TestLadderNewtonWinsFirst: on a benign linear contraction the Newton
+// rung converges immediately and no fallback runs.
+func TestLadderNewtonWinsFirst(t *testing.T) {
+	f := func(x vecmat.Vec) vecmat.Vec {
+		return vecmat.Vec{0.5*x[0] + 1} // fixed point 2
+	}
+	res, attempts, err := Ladder(f, vecmat.Vec{0}, LadderConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || math.Abs(res.X[0]-2) > 1e-10 {
+		t.Fatalf("result %+v", res)
+	}
+	if len(attempts) != 1 || attempts[0].Method != "newton" || attempts[0].Err != nil {
+		t.Fatalf("attempts %+v", attempts)
+	}
+}
+
+// TestLadderDampedRungRescuesOscillation is the case the ladder exists
+// for: the coordinate-swap map f(x, y) = (y, x). Newton fails outright
+// (the Jacobian of f(v)−v is singular everywhere), the undamped fixed
+// point oscillates forever between (a, b) and (b, a), but ω = 1/2
+// averages the oscillation away and converges in two iterations.
+func TestLadderDampedRungRescuesOscillation(t *testing.T) {
+	swap := func(x vecmat.Vec) vecmat.Vec {
+		return vecmat.Vec{x[1], x[0]}
+	}
+	x0 := vecmat.Vec{0.25, 0.75}
+	res, attempts, err := Ladder(swap, x0, LadderConfig{
+		Options: Options{MaxIterations: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("result %+v", res)
+	}
+	if math.Abs(res.X[0]-0.5) > 1e-12 || math.Abs(res.X[1]-0.5) > 1e-12 {
+		t.Fatalf("converged to %v, want (0.5, 0.5)", res.X)
+	}
+	if len(attempts) != 3 {
+		t.Fatalf("attempts %+v", attempts)
+	}
+	if attempts[0].Method != "newton" || attempts[0].Err == nil {
+		t.Fatalf("Newton should have failed: %+v", attempts[0])
+	}
+	if attempts[1].Damping != 1 || attempts[1].Err == nil {
+		t.Fatalf("undamped rung should have oscillated: %+v", attempts[1])
+	}
+	if attempts[2].Damping != 0.5 || attempts[2].Err != nil {
+		t.Fatalf("damped rung should have converged: %+v", attempts[2])
+	}
+}
+
+// TestLadderFaultHookFailsRungs: a fault hook that rejects Newton and
+// the undamped rung forces the solve onto the first damped rung.
+func TestLadderFaultHookFailsRungs(t *testing.T) {
+	injected := errors.New("injected")
+	f := func(x vecmat.Vec) vecmat.Vec {
+		return vecmat.Vec{0.5*x[0] + 1}
+	}
+	res, attempts, err := Ladder(f, vecmat.Vec{0}, LadderConfig{
+		Fault: func(method string, damping float64) error {
+			if method == "newton" || damping == 1 {
+				return injected
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || math.Abs(res.X[0]-2) > 1e-10 {
+		t.Fatalf("result %+v", res)
+	}
+	if len(attempts) != 3 {
+		t.Fatalf("attempts %+v", attempts)
+	}
+	if !errors.Is(attempts[0].Err, injected) || !errors.Is(attempts[1].Err, injected) {
+		t.Fatalf("fault hook not recorded: %+v", attempts[:2])
+	}
+	if attempts[2].Method != "fixed-point" || attempts[2].Damping != 0.5 || attempts[2].Err != nil {
+		t.Fatalf("surviving rung %+v", attempts[2])
+	}
+}
+
+// TestLadderExhausted: when every rung is failed the error wraps
+// ErrLadderExhausted and every attempt carries an error.
+func TestLadderExhausted(t *testing.T) {
+	f := func(x vecmat.Vec) vecmat.Vec { return x.Clone() }
+	_, attempts, err := Ladder(f, vecmat.Vec{1}, LadderConfig{
+		Fault: func(method string, damping float64) error {
+			return fmt.Errorf("forced failure of %s ω=%g", method, damping)
+		},
+	})
+	if !errors.Is(err, ErrLadderExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	// Newton plus ω = 1, 1/2, 1/4, 1/8, 1/16.
+	if len(attempts) != 6 {
+		t.Fatalf("attempts %+v", attempts)
+	}
+	for i, a := range attempts {
+		if a.Err == nil {
+			t.Fatalf("attempt %d succeeded: %+v", i, a)
+		}
+	}
+}
+
+// TestLadderMinDamping: a custom floor shortens the ladder.
+func TestLadderMinDamping(t *testing.T) {
+	_, attempts, err := Ladder(func(x vecmat.Vec) vecmat.Vec { return x.Clone() },
+		vecmat.Vec{1}, LadderConfig{
+			MinDamping: 0.5,
+			Fault: func(string, float64) error {
+				return errors.New("forced")
+			},
+		})
+	if !errors.Is(err, ErrLadderExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(attempts) != 3 { // newton, ω=1, ω=1/2
+		t.Fatalf("attempts %+v", attempts)
+	}
+}

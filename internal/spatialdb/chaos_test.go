@@ -1,0 +1,220 @@
+package spatialdb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"popana/internal/faultinject"
+	"popana/internal/geom"
+	"popana/internal/xrand"
+)
+
+// TestChaosConcurrentTableUnderFaults hammers one table from many
+// goroutines — inserts interleaved with window selects, EXPLAIN, stats,
+// and point lookups — while the injector fails a fifth of the inserts
+// and sprinkles latency on both paths. Invariants checked afterwards:
+// the record count equals the number of successful inserts, every
+// successful insert is retrievable (no lost writes), every injected
+// failure left no trace (no phantom writes), and no query or EXPLAIN
+// ever errored or panicked. Run under -race this also certifies the
+// locking.
+func TestChaosConcurrentTableUnderFaults(t *testing.T) {
+	const (
+		workers   = 10
+		perWorker = 250
+	)
+	inj := faultinject.New(99)
+	inj.Enable(faultinject.InsertFault, 0.2)
+	inj.EnableLatency(faultinject.InsertLatency, 0.02, 100*time.Microsecond)
+	inj.EnableLatency(faultinject.QueryLatency, 0.02, 100*time.Microsecond)
+
+	db := NewDB()
+	db.SetFaultInjector(inj)
+	tab, err := db.CreateTable("chaos", 4, geom.UnitSquare)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	inserted := make([][]Record, workers)
+	failed := make([][]Record, workers)
+	errCh := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(w)*7919 + 1)
+			for i := 0; i < perWorker; i++ {
+				rec := Record{
+					ID:   uint64(w*perWorker + i),
+					Loc:  geom.Pt(rng.Float64(), rng.Float64()),
+					Data: w,
+				}
+				switch err := tab.Insert(rec); {
+				case err == nil:
+					inserted[w] = append(inserted[w], rec)
+				case errors.Is(err, faultinject.ErrInjected):
+					failed[w] = append(failed[w], rec)
+				default:
+					errCh <- fmt.Errorf("worker %d: unexpected insert error: %w", w, err)
+				}
+				if i%5 == 0 {
+					cx, cy := rng.Float64(), rng.Float64()
+					win := geom.R(cx*0.5, cy*0.5, cx*0.5+0.3, cy*0.5+0.3)
+					if _, _, err := tab.Select(Query{Window: &win, MaxNodes: 64}); err != nil {
+						errCh <- fmt.Errorf("worker %d: select: %w", w, err)
+					}
+					if _, err := tab.Explain(Query{Window: &win}); err != nil {
+						errCh <- fmt.Errorf("worker %d: explain: %w", w, err)
+					}
+				}
+				if i%11 == 0 {
+					tab.Stats()
+					tab.Get(uint64(rng.Intn(workers * perWorker)))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	total := 0
+	for _, recs := range inserted {
+		total += len(recs)
+	}
+	if got := tab.Len(); got != total {
+		t.Fatalf("Len = %d, successful inserts = %d", got, total)
+	}
+	for w, recs := range inserted {
+		for _, rec := range recs {
+			got, ok := tab.Get(rec.ID)
+			if !ok || got.Loc != rec.Loc {
+				t.Fatalf("worker %d: lost insert %d (got %+v, %v)", w, rec.ID, got, ok)
+			}
+		}
+	}
+	for w, recs := range failed {
+		for _, rec := range recs {
+			if _, ok := tab.Get(rec.ID); ok {
+				t.Fatalf("worker %d: injected failure %d left a phantom record", w, rec.ID)
+			}
+		}
+	}
+	// The chaos must actually have happened for the run to mean anything.
+	if inj.Fired(faultinject.InsertFault) == 0 {
+		t.Error("no insert faults fired")
+	}
+	// The full table is still consistent under a clean scan.
+	w := geom.UnitSquare
+	out, cost, err := tab.Select(Query{Window: &w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Truncated || len(out) != total {
+		t.Fatalf("final scan: %d records (want %d), cost %+v", len(out), total, cost)
+	}
+}
+
+// TestChaosInsertDeleteChurn mixes concurrent inserts and deletes on
+// disjoint ID ranges and checks the final count and membership exactly.
+func TestChaosInsertDeleteChurn(t *testing.T) {
+	const (
+		workers   = 8
+		perWorker = 200
+	)
+	inj := faultinject.New(5)
+	inj.Enable(faultinject.InsertFault, 0.1)
+	db := NewDB()
+	db.SetFaultInjector(inj)
+	tab, err := db.CreateTable("churn", 2, geom.UnitSquare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	kept := make([]map[uint64]geom.Point, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(w) + 101)
+			kept[w] = map[uint64]geom.Point{}
+			for i := 0; i < perWorker; i++ {
+				id := uint64(w*perWorker + i)
+				rec := Record{ID: id, Loc: geom.Pt(rng.Float64(), rng.Float64())}
+				if err := tab.Insert(rec); err != nil {
+					continue // injected; must leave no trace
+				}
+				kept[w][id] = rec.Loc
+				// Delete every third successful insert again.
+				if len(kept[w])%3 == 0 {
+					if !tab.Delete(id) {
+						t.Errorf("worker %d: delete of fresh insert %d failed", w, id)
+					}
+					delete(kept[w], id)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := 0
+	for _, m := range kept {
+		want += len(m)
+	}
+	if got := tab.Len(); got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	for w, m := range kept {
+		for id, loc := range m {
+			got, ok := tab.Get(id)
+			if !ok || got.Loc != loc {
+				t.Fatalf("worker %d: record %d lost", w, id)
+			}
+		}
+	}
+}
+
+// TestConcurrentDDLAndTraffic exercises the catalog lock: goroutines
+// create, use, list, and drop their own tables simultaneously.
+func TestConcurrentDDLAndTraffic(t *testing.T) {
+	const workers = 8
+	db := NewDB()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(w) + 1)
+			for round := 0; round < 5; round++ {
+				name := fmt.Sprintf("t%d-%d", w, round)
+				tab, err := db.CreateTable(name, 1+w%4, geom.UnitSquare)
+				if err != nil {
+					t.Errorf("create %s: %v", name, err)
+					return
+				}
+				for i := 0; i < 50; i++ {
+					rec := Record{ID: uint64(i), Loc: geom.Pt(rng.Float64(), rng.Float64())}
+					if err := tab.Insert(rec); err != nil {
+						t.Errorf("insert into %s: %v", name, err)
+					}
+				}
+				if got, err := db.Table(name); err != nil || got != tab {
+					t.Errorf("lookup %s: %v", name, err)
+				}
+				db.Tables()
+				if err := db.DropTable(name); err != nil {
+					t.Errorf("drop %s: %v", name, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if names := db.Tables(); len(names) != 0 {
+		t.Fatalf("tables left behind: %v", names)
+	}
+}

@@ -1,0 +1,267 @@
+package spatialdb
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"popana/internal/faultinject"
+	"popana/internal/geom"
+)
+
+func TestInsertRejectsInvalidPoints(t *testing.T) {
+	db := NewDB()
+	tab, err := db.CreateTable("t", 4, geom.UnitSquare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []geom.Point{
+		geom.Pt(math.NaN(), 0.5),
+		geom.Pt(0.5, math.NaN()),
+		geom.Pt(math.Inf(1), 0.5),
+		geom.Pt(0.5, math.Inf(-1)),
+	}
+	for _, p := range bad {
+		err := tab.Insert(Record{ID: 1, Loc: p})
+		if !errors.Is(err, ErrInvalidPoint) {
+			t.Errorf("Insert(%v) = %v, want ErrInvalidPoint", p, err)
+		}
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("invalid inserts changed Len to %d", tab.Len())
+	}
+}
+
+func TestCreateTableRejectsDegenerateRegions(t *testing.T) {
+	db := NewDB()
+	bad := []geom.Rect{
+		geom.R(0, 0, 0, 1),                     // zero width
+		geom.R(0, 0, 1, 0),                     // zero height
+		geom.R(1, 0, 0, 1),                     // inverted
+		geom.R(0, 0, math.NaN(), 1),            // NaN corner
+		geom.R(0, 0, math.Inf(1), 1),           // infinite corner
+		geom.R(0.3, 0.3, 0.3, 0.3),             // a point
+		{MinX: math.Inf(-1), MaxX: 1, MaxY: 1}, // infinite corner
+	}
+	for i, r := range bad {
+		if _, err := db.CreateTable("t", 4, r); !errors.Is(err, ErrInvalidRegion) {
+			t.Errorf("region %d %v: err = %v, want ErrInvalidRegion", i, r, err)
+		}
+	}
+	// The zero Rect still selects the unit square.
+	tab, err := db.CreateTable("t", 4, geom.Rect{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab == nil {
+		t.Fatal("nil table")
+	}
+}
+
+func TestQueryValidationTypedErrors(t *testing.T) {
+	db := NewDB()
+	tab, _ := db.CreateTable("t", 4, geom.UnitSquare)
+	fill(t, tab, 50, 11)
+
+	nanWindow := geom.R(0, 0, math.NaN(), 1)
+	if _, _, err := tab.Select(Query{Window: &nanWindow}); !errors.Is(err, ErrInvalidRegion) {
+		t.Errorf("NaN window: %v", err)
+	}
+	flat := geom.R(0.2, 0.2, 0.2, 0.8)
+	if _, _, err := tab.Select(Query{Window: &flat}); !errors.Is(err, ErrInvalidRegion) {
+		t.Errorf("zero-area window: %v", err)
+	}
+	if _, _, err := tab.Select(Query{Nearest: &NearestSpec{At: geom.Pt(math.NaN(), 0), K: 1}}); !errors.Is(err, ErrInvalidPoint) {
+		t.Errorf("NaN nearest: %v", err)
+	}
+	if _, _, err := tab.Select(Query{Within: &WithinSpec{At: geom.Pt(math.Inf(1), 0), Radius: 0.1}}); !errors.Is(err, ErrInvalidPoint) {
+		t.Errorf("Inf within: %v", err)
+	}
+	if _, _, err := tab.Select(Query{Within: &WithinSpec{At: geom.Pt(0.5, 0.5), Radius: math.NaN()}}); err == nil {
+		t.Error("NaN radius accepted")
+	}
+	if _, _, err := tab.Select(Query{Within: &WithinSpec{At: geom.Pt(0.5, 0.5), Radius: math.Inf(1)}}); err == nil {
+		t.Error("Inf radius accepted")
+	}
+	// Explain shares the same validation.
+	if _, err := tab.Explain(Query{Window: &nanWindow}); !errors.Is(err, ErrInvalidRegion) {
+		t.Errorf("Explain NaN window: %v", err)
+	}
+}
+
+func TestQueryBudgetTruncates(t *testing.T) {
+	db := NewDB()
+	tab, _ := db.CreateTable("t", 2, geom.UnitSquare)
+	fill(t, tab, 3000, 12)
+	w := geom.UnitSquare
+
+	full, fullCost, err := tab.Select(Query{Window: &w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullCost.Truncated || len(full) != 3000 {
+		t.Fatalf("unbudgeted select: %d records, cost %+v", len(full), fullCost)
+	}
+
+	part, cost, err := tab.Select(Query{Window: &w, MaxNodes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cost.Truncated {
+		t.Fatalf("budget 16 not truncated: %+v", cost)
+	}
+	if cost.NodesVisited > 16 {
+		t.Fatalf("visited %d nodes over budget", cost.NodesVisited)
+	}
+	if len(part) == 0 || len(part) >= len(full) {
+		t.Fatalf("partial result has %d records (full %d)", len(part), len(full))
+	}
+
+	// Radius queries honor the budget too.
+	_, cost, err = tab.Select(Query{Within: &WithinSpec{At: geom.Pt(0.5, 0.5), Radius: 0.5}, MaxNodes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cost.Truncated {
+		t.Fatalf("radius budget not truncated: %+v", cost)
+	}
+
+	// An ample budget changes nothing.
+	all, cost, err := tab.Select(Query{Window: &w, MaxNodes: fullCost.NodesVisited + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Truncated || len(all) != len(full) {
+		t.Fatalf("ample budget: %d records, %+v", len(all), cost)
+	}
+}
+
+// TestCreateTableSolveCache: the first table of a given capacity pays
+// the iterative solve (and logs its attempts); later tables of the same
+// capacity hit the per-(capacity, fanout) cache.
+func TestCreateTableSolveCache(t *testing.T) {
+	// Capacity 13 is not used by any other test in this package, so the
+	// first creation here is the process-wide cache miss.
+	const capacity = 13
+	db := NewDB()
+	t1, err := db.CreateTable("first", capacity, geom.UnitSquare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1.SolveAttempts()) == 0 {
+		t.Fatal("first creation recorded no solve attempts")
+	}
+	t2, err := db.CreateTable("second", capacity, geom.UnitSquare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2.SolveAttempts()) != 0 {
+		t.Fatalf("second creation re-solved: %+v", t2.SolveAttempts())
+	}
+	s1, s2 := t1.Stats(), t2.Stats()
+	if s1.ModelOccupancy != s2.ModelOccupancy {
+		t.Fatalf("cached occupancy %v != solved %v", s2.ModelOccupancy, s1.ModelOccupancy)
+	}
+	if s1.ModelApproximate || s2.ModelApproximate {
+		t.Fatal("clean solve marked approximate")
+	}
+}
+
+// TestCreateTableDegradesWhenAllRungsFail: with every solver rung
+// forced to fail, CreateTable still succeeds, the occupancy falls back
+// to the closed-form heuristic, and estimates are flagged approximate.
+func TestCreateTableDegradesWhenAllRungsFail(t *testing.T) {
+	inj := faultinject.New(7)
+	inj.Enable(faultinject.SolverNewton, 1)
+	inj.Enable(faultinject.SolverFixedPoint, 1)
+	db := NewDB()
+	db.SetFaultInjector(inj)
+	tab, err := db.CreateTable("degraded", 4, geom.UnitSquare)
+	if err != nil {
+		t.Fatalf("CreateTable failed instead of degrading: %v", err)
+	}
+	attempts := tab.SolveAttempts()
+	if len(attempts) < 2 {
+		t.Fatalf("attempts %+v", attempts)
+	}
+	for i, a := range attempts {
+		if !errors.Is(a.Err, faultinject.ErrInjected) {
+			t.Fatalf("attempt %d not injected: %+v", i, a)
+		}
+	}
+	st := tab.Stats()
+	if !st.ModelApproximate {
+		t.Fatal("degraded table not marked approximate")
+	}
+	if st.ModelOccupancy <= 0 || st.ModelOccupancy > 4 {
+		t.Fatalf("heuristic occupancy %v out of range", st.ModelOccupancy)
+	}
+	// The table remains fully usable and EXPLAIN stays sane.
+	fill(t, tab, 500, 13)
+	w := geom.R(0.2, 0.2, 0.7, 0.7)
+	est, err := tab.Explain(Query{Window: &w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Approximate {
+		t.Fatalf("estimate not flagged approximate: %+v", est)
+	}
+	if est.Blocks <= 0 || math.IsNaN(est.Blocks) {
+		t.Fatalf("degraded estimate %+v", est)
+	}
+	out, _, err := tab.Select(Query{Window: &w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("degraded table returned nothing")
+	}
+}
+
+// TestPartialSolveFailureStillExact: if only Newton is forced to fail
+// the fixed-point rung rescues the solve and nothing is approximate.
+func TestPartialSolveFailureStillExact(t *testing.T) {
+	inj := faultinject.New(7)
+	inj.Enable(faultinject.SolverNewton, 1)
+	db := NewDB()
+	db.SetFaultInjector(inj)
+	tab, err := db.CreateTable("rescued", 4, geom.UnitSquare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Stats().ModelApproximate {
+		t.Fatal("rescued solve marked approximate")
+	}
+	attempts := tab.SolveAttempts()
+	if len(attempts) != 2 || !errors.Is(attempts[0].Err, faultinject.ErrInjected) || attempts[1].Err != nil {
+		t.Fatalf("attempts %+v", attempts)
+	}
+}
+
+func TestInjectedInsertFaultIsAtomic(t *testing.T) {
+	inj := faultinject.New(3)
+	db := NewDB()
+	db.SetFaultInjector(inj)
+	tab, err := db.CreateTable("t", 4, geom.UnitSquare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Enable(faultinject.InsertFault, 1)
+	rec := Record{ID: 1, Loc: geom.Pt(0.5, 0.5)}
+	if err := tab.Insert(rec); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("failed insert left %d records", tab.Len())
+	}
+	if _, ok := tab.Get(1); ok {
+		t.Fatal("failed insert left the ID mapping behind")
+	}
+	inj.Disable(faultinject.InsertFault)
+	if err := tab.Insert(rec); err != nil {
+		t.Fatalf("insert after disabling faults: %v", err)
+	}
+	if got, ok := tab.Get(1); !ok || got.Loc != rec.Loc {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+}

@@ -10,6 +10,32 @@
 // of blocks a window query must touch, before a single page is read.
 // Explain returns that estimate next to the measured traversal cost so
 // callers can see the model earning its keep.
+//
+// # Resilience
+//
+// The layer is built to serve concurrent traffic and to degrade rather
+// than fail:
+//
+//   - DB and Table are safe for concurrent readers and writers: the DB
+//     guards its catalog with an RWMutex and every table has its own,
+//     so traffic on one table never blocks another.
+//   - Inputs are validated at the API boundary: NaN/Inf coordinates and
+//     degenerate regions are rejected with the typed errors
+//     ErrInvalidPoint and ErrInvalidRegion before they can corrupt the
+//     index or send a traversal into undefined territory.
+//   - Queries accept an optional node-visit budget (Query.MaxNodes);
+//     a query that exhausts it returns the partial result with
+//     Cost.Truncated set instead of traversing without bound.
+//   - CreateTable solves the population model through a fallback
+//     ladder (Newton → fixed point → escalating damping); if every
+//     rung fails it falls back to a closed-form occupancy heuristic
+//     and marks the table's estimates approximate rather than failing
+//     table creation. Solved distributions are cached per
+//     (capacity, fanout), so repeated CreateTable calls are O(1)
+//     after the first solve.
+//   - Deterministic failure points (package faultinject) can be armed
+//     for chaos testing; the production default is a nil injector that
+//     costs one pointer comparison per operation.
 package spatialdb
 
 import (
@@ -17,10 +43,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"popana/internal/core"
+	"popana/internal/faultinject"
 	"popana/internal/geom"
 	"popana/internal/quadtree"
+	"popana/internal/solver"
 )
 
 // ErrNoTable is returned for operations on unknown table names.
@@ -28,6 +57,17 @@ var ErrNoTable = errors.New("spatialdb: no such table")
 
 // ErrDuplicateID is returned when inserting a record whose ID exists.
 var ErrDuplicateID = errors.New("spatialdb: duplicate record id")
+
+// ErrInvalidPoint is returned when a record location or query point has
+// a NaN or infinite coordinate.
+var ErrInvalidPoint = errors.New("spatialdb: invalid point")
+
+// ErrInvalidRegion is returned when a table region or query window is
+// degenerate: non-finite corners, inverted extents, or zero area.
+var ErrInvalidRegion = errors.New("spatialdb: invalid region")
+
+// quadFanout is the fanout of the backing PR quadtree.
+const quadFanout = 4
 
 // Record is a located row: a caller-assigned ID, a position, and an
 // arbitrary payload.
@@ -37,9 +77,33 @@ type Record struct {
 	Data any
 }
 
-// DB is a collection of named spatial tables.
+// validatePoint rejects coordinates the index cannot reason about.
+func validatePoint(p geom.Point) error {
+	if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+		return fmt.Errorf("%w: %v", ErrInvalidPoint, p)
+	}
+	return nil
+}
+
+// validateRegion rejects degenerate rectangles. The zero Rect is allowed
+// where documented (it selects the unit square).
+func validateRegion(r geom.Rect) error {
+	for _, c := range [4]float64{r.MinX, r.MinY, r.MaxX, r.MaxY} {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("%w: non-finite corner in %v", ErrInvalidRegion, r)
+		}
+	}
+	if r.MinX >= r.MaxX || r.MinY >= r.MaxY {
+		return fmt.Errorf("%w: zero or negative area %v", ErrInvalidRegion, r)
+	}
+	return nil
+}
+
+// DB is a collection of named spatial tables, safe for concurrent use.
 type DB struct {
+	mu     sync.RWMutex
 	tables map[string]*Table
+	inj    *faultinject.Injector
 }
 
 // NewDB returns an empty database.
@@ -47,10 +111,70 @@ func NewDB() *DB {
 	return &DB{tables: map[string]*Table{}}
 }
 
+// SetFaultInjector arms the database and all tables created afterwards
+// with deterministic failure points for chaos testing. Call it before
+// creating tables and before sharing the DB across goroutines; the
+// default nil injector costs nothing.
+func (db *DB) SetFaultInjector(inj *faultinject.Injector) { db.inj = inj }
+
+// solveCache memoizes the population-model occupancy per
+// (capacity, fanout): repeated table creation pays the iterative solve
+// only once per process. Only exact (non-heuristic) solves are cached,
+// and the cache is bypassed entirely while a fault injector is armed so
+// chaos runs stay deterministic.
+var solveCache sync.Map // solveKey -> float64
+
+type solveKey struct{ capacity, fanout int }
+
+// solveOccupancy returns the model-predicted records per block for a
+// node capacity. The solve runs through the fallback ladder; when every
+// rung fails the closed-form occupancy heuristic is returned with
+// approx=true, and the table's estimates are marked approximate.
+func solveOccupancy(capacity int, inj *faultinject.Injector) (occ float64, approx bool, attempts []solver.Attempt, err error) {
+	key := solveKey{capacity, quadFanout}
+	if inj == nil {
+		if v, ok := solveCache.Load(key); ok {
+			return v.(float64), false, nil, nil
+		}
+	}
+	model, err := core.NewPointModel(capacity, quadFanout)
+	if err != nil {
+		return 0, false, nil, err
+	}
+	cfg := solver.LadderConfig{}
+	if inj != nil {
+		cfg.Fault = func(method string, _ float64) error {
+			p := faultinject.SolverFixedPoint
+			if method == "newton" {
+				p = faultinject.SolverNewton
+			}
+			return inj.Err(p)
+		}
+	}
+	d, attempts, serr := model.SolveLadder(cfg)
+	if serr != nil {
+		// Every rung failed: degrade to the closed-form heuristic so
+		// table creation still succeeds, with estimates flagged.
+		return model.OccupancyHeuristic(), true, attempts, nil
+	}
+	occ = d.AverageOccupancy()
+	if inj == nil {
+		solveCache.Store(key, occ)
+	}
+	return occ, false, attempts, nil
+}
+
 // CreateTable creates a table with the given node capacity over the
 // unit square (the region every generator in this repository uses);
 // pass a non-zero region to cover other extents.
 func (db *DB) CreateTable(name string, capacity int, region geom.Rect) (*Table, error) {
+	if region != (geom.Rect{}) {
+		if err := validateRegion(region); err != nil {
+			return nil, fmt.Errorf("spatialdb: create %q: %w", name, err)
+		}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, exists := db.tables[name]; exists {
 		return nil, fmt.Errorf("spatialdb: table %q already exists", name)
 	}
@@ -58,20 +182,19 @@ func (db *DB) CreateTable(name string, capacity int, region geom.Rect) (*Table, 
 	if err != nil {
 		return nil, fmt.Errorf("spatialdb: create %q: %w", name, err)
 	}
-	model, err := core.NewPointModel(capacity, 4)
-	if err != nil {
-		return nil, fmt.Errorf("spatialdb: create %q: %w", name, err)
-	}
-	dist, err := model.Solve()
+	occ, approx, attempts, err := solveOccupancy(capacity, db.inj)
 	if err != nil {
 		return nil, fmt.Errorf("spatialdb: create %q: %w", name, err)
 	}
 	t := &Table{
-		name:     name,
-		capacity: capacity,
-		index:    idx,
-		byID:     map[uint64]geom.Point{},
-		occ:      dist.AverageOccupancy(),
+		name:      name,
+		capacity:  capacity,
+		inj:       db.inj,
+		index:     idx,
+		byID:      map[uint64]geom.Point{},
+		occ:       occ,
+		occApprox: approx,
+		attempts:  attempts,
 	}
 	db.tables[name] = t
 	return t, nil
@@ -79,6 +202,8 @@ func (db *DB) CreateTable(name string, capacity int, region geom.Rect) (*Table, 
 
 // Table returns the named table.
 func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, ok := db.tables[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
@@ -88,6 +213,8 @@ func (db *DB) Table(name string) (*Table, error) {
 
 // Tables returns the table names, sorted.
 func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	names := make([]string, 0, len(db.tables))
 	for n := range db.tables {
 		names = append(names, n)
@@ -98,6 +225,8 @@ func (db *DB) Tables() []string {
 
 // DropTable removes the named table.
 func (db *DB) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, ok := db.tables[name]; !ok {
 		return fmt.Errorf("%w: %q", ErrNoTable, name)
 	}
@@ -105,25 +234,56 @@ func (db *DB) DropTable(name string) error {
 	return nil
 }
 
-// Table is one spatially indexed record collection.
+// Table is one spatially indexed record collection, safe for concurrent
+// readers and writers.
 type Table struct {
 	name     string
 	capacity int
-	index    *quadtree.Tree[Record]
-	byID     map[uint64]geom.Point
-	occ      float64 // model-predicted records per block
+	inj      *faultinject.Injector
+
+	mu    sync.RWMutex
+	index *quadtree.Tree[Record]
+	byID  map[uint64]geom.Point
+
+	// occ is the model-predicted records per block; occApprox marks it
+	// as the closed-form heuristic (every solver rung failed). Both are
+	// immutable after creation.
+	occ       float64
+	occApprox bool
+	attempts  []solver.Attempt
 }
 
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }
 
 // Len returns the number of records.
-func (t *Table) Len() int { return t.index.Len() }
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.index.Len()
+}
+
+// SolveAttempts returns the solver fallback-ladder log from table
+// creation: one entry per rung tried, in order. Empty when the
+// occupancy came from the per-capacity cache.
+func (t *Table) SolveAttempts() []solver.Attempt { return t.attempts }
 
 // Insert adds a record; IDs must be unique and locations distinct (two
 // records at the same exact point would be a single map key for the
-// underlying structure).
+// underlying structure). Locations with NaN or infinite coordinates are
+// rejected with ErrInvalidPoint. An injected fault fails the insert
+// before any state changes, so a failed insert never leaves a partial
+// record behind.
 func (t *Table) Insert(rec Record) error {
+	if err := validatePoint(rec.Loc); err != nil {
+		return fmt.Errorf("spatialdb: insert into %q: %w", t.name, err)
+	}
+	t.inj.Delay(faultinject.InsertLatency)
+	if err := t.inj.Err(faultinject.InsertFault); err != nil {
+		return fmt.Errorf("spatialdb: insert into %q: %w", t.name, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if _, exists := t.byID[rec.ID]; exists {
 		return fmt.Errorf("%w: %d", ErrDuplicateID, rec.ID)
 	}
@@ -142,6 +302,8 @@ func (t *Table) Insert(rec Record) error {
 
 // Get returns the record with the given ID.
 func (t *Table) Get(id uint64) (Record, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	loc, ok := t.byID[id]
 	if !ok {
 		return Record{}, false
@@ -152,6 +314,8 @@ func (t *Table) Get(id uint64) (Record, bool) {
 
 // Delete removes the record with the given ID.
 func (t *Table) Delete(id uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	loc, ok := t.byID[id]
 	if !ok {
 		return false
@@ -170,8 +334,17 @@ type Query struct {
 	// Within selects records within Radius of At.
 	Within *WithinSpec
 	// Filter keeps only records for which it returns true (applied
-	// after the spatial predicate). Nil keeps everything.
+	// after the spatial predicate). Nil keeps everything. The filter
+	// runs under the table's read lock and must not call back into the
+	// same table's mutating methods.
 	Filter func(Record) bool
+	// MaxNodes, when positive, bounds the number of index nodes a
+	// window or radius query may visit. A query that exhausts the
+	// budget returns the partial result accumulated so far with
+	// Cost.Truncated set, degrading gracefully instead of traversing
+	// without bound. Zero means unlimited. Nearest queries ignore it
+	// (their work is bounded by K).
+	MaxNodes int
 }
 
 // NearestSpec parameterizes a k-nearest query.
@@ -191,6 +364,9 @@ type Cost struct {
 	NodesVisited   int
 	LeavesVisited  int
 	RecordsScanned int
+	// Truncated reports that the query's MaxNodes budget stopped the
+	// traversal early; the returned records are a partial result.
+	Truncated bool
 }
 
 // Select executes the query and returns matching records with the
@@ -200,20 +376,23 @@ func (t *Table) Select(q Query) ([]Record, Cost, error) {
 	if err := q.validate(); err != nil {
 		return nil, Cost{}, err
 	}
+	t.inj.Delay(faultinject.QueryLatency)
 	keep := q.Filter
 	if keep == nil {
 		keep = func(Record) bool { return true }
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	switch {
 	case q.Window != nil:
 		var out []Record
-		st := t.index.RangeCounted(*q.Window, func(_ geom.Point, r Record) bool {
+		st := t.index.RangeBudgeted(*q.Window, q.MaxNodes, func(_ geom.Point, r Record) bool {
 			if keep(r) {
 				out = append(out, r)
 			}
 			return true
 		})
-		return out, Cost{st.NodesVisited, st.LeavesVisited, st.RecordsScanned}, nil
+		return out, Cost{st.NodesVisited, st.LeavesVisited, st.RecordsScanned, st.Truncated}, nil
 	case q.Nearest != nil:
 		pts := t.index.KNearest(q.Nearest.At, q.Nearest.K)
 		out := make([]Record, 0, len(pts))
@@ -229,13 +408,13 @@ func (t *Table) Select(q Query) ([]Record, Cost, error) {
 		r2 := w.Radius * w.Radius
 		box := geom.R(w.At.X-w.Radius, w.At.Y-w.Radius, w.At.X+w.Radius, w.At.Y+w.Radius)
 		var out []Record
-		st := t.index.RangeCounted(box, func(p geom.Point, rec Record) bool {
+		st := t.index.RangeBudgeted(box, q.MaxNodes, func(p geom.Point, rec Record) bool {
 			if p.Dist2(w.At) <= r2 && keep(rec) {
 				out = append(out, rec)
 			}
 			return true
 		})
-		return out, Cost{st.NodesVisited, st.LeavesVisited, st.RecordsScanned}, nil
+		return out, Cost{st.NodesVisited, st.LeavesVisited, st.RecordsScanned, st.Truncated}, nil
 	}
 }
 
@@ -243,17 +422,26 @@ func (q Query) validate() error {
 	set := 0
 	if q.Window != nil {
 		set++
+		if err := validateRegion(*q.Window); err != nil {
+			return err
+		}
 	}
 	if q.Nearest != nil {
 		set++
+		if err := validatePoint(q.Nearest.At); err != nil {
+			return err
+		}
 		if q.Nearest.K <= 0 {
 			return fmt.Errorf("spatialdb: nearest K %d <= 0", q.Nearest.K)
 		}
 	}
 	if q.Within != nil {
 		set++
-		if q.Within.Radius <= 0 {
-			return fmt.Errorf("spatialdb: radius %g <= 0", q.Within.Radius)
+		if err := validatePoint(q.Within.At); err != nil {
+			return err
+		}
+		if math.IsNaN(q.Within.Radius) || math.IsInf(q.Within.Radius, 0) || q.Within.Radius <= 0 {
+			return fmt.Errorf("spatialdb: radius %g must be a positive finite number", q.Within.Radius)
 		}
 	}
 	if set != 1 {
@@ -270,6 +458,10 @@ type Estimate struct {
 	Records float64
 	// Selectivity is the fraction of the table expected to match.
 	Selectivity float64
+	// Approximate marks estimates derived from the closed-form
+	// occupancy heuristic because every solver rung failed at table
+	// creation; treat them as order-of-magnitude guidance.
+	Approximate bool
 }
 
 // Explain predicts the cost of a query from the population model before
@@ -280,12 +472,14 @@ func (t *Table) Explain(q Query) (Estimate, error) {
 	if err := q.validate(); err != nil {
 		return Estimate{}, err
 	}
-	n := float64(t.Len())
+	t.mu.RLock()
+	n := float64(t.index.Len())
+	region := t.index.Region()
+	t.mu.RUnlock()
 	if n == 0 {
-		return Estimate{}, nil
+		return Estimate{Approximate: t.occApprox}, nil
 	}
 	leaves := math.Max(n/t.occ, 1)
-	region := t.index.Region()
 	est := func(w geom.Rect) Estimate {
 		// Clip the window to the region.
 		minX := math.Max(w.MinX, region.MinX)
@@ -293,7 +487,7 @@ func (t *Table) Explain(q Query) (Estimate, error) {
 		maxX := math.Min(w.MaxX, region.MaxX)
 		maxY := math.Min(w.MaxY, region.MaxY)
 		if minX >= maxX || minY >= maxY {
-			return Estimate{}
+			return Estimate{Approximate: t.occApprox}
 		}
 		cw, ch := maxX-minX, maxY-minY
 		frac := cw * ch / region.Area()
@@ -304,6 +498,7 @@ func (t *Table) Explain(q Query) (Estimate, error) {
 			Blocks:      blocks,
 			Records:     blocks * t.occ,
 			Selectivity: frac,
+			Approximate: t.occApprox,
 		}
 	}
 	switch {
@@ -323,6 +518,7 @@ func (t *Table) Explain(q Query) (Estimate, error) {
 			Blocks:      math.Min(k/t.occ+1, leaves),
 			Records:     k + t.occ,
 			Selectivity: k / n,
+			Approximate: t.occApprox,
 		}, nil
 	}
 }
@@ -335,10 +531,15 @@ type Stats struct {
 	Height            int
 	MeasuredOccupancy float64
 	ModelOccupancy    float64
+	// ModelApproximate marks ModelOccupancy as the closed-form
+	// heuristic rather than a solved distribution.
+	ModelApproximate bool
 }
 
 // Stats returns the table's current statistics.
 func (t *Table) Stats() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	c := t.index.Census()
 	return Stats{
 		Records:           t.index.Len(),
@@ -346,5 +547,6 @@ func (t *Table) Stats() Stats {
 		Height:            c.Height,
 		MeasuredOccupancy: c.AverageOccupancy(),
 		ModelOccupancy:    t.occ,
+		ModelApproximate:  t.occApprox,
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"popana/internal/dist"
 	"popana/internal/excell"
 	"popana/internal/exthash"
+	"popana/internal/faultinject"
 	"popana/internal/geom"
 	"popana/internal/gridfile"
 	"popana/internal/hypertree"
@@ -262,6 +263,44 @@ type (
 
 // NewSpatialDB returns an empty spatial database.
 func NewSpatialDB() *SpatialDB { return spatialdb.NewDB() }
+
+// FaultInjector arms deterministic, seedable failure points (forced
+// solver divergence, injected latency, forced insert failures) for
+// chaos-testing a SpatialDB; see SpatialDB.SetFaultInjector. The nil
+// default costs nothing on production paths.
+type FaultInjector = faultinject.Injector
+
+// NewFaultInjector returns an injector with no points armed, drawing
+// firing decisions deterministically from the seed.
+func NewFaultInjector(seed uint64) *FaultInjector { return faultinject.New(seed) }
+
+// Failure points a FaultInjector can arm.
+const (
+	// FaultSolverNewton fails the Newton rung of the solver ladder.
+	FaultSolverNewton = faultinject.SolverNewton
+	// FaultSolverFixedPoint fails the fixed-point rungs of the ladder.
+	FaultSolverFixedPoint = faultinject.SolverFixedPoint
+	// FaultInsert fails a table insert before it mutates state.
+	FaultInsert = faultinject.InsertFault
+	// FaultInsertLatency delays a table insert.
+	FaultInsertLatency = faultinject.InsertLatency
+	// FaultQueryLatency delays a table select.
+	FaultQueryLatency = faultinject.QueryLatency
+)
+
+// Typed errors of the spatial layer, matchable with errors.Is.
+var (
+	// ErrInjected wraps every fault-injected failure.
+	ErrInjected = faultinject.ErrInjected
+	// ErrInvalidPoint rejects NaN/Inf coordinates at the API boundary.
+	ErrInvalidPoint = spatialdb.ErrInvalidPoint
+	// ErrInvalidRegion rejects degenerate regions and query windows.
+	ErrInvalidRegion = spatialdb.ErrInvalidRegion
+	// ErrNoTable is returned for operations on unknown table names.
+	ErrNoTable = spatialdb.ErrNoTable
+	// ErrDuplicateID is returned when inserting an existing record ID.
+	ErrDuplicateID = spatialdb.ErrDuplicateID
+)
 
 // ---- Model diagnostics ----
 
