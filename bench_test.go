@@ -21,7 +21,8 @@ import (
 
 // benchCfg is the per-iteration experiment scale: large enough for the
 // statistics to hold their shape, small enough to keep -bench=. minutes
-// not hours.
+// not hours. Workers is left zero (GOMAXPROCS): results are bit-identical
+// at any pool width, so parallelism changes only the wall clock.
 func benchCfg() experiment.Config {
 	return experiment.Config{Trials: 3, Points: 500, Seed: 11}
 }
@@ -104,6 +105,20 @@ func BenchmarkTable4UniformPhasing(b *testing.B) {
 		}
 	}
 	b.ReportMetric(res.OscillationAmplitude(64, 1024), "amplitude")
+}
+
+// BenchmarkTable4Sequential is Table 4 pinned to one worker; the ratio
+// to BenchmarkTable4UniformPhasing is the trial engine's parallel
+// speedup on this machine.
+func BenchmarkTable4Sequential(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Workers = 1
+	sizes := experiment.GeometricSizes(64, 1024)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunSweep(cfg, 8, sizes, false); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkFigure2 renders Figure 2 (the semi-log chart of Table 4).
@@ -402,6 +417,50 @@ func BenchmarkQuadtreeInsert(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := qt.Insert(src.Next(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuadtreeBulkLoad(b *testing.B) {
+	rng := popana.NewRand(10)
+	src := popana.NewUniform(popana.UnitSquare, rng)
+	const batch = 10000
+	pts := make([]popana.Point, batch)
+	vals := make([]any, batch)
+	for i := range pts {
+		pts[i] = src.Next()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := popana.BulkLoadQuadtree(popana.QuadtreeConfig{Capacity: 8}, pts, vals)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if t.Len() == 0 {
+			b.Fatal("empty tree")
+		}
+	}
+}
+
+func BenchmarkSpatialInsertBatch(b *testing.B) {
+	rng := popana.NewRand(11)
+	src := popana.NewUniform(popana.UnitSquare, rng)
+	const batch = 1000
+	recs := make([]popana.SpatialRecord, batch)
+	for i := range recs {
+		recs[i] = popana.SpatialRecord{ID: uint64(i), Loc: src.Next()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		db := popana.NewSpatialDB()
+		tab, err := db.CreateTable("t", 8, popana.Rect{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := tab.InsertBatch(recs); err != nil {
 			b.Fatal(err)
 		}
 	}

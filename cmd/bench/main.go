@@ -1,0 +1,104 @@
+// Command bench runs the repository's benchmark suite, writes a
+// machine-readable BENCH_*.json report, and compares it against the
+// previous report in the trajectory, exiting non-zero when any
+// benchmark regressed beyond the threshold.
+//
+// Usage:
+//
+//	go run ./cmd/bench -o BENCH_PR2.json            # full suite, auto-baseline
+//	go run ./cmd/bench -short -benchtime 100ms      # CI smoke run
+//	go run ./cmd/bench -baseline BENCH_PR2.json     # explicit baseline
+//
+// The baseline defaults to the lexicographically latest BENCH_*.json in
+// the current directory other than the output file, so committing one
+// report per PR yields a regression gate against the previous PR for
+// free.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"popana/internal/bench"
+)
+
+func main() {
+	var (
+		out       = flag.String("o", "", "write the JSON report to this file (empty: don't write)")
+		label     = flag.String("label", "", "label recorded in the report")
+		baseline  = flag.String("baseline", "", "compare against this report (empty: latest BENCH_*.json, '-' to disable)")
+		threshold = flag.Float64("threshold", 0.20, "regression threshold as a fraction (0.20 = +20%)")
+		short     = flag.Bool("short", false, "run only the fast micro-benchmarks")
+		benchtime = flag.Duration("benchtime", time.Second, "target duration per benchmark")
+	)
+	flag.Parse()
+	if err := run(*out, *label, *baseline, *threshold, *short, *benchtime); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, label, baseline string, threshold float64, short bool, benchtime time.Duration) error {
+	if err := bench.SetBenchtime(benchtime); err != nil {
+		return err
+	}
+	report := bench.Run(label, bench.Suite(short), func(line string) {
+		fmt.Print(line)
+	})
+	report.When = time.Now().UTC().Format(time.RFC3339)
+	if out != "" {
+		if err := report.WriteFile(out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", out, len(report.Results))
+	}
+	basePath, err := resolveBaseline(baseline, out)
+	if err != nil {
+		return err
+	}
+	if basePath == "" {
+		fmt.Println("no baseline report found; skipping regression check")
+		return nil
+	}
+	base, err := bench.ReadFile(basePath)
+	if err != nil {
+		return err
+	}
+	regs := bench.Compare(base, report, threshold)
+	if len(regs) == 0 {
+		fmt.Printf("no regressions beyond %+.0f%% vs %s\n", threshold*100, basePath)
+		return nil
+	}
+	for _, g := range regs {
+		fmt.Fprintf(os.Stderr, "REGRESSION %s\n", g)
+	}
+	return fmt.Errorf("%d regression(s) beyond %+.0f%% vs %s", len(regs), threshold*100, basePath)
+}
+
+// resolveBaseline picks the report to compare against: an explicit path,
+// "-" (or "none") to disable, or by default the lexicographically latest
+// BENCH_*.json other than the output file.
+func resolveBaseline(baseline, out string) (string, error) {
+	switch baseline {
+	case "-", "none":
+		return "", nil
+	case "":
+		matches, err := filepath.Glob("BENCH_*.json")
+		if err != nil {
+			return "", err
+		}
+		sort.Strings(matches)
+		for i := len(matches) - 1; i >= 0; i-- {
+			if out == "" || filepath.Clean(matches[i]) != filepath.Clean(out) {
+				return matches[i], nil
+			}
+		}
+		return "", nil
+	default:
+		return baseline, nil
+	}
+}

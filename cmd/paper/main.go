@@ -24,16 +24,17 @@ import (
 
 func main() {
 	var (
-		trials = flag.Int("trials", 10, "trees averaged per data point")
-		points = flag.Int("points", 1000, "points per tree for Tables 1-3")
-		seed   = flag.Uint64("seed", 0, "base RNG seed")
-		quick  = flag.Bool("quick", false, "reduced parameters for a fast smoke run")
-		only   = flag.String("only", "", "comma-separated artifact list (default: all)")
-		out    = flag.String("o", "", "write output to file instead of stdout")
+		trials  = flag.Int("trials", 10, "trees averaged per data point")
+		points  = flag.Int("points", 1000, "points per tree for Tables 1-3")
+		seed    = flag.Uint64("seed", 0, "base RNG seed")
+		workers = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); output is identical at any width")
+		quick   = flag.Bool("quick", false, "reduced parameters for a fast smoke run")
+		only    = flag.String("only", "", "comma-separated artifact list (default: all)")
+		out     = flag.String("o", "", "write output to file instead of stdout")
 	)
 	flag.Parse()
 
-	cfg := experiment.Config{Trials: *trials, Points: *points, Seed: *seed}
+	cfg := experiment.Config{Trials: *trials, Points: *points, Seed: *seed, Workers: *workers}
 	maxN := 4096
 	maxCap := 8
 	if *quick {

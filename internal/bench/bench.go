@@ -1,0 +1,243 @@
+// Package bench is the repository's benchmark-regression harness: a
+// registry of named benchmark functions (a machine-runnable subset of
+// the tier-1 suite in bench_test.go), a machine-readable JSON report
+// format, and a comparator that flags regressions against a previous
+// report. cmd/bench is the command-line front end; CI runs it
+// non-blocking and archives the BENCH_*.json trajectory so performance
+// history travels with the repository.
+package bench
+
+import (
+	"testing"
+
+	"popana/internal/core"
+	"popana/internal/dist"
+	"popana/internal/experiment"
+	"popana/internal/geom"
+	"popana/internal/quadtree"
+	"popana/internal/spatialdb"
+	"popana/internal/xrand"
+)
+
+// Spec is one named benchmark in the suite.
+type Spec struct {
+	Name string
+	F    func(*testing.B)
+}
+
+// Suite returns the benchmark suite. With short=true it returns only the
+// fast micro-benchmarks (suitable for CI smoke runs); otherwise it also
+// includes the experiment-scale benchmarks that regenerate the paper's
+// headline quantities.
+func Suite(short bool) []Spec {
+	specs := []Spec{
+		{"ModelSolveM8", benchModelSolve},
+		{"QuadtreeInsert", benchQuadtreeInsert},
+		{"QuadtreeBulkLoad", benchQuadtreeBulkLoad},
+		{"QuadtreeGet", benchQuadtreeGet},
+		{"QuadtreeRange", benchQuadtreeRange},
+		{"QuadtreeChurn", benchQuadtreeChurn},
+		{"SpatialInsertBatch", benchSpatialInsertBatch},
+	}
+	if !short {
+		specs = append(specs,
+			Spec{"Table1ExpectedDistribution", benchTable1},
+			Spec{"Table4UniformPhasing", benchTable4},
+			Spec{"SweepSequential", benchSweepSequential},
+		)
+	}
+	return specs
+}
+
+// benchCfg mirrors the reduced-but-faithful scale of bench_test.go.
+func benchCfg() experiment.Config {
+	return experiment.Config{Trials: 3, Points: 500, Seed: 11}
+}
+
+func benchModelSolve(b *testing.B) {
+	model, err := core.NewPointModel(8, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchQuadtreeInsert(b *testing.B) {
+	qt := quadtree.MustNew[struct{}](quadtree.Config{Capacity: 8})
+	src := dist.NewUniform(qt.Region(), xrand.New(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qt.Insert(src.Next(), struct{}{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchQuadtreeBulkLoad(b *testing.B) {
+	const batch = 10000
+	src := dist.NewUniform(geom.UnitSquare, xrand.New(2))
+	points := make([]geom.Point, batch)
+	values := make([]struct{}, batch)
+	for i := range points {
+		points[i] = src.Next()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := quadtree.BulkLoad[struct{}](quadtree.Config{Capacity: 8}, points, values)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if t.Len() == 0 {
+			b.Fatal("empty tree")
+		}
+	}
+	b.ReportMetric(batch, "points/op")
+}
+
+func benchQuadtreeGet(b *testing.B) {
+	qt := quadtree.MustNew[struct{}](quadtree.Config{Capacity: 8})
+	src := dist.NewUniform(qt.Region(), xrand.New(3))
+	pts := make([]geom.Point, 100000)
+	for i := range pts {
+		pts[i] = src.Next()
+		if _, err := qt.Insert(pts[i], struct{}{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := qt.Get(pts[i%len(pts)]); !ok {
+			b.Fatal("lost point")
+		}
+	}
+}
+
+func benchQuadtreeRange(b *testing.B) {
+	qt := quadtree.MustNew[struct{}](quadtree.Config{Capacity: 8})
+	src := dist.NewUniform(qt.Region(), xrand.New(4))
+	for qt.Len() < 100000 {
+		if _, err := qt.Insert(src.Next(), struct{}{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := geom.R(0.4, 0.4, 0.6, 0.6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		qt.Range(q, func(geom.Point, struct{}) bool { n++; return true })
+		if n == 0 {
+			b.Fatal("empty range")
+		}
+	}
+}
+
+// benchQuadtreeChurn exercises the split/merge hot path the free list
+// exists for: a stable-size tree absorbing insert/delete pairs.
+func benchQuadtreeChurn(b *testing.B) {
+	qt := quadtree.MustNew[struct{}](quadtree.Config{Capacity: 4})
+	src := dist.NewUniform(qt.Region(), xrand.New(5))
+	const live = 20000
+	ring := make([]geom.Point, live)
+	for i := range ring {
+		ring[i] = src.Next()
+		if _, err := qt.Insert(ring[i], struct{}{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % live
+		if !qt.Delete(ring[j]) {
+			b.Fatal("lost point")
+		}
+		ring[j] = src.Next()
+		if _, err := qt.Insert(ring[j], struct{}{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSpatialInsertBatch(b *testing.B) {
+	const batch = 1000
+	src := dist.NewUniform(geom.UnitSquare, xrand.New(6))
+	recs := make([]spatialdb.Record, batch)
+	for i := range recs {
+		recs[i] = spatialdb.Record{ID: uint64(i), Loc: src.Next()}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		db := spatialdb.NewDB()
+		tab, err := db.CreateTable("t", 8, geom.Rect{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := tab.InsertBatch(recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(batch, "records/op")
+}
+
+func benchTable1(b *testing.B) {
+	var rs []experiment.CapacityResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rs, err = experiment.RunTables12(benchCfg(), 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	worst := 0.0
+	for _, r := range rs {
+		for j := range r.Experimental {
+			d := r.Theory.E[j] - r.Experimental[j]
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	b.ReportMetric(worst, "maxComponentErr")
+}
+
+func benchTable4(b *testing.B) {
+	sizes := experiment.GeometricSizes(64, 1024)
+	var res experiment.SweepResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiment.RunSweep(benchCfg(), 8, sizes, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.OscillationAmplitude(64, 1024), "amplitude")
+}
+
+// benchSweepSequential is benchTable4 pinned to one worker — the
+// engine's parallel speedup is the ns/op ratio between the two (≈1 on a
+// single-core machine, approaching the core count as trials scale).
+func benchSweepSequential(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Workers = 1
+	sizes := experiment.GeometricSizes(64, 1024)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunSweep(cfg, 8, sizes, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

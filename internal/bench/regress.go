@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+)
+
+// Report is one benchmark run in the machine-readable BENCH_*.json
+// format: enough environment to judge comparability, plus one Result
+// per benchmark.
+type Report struct {
+	// Label names the run (e.g. "PR2"); informational.
+	Label string `json:"label,omitempty"`
+	// When is the run's wall-clock timestamp (RFC 3339), if recorded.
+	When       string   `json:"when,omitempty"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Results    []Result `json:"results"`
+}
+
+// Result is one benchmark's measurements.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Metrics carries the custom b.ReportMetric values (the headline
+	// quantity of each paper benchmark), keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// SetBenchtime sets the duration each benchmark targets (the
+// -test.benchtime flag behind testing.Benchmark). Call once before Run;
+// it registers the testing flags on first use.
+func SetBenchtime(d time.Duration) error {
+	if flag.Lookup("test.benchtime") == nil {
+		testing.Init()
+	}
+	return flag.Set("test.benchtime", d.String())
+}
+
+// Run executes the suite and collects a Report. progress, when non-nil,
+// is called before each benchmark with its name and after with its
+// result line (for live console output).
+func Run(label string, specs []Spec, progress func(string)) Report {
+	r := Report{
+		Label:      label,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, s := range specs {
+		if progress != nil {
+			progress(fmt.Sprintf("running %-28s", s.Name))
+		}
+		br := testing.Benchmark(s.F)
+		res := Result{
+			Name:        s.Name,
+			Iterations:  br.N,
+			NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+		}
+		if len(br.Extra) > 0 {
+			res.Metrics = make(map[string]float64, len(br.Extra))
+			for k, v := range br.Extra {
+				res.Metrics[k] = v
+			}
+		}
+		r.Results = append(r.Results, res)
+		if progress != nil {
+			progress(fmt.Sprintf("  %-28s %12.0f ns/op %8d allocs/op\n", s.Name, res.NsPerOp, res.AllocsPerOp))
+		}
+	}
+	return r
+}
+
+// WriteFile writes the report as indented JSON.
+func (r Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: encode report: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile reads a report written by WriteFile.
+func ReadFile(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("bench: decode %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Regression is one benchmark whose cost grew beyond the threshold
+// relative to the baseline.
+type Regression struct {
+	Name   string  // benchmark name
+	Metric string  // "ns/op" or "allocs/op"
+	Old    float64 // baseline value
+	New    float64 // current value
+	Ratio  float64 // New / Old
+}
+
+func (g Regression) String() string {
+	return fmt.Sprintf("%s: %s %.4g -> %.4g (%.2fx)", g.Name, g.Metric, g.Old, g.New, g.Ratio)
+}
+
+// Compare flags benchmarks present in both reports whose ns/op or
+// allocs/op grew by more than threshold (0.20 = +20%). Benchmarks only
+// in one report are ignored — the suite is allowed to grow. Timing
+// comparisons are skipped when the baseline ran on different
+// GOOS/GOARCH (allocs/op is machine-independent and still compared).
+func Compare(baseline, current Report, threshold float64) []Regression {
+	old := make(map[string]Result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		old[r.Name] = r
+	}
+	comparableTiming := baseline.GOOS == current.GOOS && baseline.GOARCH == current.GOARCH
+	var regs []Regression
+	for _, cur := range current.Results {
+		base, ok := old[cur.Name]
+		if !ok {
+			continue
+		}
+		if comparableTiming && base.NsPerOp > 0 && cur.NsPerOp > base.NsPerOp*(1+threshold) {
+			regs = append(regs, Regression{
+				Name: cur.Name, Metric: "ns/op",
+				Old: base.NsPerOp, New: cur.NsPerOp,
+				Ratio: cur.NsPerOp / base.NsPerOp,
+			})
+		}
+		if base.AllocsPerOp > 0 && float64(cur.AllocsPerOp) > float64(base.AllocsPerOp)*(1+threshold) {
+			regs = append(regs, Regression{
+				Name: cur.Name, Metric: "allocs/op",
+				Old: float64(base.AllocsPerOp), New: float64(cur.AllocsPerOp),
+				Ratio: float64(cur.AllocsPerOp) / float64(base.AllocsPerOp),
+			})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Name != regs[j].Name {
+			return regs[i].Name < regs[j].Name
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs
+}

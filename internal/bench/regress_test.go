@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestGoldenRoundTrip reads the golden report fixture, writes it back
+// out, and re-reads it: the decoded forms must be identical, pinning the
+// BENCH_*.json schema.
+func TestGoldenRoundTrip(t *testing.T) {
+	golden := filepath.Join("testdata", "golden_report.json")
+	r, err := ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Results) != 2 || r.Results[0].Name != "QuadtreeInsert" {
+		t.Fatalf("unexpected golden contents: %+v", r)
+	}
+	if r.Results[0].Metrics["points/op"] != 10000 {
+		t.Fatalf("metrics lost in decode: %+v", r.Results[0].Metrics)
+	}
+	out := filepath.Join(t.TempDir(), "out.json")
+	if err := r.WriteFile(out); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, r2) {
+		t.Fatalf("round trip changed the report:\n got %+v\nwant %+v", r2, r)
+	}
+}
+
+// TestCompare exercises the regression detector on crafted reports.
+func TestCompare(t *testing.T) {
+	base := Report{GOOS: "linux", GOARCH: "amd64", Results: []Result{
+		{Name: "A", NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "B", NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "Gone", NsPerOp: 1, AllocsPerOp: 1},
+	}}
+	cur := Report{GOOS: "linux", GOARCH: "amd64", Results: []Result{
+		{Name: "A", NsPerOp: 115, AllocsPerOp: 10}, // +15%: within threshold
+		{Name: "B", NsPerOp: 150, AllocsPerOp: 13}, // +50% ns, +30% allocs
+		{Name: "New", NsPerOp: 1e9, AllocsPerOp: 1e6},
+	}}
+	regs := Compare(base, cur, 0.20)
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions, got %d: %v", len(regs), regs)
+	}
+	if regs[0].Name != "B" || regs[0].Metric != "allocs/op" {
+		t.Errorf("unexpected first regression: %+v", regs[0])
+	}
+	if regs[1].Name != "B" || regs[1].Metric != "ns/op" || regs[1].Ratio < 1.49 || regs[1].Ratio > 1.51 {
+		t.Errorf("unexpected second regression: %+v", regs[1])
+	}
+
+	// A baseline from another machine must not produce timing
+	// regressions, but allocs/op still count.
+	other := base
+	other.GOARCH = "arm64"
+	regs = Compare(other, cur, 0.20)
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("cross-arch compare should keep only allocs: %v", regs)
+	}
+}
+
+// TestRunSmoke runs one real (tiny) benchmark through the harness and
+// checks the report is populated.
+func TestRunSmoke(t *testing.T) {
+	if err := SetBenchtime(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	specs := []Spec{{Name: "Noop", F: func(b *testing.B) {
+		s := 0
+		for i := 0; i < b.N; i++ {
+			s += i
+		}
+		_ = s
+		b.ReportMetric(42, "answer")
+	}}}
+	r := Run("test", specs, nil)
+	if len(r.Results) != 1 || r.Results[0].Iterations == 0 {
+		t.Fatalf("empty run result: %+v", r)
+	}
+	if r.Results[0].Metrics["answer"] != 42 {
+		t.Fatalf("metric not captured: %+v", r.Results[0])
+	}
+	if r.GoVersion == "" || r.GOMAXPROCS < 1 {
+		t.Fatalf("environment not recorded: %+v", r)
+	}
+}

@@ -52,12 +52,14 @@ func (c Config) withDefaults() (Config, error) {
 	return c, nil
 }
 
+// node is a bintree node; the two children share a single [2]node block
+// so a split costs one allocation.
 type node struct {
-	lo, hi *node // nil iff leaf
-	pts    []geom.Point
+	children *[2]node // nil iff leaf; [0] is the lower half, [1] the upper
+	pts      []geom.Point
 }
 
-func (n *node) leaf() bool { return n.lo == nil }
+func (n *node) leaf() bool { return n.children == nil }
 
 // Tree is a PR bintree over a rectangle storing distinct points.
 type Tree struct {
@@ -119,11 +121,7 @@ func (t *Tree) Insert(p geom.Point) (replaced bool, err error) {
 	for !n.leaf() {
 		var c int
 		c, block = childOf(block, axisAt(depth), p)
-		if c == 0 {
-			n = n.lo
-		} else {
-			n = n.hi
-		}
+		n = &n.children[c]
 		depth++
 	}
 	for i := range n.pts {
@@ -136,11 +134,11 @@ func (t *Tree) Insert(p geom.Point) (replaced bool, err error) {
 	for len(n.pts) > t.cfg.Capacity && depth < t.cfg.MaxDepth {
 		t.split(n, block, depth)
 		var over *node
-		if len(n.lo.pts) > t.cfg.Capacity {
-			over = n.lo
+		if len(n.children[0].pts) > t.cfg.Capacity {
+			over = &n.children[0]
 			block, _ = block.Halves(axisAt(depth))
-		} else if len(n.hi.pts) > t.cfg.Capacity {
-			over = n.hi
+		} else if len(n.children[1].pts) > t.cfg.Capacity {
+			over = &n.children[1]
 			_, block = block.Halves(axisAt(depth))
 		} else {
 			break
@@ -152,18 +150,96 @@ func (t *Tree) Insert(p geom.Point) (replaced bool, err error) {
 }
 
 func (t *Tree) split(n *node, block geom.Rect, depth int) {
-	n.lo, n.hi = &node{}, &node{}
+	n.children = new([2]node)
 	axis := axisAt(depth)
 	_, hi := block.Halves(axis)
 	for _, p := range n.pts {
 		upper := (axis == 0 && p.X >= hi.MinX) || (axis == 1 && p.Y >= hi.MinY)
 		if upper {
-			n.hi.pts = append(n.hi.pts, p)
+			n.children[1].pts = append(n.children[1].pts, p)
 		} else {
-			n.lo.pts = append(n.lo.pts, p)
+			n.children[0].pts = append(n.children[0].pts, p)
 		}
 	}
 	n.pts = nil
+}
+
+// BulkLoad inserts a batch of points in one recursive partitioning pass
+// and reports how many were new. The result is identical to inserting
+// the points one at a time (regular decomposition: shape depends only on
+// the point set). If any point lies outside the region, ErrOutOfRegion
+// is returned and the tree is left unchanged.
+func (t *Tree) BulkLoad(points []geom.Point) (added int, err error) {
+	for _, p := range points {
+		if !t.cfg.Region.Contains(p) {
+			return 0, fmt.Errorf("%w: %v not in %v", ErrOutOfRegion, p, t.cfg.Region)
+		}
+	}
+	if len(points) == 0 {
+		return 0, nil
+	}
+	batch := make([]geom.Point, len(points))
+	copy(batch, points)
+	before := t.size
+	t.bulkInsert(t.root, t.cfg.Region, 0, batch, make([]geom.Point, len(batch)))
+	return t.size - before, nil
+}
+
+// bulkInsert routes batch into the subtree at n; scratch is a same-length
+// buffer, the two swapping roles at each level (stable two-way partition).
+func (t *Tree) bulkInsert(n *node, block geom.Rect, depth int, batch, scratch []geom.Point) {
+	if len(batch) == 0 {
+		return
+	}
+	if n.leaf() {
+		if depth >= t.cfg.MaxDepth || len(n.pts)+len(batch) <= t.cfg.Capacity {
+			// Fold into the leaf, skipping duplicates.
+			for _, p := range batch {
+				dup := false
+				for i := range n.pts {
+					if n.pts[i] == p {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					n.pts = append(n.pts, p)
+					t.size++
+				}
+			}
+			return
+		}
+		// The combined set may overflow: split now and route the batch
+		// through the children. Duplicates could keep the distinct count
+		// within capacity after all; the merge check below restores the
+		// canonical shape in that case.
+		t.split(n, block, depth)
+	}
+	axis := axisAt(depth)
+	lo, hi := block.Halves(axis)
+	k := 0
+	for _, p := range batch {
+		if (axis == 0 && p.X >= hi.MinX) || (axis == 1 && p.Y >= hi.MinY) {
+			continue
+		}
+		scratch[k] = p
+		k++
+	}
+	m := k
+	for _, p := range batch {
+		if (axis == 0 && p.X >= hi.MinX) || (axis == 1 && p.Y >= hi.MinY) {
+			scratch[m] = p
+			m++
+		}
+	}
+	t.bulkInsert(&n.children[0], lo, depth+1, scratch[:k], batch[:k])
+	t.bulkInsert(&n.children[1], hi, depth+1, scratch[k:m], batch[k:m])
+	if len(n.children[0].pts)+len(n.children[1].pts) <= t.cfg.Capacity &&
+		n.children[0].leaf() && n.children[1].leaf() {
+		merged := append(n.children[0].pts, n.children[1].pts...)
+		n.children = nil
+		n.pts = merged
+	}
 }
 
 // Contains reports whether p is stored.
@@ -175,11 +251,7 @@ func (t *Tree) Contains(p geom.Point) bool {
 	for !n.leaf() {
 		var c int
 		c, block = childOf(block, axisAt(depth), p)
-		if c == 0 {
-			n = n.lo
-		} else {
-			n = n.hi
-		}
+		n = &n.children[c]
 		depth++
 	}
 	for i := range n.pts {
@@ -205,6 +277,6 @@ func census(n *node, block geom.Rect, depth int, total float64, b *stats.CensusB
 	}
 	b.AddInternal(depth)
 	lo, hi := block.Halves(axisAt(depth))
-	census(n.lo, lo, depth+1, total, b)
-	census(n.hi, hi, depth+1, total, b)
+	census(&n.children[0], lo, depth+1, total, b)
+	census(&n.children[1], hi, depth+1, total, b)
 }

@@ -1,0 +1,59 @@
+package bintree
+
+import (
+	"reflect"
+	"testing"
+
+	"popana/internal/geom"
+	"popana/internal/xrand"
+)
+
+// TestBulkLoadMatchesSequentialInsert checks the batch loader produces
+// the exact tree (census included) a loop of Inserts would.
+func TestBulkLoadMatchesSequentialInsert(t *testing.T) {
+	rng := xrand.New(42)
+	for _, n := range []int{0, 1, 5, 100, 2000} {
+		cfg := Config{Capacity: 4}
+		points := make([]geom.Point, n)
+		for i := range points {
+			points[i] = geom.Pt(rng.Float64(), rng.Float64())
+		}
+		if n >= 100 {
+			points = append(points, points[:25]...) // duplicates
+		}
+		seq := MustNew(cfg)
+		for _, p := range points {
+			if _, err := seq.Insert(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		bulk := MustNew(cfg)
+		added, err := bulk.BulkLoad(points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if added != seq.Len() || bulk.Len() != seq.Len() {
+			t.Fatalf("n=%d: bulk added %d / len %d, sequential len %d", n, added, bulk.Len(), seq.Len())
+		}
+		if !reflect.DeepEqual(seq.Census(), bulk.Census()) {
+			t.Fatalf("n=%d: censuses differ:\nseq  %+v\nbulk %+v", n, seq.Census(), bulk.Census())
+		}
+		for _, p := range points {
+			if !bulk.Contains(p) {
+				t.Fatalf("n=%d: bulk tree lost %v", n, p)
+			}
+		}
+	}
+}
+
+// TestBulkLoadRejectsOutOfRegion checks a bad batch leaves the tree
+// unchanged.
+func TestBulkLoadRejectsOutOfRegion(t *testing.T) {
+	tr := MustNew(Config{Capacity: 2})
+	if _, err := tr.BulkLoad([]geom.Point{{X: 0.5, Y: 0.5}, {X: -3, Y: 0}}); err == nil {
+		t.Fatal("out-of-region point accepted")
+	}
+	if tr.Len() != 0 {
+		t.Fatal("failed bulk load mutated the tree")
+	}
+}

@@ -5,6 +5,14 @@
 // the aging-correction ablation). Each runner is deterministic given its
 // Config and returns typed results; rendering to text lives beside each
 // result type so cmd/paper and the benchmarks share one code path.
+//
+// Independent trials run concurrently on a bounded worker pool sized by
+// Config.Workers. Parallelism changes only the wall clock, never the
+// numbers: every trial derives its RNG stream from its coordinates
+// (experiment, parameter, trial) via xrand.Derive and writes only its
+// own slot of a pre-sized result slice, and cross-trial reductions
+// happen in trial order after the pool drains, so output is
+// bit-identical at every pool width.
 package experiment
 
 import (
@@ -29,6 +37,12 @@ type Config struct {
 	// Seed is the base RNG seed; trial t of experiment e derives its
 	// stream independently. Zero is a valid (and the default) seed.
 	Seed uint64
+	// Workers bounds the goroutine pool that independent trials run on;
+	// zero selects GOMAXPROCS. Results are bit-identical at every pool
+	// width (including 1, an exact sequential mode), because each trial
+	// derives its RNG stream from (experiment, parameter, trial) alone
+	// and writes only its own slot of the result slice.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -42,12 +56,12 @@ func (c Config) withDefaults() Config {
 }
 
 // rng derives a deterministic generator for (experiment, capacity/param,
-// trial).
+// trial). The derivation is pure arithmetic on the coordinates (see
+// xrand.Derive), so a trial's stream does not depend on which worker
+// goroutine runs it or in what order — the invariant the parallel trial
+// engine rests on.
 func (c Config) rng(experiment, param, trial int) *xrand.Rand {
-	seed := c.Seed
-	seed ^= uint64(experiment) * 0x9e3779b97f4a7c15
-	seed ^= uint64(param) * 0xc2b2ae3d27d4eb4f
-	seed ^= uint64(trial) * 0x165667b19e3779f9
+	seed := xrand.Derive(c.Seed, uint64(experiment), uint64(param), uint64(trial))
 	return xrand.New(seed + 1) // +1 keeps the all-defaults seed nonzero
 }
 
@@ -65,12 +79,14 @@ const (
 )
 
 // buildTrees builds cfg.Trials PR quadtrees of n points drawn from the
-// source factory and returns their censuses. The factory receives the
-// trial's RNG so every tree gets an independent stream.
+// source factory and returns their censuses, one per trial in trial
+// order. The factory receives the trial's RNG so every tree gets an
+// independent stream; trials run concurrently on the Config.Workers
+// pool, each writing only its own slot.
 func (c Config) buildTrees(expID, param, n, capacity, maxDepth int,
 	mkSource func(r geom.Rect, rng *xrand.Rand) dist.PointSource) []stats.Census {
-	censuses := make([]stats.Census, 0, c.Trials)
-	for trial := 0; trial < c.Trials; trial++ {
+	censuses := make([]stats.Census, c.Trials)
+	c.forTrials(func(trial int) {
 		rng := c.rng(expID, param, trial)
 		t := quadtree.MustNew[struct{}](quadtree.Config{Capacity: capacity, MaxDepth: maxDepth})
 		src := mkSource(t.Region(), rng)
@@ -79,8 +95,8 @@ func (c Config) buildTrees(expID, param, n, capacity, maxDepth int,
 				panic(fmt.Sprintf("experiment: insert: %v", err))
 			}
 		}
-		censuses = append(censuses, t.Census())
-	}
+		censuses[trial] = t.Census()
+	})
 	return censuses
 }
 

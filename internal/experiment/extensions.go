@@ -103,11 +103,11 @@ func RunFanoutSweep(cfg Config, maxCapacity int) ([]FanoutRow, error) {
 			}
 			occs := make([]float64, 0, len(sizes))
 			for k, n := range sizes {
-				censuses := make([]stats.Census, 0, c.Trials)
-				for trial := 0; trial < c.Trials; trial++ {
+				censuses := make([]stats.Census, c.Trials)
+				c.forTrials(func(trial int) {
 					rng := c.rng(expFanout, si*1000+m*10+k, trial)
-					censuses = append(censuses, spec.build(m, rng, n))
-				}
+					censuses[trial] = spec.build(m, rng, n)
+				})
 				occs = append(occs, stats.Summarize(censuses, m+1).MeanOccupancy)
 			}
 			expOcc := stats.Mean(occs)
@@ -173,9 +173,12 @@ func RunPMR(cfg Config, maxThreshold int) ([]PMRRow, error) {
 	c := cfg.withDefaults()
 	var rows []PMRRow
 	for k := 1; k <= maxThreshold; k++ {
-		censuses := make([]stats.Census, 0, c.Trials)
-		crossings, incidences := 0.0, 0.0
-		for trial := 0; trial < c.Trials; trial++ {
+		censuses := make([]stats.Census, c.Trials)
+		// Per-trial crossing counts, reduced in trial order after the
+		// pool drains so the float sums match a sequential run exactly.
+		perCross := make([]float64, c.Trials)
+		perInc := make([]float64, c.Trials)
+		c.forTrials(func(trial int) {
 			rng := c.rng(expPMR, k, trial)
 			t := pmr.MustNew(pmr.Config{Threshold: k, MaxDepth: 12})
 			src := dist.NewShortSegments(t.Region(), PMRSegmentLength, rng)
@@ -184,18 +187,23 @@ func RunPMR(cfg Config, maxThreshold int) ([]PMRRow, error) {
 					panic(err)
 				}
 			}
-			censuses = append(censuses, t.Census())
+			censuses[trial] = t.Census()
 			t.WalkLeaves(func(block geom.Rect, segs []geom.Segment) bool {
 				for _, s := range segs {
 					for q := 0; q < 4; q++ {
 						if clipped, ok := s.ClipToRect(block.Quadrant(q)); ok && clipped.Length() > 1e-12 {
-							crossings++
+							perCross[trial]++
 						}
 					}
-					incidences += 4
+					perInc[trial] += 4
 				}
 				return true
 			})
+		})
+		crossings, incidences := 0.0, 0.0
+		for trial := 0; trial < c.Trials; trial++ {
+			crossings += perCross[trial]
+			incidences += perInc[trial]
 		}
 		pHat := crossings / incidences
 		model, err := core.NewLineModel(k, 4, core.LineModelOptions{CrossProb: pHat})
@@ -337,56 +345,68 @@ func RunBucketBaselines(cfg Config, capacity, records int) ([]BucketRow, error) 
 	var rows []BucketRow
 	// Extendible hashing over uniform keys.
 	{
-		utils := make([]float64, 0, c.Trials)
-		buckets := 0
-		for trial := 0; trial < c.Trials; trial++ {
+		utils := make([]float64, c.Trials)
+		bucketCounts := make([]int, c.Trials)
+		err := c.forTrialsErr(func(trial int) error {
 			rng := c.rng(expExtHash, capacity, trial)
 			t := exthash.MustNew(exthash.Config{BucketCapacity: capacity})
 			for t.Len() < records {
 				if _, err := t.Put(rng.Uint64(), nil); err != nil {
-					return nil, err
+					return err
 				}
 			}
-			utils = append(utils, t.Utilization())
-			buckets = t.Buckets()
+			utils[trial] = t.Utilization()
+			bucketCounts[trial] = t.Buckets()
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		rows = append(rows, BucketRow{"extendible hashing", capacity, records, stats.Mean(utils), buckets})
+		rows = append(rows, BucketRow{"extendible hashing", capacity, records, stats.Mean(utils), bucketCounts[c.Trials-1]})
 	}
 	// Grid file over uniform points.
 	{
-		utils := make([]float64, 0, c.Trials)
-		buckets := 0
-		for trial := 0; trial < c.Trials; trial++ {
+		utils := make([]float64, c.Trials)
+		bucketCounts := make([]int, c.Trials)
+		err := c.forTrialsErr(func(trial int) error {
 			rng := c.rng(expBuckets, capacity, trial)
 			f := gridfile.MustNew(gridfile.Config{BucketCapacity: capacity})
 			u := dist.NewUniform(geom.UnitSquare, rng)
 			for f.Len() < records {
 				if _, err := f.Put(u.Next(), nil); err != nil {
-					return nil, err
+					return err
 				}
 			}
-			utils = append(utils, f.Utilization())
-			buckets = f.Buckets()
+			utils[trial] = f.Utilization()
+			bucketCounts[trial] = f.Buckets()
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		rows = append(rows, BucketRow{"grid file", capacity, records, stats.Mean(utils), buckets})
+		rows = append(rows, BucketRow{"grid file", capacity, records, stats.Mean(utils), bucketCounts[c.Trials-1]})
 	}
 	// EXCELL over uniform points.
 	{
-		utils := make([]float64, 0, c.Trials)
-		buckets := 0
-		for trial := 0; trial < c.Trials; trial++ {
+		utils := make([]float64, c.Trials)
+		bucketCounts := make([]int, c.Trials)
+		err := c.forTrialsErr(func(trial int) error {
 			rng := c.rng(expBuckets, capacity+1000, trial)
 			f := excell.MustNew(excell.Config{BucketCapacity: capacity})
 			u := dist.NewUniform(geom.UnitSquare, rng)
 			for f.Len() < records {
 				if _, err := f.Put(u.Next(), nil); err != nil {
-					return nil, err
+					return err
 				}
 			}
-			utils = append(utils, f.Utilization())
-			buckets = f.Census().Leaves
+			utils[trial] = f.Utilization()
+			bucketCounts[trial] = f.Census().Leaves
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		rows = append(rows, BucketRow{"EXCELL", capacity, records, stats.Mean(utils), buckets})
+		rows = append(rows, BucketRow{"EXCELL", capacity, records, stats.Mean(utils), bucketCounts[c.Trials-1]})
 	}
 	// PR quadtree utilization for the same capacity, via the model.
 	model, err := core.NewPointModel(capacity, 4)

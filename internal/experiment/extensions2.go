@@ -55,9 +55,10 @@ func RunChurn(cfg Config, capacity, opsFactor int) (ChurnResult, error) {
 	if err != nil {
 		return ChurnResult{}, err
 	}
-	var fresh, churned []stats.Census
+	fresh := make([]stats.Census, c.Trials)
+	churned := make([]stats.Census, c.Trials)
 	ops := opsFactor * c.Points
-	for trial := 0; trial < c.Trials; trial++ {
+	if err := c.forTrialsErr(func(trial int) error {
 		rng := c.rng(expChurn, capacity, trial)
 		t := quadtree.MustNew[struct{}](quadtree.Config{Capacity: capacity})
 		src := dist.NewUniform(t.Region(), rng)
@@ -65,21 +66,21 @@ func RunChurn(cfg Config, capacity, opsFactor int) (ChurnResult, error) {
 		for t.Len() < c.Points {
 			p := src.Next()
 			if replaced, err := t.Insert(p, struct{}{}); err != nil {
-				return ChurnResult{}, err
+				return err
 			} else if !replaced {
 				live = append(live, p)
 			}
 		}
-		fresh = append(fresh, t.Census())
+		fresh[trial] = t.Census()
 		for op := 0; op < ops; op++ {
 			// Delete a random live point, insert a fresh one.
 			i := rng.Intn(len(live))
 			if !t.Delete(live[i]) {
-				return ChurnResult{}, fmt.Errorf("experiment: churn delete failed")
+				return fmt.Errorf("experiment: churn delete failed")
 			}
 			p := src.Next()
 			if replaced, err := t.Insert(p, struct{}{}); err != nil {
-				return ChurnResult{}, err
+				return err
 			} else if replaced {
 				// Point collision (astronomically rare): retry once.
 				op--
@@ -87,7 +88,10 @@ func RunChurn(cfg Config, capacity, opsFactor int) (ChurnResult, error) {
 			}
 			live[i] = p
 		}
-		churned = append(churned, t.Census())
+		churned[trial] = t.Census()
+		return nil
+	}); err != nil {
+		return ChurnResult{}, err
 	}
 	fs := stats.Summarize(fresh, capacity+1)
 	cs := stats.Summarize(churned, capacity+1)
@@ -139,10 +143,12 @@ type PointQuadtreeResult struct {
 // RunPointQuadtree runs E13 with Config.Points uniform points.
 func RunPointQuadtree(cfg Config) (PointQuadtreeResult, error) {
 	c := cfg.withDefaults()
-	var meanDepths, heights, prHeights []float64
+	meanDepths := make([]float64, c.Trials)
+	heights := make([]float64, c.Trials)
+	prHeights := make([]float64, c.Trials)
 	var spreadHeights []float64
 	var sortedHeight float64
-	for trial := 0; trial < c.Trials; trial++ {
+	if err := c.forTrialsErr(func(trial int) error {
 		rng := c.rng(expPointQuadtree, 0, trial)
 		pts := make([]geom.Point, c.Points)
 		for i := range pts {
@@ -152,13 +158,15 @@ func RunPointQuadtree(cfg Config) (PointQuadtreeResult, error) {
 		pq := pointquadtree.MustNew(geom.Rect{})
 		for _, p := range pts {
 			if _, err := pq.Insert(p, nil); err != nil {
-				return PointQuadtreeResult{}, err
+				return err
 			}
 		}
 		s := pq.Analyze()
-		meanDepths = append(meanDepths, s.MeanDepth())
-		heights = append(heights, float64(s.Height))
+		meanDepths[trial] = s.MeanDepth()
+		heights[trial] = float64(s.Height)
 		// Order sensitivity: rebuild the same set under permutations.
+		// Only trial 0 does this, so the single-writer invariant holds
+		// for spreadHeights and sortedHeight too.
 		if trial == 0 {
 			var hs []float64
 			for perm := 0; perm < 8; perm++ {
@@ -166,7 +174,7 @@ func RunPointQuadtree(cfg Config) (PointQuadtreeResult, error) {
 				pq2 := pointquadtree.MustNew(geom.Rect{})
 				for _, i := range order {
 					if _, err := pq2.Insert(pts[i], nil); err != nil {
-						return PointQuadtreeResult{}, err
+						return err
 					}
 				}
 				hs = append(hs, float64(pq2.Analyze().Height))
@@ -178,7 +186,7 @@ func RunPointQuadtree(cfg Config) (PointQuadtreeResult, error) {
 			pq3 := pointquadtree.MustNew(geom.Rect{})
 			for _, p := range sorted {
 				if _, err := pq3.Insert(p, nil); err != nil {
-					return PointQuadtreeResult{}, err
+					return err
 				}
 			}
 			sortedHeight = float64(pq3.Analyze().Height)
@@ -187,10 +195,13 @@ func RunPointQuadtree(cfg Config) (PointQuadtreeResult, error) {
 		pr := quadtree.MustNew[struct{}](quadtree.Config{Capacity: 1})
 		for _, p := range pts {
 			if _, err := pr.Insert(p, struct{}{}); err != nil {
-				return PointQuadtreeResult{}, err
+				return err
 			}
 		}
-		prHeights = append(prHeights, float64(pr.Census().Height))
+		prHeights[trial] = float64(pr.Census().Height)
+		return nil
+	}); err != nil {
+		return PointQuadtreeResult{}, err
 	}
 	return PointQuadtreeResult{
 		Points:               c.Points,
@@ -288,17 +299,20 @@ func RunRobustness(cfg Config, capacity int) ([]RobustnessRow, error) {
 	}
 	var rows []RobustnessRow
 	for si, sp := range specs {
-		censuses := make([]stats.Census, 0, c.Trials)
-		for trial := 0; trial < c.Trials; trial++ {
+		censuses := make([]stats.Census, c.Trials)
+		if err := c.forTrialsErr(func(trial int) error {
 			rng := c.rng(expRobustness, si*10+capacity, trial)
 			t := quadtree.MustNew[struct{}](quadtree.Config{Capacity: capacity})
 			src := sp.mk(t.Region(), rng)
 			for t.Len() < c.Points {
 				if _, err := t.Insert(src.Next(), struct{}{}); err != nil {
-					return nil, err
+					return err
 				}
 			}
-			censuses = append(censuses, t.Census())
+			censuses[trial] = t.Census()
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 		sum := stats.Summarize(censuses, capacity+1)
 		rows = append(rows, RobustnessRow{

@@ -51,16 +51,19 @@ func RunExtHashAnalysis(cfg Config, capacity, maxN int) (ExtHashAnalysis, error)
 		// Exact: utilization = n / (b · E[buckets]).
 		exactUtil := float64(n) / (float64(capacity) * exact.ExpectedLeaves(n))
 		// Simulated.
-		utils := make([]float64, 0, c.Trials)
-		for trial := 0; trial < c.Trials; trial++ {
+		utils := make([]float64, c.Trials)
+		if err := c.forTrialsErr(func(trial int) error {
 			rng := c.rng(expExtHash, n, trial)
 			tab := exthash.MustNew(exthash.Config{BucketCapacity: capacity})
 			for tab.Len() < n {
 				if _, err := tab.Put(rng.Uint64(), nil); err != nil {
-					return ExtHashAnalysis{}, err
+					return err
 				}
 			}
-			utils = append(utils, tab.Utilization())
+			utils[trial] = tab.Utilization()
+			return nil
+		}); err != nil {
+			return ExtHashAnalysis{}, err
 		}
 		res.Rows = append(res.Rows, ExtHashPoint{
 			Records:          n,

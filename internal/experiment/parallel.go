@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// workers resolves Config.Workers to a concrete pool size for n
+// independent units of work: Workers if positive, else GOMAXPROCS,
+// never more than n (an idle goroutine buys nothing).
+func (c Config) workers(n int) int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forTrials runs fn(trial) for every trial in [0, c.Trials) on a bounded
+// worker pool and blocks until all complete. Each trial must be
+// independent: it derives its own RNG stream via Config.rng and writes
+// only to its own index of a pre-sized result slice, so the output is
+// bit-identical whether the pool has one worker (fully sequential) or
+// many. A panic in any trial is re-raised in the caller after the pool
+// drains, mirroring the sequential failure mode.
+func (c Config) forTrials(fn func(trial int)) {
+	c.parFor(c.Trials, fn)
+}
+
+// forTrialsErr is forTrials for trial bodies that can fail: every trial
+// still runs (no cancellation — trials are short and side-effect-free),
+// and the error of the lowest-numbered failing trial is returned, which
+// is the error a sequential run would have surfaced first.
+func (c Config) forTrialsErr(fn func(trial int) error) error {
+	errs := make([]error, c.Trials)
+	c.forTrials(func(trial int) { errs[trial] = fn(trial) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parFor is the engine under forTrials: it fans n index-addressed tasks
+// out to c.workers(n) goroutines over a shared channel and fans back in
+// with a WaitGroup. With one worker it degenerates to a plain loop in
+// index order, which keeps Workers=1 an exact sequential-execution mode
+// (useful for bisecting any suspected nondeterminism, not just for
+// reproducing results — those are identical at any width).
+func (c Config) parFor(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := c.workers(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		panicked any
+	)
+	tasks := make(chan int)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if panicked == nil {
+								panicked = r
+							}
+							mu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		tasks <- i
+	}
+	close(tasks)
+	wg.Wait()
+	if panicked != nil {
+		panic(fmt.Sprintf("experiment: worker panic: %v", panicked))
+	}
+}

@@ -1,0 +1,136 @@
+package experiment
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestWorkersResolution pins the pool-size policy.
+func TestWorkersResolution(t *testing.T) {
+	if w := (Config{Workers: 3}).workers(10); w != 3 {
+		t.Errorf("explicit Workers: got %d, want 3", w)
+	}
+	if w := (Config{Workers: 8}).workers(2); w != 2 {
+		t.Errorf("clamp to task count: got %d, want 2", w)
+	}
+	if w := (Config{}).workers(10); w < 1 {
+		t.Errorf("default workers must be >= 1, got %d", w)
+	}
+}
+
+// TestParForCoversAllIndices checks every index runs exactly once at
+// several pool widths.
+func TestParForCoversAllIndices(t *testing.T) {
+	for _, w := range []int{1, 2, 7, 64} {
+		c := Config{Workers: w}
+		counts := make([]int, 100)
+		c.parFor(len(counts), func(i int) { counts[i]++ })
+		for i, n := range counts {
+			if n != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", w, i, n)
+			}
+		}
+	}
+}
+
+// TestForTrialsErrReturnsLowestTrialError checks the error surfaced is
+// the one a sequential run would have hit first.
+func TestForTrialsErrReturnsLowestTrialError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	c := Config{Trials: 10, Workers: 4}
+	err := c.forTrialsErr(func(trial int) error {
+		switch trial {
+		case 3:
+			return errLow
+		case 7:
+			return errHigh
+		}
+		return nil
+	})
+	if !errors.Is(err, errLow) {
+		t.Fatalf("got %v, want the trial-3 error", err)
+	}
+}
+
+// TestParForPanicPropagates checks a worker panic reaches the caller.
+func TestParForPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic swallowed by the worker pool")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+			t.Fatalf("panic payload lost: %v", r)
+		}
+	}()
+	c := Config{Workers: 4}
+	c.parFor(8, func(i int) {
+		if i == 5 {
+			panic("boom")
+		}
+	})
+}
+
+// TestParallelDeterminism is the engine's core guarantee: every
+// experiment family produces bit-identical results at any worker-pool
+// width, because per-trial RNG streams are derived from coordinates, not
+// from execution order.
+func TestParallelDeterminism(t *testing.T) {
+	base := Config{Trials: 6, Points: 200, Seed: 7}
+	run := func(workers int) map[string]any {
+		cfg := base
+		cfg.Workers = workers
+		out := map[string]any{}
+		caps, err := RunTables12(cfg, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["tables12"] = caps
+		sweep, err := RunSweep(cfg, 4, GeometricSizes(64, 256), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["sweep"] = sweep
+		pmr, err := RunPMR(cfg, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["pmr"] = pmr
+		churn, err := RunChurn(cfg, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["churn"] = churn
+		buckets, err := RunBucketBaselines(cfg, 4, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["buckets"] = buckets
+		pq, err := RunPointQuadtree(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["pointquadtree"] = pq
+		rob, err := RunRobustness(cfg, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["robustness"] = rob
+		eh, err := RunExtHashAnalysis(cfg, 4, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["exthash"] = eh
+		return out
+	}
+	sequential := run(1)
+	parallel := run(8)
+	for name := range sequential {
+		if !reflect.DeepEqual(sequential[name], parallel[name]) {
+			t.Errorf("%s: workers=8 differs from workers=1\nseq: %+v\npar: %+v",
+				name, sequential[name], parallel[name])
+		}
+	}
+}

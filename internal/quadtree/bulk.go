@@ -1,0 +1,104 @@
+package quadtree
+
+// Bulk insertion. A batch of points is routed down the tree with a
+// recursive stable 4-way partition: one quadrant-counting pass computes
+// group offsets, the groups are copied into a scratch buffer, and the
+// recursion descends with the roles of the two buffers swapped
+// (ping-pong), so the whole load does O(n · depth) work with two O(n)
+// buffers instead of per-insert descents and transient splits. Because
+// the PR quadtree's shape depends only on the point set, the result is
+// identical to inserting the batch point by point.
+
+import (
+	"fmt"
+
+	"popana/internal/geom"
+)
+
+// BulkLoad inserts a batch of point-value pairs into the tree in one
+// partitioning pass and reports how many points were new. Semantics
+// match a sequential loop of Insert calls: a point equal to one already
+// stored (or repeated within the batch) keeps the last value and adds
+// nothing to Len. If any point lies outside the region, ErrOutOfRegion
+// is returned and the tree is left unchanged.
+func (t *Tree[V]) BulkLoad(points []geom.Point, values []V) (added int, err error) {
+	if len(points) != len(values) {
+		return 0, fmt.Errorf("quadtree: %d points but %d values", len(points), len(values))
+	}
+	for _, p := range points {
+		if !t.cfg.Region.Contains(p) {
+			return 0, fmt.Errorf("%w: %v not in %v", ErrOutOfRegion, p, t.cfg.Region)
+		}
+	}
+	if len(points) == 0 {
+		return 0, nil
+	}
+	es := make([]entry[V], len(points))
+	for i := range points {
+		es[i] = entry[V]{points[i], values[i]}
+	}
+	before := t.size
+	t.bulkInsert(t.root, t.cfg.Region, 0, es, make([]entry[V], len(es)))
+	return t.size - before, nil
+}
+
+// bulkInsert routes the batch es into the subtree at n. scratch is a
+// buffer of the same length as es; the two swap roles at each level.
+// The batch's order is preserved within each quadrant group (stable
+// partition), which is what makes duplicates resolve last-wins exactly
+// as sequential insertion would.
+func (t *Tree[V]) bulkInsert(n *node[V], block geom.Rect, depth int, es, scratch []entry[V]) {
+	if len(es) == 0 {
+		return
+	}
+	merge := false
+	if n.leaf() {
+		if depth >= t.cfg.MaxDepth || len(n.entries)+len(es) <= t.cfg.Capacity {
+			// Small enough to resolve in place (or pinned by the depth
+			// truncation): fold the batch into the leaf, last value wins.
+			for _, e := range es {
+				replaced := false
+				for i := range n.entries {
+					if n.entries[i].p == e.p {
+						n.entries[i].v = e.v
+						replaced = true
+						break
+					}
+				}
+				if !replaced {
+					n.entries = append(n.entries, e)
+					t.size++
+				}
+			}
+			return
+		}
+		// The combined set may overflow the block: split now and route
+		// the batch through the resulting children. If duplicates end up
+		// keeping the distinct count within capacity after all, the
+		// merge check below collapses the block back, so the final shape
+		// is still the canonical one for the point set.
+		t.split(n, block)
+		merge = true
+	}
+	// Stable 4-way partition of es into scratch.
+	var count, pos [4]int
+	for i := range es {
+		count[block.QuadrantOf(es[i].p)]++
+	}
+	for q := 1; q < 4; q++ {
+		pos[q] = pos[q-1] + count[q-1]
+	}
+	off := pos
+	for i := range es {
+		q := block.QuadrantOf(es[i].p)
+		scratch[pos[q]] = es[i]
+		pos[q]++
+	}
+	for q := 0; q < 4; q++ {
+		lo, hi := off[q], off[q]+count[q]
+		t.bulkInsert(&n.children[q], block.Quadrant(q), depth+1, scratch[lo:hi], es[lo:hi])
+	}
+	if merge {
+		t.maybeMerge(n)
+	}
+}

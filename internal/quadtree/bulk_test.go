@@ -1,0 +1,209 @@
+package quadtree
+
+import (
+	"testing"
+
+	"popana/internal/geom"
+	"popana/internal/xrand"
+)
+
+// treeFingerprint captures the exact shape and contents of a tree for
+// equality checks: every leaf block with its depth and sorted census,
+// via the public walkers.
+func treeFingerprint(t *Tree[int]) (blocks []struct {
+	block geom.Rect
+	depth int
+	occ   int
+}, points map[geom.Point]int) {
+	t.WalkBlocks(func(b geom.Rect, depth, occ int) bool {
+		blocks = append(blocks, struct {
+			block geom.Rect
+			depth int
+			occ   int
+		}{b, depth, occ})
+		return true
+	})
+	points = map[geom.Point]int{}
+	t.Walk(func(p geom.Point, v int) bool {
+		points[p] = v
+		return true
+	})
+	return blocks, points
+}
+
+// TestBulkLoadMatchesSequentialInsert is the core equivalence: loading a
+// batch must leave the tree in exactly the state a loop of Inserts
+// would, including shape, because the PR quadtree is canonical.
+func TestBulkLoadMatchesSequentialInsert(t *testing.T) {
+	rng := xrand.New(99)
+	for _, n := range []int{0, 1, 7, 100, 3000} {
+		cfg := Config{Capacity: 4}
+		points := make([]geom.Point, n)
+		values := make([]int, n)
+		for i := range points {
+			points[i] = geom.Pt(rng.Float64(), rng.Float64())
+			values[i] = i
+		}
+		// Add duplicates: re-insert some earlier points with new values.
+		if n >= 100 {
+			for i := 0; i < 20; i++ {
+				points = append(points, points[i*3])
+				values = append(values, 100000+i)
+			}
+		}
+
+		seq := MustNew[int](cfg)
+		for i := range points {
+			if _, err := seq.Insert(points[i], values[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		bulk := MustNew[int](cfg)
+		added, err := bulk.BulkLoad(points, values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if added != seq.Len() || bulk.Len() != seq.Len() {
+			t.Fatalf("n=%d: bulk added %d / len %d, sequential len %d", n, added, bulk.Len(), seq.Len())
+		}
+		sb, sp := treeFingerprint(seq)
+		bb, bp := treeFingerprint(bulk)
+		if len(sb) != len(bb) {
+			t.Fatalf("n=%d: %d leaf blocks sequentially, %d bulk", n, len(sb), len(bb))
+		}
+		for i := range sb {
+			if sb[i] != bb[i] {
+				t.Fatalf("n=%d: leaf %d differs: seq %+v bulk %+v", n, i, sb[i], bb[i])
+			}
+		}
+		for p, v := range sp {
+			if bp[p] != v {
+				t.Fatalf("n=%d: point %v has value %d bulk, %d sequential", n, p, bp[p], v)
+			}
+		}
+	}
+}
+
+// TestBulkLoadIntoPopulatedTree loads a second batch into a tree that
+// already has points, overlapping some of them.
+func TestBulkLoadIntoPopulatedTree(t *testing.T) {
+	rng := xrand.New(5)
+	cfg := Config{Capacity: 4}
+	first := make([]geom.Point, 500)
+	for i := range first {
+		first[i] = geom.Pt(rng.Float64(), rng.Float64())
+	}
+	second := make([]geom.Point, 500)
+	for i := range second {
+		if i < 50 {
+			second[i] = first[i] // overlap: replace, don't grow
+		} else {
+			second[i] = geom.Pt(rng.Float64(), rng.Float64())
+		}
+	}
+	vals := func(base int, n int) []int {
+		vs := make([]int, n)
+		for i := range vs {
+			vs[i] = base + i
+		}
+		return vs
+	}
+
+	seq := MustNew[int](cfg)
+	incr := MustNew[int](cfg)
+	for i, p := range first {
+		if _, err := seq.Insert(p, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := incr.BulkLoad(first, vals(0, len(first))); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range second {
+		if _, err := seq.Insert(p, 1000+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	added, err := incr.BulkLoad(second, vals(1000, len(second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 450 {
+		t.Fatalf("second batch added %d new points, want 450", added)
+	}
+	sb, sp := treeFingerprint(seq)
+	bb, bp := treeFingerprint(incr)
+	if len(sb) != len(bb) {
+		t.Fatalf("%d leaf blocks sequentially, %d bulk", len(sb), len(bb))
+	}
+	for i := range sb {
+		if sb[i] != bb[i] {
+			t.Fatalf("leaf %d differs: seq %+v bulk %+v", i, sb[i], bb[i])
+		}
+	}
+	for p, v := range sp {
+		if bp[p] != v {
+			t.Fatalf("point %v: bulk value %d, sequential %d", p, bp[p], v)
+		}
+	}
+}
+
+// TestBulkLoadRejectsOutOfRegion checks validation happens before any
+// mutation: a batch with one bad point must leave the tree untouched.
+func TestBulkLoadRejectsOutOfRegion(t *testing.T) {
+	tr := MustNew[int](Config{Capacity: 2})
+	if _, err := tr.Insert(geom.Pt(0.5, 0.5), 1); err != nil {
+		t.Fatal(err)
+	}
+	_, err := tr.BulkLoad(
+		[]geom.Point{{X: 0.1, Y: 0.1}, {X: 5, Y: 5}},
+		[]int{2, 3},
+	)
+	if err == nil {
+		t.Fatal("out-of-region point accepted")
+	}
+	if tr.Len() != 1 || tr.Contains(geom.Pt(0.1, 0.1)) {
+		t.Fatal("failed bulk load mutated the tree")
+	}
+	if _, err := tr.BulkLoad([]geom.Point{{X: 0.1, Y: 0.1}}, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+// TestFreeListRecycling drives splits and merges through a churn
+// workload and checks invariants hold with the free list active.
+func TestFreeListRecycling(t *testing.T) {
+	rng := xrand.New(17)
+	tr := MustNew[int](Config{Capacity: 2})
+	live := make([]geom.Point, 0, 200)
+	for i := 0; i < 200; i++ {
+		p := geom.Pt(rng.Float64(), rng.Float64())
+		if _, err := tr.Insert(p, i); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, p)
+	}
+	for round := 0; round < 5; round++ {
+		// Delete half (forcing merges), reinsert fresh (forcing splits).
+		for i := 0; i < 100; i++ {
+			if !tr.Delete(live[i]) {
+				t.Fatalf("round %d: lost point %v", round, live[i])
+			}
+		}
+		for i := 0; i < 100; i++ {
+			live[i] = geom.Pt(rng.Float64(), rng.Float64())
+			if _, err := tr.Insert(live[i], i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		checkInvariants(t, tr)
+		for _, p := range live {
+			if !tr.Contains(p) {
+				t.Fatalf("round %d: point %v missing after churn", round, p)
+			}
+		}
+	}
+	if len(tr.free) == 0 {
+		t.Error("churn produced no recycled child blocks; free list inert")
+	}
+}

@@ -94,7 +94,8 @@ func Decode[V any](r io.Reader) (*Tree[V], error) {
 // BulkLoad builds a tree from a batch of entries more efficiently than
 // repeated Insert: points are partitioned recursively, so each point is
 // routed O(depth) once with no transient splits. Duplicate points keep
-// the last value, matching Insert semantics.
+// the last value, matching Insert semantics. It is the constructor form
+// of (*Tree[V]).BulkLoad.
 func BulkLoad[V any](cfg Config, points []geom.Point, values []V) (*Tree[V], error) {
 	if len(points) != len(values) {
 		return nil, fmt.Errorf("quadtree: %d points but %d values", len(points), len(values))
@@ -103,38 +104,8 @@ func BulkLoad[V any](cfg Config, points []geom.Point, values []V) (*Tree[V], err
 	if err != nil {
 		return nil, err
 	}
-	entries := make([]entry[V], 0, len(points))
-	seen := make(map[geom.Point]int, len(points))
-	for i, p := range points {
-		if !t.cfg.Region.Contains(p) {
-			return nil, fmt.Errorf("%w: %v not in %v", ErrOutOfRegion, p, t.cfg.Region)
-		}
-		if j, dup := seen[p]; dup {
-			entries[j].v = values[i]
-			continue
-		}
-		seen[p] = len(entries)
-		entries = append(entries, entry[V]{p, values[i]})
+	if _, err := t.BulkLoad(points, values); err != nil {
+		return nil, err
 	}
-	t.size = len(entries)
-	t.root = bulkBuild(entries, t.cfg.Region, 0, t.cfg)
 	return t, nil
-}
-
-func bulkBuild[V any](entries []entry[V], block geom.Rect, depth int, cfg Config) *node[V] {
-	if len(entries) <= cfg.Capacity || depth >= cfg.MaxDepth {
-		n := &node[V]{}
-		n.entries = append(n.entries, entries...)
-		return n
-	}
-	var parts [4][]entry[V]
-	for _, e := range entries {
-		q := block.QuadrantOf(e.p)
-		parts[q] = append(parts[q], e)
-	}
-	var ch [4]*node[V]
-	for q := 0; q < 4; q++ {
-		ch[q] = bulkBuild(parts[q], block.Quadrant(q), depth+1, cfg)
-	}
-	return &node[V]{children: &ch}
 }

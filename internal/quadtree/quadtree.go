@@ -73,19 +73,32 @@ type entry[V any] struct {
 }
 
 // node is a quadtree node: a leaf holds entries; an internal node holds
-// four children and no entries.
+// four children and no entries. The children live in a single [4]node
+// block, so a split costs one allocation (not five), and blocks
+// reclaimed by merges are recycled through the tree's free list.
 type node[V any] struct {
-	children *[4]*node[V] // nil iff leaf
+	children *[4]node[V] // nil iff leaf
 	entries  []entry[V]
 }
 
 func (n *node[V]) leaf() bool { return n.children == nil }
+
+// freeListMax bounds the per-tree node free list and entry-slice pool so
+// a mass deletion cannot pin an arbitrarily large arena; beyond it,
+// reclaimed memory is left to the garbage collector.
+const freeListMax = 1024
 
 // Tree is a PR quadtree mapping distinct points to values of type V.
 type Tree[V any] struct {
 	cfg  Config
 	root *node[V]
 	size int
+
+	// free recycles child blocks reclaimed by merges; spare recycles
+	// entry slices parked by splits. Together they make the split/merge
+	// hot path allocation-free at steady state (churn workloads).
+	free  []*[4]node[V]
+	spare [][]entry[V]
 }
 
 // New returns an empty tree for the given configuration.
@@ -137,7 +150,7 @@ func (t *Tree[V]) insert(n *node[V], block geom.Rect, depth int, e entry[V]) (re
 	for !n.leaf() {
 		q := block.QuadrantOf(e.p)
 		block = block.Quadrant(q)
-		n = n.children[q]
+		n = &n.children[q]
 		depth++
 	}
 	for i := range n.entries {
@@ -150,7 +163,7 @@ func (t *Tree[V]) insert(n *node[V], block geom.Rect, depth int, e entry[V]) (re
 	// Split until no block holds more than Capacity points, stopping at
 	// the depth truncation.
 	for len(n.entries) > t.cfg.Capacity && depth < t.cfg.MaxDepth {
-		n.split(block)
+		t.split(n, block)
 		// At most one child can still be over capacity (the block held
 		// capacity+1 entries, so an overfull child must have received
 		// all of them); recurse into it if it exists.
@@ -165,25 +178,74 @@ func (t *Tree[V]) insert(n *node[V], block geom.Rect, depth int, e entry[V]) (re
 			break
 		}
 		block = block.Quadrant(over)
-		n = n.children[over]
+		n = &n.children[over]
 		depth++
 	}
 	return false
 }
 
 // split turns leaf n into an internal node, distributing its entries into
-// the four quadrants of block.
-func (n *node[V]) split(block geom.Rect) {
-	var ch [4]*node[V]
-	for q := range ch {
-		ch[q] = &node[V]{}
-	}
+// the four quadrants of block. The child block comes from the tree's
+// free list when one is available, and the parent's entry slice is
+// parked for reuse by a future leaf.
+func (t *Tree[V]) split(n *node[V], block geom.Rect) {
+	ch := t.newChildren()
 	for _, e := range n.entries {
 		q := block.QuadrantOf(e.p)
-		ch[q].entries = append(ch[q].entries, e)
+		c := &ch[q]
+		if c.entries == nil {
+			c.entries = t.newEntries()
+		}
+		c.entries = append(c.entries, e)
 	}
+	t.releaseEntries(n.entries)
 	n.entries = nil
-	n.children = &ch
+	n.children = ch
+}
+
+// newChildren pops a recycled child block from the free list, or
+// allocates a fresh one. Recycled blocks arrive as four empty leaves.
+func (t *Tree[V]) newChildren() *[4]node[V] {
+	if k := len(t.free); k > 0 {
+		b := t.free[k-1]
+		t.free = t.free[:k-1]
+		return b
+	}
+	return new([4]node[V])
+}
+
+// releaseChildren resets b's four nodes to empty leaves and returns the
+// block to the free list. Callers must guarantee every node in b is a
+// leaf (maybeMerge checks this). Entries are cleared so the block does
+// not pin caller values against the garbage collector.
+func (t *Tree[V]) releaseChildren(b *[4]node[V]) {
+	for q := range b {
+		clear(b[q].entries)
+		b[q].entries = b[q].entries[:0]
+	}
+	if len(t.free) < freeListMax {
+		t.free = append(t.free, b)
+	}
+}
+
+// newEntries pops a recycled entry slice (len 0, spare capacity) from
+// the pool; nil means the caller's append will allocate as usual.
+func (t *Tree[V]) newEntries() []entry[V] {
+	if k := len(t.spare); k > 0 {
+		s := t.spare[k-1]
+		t.spare = t.spare[:k-1]
+		return s
+	}
+	return nil
+}
+
+// releaseEntries clears s and parks its backing array for reuse.
+func (t *Tree[V]) releaseEntries(s []entry[V]) {
+	if cap(s) == 0 || len(t.spare) >= freeListMax {
+		return
+	}
+	clear(s)
+	t.spare = append(t.spare, s[:0])
 }
 
 // Get returns the value stored at p, if any.
@@ -196,7 +258,7 @@ func (t *Tree[V]) Get(p geom.Point) (V, bool) {
 	for !n.leaf() {
 		q := block.QuadrantOf(p)
 		block = block.Quadrant(q)
-		n = n.children[q]
+		n = &n.children[q]
 	}
 	for i := range n.entries {
 		if n.entries[i].p == p {
@@ -241,7 +303,7 @@ func (t *Tree[V]) delete(n *node[V], block geom.Rect, p geom.Point) bool {
 		return false
 	}
 	q := block.QuadrantOf(p)
-	if !t.delete(n.children[q], block.Quadrant(q), p) {
+	if !t.delete(&n.children[q], block.Quadrant(q), p) {
 		return false
 	}
 	t.maybeMerge(n)
@@ -249,10 +311,12 @@ func (t *Tree[V]) delete(n *node[V], block geom.Rect, p geom.Point) bool {
 }
 
 // maybeMerge collapses n's children back into n when all four are leaves
-// and their combined occupancy fits a single block.
+// and their combined occupancy fits a single block. The reclaimed child
+// block goes back on the free list for the next split to reuse.
 func (t *Tree[V]) maybeMerge(n *node[V]) {
 	total := 0
-	for _, c := range n.children {
+	for q := range n.children {
+		c := &n.children[q]
 		if !c.leaf() {
 			return
 		}
@@ -261,10 +325,14 @@ func (t *Tree[V]) maybeMerge(n *node[V]) {
 	if total > t.cfg.Capacity {
 		return
 	}
-	merged := make([]entry[V], 0, total)
-	for _, c := range n.children {
-		merged = append(merged, c.entries...)
+	merged := t.newEntries()
+	if cap(merged) < total {
+		merged = make([]entry[V], 0, total)
 	}
+	for q := range n.children {
+		merged = append(merged, n.children[q].entries...)
+	}
+	t.releaseChildren(n.children)
 	n.children = nil
 	n.entries = merged
 }

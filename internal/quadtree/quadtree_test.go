@@ -42,7 +42,7 @@ func checkInvariants[V any](t *testing.T, tr *Tree[V]) {
 			t.Fatalf("internal node holds %d entries", len(n.entries))
 		}
 		for q := 0; q < 4; q++ {
-			walk(n.children[q], block.Quadrant(q), depth+1)
+			walk(&n.children[q], block.Quadrant(q), depth+1)
 		}
 	}
 	walk(tr.root, tr.cfg.Region, 0)

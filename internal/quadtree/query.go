@@ -34,7 +34,7 @@ func rangeQuery[V any](n *node[V], block, query geom.Rect, visit Visit[V]) bool 
 		if !child.Intersects(query) && !touchesClosed(child, query) {
 			continue
 		}
-		if !rangeQuery(n.children[q], child, query, visit) {
+		if !rangeQuery(&n.children[q], child, query, visit) {
 			return false
 		}
 	}
@@ -118,7 +118,7 @@ func rangeCounted[V any](n *node[V], block, query geom.Rect, visit Visit[V], st 
 		if !child.Intersects(query) && !touchesClosed(child, query) {
 			continue
 		}
-		if !rangeCounted(n.children[q], child, query, visit, st, maxNodes) {
+		if !rangeCounted(&n.children[q], child, query, visit, st, maxNodes) {
 			return false
 		}
 	}
@@ -167,7 +167,7 @@ func nearest[V any](n *node[V], block geom.Rect, p geom.Point, bestD *float64, b
 		if c.d >= *bestD {
 			return // remaining children are at least as far
 		}
-		nearest(n.children[c.q], block.Quadrant(c.q), p, bestD, best, bestV)
+		nearest(&n.children[c.q], block.Quadrant(c.q), p, bestD, best, bestV)
 	}
 }
 
@@ -216,7 +216,7 @@ func kNearest[V any](n *node[V], block geom.Rect, p geom.Point, k int, h *maxHea
 		if len(h.pts) == k && c.d >= h.top() {
 			return
 		}
-		kNearest(n.children[c.q], block.Quadrant(c.q), p, k, h)
+		kNearest(&n.children[c.q], block.Quadrant(c.q), p, k, h)
 	}
 }
 
@@ -295,8 +295,8 @@ func walk[V any](n *node[V], visit Visit[V]) bool {
 		}
 		return true
 	}
-	for _, c := range n.children {
-		if !walk(c, visit) {
+	for q := range n.children {
+		if !walk(&n.children[q], visit) {
 			return false
 		}
 	}

@@ -22,7 +22,7 @@ func census[V any](n *node[V], block geom.Rect, depth int, totalArea float64, b 
 	}
 	b.AddInternal(depth)
 	for q := 0; q < 4; q++ {
-		census(n.children[q], block.Quadrant(q), depth+1, totalArea, b)
+		census(&n.children[q], block.Quadrant(q), depth+1, totalArea, b)
 	}
 }
 
@@ -38,7 +38,7 @@ func walkBlocks[V any](n *node[V], block geom.Rect, depth int, visit func(geom.R
 		return visit(block, depth, len(n.entries))
 	}
 	for q := 0; q < 4; q++ {
-		if !walkBlocks(n.children[q], block.Quadrant(q), depth+1, visit) {
+		if !walkBlocks(&n.children[q], block.Quadrant(q), depth+1, visit) {
 			return false
 		}
 	}

@@ -1,0 +1,172 @@
+package spatialdb
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"popana/internal/geom"
+	"popana/internal/xrand"
+)
+
+func batchRecords(seed uint64, base uint64, n int) []Record {
+	rng := xrand.New(seed)
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{ID: base + uint64(i), Loc: geom.Pt(rng.Float64(), rng.Float64())}
+	}
+	return recs
+}
+
+// TestInsertBatchBasic checks a batch lands fully and is queryable.
+func TestInsertBatchBasic(t *testing.T) {
+	db := NewDB()
+	tab, err := db.CreateTable("pts", 8, geom.Rect{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := batchRecords(1, 0, 500)
+	if err := tab.InsertBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 500 {
+		t.Fatalf("len %d after batch of 500", tab.Len())
+	}
+	for _, r := range recs[:20] {
+		got, ok := tab.Get(r.ID)
+		if !ok || got.Loc != r.Loc {
+			t.Fatalf("record %d lost or moved: %+v", r.ID, got)
+		}
+	}
+	out, _, err := tab.Select(Query{Window: &geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 500 {
+		t.Fatalf("window over the universe returned %d of 500", len(out))
+	}
+	if err := tab.InsertBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+// TestInsertBatchAtomicity checks a rejected batch changes nothing: bad
+// point, duplicate ID (in-batch and vs table), duplicate location.
+func TestInsertBatchAtomicity(t *testing.T) {
+	db := NewDB()
+	tab, err := db.CreateTable("pts", 4, geom.Rect{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedRecs := batchRecords(2, 0, 10)
+	if err := tab.InsertBatch(seedRecs); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		batch []Record
+		want  error
+	}{
+		{"id exists in table", []Record{{ID: 5, Loc: geom.Pt(0.9, 0.9)}}, ErrDuplicateID},
+		{"id repeated in batch", []Record{
+			{ID: 100, Loc: geom.Pt(0.91, 0.9)},
+			{ID: 100, Loc: geom.Pt(0.92, 0.9)},
+		}, ErrDuplicateID},
+		{"invalid point", []Record{{ID: 101, Loc: geom.Pt(0.93, 0.9)}, {ID: 102, Loc: badPoint()}}, ErrInvalidPoint},
+		{"location occupied", []Record{{ID: 103, Loc: seedRecs[0].Loc}}, nil},
+		{"location repeated in batch", []Record{
+			{ID: 104, Loc: geom.Pt(0.94, 0.9)},
+			{ID: 105, Loc: geom.Pt(0.94, 0.9)},
+		}, nil},
+	}
+	for _, c := range cases {
+		err := tab.InsertBatch(c.batch)
+		if err == nil {
+			t.Fatalf("%s: batch accepted", c.name)
+		}
+		if c.want != nil && !errors.Is(err, c.want) {
+			t.Fatalf("%s: error %v does not wrap %v", c.name, err, c.want)
+		}
+		if tab.Len() != 10 {
+			t.Fatalf("%s: failed batch mutated the table (len %d)", c.name, tab.Len())
+		}
+		for _, r := range c.batch {
+			if _, ok := tab.Get(r.ID); ok && r.ID >= 100 {
+				t.Fatalf("%s: record %d leaked from failed batch", c.name, r.ID)
+			}
+		}
+	}
+}
+
+func badPoint() geom.Point {
+	return geom.Pt(math.Inf(1), 0)
+}
+
+// TestInsertBatchConcurrentWithQueries hammers one table with batch
+// writers and window/nearest readers; run under -race this is the proof
+// that InsertBatch holds the table lock correctly. Readers must always
+// observe a multiple of the batch size (no partially applied batch).
+func TestInsertBatchConcurrentWithQueries(t *testing.T) {
+	db := NewDB()
+	tab, err := db.CreateTable("pts", 8, geom.Rect{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers   = 4
+		batches   = 8
+		batchSize = 50
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				base := uint64(w*batches+b) * batchSize
+				recs := batchRecords(uint64(1000+w*batches+b), base, batchSize)
+				if err := tab.InsertBatch(recs); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			window := geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				out, _, err := tab.Select(Query{Window: &window})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(out)%batchSize != 0 {
+					t.Errorf("reader saw partial batch: %d records", len(out))
+					return
+				}
+				if _, _, err := tab.Select(Query{Nearest: &NearestSpec{At: geom.Pt(0.5, 0.5), K: 3}}); err != nil {
+					t.Error(err)
+					return
+				}
+				tab.Stats()
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if want := writers * batches * batchSize; tab.Len() != want {
+		t.Fatalf("table has %d records, want %d", tab.Len(), want)
+	}
+}

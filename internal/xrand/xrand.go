@@ -78,6 +78,30 @@ func (r *Rand) Uint64() uint64 {
 // which is sufficient for Monte Carlo purposes.
 func (r *Rand) Split() *Rand { return New(r.Uint64()) }
 
+// deriveConstants are the odd 64-bit mixing constants Derive cycles
+// through, one per coordinate: the SplitMix64 increment, and the two
+// xxHash64 primes used for avalanche mixing.
+var deriveConstants = [3]uint64{
+	0x9e3779b97f4a7c15,
+	0xc2b2ae3d27d4eb4f,
+	0x165667b19e3779f9,
+}
+
+// Derive maps a base seed and a coordinate vector (experiment id,
+// parameter, trial, ...) to a derived seed, so that every cell of a
+// multi-dimensional experiment grid gets its own deterministic stream.
+// The derivation is pure arithmetic on the inputs — independent of
+// evaluation order — which is what lets trials run concurrently on a
+// worker pool while remaining bit-identical to a sequential run: trial
+// t's generator is New(Derive(seed, e, p, t)) no matter which goroutine,
+// or in which order, builds it.
+func Derive(seed uint64, ids ...uint64) uint64 {
+	for i, id := range ids {
+		seed ^= id * deriveConstants[i%len(deriveConstants)]
+	}
+	return seed
+}
+
 // Float64 returns a uniform value in [0, 1) with 53 bits of precision.
 func (r *Rand) Float64() float64 {
 	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
