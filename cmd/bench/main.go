@@ -20,6 +20,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -34,21 +37,73 @@ func main() {
 		threshold = flag.Float64("threshold", 0.20, "regression threshold as a fraction (0.20 = +20%)")
 		short     = flag.Bool("short", false, "run only the fast micro-benchmarks")
 		benchtime = flag.Duration("benchtime", time.Second, "target duration per benchmark")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the measured benchmark loops to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile taken after the measured loops to this file")
+		runPat    = flag.String("run", "", "run only benchmarks whose name matches this regexp")
 	)
 	flag.Parse()
-	if err := run(*out, *label, *baseline, *threshold, *short, *benchtime); err != nil {
+	if err := run(*out, *label, *baseline, *threshold, *short, *benchtime, *cpuprof, *memprof, *runPat); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, label, baseline string, threshold float64, short bool, benchtime time.Duration) error {
+func run(out, label, baseline string, threshold float64, short bool, benchtime time.Duration, cpuprof, memprof, runPat string) error {
 	if err := bench.SetBenchtime(benchtime); err != nil {
 		return err
 	}
-	report := bench.Run(label, bench.Suite(short), func(line string) {
+	specs := bench.Suite(short)
+	if runPat != "" {
+		re, err := regexp.Compile(runPat)
+		if err != nil {
+			return fmt.Errorf("bad -run pattern: %w", err)
+		}
+		kept := specs[:0]
+		for _, s := range specs {
+			if re.MatchString(s.Name) {
+				kept = append(kept, s)
+			}
+		}
+		specs = kept
+		if len(specs) == 0 {
+			return fmt.Errorf("no benchmarks match -run %q", runPat)
+		}
+	}
+	// Profiling brackets exactly the measured loops: started after flag
+	// parsing and setup, stopped before report writing and comparison,
+	// so the profile is benchmark work and nothing else.
+	if cpuprof != "" {
+		f, err := os.Create(cpuprof)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("start CPU profile: %w", err)
+		}
+	}
+	report := bench.Run(label, specs, func(line string) {
 		fmt.Print(line)
 	})
+	if cpuprof != "" {
+		pprof.StopCPUProfile()
+		fmt.Printf("wrote CPU profile %s\n", cpuprof)
+	}
+	if memprof != "" {
+		f, err := os.Create(memprof)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // flush pending allocations so the heap profile is settled
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("write heap profile: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote heap profile %s\n", memprof)
+	}
 	report.When = time.Now().UTC().Format(time.RFC3339)
 	if out != "" {
 		if err := report.WriteFile(out); err != nil {

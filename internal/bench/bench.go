@@ -39,6 +39,7 @@ func Suite(short bool) []Spec {
 		{"QuadtreeChurn", benchQuadtreeChurn},
 		{"SpatialInsertBatch", benchSpatialInsertBatch},
 	}
+	specs = append(specs, frozenSpecs(short)...)
 	if !short {
 		specs = append(specs,
 			Spec{"Table1ExpectedDistribution", benchTable1},

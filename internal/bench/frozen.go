@@ -1,0 +1,255 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"popana/internal/dist"
+	"popana/internal/geom"
+	"popana/internal/linearquad"
+	"popana/internal/quadtree"
+	"popana/internal/spatialdb"
+	"popana/internal/xrand"
+)
+
+// The frozen-vs-live benchmarks: identical query streams against the
+// pointer tree and its linear (Morton-coded) snapshot, across the
+// paper's capacity range and both data distributions. The headline pair
+// is FrozenRangeUniformM8 vs LiveRangeUniformM8 on the 64k-point
+// uniform workload.
+
+// frozenSpecs returns the frozen-vs-live benchmark specs. The short set
+// carries the headline m=8 pair plus the build and lookup costs; the
+// full set sweeps m ∈ {1,2,4,8,16,32} over uniform and clustered data.
+func frozenSpecs(short bool) []Spec {
+	specs := []Spec{
+		{"FreezeBuild64k", benchFreezeBuild},
+		{"FrozenGet64k", benchFrozenGet},
+		{"LiveRangeUniformM8", benchRange(8, false, false)},
+		{"FrozenRangeUniformM8", benchRange(8, false, true)},
+		{"LiveRangeVisitUniformM8", benchRangeVisit(false)},
+		{"FrozenRangeVisitUniformM8", benchRangeVisit(true)},
+		{"SpatialSelectLive", benchSpatialSelect(false, false)},
+		{"SpatialSelectSnapshot", benchSpatialSelect(true, false)},
+		{"SpatialCountLive", benchSpatialSelect(false, true)},
+		{"SpatialCountSnapshot", benchSpatialSelect(true, true)},
+	}
+	if short {
+		return specs
+	}
+	for _, m := range []int{1, 2, 4, 16, 32} { // 8 is in the short set
+		specs = append(specs,
+			Spec{fmt.Sprintf("LiveRangeUniformM%d", m), benchRange(m, false, false)},
+			Spec{fmt.Sprintf("FrozenRangeUniformM%d", m), benchRange(m, false, true)},
+		)
+	}
+	for _, m := range []int{1, 2, 4, 8, 16, 32} {
+		specs = append(specs,
+			Spec{fmt.Sprintf("LiveRangeClusterM%d", m), benchRange(m, true, false)},
+			Spec{fmt.Sprintf("FrozenRangeClusterM%d", m), benchRange(m, true, true)},
+		)
+	}
+	return specs
+}
+
+const frozenWorkload = 64 * 1024
+
+// rangeTree builds the shared 64k-point workload tree for capacity m.
+func rangeTree(b *testing.B, m int, clustered bool) *quadtree.Tree[int] {
+	rng := xrand.New(uint64(7000 + m))
+	var src dist.PointSource
+	if clustered {
+		src = dist.NewClusters(geom.UnitSquare, 8, 0.02, rng.Split())
+	} else {
+		src = dist.NewUniform(geom.UnitSquare, rng.Split())
+	}
+	qt := quadtree.MustNew[int](quadtree.Config{Capacity: m})
+	for qt.Len() < frozenWorkload {
+		if _, err := qt.Insert(src.Next(), qt.Len()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return qt
+}
+
+// rangeWindows is the query stream shared by the live and frozen runs:
+// windows with sides from 10% to 40% of the region (roughly 1%-16%
+// selectivity, the classic range-search regime), uniformly placed.
+func rangeWindows() []geom.Rect {
+	rng := xrand.New(7777)
+	qs := make([]geom.Rect, 64)
+	for i := range qs {
+		w := 0.1 + 0.3*rng.Float64()
+		h := 0.1 + 0.3*rng.Float64()
+		x, y := rng.Float64(), rng.Float64()
+		qs[i] = geom.R(x-w/2, y-h/2, x+w/2, y+h/2)
+	}
+	return qs
+}
+
+// benchRange measures range-query (window count, as in QuadtreeRange)
+// throughput for one capacity and distribution, against the live tree
+// or its frozen snapshot.
+func benchRange(m int, clustered, frozen bool) func(*testing.B) {
+	return func(b *testing.B) {
+		qt := rangeTree(b, m, clustered)
+		queries := rangeWindows()
+		count := qt.CountRange
+		if frozen {
+			f, err := linearquad.Freeze(qt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			count = f.CountRange
+		}
+		// Validate the stream during setup: individual windows may be
+		// empty (clustered data leaves most of the region bare), but the
+		// stream as a whole must hit something or the benchmark is vacuous.
+		total := 0
+		for _, q := range queries {
+			total += count(q)
+		}
+		if total == 0 {
+			b.Fatal("query stream matched nothing")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		matched := 0
+		for i := 0; i < b.N; i++ {
+			matched += count(queries[i%len(queries)])
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(matched)/float64(b.N), "matches/op")
+	}
+}
+
+// benchRangeVisit is the visitor-delivery variant of the headline pair:
+// every matching point is handed to a callback, so both sides pay the
+// same per-match delivery cost and the ratio isolates the traversal.
+func benchRangeVisit(frozen bool) func(*testing.B) {
+	return func(b *testing.B) {
+		qt := rangeTree(b, 8, false)
+		queries := rangeWindows()
+		scan := qt.Range
+		if frozen {
+			f, err := linearquad.Freeze(qt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			scan = f.Range
+		}
+		total := 0
+		for _, q := range queries {
+			scan(q, func(geom.Point, int) bool { total++; return true })
+		}
+		if total == 0 {
+			b.Fatal("query stream matched nothing")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		matched := 0
+		for i := 0; i < b.N; i++ {
+			n := 0
+			scan(queries[i%len(queries)], func(geom.Point, int) bool { n++; return true })
+			matched += n
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(matched)/float64(b.N), "matches/op")
+	}
+}
+
+func benchFreezeBuild(b *testing.B) {
+	qt := rangeTree(b, 8, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := linearquad.Freeze(qt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f.Len() != qt.Len() {
+			b.Fatal("freeze lost entries")
+		}
+	}
+	b.ReportMetric(frozenWorkload, "points/op")
+}
+
+func benchFrozenGet(b *testing.B) {
+	qt := rangeTree(b, 8, false)
+	f, err := linearquad.Freeze(qt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := make([]geom.Point, 0, qt.Len())
+	qt.Range(qt.Region(), func(p geom.Point, _ int) bool { pts = append(pts, p); return true })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := f.Get(pts[i%len(pts)]); !ok {
+			b.Fatal("lost point")
+		}
+	}
+}
+
+// benchSpatialSelect measures Table.Select (or Table.CountRange, which
+// skips record materialization) on a quiescent table: the snapshot
+// variant compacts first so queries are served lock-free from the
+// frozen index; the live variant holds a permanently-stale snapshot so
+// every query takes the read lock and walks the pointer tree.
+func benchSpatialSelect(snapshot, countOnly bool) func(*testing.B) {
+	return func(b *testing.B) {
+		db := spatialdb.NewDB()
+		tab, err := db.CreateTable("b", 8, geom.Rect{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		src := dist.NewUniform(geom.UnitSquare, xrand.New(7999))
+		recs := make([]spatialdb.Record, 0, frozenWorkload)
+		seen := make(map[geom.Point]bool, frozenWorkload)
+		for len(recs) < frozenWorkload {
+			p := src.Next()
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			recs = append(recs, spatialdb.Record{ID: uint64(len(recs) + 1), Loc: p})
+		}
+		if err := tab.InsertBatch(recs); err != nil {
+			b.Fatal(err)
+		}
+		if snapshot {
+			if err := tab.Compact(); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			// Pin the table to the locked live-tree path: a huge rebuild
+			// threshold plus one post-compaction mutation leaves the
+			// snapshot permanently one epoch stale.
+			tab.SetSnapshotThreshold(1 << 30)
+			if err := tab.Compact(); err != nil {
+				b.Fatal(err)
+			}
+			if err := tab.Insert(spatialdb.Record{ID: frozenWorkload + 1, Loc: geom.Pt(0.5, 0.5)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		queries := rangeWindows()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if countOnly {
+				n, _, err := tab.CountRange(queries[i%len(queries)], 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = n
+			} else {
+				out, _, err := tab.Select(spatialdb.Query{Window: &queries[i%len(queries)]})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = out
+			}
+		}
+	}
+}

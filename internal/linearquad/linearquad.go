@@ -1,0 +1,452 @@
+// Package linearquad is the read-optimized linear form of a PR
+// quadtree: a pointerless, immutable snapshot in which every leaf block
+// is a Morton (Z-order) locational code plus an offset into one flat
+// entry array, sorted in code order.
+//
+// The paper's population model says that at steady state almost all of
+// a PR quadtree's information lives in its leaves — the internal nodes
+// a pointer traversal chases are pure read-path overhead — and the
+// partial-match and split-tree analyses (Curien–Joseph, Flajolet et
+// al., Broutin–Holmgren; see PAPERS.md) measure query cost in blocks
+// visited. The linear form takes both seriously: Freeze walks the tree
+// once and keeps only the leaf level, and queries touch O(matching
+// leaves) contiguous memory with zero pointer dereferences. Range
+// queries decompose the implicit grid over the sorted code array:
+// quadrants outside the query rectangle are skipped with one binary
+// search regardless of how many leaves they hold, and quadrants inside
+// it are contiguous runs of entries swept with no per-point geometry —
+// counting such a run is O(log leaves). Budgeted queries instead walk
+// the query's Z-interval leaf by leaf with BIGMIN jumps (Tropf–Herzog)
+// so each examined leaf counts against the node budget exactly like a
+// node visit in the live tree.
+//
+// A Frozen is a snapshot: it never observes later mutations of the
+// source tree, and it is safe for concurrent use by any number of
+// goroutines with no locking whatsoever. Result sets are identical to
+// the live tree's Range/Get at freeze time — the same closed-rectangle
+// float comparisons decide matches; the grid only prunes.
+package linearquad
+
+import (
+	"errors"
+	"fmt"
+
+	"popana/internal/geom"
+	"popana/internal/quadtree"
+)
+
+// MaxDepth is the deepest tree Freeze can encode: two bits per level
+// must fit a uint64 alongside a one-past-the-end sentinel, so 31 levels
+// (a 2^31-cell grid side, finer than float64 geometry is meaningful
+// for). Trees deeper than this — possible only under adversarial
+// clustering near DefaultMaxDepth — cannot be frozen; callers keep
+// serving from the live tree.
+const MaxDepth = 31
+
+// ErrTooDeep is returned by Freeze when the tree's height exceeds
+// MaxDepth.
+var ErrTooDeep = errors.New("linearquad: tree too deep to freeze")
+
+// Frozen is an immutable linear-quadtree snapshot of a quadtree.Tree.
+// The zero value is not useful; build with Freeze.
+type Frozen[V any] struct {
+	region geom.Rect
+	depth  int // grid depth D: the source tree's height at freeze time
+
+	// codes[i] is leaf i's locational code normalized to depth D (the
+	// Morton code of its minimum-corner grid cell); codes[len-1] is the
+	// 4^D sentinel. Leaves tile the region, so leaf i covers the cell
+	// interval [codes[i], codes[i+1]).
+	codes []uint64
+	// starts[i] is leaf i's offset into pts/vals; starts[len-1] = len(pts).
+	starts []int32
+
+	// The flat entry array, grouped by leaf in code order.
+	pts  []geom.Point
+	vals []V
+}
+
+// Freeze builds the linear snapshot of t in one leaf walk (plus a
+// sizing pass), emitting leaves in Z-order so no sort is needed. It
+// returns ErrTooDeep if the tree's height exceeds MaxDepth.
+func Freeze[V any](t *quadtree.Tree[V]) (*Frozen[V], error) {
+	leaves, entries, height := 0, 0, 0
+	t.WalkLeaves(func(_ uint64, depth int, each func(func(geom.Point, V) bool)) bool {
+		leaves++
+		if depth > height {
+			height = depth
+		}
+		each(func(geom.Point, V) bool { entries++; return true })
+		return true
+	})
+	if height > MaxDepth {
+		return nil, fmt.Errorf("%w: height %d > %d", ErrTooDeep, height, MaxDepth)
+	}
+	f := &Frozen[V]{
+		region: t.Region(),
+		depth:  height,
+		codes:  make([]uint64, 0, leaves+1),
+		starts: make([]int32, 0, leaves+1),
+		pts:    make([]geom.Point, 0, entries),
+		vals:   make([]V, 0, entries),
+	}
+	t.WalkLeaves(func(path uint64, depth int, each func(func(geom.Point, V) bool)) bool {
+		f.codes = append(f.codes, path<<(2*uint(height-depth)))
+		f.starts = append(f.starts, int32(len(f.pts)))
+		each(func(p geom.Point, v V) bool {
+			f.pts = append(f.pts, p)
+			f.vals = append(f.vals, v)
+			return true
+		})
+		return true
+	})
+	f.codes = append(f.codes, 1<<(2*uint(height)))
+	f.starts = append(f.starts, int32(len(f.pts)))
+	return f, nil
+}
+
+// Len returns the number of stored points.
+func (f *Frozen[V]) Len() int { return len(f.pts) }
+
+// Leaves returns the number of leaf blocks (including empty ones).
+func (f *Frozen[V]) Leaves() int { return len(f.codes) - 1 }
+
+// Depth returns the grid depth: the source tree's height at freeze
+// time.
+func (f *Frozen[V]) Depth() int { return f.depth }
+
+// Region returns the snapshot's universe rectangle.
+func (f *Frozen[V]) Region() geom.Rect { return f.region }
+
+// leafOf returns the index of the leaf whose cell interval contains
+// code z: the largest i with codes[i] <= z, by branch-light binary
+// search. Requires 0 <= z < 4^depth.
+func (f *Frozen[V]) leafOf(z uint64) int {
+	lo, hi := 0, len(f.codes)-1 // invariant: codes[lo] <= z < codes[hi]
+	for hi-lo > 1 {
+		mid := int(uint(lo+hi) >> 1)
+		if f.codes[mid] <= z {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get returns the value stored at p, if any: one cell descent, one
+// binary search, one bounded leaf scan, zero allocations.
+func (f *Frozen[V]) Get(p geom.Point) (V, bool) {
+	var zero V
+	if !f.region.Contains(p) {
+		return zero, false
+	}
+	cx := cellCoord(p.X, f.region.MinX, f.region.MaxX, f.depth)
+	cy := cellCoord(p.Y, f.region.MinY, f.region.MaxY, f.depth)
+	i := f.leafOf(Interleave(cx, cy))
+	for k := f.starts[i]; k < f.starts[i+1]; k++ {
+		if f.pts[k] == p {
+			return f.vals[k], true
+		}
+	}
+	return zero, false
+}
+
+// Contains reports whether point p is stored in the snapshot.
+func (f *Frozen[V]) Contains(p geom.Point) bool {
+	_, ok := f.Get(p)
+	return ok
+}
+
+// Range calls visit for every stored point inside the closed query
+// rectangle, in Z-order of leaf blocks, and reports whether the scan
+// ran to completion (visit never returned false). Results are
+// identical to quadtree.Tree.Range on the frozen tree.
+func (f *Frozen[V]) Range(query geom.Rect, visit quadtree.Visit[V]) bool {
+	_, done := f.rangeScan(query, 0, visit)
+	return done
+}
+
+// RangeBudgeted is Range with the node-budget instrumentation of
+// quadtree.Tree.RangeBudgeted. With maxNodes > 0 the scan walks the
+// query's Z-interval leaf by leaf: every leaf whose code interval it
+// examines counts toward NodesVisited (the linear form has no internal
+// nodes — examining a leaf's interval is its analogue of descending
+// into a node), leaves whose block overlaps the query additionally
+// count toward LeavesVisited and have their entries scanned, and
+// exhausting the budget sets Truncated and returns the partial result.
+// maxNodes <= 0 means unlimited and uses the faster recursive scan, in
+// which NodesVisited and LeavesVisited both count only the leaves that
+// overlap the query. A nil visit counts without delivering.
+func (f *Frozen[V]) RangeBudgeted(query geom.Rect, maxNodes int, visit quadtree.Visit[V]) quadtree.RangeStats {
+	st, _ := f.rangeScan(query, maxNodes, visit)
+	return st
+}
+
+// CountRange returns the number of stored points inside the closed
+// query rectangle, allocation-free.
+func (f *Frozen[V]) CountRange(query geom.Rect) int {
+	st, _ := f.rangeScan(query, 0, nil)
+	return st.Matched
+}
+
+// CountRangeBudgeted counts matches under a node-visit budget,
+// mirroring quadtree.Tree.CountRangeBudgeted: the count is
+// RangeStats.Matched and Truncated reports a budget stop.
+func (f *Frozen[V]) CountRangeBudgeted(query geom.Rect, maxNodes int) quadtree.RangeStats {
+	st, _ := f.rangeScan(query, maxNodes, nil)
+	return st
+}
+
+// rangeScan is the shared scan behind Range, RangeBudgeted, and the
+// count variants. done reports that neither the budget nor the visitor
+// stopped the scan.
+//
+// The unbudgeted path decomposes the implicit grid recursively over the
+// code array: a quadrant disjoint from the query's cell rectangle is
+// skipped with one galloped binary search no matter how many leaves it
+// holds, and a quadrant strictly interior to it is one contiguous run
+// of entries swept with no per-leaf or per-point geometry at all. Only
+// quadrants crossing the query boundary descend to individual leaves
+// and closed-rectangle float tests. The budgeted path instead walks the
+// query's Z-interval leaf by leaf with BIGMIN jumps (Tropf–Herzog), so
+// NodesVisited counts each examined leaf interval and the budget cuts
+// off exactly like the live tree's node budget.
+func (f *Frozen[V]) rangeScan(query geom.Rect, maxNodes int, visit quadtree.Visit[V]) (st quadtree.RangeStats, done bool) {
+	// Clip: a query strictly outside the region matches nothing.
+	if query.MinX > f.region.MaxX || query.MaxX < f.region.MinX ||
+		query.MinY > f.region.MaxY || query.MaxY < f.region.MinY {
+		return st, true
+	}
+	// The query's grid rectangle, inclusive on both ends: every point
+	// the closed query can contain lives in a cell within it, because
+	// cellCoord is monotone and agrees with the tree's float midpoint
+	// geometry exactly.
+	x0 := cellCoord(query.MinX, f.region.MinX, f.region.MaxX, f.depth)
+	y0 := cellCoord(query.MinY, f.region.MinY, f.region.MaxY, f.depth)
+	x1 := cellCoord(query.MaxX, f.region.MinX, f.region.MaxX, f.depth)
+	y1 := cellCoord(query.MaxY, f.region.MinY, f.region.MaxY, f.depth)
+	if maxNodes > 0 {
+		return f.scanBudgeted(query, maxNodes, visit, x0, y0, x1, y1)
+	}
+	s := scanState[V]{
+		f:     f,
+		query: query,
+		visit: visit,
+		x0:    int64(x0), y0: int64(y0), x1: int64(x1), y1: int64(y1),
+		// The full-containment rectangle: a cell column strictly inside
+		// (x0, x1) holds only points within the closed query bounds, by
+		// monotonicity of cellCoord; the boundary columns x0 and x1 are
+		// included only when the query edge extends to (or past) the
+		// region edge, where no point can fall outside it.
+		fx0: int64(x0), fy0: int64(y0), fx1: int64(x1), fy1: int64(y1),
+	}
+	if query.MinX > f.region.MinX {
+		s.fx0++
+	}
+	if query.MinY > f.region.MinY {
+		s.fy0++
+	}
+	if query.MaxX < f.region.MaxX {
+		s.fx1--
+	}
+	if query.MaxY < f.region.MaxY {
+		s.fy1--
+	}
+	side := int64(1) << uint(f.depth)
+	switch {
+	case s.fx0 == 0 && s.fy0 == 0 && s.fx1 == side-1 && s.fy1 == side-1:
+		// The query covers the whole region: one flat sweep.
+		done = s.bulk(uint64(1) << (2 * uint(f.depth)))
+	case len(f.codes) == 2:
+		// The tree never split: the root is the only leaf.
+		done = s.leafScan()
+	default:
+		done = s.scan(0, f.depth, 0, 0)
+	}
+	return s.st, done
+}
+
+// scanState is the cursor of one recursive range scan: i is the index
+// of the next unprocessed leaf, and every scan call maintains the
+// invariant codes[i] == the quadrant's first cell code.
+type scanState[V any] struct {
+	f                  *Frozen[V]
+	query              geom.Rect
+	visit              quadtree.Visit[V]
+	x0, y0, x1, y1     int64 // the query's cell rectangle, inclusive
+	fx0, fy0, fx1, fy1 int64 // cells guaranteed inside the closed query
+	st                 quadtree.RangeStats
+	i                  int
+}
+
+// bulk sweeps every entry from the cursor's leaf up to (excluding) the
+// first leaf at or past code end, with no geometry tests: the caller
+// guarantees the whole run lies inside the closed query. Returns false
+// when the visitor stopped the scan.
+func (s *scanState[V]) bulk(end uint64) bool {
+	f := s.f
+	j := s.seek(end)
+	lo, hi := f.starts[s.i], f.starts[j]
+	s.st.NodesVisited += j - s.i
+	s.st.LeavesVisited += j - s.i
+	s.st.RecordsScanned += int(hi - lo)
+	s.i = j
+	if s.visit == nil {
+		s.st.Matched += int(hi - lo)
+		return true
+	}
+	for k := lo; k < hi; k++ {
+		if !s.visit(f.pts[k], f.vals[k]) {
+			s.st.Matched += int(k-lo) + 1
+			return false
+		}
+	}
+	s.st.Matched += int(hi - lo)
+	return true
+}
+
+// leafScan processes the single leaf at the cursor under the closed
+// float test, advancing the cursor past it. Returns false when the
+// visitor stopped the scan.
+func (s *scanState[V]) leafScan() bool {
+	f := s.f
+	s.st.NodesVisited++
+	s.st.LeavesVisited++
+	lo, hi := f.starts[s.i], f.starts[s.i+1]
+	s.st.RecordsScanned += int(hi - lo)
+	s.i++
+	for k := lo; k < hi; k++ {
+		if s.query.ContainsClosed(f.pts[k]) {
+			s.st.Matched++
+			if s.visit != nil && !s.visit(f.pts[k], f.vals[k]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// scan processes the quadrant of 4^level cells starting at code codeLo
+// with minimum cell (cx, cy). The caller guarantees the quadrant
+// overlaps the query rectangle but is not fully inside it, that it is
+// subdivided (no single leaf covers it), and that the cursor sits on
+// its first leaf. It returns false when the visitor stopped the scan.
+//
+// Each subquadrant is classified here, paying the recursive call only
+// for ones that cross the query boundary and are subdivided further.
+// Disjoint quadrants cost nothing: the cursor is positioned lazily,
+// with one seek when the next overlapping quadrant is entered (a no-op
+// if no skip intervened). Fully-inside quadrants are swept flat, and
+// quadrants a single leaf covers are scanned under the float test.
+func (s *scanState[V]) scan(codeLo uint64, level int, cx, cy int64) bool {
+	f := s.f
+	quarter := uint64(1) << (2 * uint(level-1))
+	half := int64(1) << uint(level-1)
+	for q := int64(0); q < 4; q++ {
+		scx := cx + (q&1)*half
+		scy := cy + (q>>1)*half
+		if scx > s.x1 || scx+half-1 < s.x0 || scy > s.y1 || scy+half-1 < s.y0 {
+			continue
+		}
+		subLo := codeLo + uint64(q)*quarter
+		if f.codes[s.i] < subLo {
+			s.i = s.seek(subLo)
+		}
+		switch {
+		case scx >= s.fx0 && scx+half-1 <= s.fx1 && scy >= s.fy0 && scy+half-1 <= s.fy1:
+			if !s.bulk(subLo + quarter) {
+				return false
+			}
+		case f.codes[s.i+1] >= subLo+quarter:
+			// A single leaf covers the subquadrant (the tree never
+			// split this deep here).
+			if !s.leafScan() {
+				return false
+			}
+		default:
+			if !s.scan(subLo, level-1, scx, scy) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// seek returns the index of the first leaf at or after the cursor whose
+// code is >= target, by galloping then binary search — cheap for the
+// short skips that dominate and still O(log) for long ones.
+func (s *scanState[V]) seek(target uint64) int {
+	codes := s.f.codes
+	lo := s.i
+	if codes[lo] >= target {
+		return lo
+	}
+	hi, step := lo+1, 1
+	for hi < len(codes)-1 && codes[hi] < target {
+		lo = hi
+		hi += step
+		step <<= 1
+		if hi > len(codes)-1 {
+			hi = len(codes) - 1
+		}
+	}
+	// codes[lo] < target <= codes[hi]: the sentinel 4^depth bounds any
+	// in-grid target.
+	for hi-lo > 1 {
+		mid := int(uint(lo+hi) >> 1)
+		if codes[mid] < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// scanBudgeted walks the query's Z-interval leaf by leaf: each leaf
+// interval examined counts toward NodesVisited (the linear form's
+// analogue of descending into a node), runs of leaves outside the
+// query rectangle are skipped with BIGMIN jumps, and exhausting the
+// budget sets Truncated.
+func (f *Frozen[V]) scanBudgeted(query geom.Rect, maxNodes int, visit quadtree.Visit[V], x0, y0, x1, y1 uint32) (st quadtree.RangeStats, done bool) {
+	zmin := Interleave(x0, y0)
+	zmax := Interleave(x1, y1)
+	i := f.leafOf(zmin)
+	for i < len(f.codes)-1 && f.codes[i] <= zmax {
+		if st.NodesVisited >= maxNodes {
+			st.Truncated = true
+			return st, false
+		}
+		st.NodesVisited++
+		// The leaf is an aligned square of side cells; test it against
+		// the query's grid rectangle.
+		lo := f.codes[i]
+		side := uint64(cellSide(f.codes[i+1] - lo))
+		lx, ly := Deinterleave(lo)
+		if uint64(lx) > uint64(x1) || uint64(lx)+side-1 < uint64(x0) ||
+			uint64(ly) > uint64(y1) || uint64(ly)+side-1 < uint64(y0) {
+			// Off the rectangle: jump to the next leaf whose interval
+			// can reach it instead of scanning the Z-interval linearly.
+			nz, ok := bigmin(f.codes[i+1]-1, zmin, zmax)
+			if !ok {
+				break
+			}
+			i = f.leafOf(nz)
+			continue
+		}
+		st.LeavesVisited++
+		s, e := f.starts[i], f.starts[i+1]
+		st.RecordsScanned += int(e - s)
+		for k := s; k < e; k++ {
+			if query.ContainsClosed(f.pts[k]) {
+				st.Matched++
+				if visit != nil && !visit(f.pts[k], f.vals[k]) {
+					return st, false
+				}
+			}
+		}
+		i++
+	}
+	return st, true
+}

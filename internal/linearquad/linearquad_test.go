@@ -1,0 +1,299 @@
+package linearquad
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"popana/internal/dist"
+	"popana/internal/geom"
+	"popana/internal/quadtree"
+	"popana/internal/xrand"
+)
+
+// buildTree inserts n points from src into a fresh tree with the given
+// capacity, returning the tree and the points.
+func buildTree(t *testing.T, cfg quadtree.Config, src dist.PointSource, n int) (*quadtree.Tree[int], []geom.Point) {
+	t.Helper()
+	qt, err := quadtree.New[int](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]geom.Point, 0, n)
+	for qt.Len() < n {
+		p := src.Next()
+		replaced, err := qt.Insert(p, qt.Len())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !replaced {
+			pts = append(pts, p)
+		}
+	}
+	return qt, pts
+}
+
+// sortPoints orders a result set canonically for comparison.
+func sortPoints(pts []geom.Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].X != pts[j].X {
+			return pts[i].X < pts[j].X
+		}
+		return pts[i].Y < pts[j].Y
+	})
+}
+
+func collectLive(qt *quadtree.Tree[int], q geom.Rect) []geom.Point {
+	var out []geom.Point
+	qt.Range(q, func(p geom.Point, _ int) bool { out = append(out, p); return true })
+	sortPoints(out)
+	return out
+}
+
+func collectFrozen(f *Frozen[int], q geom.Rect) []geom.Point {
+	var out []geom.Point
+	f.Range(q, func(p geom.Point, _ int) bool { out = append(out, p); return true })
+	sortPoints(out)
+	return out
+}
+
+// TestFreezeBasics: structure counters agree with the source tree.
+func TestFreezeBasics(t *testing.T) {
+	qt := quadtree.MustNew[int](quadtree.Config{Capacity: 2})
+	f, err := Freeze(qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 0 || f.Leaves() != 1 || f.Depth() != 0 {
+		t.Fatalf("empty freeze: len=%d leaves=%d depth=%d", f.Len(), f.Leaves(), f.Depth())
+	}
+	src := dist.NewUniform(qt.Region(), xrand.New(1))
+	qt2, _ := buildTree(t, quadtree.Config{Capacity: 2}, src, 500)
+	f2, err := Freeze(qt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Len() != qt2.Len() {
+		t.Fatalf("Len %d != tree %d", f2.Len(), qt2.Len())
+	}
+	if f2.Leaves() != qt2.LeafCount() {
+		t.Fatalf("Leaves %d != tree %d", f2.Leaves(), qt2.LeafCount())
+	}
+	if f2.Depth() != qt2.Height() {
+		t.Fatalf("Depth %d != tree height %d", f2.Depth(), qt2.Height())
+	}
+	if f2.Region() != qt2.Region() {
+		t.Fatalf("Region %v != %v", f2.Region(), qt2.Region())
+	}
+}
+
+// TestFreezeGetEquivalence: every stored point is found with its value;
+// perturbed points are not.
+func TestFreezeGetEquivalence(t *testing.T) {
+	for _, m := range []int{1, 4, 8} {
+		src := dist.NewUniform(geom.UnitSquare, xrand.New(uint64(20+m)))
+		qt, pts := buildTree(t, quadtree.Config{Capacity: m}, src, 2000)
+		f, err := Freeze(qt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range pts {
+			v, ok := f.Get(p)
+			wv, wok := qt.Get(p)
+			if ok != wok || v != wv {
+				t.Fatalf("m=%d Get(%v) = (%d,%v), live (%d,%v)", m, p, v, ok, wv, wok)
+			}
+			miss := geom.Pt(p.X+1e-9, p.Y)
+			if f.Contains(miss) != qt.Contains(miss) {
+				t.Fatalf("m=%d Contains(%v) disagrees with live tree", m, miss)
+			}
+			_ = i
+		}
+	}
+}
+
+// TestFreezeRangeEquivalence is the headline property test: Freeze →
+// query returns exactly the live tree's result set on 1k random
+// rectangles per capacity, uniform and clustered data.
+func TestFreezeRangeEquivalence(t *testing.T) {
+	for _, m := range []int{1, 2, 8} {
+		for _, clustered := range []bool{false, true} {
+			name := fmt.Sprintf("m=%d/clustered=%v", m, clustered)
+			t.Run(name, func(t *testing.T) {
+				rng := xrand.New(uint64(40 + m))
+				var src dist.PointSource
+				if clustered {
+					src = dist.NewClusters(geom.UnitSquare, 5, 0.03, rng.Split())
+				} else {
+					src = dist.NewUniform(geom.UnitSquare, rng.Split())
+				}
+				qt, _ := buildTree(t, quadtree.Config{Capacity: m}, src, 3000)
+				f, err := Freeze(qt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for trial := 0; trial < 1000; trial++ {
+					x0, y0 := rng.Float64(), rng.Float64()
+					w, h := rng.Float64()*rng.Float64(), rng.Float64()*rng.Float64()
+					q := geom.R(x0-w/2, y0-h/2, x0+w/2, y0+h/2)
+					if q.Empty() {
+						continue
+					}
+					live := collectLive(qt, q)
+					froz := collectFrozen(f, q)
+					if len(live) != len(froz) {
+						t.Fatalf("window %v: live %d matches, frozen %d", q, len(live), len(froz))
+					}
+					for i := range live {
+						if live[i] != froz[i] {
+							t.Fatalf("window %v: result sets differ at %d: %v vs %v", q, i, live[i], froz[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFreezeRangeBoundaryWindows pins the closed-edge semantics: query
+// edges lying exactly on block boundaries (dyadic coordinates) must
+// return identical sets from both representations.
+func TestFreezeRangeBoundaryWindows(t *testing.T) {
+	rng := xrand.New(77)
+	src := dist.NewUniform(geom.UnitSquare, rng.Split())
+	qt, _ := buildTree(t, quadtree.Config{Capacity: 4}, src, 2000)
+	// Also plant points exactly on dyadic boundaries.
+	for i := 0; i < 8; i++ {
+		p := geom.Pt(float64(i)/8, float64(i)/8)
+		if _, err := qt.Insert(p, 9000+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := Freeze(qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []geom.Rect{
+		geom.R(0.25, 0.25, 0.5, 0.5),
+		geom.R(0.5, 0.5, 0.75, 0.75),
+		geom.R(0, 0, 1, 1),
+		geom.R(0.125, 0.125, 0.125, 0.875), // zero-width closed slab
+		geom.R(0.375, 0, 0.375, 1),
+		geom.R(-1, -1, 2, 2), // superset of region
+	} {
+		live := collectLive(qt, q)
+		froz := collectFrozen(f, q)
+		if len(live) != len(froz) {
+			t.Fatalf("window %v: live %d, frozen %d", q, len(live), len(froz))
+		}
+		for i := range live {
+			if live[i] != froz[i] {
+				t.Fatalf("window %v: mismatch at %d", q, i)
+			}
+		}
+	}
+}
+
+// TestFreezeSnapshotImmutable: mutations to the source tree after
+// Freeze do not show through the snapshot.
+func TestFreezeSnapshotImmutable(t *testing.T) {
+	src := dist.NewUniform(geom.UnitSquare, xrand.New(88))
+	qt, pts := buildTree(t, quadtree.Config{Capacity: 4}, src, 1000)
+	f, err := Freeze(qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := f.CountRange(geom.UnitSquare)
+	for _, p := range pts[:500] {
+		qt.Delete(p)
+	}
+	if got := f.CountRange(geom.UnitSquare); got != before {
+		t.Fatalf("snapshot changed after source mutation: %d -> %d", before, got)
+	}
+	if _, ok := f.Get(pts[0]); !ok {
+		t.Fatal("snapshot lost a point deleted from the source")
+	}
+}
+
+// TestFrozenBudgetTruncation: the node budget stops the scan with
+// Truncated set and a partial count, mirroring the live tree's
+// contract.
+func TestFrozenBudgetTruncation(t *testing.T) {
+	src := dist.NewUniform(geom.UnitSquare, xrand.New(99))
+	qt, _ := buildTree(t, quadtree.Config{Capacity: 2}, src, 4000)
+	f, err := Freeze(qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := f.CountRangeBudgeted(geom.UnitSquare, 0)
+	if full.Truncated {
+		t.Fatal("unbudgeted scan reported Truncated")
+	}
+	if full.Matched != qt.Len() {
+		t.Fatalf("full scan matched %d of %d", full.Matched, qt.Len())
+	}
+	cut := f.CountRangeBudgeted(geom.UnitSquare, 3)
+	if !cut.Truncated {
+		t.Fatal("budget 3 not reported as truncated")
+	}
+	if cut.NodesVisited > 3 {
+		t.Fatalf("budget exceeded: %d nodes", cut.NodesVisited)
+	}
+	if cut.Matched >= full.Matched {
+		t.Fatalf("truncated scan matched %d >= full %d", cut.Matched, full.Matched)
+	}
+	// A budgeted visit delivers exactly the counted matches.
+	n := 0
+	st := f.RangeBudgeted(geom.UnitSquare, 3, func(geom.Point, int) bool { n++; return true })
+	if n != st.Matched || !st.Truncated {
+		t.Fatalf("visit count %d != Matched %d (truncated=%v)", n, st.Matched, st.Truncated)
+	}
+}
+
+// TestFreezeTooDeep: a tree driven past MaxDepth by near-coincident
+// points refuses to freeze with ErrTooDeep.
+func TestFreezeTooDeep(t *testing.T) {
+	qt := quadtree.MustNew[int](quadtree.Config{Capacity: 1, MaxDepth: 40})
+	// Two points closer than 2^-32: splitting separates them only past
+	// depth 32.
+	if _, err := qt.Insert(geom.Pt(0.1, 0.1), 0); err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1.0 / (1 << 62) * float64(1<<24) // ~2^-38
+	if _, err := qt.Insert(geom.Pt(0.1+eps, 0.1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if qt.Height() <= MaxDepth {
+		t.Skipf("tree height %d did not exceed MaxDepth; adjust epsilon", qt.Height())
+	}
+	if _, err := Freeze(qt); err == nil {
+		t.Fatal("Freeze of over-deep tree succeeded")
+	}
+}
+
+// TestFrozenGetAllocs: point lookups on the frozen form are
+// allocation-free.
+func TestFrozenGetAllocs(t *testing.T) {
+	src := dist.NewUniform(geom.UnitSquare, xrand.New(123))
+	qt, pts := buildTree(t, quadtree.Config{Capacity: 8}, src, 5000)
+	f, err := Freeze(qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, ok := f.Get(pts[42]); !ok {
+			t.Fatal("lost point")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Frozen.Get allocates %.1f per op, want 0", allocs)
+	}
+	countAllocs := testing.AllocsPerRun(50, func() {
+		if n := f.CountRange(geom.R(0.2, 0.2, 0.6, 0.6)); n == 0 {
+			t.Fatal("empty count")
+		}
+	})
+	if countAllocs != 0 {
+		t.Fatalf("Frozen.CountRange allocates %.1f per op, want 0", countAllocs)
+	}
+}

@@ -1,0 +1,140 @@
+package linearquad
+
+import "math/bits"
+
+// Morton (Z-order) locational codes: two grid coordinates interleaved
+// bit by bit, x in the even positions and y in the odd ones, matching
+// the geom quadrant convention (bit 0 = east, bit 1 = north) so that a
+// quadtree path read root-first, two bits per level, IS the Morton code
+// of the block's minimum-corner cell. Sorting blocks by code is exactly
+// the depth-first quadrant-order traversal of the tree.
+
+// Interleave returns the Morton code of grid cell (x, y): bit i of x
+// lands in bit 2i of the code, bit i of y in bit 2i+1.
+func Interleave(x, y uint32) uint64 {
+	return spread(x) | spread(y)<<1
+}
+
+// Deinterleave inverts Interleave.
+func Deinterleave(z uint64) (x, y uint32) {
+	return compact(z), compact(z >> 1)
+}
+
+// spread spaces the 32 bits of v into the even bit positions of a
+// uint64 (the standard magic-mask dilation).
+func spread(v uint32) uint64 {
+	z := uint64(v)
+	z = (z | z<<16) & 0x0000ffff0000ffff
+	z = (z | z<<8) & 0x00ff00ff00ff00ff
+	z = (z | z<<4) & 0x0f0f0f0f0f0f0f0f
+	z = (z | z<<2) & 0x3333333333333333
+	z = (z | z<<1) & 0x5555555555555555
+	return z
+}
+
+// compact gathers the even bit positions of z back into 32 contiguous
+// bits, inverting spread.
+func compact(z uint64) uint32 {
+	z &= 0x5555555555555555
+	z = (z | z>>1) & 0x3333333333333333
+	z = (z | z>>2) & 0x0f0f0f0f0f0f0f0f
+	z = (z | z>>4) & 0x00ff00ff00ff00ff
+	z = (z | z>>8) & 0x0000ffff0000ffff
+	z = (z | z>>16) & 0x00000000ffffffff
+	return uint32(z)
+}
+
+// evenMask is the x-dimension bit mask; the y dimension is evenMask<<1.
+const evenMask uint64 = 0x5555555555555555
+
+// bigmin is the BIGMIN operation of Tropf and Herzog: given a Z-range
+// [zmin, zmax] (the Morton codes of a query rectangle's min and max
+// cells) and a code z known to lie outside the rectangle, it returns
+// the smallest code inside the rectangle that is strictly greater
+// than z, and whether one exists. It is the jump that lets a linear
+// Z-order scan skip runs of cells that are inside the [zmin, zmax]
+// interval but outside the rectangle, visiting O(matching blocks)
+// instead of the whole interval.
+func bigmin(z, zmin, zmax uint64) (uint64, bool) {
+	var bm uint64
+	have := false
+	for p := 63; p >= 0; p-- {
+		zb := z >> uint(p) & 1
+		minb := zmin >> uint(p) & 1
+		maxb := zmax >> uint(p) & 1
+		switch zb<<2 | minb<<1 | maxb {
+		case 0b000:
+			// All agree on 0: descend.
+		case 0b001:
+			// Range spans the bit, z goes low: the high half of the
+			// range is a candidate BIGMIN; continue in the low half.
+			bm, have = load1(zmin, p), true
+			zmax = load0(zmax, p)
+		case 0b011:
+			// Range entirely above z's prefix: its minimum wins.
+			return zmin, true
+		case 0b100:
+			// Range entirely below z's prefix: only a saved candidate
+			// can answer.
+			return bm, have
+		case 0b101:
+			// Range spans the bit, z goes high: the low half is below
+			// z; continue in the high half.
+			zmin = load1(zmin, p)
+		case 0b111:
+			// All agree on 1: descend.
+		default:
+			// 0b010 / 0b110 would need minb > maxb within a common
+			// prefix — impossible for a well-formed range.
+		}
+	}
+	// z itself lies inside the (narrowed) range; the caller guarantees
+	// that cannot happen for a rectangle-outside z, but fall back to the
+	// saved candidate for safety.
+	return bm, have
+}
+
+// load1 returns v with bit p set to 1 and every lower bit of the same
+// dimension cleared — the smallest code in v's subtree that takes the
+// high branch of dimension p&1 at bit p.
+func load1(v uint64, p int) uint64 {
+	below := evenMask << (uint(p) & 1) & (1<<uint(p) - 1)
+	return v&^below | 1<<uint(p)
+}
+
+// load0 returns v with bit p cleared and every lower bit of the same
+// dimension set — the largest code in v's subtree that takes the low
+// branch of dimension p&1 at bit p.
+func load0(v uint64, p int) uint64 {
+	below := evenMask << (uint(p) & 1) & (1<<uint(p) - 1)
+	return v&^(1<<uint(p)) | below
+}
+
+// cellSide returns the side length, in depth-D grid cells, of an
+// aligned block covering span cells (span = 4^(D-depth)).
+func cellSide(span uint64) uint32 {
+	return uint32(1) << (uint(bits.TrailingZeros64(span)) / 2)
+}
+
+// cellCoord maps coordinate x into the depth-deep binary grid over
+// [lo, hi) by the same repeated float midpoint descent the quadtree's
+// quadrant decomposition uses (geom.Rect.QuadrantOf compares p >= mid
+// with mid = lo + (hi-lo)/2), so cell boundaries agree with the tree's
+// block boundaries bit for bit even when the region's extents are not
+// exactly representable. Coordinates outside [lo, hi) clamp to the
+// first or last cell, which is exactly the conservative behavior query
+// corners need.
+func cellCoord(x, lo, hi float64, depth int) uint32 {
+	var c uint32
+	for i := 0; i < depth; i++ {
+		mid := lo + (hi-lo)/2
+		c <<= 1
+		if x >= mid {
+			c |= 1
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return c
+}

@@ -1,0 +1,187 @@
+package linearquad
+
+import (
+	"testing"
+
+	"popana/internal/xrand"
+)
+
+// TestInterleaveRoundTrip: Deinterleave(Interleave(x, y)) == (x, y)
+// over random full-width uint32 coordinate pairs.
+func TestInterleaveRoundTrip(t *testing.T) {
+	rng := xrand.New(101)
+	for i := 0; i < 100000; i++ {
+		x, y := uint32(rng.Uint64()), uint32(rng.Uint64())
+		gx, gy := Deinterleave(Interleave(x, y))
+		if gx != x || gy != y {
+			t.Fatalf("round trip (%d,%d) -> (%d,%d)", x, y, gx, gy)
+		}
+	}
+}
+
+// interleaveSlow is the bit-at-a-time reference implementation.
+func interleaveSlow(x, y uint32) uint64 {
+	var z uint64
+	for i := uint(0); i < 32; i++ {
+		z |= uint64(x>>i&1) << (2 * i)
+		z |= uint64(y>>i&1) << (2*i + 1)
+	}
+	return z
+}
+
+func TestInterleaveMatchesReference(t *testing.T) {
+	rng := xrand.New(102)
+	for i := 0; i < 20000; i++ {
+		x, y := uint32(rng.Uint64()), uint32(rng.Uint64())
+		if got, want := Interleave(x, y), interleaveSlow(x, y); got != want {
+			t.Fatalf("Interleave(%d,%d) = %#x, want %#x", x, y, got, want)
+		}
+	}
+}
+
+// TestInterleaveMonotone: the code is monotone in each coordinate —
+// within a quadrant (shared high bits), increasing either coordinate
+// never decreases the code, which is what makes the sorted code array
+// searchable by coordinate ranges.
+func TestInterleaveMonotone(t *testing.T) {
+	rng := xrand.New(103)
+	for i := 0; i < 100000; i++ {
+		x1, y1 := uint32(rng.Uint64()), uint32(rng.Uint64())
+		x2, y2 := uint32(rng.Uint64()), uint32(rng.Uint64())
+		if x2 < x1 {
+			x1, x2 = x2, x1
+		}
+		if y2 < y1 {
+			y1, y2 = y2, y1
+		}
+		if Interleave(x1, y1) > Interleave(x2, y2) {
+			t.Fatalf("not monotone: z(%d,%d) > z(%d,%d)", x1, y1, x2, y2)
+		}
+	}
+}
+
+// TestInterleaveQuadrantOrder: within any quadrant at any level, all
+// codes of one quadrant precede all codes of the next — the property
+// that lets Freeze emit leaves in walk order with no sort.
+func TestInterleaveQuadrantOrder(t *testing.T) {
+	rng := xrand.New(104)
+	const depth = 8 // 8-bit grid, exhaustively checkable quadrants
+	for i := 0; i < 20000; i++ {
+		// Two random cells in different quadrants of a random level.
+		level := uint(rng.Intn(depth))
+		shift := uint(depth) - level - 1
+		x1, y1 := uint32(rng.Intn(1<<depth)), uint32(rng.Intn(1<<depth))
+		x2, y2 := uint32(rng.Intn(1<<depth)), uint32(rng.Intn(1<<depth))
+		q1 := (x1>>shift&1 | y1>>shift&1<<1)
+		q2 := (x2>>shift&1 | y2>>shift&1<<1)
+		// Force a shared prefix above the level.
+		mask := uint32(0xffffffff) << (shift + 1)
+		x2 = x2&^mask | x1&mask
+		y2 = y2&^mask | y1&mask
+		if q1 == q2 {
+			continue
+		}
+		z1, z2 := Interleave(x1, y1), Interleave(x2, y2)
+		if (q1 < q2) != (z1 < z2) {
+			t.Fatalf("quadrant order violated: q1=%d q2=%d z1=%#x z2=%#x", q1, q2, z1, z2)
+		}
+	}
+}
+
+// inRect reports whether code z decodes into [x0,x1]x[y0,y1].
+func inRect(z uint64, x0, y0, x1, y1 uint32) bool {
+	x, y := Deinterleave(z)
+	return x >= x0 && x <= x1 && y >= y0 && y <= y1
+}
+
+// TestBigminBruteForce checks BIGMIN against exhaustive search on a
+// small grid: for random query rectangles and probe codes, bigmin must
+// return the smallest in-rectangle code strictly greater than the
+// probe.
+func TestBigminBruteForce(t *testing.T) {
+	rng := xrand.New(105)
+	const side = 32 // 5-bit grid: 1024 cells, exhaustive scan is cheap
+	for trial := 0; trial < 3000; trial++ {
+		x0, x1 := uint32(rng.Intn(side)), uint32(rng.Intn(side))
+		y0, y1 := uint32(rng.Intn(side)), uint32(rng.Intn(side))
+		if x1 < x0 {
+			x0, x1 = x1, x0
+		}
+		if y1 < y0 {
+			y0, y1 = y1, y0
+		}
+		zmin := Interleave(x0, y0)
+		zmax := Interleave(x1, y1)
+		z := uint64(rng.Intn(side * side))
+		got, ok := bigmin(z, zmin, zmax)
+		// Brute force: smallest code > z inside the rectangle.
+		want, found := uint64(0), false
+		for c := z + 1; c < side*side; c++ {
+			if inRect(c, x0, y0, x1, y1) {
+				want, found = c, true
+				break
+			}
+		}
+		if z >= zmax {
+			// Probe at or past the range end: bigmin may return
+			// nothing; brute force agrees found=false.
+			if found {
+				t.Fatalf("brute force found %#x past zmax %#x", want, zmax)
+			}
+		}
+		if ok != found || (ok && got != want) {
+			t.Fatalf("bigmin(%#x, [%#x,%#x]) = (%#x,%v), want (%#x,%v) rect=[%d,%d]x[%d,%d]",
+				z, zmin, zmax, got, ok, want, found, x0, x1, y0, y1)
+		}
+	}
+}
+
+// TestBigminLargeCoords spot-checks bigmin progress and containment at
+// full 31-bit coordinates, where brute force is impossible: the result
+// must be strictly greater than the probe, inside the rectangle, and
+// minimal in its row/column neighborhood.
+func TestBigminLargeCoords(t *testing.T) {
+	rng := xrand.New(106)
+	const max = 1 << 31
+	for trial := 0; trial < 20000; trial++ {
+		x0 := uint32(rng.Intn(max))
+		y0 := uint32(rng.Intn(max))
+		x1 := x0 + uint32(rng.Intn(int(uint32(max)-x0)))
+		y1 := y0 + uint32(rng.Intn(int(uint32(max)-y0)))
+		zmin := Interleave(x0, y0)
+		zmax := Interleave(x1, y1)
+		z := uint64(rng.Intn(max)) * uint64(rng.Intn(max)) // arbitrary probe < 2^62
+		got, ok := bigmin(z, zmin, zmax)
+		if !ok {
+			continue
+		}
+		if got <= z {
+			t.Fatalf("bigmin not strictly greater: %#x <= %#x", got, z)
+		}
+		if !inRect(got, x0, y0, x1, y1) {
+			gx, gy := Deinterleave(got)
+			t.Fatalf("bigmin outside rect: (%d,%d) not in [%d,%d]x[%d,%d]", gx, gy, x0, x1, y0, y1)
+		}
+	}
+}
+
+func TestCellCoordClamps(t *testing.T) {
+	const depth = 10
+	if c := cellCoord(-0.5, 0, 1, depth); c != 0 {
+		t.Fatalf("below-range coordinate should clamp to cell 0, got %d", c)
+	}
+	if c := cellCoord(1.5, 0, 1, depth); c != 1<<depth-1 {
+		t.Fatalf("above-range coordinate should clamp to last cell, got %d", c)
+	}
+	// Monotone over random pairs.
+	rng := xrand.New(107)
+	for i := 0; i < 50000; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		if a > b {
+			a, b = b, a
+		}
+		if cellCoord(a, 0, 1, depth) > cellCoord(b, 0, 1, depth) {
+			t.Fatalf("cellCoord not monotone at %g <= %g", a, b)
+		}
+	}
+}

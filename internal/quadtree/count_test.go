@@ -1,0 +1,175 @@
+package quadtree
+
+import (
+	"testing"
+
+	"popana/internal/geom"
+	"popana/internal/xrand"
+)
+
+// TestPruningPredicateBoundaryRegression pins the behavior of the
+// collapsed pruning predicate (overlapsClosed alone, which subsumes the
+// former open-intersection test): queries whose edges coincide with
+// block boundaries, and points lying exactly on those boundaries, match
+// identically to a brute-force scan.
+func TestPruningPredicateBoundaryRegression(t *testing.T) {
+	tr := MustNew[int](Config{Capacity: 1})
+	// A grid of points on dyadic coordinates: every one sits exactly on
+	// a block boundary at some depth once the tree splits this far.
+	var pts []geom.Point
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			p := geom.Pt(float64(i)/8, float64(j)/8)
+			pts = append(pts, p)
+			if _, err := tr.Insert(p, i*8+j); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	brute := func(q geom.Rect) int {
+		n := 0
+		for _, p := range pts {
+			if q.ContainsClosed(p) {
+				n++
+			}
+		}
+		return n
+	}
+	queries := []geom.Rect{
+		geom.R(0.25, 0.25, 0.5, 0.5), // edges on depth-2 boundaries
+		geom.R(0.5, 0.5, 0.5, 0.5),   // degenerate: a single boundary point
+		geom.R(0.125, 0, 0.125, 1),   // zero-width slab on a depth-3 boundary
+		geom.R(0, 0.875, 1, 0.875),   // zero-height slab at the top row
+		geom.R(0.375, 0.375, 0.625, .625),
+		geom.R(0, 0, 1, 1),           // whole region
+		geom.R(-0.5, -0.5, 1.5, 1.5), // superset
+		geom.R(0.875, 0.875, 2, 2),   // touching the max corner block
+	}
+	// Random windows snapped to the dyadic grid: edges always coincide
+	// with some block boundary.
+	rng := xrand.New(31)
+	for k := 0; k < 500; k++ {
+		x0, y0 := float64(rng.Intn(9))/8, float64(rng.Intn(9))/8
+		x1, y1 := float64(rng.Intn(9))/8, float64(rng.Intn(9))/8
+		if x1 < x0 {
+			x0, x1 = x1, x0
+		}
+		if y1 < y0 {
+			y0, y1 = y1, y0
+		}
+		queries = append(queries, geom.R(x0, y0, x1, y1))
+	}
+	for _, q := range queries {
+		want := brute(q)
+		got := 0
+		tr.Range(q, func(geom.Point, int) bool { got++; return true })
+		if got != want {
+			t.Errorf("Range(%v) matched %d points, brute force %d", q, got, want)
+		}
+		if c := tr.CountRange(q); c != want {
+			t.Errorf("CountRange(%v) = %d, brute force %d", q, c, want)
+		}
+	}
+}
+
+// TestCountRangeBudgetedMatchesRangeBudgeted: the count path runs the
+// exact same traversal as the visiting path — identical stats,
+// including Truncated, at every budget.
+func TestCountRangeBudgetedMatchesRangeBudgeted(t *testing.T) {
+	tr := MustNew[int](Config{Capacity: 2})
+	rng := xrand.New(32)
+	for tr.Len() < 3000 {
+		if _, err := tr.Insert(geom.Pt(rng.Float64(), rng.Float64()), tr.Len()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := geom.R(0.1, 0.1, 0.8, 0.8)
+	for _, budget := range []int{0, 1, 2, 7, 100, 1 << 20} {
+		visited := tr.RangeBudgeted(q, budget, func(geom.Point, int) bool { return true })
+		counted := tr.CountRangeBudgeted(q, budget)
+		if visited != counted {
+			t.Errorf("budget %d: RangeBudgeted stats %+v != CountRangeBudgeted %+v", budget, visited, counted)
+		}
+	}
+	if n := tr.CountRange(q); n != tr.CountRangeBudgeted(q, 0).Matched {
+		t.Errorf("CountRange %d != unbudgeted Matched", n)
+	}
+}
+
+// TestCountRangeAllocationFree: counting allocates nothing — the former
+// closure-based implementation allocated its capture.
+func TestCountRangeAllocationFree(t *testing.T) {
+	tr := MustNew[int](Config{Capacity: 8})
+	rng := xrand.New(33)
+	for tr.Len() < 5000 {
+		if _, err := tr.Insert(geom.Pt(rng.Float64(), rng.Float64()), tr.Len()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := geom.R(0.2, 0.2, 0.6, 0.6)
+	allocs := testing.AllocsPerRun(100, func() {
+		if tr.CountRange(q) == 0 {
+			t.Fatal("empty count")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("CountRange allocates %.1f per op, want 0", allocs)
+	}
+	budgeted := testing.AllocsPerRun(100, func() {
+		if st := tr.CountRangeBudgeted(q, 50); !st.Truncated {
+			t.Fatal("expected truncation")
+		}
+	})
+	if budgeted != 0 {
+		t.Errorf("CountRangeBudgeted allocates %.1f per op, want 0", budgeted)
+	}
+}
+
+// TestWalkLeavesZOrder: WalkLeaves emits every entry exactly once, in
+// leaf Z-order (normalized codes strictly increasing), tiling the
+// region completely.
+func TestWalkLeavesZOrder(t *testing.T) {
+	tr := MustNew[int](Config{Capacity: 3})
+	rng := xrand.New(34)
+	for tr.Len() < 2000 {
+		if _, err := tr.Insert(geom.Pt(rng.Float64(), rng.Float64()), tr.Len()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	height := tr.Height()
+	prev := int64(-1)
+	leaves, entries := 0, 0
+	total := uint64(0)
+	tr.WalkLeaves(func(path uint64, depth int, each func(func(geom.Point, int) bool)) bool {
+		leaves++
+		if depth > height {
+			t.Fatalf("leaf depth %d exceeds height %d", depth, height)
+		}
+		norm := path << (2 * uint(height-depth))
+		if int64(norm) <= prev {
+			t.Fatalf("leaf codes not strictly increasing: %d after %d", norm, prev)
+		}
+		prev = int64(norm)
+		total += 1 << (2 * uint(height-depth))
+		each(func(geom.Point, int) bool { entries++; return true })
+		return true
+	})
+	if leaves != tr.LeafCount() {
+		t.Errorf("walked %d leaves, census says %d", leaves, tr.LeafCount())
+	}
+	if entries != tr.Len() {
+		t.Errorf("walked %d entries, tree holds %d", entries, tr.Len())
+	}
+	if total != 1<<(2*uint(height)) {
+		t.Errorf("leaf intervals cover %d cells, want %d (perfect tiling)", total, uint64(1)<<(2*uint(height)))
+	}
+	// Early stop works.
+	n := 0
+	tr.WalkLeaves(func(uint64, int, func(func(geom.Point, int) bool)) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("early stop visited %d leaves, want 3", n)
+	}
+}

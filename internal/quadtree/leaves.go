@@ -1,0 +1,43 @@
+package quadtree
+
+import "popana/internal/geom"
+
+// LeafVisitor receives one leaf block during WalkLeaves: the leaf's
+// locational path code, its depth, and an iterator over the leaf's
+// entries. Returning false stops the walk.
+//
+// The path packs the quadrant index (geom convention: bit 0 = east,
+// bit 1 = north) of every level, two bits per level with the root's
+// choice in the most significant pair, so leaves sort by
+// path<<(2*(maxDepth-depth)) exactly in Morton (Z-order). The path is
+// only meaningful while depth <= 32; deeper leaves overflow the uint64
+// (Tree.Height reports the deepest leaf, and DefaultMaxDepth allows 48).
+type LeafVisitor[V any] func(path uint64, depth int, each func(yield func(p geom.Point, v V) bool)) bool
+
+// WalkLeaves visits every leaf block in Z-order — children in quadrant
+// order 0..3 at each level, the order locational codes sort in. It is
+// the export point for building linear (pointerless) representations of
+// the tree: a single pass yields each leaf's locational code and its
+// entries in the order a sorted code array wants them. It reports
+// whether the walk ran to completion.
+func (t *Tree[V]) WalkLeaves(visit LeafVisitor[V]) bool {
+	return walkLeaves(t.root, 0, 0, visit)
+}
+
+func walkLeaves[V any](n *node[V], path uint64, depth int, visit LeafVisitor[V]) bool {
+	if n.leaf() {
+		return visit(path, depth, func(yield func(geom.Point, V) bool) {
+			for i := range n.entries {
+				if !yield(n.entries[i].p, n.entries[i].v) {
+					return
+				}
+			}
+		})
+	}
+	for q := 0; q < 4; q++ {
+		if !walkLeaves(&n.children[q], path<<2|uint64(q), depth+1, visit) {
+			return false
+		}
+	}
+	return true
+}

@@ -31,7 +31,7 @@ func rangeQuery[V any](n *node[V], block, query geom.Rect, visit Visit[V]) bool 
 	}
 	for q := 0; q < 4; q++ {
 		child := block.Quadrant(q)
-		if !child.Intersects(query) && !touchesClosed(child, query) {
+		if !overlapsClosed(child, query) {
 			continue
 		}
 		if !rangeQuery(&n.children[q], child, query, visit) {
@@ -41,20 +41,33 @@ func rangeQuery[V any](n *node[V], block, query geom.Rect, visit Visit[V]) bool 
 	return true
 }
 
-// touchesClosed reports whether the closed query rectangle touches the
-// half-open block: needed so range queries whose edge coincides with a
-// block boundary still see points lying exactly on that boundary.
-func touchesClosed(block, query geom.Rect) bool {
+// overlapsClosed is the single pruning predicate of range traversals: it
+// reports whether the closed query rectangle touches the half-open
+// block. The closed test subsumes the open-intersection one (strict
+// overlap implies touching), and the closed edges are what let a query
+// whose edge coincides with a block boundary still see points lying
+// exactly on that boundary.
+func overlapsClosed(block, query geom.Rect) bool {
 	return block.MinX <= query.MaxX && query.MinX <= block.MaxX &&
 		block.MinY <= query.MaxY && query.MinY <= block.MaxY
 }
 
 // CountRange returns the number of stored points inside the closed query
-// rectangle.
+// rectangle. It runs the same traversal as Range but with no per-match
+// callback, so it allocates nothing.
 func (t *Tree[V]) CountRange(query geom.Rect) int {
-	n := 0
-	t.Range(query, func(geom.Point, V) bool { n++; return true })
-	return n
+	return t.CountRangeBudgeted(query, 0).Matched
+}
+
+// CountRangeBudgeted counts the stored points inside the closed query
+// rectangle under a node-visit budget, through the exact traversal
+// RangeBudgeted uses: the count is RangeStats.Matched, and Truncated
+// reports a budget stop identically to a budgeted Range over the same
+// query. maxNodes <= 0 means unlimited. It allocates nothing.
+func (t *Tree[V]) CountRangeBudgeted(query geom.Rect, maxNodes int) RangeStats {
+	var st RangeStats
+	rangeCounted[V](t.root, t.cfg.Region, query, nil, &st, maxNodes)
+	return st
 }
 
 // RangeStats reports the work a Range traversal performed — the
@@ -94,6 +107,9 @@ func (t *Tree[V]) RangeBudgeted(query geom.Rect, maxNodes int, visit Visit[V]) R
 	return st
 }
 
+// rangeCounted is the shared instrumented traversal behind
+// RangeBudgeted and CountRangeBudgeted. A nil visit counts matches
+// without delivering them.
 func rangeCounted[V any](n *node[V], block, query geom.Rect, visit Visit[V], st *RangeStats, maxNodes int) bool {
 	if maxNodes > 0 && st.NodesVisited >= maxNodes {
 		st.Truncated = true
@@ -106,7 +122,7 @@ func rangeCounted[V any](n *node[V], block, query geom.Rect, visit Visit[V], st 
 		for i := range n.entries {
 			if query.ContainsClosed(n.entries[i].p) {
 				st.Matched++
-				if !visit(n.entries[i].p, n.entries[i].v) {
+				if visit != nil && !visit(n.entries[i].p, n.entries[i].v) {
 					return false
 				}
 			}
@@ -115,7 +131,7 @@ func rangeCounted[V any](n *node[V], block, query geom.Rect, visit Visit[V], st 
 	}
 	for q := 0; q < 4; q++ {
 		child := block.Quadrant(q)
-		if !child.Intersects(query) && !touchesClosed(child, query) {
+		if !overlapsClosed(child, query) {
 			continue
 		}
 		if !rangeCounted(&n.children[q], child, query, visit, st, maxNodes) {

@@ -140,9 +140,11 @@ func TestQueryBudgetTruncates(t *testing.T) {
 // the iterative solve (and logs its attempts); later tables of the same
 // capacity hit the per-(capacity, fanout) cache.
 func TestCreateTableSolveCache(t *testing.T) {
-	// Capacity 13 is not used by any other test in this package, so the
-	// first creation here is the process-wide cache miss.
+	// Capacity 13 is not used by any other test in this package; evict
+	// its cache entry anyway so the test survives -count=N repeats,
+	// where the process-wide cache is warm on the second run.
 	const capacity = 13
+	solveCache.Delete(solveKey{capacity, quadFanout})
 	db := NewDB()
 	t1, err := db.CreateTable("first", capacity, geom.UnitSquare)
 	if err != nil {

@@ -36,6 +36,22 @@
 //   - Deterministic failure points (package faultinject) can be armed
 //     for chaos testing; the production default is a nil injector that
 //     costs one pointer comparison per operation.
+//
+// # Snapshot read path
+//
+// Each table keeps an atomically-published linear-quadtree snapshot
+// (package linearquad): a pointerless, Morton-coded frozen copy of the
+// index, stamped with the table's mutation epoch. Window and radius
+// Selects, CountRange, and Explain on a quiescent table — one whose
+// epoch still matches the snapshot's — are served entirely from the
+// snapshot without taking the table RWMutex, so steady read traffic is
+// lock-free and never contends with a writer on another key range.
+// When the snapshot is stale the query falls back to the live tree
+// under the read lock, and the snapshot is rebuilt lazily once the
+// table has absorbed SnapshotThreshold mutations since the last build
+// (or immediately on Compact). Query budgets (MaxNodes), Cost
+// accounting, and the faultinject query points apply identically on
+// both paths.
 package spatialdb
 
 import (
@@ -44,10 +60,12 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"popana/internal/core"
 	"popana/internal/faultinject"
 	"popana/internal/geom"
+	"popana/internal/linearquad"
 	"popana/internal/quadtree"
 	"popana/internal/solver"
 )
@@ -192,6 +210,7 @@ func (db *DB) CreateTable(name string, capacity int, region geom.Rect) (*Table, 
 		inj:       db.inj,
 		index:     idx,
 		byID:      map[uint64]geom.Point{},
+		snapEvery: DefaultSnapshotThreshold,
 		occ:       occ,
 		occApprox: approx,
 		attempts:  attempts,
@@ -234,6 +253,21 @@ func (db *DB) DropTable(name string) error {
 	return nil
 }
 
+// DefaultSnapshotThreshold is the number of mutations a table absorbs
+// before a falling-back query rebuilds the frozen snapshot. Small
+// enough that read-mostly tables regain the lock-free path quickly;
+// large enough that a write burst does not pay an O(n) freeze per
+// handful of inserts.
+const DefaultSnapshotThreshold = 64
+
+// snapshot is one atomically-published frozen view of a table's index.
+// frozen == nil records a freeze attempt that failed (tree too deep) at
+// this epoch, so the table does not retry until more mutations arrive.
+type snapshot struct {
+	frozen *linearquad.Frozen[Record]
+	epoch  uint64
+}
+
 // Table is one spatially indexed record collection, safe for concurrent
 // readers and writers.
 type Table struct {
@@ -245,12 +279,92 @@ type Table struct {
 	index *quadtree.Tree[Record]
 	byID  map[uint64]geom.Point
 
+	// epoch counts mutations (each batched record counts once). Bumped
+	// under the write lock before the index changes, so a reader that
+	// observes a snapshot matching the current epoch is guaranteed the
+	// snapshot reflects every completed write.
+	epoch atomic.Uint64
+	// snap is the latest frozen snapshot; nil until the first build.
+	snap atomic.Pointer[snapshot]
+	// rebuilding serializes snapshot builds so a thundering herd of
+	// stale readers freezes the tree once, not once per reader.
+	rebuilding atomic.Bool
+	// snapEvery is the staleness (in mutations) at which a falling-back
+	// query triggers a rebuild; immutable after creation except via
+	// SetSnapshotThreshold.
+	snapEvery uint64
+
 	// occ is the model-predicted records per block; occApprox marks it
 	// as the closed-form heuristic (every solver rung failed). Both are
 	// immutable after creation.
 	occ       float64
 	occApprox bool
 	attempts  []solver.Attempt
+}
+
+// SetSnapshotThreshold overrides DefaultSnapshotThreshold: the number
+// of mutations after which a query that found the snapshot stale
+// rebuilds it. n <= 0 restores the default. Call before the table is
+// shared across goroutines.
+func (t *Table) SetSnapshotThreshold(n int) {
+	if n <= 0 {
+		t.snapEvery = DefaultSnapshotThreshold
+		return
+	}
+	t.snapEvery = uint64(n)
+}
+
+// loadFresh returns the frozen snapshot when it exactly matches the
+// table's current mutation epoch, nil otherwise. Lock-free: two atomic
+// loads.
+func (t *Table) loadFresh() *linearquad.Frozen[Record] {
+	s := t.snap.Load()
+	if s != nil && s.frozen != nil && s.epoch == t.epoch.Load() {
+		return s.frozen
+	}
+	return nil
+}
+
+// rebuildLocked freezes the index and publishes the snapshot. The
+// caller must hold t.mu (read or write); under either the epoch is
+// stable, so the published snapshot is exact for its stamp. A freeze
+// failure (ErrTooDeep) is published as an empty marker so queries stop
+// retrying until the table changes again.
+func (t *Table) rebuildLocked() (*linearquad.Frozen[Record], error) {
+	f, err := linearquad.Freeze(t.index)
+	t.snap.Store(&snapshot{frozen: f, epoch: t.epoch.Load()})
+	return f, err
+}
+
+// maybeRebuildLocked rebuilds the snapshot if it is missing or stale by
+// at least the threshold, returning a frozen view that matches the live
+// index exactly (nil when no rebuild happened or the tree cannot be
+// frozen). The caller must hold at least the read lock.
+func (t *Table) maybeRebuildLocked() *linearquad.Frozen[Record] {
+	s := t.snap.Load()
+	e := t.epoch.Load()
+	if s != nil && e-s.epoch < t.snapEvery {
+		return nil
+	}
+	if !t.rebuilding.CompareAndSwap(false, true) {
+		return nil // another reader is already freezing this state
+	}
+	defer t.rebuilding.Store(false)
+	f, _ := t.rebuildLocked()
+	return f
+}
+
+// Compact rebuilds the table's frozen snapshot immediately, restoring
+// the lock-free read path after a write burst without waiting for the
+// mutation threshold. It runs under the read lock (concurrent queries
+// proceed; writers wait). The only possible error is a tree too deep
+// to Morton-encode (linearquad.ErrTooDeep), in which case reads keep
+// falling back to the live tree.
+func (t *Table) Compact() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, err := t.rebuildLocked()
+	return err
 }
 
 // Name returns the table name.
@@ -287,6 +401,7 @@ func (t *Table) Insert(rec Record) error {
 	if _, exists := t.byID[rec.ID]; exists {
 		return fmt.Errorf("%w: %d", ErrDuplicateID, rec.ID)
 	}
+	t.epoch.Add(1) // invalidate the frozen snapshot before mutating
 	replaced, err := t.index.Insert(rec.Loc, rec)
 	if err != nil {
 		return fmt.Errorf("spatialdb: insert into %q: %w", t.name, err)
@@ -346,6 +461,7 @@ func (t *Table) InsertBatch(recs []Record) error {
 	for i := range recs {
 		points[i] = recs[i].Loc
 	}
+	t.epoch.Add(uint64(len(recs))) // invalidate the snapshot before mutating
 	if _, err := t.index.BulkLoad(points, recs); err != nil {
 		return fmt.Errorf("spatialdb: insert batch into %q: %w", t.name, err)
 	}
@@ -375,6 +491,7 @@ func (t *Table) Delete(id uint64) bool {
 	if !ok {
 		return false
 	}
+	t.epoch.Add(1) // invalidate the frozen snapshot before mutating
 	delete(t.byID, id)
 	return t.index.Delete(loc)
 }
@@ -424,9 +541,24 @@ type Cost struct {
 	Truncated bool
 }
 
+// ranger abstracts the two range-serving representations — the live
+// quadtree and the frozen linear snapshot — which share the budgeted
+// traversal signature, so Select and CountRange are written once.
+type ranger interface {
+	RangeBudgeted(geom.Rect, int, quadtree.Visit[Record]) quadtree.RangeStats
+	CountRangeBudgeted(geom.Rect, int) quadtree.RangeStats
+}
+
 // Select executes the query and returns matching records with the
 // measured cost. Results of window/radius queries are in no particular
 // order; nearest queries return closest-first.
+//
+// Window and radius queries on a quiescent table — no mutation since
+// the snapshot was built — are served from the frozen linear snapshot
+// without acquiring the table lock; otherwise they fall back to the
+// live tree under the read lock, rebuilding the snapshot once the
+// mutation threshold is reached. Both paths honor MaxNodes and report
+// the same Cost fields.
 func (t *Table) Select(q Query) ([]Record, Cost, error) {
 	if err := q.validate(); err != nil {
 		return nil, Cost{}, err
@@ -436,19 +568,17 @@ func (t *Table) Select(q Query) ([]Record, Cost, error) {
 	if keep == nil {
 		keep = func(Record) bool { return true }
 	}
+	if q.Nearest == nil {
+		// Lock-free fast path: a snapshot stamped with the current
+		// epoch is an exact copy of the index.
+		if f := t.loadFresh(); f != nil {
+			out, cost := selectRange(f, q, keep)
+			return out, cost, nil
+		}
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	switch {
-	case q.Window != nil:
-		var out []Record
-		st := t.index.RangeBudgeted(*q.Window, q.MaxNodes, func(_ geom.Point, r Record) bool {
-			if keep(r) {
-				out = append(out, r)
-			}
-			return true
-		})
-		return out, Cost{st.NodesVisited, st.LeavesVisited, st.RecordsScanned, st.Truncated}, nil
-	case q.Nearest != nil:
+	if q.Nearest != nil {
 		pts := t.index.KNearest(q.Nearest.At, q.Nearest.K)
 		out := make([]Record, 0, len(pts))
 		for _, p := range pts {
@@ -458,19 +588,67 @@ func (t *Table) Select(q Query) ([]Record, Cost, error) {
 		}
 		// KNearest is not instrumented; report the records touched.
 		return out, Cost{RecordsScanned: len(pts)}, nil
-	default:
+	}
+	// Stale (or absent) snapshot: rebuild it if the table has absorbed
+	// enough mutations, and serve this query from whichever
+	// representation is current under the read lock.
+	var idx ranger = t.index
+	if f := t.maybeRebuildLocked(); f != nil {
+		idx = f
+	}
+	out, cost := selectRange(idx, q, keep)
+	return out, cost, nil
+}
+
+// selectRange serves a window or radius query from idx (the live tree
+// or a frozen snapshot; exactly one of q.Window/q.Within is set).
+func selectRange(idx ranger, q Query, keep func(Record) bool) ([]Record, Cost) {
+	var out []Record
+	var st quadtree.RangeStats
+	if q.Window != nil {
+		st = idx.RangeBudgeted(*q.Window, q.MaxNodes, func(_ geom.Point, r Record) bool {
+			if keep(r) {
+				out = append(out, r)
+			}
+			return true
+		})
+	} else {
 		w := q.Within
 		r2 := w.Radius * w.Radius
 		box := geom.R(w.At.X-w.Radius, w.At.Y-w.Radius, w.At.X+w.Radius, w.At.Y+w.Radius)
-		var out []Record
-		st := t.index.RangeBudgeted(box, q.MaxNodes, func(p geom.Point, rec Record) bool {
+		st = idx.RangeBudgeted(box, q.MaxNodes, func(p geom.Point, rec Record) bool {
 			if p.Dist2(w.At) <= r2 && keep(rec) {
 				out = append(out, rec)
 			}
 			return true
 		})
-		return out, Cost{st.NodesVisited, st.LeavesVisited, st.RecordsScanned, st.Truncated}, nil
 	}
+	return out, Cost{st.NodesVisited, st.LeavesVisited, st.RecordsScanned, st.Truncated}
+}
+
+// CountRange returns the number of records inside the closed window
+// with the measured cost, without materializing the records. It uses
+// the same budgeted traversal as a window Select — Cost.Truncated is
+// reported identically for the same window and budget — and the same
+// snapshot fast path: on a quiescent table it runs lock-free and
+// allocation-free.
+func (t *Table) CountRange(window geom.Rect, maxNodes int) (int, Cost, error) {
+	if err := validateRegion(window); err != nil {
+		return 0, Cost{}, err
+	}
+	t.inj.Delay(faultinject.QueryLatency)
+	if f := t.loadFresh(); f != nil {
+		st := f.CountRangeBudgeted(window, maxNodes)
+		return st.Matched, Cost{st.NodesVisited, st.LeavesVisited, st.RecordsScanned, st.Truncated}, nil
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var idx ranger = t.index
+	if f := t.maybeRebuildLocked(); f != nil {
+		idx = f
+	}
+	st := idx.CountRangeBudgeted(window, maxNodes)
+	return st.Matched, Cost{st.NodesVisited, st.LeavesVisited, st.RecordsScanned, st.Truncated}, nil
 }
 
 func (q Query) validate() error {
@@ -527,10 +705,18 @@ func (t *Table) Explain(q Query) (Estimate, error) {
 	if err := q.validate(); err != nil {
 		return Estimate{}, err
 	}
-	t.mu.RLock()
-	n := float64(t.index.Len())
-	region := t.index.Region()
-	t.mu.RUnlock()
+	var n float64
+	var region geom.Rect
+	if f := t.loadFresh(); f != nil {
+		// Quiescent table: estimate from the snapshot, lock-free.
+		n = float64(f.Len())
+		region = f.Region()
+	} else {
+		t.mu.RLock()
+		n = float64(t.index.Len())
+		region = t.index.Region()
+		t.mu.RUnlock()
+	}
 	if n == 0 {
 		return Estimate{Approximate: t.occApprox}, nil
 	}

@@ -261,6 +261,41 @@ func TestFacadeSpatialDB(t *testing.T) {
 	}
 }
 
+// TestFacadeFrozenSnapshot is the README "Lock-free reads" example: after
+// Compact, range reads come from the frozen snapshot and CountRange
+// agrees with Select.
+func TestFacadeFrozenSnapshot(t *testing.T) {
+	db := popana.NewSpatialDB()
+	tab, err := db.CreateTable("cities", 8, popana.Rect{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := popana.NewRand(11)
+	src := popana.NewUniform(popana.UnitSquare, rng)
+	recs := make([]popana.SpatialRecord, 200)
+	for i := range recs {
+		recs[i] = popana.SpatialRecord{ID: uint64(i + 1), Loc: src.Next()}
+	}
+	if err := tab.InsertBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	window := popana.R(0.2, 0.2, 0.6, 0.5)
+	hits, cost, err := tab.Select(popana.SpatialQuery{Window: &window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _, err := tab.CountRange(window, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(hits) || cost.LeavesVisited == 0 {
+		t.Fatalf("CountRange = %d, Select = %d records, cost %+v", n, len(hits), cost)
+	}
+}
+
 func TestFacadeSyncQuadtree(t *testing.T) {
 	sq, err := popana.NewSyncQuadtree(popana.QuadtreeConfig{Capacity: 2})
 	if err != nil {
