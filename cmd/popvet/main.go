@@ -1,0 +1,186 @@
+// Command popvet runs the repository's custom static-analysis suite:
+// machine checks for the invariants the test suite cannot see.
+//
+//	go run ./cmd/popvet ./...
+//
+// Analyzers (see internal/analysis/<name> for the full story):
+//
+//	detrand         no global math/rand, time.Now, or map-iteration
+//	                dependence in code reachable from experiment runners
+//	floatcmp        no naked ==/!= on floats in core, solver, vecmat,
+//	                statmodel; comparisons go through internal/fmath
+//	lockdiscipline  no re-entrant table locking in spatialdb; snapshot
+//	                atomics only through sanctioned accessors
+//	faultpoint      fault-injection point names must be registered
+//	                Point constants
+//
+// popvet loads the whole module (the detrand reachability analysis
+// needs the full import graph) and reports findings for the packages
+// matching the argument patterns: "./..." for everything, or package
+// directories like ./internal/solver. Exit status is 1 when findings
+// remain, 2 on usage or load errors. A finding can be suppressed at the
+// site with "//popvet:allow <analyzer> -- justification"; popvet is a
+// blocking CI step, so an unjustified suppression has to survive code
+// review.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"popana/internal/analysis"
+	"popana/internal/analysis/detrand"
+	"popana/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and the detrand deterministic core, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: popvet [-only names] [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "popvet machine-checks the repository's determinism, locking,\nnumeric, and fault-injection invariants.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := suite.All()
+	if *only != "" {
+		analyzers = suite.ByName(strings.Split(*only, ","))
+		if analyzers == nil {
+			fmt.Fprintf(os.Stderr, "popvet: unknown analyzer in -only=%s\n", *only)
+			return 2
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "popvet: %v\n", err)
+		return 2
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "popvet: %v\n", err)
+		return 2
+	}
+	module, err := analysis.ModulePath(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "popvet: %v\n", err)
+		return 2
+	}
+
+	// Load the whole module: detrand's reachability facts need the full
+	// import graph even when only a subset is being reported on.
+	pkgs, fset, deps, err := analysis.Load(analysis.Config{Root: root, Module: module}, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "popvet: %v\n", err)
+		return 2
+	}
+
+	if *list {
+		fmt.Println("analyzers:")
+		for _, a := range suite.All() {
+			fmt.Printf("  %-15s %s\n", a.Name, a.Doc)
+		}
+		fmt.Println("\ndetrand deterministic core (experiment-reachable packages):")
+		for _, p := range detrand.Targets(deps) {
+			fmt.Printf("  %s\n", p)
+		}
+		return 0
+	}
+
+	keep, err := matchPatterns(root, module, cwd, flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "popvet: %v\n", err)
+		return 2
+	}
+	var selected []*analysis.Package
+	for _, p := range pkgs {
+		if keep(p.Path) {
+			selected = append(selected, p)
+		}
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "popvet: no packages match %v\n", flag.Args())
+		return 2
+	}
+
+	findings, err := analysis.Run(fset, selected, deps, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "popvet: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		pos := f.Pos
+		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s: [%s] %s\n", pos, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "popvet: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// matchPatterns converts go-style package patterns ("./...",
+// "./internal/core", "popana/internal/core") into a predicate over
+// import paths. No arguments means everything.
+func matchPatterns(root, module, cwd string, args []string) (func(string) bool, error) {
+	if len(args) == 0 {
+		return func(string) bool { return true }, nil
+	}
+	var exact []string
+	var prefixes []string
+	for _, arg := range args {
+		recursive := false
+		if rest, ok := strings.CutSuffix(arg, "/..."); ok {
+			recursive = true
+			arg = rest
+			if arg == "." || arg == "" {
+				arg = "."
+			}
+		}
+		path := arg
+		if arg == "." || strings.HasPrefix(arg, "./") || strings.HasPrefix(arg, "../") {
+			abs, err := filepath.Abs(filepath.Join(cwd, arg))
+			if err != nil {
+				return nil, err
+			}
+			rel, err := filepath.Rel(root, abs)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				return nil, fmt.Errorf("pattern %q is outside the module", arg)
+			}
+			if rel == "." {
+				path = module
+			} else {
+				path = module + "/" + filepath.ToSlash(rel)
+			}
+		}
+		if recursive {
+			prefixes = append(prefixes, path)
+		} else {
+			exact = append(exact, path)
+		}
+	}
+	return func(pkg string) bool {
+		for _, e := range exact {
+			if pkg == e {
+				return true
+			}
+		}
+		for _, p := range prefixes {
+			if pkg == p || strings.HasPrefix(pkg, p+"/") {
+				return true
+			}
+		}
+		return false
+	}, nil
+}

@@ -1,0 +1,200 @@
+// Package analysis is a small, dependency-free analog of
+// golang.org/x/tools/go/analysis: just enough driver machinery to write
+// type-checked static analyzers for this repository and run them from
+// cmd/popvet.
+//
+// Why not the real thing? The invariants popvet guards (determinism of
+// the parallel trial engine, the snapshot publish discipline, float
+// comparison hygiene, fault-point registration) are repo-specific, and
+// this module deliberately carries zero external dependencies. The
+// subset implemented here — Analyzer, Pass, Reportf, a source loader
+// with full type information, and an analysistest-style fixture runner
+// (package atest) — is API-compatible enough that the analyzers could be
+// ported to x/tools/go/analysis by changing imports.
+//
+// # Suppression
+//
+// A diagnostic can be silenced at a specific site with a justification
+// comment on the flagged line or the line directly above it:
+//
+//	//popvet:allow detrand -- keys are sorted two lines down
+//
+// The analyzer name must match; a bare //popvet:allow without a name
+// silences nothing. Suppressions are honored by both cmd/popvet and the
+// fixture runner, so every analyzer's testdata includes a suppressed
+// (allowed) case alongside flagged ones.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //popvet:allow comments.
+	Name string
+	// Doc is a one-paragraph description: the invariant guarded and why.
+	Doc string
+	// Run analyzes one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed non-test source files, with
+	// comments.
+	Files []*ast.File
+	// Pkg and Info are the type-checked package and its expression
+	// types, definitions, uses, and selections.
+	Pkg  *types.Package
+	Info *types.Info
+	// PkgPath is the import path being analyzed.
+	PkgPath string
+	// ModuleDeps maps every loaded in-module package path to its
+	// in-module imports. Analyzers that need whole-program facts (e.g.
+	// "is this package reachable from the experiment runners?") derive
+	// them from this graph.
+	ModuleDeps map[string][]string
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf records a finding.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Finding is a resolved diagnostic: analyzer, position, message.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run executes the analyzers over the loaded packages, drops suppressed
+// diagnostics, and returns the remaining findings sorted by position.
+// Analyzer errors (not findings) abort the run.
+func Run(fset *token.FileSet, pkgs []*Package, deps map[string][]string, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		allow := allowedLines(fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				Info:       pkg.Info,
+				PkgPath:    pkg.Path,
+				ModuleDeps: deps,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range pass.diags {
+				pos := fset.Position(d.Pos)
+				if allow.allows(pos, a.Name) {
+					continue
+				}
+				out = append(out, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// allowSet records, per file and line, the analyzer names a
+// //popvet:allow comment authorizes.
+type allowSet map[string]map[int][]string
+
+// allows reports whether a finding at pos is suppressed by an allow
+// comment on its line or the line above.
+func (s allowSet) allows(pos token.Position, analyzer string) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range [2]int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[l] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+const allowPrefix = "//popvet:allow"
+
+// allowedLines scans every comment in the files for popvet:allow
+// directives. The directive form is
+//
+//	//popvet:allow name1[,name2...] [-- justification]
+func allowedLines(fset *token.FileSet, files []*ast.File) allowSet {
+	set := allowSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				names, _, _ := strings.Cut(strings.TrimSpace(text), "--")
+				pos := fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					set[pos.Filename] = lines
+				}
+				for _, name := range strings.FieldsFunc(names, func(r rune) bool {
+					return r == ',' || r == ' ' || r == '\t'
+				}) {
+					lines[pos.Line] = append(lines[pos.Line], name)
+				}
+			}
+		}
+	}
+	return set
+}
+
+// PathBase returns the last element of an import path: the package
+// directory name the analyzers key their target sets on, so the same
+// analyzer applies both to popana/internal/core and to a fixture package
+// named core.
+func PathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

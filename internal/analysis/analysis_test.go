@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"testing"
+)
+
+func TestPathBase(t *testing.T) {
+	cases := []struct{ path, want string }{
+		{"popana/internal/core", "core"},
+		{"core", "core"},
+		{"popana/internal/analysis/atest", "atest"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := PathBase(c.path); got != c.want {
+			t.Errorf("PathBase(%q) = %q, want %q", c.path, got, c.want)
+		}
+	}
+}
+
+func TestAllowedLines(t *testing.T) {
+	src := `package p
+
+func f() int {
+	//popvet:allow detrand,floatcmp -- both silenced on the next line
+	x := 1
+	y := 2 //popvet:allow faultpoint -- same-line form
+	return x + y
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := allowedLines(fset, []*ast.File{f})
+
+	at := func(line int) token.Position { return token.Position{Filename: "p.go", Line: line} }
+	if !set.allows(at(5), "detrand") || !set.allows(at(5), "floatcmp") {
+		t.Error("line-above directive must silence both named analyzers on line 5")
+	}
+	if !set.allows(at(4), "detrand") {
+		t.Error("directive must silence its own line")
+	}
+	if set.allows(at(5), "lockdiscipline") {
+		t.Error("unnamed analyzer must not be silenced")
+	}
+	if set.allows(at(6), "detrand") {
+		t.Error("directive reach is one line, not two")
+	}
+	if !set.allows(at(6), "faultpoint") {
+		t.Error("trailing same-line directive must silence its line")
+	}
+	if set.allows(token.Position{Filename: "q.go", Line: 5}, "detrand") {
+		t.Error("directives are per-file")
+	}
+}
+
+func TestFindModuleRoot(t *testing.T) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := FindModuleRoot(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := ModulePath(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod != "popana" {
+		t.Fatalf("ModulePath(%s) = %q, want popana", root, mod)
+	}
+}

@@ -1,0 +1,134 @@
+// Package atest runs popvet analyzers over testdata fixture trees, in
+// the manner of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture lives under <analyzer>/testdata/src/<pkg>/ and marks the
+// lines an analyzer must flag with trailing comments:
+//
+//	x := rand.Int() // want `thread an xrand stream`
+//
+// The quoted text is a regular expression matched against the
+// diagnostic message. Every want must be matched by exactly one
+// diagnostic on its line and every diagnostic must match a want, so a
+// fixture demonstrates both flagged and allowed cases. //popvet:allow
+// suppressions are honored exactly as in cmd/popvet, which lets a
+// fixture also pin the suppression behavior.
+package atest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"popana/internal/analysis"
+)
+
+// want is one expectation: a line that must produce a diagnostic whose
+// message matches rx.
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("//\\s*want\\s+((?:[`\"][^`\"]*[`\"]\\s*)+)$")
+var wantArgRE = regexp.MustCompile("[`\"]([^`\"]*)[`\"]")
+
+// Run loads the named fixture packages from dir/src, applies the
+// analyzer, and compares its diagnostics against the // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join(dir, "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, fset, deps, err := analysis.Load(analysis.Config{Root: root}, pkgs)
+	if err != nil {
+		t.Fatalf("loading fixtures from %s: %v", root, err)
+	}
+	if len(loaded) != len(pkgs) {
+		t.Fatalf("loaded %d packages, want %d (%v)", len(loaded), len(pkgs), pkgs)
+	}
+	findings, err := analysis.Run(fset, loaded, deps, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, fset, loaded)
+	for _, f := range findings {
+		if w := matchWant(wants, f); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("unexpected diagnostic at %s:%d: %s", rel(root, f.Pos.Filename), f.Pos.Line, f.Message)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", rel(root, w.file), w.line, w.rx)
+		}
+	}
+}
+
+func rel(root, file string) string {
+	if r, err := filepath.Rel(root, file); err == nil {
+		return r
+	}
+	return file
+}
+
+func matchWant(wants []*want, f analysis.Finding) *want {
+	for _, w := range wants {
+		if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.rx.MatchString(f.Message) {
+			return w
+		}
+	}
+	return nil
+}
+
+// collectWants scans fixture comments for // want expectations.
+func collectWants(t *testing.T, fset *token.FileSet, pkgs []*analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						if strings.Contains(c.Text, "want ") && strings.Contains(c.Text, "`") {
+							t.Fatalf("%s: malformed want comment: %s", fset.Position(c.Pos()), c.Text)
+						}
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+						rx, err := regexp.Compile(arg[1])
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %s: %v", pos, strconv.Quote(arg[1]), err)
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// MustFlag is a helper for negative tests outside fixture trees: it
+// runs the analyzer over an ad-hoc tree and returns the findings.
+func MustFlag(t *testing.T, root string, a *analysis.Analyzer, pkgs ...string) []analysis.Finding {
+	t.Helper()
+	loaded, fset, deps, err := analysis.Load(analysis.Config{Root: root}, pkgs)
+	if err != nil {
+		t.Fatalf("loading %s: %v", root, err)
+	}
+	findings, err := analysis.Run(fset, loaded, deps, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	return findings
+}

@@ -1,0 +1,130 @@
+// Package detrand implements the popvet analyzer that guards the
+// determinism of the experiment engine.
+//
+// The paper's phasing oscillation (Section IV) can only be measured if
+// parallel trials are bit-identical to sequential ones: the parallel
+// engine (PR 2) derives one xrand stream per trial with xrand.Derive,
+// and every paper_output.txt comparison in the tier-1 loop assumes the
+// bytes never change. A single global math/rand draw, wall-clock read,
+// or map-iteration-order dependence anywhere in the code a Runner can
+// reach silently breaks that, and the breakage shows up as flaky output
+// diffs far from the cause.
+//
+// detrand therefore bans three constructs inside the deterministic
+// core — the experiment and xrand packages plus every in-module package
+// the experiment runners can reach through imports:
+//
+//   - importing math/rand or math/rand/v2 (deterministic code must
+//     thread an xrand stream);
+//   - calling (or referencing) time.Now;
+//   - ranging over a map, whose iteration order differs per run.
+//
+// A site that is genuinely order-insensitive can be annotated
+// //popvet:allow detrand with a justification, as RangeSegments in
+// internal/pmr does after sorting the keys it collects.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strconv"
+
+	"popana/internal/analysis"
+)
+
+// Analyzer is the detrand popvet check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid nondeterminism (global math/rand, time.Now, map iteration) in code reachable from experiment runners",
+	Run:  run,
+}
+
+// rootBase names the package whose transitive imports form the
+// deterministic core: the experiment runners live here.
+const rootBase = "experiment"
+
+// alwaysTargets are package basenames in the deterministic core even
+// when not reachable from a loaded experiment package (fixtures, or an
+// xrand used standalone).
+var alwaysTargets = map[string]bool{"experiment": true, "xrand": true}
+
+// deterministicCore reports whether pkgPath must obey detrand: it is an
+// experiment/xrand package, or the experiment runners reach it through
+// in-module imports.
+func deterministicCore(pkgPath string, deps map[string][]string) bool {
+	if alwaysTargets[analysis.PathBase(pkgPath)] {
+		return true
+	}
+	// BFS through the import graph from every experiment package.
+	var queue []string
+	seen := map[string]bool{}
+	for p := range deps {
+		if analysis.PathBase(p) == rootBase {
+			queue = append(queue, p)
+			seen[p] = true
+		}
+	}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if p == pkgPath {
+			return true
+		}
+		for _, imp := range deps[p] {
+			if !seen[imp] {
+				seen[imp] = true
+				queue = append(queue, imp)
+			}
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !deterministicCore(pass.PkgPath, pass.ModuleDeps) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ImportSpec:
+				path, err := strconv.Unquote(n.Path.Value)
+				if err != nil {
+					return true
+				}
+				if path == "math/rand" || path == "math/rand/v2" {
+					pass.Reportf(n.Pos(), "deterministic package %s imports %s; thread an xrand stream (internal/xrand) instead", pass.PkgPath, path)
+				}
+			case *ast.SelectorExpr:
+				if obj, ok := pass.Info.Uses[n.Sel].(*types.Func); ok {
+					if pkg := obj.Pkg(); pkg != nil && pkg.Path() == "time" && obj.Name() == "Now" {
+						pass.Reportf(n.Pos(), "time.Now in deterministic package %s: trial results must not depend on the wall clock", pass.PkgPath)
+					}
+				}
+			case *ast.RangeStmt:
+				if t := pass.Info.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Reportf(n.Pos(), "map iteration order is nondeterministic in deterministic package %s; iterate sorted keys, or annotate //popvet:allow detrand with a justification", pass.PkgPath)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// Targets returns the deterministic-core package paths for a loaded
+// module graph, sorted; cmd/popvet -list uses it to show the blast
+// radius of the detrand rules.
+func Targets(deps map[string][]string) []string {
+	var out []string
+	for p := range deps {
+		if deterministicCore(p, deps) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

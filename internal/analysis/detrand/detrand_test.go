@@ -1,0 +1,35 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"popana/internal/analysis/atest"
+	"popana/internal/analysis/detrand"
+)
+
+// TestDetrand drives the fixture tree: experiment (target by name,
+// roots reachability), determcore (target by reachability only), and
+// other (outside the core, everything allowed).
+func TestDetrand(t *testing.T) {
+	atest.Run(t, "testdata", detrand.Analyzer, "experiment", "determcore", "other")
+}
+
+// TestTargets pins which fixture packages the reachability analysis
+// classifies as deterministic core.
+func TestTargets(t *testing.T) {
+	deps := map[string][]string{
+		"experiment": {"determcore"},
+		"determcore": nil,
+		"other":      nil,
+	}
+	got := detrand.Targets(deps)
+	want := []string{"determcore", "experiment"}
+	if len(got) != len(want) {
+		t.Fatalf("Targets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Targets = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+// Package determcore is not named experiment or xrand: it lands in the
+// deterministic core only because the experiment fixture imports it, so
+// it pins the reachability half of the detrand rule.
+package determcore
+
+import "math/rand" // want `imports math/rand`
+
+// Sum folds a slice; slice iteration is deterministic and allowed.
+func Sum(counts []int) int64 {
+	var total int64
+	for _, c := range counts {
+		total += int64(c)
+	}
+	return total
+}
+
+// Shuffle exists to use the banned import.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Index depends on map iteration order to pick among ties.
+func Index(m map[int]bool) int {
+	best := -1
+	for k := range m { // want `map iteration order is nondeterministic`
+		if k > best {
+			best = k
+		}
+	}
+	return best
+}

@@ -1,0 +1,41 @@
+// Package experiment is a detrand fixture standing in for the real
+// trial runner: it is a target by basename, and its imports root the
+// reachability analysis that pulls determcore into the core.
+package experiment
+
+import (
+	"time"
+
+	"determcore"
+)
+
+// Runner mimics the trial-loop shape of the real engine.
+type Runner struct {
+	Trials map[string]int
+}
+
+// Run mixes every banned construct with allowed neighbors.
+func (r *Runner) Run() int64 {
+	start := time.Now().UnixNano() // want `time\.Now in deterministic package`
+	total := determcore.Sum([]int{1, 2, 3})
+	for name, n := range r.Trials { // want `map iteration order is nondeterministic`
+		total += int64(len(name)) + int64(n)
+	}
+	//popvet:allow detrand -- fixture pins suppression: summation is order-independent
+	for _, n := range r.Trials {
+		total += int64(n)
+	}
+	return start + total
+}
+
+// Elapsed uses the time package without time.Now: allowed.
+func Elapsed(d time.Duration) float64 { return d.Seconds() }
+
+// Names iterates a slice, not a map: allowed.
+func Names(ns []string) int {
+	total := 0
+	for _, n := range ns {
+		total += len(n)
+	}
+	return total
+}

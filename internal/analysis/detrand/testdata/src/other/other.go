@@ -1,0 +1,18 @@
+// Package other is outside the deterministic core — nothing named
+// experiment imports it — so the very constructs detrand bans elsewhere
+// go unflagged here.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter freely uses the wall clock, global rand, and map iteration.
+func Jitter(m map[string]int) int64 {
+	total := time.Now().UnixNano()
+	for _, v := range m {
+		total += int64(v) + rand.Int63n(3)
+	}
+	return total
+}

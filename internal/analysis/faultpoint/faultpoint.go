@@ -1,0 +1,99 @@
+// Package faultpoint implements the popvet analyzer that keeps
+// fault-injection point names honest.
+//
+// A chaos test arms failure points by name (faultinject.Point); the
+// production code consults them by name. Nothing ties the two together
+// at compile time: a typo in a point name — or a point constant someone
+// removes while a call site still references a stale string — fails
+// open, and the chaos test silently stops injecting anything. That rot
+// is invisible until an incident.
+//
+// faultpoint closes the loop statically: in every package that imports
+// a faultinject package, each argument of type faultinject.Point passed
+// to a call must be a compile-time constant whose value is registered
+// among the Point constants declared in that faultinject package (the
+// canonical list that faultinject.Points() exposes at runtime and
+// TestPointRegistryComplete pins). Unregistered names and dynamic
+// (non-constant) point expressions are both flagged.
+package faultpoint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"popana/internal/analysis"
+)
+
+// Analyzer is the faultpoint popvet check.
+var Analyzer = &analysis.Analyzer{
+	Name: "faultpoint",
+	Doc:  "every faultinject point name used at a call site must be a registered Point constant",
+	Run:  run,
+}
+
+// faultinjectBase is the basename identifying a fault-injection package
+// (the real popana/internal/faultinject, or a fixture named
+// faultinject).
+const faultinjectBase = "faultinject"
+
+func run(pass *analysis.Pass) error {
+	if analysis.PathBase(pass.PkgPath) == faultinjectBase {
+		return nil // the registry itself declares the constants
+	}
+	pointType, canonical := canonicalPoints(pass.Pkg)
+	if pointType == nil {
+		return nil // does not import a faultinject package
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				tv, ok := pass.Info.Types[arg]
+				if !ok || tv.Type == nil || !types.Identical(tv.Type, pointType) {
+					continue
+				}
+				if tv.Value == nil {
+					pass.Reportf(arg.Pos(), "dynamic fault point name of type %s; pass a registered Point constant so chaos tests cannot rot", pointType)
+					continue
+				}
+				name := constant.StringVal(tv.Value)
+				if !canonical[name] {
+					pass.Reportf(arg.Pos(), "fault point %q is not registered in the canonical point list of %s", name, pointType.(*types.Named).Obj().Pkg().Path())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// canonicalPoints finds the faultinject package among pkg's imports and
+// returns its Point type together with the set of registered point
+// names (the values of every Point constant it declares).
+func canonicalPoints(pkg *types.Package) (types.Type, map[string]bool) {
+	for _, imp := range pkg.Imports() {
+		if analysis.PathBase(imp.Path()) != faultinjectBase {
+			continue
+		}
+		obj, ok := imp.Scope().Lookup("Point").(*types.TypeName)
+		if !ok {
+			continue
+		}
+		pointType := obj.Type()
+		canonical := map[string]bool{}
+		scope := imp.Scope()
+		for _, name := range scope.Names() {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok || !types.Identical(c.Type(), pointType) {
+				continue
+			}
+			canonical[constant.StringVal(c.Val())] = true
+		}
+		return pointType, canonical
+	}
+	return nil, nil
+}

@@ -1,0 +1,15 @@
+package faultpoint_test
+
+import (
+	"testing"
+
+	"popana/internal/analysis/atest"
+	"popana/internal/analysis/faultpoint"
+)
+
+// TestFaultpoint drives the fixture tree: injector (typos and dynamic
+// names flagged, registered constants allowed) and faultinject itself
+// (the registry is exempt — it declares the names).
+func TestFaultpoint(t *testing.T) {
+	atest.Run(t, "testdata", faultpoint.Analyzer, "injector", "faultinject")
+}

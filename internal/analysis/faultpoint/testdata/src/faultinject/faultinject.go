@@ -1,0 +1,27 @@
+// Package faultinject is a faultpoint fixture mirroring the real
+// registry: a Point type, its canonical constants, and an injector. The
+// analyzer skips this package itself (the registry declares the names)
+// and polices every importer against the constants found here.
+package faultinject
+
+// Point names one fault-injection site.
+type Point string
+
+// The canonical point list.
+const (
+	InsertFault  Point = "insert.fault"
+	QueryLatency Point = "query.latency"
+)
+
+// Injector arms points by name.
+type Injector struct{ armed map[Point]bool }
+
+// Err reports an injected failure for p, if armed.
+func (i *Injector) Err(p Point) error {
+	_ = i.armed[p]
+	return nil
+}
+
+// Fire is a plain function taking a point, to show the rule is not
+// method-specific.
+func Fire(p Point) {}

@@ -1,0 +1,20 @@
+// Package injector exercises the faultpoint rules against the fixture
+// registry: registered constants pass; typos and dynamic names do not.
+package injector
+
+import "faultinject"
+
+// Arm mixes every shape of point argument.
+func Arm(inj *faultinject.Injector, dyn string) {
+	_ = inj.Err(faultinject.InsertFault)     // registered constant: allowed
+	_ = inj.Err("insert.falut")              // want `not registered in the canonical point list`
+	faultinject.Fire(faultinject.Point(dyn)) // want `dynamic fault point name`
+	//popvet:allow faultpoint -- fixture pins suppression: legacy name kept for a migration window
+	faultinject.Fire("query.latency.slow")
+}
+
+// Status passes a registered point through a local constant: allowed.
+func Status(inj *faultinject.Injector) error {
+	const p = faultinject.QueryLatency
+	return inj.Err(p)
+}

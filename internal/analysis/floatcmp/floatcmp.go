@@ -1,0 +1,84 @@
+// Package floatcmp implements the popvet analyzer that bans naked
+// floating-point equality in the numeric packages.
+//
+// The transform-matrix and fixed-point machinery (core, solver, vecmat,
+// statmodel) is exactly the kind of code where a careless == on float64
+// silently degrades: a convergence check that compares a residual for
+// exact equality spins forever on denormal noise, and an equality test
+// between a recomputed and a cached value starts failing the day a
+// compiler reassociates an expression. The repository's rule is that
+// every float comparison states its intent through a named helper in
+// internal/fmath — Zero/Eq for deliberate exactness, Near/NearZero for
+// tolerance tests — so intent is visible at the call site and the
+// analyzer can reject everything else.
+//
+// The analyzer flags ==/!= where either operand is a float (float64,
+// float32, or an untyped float constant) in packages whose basename is
+// core, solver, vecmat, or statmodel. Comparisons folded entirely from
+// constants are ignored (they are evaluated at compile time, exactly).
+// A site with a genuine reason to compare raw floats can carry a
+// //popvet:allow floatcmp annotation with a justification.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"popana/internal/analysis"
+)
+
+// Analyzer is the floatcmp popvet check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc:  "forbid ==/!= on floating-point values in core, solver, vecmat, statmodel; use internal/fmath helpers",
+	Run:  run,
+}
+
+// targetBases are the numeric packages under the rule.
+var targetBases = map[string]bool{
+	"core":      true,
+	"solver":    true,
+	"vecmat":    true,
+	"statmodel": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !targetBases[analysis.PathBase(pass.PkgPath)] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xtv, ytv := pass.Info.Types[be.X], pass.Info.Types[be.Y]
+			if !isFloat(xtv.Type) && !isFloat(ytv.Type) {
+				return true
+			}
+			if xtv.Value != nil && ytv.Value != nil {
+				return true // constant-folded: exact by construction
+			}
+			pass.Reportf(be.OpPos, "floating-point %s in %s; state intent with a fmath helper (fmath.Zero, fmath.Eq, fmath.Near) or annotate //popvet:allow floatcmp with a justification", be.Op, pass.PkgPath)
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloat reports whether t is (or defaults to) a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Float32, types.Float64, types.UntypedFloat:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"popana/internal/analysis/atest"
+	"popana/internal/analysis/floatcmp"
+)
+
+// TestFloatcmp drives the fixture tree: core (under the rule) and
+// other (outside it).
+func TestFloatcmp(t *testing.T) {
+	atest.Run(t, "testdata", floatcmp.Analyzer, "core", "other")
+}

@@ -1,0 +1,43 @@
+// Package core is a floatcmp fixture: its basename puts it under the
+// numeric-package rule, so naked float equality is flagged while ints,
+// orderings, constant folds, and fmath-style rewrites stay allowed.
+package core
+
+const eps = 1e-12
+
+// Converged compares a residual for exact equality: flagged.
+func Converged(residual float64) bool {
+	return residual == 0 // want `floating-point ==`
+}
+
+// Changed tests two floats for inequality: flagged.
+func Changed(a, b float64) bool {
+	return a != b // want `floating-point !=`
+}
+
+// MixedConst still has a variable operand: flagged.
+func MixedConst(x float64) bool {
+	return x == 1.0 // want `floating-point ==`
+}
+
+// Narrow flags float32 too.
+func Narrow(x float32) bool {
+	return x == 0 // want `floating-point ==`
+}
+
+// Equal compares ints: allowed.
+func Equal(a, b int) bool { return a == b }
+
+// Below is an ordering, not an equality: allowed.
+func Below(x float64) bool { return x < eps }
+
+// exact is folded entirely from constants, evaluated exactly at
+// compile time: allowed.
+const exact = eps == 1e-12
+
+// IsNaN has a genuine reason for raw self-comparison and carries a
+// justified suppression: allowed.
+func IsNaN(x float64) bool {
+	//popvet:allow floatcmp -- fixture pins suppression: x != x is the NaN test
+	return x != x
+}

@@ -1,0 +1,6 @@
+// Package other is not one of the numeric packages (core, solver,
+// vecmat, statmodel), so raw float comparison is allowed.
+package other
+
+// Same would be flagged in a numeric package.
+func Same(a, b float64) bool { return a == b }

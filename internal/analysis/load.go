@@ -1,0 +1,286 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Config locates a source tree for Load.
+type Config struct {
+	// Root is the directory holding the tree's packages.
+	Root string
+	// Module is the import-path prefix of packages under Root (the
+	// module path). Empty means import paths equal the Root-relative
+	// directory (the layout analyzer fixtures use).
+	Module string
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Load parses and type-checks the requested packages (plus everything
+// they import inside the tree) and returns them with the shared FileSet
+// and the in-module import graph over every package loaded.
+//
+// paths lists Root-relative package directories ("." for the root
+// package, "internal/core", ...); nil loads every package under Root.
+// Test files (_test.go) and testdata directories are excluded: popvet
+// checks the invariants of shipped code, and fixtures must not be
+// swept into real runs.
+//
+// Standard-library imports are type-checked from GOROOT source via
+// go/importer's "source" compiler, so loading works without compiled
+// export data or network access.
+func Load(cfg Config, paths []string) ([]*Package, *token.FileSet, map[string][]string, error) {
+	if paths == nil {
+		var err error
+		paths, err = packageDirs(cfg.Root)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	l := &loader{
+		cfg:  cfg,
+		fset: token.NewFileSet(),
+		pkgs: map[string]*Package{},
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+	var roots []*Package
+	for _, rel := range paths {
+		p, err := l.loadDir(l.importPath(rel), filepath.Join(cfg.Root, rel))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if p != nil {
+			roots = append(roots, p)
+		}
+	}
+	deps := map[string][]string{}
+	for path, p := range l.pkgs {
+		var in []string
+		for _, imp := range p.Types.Imports() {
+			if _, ok := l.pkgs[imp.Path()]; ok {
+				in = append(in, imp.Path())
+			}
+		}
+		sort.Strings(in)
+		deps[path] = in
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Path < roots[j].Path })
+	return roots, l.fset, deps, nil
+}
+
+// packageDirs walks root and returns every Root-relative directory
+// holding at least one non-test .go file, skipping testdata, hidden
+// directories, and vendored trees.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			rel, err := filepath.Rel(root, path)
+			if err != nil {
+				return err
+			}
+			dirs = append(dirs, filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if isSourceFile(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSourceFile(e fs.DirEntry) bool {
+	name := e.Name()
+	return !e.IsDir() && strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".")
+}
+
+type loader struct {
+	cfg     Config
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading []string // stack for import-cycle reporting
+}
+
+// importPath converts a Root-relative directory to an import path.
+func (l *loader) importPath(rel string) string {
+	rel = filepath.ToSlash(rel)
+	if rel == "." || rel == "" {
+		if l.cfg.Module != "" {
+			return l.cfg.Module
+		}
+		return "."
+	}
+	if l.cfg.Module != "" {
+		return l.cfg.Module + "/" + rel
+	}
+	return rel
+}
+
+// dirFor resolves an import path to an in-tree directory, or reports
+// that the path belongs to the standard library.
+func (l *loader) dirFor(path string) (string, bool) {
+	switch {
+	case l.cfg.Module != "" && path == l.cfg.Module:
+		return l.cfg.Root, true
+	case l.cfg.Module != "" && strings.HasPrefix(path, l.cfg.Module+"/"):
+		return filepath.Join(l.cfg.Root, path[len(l.cfg.Module)+1:]), true
+	case l.cfg.Module == "":
+		dir := filepath.Join(l.cfg.Root, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return dir, true
+		}
+	}
+	return "", false
+}
+
+// Import implements types.Importer over the tree plus the standard
+// library, memoizing in-tree packages.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir, ok := l.dirFor(path); ok {
+		p, err := l.loadDir(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return nil, fmt.Errorf("analysis: package %s has no Go files in %s", path, dir)
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// loadDir parses and type-checks the package in dir under the given
+// import path. It returns (nil, nil) for directories with no non-test
+// Go files.
+func (l *loader) loadDir(path, dir string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	for _, active := range l.loading {
+		if active == path {
+			return nil, fmt.Errorf("analysis: import cycle through %s (stack %s)", path, strings.Join(l.loading, " -> "))
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading %s: %w", dir, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if !isSourceFile(e) {
+			continue
+		}
+		fname := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(l.fset, fname, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	l.loading = append(l.loading, path)
+	defer func() { l.loading = l.loading[:len(l.loading)-1] }()
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// ModulePath reads the module path from the go.mod in dir.
+func ModulePath(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			if unq, err := strconv.Unquote(rest); err == nil {
+				return unq, nil
+			}
+			return rest, nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s/go.mod", dir)
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory holding
+// a go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod at or above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,350 @@
+// Package lockdiscipline implements the popvet analyzer that guards the
+// spatialdb locking rules and the snapshot publish discipline.
+//
+// Two invariants, two rules:
+//
+// Rule 1 — no re-entrant table locking (spatialdb packages only).
+// sync.Mutex and sync.RWMutex are not re-entrant: a Table method that
+// calls another locking Table method while holding the table mutex
+// deadlocks (Lock→Lock, RLock→Lock) or invites writer-starvation
+// deadlock (RLock→RLock with a writer queued between them). The
+// package's convention is that helpers expecting the lock to be held
+// carry the ...Locked suffix and take no lock themselves. The analyzer
+// finds every method that acquires a mutex field of its receiver type,
+// computes the span over which the lock is held (a deferred unlock
+// holds to the end of the method), and flags calls in that span to any
+// other method of the same type that acquires the same mutex field.
+//
+// Rule 2 — sanctioned snapshot accessors (every package).
+// The lock-free read path (PR 3) relies on a strict publish-after-build
+// discipline on the atomically published snapshot pointer: Load only
+// through the accessor that validates the epoch stamp, Store only after
+// the frozen copy is fully built. A struct field opts into enforcement
+// with a directive in its doc comment:
+//
+//	//popvet:accessors loadFresh rebuildLocked maybeRebuildLocked
+//	snap atomic.Pointer[snapshot]
+//
+// Any Load/Store/Swap/CompareAndSwap on that field outside the named
+// functions is flagged.
+package lockdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"popana/internal/analysis"
+)
+
+// Analyzer is the lockdiscipline popvet check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "no re-entrant locking in spatialdb methods; snapshot atomics only through sanctioned accessors",
+	Run:  run,
+}
+
+// accessorDirective marks a struct field whose atomic accesses are
+// restricted to the named functions.
+const accessorDirective = "//popvet:accessors"
+
+// atomicAccessors are the sync/atomic methods rule 2 polices.
+var atomicAccessors = map[string]bool{
+	"Load": true, "Store": true, "Swap": true, "CompareAndSwap": true,
+}
+
+func run(pass *analysis.Pass) error {
+	checkAccessorDirectives(pass)
+	if analysis.PathBase(pass.PkgPath) == "spatialdb" {
+		checkReentrantLocks(pass)
+	}
+	return nil
+}
+
+// --- Rule 1: re-entrant locking ---
+
+// lockUse identifies one mutex a method acquires: the receiver's named
+// type and the mutex field name.
+type lockUse struct {
+	recv  *types.Named
+	field string
+}
+
+// lockSpan is a source region over which a mutex is held.
+type lockSpan struct {
+	start, end token.Pos
+}
+
+// methodLocks describes one method's acquisitions.
+type methodLocks struct {
+	decl  *ast.FuncDecl
+	recv  *types.Named
+	locks map[string][]lockSpan // mutex field -> held spans
+}
+
+func checkReentrantLocks(pass *analysis.Pass) {
+	// Pass 1: which methods acquire which receiver mutex fields, and
+	// over which spans?
+	var methods []*methodLocks
+	locking := map[lockUse]map[string]bool{} // mutex -> method names acquiring it
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			named := receiverNamed(pass, fd)
+			if named == nil {
+				continue
+			}
+			ml := collectLocks(pass, fd, named)
+			if len(ml.locks) == 0 {
+				continue
+			}
+			methods = append(methods, ml)
+			for field := range ml.locks {
+				key := lockUse{named, field}
+				if locking[key] == nil {
+					locking[key] = map[string]bool{}
+				}
+				locking[key][fd.Name.Name] = true
+			}
+		}
+	}
+	// Pass 2: inside each held span, flag calls to other methods of the
+	// same receiver type that acquire the same mutex.
+	for _, ml := range methods {
+		ast.Inspect(ml.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			callee, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			calleeRecv := namedRecv(callee)
+			if calleeRecv == nil || calleeRecv.Obj() != ml.recv.Obj() {
+				return true
+			}
+			for field, spans := range ml.locks {
+				if !locking[lockUse{ml.recv, field}][callee.Name()] {
+					continue
+				}
+				for _, sp := range spans {
+					if call.Pos() > sp.start && call.Pos() < sp.end {
+						pass.Reportf(call.Pos(),
+							"%s.%s calls %s while holding %s.%s, which %s acquires again: sync mutexes are not re-entrant; use a ...Locked helper",
+							ml.recv.Obj().Name(), ml.decl.Name.Name, callee.Name(),
+							ml.recv.Obj().Name(), field, callee.Name())
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// collectLocks finds the spans of fd over which each receiver mutex
+// field is held: from each Lock/RLock call to the next inline
+// Unlock/RUnlock of the same field, or to the end of the body when the
+// unlock is deferred (or missing).
+func collectLocks(pass *analysis.Pass, fd *ast.FuncDecl, named *types.Named) *methodLocks {
+	ml := &methodLocks{decl: fd, recv: named, locks: map[string][]lockSpan{}}
+	acquires := map[string][]token.Pos{}
+	releases := map[string][]token.Pos{} // inline (non-deferred) only
+	deferred := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			deferred[ds.Call] = true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		field, op := receiverMutexOp(pass, call, named)
+		if field == "" {
+			return true
+		}
+		switch op {
+		case "Lock", "RLock":
+			acquires[field] = append(acquires[field], call.Pos())
+		case "Unlock", "RUnlock":
+			if !deferred[call] {
+				releases[field] = append(releases[field], call.End())
+			}
+		}
+		return true
+	})
+	for field, starts := range acquires {
+		for _, start := range starts {
+			end := fd.Body.End()
+			for _, rel := range releases[field] {
+				if rel > start && rel < end {
+					end = rel
+				}
+			}
+			ml.locks[field] = append(ml.locks[field], lockSpan{start, end})
+		}
+	}
+	return ml
+}
+
+// receiverMutexOp recognizes recv.field.(Lock|RLock|Unlock|RUnlock)()
+// where field is a sync.Mutex or sync.RWMutex field of the receiver
+// type, returning the field name and the operation.
+func receiverMutexOp(pass *analysis.Pass, call *ast.CallExpr, named *types.Named) (string, string) {
+	outer, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	op := outer.Sel.Name
+	if op != "Lock" && op != "RLock" && op != "Unlock" && op != "RUnlock" {
+		return "", ""
+	}
+	m, ok := pass.Info.Uses[outer.Sel].(*types.Func)
+	if !ok || m.Pkg() == nil || m.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	inner, ok := outer.X.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fieldObj, ok := pass.Info.Uses[inner.Sel].(*types.Var)
+	if !ok || !fieldObj.IsField() {
+		return "", ""
+	}
+	if base := derefNamed(pass.Info.TypeOf(inner.X)); base == nil || base.Obj() != named.Obj() {
+		return "", ""
+	}
+	return inner.Sel.Name, op
+}
+
+// receiverNamed resolves the named type a method's receiver points to.
+func receiverNamed(pass *analysis.Pass, fd *ast.FuncDecl) *types.Named {
+	obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return namedRecv(obj)
+}
+
+func namedRecv(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return derefNamed(sig.Recv().Type())
+}
+
+func derefNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// --- Rule 2: sanctioned accessors for published atomics ---
+
+func checkAccessorDirectives(pass *analysis.Pass) {
+	restricted := map[types.Object]map[string]bool{} // field -> allowed function names
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				allowed := directiveAccessors(field.Doc)
+				if allowed == nil {
+					allowed = directiveAccessors(field.Comment)
+				}
+				if allowed == nil {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						restricted[obj] = allowed
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(restricted) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			funcName := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				outer, ok := n.(*ast.SelectorExpr)
+				if !ok || !atomicAccessors[outer.Sel.Name] {
+					return true
+				}
+				inner, ok := outer.X.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fieldObj, ok := pass.Info.Uses[inner.Sel].(*types.Var)
+				if !ok {
+					return true
+				}
+				allowed := restricted[fieldObj]
+				if allowed == nil || allowed[funcName] {
+					return true
+				}
+				pass.Reportf(outer.Pos(),
+					"%s of published pointer %s outside its sanctioned accessors (%s): the lock-free read path depends on the publish-after-build discipline those accessors enforce",
+					outer.Sel.Name, inner.Sel.Name, strings.Join(sortedNames(allowed), ", "))
+				return true
+			})
+		}
+	}
+}
+
+// directiveAccessors parses a //popvet:accessors comment group into the
+// set of sanctioned function names, or nil when absent.
+func directiveAccessors(cg *ast.CommentGroup) map[string]bool {
+	if cg == nil {
+		return nil
+	}
+	for _, c := range cg.List {
+		rest, ok := strings.CutPrefix(c.Text, accessorDirective)
+		if !ok {
+			continue
+		}
+		names := map[string]bool{}
+		for _, name := range strings.FieldsFunc(rest, func(r rune) bool {
+			return r == ',' || r == ' ' || r == '\t'
+		}) {
+			names[name] = true
+		}
+		return names
+	}
+	return nil
+}
+
+func sortedNames(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,15 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"popana/internal/analysis/atest"
+	"popana/internal/analysis/lockdiscipline"
+)
+
+// TestLockdiscipline drives the fixture tree: spatialdb (deliberately
+// wrong — re-entrant lock and accessor-bypassing atomics next to their
+// correct counterparts) and notspatial (rule 1 out of scope).
+func TestLockdiscipline(t *testing.T) {
+	atest.Run(t, "testdata", lockdiscipline.Analyzer, "spatialdb", "notspatial")
+}

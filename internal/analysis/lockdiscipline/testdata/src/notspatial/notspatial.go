@@ -1,0 +1,26 @@
+// Package notspatial shows the re-entrant-locking rule is scoped to
+// spatialdb packages: the same deadlocking shape goes unflagged here.
+// (The accessor rule applies everywhere, but no field opts in.)
+package notspatial
+
+import "sync"
+
+type Cache struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Cache) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Bump re-enters through Get — a real bug, but outside this analyzer's
+// jurisdiction.
+func (c *Cache) Bump() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.Get()
+}

@@ -1,0 +1,88 @@
+// Package spatialdb is the deliberately-wrong lockdiscipline fixture:
+// its basename turns on the re-entrant-locking rule, and the snap field
+// opts into accessor enforcement. Every bug the analyzer exists to
+// catch appears here next to its correct counterpart.
+package spatialdb
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type snapshot struct{ n int }
+
+// Table mirrors the real spatialdb table: an RWMutex over mutable
+// state, plus an atomically published snapshot.
+type Table struct {
+	mu    sync.RWMutex
+	items []int
+
+	// snap is published by rebuild and read by loadFresh, only.
+	//popvet:accessors loadFresh rebuild
+	snap atomic.Pointer[snapshot]
+}
+
+// Count takes the read lock.
+func (t *Table) Count() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.items)
+}
+
+// countLocked expects the caller to hold the lock: the sanctioned
+// helper shape.
+func (t *Table) countLocked() int { return len(t.items) }
+
+// Insert deadlocks: it calls Count while still holding mu.
+func (t *Table) Insert(x int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.items = append(t.items, x)
+	return t.Count() // want `calls Count while holding Table\.mu`
+}
+
+// InsertFixed routes through the Locked helper: allowed.
+func (t *Table) InsertFixed(x int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.items = append(t.items, x)
+	return t.countLocked()
+}
+
+// Rebalance releases inline before re-locking through Count: allowed.
+func (t *Table) Rebalance() int {
+	t.mu.Lock()
+	t.items = append(t.items, 0)
+	t.mu.Unlock()
+	return t.Count()
+}
+
+// loadFresh is the sanctioned read accessor.
+func (t *Table) loadFresh() *snapshot { return t.snap.Load() }
+
+// rebuild is the sanctioned publisher.
+func (t *Table) rebuild() {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.snap.Store(&snapshot{n: len(t.items)})
+}
+
+// Peek reads the snapshot pointer around the accessor: flagged.
+func (t *Table) Peek() int {
+	s := t.snap.Load() // want `Load of published pointer snap outside its sanctioned accessors`
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+// Reset publishes outside the sanctioned writer: flagged.
+func (t *Table) Reset() {
+	t.snap.Store(nil) // want `Store of published pointer snap outside its sanctioned accessors`
+}
+
+// Drain has a justified one-off and carries a suppression: allowed.
+func (t *Table) Drain() *snapshot {
+	//popvet:allow lockdiscipline -- fixture pins suppression: shutdown path, no readers remain
+	return t.snap.Swap(nil)
+}

@@ -1,0 +1,39 @@
+// Package suite registers the popvet analyzers. cmd/popvet and any
+// future driver (editor integration, pre-commit hook) get the same set
+// from one place.
+package suite
+
+import (
+	"popana/internal/analysis"
+	"popana/internal/analysis/detrand"
+	"popana/internal/analysis/faultpoint"
+	"popana/internal/analysis/floatcmp"
+	"popana/internal/analysis/lockdiscipline"
+)
+
+// All returns every popvet analyzer, in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detrand.Analyzer,
+		floatcmp.Analyzer,
+		lockdiscipline.Analyzer,
+		faultpoint.Analyzer,
+	}
+}
+
+// ByName returns the named analyzers, or nil if any name is unknown.
+func ByName(names []string) []*analysis.Analyzer {
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil
+		}
+		out = append(out, a)
+	}
+	return out
+}

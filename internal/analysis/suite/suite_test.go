@@ -1,0 +1,28 @@
+package suite
+
+import "testing"
+
+func TestAllNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing a name, doc, or run function", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if len(seen) < 4 {
+		t.Fatalf("suite has %d analyzers, want at least 4", len(seen))
+	}
+}
+
+func TestByName(t *testing.T) {
+	if got := ByName([]string{"detrand", "floatcmp"}); len(got) != 2 {
+		t.Fatalf("ByName(detrand, floatcmp) returned %d analyzers, want 2", len(got))
+	}
+	if got := ByName([]string{"detrand", "nope"}); got != nil {
+		t.Fatalf("ByName with an unknown name = %v, want nil", got)
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"popana/internal/solver"
+)
+
+// FuzzTransformMatrix builds the generalized PR point model for random
+// valid (capacity, fanout) pairs and checks the structural invariants
+// of Section III: every T entry non-negative and finite, shift rows
+// summing to exactly 1, the split row summing to (F^(m+1)−1)/(F^m−1),
+// and the paper's fixed-point solve converging to a valid distribution
+// with a small residual.
+func FuzzTransformMatrix(f *testing.F) {
+	f.Add(uint8(1), uint8(0))
+	f.Add(uint8(1), uint8(2))
+	f.Add(uint8(8), uint8(2))
+	f.Add(uint8(23), uint8(4))
+	f.Fuzz(func(t *testing.T, capRaw, fanRaw uint8) {
+		capacity := 1 + int(capRaw)%24
+		fanouts := [...]int{2, 3, 4, 8, 16}
+		fanout := fanouts[int(fanRaw)%len(fanouts)]
+		m, err := NewPointModel(capacity, fanout)
+		if err != nil {
+			t.Fatalf("NewPointModel(%d, %d): %v", capacity, fanout, err)
+		}
+
+		for i := 0; i < m.T.Rows; i++ {
+			for j := 0; j < m.T.Cols; j++ {
+				v := m.T.At(i, j)
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("T[%d][%d] = %v for capacity %d fanout %d", i, j, v, capacity, fanout)
+				}
+			}
+		}
+		for i := 0; i < capacity; i++ {
+			if sum := m.T.Row(i).Sum(); sum != 1 {
+				t.Fatalf("shift row %d sums to %v, want exactly 1", i, sum)
+			}
+		}
+		F := float64(fanout)
+		wantSplit := (math.Pow(F, float64(capacity+1)) - 1) / (math.Pow(F, float64(capacity)) - 1)
+		if got := m.SplitRow().Sum(); math.Abs(got-wantSplit) > 1e-9*wantSplit {
+			t.Fatalf("split row sums to %v, want (F^(m+1)-1)/(F^m-1) = %v", got, wantSplit)
+		}
+
+		// The default 1e-14 step tolerance can stall in rounding noise at
+		// the largest capacity×fanout corners; 1e-11 still dominates the
+		// 1e-10 residual assertion below.
+		d, err := m.SolveOpts(solver.Options{Tolerance: 1e-11})
+		if err != nil {
+			t.Fatalf("Solve for capacity %d fanout %d: %v", capacity, fanout, err)
+		}
+		if res := m.Residual(d.E); res > 1e-10 {
+			t.Fatalf("residual %v after convergence (capacity %d, fanout %d)", res, capacity, fanout)
+		}
+		if sum := d.E.Sum(); math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("distribution sums to %v, want 1", sum)
+		}
+		for i, e := range d.E {
+			if e <= 0 {
+				t.Fatalf("e[%d] = %v, want strictly positive (Perron–Frobenius)", i, e)
+			}
+		}
+	})
+}

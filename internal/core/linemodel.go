@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"popana/internal/binom"
+	"popana/internal/fmath"
 	"popana/internal/geom"
 	"popana/internal/vecmat"
 	"popana/internal/xrand"
@@ -59,7 +60,7 @@ func NewLineModel(threshold, fanout int, opts LineModelOptions) (*Model, error) 
 		return nil, fmt.Errorf("core: fanout %d < 2", fanout)
 	}
 	p := opts.CrossProb
-	if p == 0 {
+	if fmath.Zero(p) {
 		p = DefaultCrossProb()
 	}
 	if p <= 0 || p >= 1 {
@@ -108,7 +109,7 @@ var defaultCrossProb float64
 // seed, so it is deterministic across runs; EstimateCrossProb exposes the
 // estimator for other segment models.
 func DefaultCrossProb() float64 {
-	if defaultCrossProb == 0 {
+	if fmath.Zero(defaultCrossProb) {
 		defaultCrossProb = EstimateCrossProb(xrand.New(0x9e3779b97f4a7c15), 200000)
 	}
 	return defaultCrossProb

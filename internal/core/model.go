@@ -27,6 +27,7 @@ import (
 	"math"
 
 	"popana/internal/binom"
+	"popana/internal/fmath"
 	"popana/internal/vecmat"
 )
 
@@ -150,7 +151,7 @@ func (d Distribution) Utilization(capacity int) float64 {
 // cost metric a systems designer actually budgets with.
 func (d Distribution) NodesPerItem() float64 {
 	occ := d.AverageOccupancy()
-	if occ == 0 {
+	if fmath.Zero(occ) {
 		return math.Inf(1)
 	}
 	return 1 / occ

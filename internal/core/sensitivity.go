@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"popana/internal/fmath"
 	"popana/internal/vecmat"
 )
 
@@ -29,7 +30,7 @@ type SensitivityResult struct {
 // crossing probability p at the given threshold and fanout, by central
 // finite differences with step h (zero selects 1e-5).
 func LineModelSensitivity(threshold, fanout int, p, h float64) (SensitivityResult, error) {
-	if h == 0 {
+	if fmath.Zero(h) {
 		h = 1e-5
 	}
 	if p-h <= 0 || p+h >= 1 {
@@ -69,7 +70,7 @@ func LineModelSensitivity(threshold, fanout int, p, h float64) (SensitivityResul
 // RelativeError returns the relative occupancy error a parameter
 // mismeasurement dp induces, to first order.
 func (s SensitivityResult) RelativeError(dp float64) float64 {
-	if s.Occupancy == 0 {
+	if fmath.Zero(s.Occupancy) {
 		return 0
 	}
 	return s.DOccupancy * dp / s.Occupancy

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"popana/internal/fmath"
 	"popana/internal/vecmat"
 )
 
@@ -58,7 +59,7 @@ func (m *Model) Spectrum(iterations int) (Spectrum, error) {
 	}
 	// Normalize so e·r = 1 (biorthogonal scaling for deflation).
 	er := e.Dot(r)
-	if er == 0 {
+	if fmath.Zero(er) {
 		return Spectrum{}, fmt.Errorf("core: degenerate eigenvector pairing in %s", m.Desc)
 	}
 	r = r.Scale(1 / er)
@@ -77,7 +78,7 @@ func (m *Model) Spectrum(iterations int) (Spectrum, error) {
 		return v.Sub(e.Scale(c))
 	}
 	x = deflate(x)
-	if x.NormInf() == 0 {
+	if fmath.Zero(x.NormInf()) {
 		return Spectrum{}, fmt.Errorf("core: deflation annihilated the start vector in %s", m.Desc)
 	}
 	x = x.Scale(1 / x.Norm1())
@@ -85,7 +86,7 @@ func (m *Model) Spectrum(iterations int) (Spectrum, error) {
 	for it := 0; it < iterations; it++ {
 		y := deflate(m.T.VecMul(x))
 		norm := y.Norm1()
-		if norm == 0 {
+		if fmath.Zero(norm) {
 			// T restricted to the complement is nilpotent here; λ₂=0.
 			return Spectrum{Lambda1: lambda1, Lambda2Abs: 0, Gap: 0, Left: e, Right: r}, nil
 		}

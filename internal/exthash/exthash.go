@@ -358,7 +358,13 @@ func (t *Table) CheckInvariants() error {
 		counts[b]++
 	}
 	total := 0
-	for b, c := range counts {
+	// Walk buckets in directory order (not map order) so the first
+	// violation reported is the same on every run.
+	for i, b := range t.dir {
+		if first[b] != i {
+			continue // already checked at its first cell
+		}
+		c := counts[b]
 		if b.localDepth > t.g {
 			return fmt.Errorf("exthash: bucket local depth %d > global %d", b.localDepth, t.g)
 		}

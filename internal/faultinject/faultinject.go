@@ -48,6 +48,29 @@ const (
 	QueryLatency Point = "spatialdb.query.latency"
 )
 
+// allPoints is the canonical registry of every failure point wired into
+// the codebase. A Point constant declared above MUST be listed here:
+// the popvet faultpoint analyzer resolves every point name used at a
+// call site against the constants of this package, and
+// TestPointRegistryComplete keeps this list in lock-step with the
+// declarations, so a chaos test can enumerate Points() and know the
+// names cannot silently rot.
+var allPoints = []Point{
+	SolverNewton,
+	SolverFixedPoint,
+	InsertFault,
+	InsertLatency,
+	QueryLatency,
+}
+
+// Points returns the canonical list of registered failure points, in
+// declaration order. The returned slice is a copy.
+func Points() []Point {
+	out := make([]Point, len(allPoints))
+	copy(out, allPoints)
+	return out
+}
+
 // rule is the armed behavior of one failure point.
 type rule struct {
 	prob      float64       // firing probability per visit

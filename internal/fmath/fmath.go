@@ -1,0 +1,34 @@
+// Package fmath holds the approved floating-point comparison helpers
+// for the numeric packages (core, solver, vecmat, statmodel).
+//
+// Naked ==/!= between float64 values is banned in those packages by the
+// popvet floatcmp analyzer (cmd/popvet): a careless exact comparison in
+// a convergence check is exactly the kind of silent fragility that makes
+// analytical predictions drift from simulation. Routing every comparison
+// through a named helper makes the intent machine-checkable: Zero and Eq
+// say "this exactness is deliberate" (division guards, sentinel
+// defaults, detecting an exactly-degenerate input), while Near and
+// NearZero say "this is a tolerance test" and force the caller to state
+// the tolerance.
+package fmath
+
+import "math"
+
+// Zero reports whether x is exactly zero (either sign). Use it for
+// division guards, unset-option sentinels, and exact singularity
+// detection — places where the bit pattern, not a neighborhood, is the
+// question.
+func Zero(x float64) bool { return x == 0 }
+
+// Eq reports whether a and b are exactly equal. NaN compares unequal to
+// everything, including itself, exactly as with ==. Use it only where
+// bit-for-bit reproducibility is the contract (e.g. comparing a cached
+// value against its recomputation).
+func Eq(a, b float64) bool { return a == b }
+
+// Near reports whether a and b differ by at most tol in absolute value.
+// It is false when either value is NaN.
+func Near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// NearZero reports whether |x| <= tol. It is false when x is NaN.
+func NearZero(x, tol float64) bool { return math.Abs(x) <= tol }

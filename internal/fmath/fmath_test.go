@@ -1,0 +1,45 @@
+package fmath
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZero(t *testing.T) {
+	if !Zero(0) || !Zero(math.Copysign(0, -1)) {
+		t.Error("Zero must accept both signed zeros")
+	}
+	for _, x := range []float64{1e-300, -1e-300, 1, math.NaN(), math.Inf(1)} {
+		if Zero(x) {
+			t.Errorf("Zero(%g) = true", x)
+		}
+	}
+}
+
+func TestEq(t *testing.T) {
+	if !Eq(1.5, 1.5) {
+		t.Error("Eq(1.5, 1.5) = false")
+	}
+	a, b := 1.5, 1e-16
+	if Eq(a, a+b) != (a == a+b) {
+		t.Error("Eq disagrees with ==")
+	}
+	if Eq(math.NaN(), math.NaN()) {
+		t.Error("Eq(NaN, NaN) must be false, matching ==")
+	}
+}
+
+func TestNear(t *testing.T) {
+	if !Near(1, 1+1e-10, 1e-9) {
+		t.Error("Near failed inside tolerance")
+	}
+	if Near(1, 1.1, 1e-9) {
+		t.Error("Near passed outside tolerance")
+	}
+	if Near(math.NaN(), 0, 1) || Near(0, math.NaN(), 1) {
+		t.Error("Near with NaN must be false")
+	}
+	if !NearZero(-1e-12, 1e-9) || NearZero(1e-6, 1e-9) || NearZero(math.NaN(), 1) {
+		t.Error("NearZero tolerance handling wrong")
+	}
+}

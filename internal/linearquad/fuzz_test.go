@@ -1,0 +1,29 @@
+package linearquad
+
+import "testing"
+
+// FuzzMortonRoundTrip checks the three properties the snapshot read
+// engine leans on: Interleave/Deinterleave are exact inverses, distinct
+// cells get distinct codes, and the code order respects the coordinate
+// partial order (x1 ≤ x2 ∧ y1 ≤ y2 ⇒ z1 ≤ z2), which is what makes a
+// sorted code array answer rectangle queries.
+func FuzzMortonRoundTrip(f *testing.F) {
+	f.Add(uint32(0), uint32(0), uint32(0), uint32(0))
+	f.Add(uint32(0), uint32(0), uint32(1), uint32(1))
+	f.Add(uint32(3), uint32(5), uint32(3), uint32(5))
+	f.Add(uint32(1)<<31, uint32(1)<<31, ^uint32(0), ^uint32(0))
+	f.Add(uint32(0xdeadbeef), uint32(0xcafef00d), uint32(0x12345678), uint32(0x9abcdef0))
+	f.Fuzz(func(t *testing.T, x1, y1, x2, y2 uint32) {
+		z1 := Interleave(x1, y1)
+		if gx, gy := Deinterleave(z1); gx != x1 || gy != y1 {
+			t.Fatalf("Deinterleave(Interleave(%d, %d)) = (%d, %d)", x1, y1, gx, gy)
+		}
+		z2 := Interleave(x2, y2)
+		if (x1 != x2 || y1 != y2) && z1 == z2 {
+			t.Fatalf("distinct cells (%d,%d) and (%d,%d) share code %#x", x1, y1, x2, y2, z1)
+		}
+		if x1 <= x2 && y1 <= y2 && z1 > z2 {
+			t.Fatalf("order violated: (%d,%d) ≤ (%d,%d) but Interleave gives %#x > %#x", x1, y1, x2, y2, z1, z2)
+		}
+	})
+}

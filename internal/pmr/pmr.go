@@ -16,6 +16,7 @@ package pmr
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"popana/internal/geom"
 	"popana/internal/stats"
@@ -185,13 +186,21 @@ func (t *Tree) Stab(p geom.Point) []geom.Segment {
 }
 
 // RangeSegments returns the distinct segments crossing the closed query
-// rectangle.
+// rectangle, in insertion-id order. The order is part of the contract:
+// traversal visits blocks in quadrant order but a segment can be found
+// in any of the blocks it crosses, so emitting in discovery (or map)
+// order would make the result depend on tree shape or map hashing.
 func (t *Tree) RangeSegments(query geom.Rect) []geom.Segment {
 	seen := map[int]geom.Segment{}
 	t.rangeSegs(t.root, t.cfg.Region, query, seen)
-	out := make([]geom.Segment, 0, len(seen))
-	for _, s := range seen {
-		out = append(out, s)
+	ids := make([]int, 0, len(seen))
+	for id := range seen { //popvet:allow detrand -- ids are sorted before use
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]geom.Segment, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, seen[id])
 	}
 	return out
 }

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 
+	"popana/internal/fmath"
 	"popana/internal/vecmat"
 )
 
@@ -41,13 +42,13 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	if o.Tolerance == 0 {
+	if fmath.Zero(o.Tolerance) {
 		o.Tolerance = 1e-14
 	}
 	if o.MaxIterations == 0 {
 		o.MaxIterations = 10000
 	}
-	if o.Damping == 0 {
+	if fmath.Zero(o.Damping) {
 		o.Damping = 1
 	}
 	return o
@@ -153,10 +154,10 @@ func jacobian(F func(vecmat.Vec) vecmat.Vec, x, fx vecmat.Vec) *vecmat.Mat {
 // (e.g. fitting the chord-crossing probability of the line model).
 func Bisect(f func(float64) float64, lo, hi float64, tol float64) (float64, error) {
 	flo, fhi := f(lo), f(hi)
-	if flo == 0 {
+	if fmath.Zero(flo) {
 		return lo, nil
 	}
-	if fhi == 0 {
+	if fmath.Zero(fhi) {
 		return hi, nil
 	}
 	if (flo > 0) == (fhi > 0) {
@@ -165,7 +166,7 @@ func Bisect(f func(float64) float64, lo, hi float64, tol float64) (float64, erro
 	for i := 0; i < 200 && hi-lo > tol; i++ {
 		mid := lo + (hi-lo)/2
 		fm := f(mid)
-		if fm == 0 {
+		if fmath.Zero(fm) {
 			return mid, nil
 		}
 		if (fm > 0) == (flo > 0) {

@@ -162,11 +162,10 @@ func solveOccupancy(capacity int, inj *faultinject.Injector) (occ float64, appro
 	cfg := solver.LadderConfig{}
 	if inj != nil {
 		cfg.Fault = func(method string, _ float64) error {
-			p := faultinject.SolverFixedPoint
 			if method == "newton" {
-				p = faultinject.SolverNewton
+				return inj.Err(faultinject.SolverNewton)
 			}
-			return inj.Err(p)
+			return inj.Err(faultinject.SolverFixedPoint)
 		}
 	}
 	d, attempts, serr := model.SolveLadder(cfg)
@@ -285,6 +284,10 @@ type Table struct {
 	// snapshot reflects every completed write.
 	epoch atomic.Uint64
 	// snap is the latest frozen snapshot; nil until the first build.
+	// The publish-after-build discipline the lock-free read path relies
+	// on lives entirely in the three accessors below; popvet's
+	// lockdiscipline analyzer rejects any other Load or Store.
+	//popvet:accessors loadFresh rebuildLocked maybeRebuildLocked
 	snap atomic.Pointer[snapshot]
 	// rebuilding serializes snapshot builds so a thundering herd of
 	// stale readers freezes the tree once, not once per reader.

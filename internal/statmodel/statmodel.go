@@ -34,6 +34,7 @@ import (
 	"fmt"
 
 	"popana/internal/binom"
+	"popana/internal/fmath"
 )
 
 // Analysis holds the exact expected leaf-occupancy profile for all tree
@@ -75,7 +76,7 @@ func New(capacity, fanout, maxN int) (*Analysis, error) {
 		selfCoef := float64(fanout) * pmf[n]
 		scale := 1 / (1 - selfCoef)
 		for k := 0; k < n; k++ {
-			if pmf[k] == 0 {
+			if fmath.Zero(pmf[k]) {
 				continue
 			}
 			w := float64(fanout) * pmf[k] * scale
@@ -104,7 +105,7 @@ func (a *Analysis) ExpectedLeaves(n int) float64 {
 func (a *Analysis) StateVector(n int) []float64 {
 	total := a.ExpectedLeaves(n)
 	out := make([]float64, a.Capacity+1)
-	if total == 0 {
+	if fmath.Zero(total) {
 		return out
 	}
 	for j, v := range a.L[n] {

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"popana/internal/fmath"
 )
 
 // Vec is a dense vector of float64.
@@ -106,7 +108,7 @@ func (v Vec) Sub(w Vec) Vec {
 // the component sum is zero.
 func (v Vec) Normalize1() Vec {
 	s := v.Sum()
-	if s == 0 {
+	if fmath.Zero(s) {
 		panic("vecmat: Normalize1 of zero-sum vector")
 	}
 	return v.Scale(1 / s)
@@ -191,7 +193,7 @@ func (m *Mat) VecMul(v Vec) Vec {
 	out := make(Vec, m.Cols)
 	for r := 0; r < m.Rows; r++ {
 		x := v[r]
-		if x == 0 {
+		if fmath.Zero(x) {
 			continue
 		}
 		row := m.Data[r*m.Cols : (r+1)*m.Cols]
@@ -228,7 +230,7 @@ func (m *Mat) Mul(n *Mat) *Mat {
 	for r := 0; r < m.Rows; r++ {
 		for k := 0; k < m.Cols; k++ {
 			x := m.At(r, k)
-			if x == 0 {
+			if fmath.Zero(x) {
 				continue
 			}
 			for c := 0; c < n.Cols; c++ {
@@ -277,7 +279,7 @@ func Factor(a *Mat) (*LU, error) {
 				max, p = v, i
 			}
 		}
-		if max == 0 {
+		if fmath.Zero(max) {
 			return nil, fmt.Errorf("vecmat: singular matrix at pivot %d", k)
 		}
 		pivot[k] = p
@@ -291,7 +293,7 @@ func Factor(a *Mat) (*LU, error) {
 		for i := k + 1; i < n; i++ {
 			l := lu.At(i, k) * inv
 			lu.Set(i, k, l)
-			if l == 0 {
+			if fmath.Zero(l) {
 				continue
 			}
 			for c := k + 1; c < n; c++ {
