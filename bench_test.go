@@ -13,6 +13,8 @@ package popana_test
 // output is recorded in EXPERIMENTS.md.
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"popana"
@@ -591,5 +593,134 @@ func BenchmarkPMRInsert(b *testing.B) {
 		if err := tree.Insert(src.Next()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelInsert measures concurrent insert throughput through
+// the sharded write path against the single-lock baseline at 1, 4, and
+// 8 writer goroutines. One op = 8192 records landed; the internal/bench
+// suite records the same workload in BENCH_*.json and cmd/bench gates
+// on the 8-worker speedup on multi-core machines.
+func BenchmarkParallelInsert(b *testing.B) {
+	const total = 8192
+	rng := popana.NewRand(77)
+	src := popana.NewUniform(popana.UnitSquare, rng)
+	seen := make(map[popana.Point]bool, total)
+	recs := make([]popana.SpatialRecord, 0, total)
+	for len(recs) < total {
+		p := src.Next()
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		recs = append(recs, popana.SpatialRecord{ID: uint64(len(recs)), Loc: p})
+	}
+	for _, bc := range []struct {
+		name    string
+		bits    int
+		workers int
+	}{
+		{"Sharded/1", 2, 1}, {"Sharded/4", 2, 4}, {"Sharded/8", 2, 8},
+		{"Single/1", popana.SpatialSingleShard, 1},
+		{"Single/4", popana.SpatialSingleShard, 4},
+		{"Single/8", popana.SpatialSingleShard, 8},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			chunk := total / bc.workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db := popana.NewSpatialDB()
+				tab, err := db.CreateTableWith("t", popana.SpatialTableOptions{Capacity: 8, ShardBits: bc.bits})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < bc.workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for _, r := range recs[w*chunk : (w+1)*chunk] {
+							if err := tab.Insert(r); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+			}
+			b.ReportMetric(total, "records/op")
+		})
+	}
+}
+
+// BenchmarkMixedRW90 measures a 90/10 read/write mix (window counts vs
+// inserts) with 8 workers, sharded vs single-lock.
+func BenchmarkMixedRW90(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		bits int
+	}{
+		{"Sharded", 2},
+		{"Single", popana.SpatialSingleShard},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			const (
+				workers      = 8
+				prefill      = 20000
+				opsPerWorker = 1000
+			)
+			db := popana.NewSpatialDB()
+			tab, err := db.CreateTableWith("t", popana.SpatialTableOptions{Capacity: 8, ShardBits: bc.bits})
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := popana.NewUniform(popana.UnitSquare, popana.NewRand(5))
+			seen := make(map[popana.Point]bool, prefill)
+			recs := make([]popana.SpatialRecord, 0, prefill)
+			for len(recs) < prefill {
+				p := src.Next()
+				if seen[p] {
+					continue
+				}
+				seen[p] = true
+				recs = append(recs, popana.SpatialRecord{ID: uint64(len(recs)), Loc: p})
+			}
+			if err := tab.InsertBatch(recs); err != nil {
+				b.Fatal(err)
+			}
+			if err := tab.Compact(); err != nil {
+				b.Fatal(err)
+			}
+			var nextID atomic.Uint64
+			nextID.Store(prefill)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						rng := popana.NewRand(uint64(i)*64 + uint64(w) + 1)
+						for op := 0; op < opsPerWorker; op++ {
+							if op%10 == 9 {
+								_ = tab.Insert(popana.SpatialRecord{ID: nextID.Add(1), Loc: popana.Pt(rng.Float64(), rng.Float64())})
+								continue
+							}
+							x, y := rng.Float64()*0.95, rng.Float64()*0.95
+							win := popana.R(x, y, x+0.05, y+0.05)
+							if _, _, err := tab.CountRange(win, 0); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+			}
+			b.ReportMetric(workers*opsPerWorker, "ops/op")
+		})
 	}
 }

@@ -1,7 +1,7 @@
 // Package lockdiscipline implements the popvet analyzer that guards the
 // spatialdb locking rules and the snapshot publish discipline.
 //
-// Two invariants, two rules:
+// Three invariants, three rules:
 //
 // Rule 1 — no re-entrant table locking (spatialdb packages only).
 // sync.Mutex and sync.RWMutex are not re-entrant: a Table method that
@@ -27,6 +27,24 @@
 //
 // Any Load/Store/Swap/CompareAndSwap on that field outside the named
 // functions is flagged.
+//
+// Rule 3 — ordered multi-acquisition of striped mutexes (every
+// package). A sharded table holds one mutex per spatial shard (and one
+// per id stripe); two functions that each grab two of those mutexes in
+// opposite orders deadlock. The repository's convention is a single
+// table-wide lock order — shard mutexes ascending by shard index, then
+// id stripes ascending — enforced by funneling every multi-lock
+// acquisition through a handful of audited helpers. A mutex field opts
+// in with a directive naming those helpers:
+//
+//	//popvet:ordered lockShards rlockShards
+//	mu sync.RWMutex
+//
+// Any function that acquires such a mutex at two or more static
+// Lock/RLock sites, or at a site inside a for/range loop (one static
+// site, many dynamic acquisitions), must be one of the named helpers;
+// everything else is flagged. Single straight-line acquisitions remain
+// free.
 package lockdiscipline
 
 import (
@@ -42,13 +60,17 @@ import (
 // Analyzer is the lockdiscipline popvet check.
 var Analyzer = &analysis.Analyzer{
 	Name: "lockdiscipline",
-	Doc:  "no re-entrant locking in spatialdb methods; snapshot atomics only through sanctioned accessors",
+	Doc:  "no re-entrant locking in spatialdb methods; snapshot atomics only through sanctioned accessors; striped mutexes multi-locked only via ordered helpers",
 	Run:  run,
 }
 
 // accessorDirective marks a struct field whose atomic accesses are
 // restricted to the named functions.
 const accessorDirective = "//popvet:accessors"
+
+// orderedDirective marks a mutex field whose multi-acquisitions are
+// restricted to the named ascending-order helper functions.
+const orderedDirective = "//popvet:ordered"
 
 // atomicAccessors are the sync/atomic methods rule 2 polices.
 var atomicAccessors = map[string]bool{
@@ -57,6 +79,7 @@ var atomicAccessors = map[string]bool{
 
 func run(pass *analysis.Pass) error {
 	checkAccessorDirectives(pass)
+	checkOrderedDirectives(pass)
 	if analysis.PathBase(pass.PkgPath) == "spatialdb" {
 		checkReentrantLocks(pass)
 	}
@@ -258,30 +281,7 @@ func derefNamed(t types.Type) *types.Named {
 // --- Rule 2: sanctioned accessors for published atomics ---
 
 func checkAccessorDirectives(pass *analysis.Pass) {
-	restricted := map[types.Object]map[string]bool{} // field -> allowed function names
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			st, ok := n.(*ast.StructType)
-			if !ok {
-				return true
-			}
-			for _, field := range st.Fields.List {
-				allowed := directiveAccessors(field.Doc)
-				if allowed == nil {
-					allowed = directiveAccessors(field.Comment)
-				}
-				if allowed == nil {
-					continue
-				}
-				for _, name := range field.Names {
-					if obj := pass.Info.Defs[name]; obj != nil {
-						restricted[obj] = allowed
-					}
-				}
-			}
-			return true
-		})
-	}
+	restricted := collectDirectiveFields(pass, accessorDirective)
 	if len(restricted) == 0 {
 		return
 	}
@@ -318,15 +318,143 @@ func checkAccessorDirectives(pass *analysis.Pass) {
 	}
 }
 
-// directiveAccessors parses a //popvet:accessors comment group into the
-// set of sanctioned function names, or nil when absent.
-func directiveAccessors(cg *ast.CommentGroup) map[string]bool {
+// --- Rule 3: ordered multi-acquisition of striped mutexes ---
+
+func checkOrderedDirectives(pass *analysis.Pass) {
+	restricted := collectDirectiveFields(pass, orderedDirective)
+	if len(restricted) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkOrderedFunc(pass, fd, restricted)
+		}
+	}
+}
+
+// lockSite is one static Lock/RLock call on a restricted mutex field.
+type lockSite struct {
+	pos    token.Pos
+	field  string
+	inLoop bool
+}
+
+// checkOrderedFunc flags fd if it acquires a //popvet:ordered mutex at
+// two or more static sites, or at a site inside a loop, without being
+// one of the field's named helper functions.
+func checkOrderedFunc(pass *analysis.Pass, fd *ast.FuncDecl, restricted map[types.Object]map[string]bool) {
+	// Loop bodies: a single static acquisition inside one is many
+	// dynamic acquisitions.
+	var loops []lockSpan
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, lockSpan{l.Body.Pos(), l.Body.End()})
+		case *ast.RangeStmt:
+			loops = append(loops, lockSpan{l.Body.Pos(), l.Body.End()})
+		}
+		return true
+	})
+	inLoop := func(p token.Pos) bool {
+		for _, l := range loops {
+			if p > l.start && p < l.end {
+				return true
+			}
+		}
+		return false
+	}
+	sites := map[types.Object][]lockSite{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		outer, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		op := outer.Sel.Name
+		if op != "Lock" && op != "RLock" {
+			return true
+		}
+		m, ok := pass.Info.Uses[outer.Sel].(*types.Func)
+		if !ok || m.Pkg() == nil || m.Pkg().Path() != "sync" {
+			return true
+		}
+		inner, ok := outer.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fieldObj, ok := pass.Info.Uses[inner.Sel].(*types.Var)
+		if !ok || restricted[fieldObj] == nil {
+			return true
+		}
+		sites[fieldObj] = append(sites[fieldObj], lockSite{call.Pos(), inner.Sel.Name, inLoop(call.Pos())})
+		return true
+	})
+	for fieldObj, ss := range sites {
+		allowed := restricted[fieldObj]
+		if allowed[fd.Name.Name] {
+			continue
+		}
+		switch {
+		case len(ss) >= 2:
+			pass.Reportf(ss[0].pos,
+				"%s acquires striped mutex %s at %d sites but is not an ordered-acquisition helper (%s): multi-lock of a sharded mutex must go through an audited ascending-order helper to stay deadlock-free",
+				fd.Name.Name, ss[0].field, len(ss), strings.Join(sortedNames(allowed), ", "))
+		case ss[0].inLoop:
+			pass.Reportf(ss[0].pos,
+				"%s acquires striped mutex %s inside a loop but is not an ordered-acquisition helper (%s): multi-lock of a sharded mutex must go through an audited ascending-order helper to stay deadlock-free",
+				fd.Name.Name, ss[0].field, strings.Join(sortedNames(allowed), ", "))
+		}
+	}
+}
+
+// --- shared directive plumbing ---
+
+// collectDirectiveFields maps each struct field carrying the given
+// popvet directive to the set of function names the directive sanctions.
+func collectDirectiveFields(pass *analysis.Pass, prefix string) map[types.Object]map[string]bool {
+	restricted := map[types.Object]map[string]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				allowed := directiveNames(field.Doc, prefix)
+				if allowed == nil {
+					allowed = directiveNames(field.Comment, prefix)
+				}
+				if allowed == nil {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						restricted[obj] = allowed
+					}
+				}
+			}
+			return true
+		})
+	}
+	return restricted
+}
+
+// directiveNames parses a popvet directive comment group into the set
+// of sanctioned function names, or nil when the directive is absent.
+func directiveNames(cg *ast.CommentGroup, prefix string) map[string]bool {
 	if cg == nil {
 		return nil
 	}
 	for _, c := range cg.List {
-		rest, ok := strings.CutPrefix(c.Text, accessorDirective)
-		if !ok {
+		rest, ok := strings.CutPrefix(c.Text, prefix)
+		if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
 			continue
 		}
 		names := map[string]bool{}

@@ -86,3 +86,87 @@ func (t *Table) Drain() *snapshot {
 	//popvet:allow lockdiscipline -- fixture pins suppression: shutdown path, no readers remain
 	return t.snap.Swap(nil)
 }
+
+// shard mirrors one spatial partition of the sharded write path. The
+// striped mutex opts into ordered-acquisition enforcement: only the
+// named ascending-order helpers may take more than one shard lock.
+type shard struct {
+	//popvet:ordered lockAll rlockAll
+	mu sync.RWMutex
+	n  int
+}
+
+// Sharded mirrors the sharded table: one mutex per spatial shard.
+type Sharded struct {
+	shards []*shard
+}
+
+// lockAll is the audited ascending-order helper: its loop acquisition
+// is sanctioned by the directive.
+func lockAll(ss []*shard) {
+	for _, s := range ss {
+		s.mu.Lock()
+	}
+}
+
+func unlockAll(ss []*shard) {
+	for i := len(ss) - 1; i >= 0; i-- {
+		ss[i].mu.Unlock()
+	}
+}
+
+// rlockAll is the audited read-side helper.
+func rlockAll(ss []*shard) {
+	for _, s := range ss {
+		s.mu.RLock()
+	}
+}
+
+func runlockAll(ss []*shard) {
+	for i := len(ss) - 1; i >= 0; i-- {
+		ss[i].mu.RUnlock()
+	}
+}
+
+// AddOne takes a single shard lock in a straight line: allowed.
+func (t *Sharded) AddOne(i, x int) {
+	s := t.shards[i]
+	s.mu.Lock()
+	s.n += x
+	s.mu.Unlock()
+}
+
+// MovePair deadlocks against a concurrent MovePair(j, i): it grabs two
+// shard mutexes in argument order, not shard order, so two calls with
+// swapped arguments each hold the lock the other wants. Flagged.
+func (t *Sharded) MovePair(i, j int) {
+	t.shards[i].mu.Lock() // want `MovePair acquires striped mutex mu at 2 sites`
+	t.shards[j].mu.Lock()
+	t.shards[i].n--
+	t.shards[j].n++
+	t.shards[j].mu.Unlock()
+	t.shards[i].mu.Unlock()
+}
+
+// Total hand-rolls the every-shard loop instead of using rlockAll: one
+// static site, many dynamic acquisitions, no order audit. Flagged.
+func (t *Sharded) Total() int {
+	sum := 0
+	for _, s := range t.shards {
+		s.mu.RLock() // want `Total acquires striped mutex mu inside a loop`
+		sum += s.n
+		s.mu.RUnlock()
+	}
+	return sum
+}
+
+// TotalFixed routes the multi-acquisition through the helper: allowed.
+func (t *Sharded) TotalFixed() int {
+	rlockAll(t.shards)
+	defer runlockAll(t.shards)
+	sum := 0
+	for _, s := range t.shards {
+		sum += s.n
+	}
+	return sum
+}

@@ -40,6 +40,7 @@ func Suite(short bool) []Spec {
 		{"SpatialInsertBatch", benchSpatialInsertBatch},
 	}
 	specs = append(specs, frozenSpecs(short)...)
+	specs = append(specs, concurrentSpecs()...)
 	if !short {
 		specs = append(specs,
 			Spec{"Table1ExpectedDistribution", benchTable1},

@@ -1,0 +1,151 @@
+// concurrent.go holds the concurrent-workload benchmarks for the
+// sharded write path: parallel insert throughput at 1/4/8 workers and a
+// 90/10 read/write mix, each run against a 16-shard table and the
+// single-lock (SingleShard) baseline. The headline number is the
+// 8-worker sharded-vs-single speedup, which cmd/bench computes from the
+// report and gates on multi-core machines.
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"popana/internal/dist"
+	"popana/internal/geom"
+	"popana/internal/spatialdb"
+	"popana/internal/xrand"
+)
+
+// shardedBits is the shard-key depth the "sharded" benchmarks pin (16
+// shards), so reports are comparable across machines regardless of the
+// GOMAXPROCS-derived default.
+const shardedBits = 2
+
+func concurrentSpecs() []Spec {
+	specs := make([]Spec, 0, 8)
+	for _, w := range []int{1, 4, 8} {
+		w := w
+		specs = append(specs,
+			Spec{benchName("ParallelInsertSharded", w), func(b *testing.B) { benchParallelInsert(b, shardedBits, w) }},
+			Spec{benchName("ParallelInsertSingle", w), func(b *testing.B) { benchParallelInsert(b, spatialdb.SingleShard, w) }},
+		)
+	}
+	specs = append(specs,
+		Spec{"MixedRW90Sharded8", func(b *testing.B) { benchMixedRW(b, shardedBits, 8) }},
+		Spec{"MixedRW90Single8", func(b *testing.B) { benchMixedRW(b, spatialdb.SingleShard, 8) }},
+	)
+	return specs
+}
+
+func benchName(prefix string, workers int) string {
+	return fmt.Sprintf("%s%d", prefix, workers)
+}
+
+// benchParallelInsert measures inserting a fixed record set split
+// evenly across the given number of worker goroutines. One op = the
+// whole set landed; table construction is outside the timer.
+func benchParallelInsert(b *testing.B, shardBits, workers int) {
+	const total = 8192
+	recs := uniformRecords(b, total, 77)
+	chunk := total / workers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		db := spatialdb.NewDB()
+		tab, err := db.CreateTableWith("t", spatialdb.TableOptions{Capacity: 8, ShardBits: shardBits})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for _, r := range recs[w*chunk : (w+1)*chunk] {
+					if err := tab.Insert(r); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if tab.Len() != total {
+			b.Fatalf("table holds %d records, want %d", tab.Len(), total)
+		}
+	}
+	b.ReportMetric(total, "records/op")
+}
+
+// benchMixedRW measures a 90/10 read/write mix: each worker alternates
+// nine small window counts with one insert. One op = opsPerWorker ops
+// on every worker against a pre-filled table.
+func benchMixedRW(b *testing.B, shardBits, workers int) {
+	const (
+		prefill      = 20000
+		opsPerWorker = 1000
+	)
+	db := spatialdb.NewDB()
+	tab, err := db.CreateTableWith("t", spatialdb.TableOptions{Capacity: 8, ShardBits: shardBits})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tab.InsertBatch(uniformRecords(b, prefill, 5)); err != nil {
+		b.Fatal(err)
+	}
+	if err := tab.Compact(); err != nil {
+		b.Fatal(err)
+	}
+	var nextID atomic.Uint64
+	nextID.Store(prefill)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := xrand.New(uint64(i)*64 + uint64(w) + 1)
+				for op := 0; op < opsPerWorker; op++ {
+					if op%10 == 9 {
+						rec := spatialdb.Record{ID: nextID.Add(1), Loc: geom.Pt(rng.Float64(), rng.Float64())}
+						// A location collision fails the insert; for a
+						// throughput benchmark that op still counts.
+						_ = tab.Insert(rec)
+						continue
+					}
+					x, y := rng.Float64()*0.95, rng.Float64()*0.95
+					win := geom.R(x, y, x+0.05, y+0.05)
+					if _, _, err := tab.CountRange(win, 0); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	b.ReportMetric(float64(workers*opsPerWorker), "ops/op")
+}
+
+// uniformRecords returns n records at distinct uniform locations.
+func uniformRecords(b *testing.B, n int, seed uint64) []spatialdb.Record {
+	b.Helper()
+	src := dist.NewUniform(geom.UnitSquare, xrand.New(seed))
+	seen := make(map[geom.Point]bool, n)
+	recs := make([]spatialdb.Record, 0, n)
+	for len(recs) < n {
+		p := src.Next()
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		recs = append(recs, spatialdb.Record{ID: uint64(len(recs)), Loc: p})
+	}
+	return recs
+}

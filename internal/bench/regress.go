@@ -18,12 +18,37 @@ type Report struct {
 	// Label names the run (e.g. "PR2"); informational.
 	Label string `json:"label,omitempty"`
 	// When is the run's wall-clock timestamp (RFC 3339), if recorded.
-	When       string   `json:"when,omitempty"`
-	GoVersion  string   `json:"go_version"`
-	GOOS       string   `json:"goos"`
-	GOARCH     string   `json:"goarch"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Results    []Result `json:"results"`
+	When       string `json:"when,omitempty"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// ParallelInsertSpeedup8W is the sharded-vs-single-lock speedup of
+	// the 8-worker parallel-insert benchmark (single ns/op divided by
+	// sharded ns/op), recorded when both benchmarks ran. cmd/bench
+	// gates on it on multi-core machines.
+	ParallelInsertSpeedup8W float64  `json:"parallel_insert_speedup_8w,omitempty"`
+	Results                 []Result `json:"results"`
+}
+
+// InsertSpeedup8 computes the 8-worker parallel-insert speedup of the
+// sharded table over the single-lock baseline from the report's
+// results: single-lock ns/op divided by sharded ns/op. ok is false when
+// either benchmark is missing from the report.
+func (r Report) InsertSpeedup8() (speedup float64, ok bool) {
+	var single, sharded float64
+	for _, res := range r.Results {
+		switch res.Name {
+		case "ParallelInsertSingle8":
+			single = res.NsPerOp
+		case "ParallelInsertSharded8":
+			sharded = res.NsPerOp
+		}
+	}
+	if single <= 0 || sharded <= 0 {
+		return 0, false
+	}
+	return single / sharded, true
 }
 
 // Result is one benchmark's measurements.

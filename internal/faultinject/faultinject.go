@@ -46,6 +46,11 @@ const (
 	InsertLatency Point = "spatialdb.insert.latency"
 	// QueryLatency delays a spatialdb select.
 	QueryLatency Point = "spatialdb.query.latency"
+	// SnapshotRebuild fails a per-shard frozen-snapshot rebuild before
+	// the new snapshot is published, simulating a freeze that cannot
+	// complete; queries on that shard keep falling back to its live
+	// tree.
+	SnapshotRebuild Point = "spatialdb.snapshot.rebuild"
 )
 
 // allPoints is the canonical registry of every failure point wired into
@@ -61,6 +66,7 @@ var allPoints = []Point{
 	InsertFault,
 	InsertLatency,
 	QueryLatency,
+	SnapshotRebuild,
 }
 
 // Points returns the canonical list of registered failure points, in

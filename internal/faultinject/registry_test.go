@@ -60,6 +60,7 @@ func TestPointRegistryComplete(t *testing.T) {
 		"InsertFault":      InsertFault,
 		"InsertLatency":    InsertLatency,
 		"QueryLatency":     QueryLatency,
+		"SnapshotRebuild":  SnapshotRebuild,
 	}
 	for name := range declared {
 		v, ok := byName[name]

@@ -97,6 +97,17 @@ func (r Rect) ContainsRect(s Rect) bool {
 	return s.MinX >= r.MinX && s.MaxX <= r.MaxX && s.MinY >= r.MinY && s.MaxY <= r.MaxY
 }
 
+// OverlapsClosed reports whether the closure of query touches the
+// half-open rectangle r. This is the single pruning predicate of every
+// range traversal in the repository: it subsumes the open-intersection
+// test (strict overlap implies touching), and the closed edges are what
+// let a query whose edge coincides with a block boundary still reach
+// points lying exactly on that boundary.
+func (r Rect) OverlapsClosed(query Rect) bool {
+	return r.MinX <= query.MaxX && query.MinX <= r.MaxX &&
+		r.MinY <= query.MaxY && query.MinY <= r.MaxY
+}
+
 // Quadrant returns quadrant q of r (q in 0..3; bit 0 = east half,
 // bit 1 = north half).
 func (r Rect) Quadrant(q int) Rect {
@@ -127,6 +138,38 @@ func (r Rect) QuadrantOf(p Point) int {
 		q |= 2
 	}
 	return q
+}
+
+// CellOf returns the locational code of the level-level cell of r that
+// contains p: level quadrant descents from the root, each appending one
+// quadrant index (bit 0 = east, bit 1 = north) as a pair of Morton
+// bits, most significant quadrant first. The codes enumerate the
+// 4^level cells of r in Z order, matching both the quadtree's
+// decomposition and the leaf order of a linearquad snapshot. Points
+// outside r land in the nearest boundary cell (QuadrantOf does not
+// range-check), so every finite point maps to a cell. level must be in
+// [0, 31] for the code to fit a uint64.
+func (r Rect) CellOf(p Point, level int) uint64 {
+	var code uint64
+	cell := r
+	for i := 0; i < level; i++ {
+		q := cell.QuadrantOf(p)
+		code = code<<2 | uint64(q)
+		cell = cell.Quadrant(q)
+	}
+	return code
+}
+
+// Cell inverts CellOf: it returns the level-level cell of r with the
+// given locational code, consuming the code's bit pairs most
+// significant first. The 4^level cells of one level tile r exactly
+// (each half-open), so every point of r lies in exactly one cell.
+func (r Rect) Cell(code uint64, level int) Rect {
+	out := r
+	for i := level - 1; i >= 0; i-- {
+		out = out.Quadrant(int(code >> (2 * uint(i)) & 3))
+	}
+	return out
 }
 
 // Halves splits r in two along the given axis (0 = split vertically into

@@ -248,3 +248,101 @@ func TestStringers(t *testing.T) {
 		t.Error("empty Stringer output")
 	}
 }
+
+func TestCellOfRoundTrip(t *testing.T) {
+	rng := xrand.New(11)
+	region := R(-3, 1, 5, 9)
+	for level := 0; level <= 4; level++ {
+		for i := 0; i < 200; i++ {
+			p := Pt(region.MinX+rng.Float64()*region.Width(),
+				region.MinY+rng.Float64()*region.Height())
+			code := region.CellOf(p, level)
+			if max := uint64(1) << (2 * uint(level)); code >= max {
+				t.Fatalf("level %d: code %d out of range [0,%d)", level, code, max)
+			}
+			cell := region.Cell(code, level)
+			if !cell.Contains(p) {
+				t.Fatalf("level %d: cell %v of code %d does not contain %v", level, cell, code, p)
+			}
+		}
+	}
+}
+
+func TestCellOfMatchesQuadrantDescent(t *testing.T) {
+	rng := xrand.New(12)
+	region := R(0, 0, 4, 4)
+	for i := 0; i < 500; i++ {
+		p := Pt(rng.Float64()*4, rng.Float64()*4)
+		// CellOf must equal an explicit quadrant-by-quadrant descent:
+		// the code is the concatenated quadrant indices, which is also
+		// the top bit-pairs of the point's Morton locational code.
+		var want uint64
+		cell := region
+		for d := 0; d < 3; d++ {
+			q := cell.QuadrantOf(p)
+			want = want<<2 | uint64(q)
+			cell = cell.Quadrant(q)
+		}
+		if got := region.CellOf(p, 3); got != want {
+			t.Fatalf("CellOf(%v, 3) = %d, want %d", p, got, want)
+		}
+		if got := region.Cell(want, 3); got != cell {
+			t.Fatalf("Cell(%d, 3) = %v, want %v", want, got, cell)
+		}
+	}
+}
+
+func TestCellTilesRegion(t *testing.T) {
+	region := R(-1, -1, 3, 7)
+	const level = 2
+	n := 1 << (2 * level)
+	var area float64
+	for code := 0; code < n; code++ {
+		c := region.Cell(uint64(code), level)
+		area += c.Area()
+		for other := 0; other < code; other++ {
+			o := region.Cell(uint64(other), level)
+			if c.Intersects(o) {
+				t.Fatalf("cells %d and %d overlap: %v, %v", code, other, c, o)
+			}
+		}
+	}
+	if math.Abs(area-region.Area()) > 1e-9 {
+		t.Fatalf("cells cover area %v, region area %v", area, region.Area())
+	}
+}
+
+func TestCellOfClampsOutside(t *testing.T) {
+	region := R(0, 0, 1, 1)
+	// Points outside the region land in a boundary cell, never an
+	// out-of-range code.
+	for _, p := range []Point{Pt(-5, 0.5), Pt(5, 0.5), Pt(0.5, -5), Pt(5, 5)} {
+		code := region.CellOf(p, 2)
+		if code >= 16 {
+			t.Fatalf("CellOf(%v, 2) = %d, out of range", p, code)
+		}
+	}
+}
+
+func TestOverlapsClosed(t *testing.T) {
+	r := R(0, 0, 1, 1)
+	cases := []struct {
+		q    Rect
+		want bool
+	}{
+		{R(0.5, 0.5, 2, 2), true},  // genuine overlap
+		{R(1, 0, 2, 1), true},      // shared edge: closed test keeps it
+		{R(1, 1, 2, 2), true},      // shared corner
+		{R(1.1, 0, 2, 1), false},   // strictly east
+		{R(0, -2, 1, -0.1), false}, // strictly south
+		{R(-1, -1, 3, 3), true},    // containment
+	}
+	for _, c := range cases {
+		if got := r.OverlapsClosed(c.q); got != c.want {
+			t.Errorf("OverlapsClosed(%v) = %v, want %v", c.q, got, c.want)
+		}
+		if got := c.q.OverlapsClosed(r); got != c.want {
+			t.Errorf("OverlapsClosed symmetric (%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}

@@ -30,6 +30,7 @@ package linearquad
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"popana/internal/geom"
 	"popana/internal/quadtree"
@@ -41,6 +42,12 @@ import (
 // for). Trees deeper than this — possible only under adversarial
 // clustering near DefaultMaxDepth — cannot be frozen; callers keep
 // serving from the live tree.
+//
+// The bound applies per frozen tree, not per universe: a spatialdb
+// table sharded at level k freezes each shard's subtree independently,
+// so the deepest freezable point concentration sits k levels lower in
+// the global decomposition than it would under a single table-wide
+// snapshot.
 const MaxDepth = 31
 
 // ErrTooDeep is returned by Freeze when the tree's height exceeds
@@ -114,6 +121,18 @@ func (f *Frozen[V]) Leaves() int { return len(f.codes) - 1 }
 // Depth returns the grid depth: the source tree's height at freeze
 // time.
 func (f *Frozen[V]) Depth() int { return f.depth }
+
+// AvgOccupancy returns records per leaf block — the paper's occupancy
+// statistic, identical to stats.Census.AverageOccupancy on the live
+// tree the snapshot was frozen from — or NaN for a snapshot with no
+// leaves. It lets monitoring reads serve the measured occupancy from
+// the snapshot without a Census walk of the pointer tree.
+func (f *Frozen[V]) AvgOccupancy() float64 {
+	if f.Leaves() == 0 {
+		return math.NaN()
+	}
+	return float64(f.Len()) / float64(f.Leaves())
+}
 
 // Region returns the snapshot's universe rectangle.
 func (f *Frozen[V]) Region() geom.Rect { return f.region }

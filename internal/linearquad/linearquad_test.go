@@ -297,3 +297,31 @@ func TestFrozenGetAllocs(t *testing.T) {
 		t.Fatalf("Frozen.CountRange allocates %.1f per op, want 0", countAllocs)
 	}
 }
+
+func TestAvgOccupancyMatchesCensus(t *testing.T) {
+	for _, m := range []int{1, 2, 4, 8} {
+		src := dist.NewUniform(geom.UnitSquare, xrand.New(uint64(90+m)))
+		qt, _ := buildTree(t, quadtree.Config{Capacity: m}, src, 2500)
+		f, err := Freeze(qt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := qt.Census().AverageOccupancy()
+		if got := f.AvgOccupancy(); got != want {
+			t.Errorf("m=%d: AvgOccupancy = %v, Census.AverageOccupancy = %v", m, got, want)
+		}
+	}
+	// Empty tree: the root is one empty leaf, so occupancy is 0 under
+	// both the Census and Frozen conventions.
+	qt, err := quadtree.New[int](quadtree.Config{Capacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Freeze(qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f.AvgOccupancy(), qt.Census().AverageOccupancy(); got != want {
+		t.Errorf("empty AvgOccupancy = %v, want %v", got, want)
+	}
+}

@@ -43,13 +43,11 @@ func rangeQuery[V any](n *node[V], block, query geom.Rect, visit Visit[V]) bool 
 
 // overlapsClosed is the single pruning predicate of range traversals: it
 // reports whether the closed query rectangle touches the half-open
-// block. The closed test subsumes the open-intersection one (strict
-// overlap implies touching), and the closed edges are what let a query
-// whose edge coincides with a block boundary still see points lying
-// exactly on that boundary.
+// block. It delegates to geom.OverlapsClosed so the spatialdb shard
+// fan-out, which prunes whole shard regions before any tree is
+// touched, applies the bit-identical test.
 func overlapsClosed(block, query geom.Rect) bool {
-	return block.MinX <= query.MaxX && query.MinX <= block.MaxX &&
-		block.MinY <= query.MaxY && query.MinY <= block.MaxY
+	return block.OverlapsClosed(query)
 }
 
 // CountRange returns the number of stored points inside the closed query

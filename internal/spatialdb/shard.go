@@ -1,0 +1,240 @@
+package spatialdb
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"popana/internal/faultinject"
+	"popana/internal/geom"
+	"popana/internal/linearquad"
+	"popana/internal/quadtree"
+)
+
+// snapshot is one atomically-published frozen view of a shard's index.
+// frozen == nil records a freeze attempt that failed (tree too deep, or
+// an injected rebuild fault) at this epoch, so the shard does not retry
+// until more mutations arrive.
+type snapshot struct {
+	frozen *linearquad.Frozen[Record]
+	epoch  uint64
+}
+
+// shard is one spatial partition of a table: the records whose level-k
+// cell of the table region has this shard's locational code. Each shard
+// owns its own quadtree, mutex, mutation counter, and epoch-stamped
+// frozen snapshot, so writes to one region of space never contend with
+// writes — or snapshot rebuilds — in another.
+type shard struct {
+	// region is this shard's level-k cell; immutable.
+	region geom.Rect
+	inj    *faultinject.Injector
+
+	// mu guards index. The single table-wide lock order is: shard
+	// mutexes in ascending shard index, then id stripes in ascending
+	// stripe index; any function that acquires more than one shard
+	// mutex must be one of the audited ascending-order helpers named
+	// by the directive.
+	//popvet:ordered lockShards rlockShards
+	mu    sync.RWMutex
+	index *quadtree.Tree[Record]
+
+	// count is the record count, maintained under mu but readable
+	// lock-free, so Len never queues behind a writer.
+	count atomic.Int64
+	// epoch counts this shard's mutations (each batched record counts
+	// once). Bumped under the write lock before the index changes, so a
+	// reader that observes a snapshot matching the current epoch is
+	// guaranteed the snapshot reflects every completed write.
+	epoch atomic.Uint64
+	// snap is the latest frozen snapshot; nil until the first build.
+	// The publish-after-build discipline the lock-free read path relies
+	// on lives entirely in the three accessors below; popvet's
+	// lockdiscipline analyzer rejects any other Load or Store.
+	//popvet:accessors loadFresh rebuildLocked maybeRebuildLocked
+	snap atomic.Pointer[snapshot]
+	// rebuilding serializes snapshot builds so a thundering herd of
+	// stale readers freezes the shard once, not once per reader.
+	rebuilding atomic.Bool
+}
+
+// loadFresh returns the frozen snapshot and its epoch stamp when the
+// snapshot exactly matches the shard's current mutation epoch, (nil, 0)
+// otherwise. Lock-free: two atomic loads. The returned epoch lets the
+// cross-shard seqlock path revalidate that no write landed while it
+// scanned.
+func (s *shard) loadFresh() (*linearquad.Frozen[Record], uint64) {
+	sn := s.snap.Load()
+	if sn != nil && sn.frozen != nil && sn.epoch == s.epoch.Load() {
+		return sn.frozen, sn.epoch
+	}
+	return nil, 0
+}
+
+// rebuildLocked freezes the shard's index and publishes the snapshot.
+// The caller must hold s.mu (read or write); under either the epoch is
+// stable, so the published snapshot is exact for its stamp. A failure —
+// a tree too deep to Morton-encode, or an injected SnapshotRebuild
+// fault — is published as an empty marker so queries fall back to the
+// live tree without retrying the freeze until the shard changes again.
+func (s *shard) rebuildLocked() (*linearquad.Frozen[Record], error) {
+	if err := s.inj.Err(faultinject.SnapshotRebuild); err != nil {
+		s.snap.Store(&snapshot{frozen: nil, epoch: s.epoch.Load()})
+		return nil, err
+	}
+	f, err := linearquad.Freeze(s.index)
+	s.snap.Store(&snapshot{frozen: f, epoch: s.epoch.Load()})
+	return f, err
+}
+
+// maybeRebuildLocked rebuilds the snapshot if it is missing or stale by
+// at least every mutations, returning a frozen view that matches the
+// live index exactly (nil when no rebuild happened or the shard cannot
+// be frozen). The caller must hold at least the read lock.
+func (s *shard) maybeRebuildLocked(every uint64) *linearquad.Frozen[Record] {
+	sn := s.snap.Load()
+	e := s.epoch.Load()
+	if sn != nil && e-sn.epoch < every {
+		return nil
+	}
+	if !s.rebuilding.CompareAndSwap(false, true) {
+		return nil // another reader is already freezing this state
+	}
+	defer s.rebuilding.Store(false)
+	f, _ := s.rebuildLocked()
+	return f
+}
+
+// rangerLocked returns the representation queries should scan: the
+// fresh frozen snapshot if there is one (possibly rebuilt just now
+// because the shard crossed the staleness threshold), the live tree
+// otherwise. The caller must hold at least the read lock, under which
+// either representation is exact.
+func (s *shard) rangerLocked(every uint64) ranger {
+	if f, _ := s.loadFresh(); f != nil {
+		return f
+	}
+	if f := s.maybeRebuildLocked(every); f != nil {
+		return f
+	}
+	return s.index
+}
+
+// compact rebuilds this shard's snapshot immediately under its read
+// lock: concurrent queries proceed, writers to this shard wait, and
+// other shards are untouched.
+func (s *shard) compact() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, err := s.rebuildLocked()
+	return err
+}
+
+// statsPart returns this shard's contribution to Table.Stats — record
+// count, leaf-block count, and local tree height — from the fresh
+// snapshot when there is one (lock-free) and from a Census of the live
+// tree under the read lock otherwise.
+func (s *shard) statsPart() (records, blocks, height int) {
+	if f, _ := s.loadFresh(); f != nil {
+		return f.Len(), f.Leaves(), f.Depth()
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := s.index.Census()
+	return s.index.Len(), c.Leaves, c.Height
+}
+
+// lockShards write-locks shards in slice order. Callers must pass
+// shards in ascending shard-index order: with every multi-shard
+// acquisition ascending (and id stripes always taken after shards),
+// two batches whose shard sets overlap cannot deadlock.
+func lockShards(ss []*shard) {
+	for _, s := range ss {
+		s.mu.Lock()
+	}
+}
+
+func unlockShards(ss []*shard) {
+	for i := len(ss) - 1; i >= 0; i-- {
+		ss[i].mu.Unlock()
+	}
+}
+
+// rlockShards read-locks shards in slice order (ascending shard index,
+// see lockShards). Holding every target shard's read lock for the whole
+// scan is what makes a multi-shard query a consistent cut: an
+// InsertBatch holds all its shard write locks until every sub-batch is
+// applied, so a reader can never observe half a batch.
+func rlockShards(ss []*shard) {
+	for _, s := range ss {
+		s.mu.RLock()
+	}
+}
+
+func runlockShards(ss []*shard) {
+	for i := len(ss) - 1; i >= 0; i-- {
+		ss[i].mu.RUnlock()
+	}
+}
+
+// idStripes is the number of stripes the id→location map is split
+// into. Sequential IDs round-robin across stripes, so id-map contention
+// stays negligible next to the spatial work.
+const idStripes = 16
+
+// idStripe is one lock-striped slice of the id→location map.
+type idStripe struct {
+	// mu guards m. Taken after any shard mutex, never before; the only
+	// function allowed to take more than one stripe is the ascending
+	// lockStripes helper.
+	//popvet:ordered lockStripes
+	mu sync.RWMutex
+	m  map[uint64]geom.Point
+}
+
+// idIndex maps record ID to location, striped so concurrent inserts of
+// unrelated records rarely share a lock.
+type idIndex struct {
+	stripes [idStripes]idStripe
+}
+
+func newIDIndex() *idIndex {
+	ix := &idIndex{}
+	for i := range ix.stripes {
+		ix.stripes[i].m = map[uint64]geom.Point{}
+	}
+	return ix
+}
+
+// stripe returns the stripe owning id.
+func (ix *idIndex) stripe(id uint64) *idStripe {
+	return &ix.stripes[id%idStripes]
+}
+
+// lookup returns id's location under the stripe read lock. Callers must
+// not hold the returned location authoritative across other lock
+// acquisitions: Delete re-verifies it under the shard lock.
+func (ix *idIndex) lookup(id uint64) (geom.Point, bool) {
+	st := ix.stripe(id)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	p, ok := st.m[id]
+	return p, ok
+}
+
+// lockStripes write-locks the stripes selected by mask in ascending
+// index order; see lockShards for the lock-order rule.
+func (ix *idIndex) lockStripes(mask uint32) {
+	for i := 0; i < idStripes; i++ {
+		if mask&(1<<i) != 0 {
+			ix.stripes[i].mu.Lock()
+		}
+	}
+}
+
+func (ix *idIndex) unlockStripes(mask uint32) {
+	for i := idStripes - 1; i >= 0; i-- {
+		if mask&(1<<i) != 0 {
+			ix.stripes[i].mu.Unlock()
+		}
+	}
+}

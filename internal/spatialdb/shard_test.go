@@ -1,0 +1,499 @@
+package spatialdb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"popana/internal/dist"
+	"popana/internal/faultinject"
+	"popana/internal/geom"
+	"popana/internal/xrand"
+)
+
+// tablePair builds a sharded table and a single-shard control holding
+// the same n uniform records, so tests can prove the sharded engine
+// answers exactly like the pre-sharding one.
+func tablePair(t testing.TB, shardBits, capacity, n int, seed uint64) (sharded, control *Table) {
+	t.Helper()
+	db := NewDB()
+	var err error
+	sharded, err = db.CreateTableWith("sharded", TableOptions{Capacity: capacity, ShardBits: shardBits})
+	if err != nil {
+		t.Fatal(err)
+	}
+	control, err = db.CreateTableWith("control", TableOptions{Capacity: capacity, ShardBits: SingleShard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := dist.NewUniform(geom.UnitSquare, xrand.New(seed))
+	recs := make([]Record, 0, n)
+	seen := map[geom.Point]bool{}
+	for len(recs) < n {
+		p := src.Next()
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		recs = append(recs, Record{ID: uint64(len(recs)), Loc: p})
+	}
+	if err := sharded.InsertBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := control.InsertBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	return sharded, control
+}
+
+func TestShardCountSelection(t *testing.T) {
+	db := NewDB()
+	cases := []struct {
+		bits string
+		opts TableOptions
+		want int
+	}{
+		{"single", TableOptions{Capacity: 4, ShardBits: SingleShard}, 1},
+		{"two", TableOptions{Capacity: 4, ShardBits: 2}, 16},
+		{"clamped", TableOptions{Capacity: 4, ShardBits: 9}, 1 << (2 * MaxShardBits)},
+	}
+	for _, c := range cases {
+		tab, err := db.CreateTableWith(c.bits, c.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tab.Shards(); got != c.want {
+			t.Errorf("%s: Shards() = %d, want %d", c.bits, got, c.want)
+		}
+	}
+	if _, err := db.CreateTableWith("bad", TableOptions{Capacity: 4, ShardBits: -7}); err == nil {
+		t.Error("ShardBits -7 accepted")
+	}
+}
+
+// TestShardedEquivalence1kQueries is the acceptance gate for the
+// sharded engine: over 1000 randomized window, radius, and nearest
+// queries — unbudgeted and with an ample budget — a 16-shard table must
+// return exactly the records, counts, and Truncated flags of a
+// single-shard table holding the same data. It runs in three table
+// states: snapshots fresh (lock-free fan-out), snapshots stale (locked
+// fan-out), and mixed.
+func TestShardedEquivalence1kQueries(t *testing.T) {
+	sharded, control := tablePair(t, 2, 4, 4000, 77)
+
+	states := []struct {
+		name string
+		prep func()
+	}{
+		{"fresh", func() {
+			if err := sharded.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			if err := control.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"stale", func() {
+			// One insert+delete staleness-pokes every representation
+			// without changing the record set.
+			for _, tab := range []*Table{sharded, control} {
+				if err := tab.Insert(Record{ID: 1 << 40, Loc: geom.Pt(0.31415, 0.92653)}); err != nil {
+					t.Fatal(err)
+				}
+				if !tab.Delete(1 << 40) {
+					t.Fatal("staleness poke delete failed")
+				}
+			}
+		}},
+	}
+	for _, st := range states {
+		st.prep()
+		rng := xrand.New(123)
+		for i := 0; i < 1000; i++ {
+			var q Query
+			switch i % 3 {
+			case 0:
+				w := geom.R(rng.Float64(), rng.Float64(), 0, 0)
+				w.MaxX = w.MinX + 0.01 + rng.Float64()*0.6
+				w.MaxY = w.MinY + 0.01 + rng.Float64()*0.6
+				q = Query{Window: &w}
+			case 1:
+				q = Query{Within: &WithinSpec{
+					At:     geom.Pt(rng.Float64(), rng.Float64()),
+					Radius: 0.01 + rng.Float64()*0.4,
+				}}
+			case 2:
+				q = Query{Nearest: &NearestSpec{
+					At: geom.Pt(rng.Float64(), rng.Float64()),
+					K:  1 + rng.Intn(20),
+				}}
+			}
+			if q.Nearest == nil && i%2 == 0 {
+				q.MaxNodes = 1 << 20 // ample: never truncates
+			}
+			name := fmt.Sprintf("%s/q%d", st.name, i)
+
+			got, gotCost, err := sharded.Select(q)
+			if err != nil {
+				t.Fatalf("%s: sharded Select: %v", name, err)
+			}
+			want, wantCost, err := control.Select(q)
+			if err != nil {
+				t.Fatalf("%s: control Select: %v", name, err)
+			}
+			gi, wi := recordIDs(got), recordIDs(want)
+			if len(gi) != len(wi) {
+				t.Fatalf("%s: sharded returned %d records, control %d", name, len(gi), len(wi))
+			}
+			for j := range gi {
+				if gi[j] != wi[j] {
+					t.Fatalf("%s: record sets differ at %d: %d vs %d", name, j, gi[j], wi[j])
+				}
+			}
+			if gotCost.Truncated != wantCost.Truncated {
+				t.Fatalf("%s: Truncated %v vs %v", name, gotCost.Truncated, wantCost.Truncated)
+			}
+
+			if q.Window != nil {
+				gc, gCost, err := sharded.CountRange(*q.Window, q.MaxNodes)
+				if err != nil {
+					t.Fatalf("%s: sharded CountRange: %v", name, err)
+				}
+				wc, wCost, err := control.CountRange(*q.Window, q.MaxNodes)
+				if err != nil {
+					t.Fatalf("%s: control CountRange: %v", name, err)
+				}
+				if gc != wc || gc != len(want) {
+					t.Fatalf("%s: CountRange %d vs %d (Select %d)", name, gc, wc, len(want))
+				}
+				if gCost.Truncated != wCost.Truncated {
+					t.Fatalf("%s: count Truncated %v vs %v", name, gCost.Truncated, wCost.Truncated)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedBudgetRespected: on a multi-shard table a budgeted query
+// sums NodesVisited across shards and must never exceed MaxNodes; when
+// it stops early Truncated is set and the result is a subset.
+func TestShardedBudgetRespected(t *testing.T) {
+	sharded, _ := tablePair(t, 2, 4, 4000, 31)
+	full := geom.R(0.01, 0.01, 0.99, 0.99)
+	all, _, err := sharded.Select(Query{Window: &full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int{1, 5, 37, 200, 1 << 20} {
+		got, cost, err := sharded.Select(Query{Window: &full, MaxNodes: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost.NodesVisited > budget {
+			t.Fatalf("budget %d: visited %d nodes", budget, cost.NodesVisited)
+		}
+		if !cost.Truncated && len(got) != len(all) {
+			t.Fatalf("budget %d: not truncated but %d of %d records", budget, len(got), len(all))
+		}
+		if cost.Truncated && len(got) > len(all) {
+			t.Fatalf("budget %d: truncated result larger than full", budget)
+		}
+		cnt, ccost, err := sharded.CountRange(full, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ccost.NodesVisited > budget {
+			t.Fatalf("budget %d: count visited %d nodes", budget, ccost.NodesVisited)
+		}
+		if cnt != len(got) || ccost.Truncated != cost.Truncated || ccost.NodesVisited != cost.NodesVisited {
+			t.Fatalf("budget %d: CountRange (%d, trunc=%v, nodes=%d) disagrees with Select (%d, trunc=%v, nodes=%d)",
+				budget, cnt, ccost.Truncated, ccost.NodesVisited, len(got), cost.Truncated, cost.NodesVisited)
+		}
+	}
+}
+
+// TestInsertBatchCrossShardAtomicity: a reader whose window spans every
+// shard must never observe a partially applied batch, whichever path —
+// seqlock or locked fan-out — serves it.
+func TestInsertBatchCrossShardAtomicity(t *testing.T) {
+	const batch = 32
+	db := NewDB()
+	tab, err := db.CreateTableWith("atomic", TableOptions{Capacity: 4, ShardBits: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := xrand.New(404)
+		id := uint64(0)
+		for b := 0; b < 120; b++ {
+			recs := make([]Record, batch)
+			for i := range recs {
+				// Spread every batch across all four shards.
+				q := i % 4
+				recs[i] = Record{
+					ID: id,
+					Loc: geom.Pt(
+						float64(q&1)*0.5+rng.Float64()*0.5,
+						float64(q>>1)*0.5+rng.Float64()*0.5),
+				}
+				id++
+			}
+			if err := tab.InsertBatch(recs); err != nil {
+				// Duplicate locations are possible; retry with new points.
+				b--
+				continue
+			}
+			// Occasionally restore the lock-free path mid-run so the
+			// reader exercises both serving paths.
+			if b%17 == 0 {
+				_ = tab.Compact()
+			}
+		}
+		stop.Store(true)
+	}()
+	window := geom.R(0, 0, 1, 1)
+	for !stop.Load() {
+		recs, _, err := tab.Select(Query{Window: &window})
+		if err != nil {
+			t.Errorf("Select: %v", err)
+			break
+		}
+		if len(recs)%batch != 0 {
+			t.Errorf("observed %d records: not a multiple of batch size %d", len(recs), batch)
+			break
+		}
+		n, _, err := tab.CountRange(window, 0)
+		if err != nil {
+			t.Errorf("CountRange: %v", err)
+			break
+		}
+		if n%batch != 0 {
+			t.Errorf("counted %d records: not a multiple of batch size %d", n, batch)
+			break
+		}
+	}
+	wg.Wait()
+}
+
+// TestShardChaosAcrossBoundaries hammers one sharded table with
+// concurrent Select, CountRange, InsertBatch, Insert, Delete, and
+// Compact traffic whose windows and batches straddle shard boundaries.
+// Run under -race it is the data-race gate for the sharded write path;
+// the assertions are the cheap invariants that survive interleaving.
+func TestShardChaosAcrossBoundaries(t *testing.T) {
+	db := NewDB()
+	tab, err := db.CreateTableWith("chaos", TableOptions{Capacity: 4, ShardBits: 2, SnapshotThreshold: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 4
+		readers = 4
+		rounds  = 150
+	)
+	var writersWg, readersWg sync.WaitGroup
+	var stop atomic.Bool
+	for w := 0; w < writers; w++ {
+		writersWg.Add(1)
+		go func(w int) {
+			defer writersWg.Done()
+			rng := xrand.New(uint64(w)*7919 + 13)
+			base := uint64(w) << 32
+			alive := make([]uint64, 0, 256)
+			for i := 0; i < rounds; i++ {
+				switch i % 4 {
+				case 0, 1: // cross-shard batch
+					recs := make([]Record, 16)
+					for j := range recs {
+						recs[j] = Record{ID: base + uint64(i*16+j), Loc: geom.Pt(rng.Float64(), rng.Float64())}
+					}
+					if err := tab.InsertBatch(recs); err == nil {
+						for _, r := range recs {
+							alive = append(alive, r.ID)
+						}
+					}
+				case 2: // single insert
+					id := base + uint64(1<<20+i)
+					if err := tab.Insert(Record{ID: id, Loc: geom.Pt(rng.Float64(), rng.Float64())}); err == nil {
+						alive = append(alive, id)
+					}
+				case 3: // delete something we own
+					if len(alive) > 0 {
+						k := rng.Intn(len(alive))
+						tab.Delete(alive[k])
+						alive = append(alive[:k], alive[k+1:]...)
+					}
+				}
+				if i%37 == 0 {
+					if err := tab.Compact(); err != nil {
+						t.Errorf("Compact: %v", err)
+					}
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		readersWg.Add(1)
+		go func(r int) {
+			defer readersWg.Done()
+			rng := xrand.New(uint64(r)*104729 + 7)
+			for !stop.Load() {
+				w := geom.R(rng.Float64()*0.5, rng.Float64()*0.5, 0, 0)
+				w.MaxX = w.MinX + 0.05 + rng.Float64()*0.5
+				w.MaxY = w.MinY + 0.05 + rng.Float64()*0.5
+				recs, _, err := tab.Select(Query{Window: &w})
+				if err != nil {
+					t.Errorf("Select: %v", err)
+					return
+				}
+				for _, rec := range recs {
+					if !w.OverlapsClosed(geom.Rect{MinX: rec.Loc.X, MinY: rec.Loc.Y, MaxX: rec.Loc.X, MaxY: rec.Loc.Y}) {
+						t.Errorf("record %d at %v outside window %v", rec.ID, rec.Loc, w)
+						return
+					}
+				}
+				if n, _, err := tab.CountRange(w, 64); err != nil {
+					t.Errorf("CountRange: %v", err)
+					return
+				} else if n < 0 {
+					t.Errorf("negative count %d", n)
+					return
+				}
+				if tab.Len() < 0 {
+					t.Error("negative Len")
+					return
+				}
+				_ = tab.Stats()
+			}
+		}(r)
+	}
+	writersWg.Wait()
+	stop.Store(true)
+	readersWg.Wait()
+}
+
+// TestSnapshotRebuildFaultPerShard arms the SnapshotRebuild fault point
+// for exactly one firing: Compact must surface the injected error, the
+// affected shard must fall back to its live tree (queries stay correct
+// and do not retry the freeze), and every other shard must keep its
+// lock-free snapshot. A later Compact restores the failed shard.
+func TestSnapshotRebuildFaultPerShard(t *testing.T) {
+	inj := faultinject.New(7)
+	db := NewDB()
+	db.SetFaultInjector(inj)
+	tab, err := db.CreateTableWith("flaky", TableOptions{Capacity: 4, ShardBits: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := dist.NewUniform(geom.UnitSquare, xrand.New(5))
+	recs := make([]Record, 0, 800)
+	seen := map[geom.Point]bool{}
+	for len(recs) < 800 {
+		p := src.Next()
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		recs = append(recs, Record{ID: uint64(len(recs)), Loc: p})
+	}
+	if err := tab.InsertBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+
+	inj.EnableN(faultinject.SnapshotRebuild, 1.0, 1) // exactly the first rebuild fails
+	if err := tab.Compact(); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Compact error = %v, want injected fault", err)
+	}
+	if inj.Fired(faultinject.SnapshotRebuild) != 1 {
+		t.Fatalf("fault fired %d times, want 1", inj.Fired(faultinject.SnapshotRebuild))
+	}
+	fresh := 0
+	var stale *shard
+	for _, s := range tab.shards {
+		if f, _ := s.loadFresh(); f != nil {
+			fresh++
+		} else {
+			stale = s
+		}
+	}
+	if fresh != len(tab.shards)-1 || stale == nil {
+		t.Fatalf("%d of %d shards fresh after one injected rebuild failure, want %d",
+			fresh, len(tab.shards), len(tab.shards)-1)
+	}
+
+	// Queries spanning all shards still answer exactly: the stale shard
+	// serves from its live tree, the rest from their snapshots — and the
+	// failed freeze is not retried (the nil marker holds until the shard
+	// mutates or compacts again).
+	window := geom.R(0, 0, 1, 1)
+	got, _, err := tab.Select(Query{Window: &window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("Select returned %d records, want %d", len(got), len(recs))
+	}
+	if inj.Fired(faultinject.SnapshotRebuild) != 1 {
+		t.Fatalf("query retried the failed freeze: fired %d", inj.Fired(faultinject.SnapshotRebuild))
+	}
+	if f, _ := stale.loadFresh(); f != nil {
+		t.Fatal("failed shard regained a snapshot without a rebuild")
+	}
+
+	// The next Compact (fault exhausted) heals the shard.
+	if err := tab.Compact(); err != nil {
+		t.Fatalf("healing Compact: %v", err)
+	}
+	if !allFresh(tab) {
+		t.Fatal("not all shards fresh after healing Compact")
+	}
+}
+
+// TestLenAndStatsLockFreeUnderShardWriteLocks: Len always, and Stats on
+// fresh shards, must complete while every shard's write lock is held —
+// they serve from atomic counters and snapshots, not the locks.
+func TestLenAndStatsLockFreeUnderShardWriteLocks(t *testing.T) {
+	sharded, _ := tablePair(t, 1, 4, 500, 9)
+	if err := sharded.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	lockShards(sharded.shards)
+	done := make(chan Stats, 1)
+	go func() {
+		if n := sharded.Len(); n != 500 {
+			t.Errorf("Len under write locks = %d, want 500", n)
+		}
+		done <- sharded.Stats()
+	}()
+	st := <-done
+	unlockShards(sharded.shards)
+	if st.Records != 500 || st.Blocks <= 0 {
+		t.Fatalf("Stats under write locks = %+v", st)
+	}
+	if st.Height <= sharded.shardLevels {
+		t.Fatalf("Height %d does not include shard levels %d", st.Height, sharded.shardLevels)
+	}
+}
+
+// TestShardedStatsMatchesControl: aggregated Records across shards must
+// equal the single-shard count, and measured occupancy must stay a
+// sane per-leaf average.
+func TestShardedStatsMatchesControl(t *testing.T) {
+	sharded, control := tablePair(t, 2, 4, 3000, 21)
+	ss, cs := sharded.Stats(), control.Stats()
+	if ss.Records != cs.Records {
+		t.Fatalf("sharded Records %d != control %d", ss.Records, cs.Records)
+	}
+	if ss.MeasuredOccupancy <= 0 || ss.MeasuredOccupancy > 4 {
+		t.Fatalf("sharded MeasuredOccupancy %v outside (0, capacity]", ss.MeasuredOccupancy)
+	}
+	if ss.ModelOccupancy != cs.ModelOccupancy {
+		t.Fatalf("model occupancy differs: %v vs %v", ss.ModelOccupancy, cs.ModelOccupancy)
+	}
+}

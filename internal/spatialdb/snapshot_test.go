@@ -36,6 +36,17 @@ func fillTable(t testing.TB, capacity, n int, seed uint64) *Table {
 	return tab
 }
 
+// allFresh reports whether every shard's snapshot matches its current
+// mutation epoch — the table-wide "queries run lock-free" condition.
+func allFresh(tab *Table) bool {
+	for _, s := range tab.shards {
+		if f, _ := s.loadFresh(); f == nil {
+			return false
+		}
+	}
+	return true
+}
+
 func recordIDs(recs []Record) []uint64 {
 	ids := make([]uint64, len(recs))
 	for i, r := range recs {
@@ -61,7 +72,7 @@ func TestSelectServesFromSnapshotWithoutTableLock(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	tab.mu.Lock() // a writer stalls mid-critical-section
+	lockShards(tab.shards) // a writer stalls mid-critical-section on every shard
 	done := make(chan struct{})
 	var got []Record
 	var cost Cost
@@ -73,10 +84,10 @@ func TestSelectServesFromSnapshotWithoutTableLock(t *testing.T) {
 	select {
 	case <-done:
 	case <-time.After(5 * time.Second):
-		tab.mu.Unlock()
-		t.Fatal("Select blocked on the table RWMutex; snapshot path not lock-free")
+		unlockShards(tab.shards)
+		t.Fatal("Select blocked on a shard RWMutex; snapshot path not lock-free")
 	}
-	tab.mu.Unlock()
+	unlockShards(tab.shards)
 
 	if serr != nil {
 		t.Fatal(serr)
@@ -89,7 +100,7 @@ func TestSelectServesFromSnapshotWithoutTableLock(t *testing.T) {
 	}
 
 	// CountRange and Explain share the lock-free path.
-	tab.mu.Lock()
+	lockShards(tab.shards)
 	done2 := make(chan struct{})
 	go func() {
 		defer close(done2)
@@ -103,10 +114,10 @@ func TestSelectServesFromSnapshotWithoutTableLock(t *testing.T) {
 	select {
 	case <-done2:
 	case <-time.After(5 * time.Second):
-		tab.mu.Unlock()
-		t.Fatal("CountRange/Explain blocked on the table RWMutex")
+		unlockShards(tab.shards)
+		t.Fatal("CountRange/Explain blocked on a shard RWMutex")
 	}
-	tab.mu.Unlock()
+	unlockShards(tab.shards)
 	if serr != nil {
 		t.Fatal(serr)
 	}
@@ -162,7 +173,7 @@ func TestSnapshotRebuildAfterThreshold(t *testing.T) {
 	if _, _, err := tab.Select(Query{Window: &window}); err != nil {
 		t.Fatal(err)
 	}
-	if tab.loadFresh() == nil {
+	if !allFresh(tab) {
 		t.Fatal("first query did not build a snapshot")
 	}
 
@@ -176,7 +187,7 @@ func TestSnapshotRebuildAfterThreshold(t *testing.T) {
 	if _, _, err := tab.Select(Query{Window: &window}); err != nil {
 		t.Fatal(err)
 	}
-	if tab.loadFresh() != nil {
+	if allFresh(tab) {
 		t.Fatal("snapshot rebuilt below the mutation threshold")
 	}
 
@@ -193,7 +204,7 @@ func TestSnapshotRebuildAfterThreshold(t *testing.T) {
 	if len(recs) != 512 {
 		t.Fatalf("got %d records, want 512", len(recs))
 	}
-	if tab.loadFresh() == nil {
+	if !allFresh(tab) {
 		t.Fatal("snapshot not rebuilt after crossing the mutation threshold")
 	}
 }

@@ -17,8 +17,9 @@
 // than fail:
 //
 //   - DB and Table are safe for concurrent readers and writers: the DB
-//     guards its catalog with an RWMutex and every table has its own,
-//     so traffic on one table never blocks another.
+//     guards its catalog with an RWMutex and every table is internally
+//     sharded, so traffic on one table — or one region of space —
+//     never blocks another.
 //   - Inputs are validated at the API boundary: NaN/Inf coordinates and
 //     degenerate regions are rejected with the typed errors
 //     ErrInvalidPoint and ErrInvalidRegion before they can corrupt the
@@ -37,35 +38,54 @@
 //     for chaos testing; the production default is a nil injector that
 //     costs one pointer comparison per operation.
 //
+// # Sharded write path
+//
+// Each table is partitioned into P = 4^k spatial shards keyed by the
+// top k Morton bit-pairs of the record location — equivalently, the
+// level-k cell of the table region containing it. The paper's
+// population model is per-subtree and composes across disjoint
+// quadrants (the partial-match and cascade analyses in PAPERS.md treat
+// quadrants as independent sub-processes), which is exactly what makes
+// this partition sound: each shard is a self-contained PR quadtree
+// over its cell, with its own mutex, mutation epoch, record counter,
+// and frozen snapshot. Insert and Delete lock only the target shard;
+// InsertBatch groups the batch by shard and takes the involved shard
+// locks in ascending index order — the single table-wide lock order —
+// so the all-or-nothing guarantee stays deadlock-free. k defaults to
+// the smallest value with 4^k >= GOMAXPROCS (so a single-core process
+// pays no sharding overhead) and is configurable via
+// TableOptions.ShardBits; with one shard the engine is bit-identical
+// to the unsharded layout this package had before sharding.
+//
 // # Snapshot read path
 //
-// Each table keeps an atomically-published linear-quadtree snapshot
-// (package linearquad): a pointerless, Morton-coded frozen copy of the
-// index, stamped with the table's mutation epoch. Window and radius
-// Selects, CountRange, and Explain on a quiescent table — one whose
+// Each shard keeps an atomically-published linear-quadtree snapshot
+// (package linearquad): a pointerless, Morton-coded frozen copy of its
+// index, stamped with the shard's mutation epoch. Window and radius
+// Selects, CountRange, and Explain on quiescent shards — those whose
 // epoch still matches the snapshot's — are served entirely from the
-// snapshot without taking the table RWMutex, so steady read traffic is
-// lock-free and never contends with a writer on another key range.
-// When the snapshot is stale the query falls back to the live tree
-// under the read lock, and the snapshot is rebuilt lazily once the
-// table has absorbed SnapshotThreshold mutations since the last build
-// (or immediately on Compact). Query budgets (MaxNodes), Cost
-// accounting, and the faultinject query points apply identically on
-// both paths.
+// snapshots without taking any shard lock; a cross-shard query
+// revalidates every target shard's epoch after scanning (a seqlock) so
+// the merged result is still one consistent cut. When a snapshot is
+// stale the query falls back to that shard's live tree under its read
+// lock, and the snapshot is rebuilt lazily once the shard has absorbed
+// SnapshotThreshold mutations since the last build (or immediately on
+// Compact, which rebuilds shard by shard so one hot region compacting
+// never stalls the others). Query budgets (MaxNodes), Cost accounting,
+// and the faultinject query points apply identically on both paths.
 package spatialdb
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"popana/internal/core"
 	"popana/internal/faultinject"
 	"popana/internal/geom"
-	"popana/internal/linearquad"
 	"popana/internal/quadtree"
 	"popana/internal/solver"
 )
@@ -181,38 +201,118 @@ func solveOccupancy(capacity int, inj *faultinject.Injector) (occ float64, appro
 	return occ, false, attempts, nil
 }
 
+// SingleShard, passed as TableOptions.ShardBits, forces exactly one
+// shard: the table is then bit-identical in structure and behavior to
+// the pre-sharding engine (one quadtree over the whole region, one
+// lock, one snapshot).
+const SingleShard = -1
+
+// MaxShardBits caps the shard-key depth: at k = 3 a table has 64
+// shards, past the point of diminishing returns for any core count
+// this repository targets, while keeping the per-shard depth headroom
+// (DefaultMaxDepth - k) essentially intact.
+const MaxShardBits = 3
+
+// TableOptions parameterizes CreateTableWith.
+type TableOptions struct {
+	// Capacity is the node capacity of the backing PR quadtrees.
+	Capacity int
+	// Region is the table's universe; the zero Rect selects the unit
+	// square.
+	Region geom.Rect
+	// ShardBits selects the number of leading Morton bit-pairs that key
+	// a record's shard: the table is split into 4^ShardBits spatial
+	// shards, one per level-ShardBits cell of the region. Zero picks
+	// the smallest k with 4^k >= GOMAXPROCS (capped at MaxShardBits),
+	// so a single-core process gets one shard and pays no sharding
+	// overhead; SingleShard forces one shard explicitly. Values above
+	// MaxShardBits are clamped.
+	ShardBits int
+	// SnapshotThreshold overrides DefaultSnapshotThreshold; zero keeps
+	// the default.
+	SnapshotThreshold int
+}
+
+// autoShardBits picks the default shard-key depth: the smallest k with
+// 4^k >= GOMAXPROCS, capped at MaxShardBits, so the shard count tracks
+// the parallelism actually available to writers.
+func autoShardBits() int {
+	p := runtime.GOMAXPROCS(0)
+	k := 0
+	for k < MaxShardBits && 1<<(2*k) < p {
+		k++
+	}
+	return k
+}
+
 // CreateTable creates a table with the given node capacity over the
 // unit square (the region every generator in this repository uses);
-// pass a non-zero region to cover other extents.
+// pass a non-zero region to cover other extents. The shard count
+// defaults to GOMAXPROCS rounded up to a power of four; use
+// CreateTableWith to pin it.
 func (db *DB) CreateTable(name string, capacity int, region geom.Rect) (*Table, error) {
-	if region != (geom.Rect{}) {
-		if err := validateRegion(region); err != nil {
-			return nil, fmt.Errorf("spatialdb: create %q: %w", name, err)
-		}
+	return db.CreateTableWith(name, TableOptions{Capacity: capacity, Region: region})
+}
+
+// CreateTableWith creates a table with explicit options.
+func (db *DB) CreateTableWith(name string, opts TableOptions) (*Table, error) {
+	region := opts.Region
+	if region == (geom.Rect{}) {
+		region = geom.UnitSquare
+	} else if err := validateRegion(region); err != nil {
+		return nil, fmt.Errorf("spatialdb: create %q: %w", name, err)
+	}
+	bits := opts.ShardBits
+	switch {
+	case bits == SingleShard:
+		bits = 0
+	case bits == 0:
+		bits = autoShardBits()
+	case bits < 0:
+		return nil, fmt.Errorf("spatialdb: create %q: ShardBits %d out of range", name, opts.ShardBits)
+	case bits > MaxShardBits:
+		bits = MaxShardBits
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, exists := db.tables[name]; exists {
 		return nil, fmt.Errorf("spatialdb: table %q already exists", name)
 	}
-	idx, err := quadtree.New[Record](quadtree.Config{Capacity: capacity, Region: region})
-	if err != nil {
-		return nil, fmt.Errorf("spatialdb: create %q: %w", name, err)
-	}
-	occ, approx, attempts, err := solveOccupancy(capacity, db.inj)
+	occ, approx, attempts, err := solveOccupancy(opts.Capacity, db.inj)
 	if err != nil {
 		return nil, fmt.Errorf("spatialdb: create %q: %w", name, err)
 	}
 	t := &Table{
-		name:      name,
-		capacity:  capacity,
-		inj:       db.inj,
-		index:     idx,
-		byID:      map[uint64]geom.Point{},
-		snapEvery: DefaultSnapshotThreshold,
-		occ:       occ,
-		occApprox: approx,
-		attempts:  attempts,
+		name:        name,
+		capacity:    opts.Capacity,
+		inj:         db.inj,
+		region:      region,
+		shardLevels: bits,
+		ids:         newIDIndex(),
+		snapEvery:   DefaultSnapshotThreshold,
+		occ:         occ,
+		occApprox:   approx,
+		attempts:    attempts,
+	}
+	if opts.SnapshotThreshold > 0 {
+		t.snapEvery = uint64(opts.SnapshotThreshold)
+	}
+	t.shards = make([]*shard, 1<<(2*bits))
+	for i := range t.shards {
+		cell := region.Cell(uint64(i), bits)
+		idx, err := quadtree.New[Record](quadtree.Config{
+			Capacity: opts.Capacity,
+			Region:   cell,
+			// A shard root sits k levels below the table root; shrink
+			// its depth budget so the deepest reachable cell of the
+			// global decomposition is the same as in a single-shard
+			// table.
+			MaxDepth: quadtree.DefaultMaxDepth - bits,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("spatialdb: create %q: %w", name, err)
+		}
+		t.shards[i] = &shard{region: cell, inj: db.inj, index: idx}
 	}
 	db.tables[name] = t
 	return t, nil
@@ -252,49 +352,38 @@ func (db *DB) DropTable(name string) error {
 	return nil
 }
 
-// DefaultSnapshotThreshold is the number of mutations a table absorbs
-// before a falling-back query rebuilds the frozen snapshot. Small
-// enough that read-mostly tables regain the lock-free path quickly;
+// DefaultSnapshotThreshold is the number of mutations a shard absorbs
+// before a falling-back query rebuilds its frozen snapshot. Small
+// enough that read-mostly shards regain the lock-free path quickly;
 // large enough that a write burst does not pay an O(n) freeze per
 // handful of inserts.
 const DefaultSnapshotThreshold = 64
 
-// snapshot is one atomically-published frozen view of a table's index.
-// frozen == nil records a freeze attempt that failed (tree too deep) at
-// this epoch, so the table does not retry until more mutations arrive.
-type snapshot struct {
-	frozen *linearquad.Frozen[Record]
-	epoch  uint64
-}
-
 // Table is one spatially indexed record collection, safe for concurrent
-// readers and writers.
+// readers and writers. Records are partitioned across 4^k spatial
+// shards by the top k Morton bit-pairs of their location (see the
+// package comment); all exported methods hide the sharding.
 type Table struct {
 	name     string
 	capacity int
 	inj      *faultinject.Injector
 
-	mu    sync.RWMutex
-	index *quadtree.Tree[Record]
-	byID  map[uint64]geom.Point
+	// region is the table universe; immutable.
+	region geom.Rect
+	// shardLevels is k: the number of quadrant-descent levels (Morton
+	// bit-pairs) in the shard key. Immutable.
+	shardLevels int
+	// shards holds the 4^k shards in Z-order of their level-k cell
+	// codes; the slice and its cells are immutable, so shard lookup is
+	// lock-free.
+	shards []*shard
+	// ids maps record ID to location, lock-striped independently of the
+	// spatial shards.
+	ids *idIndex
 
-	// epoch counts mutations (each batched record counts once). Bumped
-	// under the write lock before the index changes, so a reader that
-	// observes a snapshot matching the current epoch is guaranteed the
-	// snapshot reflects every completed write.
-	epoch atomic.Uint64
-	// snap is the latest frozen snapshot; nil until the first build.
-	// The publish-after-build discipline the lock-free read path relies
-	// on lives entirely in the three accessors below; popvet's
-	// lockdiscipline analyzer rejects any other Load or Store.
-	//popvet:accessors loadFresh rebuildLocked maybeRebuildLocked
-	snap atomic.Pointer[snapshot]
-	// rebuilding serializes snapshot builds so a thundering herd of
-	// stale readers freezes the tree once, not once per reader.
-	rebuilding atomic.Bool
-	// snapEvery is the staleness (in mutations) at which a falling-back
-	// query triggers a rebuild; immutable after creation except via
-	// SetSnapshotThreshold.
+	// snapEvery is the per-shard staleness (in mutations) at which a
+	// falling-back query triggers a snapshot rebuild; immutable after
+	// creation except via SetSnapshotThreshold.
 	snapEvery uint64
 
 	// occ is the model-predicted records per block; occApprox marks it
@@ -306,7 +395,7 @@ type Table struct {
 }
 
 // SetSnapshotThreshold overrides DefaultSnapshotThreshold: the number
-// of mutations after which a query that found the snapshot stale
+// of mutations after which a query that found a shard's snapshot stale
 // rebuilds it. n <= 0 restores the default. Call before the table is
 // shared across goroutines.
 func (t *Table) SetSnapshotThreshold(n int) {
@@ -317,67 +406,73 @@ func (t *Table) SetSnapshotThreshold(n int) {
 	t.snapEvery = uint64(n)
 }
 
-// loadFresh returns the frozen snapshot when it exactly matches the
-// table's current mutation epoch, nil otherwise. Lock-free: two atomic
-// loads.
-func (t *Table) loadFresh() *linearquad.Frozen[Record] {
-	s := t.snap.Load()
-	if s != nil && s.frozen != nil && s.epoch == t.epoch.Load() {
-		return s.frozen
-	}
-	return nil
+// Shards returns the number of spatial shards (4^ShardBits).
+func (t *Table) Shards() int { return len(t.shards) }
+
+// shardIndexOf returns the index of the shard owning p: the locational
+// code of p's level-k cell. Points outside the region land in the
+// nearest boundary shard, whose tree then rejects them with the same
+// out-of-region error a single-shard table produces.
+func (t *Table) shardIndexOf(p geom.Point) int {
+	return int(t.region.CellOf(p, t.shardLevels))
 }
 
-// rebuildLocked freezes the index and publishes the snapshot. The
-// caller must hold t.mu (read or write); under either the epoch is
-// stable, so the published snapshot is exact for its stamp. A freeze
-// failure (ErrTooDeep) is published as an empty marker so queries stop
-// retrying until the table changes again.
-func (t *Table) rebuildLocked() (*linearquad.Frozen[Record], error) {
-	f, err := linearquad.Freeze(t.index)
-	t.snap.Store(&snapshot{frozen: f, epoch: t.epoch.Load()})
-	return f, err
+// shardOf returns the shard owning p.
+func (t *Table) shardOf(p geom.Point) *shard {
+	return t.shards[t.shardIndexOf(p)]
 }
 
-// maybeRebuildLocked rebuilds the snapshot if it is missing or stale by
-// at least the threshold, returning a frozen view that matches the live
-// index exactly (nil when no rebuild happened or the tree cannot be
-// frozen). The caller must hold at least the read lock.
-func (t *Table) maybeRebuildLocked() *linearquad.Frozen[Record] {
-	s := t.snap.Load()
-	e := t.epoch.Load()
-	if s != nil && e-s.epoch < t.snapEvery {
+// shardsOverlapping returns the shards whose cell touches the closed
+// query rectangle, ascending by shard index — the order every
+// multi-shard lock acquisition and result merge uses. The overlap test
+// is the same closed-vs-half-open predicate the tree traversals prune
+// with, so shard pruning can never drop a boundary match.
+func (t *Table) shardsOverlapping(query geom.Rect) []*shard {
+	if len(t.shards) == 1 {
+		if t.shards[0].region.OverlapsClosed(query) {
+			return t.shards
+		}
 		return nil
 	}
-	if !t.rebuilding.CompareAndSwap(false, true) {
-		return nil // another reader is already freezing this state
+	out := make([]*shard, 0, 4)
+	for _, s := range t.shards {
+		if s.region.OverlapsClosed(query) {
+			out = append(out, s)
+		}
 	}
-	defer t.rebuilding.Store(false)
-	f, _ := t.rebuildLocked()
-	return f
+	return out
 }
 
-// Compact rebuilds the table's frozen snapshot immediately, restoring
+// Compact rebuilds every shard's frozen snapshot immediately, restoring
 // the lock-free read path after a write burst without waiting for the
-// mutation threshold. It runs under the read lock (concurrent queries
-// proceed; writers wait). The only possible error is a tree too deep
-// to Morton-encode (linearquad.ErrTooDeep), in which case reads keep
-// falling back to the live tree.
+// mutation threshold. Each shard compacts under its own read lock
+// (concurrent queries proceed; writers to that shard wait briefly), so
+// one hot region never stalls the others. The returned error is the
+// first rebuild failure — a tree too deep to Morton-encode
+// (linearquad.ErrTooDeep) or an injected fault — in which case reads on
+// the affected shards keep falling back to their live trees.
 func (t *Table) Compact() error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	_, err := t.rebuildLocked()
-	return err
+	var firstErr error
+	for _, s := range t.shards {
+		if err := s.compact(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }
 
-// Len returns the number of records.
+// Len returns the number of records. It reads the shards' atomic
+// counters and never blocks behind a writer; a Len that overlaps
+// in-flight writes reflects some subset of them.
 func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.index.Len()
+	n := int64(0)
+	for _, s := range t.shards {
+		n += s.count.Load()
+	}
+	return int(n)
 }
 
 // SolveAttempts returns the solver fallback-ladder log from table
@@ -390,7 +485,9 @@ func (t *Table) SolveAttempts() []solver.Attempt { return t.attempts }
 // underlying structure). Locations with NaN or infinite coordinates are
 // rejected with ErrInvalidPoint. An injected fault fails the insert
 // before any state changes, so a failed insert never leaves a partial
-// record behind.
+// record behind. Only the target shard (and the ID's stripe) is
+// locked, so concurrent inserts into different regions of space do not
+// contend.
 func (t *Table) Insert(rec Record) error {
 	if err := validatePoint(rec.Loc); err != nil {
 		return fmt.Errorf("spatialdb: insert into %q: %w", t.name, err)
@@ -399,37 +496,45 @@ func (t *Table) Insert(rec Record) error {
 	if err := t.inj.Err(faultinject.InsertFault); err != nil {
 		return fmt.Errorf("spatialdb: insert into %q: %w", t.name, err)
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if _, exists := t.byID[rec.ID]; exists {
+	s := t.shardOf(rec.Loc)
+	st := t.ids.stripe(rec.ID)
+	// Lock order: shard, then stripe.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, exists := st.m[rec.ID]; exists {
 		return fmt.Errorf("%w: %d", ErrDuplicateID, rec.ID)
 	}
-	t.epoch.Add(1) // invalidate the frozen snapshot before mutating
-	replaced, err := t.index.Insert(rec.Loc, rec)
-	if err != nil {
-		return fmt.Errorf("spatialdb: insert into %q: %w", t.name, err)
-	}
-	if replaced {
-		// Another record occupied this exact location; restore it and
-		// report the conflict.
+	if s.index.Contains(rec.Loc) {
 		return fmt.Errorf("spatialdb: insert into %q: location %v already occupied", t.name, rec.Loc)
 	}
-	t.byID[rec.ID] = rec.Loc
+	s.epoch.Add(1) // invalidate the frozen snapshot before mutating
+	if _, err := s.index.Insert(rec.Loc, rec); err != nil {
+		return fmt.Errorf("spatialdb: insert into %q: %w", t.name, err)
+	}
+	st.m[rec.ID] = rec.Loc
+	s.count.Add(1)
 	return nil
 }
 
 // InsertBatch adds a batch of records atomically: the whole batch is
-// validated — points finite, IDs unique (within the batch and against the
-// table), locations distinct — before anything is inserted, so on error
-// the table is unchanged. The records are then bulk-loaded into the index
-// under a single write-lock acquisition, which both amortizes the lock
-// and lets the quadtree route the batch in one partitioning pass instead
-// of one root-to-leaf descent per record. Concurrent readers never
-// observe a partially applied batch.
+// validated — points finite and in-region, IDs unique (within the batch
+// and against the table), locations distinct — before anything is
+// inserted, so on error the table is unchanged. The batch is then
+// partitioned by shard and each sub-batch bulk-loaded into its shard's
+// tree, with every involved shard write lock (ascending index order,
+// deadlock-free) held until the last sub-batch lands — so concurrent
+// readers, which hold all their target shards' read locks for the whole
+// scan, never observe a partially applied batch.
 func (t *Table) InsertBatch(recs []Record) error {
 	for i := range recs {
 		if err := validatePoint(recs[i].Loc); err != nil {
 			return fmt.Errorf("spatialdb: insert batch into %q: record %d: %w", t.name, i, err)
+		}
+		if !t.region.Contains(recs[i].Loc) {
+			return fmt.Errorf("spatialdb: insert batch into %q: %w: %v not in %v",
+				t.name, quadtree.ErrOutOfRegion, recs[i].Loc, t.region)
 		}
 	}
 	t.inj.Delay(faultinject.InsertLatency)
@@ -439,8 +544,28 @@ func (t *Table) InsertBatch(recs []Record) error {
 	if len(recs) == 0 {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	// Partition by shard; involved shards in ascending index order.
+	byShard := make([][]int, len(t.shards))
+	involved := make([]int, 0, 4)
+	var stripeMask uint32
+	for i := range recs {
+		si := t.shardIndexOf(recs[i].Loc)
+		if byShard[si] == nil {
+			involved = append(involved, si)
+		}
+		byShard[si] = append(byShard[si], i)
+		stripeMask |= 1 << (recs[i].ID % idStripes)
+	}
+	sort.Ints(involved)
+	targets := make([]*shard, len(involved))
+	for i, si := range involved {
+		targets[i] = t.shards[si]
+	}
+	lockShards(targets)
+	defer unlockShards(targets)
+	t.ids.lockStripes(stripeMask)
+	defer t.ids.unlockStripes(stripeMask)
+	// Validate against the locked state.
 	seenID := make(map[uint64]struct{}, len(recs))
 	seenLoc := make(map[geom.Point]struct{}, len(recs))
 	for i := range recs {
@@ -448,349 +573,105 @@ func (t *Table) InsertBatch(recs []Record) error {
 		if _, dup := seenID[id]; dup {
 			return fmt.Errorf("spatialdb: insert batch into %q: %w: %d repeated in batch", t.name, ErrDuplicateID, id)
 		}
-		if _, exists := t.byID[id]; exists {
+		if _, exists := t.ids.stripe(id).m[id]; exists {
 			return fmt.Errorf("%w: %d", ErrDuplicateID, id)
 		}
 		if _, dup := seenLoc[loc]; dup {
 			return fmt.Errorf("spatialdb: insert batch into %q: location %v repeated in batch", t.name, loc)
 		}
-		if t.index.Contains(loc) {
+		if t.shardOf(loc).index.Contains(loc) {
 			return fmt.Errorf("spatialdb: insert batch into %q: location %v already occupied", t.name, loc)
 		}
 		seenID[id] = struct{}{}
 		seenLoc[loc] = struct{}{}
 	}
-	points := make([]geom.Point, len(recs))
-	for i := range recs {
-		points[i] = recs[i].Loc
-	}
-	t.epoch.Add(uint64(len(recs))) // invalidate the snapshot before mutating
-	if _, err := t.index.BulkLoad(points, recs); err != nil {
-		return fmt.Errorf("spatialdb: insert batch into %q: %w", t.name, err)
-	}
-	for i := range recs {
-		t.byID[recs[i].ID] = recs[i].Loc
+	// Apply per shard. Validation above covered every BulkLoad failure
+	// mode (region membership, duplicate locations), so the loop cannot
+	// fail partway.
+	for _, si := range involved {
+		s := t.shards[si]
+		idxs := byShard[si]
+		points := make([]geom.Point, len(idxs))
+		vals := make([]Record, len(idxs))
+		for j, ri := range idxs {
+			points[j] = recs[ri].Loc
+			vals[j] = recs[ri]
+		}
+		s.epoch.Add(uint64(len(idxs))) // invalidate the snapshot before mutating
+		if _, err := s.index.BulkLoad(points, vals); err != nil {
+			return fmt.Errorf("spatialdb: insert batch into %q: %w", t.name, err)
+		}
+		s.count.Add(int64(len(idxs)))
+		for _, ri := range idxs {
+			t.ids.stripe(recs[ri].ID).m[recs[ri].ID] = recs[ri].Loc
+		}
 	}
 	return nil
 }
 
-// Get returns the record with the given ID.
+// Get returns the record with the given ID. On a quiescent shard it is
+// served from the frozen snapshot without locking.
 func (t *Table) Get(id uint64) (Record, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	loc, ok := t.byID[id]
+	loc, ok := t.ids.lookup(id)
 	if !ok {
 		return Record{}, false
 	}
-	rec, ok := t.index.Get(loc)
-	return rec, ok
+	s := t.shardOf(loc)
+	if f, _ := s.loadFresh(); f != nil {
+		if rec, ok := f.Get(loc); ok && rec.ID == id {
+			return rec, true
+		}
+		// A concurrent delete/re-insert may have raced the lookup; the
+		// locked read below is authoritative.
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.index.Get(loc)
+	if !ok || rec.ID != id {
+		return Record{}, false
+	}
+	return rec, true
 }
 
-// Delete removes the record with the given ID.
+// Delete removes the record with the given ID, locking only the shard
+// that holds it. The location is looked up first and re-verified under
+// the shard lock; if a concurrent delete+insert moved the ID between
+// the two reads, the deletion retries against the new location.
 func (t *Table) Delete(id uint64) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	loc, ok := t.byID[id]
+	for {
+		loc, ok := t.ids.lookup(id)
+		if !ok {
+			return false
+		}
+		done, deleted := t.deleteAt(id, loc)
+		if done {
+			return deleted
+		}
+	}
+}
+
+// deleteAt removes id if it still lives at loc. done=false means the ID
+// relocated between lookup and lock (retry with a fresh lookup).
+func (t *Table) deleteAt(id uint64, loc geom.Point) (done, deleted bool) {
+	s := t.shardOf(loc)
+	st := t.ids.stripe(id)
+	// Lock order: shard, then stripe.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cur, ok := st.m[id]
 	if !ok {
-		return false
+		return true, false
 	}
-	t.epoch.Add(1) // invalidate the frozen snapshot before mutating
-	delete(t.byID, id)
-	return t.index.Delete(loc)
-}
-
-// Query is a spatial selection: exactly one of Window, Nearest, or
-// Within must be set; Filter optionally post-filters records.
-type Query struct {
-	// Window selects records inside a closed rectangle.
-	Window *geom.Rect
-	// Nearest selects the K records closest to At.
-	Nearest *NearestSpec
-	// Within selects records within Radius of At.
-	Within *WithinSpec
-	// Filter keeps only records for which it returns true (applied
-	// after the spatial predicate). Nil keeps everything. The filter
-	// runs under the table's read lock and must not call back into the
-	// same table's mutating methods.
-	Filter func(Record) bool
-	// MaxNodes, when positive, bounds the number of index nodes a
-	// window or radius query may visit. A query that exhausts the
-	// budget returns the partial result accumulated so far with
-	// Cost.Truncated set, degrading gracefully instead of traversing
-	// without bound. Zero means unlimited. Nearest queries ignore it
-	// (their work is bounded by K).
-	MaxNodes int
-}
-
-// NearestSpec parameterizes a k-nearest query.
-type NearestSpec struct {
-	At geom.Point
-	K  int
-}
-
-// WithinSpec parameterizes a radius query.
-type WithinSpec struct {
-	At     geom.Point
-	Radius float64
-}
-
-// Cost is the measured work of executing a query.
-type Cost struct {
-	NodesVisited   int
-	LeavesVisited  int
-	RecordsScanned int
-	// Truncated reports that the query's MaxNodes budget stopped the
-	// traversal early; the returned records are a partial result.
-	Truncated bool
-}
-
-// ranger abstracts the two range-serving representations — the live
-// quadtree and the frozen linear snapshot — which share the budgeted
-// traversal signature, so Select and CountRange are written once.
-type ranger interface {
-	RangeBudgeted(geom.Rect, int, quadtree.Visit[Record]) quadtree.RangeStats
-	CountRangeBudgeted(geom.Rect, int) quadtree.RangeStats
-}
-
-// Select executes the query and returns matching records with the
-// measured cost. Results of window/radius queries are in no particular
-// order; nearest queries return closest-first.
-//
-// Window and radius queries on a quiescent table — no mutation since
-// the snapshot was built — are served from the frozen linear snapshot
-// without acquiring the table lock; otherwise they fall back to the
-// live tree under the read lock, rebuilding the snapshot once the
-// mutation threshold is reached. Both paths honor MaxNodes and report
-// the same Cost fields.
-func (t *Table) Select(q Query) ([]Record, Cost, error) {
-	if err := q.validate(); err != nil {
-		return nil, Cost{}, err
+	if cur != loc {
+		return false, false
 	}
-	t.inj.Delay(faultinject.QueryLatency)
-	keep := q.Filter
-	if keep == nil {
-		keep = func(Record) bool { return true }
+	s.epoch.Add(1) // invalidate the frozen snapshot before mutating
+	delete(st.m, id)
+	if s.index.Delete(loc) {
+		s.count.Add(-1)
+		return true, true
 	}
-	if q.Nearest == nil {
-		// Lock-free fast path: a snapshot stamped with the current
-		// epoch is an exact copy of the index.
-		if f := t.loadFresh(); f != nil {
-			out, cost := selectRange(f, q, keep)
-			return out, cost, nil
-		}
-	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if q.Nearest != nil {
-		pts := t.index.KNearest(q.Nearest.At, q.Nearest.K)
-		out := make([]Record, 0, len(pts))
-		for _, p := range pts {
-			if rec, ok := t.index.Get(p); ok && keep(rec) {
-				out = append(out, rec)
-			}
-		}
-		// KNearest is not instrumented; report the records touched.
-		return out, Cost{RecordsScanned: len(pts)}, nil
-	}
-	// Stale (or absent) snapshot: rebuild it if the table has absorbed
-	// enough mutations, and serve this query from whichever
-	// representation is current under the read lock.
-	var idx ranger = t.index
-	if f := t.maybeRebuildLocked(); f != nil {
-		idx = f
-	}
-	out, cost := selectRange(idx, q, keep)
-	return out, cost, nil
-}
-
-// selectRange serves a window or radius query from idx (the live tree
-// or a frozen snapshot; exactly one of q.Window/q.Within is set).
-func selectRange(idx ranger, q Query, keep func(Record) bool) ([]Record, Cost) {
-	var out []Record
-	var st quadtree.RangeStats
-	if q.Window != nil {
-		st = idx.RangeBudgeted(*q.Window, q.MaxNodes, func(_ geom.Point, r Record) bool {
-			if keep(r) {
-				out = append(out, r)
-			}
-			return true
-		})
-	} else {
-		w := q.Within
-		r2 := w.Radius * w.Radius
-		box := geom.R(w.At.X-w.Radius, w.At.Y-w.Radius, w.At.X+w.Radius, w.At.Y+w.Radius)
-		st = idx.RangeBudgeted(box, q.MaxNodes, func(p geom.Point, rec Record) bool {
-			if p.Dist2(w.At) <= r2 && keep(rec) {
-				out = append(out, rec)
-			}
-			return true
-		})
-	}
-	return out, Cost{st.NodesVisited, st.LeavesVisited, st.RecordsScanned, st.Truncated}
-}
-
-// CountRange returns the number of records inside the closed window
-// with the measured cost, without materializing the records. It uses
-// the same budgeted traversal as a window Select — Cost.Truncated is
-// reported identically for the same window and budget — and the same
-// snapshot fast path: on a quiescent table it runs lock-free and
-// allocation-free.
-func (t *Table) CountRange(window geom.Rect, maxNodes int) (int, Cost, error) {
-	if err := validateRegion(window); err != nil {
-		return 0, Cost{}, err
-	}
-	t.inj.Delay(faultinject.QueryLatency)
-	if f := t.loadFresh(); f != nil {
-		st := f.CountRangeBudgeted(window, maxNodes)
-		return st.Matched, Cost{st.NodesVisited, st.LeavesVisited, st.RecordsScanned, st.Truncated}, nil
-	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	var idx ranger = t.index
-	if f := t.maybeRebuildLocked(); f != nil {
-		idx = f
-	}
-	st := idx.CountRangeBudgeted(window, maxNodes)
-	return st.Matched, Cost{st.NodesVisited, st.LeavesVisited, st.RecordsScanned, st.Truncated}, nil
-}
-
-func (q Query) validate() error {
-	set := 0
-	if q.Window != nil {
-		set++
-		if err := validateRegion(*q.Window); err != nil {
-			return err
-		}
-	}
-	if q.Nearest != nil {
-		set++
-		if err := validatePoint(q.Nearest.At); err != nil {
-			return err
-		}
-		if q.Nearest.K <= 0 {
-			return fmt.Errorf("spatialdb: nearest K %d <= 0", q.Nearest.K)
-		}
-	}
-	if q.Within != nil {
-		set++
-		if err := validatePoint(q.Within.At); err != nil {
-			return err
-		}
-		if math.IsNaN(q.Within.Radius) || math.IsInf(q.Within.Radius, 0) || q.Within.Radius <= 0 {
-			return fmt.Errorf("spatialdb: radius %g must be a positive finite number", q.Within.Radius)
-		}
-	}
-	if set != 1 {
-		return fmt.Errorf("spatialdb: query must set exactly one of Window, Nearest, Within (got %d)", set)
-	}
-	return nil
-}
-
-// Estimate is the model-based prediction Explain produces.
-type Estimate struct {
-	// Blocks is the expected number of leaf blocks the query touches.
-	Blocks float64
-	// Records is the expected number of records scanned.
-	Records float64
-	// Selectivity is the fraction of the table expected to match.
-	Selectivity float64
-	// Approximate marks estimates derived from the closed-form
-	// occupancy heuristic because every solver rung failed at table
-	// creation; treat them as order-of-magnitude guidance.
-	Approximate bool
-}
-
-// Explain predicts the cost of a query from the population model before
-// running it: the table holds ~n/occ blocks; a window of area fraction
-// s touches about s·L interior blocks plus a boundary band of about
-// perimeter/blockSide blocks, with blockSide = sqrt(region/L).
-func (t *Table) Explain(q Query) (Estimate, error) {
-	if err := q.validate(); err != nil {
-		return Estimate{}, err
-	}
-	var n float64
-	var region geom.Rect
-	if f := t.loadFresh(); f != nil {
-		// Quiescent table: estimate from the snapshot, lock-free.
-		n = float64(f.Len())
-		region = f.Region()
-	} else {
-		t.mu.RLock()
-		n = float64(t.index.Len())
-		region = t.index.Region()
-		t.mu.RUnlock()
-	}
-	if n == 0 {
-		return Estimate{Approximate: t.occApprox}, nil
-	}
-	leaves := math.Max(n/t.occ, 1)
-	est := func(w geom.Rect) Estimate {
-		// Clip the window to the region.
-		minX := math.Max(w.MinX, region.MinX)
-		minY := math.Max(w.MinY, region.MinY)
-		maxX := math.Min(w.MaxX, region.MaxX)
-		maxY := math.Min(w.MaxY, region.MaxY)
-		if minX >= maxX || minY >= maxY {
-			return Estimate{Approximate: t.occApprox}
-		}
-		cw, ch := maxX-minX, maxY-minY
-		frac := cw * ch / region.Area()
-		side := math.Sqrt(region.Area() / leaves) // typical block side
-		boundary := 2 * (cw + ch) / side          // blocks straddling the edge
-		blocks := math.Min(frac*leaves+boundary+1, leaves)
-		return Estimate{
-			Blocks:      blocks,
-			Records:     blocks * t.occ,
-			Selectivity: frac,
-			Approximate: t.occApprox,
-		}
-	}
-	switch {
-	case q.Window != nil:
-		return est(*q.Window), nil
-	case q.Within != nil:
-		w := q.Within
-		e := est(geom.R(w.At.X-w.Radius, w.At.Y-w.Radius, w.At.X+w.Radius, w.At.Y+w.Radius))
-		// A disc covers π/4 of its bounding box.
-		e.Selectivity *= math.Pi / 4
-		return e, nil
-	default:
-		// K nearest: expect to inspect ~K records plus one block's
-		// worth of neighbors.
-		k := float64(q.Nearest.K)
-		return Estimate{
-			Blocks:      math.Min(k/t.occ+1, leaves),
-			Records:     k + t.occ,
-			Selectivity: k / n,
-			Approximate: t.occApprox,
-		}, nil
-	}
-}
-
-// Stats summarizes the table for monitoring: measured occupancy next to
-// the model prediction it should hover near.
-type Stats struct {
-	Records           int
-	Blocks            int
-	Height            int
-	MeasuredOccupancy float64
-	ModelOccupancy    float64
-	// ModelApproximate marks ModelOccupancy as the closed-form
-	// heuristic rather than a solved distribution.
-	ModelApproximate bool
-}
-
-// Stats returns the table's current statistics.
-func (t *Table) Stats() Stats {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	c := t.index.Census()
-	return Stats{
-		Records:           t.index.Len(),
-		Blocks:            c.Leaves,
-		Height:            c.Height,
-		MeasuredOccupancy: c.AverageOccupancy(),
-		ModelOccupancy:    t.occ,
-		ModelApproximate:  t.occApprox,
-	}
+	return true, false
 }

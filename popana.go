@@ -261,6 +261,15 @@ type (
 	WithinSpec  = spatialdb.WithinSpec
 )
 
+// SpatialTableOptions parameterizes SpatialDB.CreateTableWith: node
+// capacity, region, shard-key depth (ShardBits), and the snapshot
+// staleness threshold.
+type SpatialTableOptions = spatialdb.TableOptions
+
+// SpatialSingleShard, passed as SpatialTableOptions.ShardBits, forces a
+// single-shard table — bit-identical to the pre-sharding engine.
+const SpatialSingleShard = spatialdb.SingleShard
+
 // NewSpatialDB returns an empty spatial database.
 func NewSpatialDB() *SpatialDB { return spatialdb.NewDB() }
 
@@ -286,6 +295,9 @@ const (
 	FaultInsertLatency = faultinject.InsertLatency
 	// FaultQueryLatency delays a table select.
 	FaultQueryLatency = faultinject.QueryLatency
+	// FaultSnapshotRebuild fails a shard's frozen-snapshot rebuild;
+	// queries on that shard fall back to its live tree.
+	FaultSnapshotRebuild = faultinject.SnapshotRebuild
 )
 
 // Typed errors of the spatial layer, matchable with errors.Is.
