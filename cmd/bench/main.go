@@ -105,6 +105,14 @@ func run(out, label, baseline string, threshold float64, short bool, benchtime t
 		fmt.Printf("wrote heap profile %s\n", memprof)
 	}
 	report.When = time.Now().UTC().Format(time.RFC3339)
+	// Every gate this run could not apply is announced with a SKIPPED
+	// line and recorded in the report's gates_skipped field, so a green
+	// run that proved less than usual is loud about it both on the
+	// console and in the archived JSON.
+	skipGate := func(gate, reason string) {
+		fmt.Printf("%s gate SKIPPED (%s)\n", gate, reason)
+		report.GatesSkipped = append(report.GatesSkipped, gate+": "+reason)
+	}
 	// The sharded write path's headline claim: with 8 writers the
 	// sharded table beats the single-lock baseline by at least 2x. The
 	// gate only fires on machines with enough cores for 8 workers to
@@ -117,9 +125,33 @@ func run(out, label, baseline string, threshold float64, short bool, benchtime t
 		fmt.Printf("parallel-insert speedup at 8 workers (sharded vs single-lock): %.2fx\n", sp)
 		switch {
 		case runtime.NumCPU() < 4:
-			fmt.Printf("speedup gate skipped: %d CPU(s) available, assertion needs >= 4\n", runtime.NumCPU())
+			skipGate("parallel-insert-speedup",
+				fmt.Sprintf("%d CPU(s) available, assertion needs >= 4", runtime.NumCPU()))
 		case sp < 2:
 			speedupErr = fmt.Errorf("parallel-insert speedup %.2fx at 8 workers is below the 2x gate", sp)
+		}
+	} else {
+		skipGate("parallel-insert-speedup", "ParallelInsert benchmarks not in this run")
+	}
+	// The baseline is resolved before the report is written so skipped
+	// gates — an absent baseline, a cross-machine timing skip — land in
+	// the JSON, not just on the console.
+	basePath, err := resolveBaseline(baseline, out)
+	if err != nil {
+		return err
+	}
+	var base bench.Report
+	if basePath == "" {
+		skipGate("regression", "no baseline BENCH_*.json found")
+	} else {
+		base, err = bench.ReadFile(basePath)
+		if err != nil {
+			return err
+		}
+		if !bench.ComparableTiming(base, report) {
+			skipGate("regression-timing",
+				fmt.Sprintf("baseline ran on %s/%s, this run on %s/%s; comparing allocs/op only",
+					base.GOOS, base.GOARCH, report.GOOS, report.GOARCH))
 		}
 	}
 	if out != "" {
@@ -128,17 +160,8 @@ func run(out, label, baseline string, threshold float64, short bool, benchtime t
 		}
 		fmt.Printf("wrote %s (%d benchmarks)\n", out, len(report.Results))
 	}
-	basePath, err := resolveBaseline(baseline, out)
-	if err != nil {
-		return err
-	}
 	if basePath == "" {
-		fmt.Println("no baseline report found; skipping regression check")
 		return speedupErr
-	}
-	base, err := bench.ReadFile(basePath)
-	if err != nil {
-		return err
 	}
 	regs := bench.Compare(base, report, threshold)
 	if len(regs) == 0 {

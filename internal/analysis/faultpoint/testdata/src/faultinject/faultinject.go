@@ -7,10 +7,14 @@ package faultinject
 // Point names one fault-injection site.
 type Point string
 
-// The canonical point list.
+// The canonical point list, including the durability-path points the
+// real registry grew with the tiered-storage engine.
 const (
-	InsertFault  Point = "insert.fault"
-	QueryLatency Point = "query.latency"
+	InsertFault           Point = "insert.fault"
+	QueryLatency          Point = "query.latency"
+	WALTornWrite          Point = "wal.append.torn"
+	SegmentPartialFlush   Point = "segment.flush.partial"
+	CompactionInterrupted Point = "segment.compact.interrupt"
 )
 
 // Injector arms points by name.

@@ -18,3 +18,12 @@ func Status(inj *faultinject.Injector) error {
 	const p = faultinject.QueryLatency
 	return inj.Err(p)
 }
+
+// Crash arms the durability-path points: the registered names pass, a
+// stale pre-registration spelling is flagged like any other typo.
+func Crash(inj *faultinject.Injector) {
+	_ = inj.Err(faultinject.WALTornWrite)        // registered constant: allowed
+	_ = inj.Err(faultinject.SegmentPartialFlush) // registered constant: allowed
+	faultinject.Fire(faultinject.CompactionInterrupted)
+	_ = inj.Err("segment.compaction.interrupted") // want `not registered in the canonical point list`
+}

@@ -41,6 +41,7 @@ func Suite(short bool) []Spec {
 	}
 	specs = append(specs, frozenSpecs(short)...)
 	specs = append(specs, concurrentSpecs()...)
+	specs = append(specs, durableSpecs()...)
 	if !short {
 		specs = append(specs,
 			Spec{"Table1ExpectedDistribution", benchTable1},

@@ -1,0 +1,124 @@
+// durable.go holds the durable-table benchmarks: the per-record
+// WAL-append insert path, the flush path that seals a WAL into a run
+// file, and crash-recovery replay. Each works against a fresh temp
+// directory so runs never contaminate each other.
+package bench
+
+import (
+	"testing"
+
+	"popana/internal/spatialdb"
+)
+
+func durableSpecs() []Spec {
+	return []Spec{
+		{"DurableInsert", benchDurableInsert},
+		{"DurableFlush", benchDurableFlush},
+		{"DurableRecover", benchDurableRecover},
+	}
+}
+
+// durableBatch is the record count of one durable benchmark op.
+const durableBatch = 1000
+
+func newDurableTable(b *testing.B) *spatialdb.Table {
+	b.Helper()
+	db := spatialdb.NewDB()
+	tab, err := db.CreateDurableTable("t",
+		spatialdb.TableOptions{Capacity: 8, ShardBits: shardedBits},
+		spatialdb.DurableOptions{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tab
+}
+
+// benchDurableInsert measures the per-record durable insert path: a WAL
+// append plus the in-memory index insert. One op = durableBatch single
+// inserts into a fresh table; construction and teardown are outside the
+// timer.
+func benchDurableInsert(b *testing.B) {
+	recs := uniformRecords(b, durableBatch, 91)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tab := newDurableTable(b)
+		b.StartTimer()
+		for _, r := range recs {
+			if err := tab.Insert(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		tab.Kill()
+		b.StartTimer()
+	}
+	b.ReportMetric(durableBatch, "records/op")
+}
+
+// benchDurableFlush measures sealing a populated WAL into a sorted
+// delta run: one op = a durableBatch insert batch plus the Flush that
+// folds it to disk.
+func benchDurableFlush(b *testing.B) {
+	recs := uniformRecords(b, durableBatch, 92)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tab := newDurableTable(b)
+		b.StartTimer()
+		if err := tab.InsertBatch(recs); err != nil {
+			b.Fatal(err)
+		}
+		if err := tab.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		tab.Kill()
+		b.StartTimer()
+	}
+	b.ReportMetric(durableBatch, "records/op")
+}
+
+// benchDurableRecover measures crash-recovery replay: a table killed
+// with sealed runs plus a live WAL tail is reopened once per op. The
+// on-disk state is built once; recovery does not mutate a cleanly
+// killed directory, so every iteration replays the same ladder.
+func benchDurableRecover(b *testing.B) {
+	const n = 5 * durableBatch
+	opts := spatialdb.TableOptions{Capacity: 8, ShardBits: shardedBits}
+	dopts := spatialdb.DurableOptions{Dir: b.TempDir()}
+	recs := uniformRecords(b, n, 93)
+	tab, err := spatialdb.NewDB().CreateDurableTable("t", opts, dopts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tab.InsertBatch(recs[:4*durableBatch]); err != nil {
+		b.Fatal(err)
+	}
+	if err := tab.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range recs[4*durableBatch:] {
+		if err := tab.Insert(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	tab.Kill()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := spatialdb.NewDB().OpenDurableTable("t", opts, dopts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tab.Len() != n {
+			b.Fatalf("recovered %d records, want %d", tab.Len(), n)
+		}
+		b.StopTimer()
+		tab.Kill()
+		b.StartTimer()
+	}
+	b.ReportMetric(n, "records/op")
+}

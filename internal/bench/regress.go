@@ -27,8 +27,14 @@ type Report struct {
 	// the 8-worker parallel-insert benchmark (single ns/op divided by
 	// sharded ns/op), recorded when both benchmarks ran. cmd/bench
 	// gates on it on multi-core machines.
-	ParallelInsertSpeedup8W float64  `json:"parallel_insert_speedup_8w,omitempty"`
-	Results                 []Result `json:"results"`
+	ParallelInsertSpeedup8W float64 `json:"parallel_insert_speedup_8w,omitempty"`
+	// GatesSkipped lists the acceptance gates cmd/bench could not apply
+	// to this run and why, as "gate: reason" strings. A green run that
+	// proved less than usual (too few CPUs for the speedup gate, no
+	// baseline, cross-machine timing) says so in the report itself, not
+	// only on the console.
+	GatesSkipped []string `json:"gates_skipped,omitempty"`
+	Results      []Result `json:"results"`
 }
 
 // InsertSpeedup8 computes the 8-worker parallel-insert speedup of the
@@ -146,6 +152,14 @@ func (g Regression) String() string {
 	return fmt.Sprintf("%s: %s %.4g -> %.4g (%.2fx)", g.Name, g.Metric, g.Old, g.New, g.Ratio)
 }
 
+// ComparableTiming reports whether ns/op comparisons between the two
+// reports are meaningful: both must come from the same GOOS/GOARCH.
+// Compare applies this internally; cmd/bench checks it up front so the
+// timing skip is announced and recorded rather than silent.
+func ComparableTiming(baseline, current Report) bool {
+	return baseline.GOOS == current.GOOS && baseline.GOARCH == current.GOARCH
+}
+
 // Compare flags benchmarks present in both reports whose ns/op or
 // allocs/op grew by more than threshold (0.20 = +20%). Benchmarks only
 // in one report are ignored — the suite is allowed to grow. Timing
@@ -156,7 +170,7 @@ func Compare(baseline, current Report, threshold float64) []Regression {
 	for _, r := range baseline.Results {
 		old[r.Name] = r
 	}
-	comparableTiming := baseline.GOOS == current.GOOS && baseline.GOARCH == current.GOARCH
+	comparableTiming := ComparableTiming(baseline, current)
 	var regs []Regression
 	for _, cur := range current.Results {
 		base, ok := old[cur.Name]

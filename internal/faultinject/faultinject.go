@@ -51,6 +51,27 @@ const (
 	// complete; queries on that shard keep falling back to its live
 	// tree.
 	SnapshotRebuild Point = "spatialdb.snapshot.rebuild"
+	// WALTornWrite tears a write-ahead-log append mid-frame: only a
+	// prefix of the record reaches the file, the append reports
+	// failure, and the log poisons itself — exactly the state a crash
+	// during the write syscall leaves behind. Recovery must discard the
+	// torn tail.
+	WALTornWrite Point = "wal.append.torn"
+	// SegmentPartialFlush cuts a sealed-run write short: the segment
+	// file ends mid-block with no footer, and the flush reports
+	// failure before the WAL is truncated. Recovery must treat the run
+	// as torn and fall back to the previous runs plus the WAL.
+	SegmentPartialFlush Point = "segment.flush.partial"
+	// SegmentCorruption damages a sealed-run block after its checksum
+	// was computed (and suppresses the footer), simulating garbage
+	// reaching the platter during a crash. The flush reports failure;
+	// recovery must reject the run by checksum and fall back.
+	SegmentCorruption Point = "segment.write.corrupt"
+	// CompactionInterrupted kills a disk compaction after the merged
+	// run is durable but before the superseded runs are deleted.
+	// Recovery must prefer the newest sealed run and ignore the
+	// leftovers.
+	CompactionInterrupted Point = "segment.compact.interrupt"
 )
 
 // allPoints is the canonical registry of every failure point wired into
@@ -67,6 +88,18 @@ var allPoints = []Point{
 	InsertLatency,
 	QueryLatency,
 	SnapshotRebuild,
+	WALTornWrite,
+	SegmentPartialFlush,
+	SegmentCorruption,
+	CompactionInterrupted,
+}
+
+// DurabilityPoints returns the registered failure points on the
+// durability path — WAL append, segment flush, and compaction — the set
+// the crash-recovery chaos suite must cover one by one. The returned
+// slice is a copy.
+func DurabilityPoints() []Point {
+	return []Point{WALTornWrite, SegmentPartialFlush, SegmentCorruption, CompactionInterrupted}
 }
 
 // Points returns the canonical list of registered failure points, in

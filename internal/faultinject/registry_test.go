@@ -55,12 +55,16 @@ func TestPointRegistryComplete(t *testing.T) {
 	// Map declared constant names to values via a registry lookup: each
 	// declared constant must be present among the registered values.
 	byName := map[string]Point{
-		"SolverNewton":     SolverNewton,
-		"SolverFixedPoint": SolverFixedPoint,
-		"InsertFault":      InsertFault,
-		"InsertLatency":    InsertLatency,
-		"QueryLatency":     QueryLatency,
-		"SnapshotRebuild":  SnapshotRebuild,
+		"SolverNewton":          SolverNewton,
+		"SolverFixedPoint":      SolverFixedPoint,
+		"InsertFault":           InsertFault,
+		"InsertLatency":         InsertLatency,
+		"QueryLatency":          QueryLatency,
+		"SnapshotRebuild":       SnapshotRebuild,
+		"WALTornWrite":          WALTornWrite,
+		"SegmentPartialFlush":   SegmentPartialFlush,
+		"SegmentCorruption":     SegmentCorruption,
+		"CompactionInterrupted": CompactionInterrupted,
 	}
 	for name := range declared {
 		v, ok := byName[name]
@@ -94,6 +98,29 @@ func TestPointNamingConvention(t *testing.T) {
 				t.Errorf("point %q has an empty dotted component", p)
 			}
 		}
+	}
+}
+
+// TestDurabilityPointsRegistered pins the durability chaos set: every
+// point DurabilityPoints returns must be registered in Points(), and
+// the returned slice must be caller-mutation-safe like Points() is.
+func TestDurabilityPointsRegistered(t *testing.T) {
+	registered := map[Point]bool{}
+	for _, p := range Points() {
+		registered[p] = true
+	}
+	dp := DurabilityPoints()
+	if len(dp) == 0 {
+		t.Fatal("no durability points registered")
+	}
+	for _, p := range dp {
+		if !registered[p] {
+			t.Errorf("durability point %q not in Points()", p)
+		}
+	}
+	dp[0] = "mutated"
+	if again := DurabilityPoints(); again[0] == "mutated" {
+		t.Error("DurabilityPoints() exposed shared storage")
 	}
 }
 

@@ -1,0 +1,98 @@
+package linearquad
+
+// Parts access and reconstruction: the durable-storage layer serializes
+// a Frozen's four planes (codes, starts, points, values) into sealed
+// run files and rebuilds the snapshot on recovery without re-walking a
+// pointer tree. The accessors expose the planes read-only — mutating a
+// returned slice corrupts the snapshot for every concurrent reader —
+// and FromParts is the validating inverse, refusing any plane set that
+// does not satisfy the Frozen invariants Freeze guarantees.
+
+import (
+	"fmt"
+
+	"popana/internal/geom"
+)
+
+// Codes returns the leaf locational-code plane, including the trailing
+// 4^Depth sentinel. The slice is the snapshot's own storage: callers
+// must treat it as read-only.
+func (f *Frozen[V]) Codes() []uint64 { return f.codes }
+
+// Starts returns the leaf offset plane; starts[i] is leaf i's first
+// entry in Points/Values and the final element is Len. Read-only, as
+// with Codes.
+func (f *Frozen[V]) Starts() []int32 { return f.starts }
+
+// Points returns the flat point array, grouped by leaf in code order.
+// Read-only, as with Codes.
+func (f *Frozen[V]) Points() []geom.Point { return f.pts }
+
+// Values returns the value array parallel to Points. Read-only, as
+// with Codes.
+func (f *Frozen[V]) Values() []V { return f.vals }
+
+// FromParts reassembles a Frozen from planes previously obtained via
+// the accessors (typically deserialized from a sealed run file). It
+// takes ownership of the slices and validates every structural
+// invariant a Freeze-built snapshot holds — a snapshot that violates
+// them would serve silently wrong query results, so corrupt planes must
+// fail here, loudly, not at query time:
+//
+//   - depth in [0, MaxDepth]
+//   - codes and starts non-empty, equal length
+//   - codes[0] == 0, strictly increasing, sentinel codes[last] == 4^depth
+//   - starts[0] == 0, monotone non-decreasing, starts[last] == len(pts)
+//   - len(pts) == len(vals), every point inside region
+func FromParts[V any](region geom.Rect, depth int, codes []uint64, starts []int32, pts []geom.Point, vals []V) (*Frozen[V], error) {
+	if depth < 0 || depth > MaxDepth {
+		return nil, fmt.Errorf("linearquad: FromParts: depth %d outside [0, %d]", depth, MaxDepth)
+	}
+	if len(codes) == 0 || len(codes) != len(starts) {
+		return nil, fmt.Errorf("linearquad: FromParts: %d codes, %d starts", len(codes), len(starts))
+	}
+	if len(pts) != len(vals) {
+		return nil, fmt.Errorf("linearquad: FromParts: %d points, %d values", len(pts), len(vals))
+	}
+	if codes[0] != 0 {
+		return nil, fmt.Errorf("linearquad: FromParts: first code %d, want 0", codes[0])
+	}
+	sentinel := uint64(1) << (2 * uint(depth))
+	if codes[len(codes)-1] != sentinel {
+		return nil, fmt.Errorf("linearquad: FromParts: sentinel %d, want 4^%d = %d", codes[len(codes)-1], depth, sentinel)
+	}
+	for i := 1; i < len(codes); i++ {
+		if codes[i] <= codes[i-1] {
+			return nil, fmt.Errorf("linearquad: FromParts: codes not strictly increasing at %d", i)
+		}
+	}
+	if starts[0] != 0 {
+		return nil, fmt.Errorf("linearquad: FromParts: first start %d, want 0", starts[0])
+	}
+	if int(starts[len(starts)-1]) != len(pts) {
+		return nil, fmt.Errorf("linearquad: FromParts: final start %d, want %d entries", starts[len(starts)-1], len(pts))
+	}
+	for i := 1; i < len(starts); i++ {
+		if starts[i] < starts[i-1] {
+			return nil, fmt.Errorf("linearquad: FromParts: starts decrease at %d", i)
+		}
+	}
+	for i, p := range pts {
+		if !region.Contains(p) {
+			return nil, fmt.Errorf("linearquad: FromParts: point %d (%v, %v) outside region", i, p.X, p.Y)
+		}
+	}
+	return &Frozen[V]{region: region, depth: depth, codes: codes, starts: starts, pts: pts, vals: vals}, nil
+}
+
+// CellCode returns p's Morton locational code on the depth-level grid
+// over region — the code Freeze would give a depth-level leaf holding
+// p. The durable layer keys every stored entry by its depth-MaxDepth
+// cell code so entries from different snapshots of the same shard merge
+// in a single canonical order.
+func CellCode(p geom.Point, region geom.Rect, depth int) uint64 {
+	return Interleave(
+		cellCoord(p.X, region.MinX, region.MaxX, depth),
+		cellCoord(p.Y, region.MinY, region.MaxY, depth),
+	)
+}

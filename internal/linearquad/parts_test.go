@@ -1,0 +1,195 @@
+package linearquad
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"popana/internal/geom"
+	"popana/internal/quadtree"
+)
+
+// buildFrozen freezes a tree of n seeded random points.
+func buildFrozen(t *testing.T, seed int64, n int) (*Frozen[int], *quadtree.Tree[int]) {
+	t.Helper()
+	tr, err := quadtree.New[int](quadtree.Config{Capacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		if _, err := tr.Insert(geom.Pt(rng.Float64(), rng.Float64()), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := Freeze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, tr
+}
+
+func TestPartsRoundTrip(t *testing.T) {
+	f, _ := buildFrozen(t, 42, 500)
+	g, err := FromParts(f.Region(), f.Depth(), f.Codes(), f.Starts(), f.Points(), f.Values())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != f.Len() || g.Leaves() != f.Leaves() || g.Depth() != f.Depth() {
+		t.Fatalf("shape: got %d/%d/%d, want %d/%d/%d",
+			g.Len(), g.Leaves(), g.Depth(), f.Len(), f.Leaves(), f.Depth())
+	}
+	// Reconstructed snapshot answers queries identically.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		w := rng.Float64() * 0.3
+		q := geom.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + w}
+		var want, got []int
+		f.Range(q, func(_ geom.Point, v int) bool { want = append(want, v); return true })
+		g.Range(q, func(_ geom.Point, v int) bool { got = append(got, v); return true })
+		sort.Ints(want)
+		sort.Ints(got)
+		if len(want) != len(got) {
+			t.Fatalf("query %d: %d vs %d results", i, len(got), len(want))
+		}
+		for j := range want {
+			if want[j] != got[j] {
+				t.Fatalf("query %d result %d: %d vs %d", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestFromPartsEmpty(t *testing.T) {
+	// A freeze of an empty tree has one leaf (the root) and no entries.
+	f, _ := buildFrozen(t, 1, 0)
+	g, err := FromParts(f.Region(), f.Depth(), f.Codes(), f.Starts(), f.Points(), f.Values())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 0 || g.Leaves() != f.Leaves() {
+		t.Fatalf("empty round-trip: len=%d leaves=%d", g.Len(), g.Leaves())
+	}
+}
+
+func TestFromPartsRejectsBrokenInvariants(t *testing.T) {
+	f, _ := buildFrozen(t, 42, 200)
+	region, depth := f.Region(), f.Depth()
+	clone := func() ([]uint64, []int32, []geom.Point, []int) {
+		return append([]uint64(nil), f.Codes()...),
+			append([]int32(nil), f.Starts()...),
+			append([]geom.Point(nil), f.Points()...),
+			append([]int(nil), f.Values()...)
+	}
+	cases := map[string]func() ([]uint64, []int32, []geom.Point, []int, int){
+		"bad-depth": func() ([]uint64, []int32, []geom.Point, []int, int) {
+			c, s, p, v := clone()
+			return c, s, p, v, MaxDepth + 1
+		},
+		"nonzero-first-code": func() ([]uint64, []int32, []geom.Point, []int, int) {
+			c, s, p, v := clone()
+			c[0] = 1
+			return c, s, p, v, depth
+		},
+		"wrong-sentinel": func() ([]uint64, []int32, []geom.Point, []int, int) {
+			c, s, p, v := clone()
+			c[len(c)-1]++
+			return c, s, p, v, depth
+		},
+		"non-increasing-codes": func() ([]uint64, []int32, []geom.Point, []int, int) {
+			c, s, p, v := clone()
+			if len(c) < 3 {
+				t.Skip("tree too small")
+			}
+			c[1] = c[2]
+			return c, s, p, v, depth
+		},
+		"starts-decrease": func() ([]uint64, []int32, []geom.Point, []int, int) {
+			c, s, p, v := clone()
+			s[len(s)-2] = s[len(s)-1] + 1
+			return c, s, p, v, depth
+		},
+		"final-start-mismatch": func() ([]uint64, []int32, []geom.Point, []int, int) {
+			c, s, p, v := clone()
+			s[len(s)-1]--
+			return c, s, p, v, depth
+		},
+		"length-mismatch": func() ([]uint64, []int32, []geom.Point, []int, int) {
+			c, s, p, v := clone()
+			return c, s[:len(s)-1], p, v, depth
+		},
+		"values-mismatch": func() ([]uint64, []int32, []geom.Point, []int, int) {
+			c, s, p, v := clone()
+			return c, s, p, v[:len(v)-1], depth
+		},
+		"point-outside-region": func() ([]uint64, []int32, []geom.Point, []int, int) {
+			c, s, p, v := clone()
+			p[0] = geom.Pt(region.MaxX+1, region.MaxY+1)
+			return c, s, p, v, depth
+		},
+	}
+	for name, build := range cases {
+		t.Run(name, func(t *testing.T) {
+			c, s, p, v, d := build()
+			if _, err := FromParts(region, d, c, s, p, v); err == nil {
+				t.Fatal("FromParts accepted broken planes")
+			}
+		})
+	}
+}
+
+func TestCellCodeMatchesFreezeLeafOrder(t *testing.T) {
+	// Within every frozen leaf, each point's depth-D cell code must fall
+	// inside the leaf's [codes[i], codes[i+1]) interval — that is the
+	// invariant that lets the durable layer re-sort entries by CellCode
+	// and recover the exact leaf grouping.
+	f, _ := buildFrozen(t, 99, 1000)
+	codes, starts, pts := f.Codes(), f.Starts(), f.Points()
+	for leaf := 0; leaf < f.Leaves(); leaf++ {
+		for i := starts[leaf]; i < starts[leaf+1]; i++ {
+			c := CellCode(pts[i], f.Region(), f.Depth())
+			if c < codes[leaf] || c >= codes[leaf+1] {
+				t.Fatalf("leaf %d point %d: cell code %d outside [%d, %d)",
+					leaf, i, c, codes[leaf], codes[leaf+1])
+			}
+		}
+	}
+}
+
+func TestCellCodeMonotoneAcrossLeaves(t *testing.T) {
+	// Sorting the flat entry array by max-depth CellCode preserves the
+	// leaf grouping: deeper codes refine, never reorder, the grid.
+	f, _ := buildFrozen(t, 7, 800)
+	starts, pts := f.Starts(), f.Points()
+	prevLeafMax := uint64(0)
+	first := true
+	for leaf := 0; leaf+1 < len(starts); leaf++ {
+		var lo, hi uint64
+		seen := false
+		for i := starts[leaf]; i < starts[leaf+1]; i++ {
+			c := CellCode(pts[i], f.Region(), MaxDepth)
+			if !seen || c < lo {
+				lo = c
+			}
+			if !seen || c > hi {
+				hi = c
+			}
+			seen = true
+		}
+		if !seen {
+			continue
+		}
+		if !first && lo < prevLeafMax {
+			t.Fatalf("leaf %d: max-depth codes overlap previous leaf (%d < %d)", leaf, lo, prevLeafMax)
+		}
+		prevLeafMax = hi
+		first = false
+	}
+}
+
+func TestCellCodeDepthZero(t *testing.T) {
+	if c := CellCode(geom.Pt(0.9, 0.9), geom.UnitSquare, 0); c != 0 {
+		t.Fatalf("depth-0 cell code = %d, want 0", c)
+	}
+}

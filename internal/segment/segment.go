@@ -1,0 +1,573 @@
+// Package segment reads and writes sealed, immutable Morton run files —
+// the durable form of a linearquad.Frozen snapshot and of the WAL-tail
+// deltas layered on top of it.
+//
+// A run is a sorted sequence of entries, each keyed by (code, x, y):
+// the entry's Morton cell code at a fixed canonical depth, tie-broken
+// by the exact coordinates (locations are unique within a shard, so the
+// key is too). Full runs additionally carry the frozen snapshot's leaf
+// index (codes and starts planes), so a cleanly closed table can
+// republish its lock-free snapshots on reopen without re-freezing.
+// Delta runs carry only entries, some of which are tombstones.
+//
+// # File format
+//
+//	header (76 bytes)
+//	  magic    "PQSEG" + version 1     6 bytes
+//	  kind     full=1 delta=2          1 byte
+//	  pad                              1 byte
+//	  shard    uint32                  4 bytes
+//	  seq      uint64                  8 bytes
+//	  region   4 × float64            32 bytes
+//	  depth    uint32                  4 bytes   (leaf-index grid depth)
+//	  leaves   uint64                  8 bytes   (0 for delta runs)
+//	  entries  uint64                  8 bytes
+//	  crc      CRC-32C of the above    4 bytes
+//	blocks, each:  length uint64 | payload | CRC-32C uint32
+//	  block 0  codes   (leaves+1 × uint64; empty for delta runs)
+//	  block 1  starts  (leaves+1 × int32;  empty for delta runs)
+//	  block 2  entries (see Entry encoding)
+//	footer (20 bytes)
+//	  body     uint64 total bytes of header+blocks
+//	  crc      CRC-32C of body field + magic
+//	  magic    "PQSEGEND"              8 bytes
+//
+// # Torn vs corrupt
+//
+// The footer is the write-completion marker: it is written last, after
+// the blocks are flushed. A file without a valid footer is *torn* — a
+// flush that never completed — and recovery discards it when it is the
+// newest run of its shard (the WAL it would have covered was, by the
+// flush ordering, not yet truncated). A file whose footer is valid but
+// whose header or block checksums fail is *corrupt* — it was once
+// durable and has since been damaged — and reading it returns
+// ErrCorrupt so the caller can fail loudly instead of silently serving
+// a hole. ErrTorn and ErrCorrupt are both wrapped by every path that
+// rejects a file.
+package segment
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"popana/internal/faultinject"
+	"popana/internal/geom"
+)
+
+// Kind distinguishes full-state runs from WAL-tail delta runs.
+type Kind uint8
+
+const (
+	// Full marks a run holding a shard's complete state: every older
+	// run of that shard is superseded.
+	Full Kind = 1
+	// Delta marks a run holding only the mutations since the previous
+	// run, tombstones included.
+	Delta Kind = 2
+)
+
+// ErrTorn marks a run file whose write never completed (no valid
+// footer): discardable when it is the newest run of its shard.
+var ErrTorn = errors.New("segment: torn run (incomplete write)")
+
+// ErrCorrupt marks a run file that completed (valid footer) but whose
+// header or block checksums no longer match: data loss, fail loudly.
+var ErrCorrupt = errors.New("segment: corrupt run (checksum mismatch)")
+
+var (
+	magic    = [6]byte{'P', 'Q', 'S', 'E', 'G', 1}
+	endMagic = [8]byte{'P', 'Q', 'S', 'E', 'G', 'E', 'N', 'D'}
+)
+
+const (
+	headerSize = 76
+	footerSize = 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Entry is one record (or tombstone) of a run, keyed by (Code, X, Y).
+// Payload is an opaque value encoding owned by the caller; it is empty
+// for tombstones.
+type Entry struct {
+	Code      uint64
+	ID        uint64
+	X, Y      float64
+	Tombstone bool
+	Payload   []byte
+}
+
+// Key ordering: code first, then exact coordinates. Entries within a
+// run must be strictly increasing under Less.
+func (e Entry) Less(o Entry) bool {
+	if e.Code != o.Code {
+		return e.Code < o.Code
+	}
+	if e.X != o.X {
+		return e.X < o.X
+	}
+	return e.Y < o.Y
+}
+
+// sameKey reports whether two entries name the same location.
+func sameKey(a, b Entry) bool { return a.Code == b.Code && a.X == b.X && a.Y == b.Y }
+
+// Meta describes a run file.
+type Meta struct {
+	Kind    Kind
+	Shard   uint32
+	Seq     uint64
+	Region  geom.Rect
+	Depth   int // leaf-index grid depth (full runs with a leaf index)
+	Leaves  int // leaf count of the frozen snapshot; 0 for delta runs
+	Entries int
+}
+
+// Run is a fully decoded run file.
+type Run struct {
+	Meta    Meta
+	Codes   []uint64 // leaf index, nil for delta runs
+	Starts  []int32  // leaf index, nil for delta runs
+	Entries []Entry
+}
+
+// Write seals a run at path: the file is written to a temporary name,
+// synced, renamed into place, and the directory synced, so a crash
+// leaves either no file or a complete one under the final name (a torn
+// temporary is ignored by recovery's directory scan). The injector's
+// SegmentPartialFlush and SegmentCorruption points simulate crashes
+// mid-write; on any failure the temporary file is left for diagnosis
+// but never takes the final name... except under injection, where the
+// damaged file IS renamed into place so recovery must prove it rejects
+// it the way it would a real torn flush.
+func Write(path string, meta Meta, codes []uint64, starts []int32, entries []Entry, inj *faultinject.Injector) error {
+	if meta.Entries != len(entries) {
+		meta.Entries = len(entries)
+	}
+	meta.Leaves = 0
+	if len(codes) > 0 {
+		meta.Leaves = len(codes) - 1
+	}
+	body := appendHeader(nil, meta)
+	body = appendBlock(body, encodeCodes(codes))
+	body = appendBlock(body, encodeStarts(starts))
+	body = appendBlock(body, encodeEntries(entries))
+
+	switch {
+	case inj.Fire(faultinject.SegmentPartialFlush):
+		// Crash mid-flush: a prefix of the blocks reaches the file, no
+		// footer. The torn file lands under the final name.
+		if err := WriteAtomic(path, body[:len(body)/2]); err != nil {
+			return err
+		}
+		return fmt.Errorf("segment: write %s: %w at %s", path, faultinject.ErrInjected, faultinject.SegmentPartialFlush)
+	case inj.Fire(faultinject.SegmentCorruption):
+		// Garbage reaches the platter during the crash: a block byte is
+		// damaged after its checksum was computed and the footer is never
+		// written, so recovery must reject the file by checksum.
+		damaged := append([]byte(nil), body...)
+		damaged[len(damaged)-1] ^= 0xFF
+		if err := WriteAtomic(path, damaged); err != nil {
+			return err
+		}
+		return fmt.Errorf("segment: write %s: %w at %s", path, faultinject.ErrInjected, faultinject.SegmentCorruption)
+	}
+
+	var footer [footerSize]byte
+	binary.LittleEndian.PutUint64(footer[0:8], uint64(len(body)))
+	crc := crc32.Checksum(footer[0:8], castagnoli)
+	crc = crc32.Update(crc, castagnoli, endMagic[:])
+	binary.LittleEndian.PutUint32(footer[8:12], crc)
+	copy(footer[12:20], endMagic[:])
+	return WriteAtomic(path, append(body, footer[:]...))
+}
+
+// WriteAtomic writes data to path via temp-file, fsync, rename,
+// dir-fsync: after a crash the final name holds either the previous
+// contents or all of data, never a prefix. The durable layer reuses it
+// for every small metadata file that must flip atomically (manifests).
+func WriteAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("segment: temp for %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("segment: write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("segment: sync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("segment: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("segment: rename %s: %w", path, err)
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory so renames and removals within it are
+// durable.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("segment: open dir %s: %w", dir, err)
+	}
+	err = d.Sync()
+	cerr := d.Close()
+	if err != nil {
+		return fmt.Errorf("segment: sync dir %s: %w", dir, err)
+	}
+	return cerr
+}
+
+// Read decodes the run at path, validating the footer, header, and
+// every block checksum. A missing or invalid footer returns ErrTorn; a
+// valid footer with any checksum mismatch returns ErrCorrupt.
+func Read(path string) (*Run, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("segment: read %s: %w", path, err)
+	}
+	if len(data) < footerSize {
+		return nil, fmt.Errorf("segment: %s: %w: %d bytes", path, ErrTorn, len(data))
+	}
+	footer := data[len(data)-footerSize:]
+	if [8]byte(footer[12:20]) != endMagic {
+		return nil, fmt.Errorf("segment: %s: %w: no footer magic", path, ErrTorn)
+	}
+	crc := crc32.Checksum(footer[0:8], castagnoli)
+	crc = crc32.Update(crc, castagnoli, endMagic[:])
+	if binary.LittleEndian.Uint32(footer[8:12]) != crc {
+		return nil, fmt.Errorf("segment: %s: %w: footer checksum", path, ErrTorn)
+	}
+	bodyLen := binary.LittleEndian.Uint64(footer[0:8])
+	if bodyLen != uint64(len(data)-footerSize) {
+		return nil, fmt.Errorf("segment: %s: %w: footer covers %d bytes, file body is %d",
+			path, ErrCorrupt, bodyLen, len(data)-footerSize)
+	}
+	body := data[:len(data)-footerSize]
+	meta, rest, err := readHeader(body)
+	if err != nil {
+		return nil, fmt.Errorf("segment: %s: %w", path, err)
+	}
+	var blocks [3][]byte
+	for i := range blocks {
+		blocks[i], rest, err = readBlock(rest)
+		if err != nil {
+			return nil, fmt.Errorf("segment: %s: block %d: %w", path, i, err)
+		}
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("segment: %s: %w: %d trailing bytes", path, ErrCorrupt, len(rest))
+	}
+	r := &Run{Meta: meta}
+	if r.Codes, err = decodeCodes(blocks[0], meta.Leaves); err != nil {
+		return nil, fmt.Errorf("segment: %s: %w", path, err)
+	}
+	if r.Starts, err = decodeStarts(blocks[1], meta.Leaves); err != nil {
+		return nil, fmt.Errorf("segment: %s: %w", path, err)
+	}
+	if r.Entries, err = decodeEntries(blocks[2], meta.Entries); err != nil {
+		return nil, fmt.Errorf("segment: %s: %w", path, err)
+	}
+	for i := 1; i < len(r.Entries); i++ {
+		if !r.Entries[i-1].Less(r.Entries[i]) {
+			return nil, fmt.Errorf("segment: %s: %w: entries out of key order at %d", path, ErrCorrupt, i)
+		}
+	}
+	return r, nil
+}
+
+// Merge k-way-merges runs in (code, x, y) order into a single entry
+// slice: runs must be given oldest first; on a shared key the entry
+// from the newest run wins, and a winning tombstone drops the key
+// entirely. The inputs must each be sorted and strictly increasing
+// under Less (as Read guarantees).
+func Merge(runs ...[]Entry) []Entry {
+	switch len(runs) {
+	case 0:
+		return nil
+	case 1:
+		return compactTombstones(runs[0])
+	}
+	total := 0
+	cursors := make([]int, len(runs))
+	for _, r := range runs {
+		total += len(r)
+	}
+	out := make([]Entry, 0, total)
+	for {
+		// Pick the smallest key among the cursors; among equal keys the
+		// newest run (highest index) supplies the surviving entry.
+		best := -1
+		for i, r := range runs {
+			if cursors[i] >= len(r) {
+				continue
+			}
+			switch {
+			case best < 0:
+				best = i
+			case r[cursors[i]].Less(runs[best][cursors[best]]):
+				best = i
+			case sameKey(r[cursors[i]], runs[best][cursors[best]]):
+				best = i // i > best: newer run wins
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		win := runs[best][cursors[best]]
+		// Advance every cursor sitting on the winning key.
+		for i, r := range runs {
+			if cursors[i] < len(r) && sameKey(r[cursors[i]], win) {
+				cursors[i]++
+			}
+		}
+		if !win.Tombstone {
+			out = append(out, win)
+		}
+	}
+}
+
+// compactTombstones strips tombstones from a single sorted run.
+func compactTombstones(run []Entry) []Entry {
+	out := make([]Entry, 0, len(run))
+	for _, e := range run {
+		if !e.Tombstone {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// --- header ---
+
+func appendHeader(b []byte, m Meta) []byte {
+	start := len(b)
+	b = append(b, magic[:]...)
+	b = append(b, byte(m.Kind), 0)
+	b = binary.LittleEndian.AppendUint32(b, m.Shard)
+	b = binary.LittleEndian.AppendUint64(b, m.Seq)
+	for _, f := range [4]float64{m.Region.MinX, m.Region.MinY, m.Region.MaxX, m.Region.MaxY} {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.Depth))
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.Leaves))
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.Entries))
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(b[start:], castagnoli))
+}
+
+func readHeader(b []byte) (Meta, []byte, error) {
+	if len(b) < headerSize {
+		return Meta{}, nil, fmt.Errorf("%w: header truncated", ErrCorrupt)
+	}
+	h := b[:headerSize]
+	if [6]byte(h[0:6]) != magic {
+		return Meta{}, nil, fmt.Errorf("%w: bad magic/version", ErrCorrupt)
+	}
+	if crc32.Checksum(h[:headerSize-4], castagnoli) != binary.LittleEndian.Uint32(h[headerSize-4:]) {
+		return Meta{}, nil, fmt.Errorf("%w: header checksum", ErrCorrupt)
+	}
+	m := Meta{Kind: Kind(h[6]), Shard: binary.LittleEndian.Uint32(h[8:12]), Seq: binary.LittleEndian.Uint64(h[12:20])}
+	if m.Kind != Full && m.Kind != Delta {
+		return Meta{}, nil, fmt.Errorf("%w: unknown run kind %d", ErrCorrupt, h[6])
+	}
+	m.Region = geom.Rect{
+		MinX: math.Float64frombits(binary.LittleEndian.Uint64(h[20:28])),
+		MinY: math.Float64frombits(binary.LittleEndian.Uint64(h[28:36])),
+		MaxX: math.Float64frombits(binary.LittleEndian.Uint64(h[36:44])),
+		MaxY: math.Float64frombits(binary.LittleEndian.Uint64(h[44:52])),
+	}
+	m.Depth = int(binary.LittleEndian.Uint32(h[52:56]))
+	m.Leaves = int(binary.LittleEndian.Uint64(h[56:64]))
+	m.Entries = int(binary.LittleEndian.Uint64(h[64:72]))
+	return m, b[headerSize:], nil
+}
+
+// --- blocks ---
+
+func appendBlock(b, payload []byte) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(payload)))
+	b = append(b, payload...)
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(payload, castagnoli))
+}
+
+func readBlock(b []byte) (payload, rest []byte, err error) {
+	if len(b) < 8 {
+		return nil, nil, fmt.Errorf("%w: block length truncated", ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint64(b[:8])
+	if uint64(len(b)) < 8+n+4 {
+		return nil, nil, fmt.Errorf("%w: block truncated", ErrCorrupt)
+	}
+	payload = b[8 : 8+n]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(b[8+n:8+n+4]) {
+		return nil, nil, fmt.Errorf("%w: block checksum", ErrCorrupt)
+	}
+	return payload, b[8+n+4:], nil
+}
+
+func encodeCodes(codes []uint64) []byte {
+	b := make([]byte, 0, 8*len(codes))
+	for _, c := range codes {
+		b = binary.LittleEndian.AppendUint64(b, c)
+	}
+	return b
+}
+
+func decodeCodes(b []byte, leaves int) ([]uint64, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	if len(b) != 8*(leaves+1) {
+		return nil, fmt.Errorf("%w: codes block is %d bytes for %d leaves", ErrCorrupt, len(b), leaves)
+	}
+	out := make([]uint64, leaves+1)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return out, nil
+}
+
+func encodeStarts(starts []int32) []byte {
+	b := make([]byte, 0, 4*len(starts))
+	for _, s := range starts {
+		b = binary.LittleEndian.AppendUint32(b, uint32(s))
+	}
+	return b
+}
+
+func decodeStarts(b []byte, leaves int) ([]int32, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	if len(b) != 4*(leaves+1) {
+		return nil, fmt.Errorf("%w: starts block is %d bytes for %d leaves", ErrCorrupt, len(b), leaves)
+	}
+	out := make([]int32, leaves+1)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out, nil
+}
+
+// Entry encoding: code u64 | id u64 | xbits u64 | ybits u64 | flags u8
+// | payload length u32 | payload (omitted entirely for tombstones).
+func encodeEntries(entries []Entry) []byte {
+	size := 0
+	for _, e := range entries {
+		size += 33
+		if !e.Tombstone {
+			size += 4 + len(e.Payload)
+		}
+	}
+	b := make([]byte, 0, size)
+	for _, e := range entries {
+		b = binary.LittleEndian.AppendUint64(b, e.Code)
+		b = binary.LittleEndian.AppendUint64(b, e.ID)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(e.X))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(e.Y))
+		if e.Tombstone {
+			b = append(b, 1)
+			continue
+		}
+		b = append(b, 0)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(e.Payload)))
+		b = append(b, e.Payload...)
+	}
+	return b
+}
+
+func decodeEntries(b []byte, n int) ([]Entry, error) {
+	out := make([]Entry, 0, n)
+	for len(b) > 0 {
+		if len(b) < 33 {
+			return nil, fmt.Errorf("%w: entry truncated", ErrCorrupt)
+		}
+		e := Entry{
+			Code: binary.LittleEndian.Uint64(b[0:8]),
+			ID:   binary.LittleEndian.Uint64(b[8:16]),
+			X:    math.Float64frombits(binary.LittleEndian.Uint64(b[16:24])),
+			Y:    math.Float64frombits(binary.LittleEndian.Uint64(b[24:32])),
+		}
+		switch b[32] {
+		case 1:
+			e.Tombstone = true
+			b = b[33:]
+		case 0:
+			if len(b) < 37 {
+				return nil, fmt.Errorf("%w: entry payload length truncated", ErrCorrupt)
+			}
+			pn := binary.LittleEndian.Uint32(b[33:37])
+			if uint64(len(b)) < 37+uint64(pn) {
+				return nil, fmt.Errorf("%w: entry payload truncated", ErrCorrupt)
+			}
+			if pn > 0 {
+				e.Payload = append([]byte(nil), b[37:37+pn]...)
+			}
+			b = b[37+pn:]
+		default:
+			return nil, fmt.Errorf("%w: unknown entry flags %d", ErrCorrupt, b[32])
+		}
+		out = append(out, e)
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("%w: %d entries decoded, header says %d", ErrCorrupt, len(out), n)
+	}
+	return out, nil
+}
+
+// ReadMeta decodes just the header and footer of the run at path — the
+// cheap validity probe recovery uses to pick the newest usable run
+// before paying for a full decode. The same ErrTorn/ErrCorrupt
+// classification as Read applies, but block checksums are not verified.
+func ReadMeta(path string) (Meta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Meta{}, fmt.Errorf("segment: open %s: %w", path, err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return Meta{}, fmt.Errorf("segment: stat %s: %w", path, err)
+	}
+	if fi.Size() < headerSize+footerSize {
+		return Meta{}, fmt.Errorf("segment: %s: %w: %d bytes", path, ErrTorn, fi.Size())
+	}
+	var footer [footerSize]byte
+	if _, err := f.ReadAt(footer[:], fi.Size()-footerSize); err != nil && !errors.Is(err, io.EOF) {
+		return Meta{}, fmt.Errorf("segment: read footer %s: %w", path, err)
+	}
+	if [8]byte(footer[12:20]) != endMagic {
+		return Meta{}, fmt.Errorf("segment: %s: %w: no footer magic", path, ErrTorn)
+	}
+	crc := crc32.Checksum(footer[0:8], castagnoli)
+	crc = crc32.Update(crc, castagnoli, endMagic[:])
+	if binary.LittleEndian.Uint32(footer[8:12]) != crc {
+		return Meta{}, fmt.Errorf("segment: %s: %w: footer checksum", path, ErrTorn)
+	}
+	var hdr [headerSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return Meta{}, fmt.Errorf("segment: read header %s: %w", path, err)
+	}
+	m, _, err := readHeader(hdr[:])
+	if err != nil {
+		return Meta{}, fmt.Errorf("segment: %s: %w", path, err)
+	}
+	return m, nil
+}

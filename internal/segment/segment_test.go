@@ -1,0 +1,390 @@
+package segment
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"popana/internal/faultinject"
+	"popana/internal/geom"
+)
+
+func sampleEntries(n int) []Entry {
+	out := make([]Entry, n)
+	for i := range out {
+		out[i] = Entry{
+			Code:    uint64(i) * 7,
+			ID:      uint64(1000 + i),
+			X:       float64(i) / 100,
+			Y:       float64(i) / 50,
+			Payload: []byte(fmt.Sprintf("v%d", i)),
+		}
+	}
+	return out
+}
+
+func sampleMeta() Meta {
+	return Meta{
+		Kind:   Full,
+		Shard:  2,
+		Seq:    9,
+		Region: geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1},
+		Depth:  4,
+	}
+}
+
+func writeSample(t *testing.T, dir string) (path string, entries []Entry, codes []uint64, starts []int32) {
+	t.Helper()
+	path = filepath.Join(dir, "run-2-000000009.seg")
+	entries = sampleEntries(20)
+	codes = []uint64{0, 7, 21, 70, 256} // leaf index incl. sentinel
+	starts = []int32{0, 1, 3, 10, 20}
+	if err := Write(path, sampleMeta(), codes, starts, entries, nil); err != nil {
+		t.Fatal(err)
+	}
+	return path, entries, codes, starts
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	path, entries, codes, starts := writeSample(t, t.TempDir())
+	r, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.Meta
+	if m.Kind != Full || m.Shard != 2 || m.Seq != 9 || m.Depth != 4 {
+		t.Fatalf("meta = %+v", m)
+	}
+	if m.Leaves != len(codes)-1 || m.Entries != len(entries) {
+		t.Fatalf("meta counts = %+v", m)
+	}
+	if m.Region != (geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}) {
+		t.Fatalf("region = %+v", m.Region)
+	}
+	if len(r.Codes) != len(codes) || len(r.Starts) != len(starts) {
+		t.Fatalf("leaf index: %d codes, %d starts", len(r.Codes), len(r.Starts))
+	}
+	for i := range codes {
+		if r.Codes[i] != codes[i] || r.Starts[i] != starts[i] {
+			t.Fatalf("leaf index mismatch at %d", i)
+		}
+	}
+	if len(r.Entries) != len(entries) {
+		t.Fatalf("%d entries, want %d", len(r.Entries), len(entries))
+	}
+	for i, e := range entries {
+		g := r.Entries[i]
+		if g.Code != e.Code || g.ID != e.ID || g.X != e.X || g.Y != e.Y ||
+			g.Tombstone != e.Tombstone || !bytes.Equal(g.Payload, e.Payload) {
+			t.Fatalf("entry %d = %+v, want %+v", i, g, e)
+		}
+	}
+}
+
+func TestDeltaRunNoLeafIndex(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run-0-000000001.seg")
+	entries := []Entry{
+		{Code: 3, ID: 1, X: 0.1, Y: 0.2, Payload: []byte("a")},
+		{Code: 5, ID: 2, X: 0.3, Y: 0.4, Tombstone: true},
+	}
+	m := sampleMeta()
+	m.Kind = Delta
+	if err := Write(path, m, nil, nil, entries, nil); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Meta.Kind != Delta || r.Meta.Leaves != 0 || r.Codes != nil || r.Starts != nil {
+		t.Fatalf("delta run decoded leaf index: %+v", r.Meta)
+	}
+	if len(r.Entries) != 2 || !r.Entries[1].Tombstone || r.Entries[1].Payload != nil {
+		t.Fatalf("entries = %+v", r.Entries)
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run-0-000000001.seg")
+	m := sampleMeta()
+	m.Kind = Delta
+	if err := Write(path, m, nil, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Entries) != 0 || r.Meta.Entries != 0 {
+		t.Fatalf("empty run decoded %d entries", len(r.Entries))
+	}
+}
+
+func TestReadMetaMatchesRead(t *testing.T) {
+	path, _, _, _ := writeSample(t, t.TempDir())
+	m, err := ReadMeta(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != r.Meta {
+		t.Fatalf("ReadMeta = %+v, Read meta = %+v", m, r.Meta)
+	}
+}
+
+// Torn shapes: the file ends before the footer is complete. Both Read
+// and ReadMeta must classify every one as ErrTorn, never ErrCorrupt.
+func TestTornFileShapes(t *testing.T) {
+	damages := map[string]func(t *testing.T, path string){
+		"empty-file": func(t *testing.T, path string) {
+			if err := os.Truncate(path, 0); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"header-only": func(t *testing.T, path string) {
+			if err := os.Truncate(path, headerSize); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"mid-block": func(t *testing.T, path string) {
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, fi.Size()/2); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"footer-shaved": func(t *testing.T, path string) {
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, fi.Size()-3); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	for name, damage := range damages {
+		t.Run(name, func(t *testing.T) {
+			path, _, _, _ := writeSample(t, t.TempDir())
+			damage(t, path)
+			if _, err := Read(path); !errors.Is(err, ErrTorn) {
+				t.Fatalf("Read = %v, want ErrTorn", err)
+			}
+			if _, err := ReadMeta(path); !errors.Is(err, ErrTorn) {
+				t.Fatalf("ReadMeta = %v, want ErrTorn", err)
+			}
+		})
+	}
+}
+
+// Corrupt shapes: the footer is intact (the write completed) but bytes
+// inside the body were damaged afterwards → ErrCorrupt.
+func TestCorruptFileShapes(t *testing.T) {
+	flip := func(t *testing.T, path string, off int64) {
+		t.Helper()
+		f, err := os.OpenFile(path, os.O_RDWR, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		var b [1]byte
+		if _, err := f.ReadAt(b[:], off); err != nil {
+			t.Fatal(err)
+		}
+		b[0] ^= 0xFF
+		if _, err := f.WriteAt(b[:], off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Run("header-byte", func(t *testing.T) {
+		path, _, _, _ := writeSample(t, t.TempDir())
+		flip(t, path, 30) // inside the region field
+		if _, err := Read(path); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Read = %v, want ErrCorrupt", err)
+		}
+		if _, err := ReadMeta(path); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("ReadMeta = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("block-byte", func(t *testing.T) {
+		path, _, _, _ := writeSample(t, t.TempDir())
+		flip(t, path, headerSize+8+2) // inside the codes block payload
+		if _, err := Read(path); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Read = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("footer-length-lies", func(t *testing.T) {
+		// A valid footer whose body length disagrees with the file: the
+		// completion marker says the write finished, so this is corruption.
+		path, _, _, _ := writeSample(t, t.TempDir())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append([]byte{0}, data...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Read(path); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Read = %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+func TestInjectedPartialFlushLeavesTornFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run-0-000000001.seg")
+	inj := faultinject.New(5)
+	inj.EnableN(faultinject.SegmentPartialFlush, 1.0, 1)
+	err := Write(path, sampleMeta(), []uint64{0, 256}, []int32{0, 3}, sampleEntries(3), inj)
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("injected Write error = %v", err)
+	}
+	// The torn file landed under the final name and reads as torn.
+	if _, err := Read(path); !errors.Is(err, ErrTorn) {
+		t.Fatalf("Read after partial flush = %v, want ErrTorn", err)
+	}
+	// Disarmed, the same write succeeds over the torn file.
+	if err := Write(path, sampleMeta(), []uint64{0, 256}, []int32{0, 3}, sampleEntries(3), inj); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err != nil {
+		t.Fatalf("rewrite after torn flush: %v", err)
+	}
+}
+
+func TestInjectedCorruptionRejectedByChecksum(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run-0-000000001.seg")
+	inj := faultinject.New(5)
+	inj.EnableN(faultinject.SegmentCorruption, 1.0, 1)
+	err := Write(path, sampleMeta(), []uint64{0, 256}, []int32{0, 3}, sampleEntries(3), inj)
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("injected Write error = %v", err)
+	}
+	// No footer was written, so the damaged file is classified torn and
+	// recovery discards it rather than serving damaged entries.
+	if _, err := Read(path); !errors.Is(err, ErrTorn) {
+		t.Fatalf("Read after injected corruption = %v, want ErrTorn", err)
+	}
+}
+
+func TestWriteIsAtomicNoPartialFinalName(t *testing.T) {
+	// A clean Write never exposes a partial file under the final name:
+	// the only file in the directory after Write is the complete run.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run-0-000000001.seg")
+	if err := Write(path, sampleMeta(), nil, nil, sampleEntries(5), nil); err != nil {
+		t.Fatal(err)
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0].Name() != "run-0-000000001.seg" {
+		t.Fatalf("dir contents = %v", names)
+	}
+}
+
+func keyOf(e Entry) string { return fmt.Sprintf("%d/%v/%v", e.Code, e.X, e.Y) }
+
+func TestMergeNewestWinsAndDropsTombstones(t *testing.T) {
+	older := []Entry{
+		{Code: 1, ID: 10, X: 0.1, Y: 0.1, Payload: []byte("old-a")},
+		{Code: 2, ID: 11, X: 0.2, Y: 0.2, Payload: []byte("old-b")},
+		{Code: 4, ID: 12, X: 0.4, Y: 0.4, Payload: []byte("old-c")},
+	}
+	newer := []Entry{
+		{Code: 1, ID: 10, X: 0.1, Y: 0.1, Payload: []byte("new-a")}, // overwrite
+		{Code: 2, ID: 11, X: 0.2, Y: 0.2, Tombstone: true},          // delete
+		{Code: 3, ID: 13, X: 0.3, Y: 0.3, Payload: []byte("new-d")}, // insert
+	}
+	got := Merge(older, newer)
+	want := []struct {
+		code    uint64
+		payload string
+	}{{1, "new-a"}, {3, "new-d"}, {4, "old-c"}}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d entries, want %d: %+v", len(got), len(want), got)
+	}
+	for i, w := range want {
+		if got[i].Code != w.code || string(got[i].Payload) != w.payload {
+			t.Fatalf("merge[%d] = %+v, want code=%d payload=%q", i, got[i], w.code, w.payload)
+		}
+	}
+	// Output is sorted and strictly increasing.
+	for i := 1; i < len(got); i++ {
+		if !got[i-1].Less(got[i]) {
+			t.Fatalf("merge output out of order at %d", i)
+		}
+	}
+}
+
+func TestMergeThreeWay(t *testing.T) {
+	r1 := []Entry{{Code: 1, X: 1, Y: 1, Payload: []byte("r1")}, {Code: 5, X: 5, Y: 5, Payload: []byte("r1")}}
+	r2 := []Entry{{Code: 1, X: 1, Y: 1, Tombstone: true}, {Code: 3, X: 3, Y: 3, Payload: []byte("r2")}}
+	r3 := []Entry{{Code: 1, X: 1, Y: 1, Payload: []byte("r3")}, {Code: 5, X: 5, Y: 5, Tombstone: true}}
+	got := Merge(r1, r2, r3)
+	// Key 1: deleted in r2, re-inserted in r3 → "r3" survives.
+	// Key 3: only in r2. Key 5: tombstoned by newest → gone.
+	if len(got) != 2 || string(got[0].Payload) != "r3" || string(got[1].Payload) != "r2" {
+		t.Fatalf("three-way merge = %+v", got)
+	}
+}
+
+func TestMergeSingleRunStripsTombstones(t *testing.T) {
+	run := []Entry{
+		{Code: 1, X: 1, Y: 1, Payload: []byte("keep")},
+		{Code: 2, X: 2, Y: 2, Tombstone: true},
+	}
+	got := Merge(run)
+	if len(got) != 1 || string(got[0].Payload) != "keep" {
+		t.Fatalf("single-run merge = %+v", got)
+	}
+	if got := Merge(); got != nil {
+		t.Fatalf("zero-run merge = %+v", got)
+	}
+}
+
+func TestMergeSameCodeDifferentLocation(t *testing.T) {
+	// Two points sharing a Morton cell are distinct keys: both survive.
+	older := []Entry{{Code: 7, ID: 1, X: 0.10, Y: 0.10, Payload: []byte("p")}}
+	newer := []Entry{{Code: 7, ID: 2, X: 0.11, Y: 0.10, Payload: []byte("q")}}
+	got := Merge(older, newer)
+	if len(got) != 2 {
+		t.Fatalf("merge collapsed distinct locations: %+v", got)
+	}
+	seen := map[string]bool{}
+	for _, e := range got {
+		seen[keyOf(e)] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("duplicate keys in merge output: %+v", got)
+	}
+}
+
+func TestReadRejectsOutOfOrderEntries(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run-0-000000001.seg")
+	entries := []Entry{
+		{Code: 9, X: 1, Y: 1, Payload: []byte("b")},
+		{Code: 3, X: 0, Y: 0, Payload: []byte("a")},
+	}
+	m := sampleMeta()
+	m.Kind = Delta
+	if err := Write(path, m, nil, nil, entries, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("out-of-order run read = %v, want ErrCorrupt", err)
+	}
+}

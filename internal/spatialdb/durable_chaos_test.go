@@ -1,0 +1,260 @@
+package spatialdb
+
+// Crash-recovery chaos: every registered durability fault point is
+// fired mid-workload, the table is killed at that exact moment, and the
+// recovered table must be bit-identical — record sets, payloads, and
+// 1000 randomized queries — to a never-crashed in-memory control that
+// saw exactly the acknowledged mutations. The invariant under test is
+// the durable contract: an acknowledged op survives any crash, an
+// unacknowledged op vanishes entirely.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"popana/internal/dist"
+	"popana/internal/faultinject"
+	"popana/internal/geom"
+	"popana/internal/wal"
+	"popana/internal/xrand"
+)
+
+// TestDurableCrashRecoveryEveryFaultPoint arms each durability fault
+// point at several positions in a seeded workload, crashes on impact,
+// and proves recovery against a control.
+func TestDurableCrashRecoveryEveryFaultPoint(t *testing.T) {
+	for _, p := range faultinject.DurabilityPoints() {
+		for _, armAfter := range []int{0, 13, 37} {
+			p, armAfter := p, armAfter
+			t.Run(fmt.Sprintf("%s/arm%d", p, armAfter), func(t *testing.T) {
+				runCrashRecoveryScript(t, p, armAfter)
+			})
+		}
+	}
+}
+
+// runCrashRecoveryScript drives a seeded op mix — inserts, deletes,
+// multi-shard batches, periodic Flush and CompactDisk — against a
+// durable table with fault point p armed (single shot, certain) from op
+// armAfter on. Every op that succeeds is mirrored onto an in-memory
+// control. When the fault fires, the table is killed, reopened, and
+// compared to the control.
+func runCrashRecoveryScript(t *testing.T, p faultinject.Point, armAfter int) {
+	dir := t.TempDir()
+	opts := TableOptions{Capacity: 4, ShardBits: 2}
+	inj := faultinject.New(uint64(armAfter)*997 + 1)
+	db := NewDB()
+	db.SetFaultInjector(inj)
+	tab, err := db.CreateDurableTable("chaos", opts, DurableOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	control := controlFor(t, opts, nil)
+
+	rng := xrand.New(uint64(armAfter)*31 + 7)
+	src := dist.NewUniform(geom.UnitSquare, xrand.New(uint64(armAfter)*13+5))
+	seen := map[geom.Point]bool{}
+	nextLoc := func() geom.Point {
+		for {
+			if p := src.Next(); !seen[p] {
+				seen[p] = true
+				return p
+			}
+		}
+	}
+	var nextID uint64
+	var live []uint64
+
+	const maxOps = 220
+	for i := 0; i < maxOps && inj.Fired(p) == 0; i++ {
+		if i == armAfter {
+			inj.EnableN(p, 1, 1)
+		}
+		switch r := rng.Intn(100); {
+		case r < 60: // single insert
+			nextID++
+			rec := Record{ID: nextID, Loc: nextLoc(), Data: durablePayload(int(nextID))}
+			if err := tab.Insert(rec); err == nil {
+				if err := control.Insert(rec); err != nil {
+					t.Fatalf("op %d: control diverged on insert: %v", i, err)
+				}
+				live = append(live, rec.ID)
+			}
+		case r < 80 && len(live) > 0: // delete a live record
+			id := live[rng.Intn(len(live))]
+			if deleted, err := tab.DeleteChecked(id); err == nil && deleted {
+				if !control.Delete(id) {
+					t.Fatalf("op %d: control diverged on delete %d", i, id)
+				}
+			}
+		default: // multi-shard batch
+			batch := make([]Record, 6)
+			for j := range batch {
+				nextID++
+				batch[j] = Record{ID: nextID, Loc: nextLoc(), Data: durablePayload(int(nextID))}
+			}
+			if err := tab.InsertBatch(batch); err == nil {
+				if err := control.InsertBatch(batch); err != nil {
+					t.Fatalf("op %d: control diverged on batch: %v", i, err)
+				}
+				for _, rec := range batch {
+					live = append(live, rec.ID)
+				}
+			}
+		}
+		// Periodic maintenance gives the segment-layer faults a place to
+		// fire; errors are the injected crashes themselves, so they are
+		// checked via Fired, not the return.
+		if i%25 == 24 {
+			_ = tab.Flush()
+		}
+		if i%90 == 89 {
+			_ = tab.CompactDisk()
+		}
+	}
+	if inj.Fired(p) == 0 {
+		t.Fatalf("fault %s armed at op %d never fired in %d ops", p, armAfter, maxOps)
+	}
+
+	tab.Kill()
+	if err := db.DropTable("chaos"); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := db.OpenDurableTable("chaos", TableOptions{}, DurableOptions{Dir: dir})
+	if err != nil {
+		t.Fatalf("recovery after %s: %v", p, err)
+	}
+	label := fmt.Sprintf("%s/arm%d", p, armAfter)
+	assertSameRecords(t, label, reopened, control)
+	assertEquivalentQueries(t, label, reopened, control, uint64(armAfter)*101+9, 1000)
+
+	// The recovered table must accept new mutations and survive a clean
+	// close — the crash left no lingering poison.
+	rec := Record{ID: 1 << 50, Loc: nextLoc(), Data: "post-recovery"}
+	if err := reopened.Insert(rec); err != nil {
+		t.Fatalf("insert after recovery: %v", err)
+	}
+	if err := reopened.Close(); err != nil {
+		t.Fatalf("close after recovery: %v", err)
+	}
+}
+
+// TestDurableConcurrentKillRecover kills a durable table under
+// concurrent mutators — background flush worker running — three times
+// in a row, recovering between rounds. Each worker owns a disjoint ID
+// space and mirrors exactly the ops the table acknowledged; after every
+// recovery the table must hold precisely the union of the mirrors:
+// acknowledged ops survive, unacknowledged ops vanish.
+func TestDurableConcurrentKillRecover(t *testing.T) {
+	dir := t.TempDir()
+	opts := TableOptions{Capacity: 4, ShardBits: 2}
+	dopts := DurableOptions{Dir: dir, AutoFlush: 32, CompactAfter: 4}
+	db := NewDB()
+	tab, err := db.CreateDurableTable("cc", opts, dopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	acked := map[uint64]Record{} // merged across rounds; owned by the main goroutine
+
+	for round := 0; round < 3; round++ {
+		mirrors := make([]map[uint64]Record, workers)
+		var wg sync.WaitGroup
+		tb := tab // pin this round's table before it is reassigned
+		for w := 0; w < workers; w++ {
+			w := w
+			mirrors[w] = map[uint64]Record{}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				mutateUntilKilled(tb, mirrors[w], uint64(round), uint64(w))
+			}()
+		}
+		time.Sleep(30 * time.Millisecond)
+		tab.Kill()
+		wg.Wait()
+		for _, m := range mirrors {
+			for id, rec := range m {
+				if rec.ID == 0 { // tombstone marker: acknowledged delete
+					delete(acked, id)
+				} else {
+					acked[id] = rec
+				}
+			}
+		}
+		if err := db.DropTable("cc"); err != nil {
+			t.Fatal(err)
+		}
+		tab, err = db.OpenDurableTable("cc", TableOptions{}, dopts)
+		if err != nil {
+			t.Fatalf("round %d: recovery: %v", round, err)
+		}
+		if got, want := tab.Len(), len(acked); got != want {
+			t.Fatalf("round %d: recovered %d records, %d acknowledged", round, got, want)
+		}
+		for id, want := range acked {
+			got, ok := tab.Get(id)
+			if !ok {
+				t.Fatalf("round %d: acknowledged record %d lost", round, id)
+			}
+			if got.Loc != want.Loc || !payloadEqual(got.Data, want.Data) {
+				t.Fatalf("round %d: record %d recovered as %+v, acknowledged %+v", round, id, got, want)
+			}
+		}
+	}
+	if err := tab.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mutateUntilKilled runs inserts, batches, and deletes in worker w's
+// private ID space until the table reports itself closed, recording
+// every acknowledged op in mirror (deletes as Record{ID: 0}
+// tombstones). The mirror is single-owner during the run; the main
+// goroutine reads it only after wg.Wait.
+func mutateUntilKilled(tab *Table, mirror map[uint64]Record, round, w uint64) {
+	src := dist.NewUniform(geom.UnitSquare, xrand.New(round*1031+w*257+11))
+	rng := xrand.New(round*877 + w*419 + 3)
+	base := (round*16 + w + 1) << 40 // disjoint per (round, worker)
+	var n uint64
+	var ownIDs []uint64
+	for {
+		var err error
+		switch r := rng.Intn(10); {
+		case r < 6:
+			n++
+			rec := Record{ID: base + n, Loc: src.Next(), Data: int64(n)}
+			if err = tab.Insert(rec); err == nil {
+				mirror[rec.ID] = rec
+				ownIDs = append(ownIDs, rec.ID)
+			}
+		case r < 8 && len(ownIDs) > 0:
+			id := ownIDs[rng.Intn(len(ownIDs))]
+			var deleted bool
+			if deleted, err = tab.DeleteChecked(id); err == nil && deleted {
+				mirror[id] = Record{} // tombstone
+			}
+		default:
+			batch := make([]Record, 4)
+			for j := range batch {
+				n++
+				batch[j] = Record{ID: base + n, Loc: src.Next(), Data: int64(n)}
+			}
+			if err = tab.InsertBatch(batch); err == nil {
+				for _, rec := range batch {
+					mirror[rec.ID] = rec
+					ownIDs = append(ownIDs, rec.ID)
+				}
+			}
+		}
+		if errors.Is(err, ErrTableClosed) || errors.Is(err, wal.ErrClosed) || errors.Is(err, wal.ErrPoisoned) {
+			return
+		}
+		// Any other error (occupied location from a coordinate collision,
+		// say) is an unacknowledged op: skip the mirror and keep going.
+	}
+}

@@ -1,0 +1,285 @@
+package spatialdb
+
+// WAL record and payload codecs for durable tables. The wal package
+// frames opaque byte payloads; the meaning of those bytes — which
+// mutation, which record — is owned here, next to the mutation paths
+// that emit them.
+//
+// Op encodings (first byte is the op tag):
+//
+//	opInsert  1 | id u64 | xbits u64 | ybits u64 | payload
+//	opDelete  2 | id u64 | xbits u64 | ybits u64
+//	opBatch   3 | batchID u64 | shardCount u32 | n u32 | n × insert bodies
+//	opCommit  4 | batchID u64
+//
+// A multi-shard InsertBatch appends one opBatch record per involved
+// shard, each carrying only that shard's records plus the batch's
+// identity (batchID) and fan-out (shardCount), and then one opCommit
+// record to the table-level batch-commit log. The commit is the batch's
+// durability point: recovery applies a batch's frames iff its commit
+// record survives. Because the commit is a single record in a single
+// log, it is durable all-or-nothing — there is no window where a batch
+// is half-committed — and per-shard WAL seals, which may fold away some
+// shards' frames while others remain, can never confuse the verdict (a
+// frame only reaches a sealed run after its batch committed, since
+// InsertBatch holds every involved shard's write lock across the whole
+// log-commit-apply sequence and seals need the read lock).
+//
+// Payload encoding (first byte is the kind tag): nil, []byte, string,
+// int64, uint64, float64, bool, and int cover every value the test
+// suites and examples store. Any other dynamic type is rejected with
+// ErrPayloadNotDurable before the WAL is touched, so a non-serializable
+// record can never be half-durable.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"popana/internal/geom"
+)
+
+// ErrPayloadNotDurable is returned by durable mutations whose
+// Record.Data has a dynamic type the durable payload codec does not
+// cover.
+var ErrPayloadNotDurable = errors.New("spatialdb: record payload type not supported by durable storage")
+
+const (
+	opInsert byte = 1
+	opDelete byte = 2
+	opBatch  byte = 3
+	opCommit byte = 4
+)
+
+const (
+	payloadNil     byte = 0
+	payloadBytes   byte = 1
+	payloadString  byte = 2
+	payloadInt64   byte = 3
+	payloadUint64  byte = 4
+	payloadFloat64 byte = 5
+	payloadBool    byte = 6
+	payloadInt     byte = 7
+)
+
+// encodePayload serializes a record payload, rejecting unsupported
+// dynamic types with ErrPayloadNotDurable.
+func encodePayload(v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return []byte{payloadNil}, nil
+	case []byte:
+		return append([]byte{payloadBytes}, x...), nil
+	case string:
+		return append([]byte{payloadString}, x...), nil
+	case int64:
+		return binary.LittleEndian.AppendUint64([]byte{payloadInt64}, uint64(x)), nil
+	case uint64:
+		return binary.LittleEndian.AppendUint64([]byte{payloadUint64}, x), nil
+	case float64:
+		return binary.LittleEndian.AppendUint64([]byte{payloadFloat64}, math.Float64bits(x)), nil
+	case bool:
+		b := byte(0)
+		if x {
+			b = 1
+		}
+		return []byte{payloadBool, b}, nil
+	case int:
+		return binary.LittleEndian.AppendUint64([]byte{payloadInt}, uint64(x)), nil
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrPayloadNotDurable, v)
+	}
+}
+
+// decodePayload inverts encodePayload.
+func decodePayload(b []byte) (any, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("spatialdb: empty durable payload")
+	}
+	kind, rest := b[0], b[1:]
+	fixed := func(n int) error {
+		if len(rest) != n {
+			return fmt.Errorf("spatialdb: durable payload kind %d: %d bytes, want %d", kind, len(rest), n)
+		}
+		return nil
+	}
+	switch kind {
+	case payloadNil:
+		if err := fixed(0); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	case payloadBytes:
+		return append([]byte(nil), rest...), nil
+	case payloadString:
+		return string(rest), nil
+	case payloadInt64:
+		if err := fixed(8); err != nil {
+			return nil, err
+		}
+		return int64(binary.LittleEndian.Uint64(rest)), nil
+	case payloadUint64:
+		if err := fixed(8); err != nil {
+			return nil, err
+		}
+		return binary.LittleEndian.Uint64(rest), nil
+	case payloadFloat64:
+		if err := fixed(8); err != nil {
+			return nil, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(rest)), nil
+	case payloadBool:
+		if err := fixed(1); err != nil {
+			return nil, err
+		}
+		return rest[0] != 0, nil
+	case payloadInt:
+		if err := fixed(8); err != nil {
+			return nil, err
+		}
+		return int(binary.LittleEndian.Uint64(rest)), nil
+	default:
+		return nil, fmt.Errorf("spatialdb: unknown durable payload kind %d", kind)
+	}
+}
+
+// walOp is one decoded WAL record.
+type walOp struct {
+	op    byte
+	id    uint64
+	loc   geom.Point
+	data  any
+	batch walBatch
+}
+
+// walBatch is the batch portion of an opBatch record.
+type walBatch struct {
+	id         uint64
+	shardCount int
+	recs       []Record
+}
+
+// insertBody encodes the common id+location+payload body shared by
+// opInsert and the per-record section of opBatch.
+func insertBody(b []byte, id uint64, loc geom.Point, payload []byte) []byte {
+	b = binary.LittleEndian.AppendUint64(b, id)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(loc.X))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(loc.Y))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	return append(b, payload...)
+}
+
+func readInsertBody(b []byte) (id uint64, loc geom.Point, data any, rest []byte, err error) {
+	if len(b) < 28 {
+		return 0, geom.Point{}, nil, nil, fmt.Errorf("spatialdb: WAL insert body truncated")
+	}
+	id = binary.LittleEndian.Uint64(b[0:8])
+	loc = geom.Pt(
+		math.Float64frombits(binary.LittleEndian.Uint64(b[8:16])),
+		math.Float64frombits(binary.LittleEndian.Uint64(b[16:24])),
+	)
+	n := binary.LittleEndian.Uint32(b[24:28])
+	if uint64(len(b)) < 28+uint64(n) {
+		return 0, geom.Point{}, nil, nil, fmt.Errorf("spatialdb: WAL insert payload truncated")
+	}
+	data, err = decodePayload(b[28 : 28+n])
+	if err != nil {
+		return 0, geom.Point{}, nil, nil, err
+	}
+	return id, loc, data, b[28+n:], nil
+}
+
+// encodeInsertOp builds an opInsert WAL record.
+func encodeInsertOp(id uint64, loc geom.Point, payload []byte) []byte {
+	return insertBody([]byte{opInsert}, id, loc, payload)
+}
+
+// encodeDeleteOp builds an opDelete WAL record.
+func encodeDeleteOp(id uint64, loc geom.Point) []byte {
+	b := []byte{opDelete}
+	b = binary.LittleEndian.AppendUint64(b, id)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(loc.X))
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(loc.Y))
+}
+
+// encodeBatchOp builds one shard's opBatch WAL record: the batch
+// identity plus this shard's slice of the records, payloads
+// pre-encoded in recs order.
+func encodeBatchOp(batchID uint64, shardCount int, recs []Record, payloads [][]byte) []byte {
+	b := []byte{opBatch}
+	b = binary.LittleEndian.AppendUint64(b, batchID)
+	b = binary.LittleEndian.AppendUint32(b, uint32(shardCount))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(recs)))
+	for i, r := range recs {
+		b = insertBody(b, r.ID, r.Loc, payloads[i])
+	}
+	return b
+}
+
+// encodeCommitOp builds the batch-commit record appended to the
+// table-level batch log after every per-shard opBatch frame landed.
+func encodeCommitOp(batchID uint64) []byte {
+	return binary.LittleEndian.AppendUint64([]byte{opCommit}, batchID)
+}
+
+// decodeOp inverts the encoders.
+func decodeOp(b []byte) (walOp, error) {
+	if len(b) == 0 {
+		return walOp{}, fmt.Errorf("spatialdb: empty WAL record")
+	}
+	op, rest := b[0], b[1:]
+	switch op {
+	case opInsert:
+		id, loc, data, tail, err := readInsertBody(rest)
+		if err != nil {
+			return walOp{}, err
+		}
+		if len(tail) != 0 {
+			return walOp{}, fmt.Errorf("spatialdb: %d trailing bytes after WAL insert", len(tail))
+		}
+		return walOp{op: op, id: id, loc: loc, data: data}, nil
+	case opDelete:
+		if len(rest) != 24 {
+			return walOp{}, fmt.Errorf("spatialdb: WAL delete record is %d bytes, want 24", len(rest))
+		}
+		return walOp{
+			op: op,
+			id: binary.LittleEndian.Uint64(rest[0:8]),
+			loc: geom.Pt(
+				math.Float64frombits(binary.LittleEndian.Uint64(rest[8:16])),
+				math.Float64frombits(binary.LittleEndian.Uint64(rest[16:24])),
+			),
+		}, nil
+	case opBatch:
+		if len(rest) < 16 {
+			return walOp{}, fmt.Errorf("spatialdb: WAL batch header truncated")
+		}
+		wb := walBatch{
+			id:         binary.LittleEndian.Uint64(rest[0:8]),
+			shardCount: int(binary.LittleEndian.Uint32(rest[8:12])),
+		}
+		n := binary.LittleEndian.Uint32(rest[12:16])
+		rest = rest[16:]
+		wb.recs = make([]Record, 0, n)
+		for i := uint32(0); i < n; i++ {
+			id, loc, data, tail, err := readInsertBody(rest)
+			if err != nil {
+				return walOp{}, err
+			}
+			wb.recs = append(wb.recs, Record{ID: id, Loc: loc, Data: data})
+			rest = tail
+		}
+		if len(rest) != 0 {
+			return walOp{}, fmt.Errorf("spatialdb: %d trailing bytes after WAL batch", len(rest))
+		}
+		return walOp{op: op, batch: wb}, nil
+	case opCommit:
+		if len(rest) != 8 {
+			return walOp{}, fmt.Errorf("spatialdb: WAL commit record is %d bytes, want 8", len(rest))
+		}
+		return walOp{op: op, batch: walBatch{id: binary.LittleEndian.Uint64(rest)}}, nil
+	default:
+		return walOp{}, fmt.Errorf("spatialdb: unknown WAL op %d", op)
+	}
+}

@@ -1,0 +1,242 @@
+package spatialdb
+
+// Crash recovery: rebuild a durable table's in-memory state from the
+// newest sealed runs plus the WAL tail. The invariants this relies on,
+// in the order the write paths establish them:
+//
+//  1. Every applied mutation was WAL-appended first (write-ahead), so
+//     the WAL plus the runs it was truncated over cover all acknowledged
+//     state.
+//  2. A WAL is truncated only after the run sealing it is fully durable,
+//     so a torn or missing newest run file implies the WAL still covers
+//     its records — discarding it loses nothing.
+//  3. A run that validates (footer present, checksums match) is
+//     immutable and complete; one that was durably sealed and later
+//     fails validation is corruption, reported as ErrCorruptRun rather
+//     than silently served as a hole.
+//  4. A multi-shard batch is applied only if its opCommit record — one
+//     frame in the table-level batch log, written after every per-shard
+//     frame — survives; otherwise its frames are dropped on every shard,
+//     preserving InsertBatch's all-or-nothing contract across a crash.
+//     Frame counting would not work here: a per-shard seal folds one
+//     shard's frames into a run and truncates them while sibling shards
+//     still hold theirs, so frame presence says nothing about whether
+//     the batch was fully logged. The commit does, atomically.
+//
+// Replay is idempotent over any base: inserts last-win on their
+// location and deletes of absent locations are no-ops, so the
+// crash-between-seal-and-truncate window (both the run and the WAL
+// cover the same records) recovers to the same state.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"popana/internal/geom"
+	"popana/internal/linearquad"
+	"popana/internal/segment"
+)
+
+// recoverFromDisk rebuilds every shard from its run ladder and WAL.
+// Called from OpenDurableTable before the table is shared, so no locks
+// are needed.
+func (t *Table) recoverFromDisk() error {
+	d := t.dur
+	// Phase 1: read the batch-commit log — the committed set is the
+	// batch-atomicity verdict — then decode every shard's WAL. Frames of
+	// uncommitted batches are re-marked failed so a post-recovery flush
+	// cannot seal them into a run (the in-memory failed set died with
+	// the crashed process).
+	committed := map[uint64]bool{}
+	var maxBatch uint64
+	_, err := d.batchLog.Fold(func(payload []byte) error {
+		op, err := decodeOp(payload)
+		if err != nil {
+			return err
+		}
+		if op.op != opCommit {
+			return fmt.Errorf("recover batch log: unexpected op %d", op.op)
+		}
+		committed[op.batch.id] = true
+		if op.batch.id > maxBatch {
+			maxBatch = op.batch.id
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("recover batch log: %w", err)
+	}
+	ops := make([][]walOp, len(t.shards))
+	for si := range t.shards {
+		_, err := d.shards[si].log.Fold(func(payload []byte) error {
+			op, err := decodeOp(payload)
+			if err != nil {
+				return err
+			}
+			if op.op == opBatch {
+				if op.batch.id > maxBatch {
+					maxBatch = op.batch.id
+				}
+				if !committed[op.batch.id] {
+					d.markFailedBatch(op.batch.id)
+				}
+			}
+			ops[si] = append(ops[si], op)
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("recover shard %d WAL: %w", si, err)
+		}
+	}
+	d.batchID.Store(maxBatch)
+
+	// Phase 2: per shard, merge the durable runs, replay the WAL tail on
+	// top, and rebuild the live index.
+	for si := range t.shards {
+		base, entries, err := t.loadRuns(si)
+		if err != nil {
+			return err
+		}
+		state := map[geom.Point]Record{}
+		for _, e := range entries {
+			data, derr := decodePayload(e.Payload)
+			if derr != nil {
+				return fmt.Errorf("recover shard %d: run entry id %d: %w", si, e.ID, derr)
+			}
+			loc := geom.Pt(e.X, e.Y)
+			state[loc] = Record{ID: e.ID, Loc: loc, Data: data}
+		}
+		for _, op := range ops[si] {
+			switch op.op {
+			case opInsert:
+				state[op.loc] = Record{ID: op.id, Loc: op.loc, Data: op.data}
+			case opDelete:
+				delete(state, op.loc)
+			case opBatch:
+				if committed[op.batch.id] {
+					for _, rec := range op.batch.recs {
+						state[rec.Loc] = rec
+					}
+				}
+			}
+		}
+		if err := t.installShardState(si, state); err != nil {
+			return fmt.Errorf("recover shard %d: %w", si, err)
+		}
+		// A cleanly closed shard — checkpoint run with a leaf index, no
+		// deltas over it, empty WAL — republishes its frozen snapshot
+		// directly from the run, restoring the lock-free read path
+		// without an O(n) re-freeze.
+		if base != nil && base.Codes != nil && len(ops[si]) == 0 && onlyRun(d.shards[si].runs, base.Meta.Seq) {
+			t.republishSnapshot(si, base)
+		}
+	}
+	return nil
+}
+
+// onlyRun reports whether seq is the only run in the ladder.
+func onlyRun(runs []runFile, seq uint64) bool {
+	return len(runs) == 1 && runs[0].seq == seq
+}
+
+// loadRuns validates one shard's run files and returns the newest full
+// run (nil if none) plus the merged entries of that run and every delta
+// sealed after it. A torn newest run — an interrupted flush — is
+// deleted and skipped (invariant 2: the WAL still covers it). Any other
+// invalid run was durably sealed once, so the open fails with the
+// validation error (ErrCorruptRun, or ErrTorn for an impossible torn
+// middle run) instead of serving a hole.
+func (t *Table) loadRuns(si int) (base *segment.Run, entries []segment.Entry, err error) {
+	ds := t.dur.shards[si]
+	runs := ds.runs
+	if n := len(runs); n > 0 {
+		if _, rerr := segment.ReadMeta(runs[n-1].path); errors.Is(rerr, segment.ErrTorn) {
+			if err := os.Remove(runs[n-1].path); err != nil {
+				return nil, nil, fmt.Errorf("recover shard %d: drop torn run: %w", si, err)
+			}
+			if err := segment.SyncDir(t.dur.dir); err != nil {
+				return nil, nil, err
+			}
+			runs = runs[:n-1]
+			ds.runs = runs
+		}
+	}
+	decoded := make([]*segment.Run, len(runs))
+	baseIdx := -1
+	for i, rf := range runs {
+		r, rerr := segment.Read(rf.path)
+		if rerr != nil {
+			return nil, nil, fmt.Errorf("recover shard %d: %w", si, rerr)
+		}
+		if int(r.Meta.Shard) != si || r.Meta.Region != t.shards[si].region {
+			return nil, nil, fmt.Errorf("recover shard %d: %w: run %s belongs to another layout (shard %d, region %v)",
+				si, ErrCorruptRun, rf.path, r.Meta.Shard, r.Meta.Region)
+		}
+		ds.runs[i].kind = r.Meta.Kind
+		decoded[i] = r
+		if r.Meta.Kind == segment.Full {
+			baseIdx = i
+		}
+	}
+	// Merge the newest full run with every later delta; older runs are
+	// superseded (an interrupted compaction leaves them behind).
+	var layers [][]segment.Entry
+	start := baseIdx
+	if start < 0 {
+		start = 0
+	}
+	for i := start; i < len(decoded); i++ {
+		layers = append(layers, decoded[i].Entries)
+	}
+	if baseIdx >= 0 {
+		base = decoded[baseIdx]
+	}
+	return base, segment.Merge(layers...), nil
+}
+
+// installShardState bulk-loads the recovered records into the shard's
+// tree and rebuilds the id index and counters.
+func (t *Table) installShardState(si int, state map[geom.Point]Record) error {
+	s := t.shards[si]
+	if len(state) > 0 {
+		points := make([]geom.Point, 0, len(state))
+		vals := make([]Record, 0, len(state))
+		for loc, rec := range state {
+			points = append(points, loc)
+			vals = append(vals, rec)
+		}
+		if _, err := s.index.BulkLoad(points, vals); err != nil {
+			return err
+		}
+	}
+	s.count.Store(int64(len(state)))
+	for _, rec := range state {
+		t.ids.stripe(rec.ID).m[rec.ID] = rec.Loc
+	}
+	return nil
+}
+
+// republishSnapshot rebuilds the shard's frozen snapshot from a
+// checkpoint run's leaf-index planes and publishes it at the recovered
+// epoch. Best-effort: a plane set that fails validation just leaves
+// the snapshot unpublished, and the first query rebuilds it from the
+// live tree.
+func (t *Table) republishSnapshot(si int, base *segment.Run) {
+	s := t.shards[si]
+	pts := make([]geom.Point, len(base.Entries))
+	vals := make([]Record, len(base.Entries))
+	for i, e := range base.Entries {
+		data, err := decodePayload(e.Payload)
+		if err != nil {
+			return
+		}
+		pts[i] = geom.Pt(e.X, e.Y)
+		vals[i] = Record{ID: e.ID, Loc: pts[i], Data: data}
+	}
+	f, err := linearquad.FromParts(s.region, base.Meta.Depth, base.Codes, base.Starts, pts, vals)
+	if err != nil {
+		return
+	}
+	s.publishRecovered(f)
+}

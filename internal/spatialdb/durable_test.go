@@ -1,0 +1,558 @@
+package spatialdb
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"popana/internal/dist"
+	"popana/internal/geom"
+	"popana/internal/xrand"
+)
+
+// durablePayload cycles through every payload kind the durable codec
+// supports, so round-trip tests cover all of them.
+func durablePayload(i int) any {
+	switch i % 8 {
+	case 0:
+		return nil
+	case 1:
+		return []byte{byte(i), byte(i >> 8), 0xFF}
+	case 2:
+		return "payload-" + string(rune('a'+i%26))
+	case 3:
+		return int64(-i)
+	case 4:
+		return uint64(i) << 32
+	case 5:
+		return float64(i) * 0.25
+	case 6:
+		return i%2 == 0
+	default:
+		return i
+	}
+}
+
+// uniqueRecords builds n records at distinct uniform locations with
+// payloads cycling through every durable kind.
+func uniqueRecords(n int, seed uint64) []Record {
+	src := dist.NewUniform(geom.UnitSquare, xrand.New(seed))
+	recs := make([]Record, 0, n)
+	seen := map[geom.Point]bool{}
+	for len(recs) < n {
+		p := src.Next()
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		recs = append(recs, Record{ID: uint64(len(recs)), Loc: p, Data: durablePayload(len(recs))})
+	}
+	return recs
+}
+
+// controlFor builds an in-memory control table holding recs.
+func controlFor(t *testing.T, opts TableOptions, recs []Record) *Table {
+	t.Helper()
+	c, err := NewDB().CreateTableWith("control", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InsertBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestDurableRoundTrip is the happy path: create, mutate through every
+// write path (Insert, InsertBatch, Delete), close gracefully, reopen,
+// and require the recovered table to answer 1000 randomized queries
+// exactly like an in-memory control that saw the same mutations.
+func TestDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	opts := TableOptions{Capacity: 4, ShardBits: 2}
+	db := NewDB()
+	tab, err := db.CreateDurableTable("pts", opts, DurableOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Durable() {
+		t.Fatal("CreateDurableTable returned a non-durable table")
+	}
+
+	recs := uniqueRecords(1200, 99)
+	if err := tab.InsertBatch(recs[:800]); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs[800:] {
+		if err := tab.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := uint64(0); id < 1200; id += 7 {
+		if ok, err := tab.DeleteChecked(id); err != nil || !ok {
+			t.Fatalf("delete %d: ok=%v err=%v", id, ok, err)
+		}
+	}
+	if err := tab.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A closed table rejects further durable mutations.
+	if err := tab.Insert(Record{ID: 9999, Loc: geom.Pt(0.123, 0.456)}); !errors.Is(err, ErrTableClosed) {
+		t.Fatalf("insert after Close: %v, want ErrTableClosed", err)
+	}
+	if _, err := tab.DeleteChecked(1); !errors.Is(err, ErrTableClosed) {
+		t.Fatalf("delete after Close: %v, want ErrTableClosed", err)
+	}
+	if err := db.DropTable("pts"); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := db.OpenDurableTable("pts", TableOptions{}, DurableOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	control := controlFor(t, opts, recs)
+	for id := uint64(0); id < 1200; id += 7 {
+		if !control.Delete(id) {
+			t.Fatalf("control delete %d failed", id)
+		}
+	}
+	assertSameRecords(t, "roundtrip", reopened, control)
+	assertEquivalentQueries(t, "roundtrip", reopened, control, 4242, 1000)
+
+	// The reopened table keeps working: mutate and recover once more.
+	if err := reopened.Insert(Record{ID: 50_000, Loc: geom.Pt(0.5, 0.25), Data: "late"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reopened.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropTable("pts"); err != nil {
+		t.Fatal(err)
+	}
+	again, err := db.OpenDurableTable("pts", TableOptions{}, DurableOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := again.Get(50_000)
+	if !ok || got.Data != "late" {
+		t.Fatalf("post-reopen insert lost: ok=%v rec=%+v", ok, got)
+	}
+}
+
+// TestDurableFlushCompactLadder drives the full storage ladder — WAL →
+// delta runs → compacted full run — then crashes and recovers, checking
+// the merged result against a control.
+func TestDurableFlushCompactLadder(t *testing.T) {
+	dir := t.TempDir()
+	opts := TableOptions{Capacity: 4, ShardBits: 1}
+	db := NewDB()
+	tab, err := db.CreateDurableTable("ladder", opts, DurableOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := uniqueRecords(600, 7)
+	control := controlFor(t, opts, nil)
+
+	for i, chunk := 0, 200; i < len(recs); i += chunk {
+		if err := tab.InsertBatch(recs[i : i+chunk]); err != nil {
+			t.Fatal(err)
+		}
+		if err := control.InsertBatch(recs[i : i+chunk]); err != nil {
+			t.Fatal(err)
+		}
+		if err := tab.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if countRunFiles(t, dir) < 3 {
+		t.Fatalf("expected >=3 sealed runs after 3 flushes, found %d", countRunFiles(t, dir))
+	}
+	// Deletes land in the WAL on top of sealed runs; compaction must
+	// respect them as tombstone-free WAL replay (they are folded into
+	// the next delta, then merged away).
+	for id := uint64(0); id < 600; id += 5 {
+		if ok, err := tab.DeleteChecked(id); err != nil || !ok {
+			t.Fatalf("delete %d: ok=%v err=%v", id, ok, err)
+		}
+		if !control.Delete(id) {
+			t.Fatalf("control delete %d failed", id)
+		}
+	}
+	if err := tab.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.CompactDisk(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := countRunFiles(t, dir), tab.Shards(); got > want {
+		t.Fatalf("after CompactDisk: %d run files, want <=%d (one per shard)", got, want)
+	}
+
+	tab.Kill()
+	if err := db.DropTable("ladder"); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := db.OpenDurableTable("ladder", TableOptions{}, DurableOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRecords(t, "ladder", reopened, control)
+	assertEquivalentQueries(t, "ladder", reopened, control, 31337, 1000)
+}
+
+// TestDurableAutoFlushWorker checks the background worker seals runs on
+// its own once the WAL crosses the AutoFlush threshold.
+func TestDurableAutoFlushWorker(t *testing.T) {
+	dir := t.TempDir()
+	db := NewDB()
+	tab, err := db.CreateDurableTable("auto", TableOptions{Capacity: 4, ShardBits: SingleShard},
+		DurableOptions{Dir: dir, AutoFlush: 16, CompactAfter: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range uniqueRecords(400, 55) {
+		if err := tab.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for countRunFiles(t, dir) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background worker sealed no runs within 10s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := tab.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableRecoverEmptyWAL: a table killed before any mutation
+// recovers to an empty, fully functional table.
+func TestDurableRecoverEmptyWAL(t *testing.T) {
+	dir := t.TempDir()
+	db := NewDB()
+	tab, err := db.CreateDurableTable("empty", TableOptions{Capacity: 4, ShardBits: 2}, DurableOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Kill()
+	if err := db.DropTable("empty"); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := db.OpenDurableTable("empty", TableOptions{}, DurableOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Len() != 0 {
+		t.Fatalf("empty table recovered %d records", reopened.Len())
+	}
+	if err := reopened.Insert(Record{ID: 1, Loc: geom.Pt(0.5, 0.5), Data: int64(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reopened.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableRecoverTornFirstRecord: a WAL whose only record is torn —
+// a crash mid-first-append — recovers to an empty table: the record was
+// never acknowledged, so discarding it is correct, and the reopened WAL
+// must accept appends (Open truncates the torn tail).
+func TestDurableRecoverTornFirstRecord(t *testing.T) {
+	dir := t.TempDir()
+	db := NewDB()
+	tab, err := db.CreateDurableTable("torn", TableOptions{Capacity: 4, ShardBits: SingleShard}, DurableOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(Record{ID: 1, Loc: geom.Pt(0.25, 0.75), Data: "gone"}); err != nil {
+		t.Fatal(err)
+	}
+	tab.Kill()
+	if err := db.DropTable("torn"); err != nil {
+		t.Fatal(err)
+	}
+	// Shear the only frame mid-payload: 4 bytes is inside the 8-byte
+	// frame header, so not even the length survives.
+	walFile := filepath.Join(dir, "shard-0.wal")
+	if err := os.Truncate(walFile, 4); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := db.OpenDurableTable("torn", TableOptions{}, DurableOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Len() != 0 {
+		t.Fatalf("torn-first-record table recovered %d records", reopened.Len())
+	}
+	if err := reopened.Insert(Record{ID: 2, Loc: geom.Pt(0.1, 0.1)}); err != nil {
+		t.Fatalf("append after torn-tail truncation: %v", err)
+	}
+	if err := reopened.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableRecoverCorruptFooter: a newest run whose footer is damaged
+// is indistinguishable from an interrupted flush, so recovery discards
+// it (deleting the file) and opens what the WAL and older runs cover.
+func TestDurableRecoverCorruptFooter(t *testing.T) {
+	dir := t.TempDir()
+	db := NewDB()
+	tab, err := db.CreateDurableTable("footer", TableOptions{Capacity: 4, ShardBits: SingleShard}, DurableOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.InsertBatch(uniqueRecords(100, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Close(); err != nil { // seals one checkpoint run, truncates the WAL
+		t.Fatal(err)
+	}
+	if err := db.DropTable("footer"); err != nil {
+		t.Fatal(err)
+	}
+	run := onlyRunFile(t, dir)
+	flipLastByte(t, run)
+
+	reopened, err := db.OpenDurableTable("footer", TableOptions{}, DurableOptions{Dir: dir})
+	if err != nil {
+		t.Fatalf("corrupt-footer open failed: %v (a damaged footer must be treated as torn)", err)
+	}
+	if reopened.Len() != 0 {
+		t.Fatalf("recovered %d records from a discarded run", reopened.Len())
+	}
+	if _, err := os.Stat(run); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("torn newest run not deleted: stat=%v", err)
+	}
+	if err := reopened.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableRecoverCorruptBody: a run with a valid footer but a
+// damaged body was durably sealed and has since rotted; recovery must
+// refuse to open rather than silently serve a hole.
+func TestDurableRecoverCorruptBody(t *testing.T) {
+	dir := t.TempDir()
+	db := NewDB()
+	tab, err := db.CreateDurableTable("rot", TableOptions{Capacity: 4, ShardBits: SingleShard}, DurableOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.InsertBatch(uniqueRecords(100, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropTable("rot"); err != nil {
+		t.Fatal(err)
+	}
+	run := onlyRunFile(t, dir)
+	flipBodyByte(t, run)
+
+	if _, err := db.OpenDurableTable("rot", TableOptions{}, DurableOptions{Dir: dir}); !errors.Is(err, ErrCorruptRun) {
+		t.Fatalf("corrupt-body open: %v, want ErrCorruptRun", err)
+	}
+}
+
+// TestDurableShardLayoutMismatch: the shard layout is pinned by the
+// manifest; reopening under a different layout must fail with the typed
+// error, because the on-disk runs are keyed by the created layout's
+// cells.
+func TestDurableShardLayoutMismatch(t *testing.T) {
+	dir := t.TempDir()
+	db := NewDB()
+	tab, err := db.CreateDurableTable("layout", TableOptions{Capacity: 4, ShardBits: SingleShard}, DurableOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropTable("layout"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.OpenDurableTable("layout", TableOptions{ShardBits: 2}, DurableOptions{Dir: dir}); !errors.Is(err, ErrShardLayoutMismatch) {
+		t.Fatalf("ShardBits 2 over SingleShard manifest: %v, want ErrShardLayoutMismatch", err)
+	}
+	// Re-pinning the created layout is fine.
+	reopened, err := db.OpenDurableTable("layout", TableOptions{ShardBits: SingleShard}, DurableOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reopened.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableManifestMismatch covers the remaining manifest pins: name,
+// capacity, and a second create in an occupied directory.
+func TestDurableManifestMismatch(t *testing.T) {
+	dir := t.TempDir()
+	db := NewDB()
+	tab, err := db.CreateDurableTable("pinned", TableOptions{Capacity: 8, ShardBits: SingleShard}, DurableOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropTable("pinned"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.OpenDurableTable("other", TableOptions{}, DurableOptions{Dir: dir}); !errors.Is(err, ErrManifestMismatch) {
+		t.Fatalf("wrong name: %v, want ErrManifestMismatch", err)
+	}
+	if _, err := db.OpenDurableTable("pinned", TableOptions{Capacity: 16}, DurableOptions{Dir: dir}); !errors.Is(err, ErrManifestMismatch) {
+		t.Fatalf("wrong capacity: %v, want ErrManifestMismatch", err)
+	}
+	if _, err := db.CreateDurableTable("pinned2", TableOptions{Capacity: 4}, DurableOptions{Dir: dir}); err == nil ||
+		!strings.Contains(err.Error(), "OpenDurableTable") {
+		t.Fatalf("create over occupied dir: %v, want pointer to OpenDurableTable", err)
+	}
+	if _, err := db.CreateDurableTable("nodir", TableOptions{Capacity: 4}, DurableOptions{}); err == nil {
+		t.Fatal("create with empty Dir accepted")
+	}
+	if _, err := db.OpenDurableTable("nodir", TableOptions{}, DurableOptions{}); err == nil {
+		t.Fatal("open with empty Dir accepted")
+	}
+}
+
+// TestDurablePayloadNotDurable: a payload the codec cannot frame is
+// rejected before the WAL is touched, leaving the table unchanged —
+// while the same payload stays legal on an in-memory table.
+func TestDurablePayloadNotDurable(t *testing.T) {
+	dir := t.TempDir()
+	db := NewDB()
+	tab, err := db.CreateDurableTable("codec", TableOptions{Capacity: 4, ShardBits: SingleShard}, DurableOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Record{ID: 1, Loc: geom.Pt(0.5, 0.5), Data: map[string]int{"not": 1}}
+	if err := tab.Insert(bad); !errors.Is(err, ErrPayloadNotDurable) {
+		t.Fatalf("map payload insert: %v, want ErrPayloadNotDurable", err)
+	}
+	if err := tab.InsertBatch([]Record{bad}); !errors.Is(err, ErrPayloadNotDurable) {
+		t.Fatalf("map payload batch: %v, want ErrPayloadNotDurable", err)
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("rejected payload left %d records behind", tab.Len())
+	}
+	if err := tab.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mem, err := db.CreateTableWith("mem", TableOptions{Capacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Insert(bad); err != nil {
+		t.Fatalf("in-memory table rejected a non-durable payload: %v", err)
+	}
+}
+
+// TestPayloadCodecRoundTrip pins the wire format of every payload kind.
+func TestPayloadCodecRoundTrip(t *testing.T) {
+	vals := []any{nil, []byte{}, []byte{1, 2, 3}, "", "hello", int64(-42),
+		uint64(1) << 63, 3.14159, true, false, int(-7)}
+	for _, v := range vals {
+		buf, err := encodePayload(v)
+		if err != nil {
+			t.Fatalf("encode %#v: %v", v, err)
+		}
+		got, err := decodePayload(buf)
+		if err != nil {
+			t.Fatalf("decode %#v: %v", v, err)
+		}
+		if !payloadEqual(got, v) {
+			t.Fatalf("round trip %#v -> %#v", v, got)
+		}
+	}
+	if _, err := encodePayload(struct{ X int }{1}); !errors.Is(err, ErrPayloadNotDurable) {
+		t.Fatalf("struct payload: %v, want ErrPayloadNotDurable", err)
+	}
+}
+
+// countRunFiles counts sealed .seg files in dir.
+func countRunFiles(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			n++
+		}
+	}
+	return n
+}
+
+// onlyRunFile returns the single .seg file in dir, failing if there is
+// not exactly one.
+func onlyRunFile(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			runs = append(runs, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(runs) != 1 {
+		t.Fatalf("expected exactly one run file, found %d: %v", len(runs), runs)
+	}
+	return runs[0]
+}
+
+// flipLastByte XORs the file's final byte — the tail of the footer
+// magic.
+func flipLastByte(t *testing.T, path string) {
+	t.Helper()
+	flipByteAt(t, path, -1)
+}
+
+// flipBodyByte XORs one byte in the middle of the file body, past the
+// header but well before the footer.
+func flipBodyByte(t *testing.T, path string) {
+	t.Helper()
+	flipByteAt(t, path, 100)
+}
+
+func flipByteAt(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off < 0 {
+		off = st.Size() + off
+	}
+	if off >= st.Size() {
+		t.Fatalf("offset %d beyond file size %d", off, st.Size())
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package spatialdb
+
+// The shared query-equivalence harness: the acceptance gate for every
+// engine change that must preserve observable behavior. It drives two
+// tables — a subject and a control holding (supposedly) the same
+// records — through randomized window, radius, and nearest queries,
+// budgeted and not, and fails on the first divergence in record sets,
+// counts, or Truncated flags. The sharding suite uses it to prove a
+// 16-shard table answers like a single-shard one; the durability suite
+// uses it to prove a crash-recovered table answers like one that never
+// crashed.
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"popana/internal/geom"
+	"popana/internal/xrand"
+)
+
+// assertEquivalentQueries runs `queries` randomized queries against
+// both tables and fails on the first divergence. The seed pins the
+// query mix, so a failure replays exactly.
+func assertEquivalentQueries(t *testing.T, label string, subject, control *Table, seed uint64, queries int) {
+	t.Helper()
+	rng := xrand.New(seed)
+	for i := 0; i < queries; i++ {
+		var q Query
+		switch i % 3 {
+		case 0:
+			w := geom.R(rng.Float64(), rng.Float64(), 0, 0)
+			w.MaxX = w.MinX + 0.01 + rng.Float64()*0.6
+			w.MaxY = w.MinY + 0.01 + rng.Float64()*0.6
+			q = Query{Window: &w}
+		case 1:
+			q = Query{Within: &WithinSpec{
+				At:     geom.Pt(rng.Float64(), rng.Float64()),
+				Radius: 0.01 + rng.Float64()*0.4,
+			}}
+		case 2:
+			q = Query{Nearest: &NearestSpec{
+				At: geom.Pt(rng.Float64(), rng.Float64()),
+				K:  1 + rng.Intn(20),
+			}}
+		}
+		if q.Nearest == nil && i%2 == 0 {
+			q.MaxNodes = 1 << 20 // ample: never truncates
+		}
+		name := fmt.Sprintf("%s/q%d", label, i)
+
+		got, gotCost, err := subject.Select(q)
+		if err != nil {
+			t.Fatalf("%s: subject Select: %v", name, err)
+		}
+		want, wantCost, err := control.Select(q)
+		if err != nil {
+			t.Fatalf("%s: control Select: %v", name, err)
+		}
+		gi, wi := recordIDs(got), recordIDs(want)
+		if len(gi) != len(wi) {
+			t.Fatalf("%s: subject returned %d records, control %d", name, len(gi), len(wi))
+		}
+		for j := range gi {
+			if gi[j] != wi[j] {
+				t.Fatalf("%s: record sets differ at %d: %d vs %d", name, j, gi[j], wi[j])
+			}
+		}
+		if gotCost.Truncated != wantCost.Truncated {
+			t.Fatalf("%s: Truncated %v vs %v", name, gotCost.Truncated, wantCost.Truncated)
+		}
+
+		if q.Window != nil {
+			gc, gCost, err := subject.CountRange(*q.Window, q.MaxNodes)
+			if err != nil {
+				t.Fatalf("%s: subject CountRange: %v", name, err)
+			}
+			wc, wCost, err := control.CountRange(*q.Window, q.MaxNodes)
+			if err != nil {
+				t.Fatalf("%s: control CountRange: %v", name, err)
+			}
+			if gc != wc || gc != len(want) {
+				t.Fatalf("%s: CountRange %d vs %d (Select %d)", name, gc, wc, len(want))
+			}
+			if gCost.Truncated != wCost.Truncated {
+				t.Fatalf("%s: count Truncated %v vs %v", name, gCost.Truncated, wCost.Truncated)
+			}
+		}
+	}
+}
+
+// assertSameRecords asserts the two tables hold bit-identical record
+// sets: same IDs, same locations, same payloads.
+func assertSameRecords(t *testing.T, label string, subject, control *Table) {
+	t.Helper()
+	if sl, cl := subject.Len(), control.Len(); sl != cl {
+		t.Fatalf("%s: subject holds %d records, control %d", label, sl, cl)
+	}
+	full := control.region
+	want, _, err := control.Select(Query{Window: &full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i].ID < want[j].ID })
+	for _, w := range want {
+		g, ok := subject.Get(w.ID)
+		if !ok {
+			t.Fatalf("%s: record %d missing from subject", label, w.ID)
+		}
+		if g.Loc != w.Loc {
+			t.Fatalf("%s: record %d at %v, control has %v", label, w.ID, g.Loc, w.Loc)
+		}
+		if !payloadEqual(g.Data, w.Data) {
+			t.Fatalf("%s: record %d payload %#v, control has %#v", label, w.ID, g.Data, w.Data)
+		}
+	}
+}
+
+// payloadEqual compares durable payload values ([]byte needs an
+// element-wise comparison; everything else the codec supports is
+// comparable).
+func payloadEqual(a, b any) bool {
+	ab, aok := a.([]byte)
+	bb, bok := b.([]byte)
+	if aok || bok {
+		if !aok || !bok || len(ab) != len(bb) {
+			return false
+		}
+		for i := range ab {
+			if ab[i] != bb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return a == b
+}

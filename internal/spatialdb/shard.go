@@ -50,7 +50,7 @@ type shard struct {
 	// The publish-after-build discipline the lock-free read path relies
 	// on lives entirely in the three accessors below; popvet's
 	// lockdiscipline analyzer rejects any other Load or Store.
-	//popvet:accessors loadFresh rebuildLocked maybeRebuildLocked
+	//popvet:accessors loadFresh rebuildLocked maybeRebuildLocked publishRecovered
 	snap atomic.Pointer[snapshot]
 	// rebuilding serializes snapshot builds so a thundering herd of
 	// stale readers freezes the shard once, not once per reader.
@@ -117,6 +117,15 @@ func (s *shard) rangerLocked(every uint64) ranger {
 		return f
 	}
 	return s.index
+}
+
+// publishRecovered publishes a snapshot reconstructed from a durable
+// checkpoint run at the shard's current (recovered) epoch. Called only
+// from recovery, before the table is shared, so the fully-built frozen
+// copy is published before any reader can load it — the same
+// publish-after-build discipline rebuildLocked enforces.
+func (s *shard) publishRecovered(f *linearquad.Frozen[Record]) {
+	s.snap.Store(&snapshot{frozen: f, epoch: s.epoch.Load()})
 }
 
 // compact rebuilds this shard's snapshot immediately under its read

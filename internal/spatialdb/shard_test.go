@@ -2,7 +2,6 @@ package spatialdb
 
 import (
 	"errors"
-	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -110,69 +109,7 @@ func TestShardedEquivalence1kQueries(t *testing.T) {
 	}
 	for _, st := range states {
 		st.prep()
-		rng := xrand.New(123)
-		for i := 0; i < 1000; i++ {
-			var q Query
-			switch i % 3 {
-			case 0:
-				w := geom.R(rng.Float64(), rng.Float64(), 0, 0)
-				w.MaxX = w.MinX + 0.01 + rng.Float64()*0.6
-				w.MaxY = w.MinY + 0.01 + rng.Float64()*0.6
-				q = Query{Window: &w}
-			case 1:
-				q = Query{Within: &WithinSpec{
-					At:     geom.Pt(rng.Float64(), rng.Float64()),
-					Radius: 0.01 + rng.Float64()*0.4,
-				}}
-			case 2:
-				q = Query{Nearest: &NearestSpec{
-					At: geom.Pt(rng.Float64(), rng.Float64()),
-					K:  1 + rng.Intn(20),
-				}}
-			}
-			if q.Nearest == nil && i%2 == 0 {
-				q.MaxNodes = 1 << 20 // ample: never truncates
-			}
-			name := fmt.Sprintf("%s/q%d", st.name, i)
-
-			got, gotCost, err := sharded.Select(q)
-			if err != nil {
-				t.Fatalf("%s: sharded Select: %v", name, err)
-			}
-			want, wantCost, err := control.Select(q)
-			if err != nil {
-				t.Fatalf("%s: control Select: %v", name, err)
-			}
-			gi, wi := recordIDs(got), recordIDs(want)
-			if len(gi) != len(wi) {
-				t.Fatalf("%s: sharded returned %d records, control %d", name, len(gi), len(wi))
-			}
-			for j := range gi {
-				if gi[j] != wi[j] {
-					t.Fatalf("%s: record sets differ at %d: %d vs %d", name, j, gi[j], wi[j])
-				}
-			}
-			if gotCost.Truncated != wantCost.Truncated {
-				t.Fatalf("%s: Truncated %v vs %v", name, gotCost.Truncated, wantCost.Truncated)
-			}
-
-			if q.Window != nil {
-				gc, gCost, err := sharded.CountRange(*q.Window, q.MaxNodes)
-				if err != nil {
-					t.Fatalf("%s: sharded CountRange: %v", name, err)
-				}
-				wc, wCost, err := control.CountRange(*q.Window, q.MaxNodes)
-				if err != nil {
-					t.Fatalf("%s: control CountRange: %v", name, err)
-				}
-				if gc != wc || gc != len(want) {
-					t.Fatalf("%s: CountRange %d vs %d (Select %d)", name, gc, wc, len(want))
-				}
-				if gCost.Truncated != wCost.Truncated {
-					t.Fatalf("%s: count Truncated %v vs %v", name, gCost.Truncated, wCost.Truncated)
-				}
-			}
-		}
+		assertEquivalentQueries(t, st.name, sharded, control, 123, 1000)
 	}
 }
 

@@ -254,30 +254,61 @@ func (db *DB) CreateTable(name string, capacity int, region geom.Rect) (*Table, 
 	return db.CreateTableWith(name, TableOptions{Capacity: capacity, Region: region})
 }
 
-// CreateTableWith creates a table with explicit options.
-func (db *DB) CreateTableWith(name string, opts TableOptions) (*Table, error) {
+// resolveShardBits maps a TableOptions.ShardBits value to the actual
+// shard-key depth: SingleShard forces one shard, zero auto-sizes to
+// GOMAXPROCS, values above MaxShardBits are clamped.
+func resolveShardBits(bits int) (int, error) {
+	switch {
+	case bits == SingleShard:
+		return 0, nil
+	case bits == 0:
+		return autoShardBits(), nil
+	case bits < 0:
+		return 0, fmt.Errorf("ShardBits %d out of range", bits)
+	case bits > MaxShardBits:
+		return MaxShardBits, nil
+	}
+	return bits, nil
+}
+
+// resolveTableShape validates and defaults the region and shard layout
+// of a new table.
+func resolveTableShape(name string, opts TableOptions) (geom.Rect, int, error) {
 	region := opts.Region
 	if region == (geom.Rect{}) {
 		region = geom.UnitSquare
 	} else if err := validateRegion(region); err != nil {
-		return nil, fmt.Errorf("spatialdb: create %q: %w", name, err)
+		return geom.Rect{}, 0, fmt.Errorf("spatialdb: create %q: %w", name, err)
 	}
-	bits := opts.ShardBits
-	switch {
-	case bits == SingleShard:
-		bits = 0
-	case bits == 0:
-		bits = autoShardBits()
-	case bits < 0:
-		return nil, fmt.Errorf("spatialdb: create %q: ShardBits %d out of range", name, opts.ShardBits)
-	case bits > MaxShardBits:
-		bits = MaxShardBits
+	bits, err := resolveShardBits(opts.ShardBits)
+	if err != nil {
+		return geom.Rect{}, 0, fmt.Errorf("spatialdb: create %q: %w", name, err)
+	}
+	return region, bits, nil
+}
+
+// CreateTableWith creates a table with explicit options.
+func (db *DB) CreateTableWith(name string, opts TableOptions) (*Table, error) {
+	region, bits, err := resolveTableShape(name, opts)
+	if err != nil {
+		return nil, err
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, exists := db.tables[name]; exists {
 		return nil, fmt.Errorf("spatialdb: table %q already exists", name)
 	}
+	t, err := db.buildTable(name, opts, region, bits)
+	if err != nil {
+		return nil, err
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// buildTable constructs a Table and its shards from resolved options.
+// The caller holds db.mu and registers the table in the catalog.
+func (db *DB) buildTable(name string, opts TableOptions, region geom.Rect, bits int) (*Table, error) {
 	occ, approx, attempts, err := solveOccupancy(opts.Capacity, db.inj)
 	if err != nil {
 		return nil, fmt.Errorf("spatialdb: create %q: %w", name, err)
@@ -314,7 +345,6 @@ func (db *DB) CreateTableWith(name string, opts TableOptions) (*Table, error) {
 		}
 		t.shards[i] = &shard{region: cell, inj: db.inj, index: idx}
 	}
-	db.tables[name] = t
 	return t, nil
 }
 
@@ -392,6 +422,10 @@ type Table struct {
 	occ       float64
 	occApprox bool
 	attempts  []solver.Attempt
+
+	// dur is the durable-storage state — per-shard WALs and sealed run
+	// ladders — or nil for an in-memory table. Set once at creation.
+	dur *durableTable
 }
 
 // SetSnapshotThreshold overrides DefaultSnapshotThreshold: the number
@@ -492,11 +526,28 @@ func (t *Table) Insert(rec Record) error {
 	if err := validatePoint(rec.Loc); err != nil {
 		return fmt.Errorf("spatialdb: insert into %q: %w", t.name, err)
 	}
+	// Durable write-ahead ordering requires every failure mode of the
+	// in-memory apply to be ruled out before the WAL append, so the
+	// region check and payload encoding happen up front (an in-memory
+	// table defers the region check to the tree, which produces the
+	// same ErrOutOfRegion).
+	var payload []byte
+	if t.dur != nil {
+		if !t.region.Contains(rec.Loc) {
+			return fmt.Errorf("spatialdb: insert into %q: %w: %v not in %v",
+				t.name, quadtree.ErrOutOfRegion, rec.Loc, t.region)
+		}
+		var perr error
+		if payload, perr = encodePayload(rec.Data); perr != nil {
+			return fmt.Errorf("spatialdb: insert into %q: %w", t.name, perr)
+		}
+	}
 	t.inj.Delay(faultinject.InsertLatency)
 	if err := t.inj.Err(faultinject.InsertFault); err != nil {
 		return fmt.Errorf("spatialdb: insert into %q: %w", t.name, err)
 	}
-	s := t.shardOf(rec.Loc)
+	si := t.shardIndexOf(rec.Loc)
+	s := t.shards[si]
 	st := t.ids.stripe(rec.ID)
 	// Lock order: shard, then stripe.
 	s.mu.Lock()
@@ -508,6 +559,15 @@ func (t *Table) Insert(rec Record) error {
 	}
 	if s.index.Contains(rec.Loc) {
 		return fmt.Errorf("spatialdb: insert into %q: location %v already occupied", t.name, rec.Loc)
+	}
+	if t.dur != nil {
+		// Write-ahead: a failed append leaves no partial record (the
+		// in-memory state is untouched and recovery discards the torn
+		// frame); a successful append cannot fail to apply.
+		if err := t.dur.logInsert(si, rec, payload); err != nil {
+			return fmt.Errorf("spatialdb: insert into %q: %w", t.name, err)
+		}
+		defer t.dur.notifyFlush()
 	}
 	s.epoch.Add(1) // invalidate the frozen snapshot before mutating
 	if _, err := s.index.Insert(rec.Loc, rec); err != nil {
@@ -528,6 +588,10 @@ func (t *Table) Insert(rec Record) error {
 // readers, which hold all their target shards' read locks for the whole
 // scan, never observe a partially applied batch.
 func (t *Table) InsertBatch(recs []Record) error {
+	var payloads [][]byte
+	if t.dur != nil {
+		payloads = make([][]byte, len(recs))
+	}
 	for i := range recs {
 		if err := validatePoint(recs[i].Loc); err != nil {
 			return fmt.Errorf("spatialdb: insert batch into %q: record %d: %w", t.name, i, err)
@@ -535,6 +599,12 @@ func (t *Table) InsertBatch(recs []Record) error {
 		if !t.region.Contains(recs[i].Loc) {
 			return fmt.Errorf("spatialdb: insert batch into %q: %w: %v not in %v",
 				t.name, quadtree.ErrOutOfRegion, recs[i].Loc, t.region)
+		}
+		if t.dur != nil {
+			var perr error
+			if payloads[i], perr = encodePayload(recs[i].Data); perr != nil {
+				return fmt.Errorf("spatialdb: insert batch into %q: record %d: %w", t.name, i, perr)
+			}
 		}
 	}
 	t.inj.Delay(faultinject.InsertLatency)
@@ -584,6 +654,16 @@ func (t *Table) InsertBatch(recs []Record) error {
 		}
 		seenID[id] = struct{}{}
 		seenLoc[loc] = struct{}{}
+	}
+	if t.dur != nil {
+		// Write-ahead, all shards logged under the held locks: if any
+		// per-shard append fails the batch is marked failed (frames
+		// already written are dropped by Flush and by recovery's
+		// completeness check) and nothing is applied.
+		if err := t.dur.logBatch(involved, byShard, recs, payloads); err != nil {
+			return fmt.Errorf("spatialdb: insert batch into %q: %w", t.name, err)
+		}
+		defer t.dur.notifyFlush()
 	}
 	// Apply per shard. Validation above covered every BulkLoad failure
 	// mode (region membership, duplicate locations), so the loop cannot
@@ -636,24 +716,38 @@ func (t *Table) Get(id uint64) (Record, bool) {
 // Delete removes the record with the given ID, locking only the shard
 // that holds it. The location is looked up first and re-verified under
 // the shard lock; if a concurrent delete+insert moved the ID between
-// the two reads, the deletion retries against the new location.
+// the two reads, the deletion retries against the new location. On a
+// durable table a WAL failure aborts the delete and reports "not
+// deleted"; use DeleteChecked to observe the error itself.
 func (t *Table) Delete(id uint64) bool {
+	deleted, _ := t.DeleteChecked(id)
+	return deleted
+}
+
+// DeleteChecked is Delete with the durable write-ahead error surfaced:
+// a delete whose WAL append fails is not applied, and the error says
+// why. In-memory tables never return an error.
+func (t *Table) DeleteChecked(id uint64) (bool, error) {
 	for {
 		loc, ok := t.ids.lookup(id)
 		if !ok {
-			return false
+			return false, nil
 		}
-		done, deleted := t.deleteAt(id, loc)
+		done, deleted, err := t.deleteAt(id, loc)
+		if err != nil {
+			return false, fmt.Errorf("spatialdb: delete from %q: %w", t.name, err)
+		}
 		if done {
-			return deleted
+			return deleted, nil
 		}
 	}
 }
 
 // deleteAt removes id if it still lives at loc. done=false means the ID
 // relocated between lookup and lock (retry with a fresh lookup).
-func (t *Table) deleteAt(id uint64, loc geom.Point) (done, deleted bool) {
-	s := t.shardOf(loc)
+func (t *Table) deleteAt(id uint64, loc geom.Point) (done, deleted bool, err error) {
+	si := t.shardIndexOf(loc)
+	s := t.shards[si]
 	st := t.ids.stripe(id)
 	// Lock order: shard, then stripe.
 	s.mu.Lock()
@@ -662,16 +756,23 @@ func (t *Table) deleteAt(id uint64, loc geom.Point) (done, deleted bool) {
 	defer st.mu.Unlock()
 	cur, ok := st.m[id]
 	if !ok {
-		return true, false
+		return true, false, nil
 	}
 	if cur != loc {
-		return false, false
+		return false, false, nil
+	}
+	if t.dur != nil {
+		// Write-ahead: a failed append leaves the record in place.
+		if err := t.dur.logDelete(si, id, loc); err != nil {
+			return true, false, err
+		}
+		defer t.dur.notifyFlush()
 	}
 	s.epoch.Add(1) // invalidate the frozen snapshot before mutating
 	delete(st.m, id)
 	if s.index.Delete(loc) {
 		s.count.Add(-1)
-		return true, true
+		return true, true, nil
 	}
-	return true, false
+	return true, false, nil
 }

@@ -1,0 +1,245 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"popana/internal/faultinject"
+)
+
+func openT(t *testing.T, dir string, opts Options) *Log {
+	t.Helper()
+	l, err := Open(filepath.Join(dir, "shard.wal"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func collect(t *testing.T, l *Log) (recs [][]byte, torn bool) {
+	t.Helper()
+	torn, err := l.Fold(func(p []byte) error {
+		recs = append(recs, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs, torn
+}
+
+func TestAppendFoldRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{})
+	want := [][]byte{[]byte("one"), {}, []byte("three-3"), bytes.Repeat([]byte{0xAB}, 4096)}
+	for _, p := range want {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if n := l.Records(); n != len(want) {
+		t.Fatalf("Records = %d, want %d", n, len(want))
+	}
+	got, torn := collect(t, l)
+	if torn {
+		t.Fatal("clean log reported torn")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: same records survive.
+	l2 := openT(t, dir, Options{})
+	defer l2.Close()
+	got2, torn := collect(t, l2)
+	if torn || len(got2) != len(want) {
+		t.Fatalf("after reopen: %d records, torn=%v", len(got2), torn)
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	l := openT(t, t.TempDir(), Options{})
+	defer l.Close()
+	recs, torn := collect(t, l)
+	if len(recs) != 0 || torn || l.Records() != 0 {
+		t.Fatalf("empty log: %d records, torn=%v", len(recs), torn)
+	}
+}
+
+// tornVariants damages a valid two-record log in every torn-tail shape:
+// partial header, short payload, and corrupt payload checksum.
+func tornVariants(t *testing.T) map[string]func(path string, frameEnd int64) {
+	t.Helper()
+	return map[string]func(string, int64){
+		"partial-header": func(path string, frameEnd int64) {
+			if err := os.Truncate(path, frameEnd+3); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"short-payload": func(path string, frameEnd int64) {
+			if err := os.Truncate(path, frameEnd+headerSize+1); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"bad-crc": func(path string, frameEnd int64) {
+			f, err := os.OpenFile(path, os.O_RDWR, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if _, err := f.WriteAt([]byte{0xFF}, frameEnd+headerSize); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+}
+
+func TestTornTailDiscardedAndTruncatedOnOpen(t *testing.T) {
+	for name, damage := range tornVariants(t) {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			l := openT(t, dir, Options{})
+			good := [][]byte{[]byte("alpha"), []byte("beta")}
+			for _, p := range good {
+				if err := l.Append(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			goodEnd := l.size
+			if err := l.Append([]byte("doomed-record")); err != nil {
+				t.Fatal(err)
+			}
+			l.Close()
+			damage(l.Path(), goodEnd)
+
+			l2 := openT(t, dir, Options{})
+			defer l2.Close()
+			recs, torn := collect(t, l2)
+			if torn {
+				t.Fatal("Open did not truncate the torn tail")
+			}
+			if len(recs) != len(good) {
+				t.Fatalf("%d records survived, want %d", len(recs), len(good))
+			}
+			// The file itself was truncated back to the valid prefix, so a
+			// post-recovery append is replayable.
+			if err := l2.Append([]byte("after-recovery")); err != nil {
+				t.Fatal(err)
+			}
+			recs, torn = collect(t, l2)
+			if torn || len(recs) != len(good)+1 || string(recs[len(recs)-1]) != "after-recovery" {
+				t.Fatalf("append after recovery not replayable: %d records, torn=%v", len(recs), torn)
+			}
+		})
+	}
+}
+
+// TestTornFirstRecord: a log whose only record is torn must recover to
+// empty, not error.
+func TestTornFirstRecord(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{})
+	if err := l.Append(bytes.Repeat([]byte("x"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if err := os.Truncate(l.Path(), 11); err != nil { // mid-payload
+		t.Fatal(err)
+	}
+	l2 := openT(t, dir, Options{})
+	defer l2.Close()
+	recs, torn := collect(t, l2)
+	if len(recs) != 0 || torn || l2.Records() != 0 {
+		t.Fatalf("torn-first-record log: %d records, torn=%v", len(recs), torn)
+	}
+}
+
+func TestInjectedTornWritePoisons(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultinject.New(3)
+	l := openT(t, dir, Options{Injector: inj})
+	if err := l.Append([]byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	inj.EnableN(faultinject.WALTornWrite, 1.0, 1)
+	err := l.Append([]byte("torn-by-injection"))
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("injected append error = %v", err)
+	}
+	// The log is poisoned: later appends fail without touching the file.
+	if err := l.Append([]byte("after-poison")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append after poison = %v, want ErrPoisoned", err)
+	}
+	l.Close()
+
+	// Crash-and-recover: only the committed record survives, and the
+	// partial frame the injection wrote is gone.
+	l2 := openT(t, dir, Options{})
+	defer l2.Close()
+	recs, torn := collect(t, l2)
+	if torn || len(recs) != 1 || string(recs[0]) != "committed" {
+		t.Fatalf("recovered %d records (torn=%v), want just the committed one", len(recs), torn)
+	}
+}
+
+func TestTruncateRestartsEmptyAndUnpoisons(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultinject.New(9)
+	l := openT(t, dir, Options{Injector: inj})
+	for i := 0; i < 5; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inj.EnableN(faultinject.WALTornWrite, 1.0, 1)
+	if err := l.Append([]byte("torn")); err == nil {
+		t.Fatal("injected append did not fail")
+	}
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Records() != 0 {
+		t.Fatalf("Records after Truncate = %d", l.Records())
+	}
+	// Truncate removed the unknown tail, so the log is usable again.
+	if err := l.Append([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	recs, torn := collect(t, l)
+	if torn || len(recs) != 1 || string(recs[0]) != "fresh" {
+		t.Fatalf("after truncate+append: %d records, torn=%v", len(recs), torn)
+	}
+	l.Close()
+}
+
+func TestClosedLogErrors(t *testing.T) {
+	l := openT(t, t.TempDir(), Options{})
+	l.Close()
+	if err := l.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append on closed = %v", err)
+	}
+	if _, err := l.Fold(nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Fold on closed = %v", err)
+	}
+	if err := l.Truncate(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Truncate on closed = %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double Close = %v", err)
+	}
+}

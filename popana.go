@@ -270,6 +270,12 @@ type SpatialTableOptions = spatialdb.TableOptions
 // single-shard table — bit-identical to the pre-sharding engine.
 const SpatialSingleShard = spatialdb.SingleShard
 
+// SpatialDurableOptions parameterizes a table's durable storage:
+// directory, background auto-flush/compaction thresholds, and the
+// per-append fsync policy. Pass it to SpatialDB.CreateDurableTable /
+// OpenDurableTable.
+type SpatialDurableOptions = spatialdb.DurableOptions
+
 // NewSpatialDB returns an empty spatial database.
 func NewSpatialDB() *SpatialDB { return spatialdb.NewDB() }
 
@@ -298,6 +304,18 @@ const (
 	// FaultSnapshotRebuild fails a shard's frozen-snapshot rebuild;
 	// queries on that shard fall back to its live tree.
 	FaultSnapshotRebuild = faultinject.SnapshotRebuild
+	// FaultWALTornWrite tears a write-ahead-log append mid-frame, as a
+	// crash during the write syscall would.
+	FaultWALTornWrite = faultinject.WALTornWrite
+	// FaultSegmentPartialFlush cuts a sealed-run write short, leaving a
+	// torn run file with no footer.
+	FaultSegmentPartialFlush = faultinject.SegmentPartialFlush
+	// FaultSegmentCorruption damages a sealed-run block after its
+	// checksum was computed.
+	FaultSegmentCorruption = faultinject.SegmentCorruption
+	// FaultCompactionInterrupted kills a disk compaction after the
+	// merged run is durable but before the inputs are deleted.
+	FaultCompactionInterrupted = faultinject.CompactionInterrupted
 )
 
 // Typed errors of the spatial layer, matchable with errors.Is.
@@ -312,6 +330,20 @@ var (
 	ErrNoTable = spatialdb.ErrNoTable
 	// ErrDuplicateID is returned when inserting an existing record ID.
 	ErrDuplicateID = spatialdb.ErrDuplicateID
+	// ErrTableClosed is returned by durable operations after Close.
+	ErrTableClosed = spatialdb.ErrTableClosed
+	// ErrCorruptRun is returned when recovery meets a sealed run file
+	// whose checksums no longer validate.
+	ErrCorruptRun = spatialdb.ErrCorruptRun
+	// ErrPayloadNotDurable rejects record payloads whose dynamic type
+	// the durable codec cannot serialize.
+	ErrPayloadNotDurable = spatialdb.ErrPayloadNotDurable
+	// ErrShardLayoutMismatch rejects reopening a durable table under a
+	// different shard layout than it was created with.
+	ErrShardLayoutMismatch = spatialdb.ErrShardLayoutMismatch
+	// ErrManifestMismatch rejects reopening a durable table with pinned
+	// options that disagree with its manifest.
+	ErrManifestMismatch = spatialdb.ErrManifestMismatch
 )
 
 // ---- Model diagnostics ----

@@ -2,6 +2,7 @@ package popana_test
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
 
@@ -293,6 +294,44 @@ func TestFacadeFrozenSnapshot(t *testing.T) {
 	}
 	if n != len(hits) || cost.LeavesVisited == 0 {
 		t.Fatalf("CountRange = %d, Select = %d records, cost %+v", n, len(hits), cost)
+	}
+}
+
+// TestFacadeDurableTable is the README "Durability" example: create a
+// durable table, close it, reopen the directory, and find every record
+// recovered; reopening under a different layout is refused with the
+// typed mismatch error.
+func TestFacadeDurableTable(t *testing.T) {
+	opts := popana.SpatialTableOptions{Capacity: 8, ShardBits: 2}
+	dopts := popana.SpatialDurableOptions{Dir: t.TempDir()}
+	tab, err := popana.NewSpatialDB().CreateDurableTable("cities", opts, dopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(popana.SpatialRecord{ID: 1, Loc: popana.Pt(0.1, 0.1), Data: "lisbon"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tab2, err := popana.NewSpatialDB().OpenDurableTable("cities", opts, dopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := tab2.Get(1)
+	if !ok || rec.Data != "lisbon" {
+		t.Fatalf("recovered record %+v, ok=%v", rec, ok)
+	}
+	if err := tab2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = popana.NewSpatialDB().OpenDurableTable("cities",
+		popana.SpatialTableOptions{Capacity: 8, ShardBits: 1}, dopts)
+	if !errors.Is(err, popana.ErrShardLayoutMismatch) {
+		t.Fatalf("layout mismatch error = %v", err)
+	}
+	if err := tab2.Insert(popana.SpatialRecord{ID: 2, Loc: popana.Pt(0.2, 0.2)}); !errors.Is(err, popana.ErrTableClosed) {
+		t.Fatalf("insert after close = %v", err)
 	}
 }
 
