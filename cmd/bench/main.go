@@ -82,6 +82,11 @@ func run(out, label, baseline string, threshold float64, short bool, benchtime t
 			return fmt.Errorf("start CPU profile: %w", err)
 		}
 	}
+	// The environment header up front: timing numbers are only
+	// comparable with the machine they ran on in view.
+	fmt.Printf("%s %s/%s GOMAXPROCS=%d NumCPU=%d\n",
+		runtime.Version(), runtime.GOOS, runtime.GOARCH,
+		runtime.GOMAXPROCS(0), runtime.NumCPU())
 	report := bench.Run(label, specs, func(line string) {
 		fmt.Print(line)
 	})

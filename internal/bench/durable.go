@@ -7,6 +7,7 @@ package bench
 import (
 	"testing"
 
+	"popana/internal/geom"
 	"popana/internal/spatialdb"
 )
 
@@ -15,6 +16,8 @@ func durableSpecs() []Spec {
 		{"DurableInsert", benchDurableInsert},
 		{"DurableFlush", benchDurableFlush},
 		{"DurableRecover", benchDurableRecover},
+		{"DurableQueryCold", benchDurableQueryCold},
+		{"DurableQueryWarm", benchDurableQueryWarm},
 	}
 }
 
@@ -121,4 +124,85 @@ func benchDurableRecover(b *testing.B) {
 		b.StartTimer()
 	}
 	b.ReportMetric(n, "records/op")
+}
+
+// lazyQueryRecords is the population of the disk-query benchmarks.
+const lazyQueryRecords = 10 * durableBatch
+
+// newLazyQueryTable builds a lazy durable table whose state spans the
+// whole storage ladder — a compacted full run per shard, a sealed delta
+// run, and a live WAL tail — so the query benchmarks exercise the
+// k-way merged read path, not a degenerate single source.
+func newLazyQueryTable(b *testing.B) *spatialdb.Table {
+	b.Helper()
+	recs := uniformRecords(b, lazyQueryRecords, 94)
+	tab, err := spatialdb.NewDB().CreateDurableTable("t",
+		spatialdb.TableOptions{Capacity: 8, ShardBits: shardedBits},
+		spatialdb.DurableOptions{Dir: b.TempDir(), Lazy: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tab.InsertBatch(recs[:8*durableBatch]); err != nil {
+		b.Fatal(err)
+	}
+	if err := tab.CompactDisk(); err != nil {
+		b.Fatal(err)
+	}
+	if err := tab.InsertBatch(recs[8*durableBatch : 9*durableBatch]); err != nil {
+		b.Fatal(err)
+	}
+	if err := tab.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := tab.InsertBatch(recs[9*durableBatch:]); err != nil {
+		b.Fatal(err)
+	}
+	return tab
+}
+
+// lazyQueryWindow is ~1% of the unit square, so one op touches a few
+// blocks per shard rather than the whole ladder.
+var lazyQueryWindow = geom.R(0.45, 0.45, 0.55, 0.55)
+
+func lazyQueryOp(b *testing.B, tab *spatialdb.Table) {
+	b.Helper()
+	recs, _, err := tab.Select(spatialdb.Query{Window: &lazyQueryWindow})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(recs) == 0 {
+		b.Fatal("empty window")
+	}
+}
+
+// benchDurableQueryCold measures a window query against sealed runs
+// with a cold block cache: the cache is dropped before every op, so
+// each op pays the full disk read + checksum + decode cost.
+func benchDurableQueryCold(b *testing.B) {
+	tab := newLazyQueryTable(b)
+	defer tab.Kill()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tab.DropBlockCache()
+		b.StartTimer()
+		lazyQueryOp(b, tab)
+	}
+	b.ReportMetric(lazyQueryRecords, "records")
+}
+
+// benchDurableQueryWarm is the same query with the cache left alone: a
+// priming op loads the window's blocks, then every measured op serves
+// from cache. Cold minus warm is the disk tax of the lazy read path.
+func benchDurableQueryWarm(b *testing.B) {
+	tab := newLazyQueryTable(b)
+	defer tab.Kill()
+	lazyQueryOp(b, tab) // prime the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lazyQueryOp(b, tab)
+	}
+	b.ReportMetric(lazyQueryRecords, "records")
 }

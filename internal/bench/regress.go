@@ -23,6 +23,10 @@ type Report struct {
 	GOOS       string `json:"goos"`
 	GOARCH     string `json:"goarch"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	// NumCPU is the machine's logical CPU count (runtime.NumCPU), which
+	// bounds how much parallelism GOMAXPROCS could actually buy —
+	// relevant when judging the concurrent benchmarks across machines.
+	NumCPU int `json:"num_cpu,omitempty"`
 	// ParallelInsertSpeedup8W is the sharded-vs-single-lock speedup of
 	// the 8-worker parallel-insert benchmark (single ns/op divided by
 	// sharded ns/op), recorded when both benchmarks ran. cmd/bench
@@ -89,6 +93,7 @@ func Run(label string, specs []Spec, progress func(string)) Report {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
 	for _, s := range specs {
 		if progress != nil {

@@ -72,6 +72,20 @@ const (
 	// Recovery must prefer the newest sealed run and ignore the
 	// leftovers.
 	CompactionInterrupted Point = "segment.compact.interrupt"
+	// SegmentBlockPoison damages the in-flight buffer of one sealed-run
+	// entry-block read after it leaves the kernel — a poisoned cache
+	// line or DMA bit flip — so the block's checksum fails on arrival.
+	// The reader must detect the damage, discard the buffer, and
+	// re-read from disk rather than serve or cache the poisoned bytes;
+	// only a mismatch that survives the re-read is real corruption.
+	SegmentBlockPoison Point = "segment.block.poison"
+	// DiskCursorSeal fires inside a disk-serving query after it has
+	// pinned its run stack and WAL-tail view, triggering a synchronous
+	// flush that seals the tail into a new run mid-iteration. The
+	// pinned cursor must keep serving its superseded — but internally
+	// consistent — view: the refcounted run stack keeps sealed readers
+	// open until the last cursor releases them.
+	DiskCursorSeal Point = "spatialdb.disk.cursor.seal"
 )
 
 // allPoints is the canonical registry of every failure point wired into
@@ -92,6 +106,16 @@ var allPoints = []Point{
 	SegmentPartialFlush,
 	SegmentCorruption,
 	CompactionInterrupted,
+	SegmentBlockPoison,
+	DiskCursorSeal,
+}
+
+// DiskReadPoints returns the registered failure points on the
+// disk-serving read path — poisoned block reads and mid-iteration
+// seals — the set the disk-query chaos suite must cover one by one.
+// The returned slice is a copy.
+func DiskReadPoints() []Point {
+	return []Point{SegmentBlockPoison, DiskCursorSeal}
 }
 
 // DurabilityPoints returns the registered failure points on the

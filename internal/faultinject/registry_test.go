@@ -65,6 +65,8 @@ func TestPointRegistryComplete(t *testing.T) {
 		"SegmentPartialFlush":   SegmentPartialFlush,
 		"SegmentCorruption":     SegmentCorruption,
 		"CompactionInterrupted": CompactionInterrupted,
+		"SegmentBlockPoison":    SegmentBlockPoison,
+		"DiskCursorSeal":        DiskCursorSeal,
 	}
 	for name := range declared {
 		v, ok := byName[name]
@@ -121,6 +123,28 @@ func TestDurabilityPointsRegistered(t *testing.T) {
 	dp[0] = "mutated"
 	if again := DurabilityPoints(); again[0] == "mutated" {
 		t.Error("DurabilityPoints() exposed shared storage")
+	}
+}
+
+// TestDiskReadPointsRegistered pins the disk-read chaos set the same
+// way: registered points, caller-mutation-safe slice.
+func TestDiskReadPointsRegistered(t *testing.T) {
+	registered := map[Point]bool{}
+	for _, p := range Points() {
+		registered[p] = true
+	}
+	dp := DiskReadPoints()
+	if len(dp) == 0 {
+		t.Fatal("no disk-read points registered")
+	}
+	for _, p := range dp {
+		if !registered[p] {
+			t.Errorf("disk-read point %q not in Points()", p)
+		}
+	}
+	dp[0] = "mutated"
+	if again := DiskReadPoints(); again[0] == "mutated" {
+		t.Error("DiskReadPoints() exposed shared storage")
 	}
 }
 

@@ -110,6 +110,16 @@ func load0(v uint64, p int) uint64 {
 	return v&^(1<<uint(p)) | below
 }
 
+// BigMin is the exported form of bigmin for the disk-resident read
+// path (package segment's cursors and spatialdb's disk scans), which
+// jumps over the same Z-interval gaps the in-memory budgeted scan does:
+// given the Z-range [zmin, zmax] of a query rectangle and a code z
+// outside the rectangle, it returns the smallest in-rectangle code
+// strictly greater than z, and whether one exists.
+func BigMin(z, zmin, zmax uint64) (uint64, bool) {
+	return bigmin(z, zmin, zmax)
+}
+
 // cellSide returns the side length, in depth-D grid cells, of an
 // aligned block covering span cells (span = 4^(D-depth)).
 func cellSide(span uint64) uint32 {

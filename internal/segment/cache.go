@@ -1,0 +1,194 @@
+package segment
+
+// A fixed-budget CLOCK cache over decoded entry blocks. The cache is
+// shared by every Reader of a table (keys carry the reader's identity),
+// counts its budget in encoded payload bytes — the stable, fully
+// deterministic size of a block — and admits a block only after the
+// Reader has verified its checksum, so poisoned or torn bytes can never
+// be served twice.
+//
+// CLOCK approximates LRU with one reference bit per slot and a rotating
+// eviction hand: a hit sets the bit, the hand clears set bits as it
+// sweeps and evicts the first slot found clear. That gives scan
+// resistance close to LRU at a fraction of the bookkeeping — no list
+// splicing on the hot hit path, just a map lookup and a bit store under
+// a short mutex.
+
+import "sync"
+
+// cacheKey identifies one entry block of one open Reader.
+type cacheKey struct {
+	reader uint64
+	block  int
+}
+
+// cacheSlot is one CLOCK ring slot.
+type cacheSlot struct {
+	key     cacheKey
+	entries []Entry
+	size    int64
+	ref     bool
+	live    bool
+}
+
+// CacheStats is a point-in-time snapshot of a Cache's counters.
+type CacheStats struct {
+	// Hits and Misses count lookups since the cache was created; Drop
+	// and eviction do not reset them.
+	Hits, Misses int64
+	// Evictions counts blocks evicted to make room (Drop and reader
+	// teardown are not evictions).
+	Evictions int64
+	// Used is the current resident size in encoded payload bytes;
+	// Budget is the configured ceiling.
+	Used, Budget int64
+}
+
+// Cache is a byte-budgeted CLOCK cache of decoded entry blocks, safe
+// for concurrent use. A nil *Cache is valid and caches nothing, so
+// Readers consult it unconditionally.
+type Cache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	slots  []cacheSlot
+	hand   int
+	byKey  map[cacheKey]int
+
+	hits, misses, evictions int64
+}
+
+// NewCache returns a cache bounded to budget bytes of decoded blocks
+// (measured by encoded payload size). A budget <= 0 returns nil — a
+// valid, always-miss cache.
+func NewCache(budget int64) *Cache {
+	if budget <= 0 {
+		return nil
+	}
+	return &Cache{budget: budget, byKey: map[cacheKey]int{}}
+}
+
+// Stats returns the cache's counters. Nil-safe: a nil cache reports
+// zeros.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Used:      c.used,
+		Budget:    c.budget,
+	}
+}
+
+// Drop empties the cache, keeping the hit/miss history. The next read
+// of every block goes to disk — the cold-cache state benchmarks start
+// from. Nil-safe.
+func (c *Cache) Drop() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.slots {
+		c.slots[i] = cacheSlot{}
+	}
+	c.byKey = map[cacheKey]int{}
+	c.used = 0
+	c.hand = 0
+}
+
+// get returns the cached block, counting the lookup. Nil-safe.
+func (c *Cache) get(key cacheKey) ([]Entry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.slots[i].ref = true
+	return c.slots[i].entries, true
+}
+
+// add admits a checksum-verified block, evicting CLOCK victims until it
+// fits. Blocks larger than the whole budget are never admitted.
+// Nil-safe.
+func (c *Cache) add(key cacheKey, entries []Entry, size int64) {
+	if c == nil || size > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byKey[key]; ok {
+		return // a concurrent reader of the same block won the race
+	}
+	for c.used+size > c.budget {
+		c.evictOne()
+	}
+	slot := -1
+	for i := range c.slots {
+		if !c.slots[i].live {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		c.slots = append(c.slots, cacheSlot{})
+		slot = len(c.slots) - 1
+	}
+	c.slots[slot] = cacheSlot{key: key, entries: entries, size: size, ref: true, live: true}
+	c.byKey[key] = slot
+	c.used += size
+}
+
+// evictOne advances the CLOCK hand — clearing reference bits as it
+// sweeps — and evicts the first unreferenced live slot. The caller
+// holds c.mu and guarantees at least one live slot (used > 0).
+func (c *Cache) evictOne() {
+	for {
+		if c.hand >= len(c.slots) {
+			c.hand = 0
+		}
+		s := &c.slots[c.hand]
+		if s.live {
+			if s.ref {
+				s.ref = false
+			} else {
+				delete(c.byKey, s.key)
+				c.used -= s.size
+				*s = cacheSlot{}
+				c.evictions++
+				c.hand++
+				return
+			}
+		}
+		c.hand++
+	}
+}
+
+// dropReader evicts every block belonging to one reader, called when
+// the reader closes (a compaction superseded its run). Not counted as
+// eviction pressure. Nil-safe.
+func (c *Cache) dropReader(id uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, i := range c.byKey {
+		if key.reader == id {
+			c.used -= c.slots[i].size
+			c.slots[i] = cacheSlot{}
+			delete(c.byKey, key)
+		}
+	}
+}

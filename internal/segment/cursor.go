@@ -1,0 +1,184 @@
+package segment
+
+// Cursor composition for the disk read path: a common EntryCursor
+// interface over run cursors and in-memory slices, and a k-way merged
+// cursor that collapses a shard's run stack plus its WAL-tail delta
+// into one newest-wins, tombstone-free stream in key order — the
+// streaming form of the slice-based Merge used by compaction.
+
+import "sort"
+
+// EntryCursor is a forward-only stream of entries in (code, x, y)
+// order. Next yields the next entry; SeekGE jumps to and consumes the
+// first entry with Code >= code (the BIGMIN jump target), never moving
+// backward. Both report ok=false at end of stream.
+type EntryCursor interface {
+	Next() (Entry, bool, error)
+	SeekGE(code uint64) (Entry, bool, error)
+}
+
+// SliceCursor adapts a sorted in-memory entry slice — a folded WAL
+// tail, a test fixture — to the EntryCursor interface.
+type SliceCursor struct {
+	es  []Entry
+	pos int
+}
+
+// NewSliceCursor returns a cursor over es, which must be sorted and
+// strictly increasing under Less. The cursor aliases the slice.
+func NewSliceCursor(es []Entry) *SliceCursor { return &SliceCursor{es: es} }
+
+// Next returns the next entry, or ok=false at the end.
+func (c *SliceCursor) Next() (Entry, bool, error) {
+	if c.pos >= len(c.es) {
+		return Entry{}, false, nil
+	}
+	e := c.es[c.pos]
+	c.pos++
+	return e, true, nil
+}
+
+// SeekGE advances to and consumes the first entry with Code >= code.
+func (c *SliceCursor) SeekGE(code uint64) (Entry, bool, error) {
+	c.pos += sort.Search(len(c.es)-c.pos, func(j int) bool { return c.es[c.pos+j].Code >= code })
+	return c.Next()
+}
+
+// MergedCursor merges k cursors into one stream in key order with
+// newest-wins deduplication: when several inputs hold the same
+// (code, x, y) key, the entry from the latest-given cursor survives
+// and the older ones are consumed silently; a surviving tombstone
+// drops its key from the stream entirely. Queries therefore never see
+// tombstones — only compaction (which rewrites runs) needs them, and
+// it uses the slice-based Merge.
+type MergedCursor struct {
+	cursors []EntryCursor
+	heads   []Entry
+	ok      []bool
+	primed  bool
+	err     error
+}
+
+// NewMergedCursor merges the given cursors, which must be ordered
+// oldest first (the newest source — a shard's WAL tail — last, matching
+// Merge's convention). The merged cursor takes ownership of the inputs.
+func NewMergedCursor(oldestFirst ...EntryCursor) *MergedCursor {
+	return &MergedCursor{
+		cursors: oldestFirst,
+		heads:   make([]Entry, len(oldestFirst)),
+		ok:      make([]bool, len(oldestFirst)),
+	}
+}
+
+// prime loads the first entry of every input.
+func (m *MergedCursor) prime() error {
+	m.primed = true
+	for i, c := range m.cursors {
+		e, ok, err := c.Next()
+		if err != nil {
+			m.err = err
+			return err
+		}
+		m.heads[i], m.ok[i] = e, ok
+	}
+	return nil
+}
+
+// step returns the next surviving entry, tombstones included (Next and
+// SeekGE filter them).
+func (m *MergedCursor) step() (Entry, bool, error) {
+	if m.err != nil {
+		return Entry{}, false, m.err
+	}
+	if !m.primed {
+		if err := m.prime(); err != nil {
+			return Entry{}, false, err
+		}
+	}
+	// Pick the smallest key; among equal keys the newest input (highest
+	// index) supplies the surviving entry.
+	best := -1
+	for i := range m.cursors {
+		if !m.ok[i] {
+			continue
+		}
+		switch {
+		case best < 0:
+			best = i
+		case m.heads[i].Less(m.heads[best]):
+			best = i
+		case sameKey(m.heads[i], m.heads[best]):
+			best = i // i > best: newer input wins
+		}
+	}
+	if best < 0 {
+		return Entry{}, false, nil
+	}
+	win := m.heads[best]
+	// Advance every input sitting on the winning key.
+	for i := range m.cursors {
+		if !m.ok[i] || !sameKey(m.heads[i], win) {
+			continue
+		}
+		e, ok, err := m.cursors[i].Next()
+		if err != nil {
+			m.err = err
+			return Entry{}, false, err
+		}
+		m.heads[i], m.ok[i] = e, ok
+	}
+	return win, true, nil
+}
+
+// Next returns the next live entry in key order, or ok=false at the
+// end of the merged stream.
+func (m *MergedCursor) Next() (Entry, bool, error) {
+	for {
+		e, ok, err := m.step()
+		if err != nil || !ok {
+			return Entry{}, false, err
+		}
+		if !e.Tombstone {
+			return e, true, nil
+		}
+	}
+}
+
+// SeekGE jumps every input to the first entry with Code >= code, then
+// returns the first live merged entry from there. Like the underlying
+// cursors it only moves forward.
+func (m *MergedCursor) SeekGE(code uint64) (Entry, bool, error) {
+	if m.err != nil {
+		return Entry{}, false, m.err
+	}
+	if !m.primed {
+		m.primed = true
+		for i := range m.heads {
+			m.ok[i] = false // seeded by the seek below
+		}
+		for i, c := range m.cursors {
+			e, ok, err := c.SeekGE(code)
+			if err != nil {
+				m.err = err
+				return Entry{}, false, err
+			}
+			m.heads[i], m.ok[i] = e, ok
+		}
+		return m.Next()
+	}
+	for i, c := range m.cursors {
+		if m.ok[i] && m.heads[i].Code >= code {
+			continue // already at or past the target
+		}
+		if !m.ok[i] {
+			continue // exhausted
+		}
+		e, ok, err := c.SeekGE(code)
+		if err != nil {
+			m.err = err
+			return Entry{}, false, err
+		}
+		m.heads[i], m.ok[i] = e, ok
+	}
+	return m.Next()
+}

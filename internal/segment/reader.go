@@ -1,0 +1,357 @@
+package segment
+
+// Reader serves a sealed run block-by-block without materializing its
+// entries: it validates the footer and header once at open, holds the
+// three small metadata blocks (codes, starts, entry-block index) in
+// memory, and fetches entry blocks on demand with ReadAt. An optional
+// shared Cache keeps hot decoded blocks resident under a byte budget.
+//
+// Every fetched block is verified against its stored CRC-32C before a
+// single entry is decoded. A mismatch is retried once — a damaged
+// in-flight buffer (the SegmentBlockPoison fault models it) heals on
+// the re-read — and only a mismatch that survives the retry is reported
+// as ErrCorrupt. Unverified bytes are never admitted to the cache.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync/atomic"
+
+	"popana/internal/faultinject"
+)
+
+// readerIDs hands out process-unique reader identities so cache keys
+// from a closed reader can never collide with a later reader of the
+// same (or a different) file.
+var readerIDs atomic.Uint64
+
+// Reader is an open sealed run serving entries block-by-block. Methods
+// are safe for concurrent use once the reader is configured (SetCache
+// and SetInjector are part of setup, not of concurrent operation).
+type Reader struct {
+	path   string
+	f      *os.File
+	meta   Meta
+	codes  []uint64
+	starts []int32
+	index  []blockInfo
+	id     uint64
+	cache  *Cache
+	inj    *faultinject.Injector
+}
+
+// OpenReader validates the run at path (footer, header, and metadata
+// block checksums — entry blocks are verified lazily as they are
+// fetched) and returns a Reader positioned to serve it. The same
+// ErrTorn/ErrCorrupt classification as Read applies.
+func OpenReader(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("segment: open %s: %w", path, err)
+	}
+	r, err := newReader(path, f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func newReader(path string, f *os.File) (*Reader, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("segment: stat %s: %w", path, err)
+	}
+	if fi.Size() < headerSize+footerSize {
+		return nil, fmt.Errorf("segment: %s: %w: %d bytes", path, ErrTorn, fi.Size())
+	}
+	var footer [footerSize]byte
+	if _, err := f.ReadAt(footer[:], fi.Size()-footerSize); err != nil && !errors.Is(err, io.EOF) {
+		return nil, fmt.Errorf("segment: read footer %s: %w", path, err)
+	}
+	if [8]byte(footer[12:20]) != endMagic {
+		return nil, fmt.Errorf("segment: %s: %w: no footer magic", path, ErrTorn)
+	}
+	crc := crc32.Checksum(footer[0:8], castagnoli)
+	crc = crc32.Update(crc, castagnoli, endMagic[:])
+	if binary.LittleEndian.Uint32(footer[8:12]) != crc {
+		return nil, fmt.Errorf("segment: %s: %w: footer checksum", path, ErrTorn)
+	}
+	bodyLen := binary.LittleEndian.Uint64(footer[0:8])
+	if bodyLen != uint64(fi.Size())-footerSize {
+		return nil, fmt.Errorf("segment: %s: %w: footer covers %d bytes, file body is %d",
+			path, ErrCorrupt, bodyLen, fi.Size()-int64(footerSize))
+	}
+	var hdr [headerSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("segment: read header %s: %w", path, err)
+	}
+	meta, _, err := readHeader(hdr[:])
+	if err != nil {
+		return nil, fmt.Errorf("segment: %s: %w", path, err)
+	}
+	r := &Reader{path: path, f: f, meta: meta, id: readerIDs.Add(1)}
+
+	// The three metadata blocks follow the header back to back; read
+	// each frame sequentially by offset.
+	off := uint64(headerSize)
+	var metaBlocks [3][]byte
+	for i := range metaBlocks {
+		payload, next, err := r.readFrameAt(off, bodyLen)
+		if err != nil {
+			return nil, fmt.Errorf("segment: %s: block %d: %w", path, i, err)
+		}
+		metaBlocks[i], off = payload, next
+	}
+	if r.codes, err = decodeCodes(metaBlocks[0], meta.Leaves); err != nil {
+		return nil, fmt.Errorf("segment: %s: %w", path, err)
+	}
+	if r.starts, err = decodeStarts(metaBlocks[1], meta.Leaves); err != nil {
+		return nil, fmt.Errorf("segment: %s: %w", path, err)
+	}
+	if r.index, err = decodeIndex(metaBlocks[2]); err != nil {
+		return nil, fmt.Errorf("segment: %s: %w", path, err)
+	}
+	// Cross-check the index against the file extents so a later Block
+	// call can trust the offsets it reads at.
+	want := off
+	total := 0
+	for bi, info := range r.index {
+		if info.off != want {
+			return nil, fmt.Errorf("segment: %s: %w: entry block %d at offset %d, index says %d",
+				path, ErrCorrupt, bi, want, info.off)
+		}
+		if info.count <= 0 {
+			return nil, fmt.Errorf("segment: %s: %w: entry block %d indexes %d entries",
+				path, ErrCorrupt, bi, info.count)
+		}
+		want += frameSize(info.payLen)
+		total += info.count
+	}
+	if want != bodyLen {
+		return nil, fmt.Errorf("segment: %s: %w: entry blocks end at %d, body is %d bytes",
+			path, ErrCorrupt, want, bodyLen)
+	}
+	if total != meta.Entries {
+		return nil, fmt.Errorf("segment: %s: %w: index covers %d entries, header says %d",
+			path, ErrCorrupt, total, meta.Entries)
+	}
+	for bi := 1; bi < len(r.index); bi++ {
+		if r.index[bi].firstCode < r.index[bi-1].lastCode {
+			return nil, fmt.Errorf("segment: %s: %w: entry blocks %d and %d overlap in code space",
+				path, ErrCorrupt, bi-1, bi)
+		}
+	}
+	return r, nil
+}
+
+// readFrameAt reads and verifies one block frame starting at off,
+// returning its payload and the offset just past the frame.
+func (r *Reader) readFrameAt(off, bodyLen uint64) ([]byte, uint64, error) {
+	var lenBuf [8]byte
+	if off+8 > bodyLen {
+		return nil, 0, fmt.Errorf("%w: block length truncated", ErrCorrupt)
+	}
+	if _, err := r.f.ReadAt(lenBuf[:], int64(off)); err != nil {
+		return nil, 0, fmt.Errorf("read %s: %w", r.path, err)
+	}
+	n := binary.LittleEndian.Uint64(lenBuf[:])
+	if off+frameSize(n) > bodyLen {
+		return nil, 0, fmt.Errorf("%w: block truncated", ErrCorrupt)
+	}
+	buf := make([]byte, n+4)
+	if _, err := r.f.ReadAt(buf, int64(off+8)); err != nil {
+		return nil, 0, fmt.Errorf("read %s: %w", r.path, err)
+	}
+	payload := buf[:n]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(buf[n:]) {
+		return nil, 0, fmt.Errorf("%w: block checksum", ErrCorrupt)
+	}
+	return payload, off + frameSize(n), nil
+}
+
+// SetCache shares a block cache with the reader. Call during setup,
+// before concurrent use. A nil cache (the default) disables caching.
+func (r *Reader) SetCache(c *Cache) { r.cache = c }
+
+// SetInjector wires a fault injector into the block-read path (the
+// SegmentBlockPoison point). Call during setup, before concurrent use.
+func (r *Reader) SetInjector(inj *faultinject.Injector) { r.inj = inj }
+
+// Meta returns the run's header metadata.
+func (r *Reader) Meta() Meta { return r.meta }
+
+// Codes returns the run's leaf-index code plane (nil for delta runs).
+// The caller must not modify the returned slice.
+func (r *Reader) Codes() []uint64 { return r.codes }
+
+// Starts returns the run's leaf-index start plane (nil for delta runs).
+// The caller must not modify the returned slice.
+func (r *Reader) Starts() []int32 { return r.starts }
+
+// NumBlocks returns the number of entry blocks in the run.
+func (r *Reader) NumBlocks() int { return len(r.index) }
+
+// Block returns the decoded entries of entry block bi, consulting the
+// cache first. On a checksum mismatch the block is re-read once — a
+// poisoned buffer heals, real on-disk corruption does not — and only a
+// second mismatch returns ErrCorrupt. Decoded entries are shared with
+// the cache and must not be modified.
+func (r *Reader) Block(bi int) ([]Entry, error) {
+	if bi < 0 || bi >= len(r.index) {
+		return nil, fmt.Errorf("segment: %s: entry block %d out of range [0, %d)", r.path, bi, len(r.index))
+	}
+	key := cacheKey{reader: r.id, block: bi}
+	if es, ok := r.cache.get(key); ok {
+		return es, nil
+	}
+	info := r.index[bi]
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		buf := make([]byte, frameSize(info.payLen))
+		if _, err := r.f.ReadAt(buf, int64(info.off)); err != nil {
+			return nil, fmt.Errorf("segment: read %s entry block %d: %w", r.path, bi, err)
+		}
+		if attempt == 0 && r.inj.Fire(faultinject.SegmentBlockPoison) {
+			// Damage the in-flight buffer after it left the kernel: the
+			// checksum below must catch it and force the re-read.
+			buf[8+info.payLen/2] ^= 0xFF
+		}
+		if binary.LittleEndian.Uint64(buf[:8]) != info.payLen {
+			lastErr = fmt.Errorf("%w: entry block %d length field disagrees with index", ErrCorrupt, bi)
+			continue
+		}
+		payload := buf[8 : 8+info.payLen]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(buf[8+info.payLen:]) {
+			lastErr = fmt.Errorf("%w: entry block %d checksum", ErrCorrupt, bi)
+			continue
+		}
+		es, err := decodeEntryBlock(payload, info)
+		if err != nil {
+			lastErr = fmt.Errorf("entry block %d: %w", bi, err)
+			continue
+		}
+		r.cache.add(key, es, int64(info.payLen))
+		return es, nil
+	}
+	return nil, fmt.Errorf("segment: %s: %w", r.path, lastErr)
+}
+
+// Find returns the entry with key (code, x, y) if the run contains one
+// (tombstones included — the caller decides what a tombstone means),
+// loading at most the one block whose code span covers the key.
+func (r *Reader) Find(code uint64, x, y float64) (Entry, bool, error) {
+	want := Entry{Code: code, X: x, Y: y}
+	// First block that could hold the key: lastCode >= code.
+	bi := sort.Search(len(r.index), func(i int) bool { return r.index[i].lastCode >= code })
+	for ; bi < len(r.index) && r.index[bi].firstCode <= code; bi++ {
+		es, err := r.Block(bi)
+		if err != nil {
+			return Entry{}, false, err
+		}
+		i := sort.Search(len(es), func(j int) bool { return !es[j].Less(want) })
+		if i < len(es) && sameKey(es[i], want) {
+			return es[i], true, nil
+		}
+	}
+	return Entry{}, false, nil
+}
+
+// Close releases the file handle and evicts the reader's blocks from
+// the shared cache. The reader must not be used after Close.
+func (r *Reader) Close() error {
+	r.cache.dropReader(r.id)
+	return r.f.Close()
+}
+
+// CursorStats counts the work one cursor performed, the disk-path
+// analogue of the in-memory scan's nodes-visited cost.
+type CursorStats struct {
+	// BlocksLoaded counts entry-block fetches through Reader.Block
+	// (cache hits included — the unit is "block consulted").
+	BlocksLoaded int
+	// EntriesScanned counts entries yielded or skipped past.
+	EntriesScanned int
+}
+
+// Cursor iterates a run's entries in key order, loading entry blocks
+// one at a time. Not safe for concurrent use; a Reader may serve many
+// cursors concurrently.
+type Cursor struct {
+	r     *Reader
+	bi    int     // next block to load
+	buf   []Entry // current block's entries
+	pos   int     // next entry within buf
+	stats CursorStats
+}
+
+// Cursor returns a new cursor positioned before the run's first entry.
+func (r *Reader) Cursor() *Cursor { return &Cursor{r: r} }
+
+// Next returns the next entry in key order, or ok=false at the end of
+// the run.
+func (c *Cursor) Next() (Entry, bool, error) {
+	for c.pos >= len(c.buf) {
+		if c.bi >= len(c.r.index) {
+			return Entry{}, false, nil
+		}
+		es, err := c.r.Block(c.bi)
+		if err != nil {
+			return Entry{}, false, err
+		}
+		c.stats.BlocksLoaded++
+		c.bi++
+		c.buf, c.pos = es, 0
+	}
+	e := c.buf[c.pos]
+	c.pos++
+	c.stats.EntriesScanned++
+	return e, true, nil
+}
+
+// SeekGE advances the cursor to the first entry with Code >= code and
+// returns it (consuming it, exactly as Next would), skipping the blocks
+// whose code span ends below code without loading them. Seeking
+// backward is a no-op beyond the current position: the cursor only
+// moves forward.
+func (c *Cursor) SeekGE(code uint64) (Entry, bool, error) {
+	// Skip whole blocks (beyond any already-loaded buffer) that end
+	// below code.
+	if c.pos >= len(c.buf) || c.buf[len(c.buf)-1].Code < code {
+		c.buf, c.pos = nil, 0
+		for c.bi < len(c.r.index) && c.r.index[c.bi].lastCode < code {
+			c.bi++
+		}
+	}
+	// Within the current (or next-loaded) buffer, binary-search the
+	// first entry at or above code.
+	for {
+		if c.pos < len(c.buf) {
+			i := c.pos + sort.Search(len(c.buf)-c.pos, func(j int) bool { return c.buf[c.pos+j].Code >= code })
+			if i < len(c.buf) {
+				c.stats.EntriesScanned++
+				e := c.buf[i]
+				c.pos = i + 1
+				return e, true, nil
+			}
+		}
+		if c.bi >= len(c.r.index) {
+			return Entry{}, false, nil
+		}
+		es, err := c.r.Block(c.bi)
+		if err != nil {
+			return Entry{}, false, err
+		}
+		c.stats.BlocksLoaded++
+		c.bi++
+		c.buf, c.pos = es, 0
+	}
+}
+
+// Stats returns the work counters accumulated so far.
+func (c *Cursor) Stats() CursorStats { return c.stats }

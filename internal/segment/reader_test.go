@@ -1,0 +1,521 @@
+package segment
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"popana/internal/faultinject"
+	"popana/internal/geom"
+)
+
+// bulkEntries returns n sorted entries with payloads big enough that a
+// run spans many entry blocks.
+func bulkEntries(n, payload int) []Entry {
+	out := make([]Entry, n)
+	for i := range out {
+		p := make([]byte, payload)
+		for j := range p {
+			p[j] = byte(i + j)
+		}
+		out[i] = Entry{
+			Code:    uint64(i) * 3,
+			ID:      uint64(1000 + i),
+			X:       float64(i) / 1000,
+			Y:       float64(i) / 500,
+			Payload: p,
+		}
+	}
+	return out
+}
+
+func writeBulk(t *testing.T, dir string, n, payload int) (string, []Entry) {
+	t.Helper()
+	path := filepath.Join(dir, "run-0-000000001.seg")
+	entries := bulkEntries(n, payload)
+	meta := Meta{Kind: Delta, Shard: 0, Seq: 1, Region: geom.Rect{MaxX: 1, MaxY: 1}, Depth: 4}
+	if err := Write(path, meta, nil, nil, entries, nil); err != nil {
+		t.Fatal(err)
+	}
+	return path, entries
+}
+
+func TestReaderIteratesAllBlocks(t *testing.T) {
+	path, entries := writeBulk(t, t.TempDir(), 500, 100)
+	r, err := OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.NumBlocks() < 10 {
+		t.Fatalf("expected many entry blocks, got %d", r.NumBlocks())
+	}
+	if r.Meta().Entries != len(entries) {
+		t.Fatalf("meta entries = %d, want %d", r.Meta().Entries, len(entries))
+	}
+	c := r.Cursor()
+	for i := range entries {
+		e, ok, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("cursor ended at %d of %d", i, len(entries))
+		}
+		if e.Code != entries[i].Code || e.ID != entries[i].ID {
+			t.Fatalf("entry %d = %+v, want %+v", i, e, entries[i])
+		}
+	}
+	if _, ok, _ := c.Next(); ok {
+		t.Fatal("cursor yielded past the end")
+	}
+	st := c.Stats()
+	if st.BlocksLoaded != r.NumBlocks() || st.EntriesScanned != len(entries) {
+		t.Fatalf("stats = %+v, want %d blocks / %d entries", st, r.NumBlocks(), len(entries))
+	}
+}
+
+func TestCursorSeekGESkipsBlocks(t *testing.T) {
+	path, entries := writeBulk(t, t.TempDir(), 500, 100)
+	r, err := OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	c := r.Cursor()
+	// Jump straight to the last quarter: the blocks below must not load.
+	target := entries[3*len(entries)/4].Code
+	e, ok, err := c.SeekGE(target)
+	if err != nil || !ok {
+		t.Fatalf("SeekGE(%d): ok=%v err=%v", target, ok, err)
+	}
+	if e.Code != target {
+		t.Fatalf("SeekGE landed on code %d, want %d", e.Code, target)
+	}
+	if st := c.Stats(); st.BlocksLoaded > 1 {
+		t.Fatalf("SeekGE loaded %d blocks, want 1", st.BlocksLoaded)
+	}
+	// Seeking to a code between entries lands on the next one.
+	e, ok, err = c.SeekGE(e.Code + 1)
+	if err != nil || !ok {
+		t.Fatalf("second seek: ok=%v err=%v", ok, err)
+	}
+	if e.Code != target+3*2 && e.Code != target+3 {
+		t.Fatalf("second seek landed on %d", e.Code)
+	}
+	// Past the end.
+	if _, ok, _ := c.SeekGE(entries[len(entries)-1].Code + 1); ok {
+		t.Fatal("seek past the last code still yielded")
+	}
+}
+
+func TestReaderFind(t *testing.T) {
+	path, entries := writeBulk(t, t.TempDir(), 300, 80)
+	r, err := OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for _, i := range []int{0, 1, 150, 298, 299} {
+		want := entries[i]
+		got, ok, err := r.Find(want.Code, want.X, want.Y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || got.ID != want.ID {
+			t.Fatalf("Find(%d) = %+v ok=%v, want id %d", want.Code, got, ok, want.ID)
+		}
+	}
+	if _, ok, _ := r.Find(entries[10].Code+1, 0, 0); ok {
+		t.Fatal("Find matched a key not in the run")
+	}
+	if _, ok, _ := r.Find(entries[10].Code, -99, -99); ok {
+		t.Fatal("Find matched wrong coordinates on an existing code")
+	}
+}
+
+func TestReaderRejectsTornAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := writeBulk(t, dir, 50, 40)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	torn := filepath.Join(dir, "torn.seg")
+	if err := os.WriteFile(torn, data[:len(data)-footerSize-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenReader(torn); !errors.Is(err, ErrTorn) {
+		t.Fatalf("torn open = %v, want ErrTorn", err)
+	}
+
+	// Damage a metadata block (the entry-block index) but keep the
+	// footer: corrupt, detected at open.
+	corrupt := append([]byte(nil), data...)
+	corrupt[headerSize+8*3+4*3+30] ^= 0xFF
+	corruptPath := filepath.Join(dir, "corrupt.seg")
+	if err := os.WriteFile(corruptPath, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenReader(corruptPath); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt open = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBlockPoisonHealsOnReread(t *testing.T) {
+	path, entries := writeBulk(t, t.TempDir(), 200, 60)
+	r, err := OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	inj := faultinject.New(7)
+	inj.Enable(faultinject.SegmentBlockPoison, 1) // poison EVERY first read
+	r.SetInjector(inj)
+	c := r.Cursor()
+	n := 0
+	for {
+		e, ok, err := c.Next()
+		if err != nil {
+			t.Fatalf("poisoned read did not heal: %v", err)
+		}
+		if !ok {
+			break
+		}
+		if e.Code != entries[n].Code {
+			t.Fatalf("entry %d code = %d, want %d", n, e.Code, entries[n].Code)
+		}
+		n++
+	}
+	if n != len(entries) {
+		t.Fatalf("read %d entries, want %d", n, len(entries))
+	}
+	if inj.Fired(faultinject.SegmentBlockPoison) != r.NumBlocks() {
+		t.Fatalf("poison fired %d times, want once per block (%d)",
+			inj.Fired(faultinject.SegmentBlockPoison), r.NumBlocks())
+	}
+}
+
+func TestBlockPersistentCorruptionFails(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := writeBulk(t, dir, 200, 60)
+	// Damage one entry block ON DISK: both read attempts see the same
+	// bad bytes, so the retry must not mask it.
+	r, err := OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := r.index[r.NumBlocks()/2]
+	r.Close()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, int64(info.off)+8+int64(info.payLen)/3); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	r, err = OpenReader(path) // metadata blocks intact: open succeeds
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	c := r.Cursor()
+	for {
+		_, ok, err := c.Next()
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("err = %v, want ErrCorrupt", err)
+			}
+			return
+		}
+		if !ok {
+			t.Fatal("cursor crossed a corrupt block without failing")
+		}
+	}
+}
+
+func TestCacheServesHitsAndEvictsUnderPressure(t *testing.T) {
+	path, _ := writeBulk(t, t.TempDir(), 600, 100)
+	r, err := OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.NumBlocks() < 8 {
+		t.Fatalf("want many blocks, got %d", r.NumBlocks())
+	}
+	// Budget for roughly three blocks: a full scan must evict.
+	cache := NewCache(3 * TargetBlockBytes)
+	r.SetCache(cache)
+	for i := 0; i < r.NumBlocks(); i++ {
+		if _, err := r.Block(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cache.Stats()
+	if st.Misses != int64(r.NumBlocks()) || st.Hits != 0 {
+		t.Fatalf("cold scan stats = %+v", st)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("scan past the budget evicted nothing")
+	}
+	if st.Used > st.Budget {
+		t.Fatalf("cache over budget: %+v", st)
+	}
+	// The most recent block is resident: reading it again hits.
+	if _, err := r.Block(r.NumBlocks() - 1); err != nil {
+		t.Fatal(err)
+	}
+	if st = cache.Stats(); st.Hits != 1 {
+		t.Fatalf("warm reread stats = %+v, want 1 hit", st)
+	}
+	// Drop empties residency but keeps history.
+	cache.Drop()
+	if st = cache.Stats(); st.Used != 0 || st.Hits != 1 {
+		t.Fatalf("post-drop stats = %+v", st)
+	}
+	if _, err := r.Block(0); err != nil {
+		t.Fatal(err)
+	}
+	if st = cache.Stats(); st.Misses != int64(r.NumBlocks())+1 {
+		t.Fatalf("post-drop read stats = %+v", st)
+	}
+}
+
+func TestCacheNeverAdmitsOversizedOrUnverified(t *testing.T) {
+	path, _ := writeBulk(t, t.TempDir(), 40, 60)
+	r, err := OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// A budget smaller than any block: nothing is ever admitted and the
+	// budget is never exceeded.
+	cache := NewCache(16)
+	r.SetCache(cache)
+	for i := 0; i < r.NumBlocks(); i++ {
+		if _, err := r.Block(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := cache.Stats(); st.Used != 0 || st.Hits != 0 {
+		t.Fatalf("tiny-budget stats = %+v", st)
+	}
+
+	// Poisoned first reads must not leave poisoned bytes in the cache:
+	// every hit after a heal serves verified data.
+	big := NewCache(1 << 20)
+	r.SetCache(big)
+	inj := faultinject.New(3)
+	inj.Enable(faultinject.SegmentBlockPoison, 1)
+	r.SetInjector(inj)
+	first, err := r.Block(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := r.Block(0) // cache hit; poison must not fire again
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &first[0] != &again[0] {
+		t.Fatal("second read was not a cache hit")
+	}
+	if inj.Fired(faultinject.SegmentBlockPoison) != 1 {
+		t.Fatalf("poison fired %d times, want 1", inj.Fired(faultinject.SegmentBlockPoison))
+	}
+}
+
+func TestCacheDropReaderEvictsOnClose(t *testing.T) {
+	dir := t.TempDir()
+	pathA, _ := writeBulk(t, dir, 100, 60)
+	cache := NewCache(1 << 20)
+	r, err := OpenReader(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetCache(cache)
+	for i := 0; i < r.NumBlocks(); i++ {
+		if _, err := r.Block(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := cache.Stats(); st.Used == 0 {
+		t.Fatal("nothing cached")
+	}
+	r.Close()
+	if st := cache.Stats(); st.Used != 0 {
+		t.Fatalf("closed reader left %d bytes resident", st.Used)
+	}
+	// A fresh reader of the same file gets a fresh identity: no stale
+	// hits from the closed reader's blocks.
+	r2, err := OpenReader(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	r2.SetCache(cache)
+	if _, err := r2.Block(0); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Hits != 0 {
+		t.Fatalf("reopened reader hit a stale cache entry: %+v", st)
+	}
+}
+
+func TestNilCacheIsValid(t *testing.T) {
+	var c *Cache
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil stats = %+v", st)
+	}
+	c.Drop()
+	c.add(cacheKey{}, nil, 10)
+	c.dropReader(1)
+	if _, ok := c.get(cacheKey{}); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	if NewCache(0) != nil || NewCache(-5) != nil {
+		t.Fatal("non-positive budget should build a nil cache")
+	}
+}
+
+func TestMergedCursorNewestWins(t *testing.T) {
+	// Same key K in a full run (oldest), a delta run, and the WAL tail
+	// (newest): the tail's value must win. Key D is deleted by the
+	// delta's tombstone; key O exists only in the oldest run.
+	k := func(code uint64, id uint64, val string) Entry {
+		return Entry{Code: code, ID: id, X: float64(code), Y: 0, Payload: []byte(val)}
+	}
+	tomb := func(code uint64) Entry {
+		return Entry{Code: code, X: float64(code), Y: 0, Tombstone: true}
+	}
+	full := []Entry{k(1, 10, "old-K"), k(2, 20, "O"), k(5, 50, "D")}
+	delta := []Entry{k(1, 11, "mid-K"), tomb(5)}
+	tail := []Entry{k(1, 12, "new-K"), k(9, 90, "T")}
+	m := NewMergedCursor(NewSliceCursor(full), NewSliceCursor(delta), NewSliceCursor(tail))
+	var got []Entry
+	for {
+		e, ok, err := m.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, e)
+	}
+	want := []struct {
+		code uint64
+		id   uint64
+		val  string
+	}{{1, 12, "new-K"}, {2, 20, "O"}, {9, 90, "T"}}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d entries (%+v), want %d", len(got), got, len(want))
+	}
+	for i, w := range want {
+		if got[i].Code != w.code || got[i].ID != w.id || string(got[i].Payload) != w.val {
+			t.Fatalf("merged[%d] = %+v, want %+v", i, got[i], w)
+		}
+	}
+	// The stream must agree with the compaction-side Merge.
+	ref := Merge(full, delta, tail)
+	if len(ref) != len(got) {
+		t.Fatalf("streamed %d entries, Merge produced %d", len(got), len(ref))
+	}
+	for i := range ref {
+		if !sameKey(ref[i], got[i]) || ref[i].ID != got[i].ID {
+			t.Fatalf("stream diverges from Merge at %d: %+v vs %+v", i, got[i], ref[i])
+		}
+	}
+}
+
+func TestMergedCursorSeekGE(t *testing.T) {
+	k := func(code uint64) Entry { return Entry{Code: code, ID: code, X: float64(code)} }
+	a := []Entry{k(1), k(4), k(8), k(20)}
+	b := []Entry{k(2), k(8), k(30)} // 8 duplicated: b is newer, wins
+	m := NewMergedCursor(NewSliceCursor(a), NewSliceCursor(b))
+	e, ok, err := m.SeekGE(5)
+	if err != nil || !ok || e.Code != 8 {
+		t.Fatalf("SeekGE(5) = %+v ok=%v err=%v, want code 8", e, ok, err)
+	}
+	if e.ID != 8 {
+		t.Fatalf("dup key served id %d", e.ID)
+	}
+	// After the seek, iteration resumes in order without replaying the
+	// duplicate from the older input.
+	e, ok, _ = m.Next()
+	if !ok || e.Code != 20 {
+		t.Fatalf("next after seek = %+v ok=%v, want 20", e, ok)
+	}
+	e, ok, _ = m.SeekGE(25)
+	if !ok || e.Code != 30 {
+		t.Fatalf("SeekGE(25) = %+v ok=%v, want 30", e, ok)
+	}
+	if _, ok, _ = m.Next(); ok {
+		t.Fatal("stream should be exhausted")
+	}
+}
+
+func TestMergedCursorSeekSkipsTombstonedKey(t *testing.T) {
+	k := func(code uint64) Entry { return Entry{Code: code, ID: code, X: float64(code)} }
+	tomb := func(code uint64) Entry { return Entry{Code: code, X: float64(code), Tombstone: true} }
+	old := []Entry{k(10), k(12)}
+	newer := []Entry{tomb(10)}
+	m := NewMergedCursor(NewSliceCursor(old), NewSliceCursor(newer))
+	e, ok, err := m.SeekGE(10)
+	if err != nil || !ok || e.Code != 12 {
+		t.Fatalf("SeekGE over tombstoned key = %+v ok=%v err=%v, want 12", e, ok, err)
+	}
+}
+
+func TestReaderOverRunCursors(t *testing.T) {
+	// End-to-end: two sealed runs merged through real disk cursors.
+	dir := t.TempDir()
+	mk := func(seq uint64, es []Entry) *Reader {
+		p := filepath.Join(dir, fmt.Sprintf("run-0-%09d.seg", seq))
+		meta := Meta{Kind: Delta, Shard: 0, Seq: seq, Region: geom.Rect{MaxX: 1, MaxY: 1}, Depth: 4}
+		if err := Write(p, meta, nil, nil, es, nil); err != nil {
+			t.Fatal(err)
+		}
+		r, err := OpenReader(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { r.Close() })
+		return r
+	}
+	oldRun := bulkEntries(300, 40)
+	newRun := make([]Entry, 0, 100)
+	for i := 0; i < 300; i += 3 { // overwrite every third key
+		e := oldRun[i]
+		e.ID += 100000
+		newRun = append(newRun, e)
+	}
+	ra, rb := mk(1, oldRun), mk(2, newRun)
+	m := NewMergedCursor(ra.Cursor(), rb.Cursor())
+	n := 0
+	for {
+		e, ok, err := m.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		want := oldRun[n]
+		wantID := want.ID
+		if n%3 == 0 {
+			wantID += 100000
+		}
+		if e.Code != want.Code || e.ID != wantID {
+			t.Fatalf("merged[%d] = code %d id %d, want code %d id %d", n, e.Code, e.ID, want.Code, wantID)
+		}
+		n++
+	}
+	if n != 300 {
+		t.Fatalf("merged %d entries, want 300", n)
+	}
+}

@@ -10,10 +10,10 @@
 // republish its lock-free snapshots on reopen without re-freezing.
 // Delta runs carry only entries, some of which are tombstones.
 //
-// # File format
+// # File format (version 2)
 //
 //	header (76 bytes)
-//	  magic    "PQSEG" + version 1     6 bytes
+//	  magic    "PQSEG" + version 2     6 bytes
 //	  kind     full=1 delta=2          1 byte
 //	  pad                              1 byte
 //	  shard    uint32                  4 bytes
@@ -23,14 +23,29 @@
 //	  leaves   uint64                  8 bytes   (0 for delta runs)
 //	  entries  uint64                  8 bytes
 //	  crc      CRC-32C of the above    4 bytes
-//	blocks, each:  length uint64 | payload | CRC-32C uint32
-//	  block 0  codes   (leaves+1 × uint64; empty for delta runs)
-//	  block 1  starts  (leaves+1 × int32;  empty for delta runs)
-//	  block 2  entries (see Entry encoding)
+//	blocks, each framed:  length uint64 | payload | CRC-32C uint32
+//	  block 0   codes  (leaves+1 × uint64; empty for delta runs)
+//	  block 1   starts (leaves+1 × int32;  empty for delta runs)
+//	  block 2   entry-block index: one 36-byte record per entry block
+//	            (firstCode u64 | lastCode u64 | off u64 | paylen u64 |
+//	            count u32), off being the absolute file offset of that
+//	            block's frame
+//	  blocks 3+ entry blocks: consecutive slices of the sorted entry
+//	            array (see Entry encoding), each targeting
+//	            TargetBlockBytes of payload
 //	footer (20 bytes)
 //	  body     uint64 total bytes of header+blocks
 //	  crc      CRC-32C of body field + magic
 //	  magic    "PQSEGEND"              8 bytes
+//
+// Version 1 stored all entries in a single monolithic block; version 2
+// splits them into independently checksummed, independently fetchable
+// entry blocks so a Reader can serve a point or range query by loading
+// only the blocks whose [firstCode, lastCode] span intersects the
+// query's Z-interval. The index block is small (36 bytes per ~4 KiB of
+// entries) and is held in memory by every open Reader; entry blocks
+// are fetched on demand with ReadAt and admitted to an optional Cache
+// only after their checksum verifies.
 //
 // # Torn vs corrupt
 //
@@ -81,14 +96,24 @@ var ErrTorn = errors.New("segment: torn run (incomplete write)")
 var ErrCorrupt = errors.New("segment: corrupt run (checksum mismatch)")
 
 var (
-	magic    = [6]byte{'P', 'Q', 'S', 'E', 'G', 1}
+	magic    = [6]byte{'P', 'Q', 'S', 'E', 'G', 2}
 	endMagic = [8]byte{'P', 'Q', 'S', 'E', 'G', 'E', 'N', 'D'}
 )
 
 const (
 	headerSize = 76
 	footerSize = 20
+	// indexRecSize is the encoded size of one entry-block index record.
+	indexRecSize = 36
 )
+
+// TargetBlockBytes is the payload size an entry block aims for: entries
+// are packed into a block until its encoded payload reaches this many
+// bytes (a block always holds at least one entry, so oversized payloads
+// get a block of their own). 4 KiB aligns a block with the page size
+// the occupancy analysis models, keeps the per-run index tiny, and
+// makes one block the natural cache and checksum unit.
+const TargetBlockBytes = 4096
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -154,10 +179,30 @@ func Write(path string, meta Meta, codes []uint64, starts []int32, entries []Ent
 	if len(codes) > 0 {
 		meta.Leaves = len(codes) - 1
 	}
+	chunks := splitEntryBlocks(entries)
 	body := appendHeader(nil, meta)
 	body = appendBlock(body, encodeCodes(codes))
 	body = appendBlock(body, encodeStarts(starts))
-	body = appendBlock(body, encodeEntries(entries))
+	// The index frame's size depends only on the number of entry
+	// blocks, so every block's absolute offset is known before anything
+	// is written.
+	off := uint64(len(body)) + frameSize(uint64(indexRecSize*len(chunks)))
+	index := make([]byte, 0, indexRecSize*len(chunks))
+	payloads := make([][]byte, len(chunks))
+	for i, ch := range chunks {
+		p := encodeEntries(ch)
+		payloads[i] = p
+		index = binary.LittleEndian.AppendUint64(index, ch[0].Code)
+		index = binary.LittleEndian.AppendUint64(index, ch[len(ch)-1].Code)
+		index = binary.LittleEndian.AppendUint64(index, off)
+		index = binary.LittleEndian.AppendUint64(index, uint64(len(p)))
+		index = binary.LittleEndian.AppendUint32(index, uint32(len(ch)))
+		off += frameSize(uint64(len(p)))
+	}
+	body = appendBlock(body, index)
+	for _, p := range payloads {
+		body = appendBlock(body, p)
+	}
 
 	switch {
 	case inj.Fire(faultinject.SegmentPartialFlush):
@@ -272,9 +317,6 @@ func Read(path string) (*Run, error) {
 			return nil, fmt.Errorf("segment: %s: block %d: %w", path, i, err)
 		}
 	}
-	if len(rest) != 0 {
-		return nil, fmt.Errorf("segment: %s: %w: %d trailing bytes", path, ErrCorrupt, len(rest))
-	}
 	r := &Run{Meta: meta}
 	if r.Codes, err = decodeCodes(blocks[0], meta.Leaves); err != nil {
 		return nil, fmt.Errorf("segment: %s: %w", path, err)
@@ -282,8 +324,34 @@ func Read(path string) (*Run, error) {
 	if r.Starts, err = decodeStarts(blocks[1], meta.Leaves); err != nil {
 		return nil, fmt.Errorf("segment: %s: %w", path, err)
 	}
-	if r.Entries, err = decodeEntries(blocks[2], meta.Entries); err != nil {
+	index, err := decodeIndex(blocks[2])
+	if err != nil {
 		return nil, fmt.Errorf("segment: %s: %w", path, err)
+	}
+	r.Entries = make([]Entry, 0, meta.Entries)
+	for bi := range index {
+		pos := uint64(len(body) - len(rest))
+		if index[bi].off != pos {
+			return nil, fmt.Errorf("segment: %s: %w: entry block %d at offset %d, index says %d",
+				path, ErrCorrupt, bi, pos, index[bi].off)
+		}
+		var payload []byte
+		payload, rest, err = readBlock(rest)
+		if err != nil {
+			return nil, fmt.Errorf("segment: %s: entry block %d: %w", path, bi, err)
+		}
+		es, err := decodeEntryBlock(payload, index[bi])
+		if err != nil {
+			return nil, fmt.Errorf("segment: %s: entry block %d: %w", path, bi, err)
+		}
+		r.Entries = append(r.Entries, es...)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("segment: %s: %w: %d trailing bytes", path, ErrCorrupt, len(rest))
+	}
+	if len(r.Entries) != meta.Entries {
+		return nil, fmt.Errorf("segment: %s: %w: %d entries decoded, header says %d",
+			path, ErrCorrupt, len(r.Entries), meta.Entries)
 	}
 	for i := 1; i < len(r.Entries); i++ {
 		if !r.Entries[i-1].Less(r.Entries[i]) {
@@ -420,6 +488,91 @@ func readBlock(b []byte) (payload, rest []byte, err error) {
 		return nil, nil, fmt.Errorf("%w: block checksum", ErrCorrupt)
 	}
 	return payload, b[8+n+4:], nil
+}
+
+// frameSize returns the on-disk size of a block frame holding a
+// payload of n bytes: length prefix + payload + checksum.
+func frameSize(n uint64) uint64 { return 8 + n + 4 }
+
+// blockInfo is one decoded entry-block index record: the Z-code span
+// of the block's entries, the absolute file offset of its frame, the
+// frame's payload length, and the entry count.
+type blockInfo struct {
+	firstCode, lastCode uint64
+	off, payLen         uint64
+	count               int
+}
+
+// splitEntryBlocks slices the sorted entry array into consecutive
+// chunks whose encoded payloads target TargetBlockBytes each. Every
+// chunk holds at least one entry; the slices alias the input.
+func splitEntryBlocks(entries []Entry) [][]Entry {
+	var chunks [][]Entry
+	start, size := 0, 0
+	for i := range entries {
+		sz := encodedEntrySize(entries[i])
+		if size > 0 && size+sz > TargetBlockBytes {
+			chunks = append(chunks, entries[start:i])
+			start, size = i, 0
+		}
+		size += sz
+	}
+	if start < len(entries) {
+		chunks = append(chunks, entries[start:])
+	}
+	return chunks
+}
+
+// encodedEntrySize returns the encoded byte size of one entry.
+func encodedEntrySize(e Entry) int {
+	if e.Tombstone {
+		return 33
+	}
+	return 33 + 4 + len(e.Payload)
+}
+
+// decodeIndex decodes the entry-block index payload.
+func decodeIndex(b []byte) ([]blockInfo, error) {
+	if len(b)%indexRecSize != 0 {
+		return nil, fmt.Errorf("%w: entry-block index is %d bytes (not a multiple of %d)",
+			ErrCorrupt, len(b), indexRecSize)
+	}
+	out := make([]blockInfo, len(b)/indexRecSize)
+	for i := range out {
+		r := b[i*indexRecSize:]
+		out[i] = blockInfo{
+			firstCode: binary.LittleEndian.Uint64(r[0:8]),
+			lastCode:  binary.LittleEndian.Uint64(r[8:16]),
+			off:       binary.LittleEndian.Uint64(r[16:24]),
+			payLen:    binary.LittleEndian.Uint64(r[24:32]),
+			count:     int(binary.LittleEndian.Uint32(r[32:36])),
+		}
+	}
+	return out, nil
+}
+
+// decodeEntryBlock decodes one entry block's payload and cross-checks
+// it against its index record: payload length, entry count, strict key
+// order within the block, and the indexed [firstCode, lastCode] span.
+func decodeEntryBlock(payload []byte, info blockInfo) ([]Entry, error) {
+	if uint64(len(payload)) != info.payLen {
+		return nil, fmt.Errorf("%w: entry block payload is %d bytes, index says %d",
+			ErrCorrupt, len(payload), info.payLen)
+	}
+	es, err := decodeEntries(payload, info.count)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(es); i++ {
+		if !es[i-1].Less(es[i]) {
+			return nil, fmt.Errorf("%w: entries out of key order at %d", ErrCorrupt, i)
+		}
+	}
+	if len(es) > 0 && (es[0].Code != info.firstCode || es[len(es)-1].Code != info.lastCode) {
+		return nil, fmt.Errorf("%w: entry block spans codes [%d, %d], index says [%d, %d]",
+			ErrCorrupt, es[0].Code, es[len(es)-1].Code, info.firstCode, info.lastCode)
+	}
+	return es, nil
 }
 
 func encodeCodes(codes []uint64) []byte {

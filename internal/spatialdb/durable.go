@@ -74,7 +74,25 @@ type DurableOptions struct {
 	// SyncAppends fsyncs the WAL after every append, extending the crash
 	// contract from process death to power loss.
 	SyncAppends bool
+	// Lazy serves the table straight from its sealed runs instead of
+	// materializing every entry in RAM: OpenDurableTable maps run
+	// manifests and block indexes only, queries stream merged cursors
+	// over the run stack plus the WAL tail, and the working set is
+	// bounded by CacheBytes — tables larger than memory are first-class.
+	// The id index stays in RAM (index-in-memory, payload-on-disk).
+	Lazy bool
+	// CacheBytes bounds the shared block cache a lazy table reads
+	// through, in bytes of decoded entry-block payload. Zero selects
+	// DefaultCacheBytes; negative disables caching entirely. Ignored
+	// unless Lazy is set.
+	CacheBytes int64
 }
+
+// DefaultCacheBytes is the block-cache budget of a lazy durable table
+// when DurableOptions.CacheBytes is zero: 4 MiB, a thousand 4 KiB
+// blocks — enough to keep a hot query region resident while staying
+// negligible next to the tables lazy mode exists for.
+const DefaultCacheBytes = 4 << 20
 
 // durableShard is the storage half of one shard: its WAL and the
 // sorted ladder of sealed runs.
@@ -89,6 +107,14 @@ type durableShard struct {
 	// flushMu.
 	seq  uint64
 	runs []runFile
+
+	// stackMu guards stack, the shard's open run readers in lazy mode,
+	// ascending by seq and trimmed to the newest full run onward (older
+	// runs are fully shadowed). It is a leaf lock: nothing else is
+	// acquired while holding it, so it may be taken under flushMu, the
+	// shard tree lock, or neither. Empty in non-lazy tables.
+	stackMu sync.Mutex
+	stack   []*openRun
 }
 
 // runFile identifies one sealed run on disk.
@@ -112,6 +138,14 @@ type durableTable struct {
 	inj  *faultinject.Injector
 
 	shards []*durableShard
+
+	// lazy marks a table opened with DurableOptions.Lazy: queries are
+	// served from the shard run stacks plus the WAL tail instead of the
+	// in-memory trees, which stay empty.
+	lazy bool
+	// cache is the table's shared block cache for lazy reads; nil when
+	// caching is disabled (every *segment.Cache method is nil-safe).
+	cache *segment.Cache
 
 	// batchLog is the table-level batch-commit log: one opCommit record
 	// per batch whose per-shard frames all reached their WALs. A batch is
@@ -228,6 +262,9 @@ func (db *DB) CreateDurableTable(name string, opts TableOptions, dopts DurableOp
 		return nil, fmt.Errorf("spatialdb: create durable %q: %w", name, err)
 	}
 	t.dur = d
+	if d.lazy {
+		t.initLazyTails()
+	}
 	d.startWorker(t)
 	db.tables[name] = t
 	return t, nil
@@ -292,7 +329,11 @@ func (db *DB) OpenDurableTable(name string, opts TableOptions, dopts DurableOpti
 		return nil, fmt.Errorf("spatialdb: open durable %q: %w", name, err)
 	}
 	t.dur = d
-	if err := t.recoverFromDisk(); err != nil {
+	recover := t.recoverFromDisk
+	if d.lazy {
+		recover = t.recoverLazyFromDisk
+	}
+	if err := recover(); err != nil {
 		d.closeFiles()
 		return nil, fmt.Errorf("spatialdb: open durable %q: %w", name, err)
 	}
@@ -308,11 +349,19 @@ func newDurableState(t *Table, dopts DurableOptions, inj *faultinject.Injector) 
 		dir:           dopts.Dir,
 		opts:          dopts,
 		inj:           inj,
+		lazy:          dopts.Lazy,
 		shards:        make([]*durableShard, len(t.shards)),
 		failedBatches: map[uint64]struct{}{},
 		notify:        make(chan struct{}, 1),
 		stop:          make(chan struct{}),
 		done:          make(chan struct{}),
+	}
+	if dopts.Lazy {
+		budget := dopts.CacheBytes
+		if budget == 0 {
+			budget = DefaultCacheBytes
+		}
+		d.cache = segment.NewCache(budget) // nil when budget < 0: caching off
 	}
 	entries, err := os.ReadDir(dopts.Dir)
 	if err != nil {
@@ -349,10 +398,22 @@ func newDurableState(t *Table, dopts DurableOptions, inj *faultinject.Injector) 
 	return d, nil
 }
 
-// closeFiles closes every WAL without flushing.
+// closeFiles closes every WAL without flushing, and in lazy mode
+// drains every shard's run stack: each open reader is marked dead and
+// the stack's reference released, so readers close as soon as any
+// in-flight pinned query lets go (such queries may then surface read
+// errors — the intended crash simulation under Kill).
 func (d *durableTable) closeFiles() {
 	for _, ds := range d.shards {
 		ds.log.Close()
+		ds.stackMu.Lock()
+		stack := ds.stack
+		ds.stack = nil
+		ds.stackMu.Unlock()
+		for _, or := range stack {
+			or.dead.Store(true)
+			or.release()
+		}
 	}
 	d.batchLog.Close()
 }
@@ -427,7 +488,14 @@ func (t *Table) Close() error {
 	d.stopWorker()
 	var firstErr error
 	for si := range t.shards {
-		if err := t.checkpointShard(si); err != nil && firstErr == nil {
+		// A lazy table has no frozen tree to checkpoint; sealing the WAL
+		// tail into a delta run gives the same durability (reopen replays
+		// nothing) without materializing entries.
+		seal := t.checkpointShard
+		if d.lazy {
+			seal = t.flushShard
+		}
+		if err := seal(si); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

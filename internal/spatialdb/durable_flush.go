@@ -47,14 +47,21 @@ func (t *Table) Flush() error {
 	return firstErr
 }
 
-// flushShard seals one shard's WAL tail into a delta run.
+// flushShard seals one shard's WAL tail into a delta run. A lazy shard
+// takes the write lock — the seal clears its tail map — where an eager
+// one needs only the read lock to hold the WAL stable.
 func (t *Table) flushShard(si int) error {
 	ds := t.dur.shards[si]
 	ds.flushMu.Lock()
 	defer ds.flushMu.Unlock()
 	s := t.shards[si]
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	if t.dur.lazy {
+		s.mu.Lock() //popvet:allow lockdiscipline -- single shard si: the two sites are the exclusive lazy/eager branch, never two shards held
+		defer s.mu.Unlock()
+	} else {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
 	return t.sealWALLocked(si)
 }
 
@@ -89,6 +96,22 @@ func (t *Table) sealWALLocked(si int) error {
 	}
 	ds.seq = seq
 	ds.runs = append(ds.runs, runFile{path: path, seq: seq, kind: segment.Delta})
+	if t.dur.lazy {
+		// Publish the run to the serving stack before dropping the tail
+		// it supersedes; a query pinning between the two sees the run and
+		// possibly a stale tail copy, which newest-wins merging collapses
+		// to the same entries. (The caller holds the write lock, so no
+		// query actually interleaves here — the order is for reading.)
+		or, oerr := t.dur.openRunReader(path, seq, segment.Delta)
+		if oerr != nil {
+			// The run is durable but not yet serving: leave the tail and
+			// WAL in place — both still cover the records, and replaying
+			// the WAL over the run at the next open is idempotent.
+			return fmt.Errorf("spatialdb: flush %q shard %d: %w", t.name, si, oerr)
+		}
+		ds.pushStack(or)
+		clear(s.tail)
+	}
 	return ds.truncateWAL()
 }
 
@@ -188,18 +211,37 @@ func (t *Table) compactShardDisk(si int) error {
 	ds.flushMu.Lock()
 	defer ds.flushMu.Unlock()
 	s := t.shards[si]
-	s.mu.RLock()
-	err := t.sealWALLocked(si)
-	s.mu.RUnlock()
+	var err error
+	if t.dur.lazy {
+		s.mu.Lock() //popvet:allow lockdiscipline -- single shard si: the two sites are the exclusive lazy/eager branch, never two shards held
+		err = t.sealWALLocked(si)
+		s.mu.Unlock()
+	} else {
+		s.mu.RLock()
+		err = t.sealWALLocked(si)
+		s.mu.RUnlock()
+	}
 	if err != nil {
 		return err
 	}
 	if len(ds.runs) <= 1 && (len(ds.runs) == 0 || ds.runs[0].kind == segment.Full) {
 		return nil // already a single full run (or nothing at all)
 	}
+	// Merge from the newest full run onward. Runs below it are fully
+	// shadowed — a crash mid-cleanup can leave any subset of them behind
+	// — and folding one back in could resurrect a key that a shadowing
+	// delta deleted and the full run therefore lacks. Cleanup below still
+	// removes every superseded file.
+	start := 0
+	for i, rf := range ds.runs {
+		if rf.kind == segment.Full {
+			start = i
+		}
+	}
 	// Runs are immutable once sealed, so the merge needs no table locks.
-	runEntries := make([][]segment.Entry, 0, len(ds.runs))
-	for _, rf := range ds.runs {
+	live := ds.runs[start:]
+	runEntries := make([][]segment.Entry, 0, len(live))
+	for _, rf := range live {
 		r, err := segment.Read(rf.path)
 		if err != nil {
 			return fmt.Errorf("spatialdb: compact %q shard %d: %w", t.name, si, err)
@@ -222,6 +264,16 @@ func (t *Table) compactShardDisk(si int) error {
 	old := ds.runs
 	ds.seq = seq
 	ds.runs = []runFile{{path: path, seq: seq, kind: segment.Full}}
+	if t.dur.lazy {
+		or, oerr := t.dur.openRunReader(path, seq, segment.Full)
+		if oerr != nil {
+			return fmt.Errorf("spatialdb: compact %q shard %d: %w", t.name, si, oerr)
+		}
+		// Swap the serving stack to the merged run and retire the old
+		// readers: each closes when its last pinned query releases it,
+		// and POSIX keeps the unlinked files readable until then.
+		closeRuns(ds.swapStack(or))
+	}
 	if t.dur.inj.Fire(faultinject.CompactionInterrupted) {
 		// Crash window: the merged run is durable, the old files are not
 		// yet deleted. Recovery takes the newest full run and ignores the

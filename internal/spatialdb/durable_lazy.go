@@ -1,0 +1,340 @@
+package spatialdb
+
+// Lazy mode: a durable table that serves queries straight from its
+// sealed runs instead of materializing every record in RAM. The shard's
+// in-memory quadtree stays empty; writes buffer in a per-shard tail map
+// mirroring the WAL, Flush seals the tail into a delta run and pushes
+// an open reader onto the shard's run stack, and queries stream a k-way
+// merged cursor over the stack plus the tail. The id→location index
+// stays in RAM (index-in-memory, payload-on-disk), so Get and Delete
+// keep their O(1) lookup while the working set of record payloads is
+// bounded by the table's block-cache budget.
+//
+// # Run stack lifetime
+//
+// Each shard's stack holds one *openRun per serving run file, ascending
+// by sequence. The stack owns one reference per run; a query pins the
+// stack under stackMu (while a run is listed, its stack reference
+// guarantees refs >= 1, so the acquire can never resurrect a closed
+// reader) and releases its references when the scan ends. Compaction
+// retires runs by removing them from the stack, marking them dead, and
+// dropping the stack's reference — the reader closes when the last
+// in-flight query lets go, and POSIX keeps the unlinked file readable
+// until then. Queries therefore never block flushes or compactions, and
+// a cursor mid-merge keeps a consistent view while the ladder changes
+// underneath it (the DiskCursorSeal fault point drives exactly that
+// schedule in the chaos tests).
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync/atomic"
+
+	"popana/internal/geom"
+	"popana/internal/segment"
+)
+
+// tailRec is one folded WAL operation in a lazy shard's tail: the net
+// effect on its location — a live record or a tombstone.
+type tailRec struct {
+	rec  Record
+	tomb bool
+}
+
+// openRun is one sealed run with an open reader and a reference count.
+// The owning stack holds one reference; each in-flight query holds one
+// per pinned run. dead marks a run retired from its stack (compacted
+// away, or the table closed); the last release closes the reader.
+type openRun struct {
+	reader *segment.Reader
+	seq    uint64
+	kind   segment.Kind
+	refs   atomic.Int64
+	dead   atomic.Bool
+}
+
+// release drops one reference, closing the reader when the run is dead
+// and this was the last holder.
+func (or *openRun) release() {
+	if or.refs.Add(-1) == 0 && or.dead.Load() {
+		or.reader.Close()
+	}
+}
+
+// acquireStack returns the shard's current run stack with one reference
+// taken per run; pair with releaseRuns.
+func (ds *durableShard) acquireStack() []*openRun {
+	ds.stackMu.Lock()
+	defer ds.stackMu.Unlock()
+	out := make([]*openRun, len(ds.stack))
+	copy(out, ds.stack)
+	for _, or := range out {
+		or.refs.Add(1)
+	}
+	return out
+}
+
+// pushStack appends a freshly sealed run to the serving stack.
+func (ds *durableShard) pushStack(or *openRun) {
+	ds.stackMu.Lock()
+	ds.stack = append(ds.stack, or)
+	ds.stackMu.Unlock()
+}
+
+// swapStack replaces the whole stack with the single merged run,
+// returning the retired runs for the caller to close.
+func (ds *durableShard) swapStack(or *openRun) []*openRun {
+	ds.stackMu.Lock()
+	old := ds.stack
+	ds.stack = []*openRun{or}
+	ds.stackMu.Unlock()
+	return old
+}
+
+// releaseRuns drops one reference per run (a query unpinning its view).
+func releaseRuns(runs []*openRun) {
+	for _, or := range runs {
+		or.release()
+	}
+}
+
+// closeRuns retires runs no stack lists any more: marks each dead and
+// drops the stack's reference, closing readers with no queries pinned.
+func closeRuns(runs []*openRun) {
+	for _, or := range runs {
+		or.dead.Store(true)
+		or.release()
+	}
+}
+
+// openRunReader opens a reader on a sealed run, wired to the table's
+// shared block cache and fault injector, holding the stack's reference.
+func (d *durableTable) openRunReader(path string, seq uint64, kind segment.Kind) (*openRun, error) {
+	r, err := segment.OpenReader(path)
+	if err != nil {
+		return nil, err
+	}
+	r.SetCache(d.cache)
+	r.SetInjector(d.inj)
+	or := &openRun{reader: r, seq: seq, kind: kind}
+	or.refs.Store(1)
+	return or, nil
+}
+
+// lazyMode reports whether the table serves queries from sealed runs.
+func (t *Table) lazyMode() bool { return t.dur != nil && t.dur.lazy }
+
+// initLazyTails allocates every shard's tail map. Called before the
+// table is shared.
+func (t *Table) initLazyTails() {
+	for _, s := range t.shards {
+		s.tail = map[geom.Point]tailRec{}
+	}
+}
+
+// DropBlockCache empties the table's block cache (keeping its hit/miss
+// history), so the next query on every block goes to disk — the
+// cold-cache state the benchmarks measure from. A no-op on non-lazy
+// tables and when caching is disabled.
+func (t *Table) DropBlockCache() {
+	if t.dur != nil {
+		t.dur.cache.Drop()
+	}
+}
+
+// recoverLazyFromDisk rebuilds a lazy table's serving state: per shard,
+// the run stack (open readers, no entry materialization beyond one
+// streaming merge pass to rebuild the id index) and the WAL tail map.
+// The same torn-run, corrupt-run, and batch-atomicity rules as
+// recoverFromDisk apply.
+func (t *Table) recoverLazyFromDisk() error {
+	committed, ops, err := t.decodeWALs()
+	if err != nil {
+		return err
+	}
+	t.initLazyTails()
+	for si := range t.shards {
+		if err := t.recoverLazyShard(si, committed, ops[si]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recoverLazyShard validates one shard's runs by metadata, opens the
+// serving stack (newest full run onward — older runs are fully
+// shadowed), streams the merged stack once to rebuild the id index and
+// record count, and folds the WAL ops into the tail map.
+func (t *Table) recoverLazyShard(si int, committed map[uint64]bool, ops []walOp) error {
+	ds := t.dur.shards[si]
+	s := t.shards[si]
+	// A torn newest run is an interrupted flush; the WAL still covers
+	// its records (invariant 2), so drop it.
+	runs := ds.runs
+	if n := len(runs); n > 0 {
+		if _, rerr := segment.ReadMeta(runs[n-1].path); errors.Is(rerr, segment.ErrTorn) {
+			if err := os.Remove(runs[n-1].path); err != nil {
+				return fmt.Errorf("recover shard %d: drop torn run: %w", si, err)
+			}
+			if err := segment.SyncDir(t.dur.dir); err != nil {
+				return err
+			}
+			runs = runs[:n-1]
+			ds.runs = runs
+		}
+	}
+	// Learn every run's kind from its (cheap) metadata probe and find
+	// the newest full run; the stack serves from there onward.
+	baseIdx := -1
+	for i, rf := range runs {
+		m, err := segment.ReadMeta(rf.path)
+		if err != nil {
+			return fmt.Errorf("recover shard %d: %w", si, err)
+		}
+		if int(m.Shard) != si || m.Region != s.region {
+			return fmt.Errorf("recover shard %d: %w: run %s belongs to another layout (shard %d, region %v)",
+				si, ErrCorruptRun, rf.path, m.Shard, m.Region)
+		}
+		ds.runs[i].kind = m.Kind
+		if m.Kind == segment.Full {
+			baseIdx = i
+		}
+	}
+	start := baseIdx
+	if start < 0 {
+		start = 0
+	}
+	var stack []*openRun
+	for _, rf := range runs[start:] {
+		or, err := t.dur.openRunReader(rf.path, rf.seq, rf.kind)
+		if err != nil {
+			closeRuns(stack)
+			return fmt.Errorf("recover shard %d: %w", si, err)
+		}
+		stack = append(stack, or)
+	}
+	// One streaming pass over the merged stack rebuilds the disk half of
+	// the id index: newest-wins, tombstones already filtered. Entries are
+	// decoded block by block and dropped again; only (location, id)
+	// pairs stay resident — the index-in-memory half of the split.
+	cursors := make([]segment.EntryCursor, len(stack))
+	for i, or := range stack {
+		cursors[i] = or.reader.Cursor()
+	}
+	merged := segment.NewMergedCursor(cursors...)
+	locID := map[geom.Point]uint64{}
+	for {
+		e, ok, err := merged.Next()
+		if err != nil {
+			closeRuns(stack)
+			return fmt.Errorf("recover shard %d: %w", si, err)
+		}
+		if !ok {
+			break
+		}
+		locID[geom.Pt(e.X, e.Y)] = e.ID
+	}
+	// Fold the WAL tail on top (frames of uncommitted batches dropped).
+	for _, op := range ops {
+		switch op.op {
+		case opInsert:
+			s.tail[op.loc] = tailRec{rec: Record{ID: op.id, Loc: op.loc, Data: op.data}}
+		case opDelete:
+			s.tail[op.loc] = tailRec{rec: Record{ID: op.id, Loc: op.loc}, tomb: true}
+		case opBatch:
+			if committed[op.batch.id] {
+				for _, rec := range op.batch.recs {
+					s.tail[rec.Loc] = tailRec{rec: rec}
+				}
+			}
+		}
+	}
+	// Count and id-index: disk locations not shadowed by the tail, plus
+	// the tail's live records. Recovery runs before the table is shared,
+	// so the stripe maps are written directly.
+	count := 0
+	for loc, id := range locID {
+		if _, shadowed := s.tail[loc]; shadowed {
+			continue
+		}
+		t.ids.stripe(id).m[id] = loc
+		count++
+	}
+	for loc, tr := range s.tail {
+		if !tr.tomb {
+			t.ids.stripe(tr.rec.ID).m[tr.rec.ID] = loc
+			count++
+		}
+	}
+	s.count.Store(int64(count))
+	ds.stackMu.Lock()
+	ds.stack = stack
+	ds.stackMu.Unlock()
+	return nil
+}
+
+// lazyOccupied reports whether a location holds a live record, checking
+// the tail first and then the run stack newest-first. The caller holds
+// the shard's write lock, so the tail check and the stack acquisition
+// see one consistent seal state. A run that cannot be read reports the
+// location free — the write-ahead log still records whatever the caller
+// then does, and newest-wins merging keeps the stream consistent.
+func (t *Table) lazyOccupied(si int, loc geom.Point) bool {
+	s := t.shards[si]
+	if tr, ok := s.tail[loc]; ok {
+		return !tr.tomb
+	}
+	stack := t.dur.shards[si].acquireStack()
+	defer releaseRuns(stack)
+	code := cellCodeOf(s, loc)
+	for i := len(stack) - 1; i >= 0; i-- {
+		e, ok, err := stack[i].reader.Find(code, loc.X, loc.Y)
+		if err != nil {
+			return false
+		}
+		if ok {
+			return !e.Tombstone
+		}
+	}
+	return false
+}
+
+// getLazy serves Get on a lazy table: the tail under the shard read
+// lock, then the pinned run stack newest-first, loading at most one
+// block per probed run. Read errors report "not found" — Get's
+// signature has no error channel; Select surfaces disk errors.
+func (t *Table) getLazy(id uint64, loc geom.Point) (Record, bool) {
+	si := t.shardIndexOf(loc)
+	s := t.shards[si]
+	s.mu.RLock()
+	if tr, ok := s.tail[loc]; ok {
+		s.mu.RUnlock()
+		if tr.tomb || tr.rec.ID != id {
+			return Record{}, false
+		}
+		return tr.rec, true
+	}
+	stack := t.dur.shards[si].acquireStack()
+	s.mu.RUnlock()
+	defer releaseRuns(stack)
+	code := cellCodeOf(s, loc)
+	for i := len(stack) - 1; i >= 0; i-- {
+		e, ok, err := stack[i].reader.Find(code, loc.X, loc.Y)
+		if err != nil {
+			return Record{}, false
+		}
+		if !ok {
+			continue
+		}
+		if e.Tombstone || e.ID != id {
+			return Record{}, false
+		}
+		data, derr := decodePayload(e.Payload)
+		if derr != nil {
+			return Record{}, false
+		}
+		return Record{ID: id, Loc: loc, Data: data}, true
+	}
+	return Record{}, false
+}

@@ -1,0 +1,268 @@
+package spatialdb
+
+// Disk read path tests: a lazy durable table — queries served from the
+// sealed run stack plus the WAL tail — must answer exactly like an
+// in-memory table that saw the same mutations, under cache pressure,
+// block poisoning, and seals racing a cursor mid-merge. This file's
+// TestDurable* names put it inside the CI crash-recovery chaos step's
+// -run filter.
+
+import (
+	"testing"
+
+	"popana/internal/faultinject"
+	"popana/internal/geom"
+)
+
+// buildLazyLadder drives a lazy table through the full storage ladder
+// and returns it alongside an in-memory control that saw the same
+// mutations: a compacted full run, a sealed delta run, and a live WAL
+// tail, with deletes landing in every layer.
+func buildLazyLadder(t *testing.T, db *DB, dir string, opts TableOptions, dopts DurableOptions) (*Table, *Table) {
+	t.Helper()
+	dopts.Dir = dir
+	dopts.Lazy = true
+	tab, err := db.CreateDurableTable("lazy", opts, dopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	control := controlFor(t, opts, nil)
+	recs := uniqueRecords(1100, 7331)
+
+	apply := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	both := func(f func(tb *Table) error) {
+		t.Helper()
+		apply(f(tab))
+		apply(f(control))
+	}
+
+	// Layer 1: a batch plus deletes, compacted into one full run per shard.
+	both(func(tb *Table) error { return tb.InsertBatch(recs[:600]) })
+	for id := uint64(0); id < 600; id += 5 {
+		if !tab.Delete(id) || !control.Delete(id) {
+			t.Fatalf("delete %d failed", id)
+		}
+	}
+	apply(tab.CompactDisk())
+	// Layer 2: singles plus deletes, sealed as delta runs.
+	for _, r := range recs[600:900] {
+		both(func(tb *Table) error { return tb.Insert(r) })
+	}
+	for id := uint64(600); id < 900; id += 7 {
+		if !tab.Delete(id) || !control.Delete(id) {
+			t.Fatalf("delete %d failed", id)
+		}
+	}
+	apply(tab.Flush())
+	// Layer 3: the WAL tail — singles and deletes never sealed.
+	for _, r := range recs[900:] {
+		both(func(tb *Table) error { return tb.Insert(r) })
+	}
+	for id := uint64(900); id < 1100; id += 9 {
+		if !tab.Delete(id) || !control.Delete(id) {
+			t.Fatalf("delete %d failed", id)
+		}
+	}
+	return tab, control
+}
+
+// TestDurableDiskQueryEquivalence is the disk-vs-memory acceptance
+// gate: a lazy table whose state spans full run + delta run + WAL tail
+// — then crashed and lazily recovered — answers 1000 randomized
+// queries (and Get for every record) exactly like an in-memory control,
+// reading through a cache far smaller than the sealed data.
+func TestDurableDiskQueryEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	opts := TableOptions{Capacity: 4, ShardBits: 2}
+	db := NewDB()
+	dopts := DurableOptions{CacheBytes: 16 << 10} // a handful of blocks
+	tab, control := buildLazyLadder(t, db, dir, opts, dopts)
+
+	// First: the live lazy table (write path + serving stack).
+	assertSameRecords(t, "lazy-live", tab, control)
+	assertEquivalentQueries(t, "lazy-live", tab, control, 2024, 500)
+
+	// Then: crash, recover lazily, and require the same answers again
+	// (recovery path: stack + tail rebuilt from disk).
+	tab.Kill()
+	if err := db.DropTable("lazy"); err != nil {
+		t.Fatal(err)
+	}
+	dopts.Dir = dir
+	dopts.Lazy = true
+	reopened, err := db.OpenDurableTable("lazy", TableOptions{}, dopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reopened.lazyMode() {
+		t.Fatal("reopened table is not in lazy mode")
+	}
+	assertSameRecords(t, "lazy-recovered", reopened, control)
+	assertEquivalentQueries(t, "lazy-recovered", reopened, control, 4242, 1000)
+
+	st := reopened.Stats()
+	if st.DiskRuns == 0 {
+		t.Error("Stats.DiskRuns is 0 on a table with sealed runs")
+	}
+	if st.CacheMisses == 0 {
+		t.Error("Stats.CacheMisses is 0 after serving queries from disk")
+	}
+	if st.CacheBudgetBytes != 16<<10 {
+		t.Errorf("Stats.CacheBudgetBytes = %d, want %d", st.CacheBudgetBytes, 16<<10)
+	}
+}
+
+// TestDurableLazyNewestWinsAcrossLadder pins the merge invariant at one
+// location living in every layer at once: the full run holds v1, a
+// delta run deletes it and writes v2, the WAL tail deletes that and
+// writes v3. Queries and Get must see exactly v3.
+func TestDurableLazyNewestWinsAcrossLadder(t *testing.T) {
+	dir := t.TempDir()
+	opts := TableOptions{Capacity: 4, ShardBits: SingleShard}
+	db := NewDB()
+	tab, err := db.CreateDurableTable("ladder", opts, DurableOptions{Dir: dir, Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := geom.Pt(0.375, 0.625)
+	if err := tab.Insert(Record{ID: 1, Loc: loc, Data: "v1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.CompactDisk(); err != nil { // v1 → full run
+		t.Fatal(err)
+	}
+	if !tab.Delete(1) {
+		t.Fatal("delete v1")
+	}
+	if err := tab.Insert(Record{ID: 2, Loc: loc, Data: "v2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Flush(); err != nil { // tombstone(v1)+v2 → delta run
+		t.Fatal(err)
+	}
+	if !tab.Delete(2) {
+		t.Fatal("delete v2")
+	}
+	if err := tab.Insert(Record{ID: 3, Loc: loc, Data: "v3"}); err != nil { // tail
+		t.Fatal(err)
+	}
+
+	w := geom.R(0.25, 0.5, 0.5, 0.75)
+	got, _, err := tab.Select(Query{Window: &w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != 3 || got[0].Data != "v3" {
+		t.Fatalf("window over the ladder location returned %+v, want the single tail record v3", got)
+	}
+	if cnt, _, err := tab.CountRange(w, 0); err != nil || cnt != 1 {
+		t.Fatalf("CountRange = %d, %v, want 1", cnt, err)
+	}
+	if _, ok := tab.Get(1); ok {
+		t.Error("Get(1) found the full-run version through two deletes")
+	}
+	if _, ok := tab.Get(2); ok {
+		t.Error("Get(2) found the delta-run version through its delete")
+	}
+	if rec, ok := tab.Get(3); !ok || rec.Data != "v3" {
+		t.Fatalf("Get(3) = %+v, %v, want v3", rec, ok)
+	}
+	if n := tab.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+}
+
+// TestDurableDiskBlockPoisonHeals arms the SegmentBlockPoison fault on
+// every block read of a lazy query workload: each first fetch hands the
+// reader a damaged buffer, the checksum catches it, and the retry heals
+// it — so results stay exactly right and nothing poisoned is cached.
+func TestDurableDiskBlockPoisonHeals(t *testing.T) {
+	dir := t.TempDir()
+	opts := TableOptions{Capacity: 4, ShardBits: 2}
+	inj := faultinject.New(1)
+	db := NewDB()
+	db.SetFaultInjector(inj)
+	tab, control := buildLazyLadder(t, db, dir, opts, DurableOptions{CacheBytes: 64 << 10})
+
+	// The write path's occupied-checks warmed every block; drop them so
+	// the query workload actually reads disk.
+	tab.DropBlockCache()
+	inj.Enable(faultinject.SegmentBlockPoison, 1) // every uncached block read
+	assertEquivalentQueries(t, "poisoned", tab, control, 99, 200)
+	if inj.Fired(faultinject.SegmentBlockPoison) == 0 {
+		t.Fatal("SegmentBlockPoison never fired: the chaos schedule did not execute")
+	}
+}
+
+// TestDurableDiskCursorMidSeal arms the DiskCursorSeal fault: the first
+// query pins its shard views, then every pinned shard's WAL tail is
+// sealed into a delta run before the merged cursors run — the exact
+// schedule where a cursor must keep serving its pinned state while the
+// run ladder grows underneath it.
+func TestDurableDiskCursorMidSeal(t *testing.T) {
+	dir := t.TempDir()
+	opts := TableOptions{Capacity: 4, ShardBits: 2}
+	inj := faultinject.New(7)
+	db := NewDB()
+	db.SetFaultInjector(inj)
+	tab, control := buildLazyLadder(t, db, dir, opts, DurableOptions{})
+
+	runsBefore := tab.Stats().DiskRuns
+	inj.EnableN(faultinject.DiskCursorSeal, 1, 1) // exactly one mid-query seal
+	assertEquivalentQueries(t, "mid-seal", tab, control, 1234, 200)
+	if got := inj.Fired(faultinject.DiskCursorSeal); got != 1 {
+		t.Fatalf("DiskCursorSeal fired %d times, want 1", got)
+	}
+	if runsAfter := tab.Stats().DiskRuns; runsAfter <= runsBefore {
+		t.Fatalf("mid-query seal did not grow the ladder: %d runs before, %d after", runsBefore, runsAfter)
+	}
+}
+
+// TestDurableLazyLargerThanCache serves a table whose sealed runs
+// dwarf the block-cache budget: full scans must stay correct while the
+// cache churns (misses and evictions), and a small hot window must
+// still hit once warm.
+func TestDurableLazyLargerThanCache(t *testing.T) {
+	dir := t.TempDir()
+	opts := TableOptions{Capacity: 4, ShardBits: 2}
+	db := NewDB()
+	// ~8 KiB of cache against hundreds of KiB of sealed entries.
+	tab, control := buildLazyLadder(t, db, dir, opts, DurableOptions{CacheBytes: 8 << 10})
+
+	full := control.region
+	got, _, err := tab.Select(Query{Window: &full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := control.Len(); len(got) != want {
+		t.Fatalf("full scan returned %d records, control holds %d", len(got), want)
+	}
+	st := tab.Stats()
+	if st.CacheMisses == 0 {
+		t.Fatal("full scan over a tiny cache produced no misses")
+	}
+	if st.CacheEvictions == 0 {
+		t.Fatal("full scan over a tiny cache produced no evictions")
+	}
+	if st.CacheUsedBytes > st.CacheBudgetBytes {
+		t.Fatalf("cache used %d bytes over its %d budget", st.CacheUsedBytes, st.CacheBudgetBytes)
+	}
+
+	// A hot window rereads the same few blocks: the second pass must hit.
+	w := geom.R(0.4, 0.4, 0.45, 0.45)
+	if _, _, err := tab.Select(Query{Window: &w}); err != nil {
+		t.Fatal(err)
+	}
+	hitsBefore := tab.Stats().CacheHits
+	if _, _, err := tab.Select(Query{Window: &w}); err != nil {
+		t.Fatal(err)
+	}
+	if hitsAfter := tab.Stats().CacheHits; hitsAfter <= hitsBefore {
+		t.Fatalf("warm re-scan of a small window produced no cache hits (%d before, %d after)", hitsBefore, hitsAfter)
+	}
+}

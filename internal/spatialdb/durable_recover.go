@@ -42,57 +42,14 @@ import (
 // Called from OpenDurableTable before the table is shared, so no locks
 // are needed.
 func (t *Table) recoverFromDisk() error {
-	d := t.dur
-	// Phase 1: read the batch-commit log — the committed set is the
-	// batch-atomicity verdict — then decode every shard's WAL. Frames of
-	// uncommitted batches are re-marked failed so a post-recovery flush
-	// cannot seal them into a run (the in-memory failed set died with
-	// the crashed process).
-	committed := map[uint64]bool{}
-	var maxBatch uint64
-	_, err := d.batchLog.Fold(func(payload []byte) error {
-		op, err := decodeOp(payload)
-		if err != nil {
-			return err
-		}
-		if op.op != opCommit {
-			return fmt.Errorf("recover batch log: unexpected op %d", op.op)
-		}
-		committed[op.batch.id] = true
-		if op.batch.id > maxBatch {
-			maxBatch = op.batch.id
-		}
-		return nil
-	})
+	committed, ops, err := t.decodeWALs()
 	if err != nil {
-		return fmt.Errorf("recover batch log: %w", err)
+		return err
 	}
-	ops := make([][]walOp, len(t.shards))
-	for si := range t.shards {
-		_, err := d.shards[si].log.Fold(func(payload []byte) error {
-			op, err := decodeOp(payload)
-			if err != nil {
-				return err
-			}
-			if op.op == opBatch {
-				if op.batch.id > maxBatch {
-					maxBatch = op.batch.id
-				}
-				if !committed[op.batch.id] {
-					d.markFailedBatch(op.batch.id)
-				}
-			}
-			ops[si] = append(ops[si], op)
-			return nil
-		})
-		if err != nil {
-			return fmt.Errorf("recover shard %d WAL: %w", si, err)
-		}
-	}
-	d.batchID.Store(maxBatch)
 
 	// Phase 2: per shard, merge the durable runs, replay the WAL tail on
 	// top, and rebuild the live index.
+	d := t.dur
 	for si := range t.shards {
 		base, entries, err := t.loadRuns(si)
 		if err != nil {
@@ -133,6 +90,60 @@ func (t *Table) recoverFromDisk() error {
 		}
 	}
 	return nil
+}
+
+// decodeWALs is recovery phase 1, shared by the eager and lazy paths:
+// read the batch-commit log — the committed set is the batch-atomicity
+// verdict — then decode every shard's WAL. Frames of uncommitted
+// batches are re-marked failed so a post-recovery flush cannot seal
+// them into a run (the in-memory failed set died with the crashed
+// process), and the batch-ID counter is re-seeded past the maximum
+// seen.
+func (t *Table) decodeWALs() (committed map[uint64]bool, ops [][]walOp, err error) {
+	d := t.dur
+	committed = map[uint64]bool{}
+	var maxBatch uint64
+	_, err = d.batchLog.Fold(func(payload []byte) error {
+		op, err := decodeOp(payload)
+		if err != nil {
+			return err
+		}
+		if op.op != opCommit {
+			return fmt.Errorf("recover batch log: unexpected op %d", op.op)
+		}
+		committed[op.batch.id] = true
+		if op.batch.id > maxBatch {
+			maxBatch = op.batch.id
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("recover batch log: %w", err)
+	}
+	ops = make([][]walOp, len(t.shards))
+	for si := range t.shards {
+		_, err := d.shards[si].log.Fold(func(payload []byte) error {
+			op, err := decodeOp(payload)
+			if err != nil {
+				return err
+			}
+			if op.op == opBatch {
+				if op.batch.id > maxBatch {
+					maxBatch = op.batch.id
+				}
+				if !committed[op.batch.id] {
+					d.markFailedBatch(op.batch.id)
+				}
+			}
+			ops[si] = append(ops[si], op)
+			return nil
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("recover shard %d WAL: %w", si, err)
+		}
+	}
+	d.batchID.Store(maxBatch)
+	return committed, ops, nil
 }
 
 // onlyRun reports whether seq is the only run in the ladder.

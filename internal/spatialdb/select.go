@@ -202,6 +202,9 @@ func (t *Table) Select(q Query) ([]Record, Cost, error) {
 	if keep == nil {
 		keep = func(Record) bool { return true }
 	}
+	if t.lazyMode() {
+		return t.selectLazy(q, keep)
+	}
 	if q.Nearest != nil {
 		return t.selectNearest(*q.Nearest, keep)
 	}
@@ -420,6 +423,9 @@ func (t *Table) CountRange(window geom.Rect, maxNodes int) (int, Cost, error) {
 		return 0, Cost{}, err
 	}
 	t.inj.Delay(faultinject.QueryLatency)
+	if t.lazyMode() {
+		return t.countLazy(window, maxNodes)
+	}
 	targets := t.shardsOverlapping(window)
 	switch len(targets) {
 	case 0:
@@ -535,6 +541,10 @@ type Estimate struct {
 	// occupancy heuristic because every solver rung failed at table
 	// creation; treat them as order-of-magnitude guidance.
 	Approximate bool
+	// FromDisk marks an estimate for a table served from sealed runs
+	// (DurableOptions.Lazy): Blocks then predicts entry-block reads —
+	// cache hits included — rather than in-memory leaf visits.
+	FromDisk bool
 }
 
 // Explain predicts the cost of a query from the population model before
@@ -546,6 +556,18 @@ type Estimate struct {
 // the partition — and Explain never locks: the record count comes from
 // the shards' atomic counters and the region is immutable.
 func (t *Table) Explain(q Query) (Estimate, error) {
+	e, err := t.explain(q)
+	if err == nil && t.lazyMode() {
+		// The population model composes across representations too: the
+		// sealed runs pack entries into TargetBlockBytes blocks at the
+		// same records-per-block ballpark, so the block estimate carries
+		// over; FromDisk tells the caller the unit changed.
+		e.FromDisk = true
+	}
+	return e, err
+}
+
+func (t *Table) explain(q Query) (Estimate, error) {
 	if err := q.validate(); err != nil {
 		return Estimate{}, err
 	}
@@ -609,6 +631,16 @@ type Stats struct {
 	// ModelApproximate marks ModelOccupancy as the closed-form
 	// heuristic rather than a solved distribution.
 	ModelApproximate bool
+
+	// DiskRuns counts the sealed run files across all shards of a
+	// durable table (zero for in-memory tables).
+	DiskRuns int
+	// CacheHits/CacheMisses/CacheEvictions and CacheUsedBytes /
+	// CacheBudgetBytes expose the block cache a lazy table reads
+	// through; all zero when the table is not lazy or caching is
+	// disabled (DurableOptions.CacheBytes < 0).
+	CacheHits, CacheMisses, CacheEvictions int64
+	CacheUsedBytes, CacheBudgetBytes       int64
 }
 
 // Stats returns the table's current statistics, aggregated across
@@ -617,26 +649,66 @@ type Stats struct {
 // snapshot contributes lock-free from the snapshot; only stale shards
 // pay a Census walk under their read lock, so monitoring reads rarely
 // queue behind writers and never behind writers to other shards.
+//
+// On a lazy durable table Records comes from the shards' atomic
+// counters, Blocks counts entry blocks across the serving run stacks
+// (so MeasuredOccupancy is records per disk block), Height is the
+// shard-key depth (there is no resident tree), and the Cache* fields
+// report the block cache.
 func (t *Table) Stats() Stats {
-	var rec, blocks, maxH int
-	for _, s := range t.shards {
-		r, b, h := s.statsPart()
-		rec += r
-		blocks += b
-		if h > maxH {
-			maxH = h
+	var st Stats
+	if t.lazyMode() {
+		rec, blocks := 0, 0
+		for si, s := range t.shards {
+			rec += int(s.count.Load())
+			stack := t.dur.shards[si].acquireStack()
+			for _, or := range stack {
+				blocks += or.reader.NumBlocks()
+			}
+			releaseRuns(stack)
+		}
+		occ := math.NaN()
+		if blocks > 0 {
+			occ = float64(rec) / float64(blocks)
+		}
+		st = Stats{
+			Records:           rec,
+			Blocks:            blocks,
+			Height:            t.shardLevels,
+			MeasuredOccupancy: occ,
+			ModelOccupancy:    t.occ,
+			ModelApproximate:  t.occApprox,
+		}
+	} else {
+		var rec, blocks, maxH int
+		for _, s := range t.shards {
+			r, b, h := s.statsPart()
+			rec += r
+			blocks += b
+			if h > maxH {
+				maxH = h
+			}
+		}
+		occ := math.NaN()
+		if blocks > 0 {
+			occ = float64(rec) / float64(blocks)
+		}
+		st = Stats{
+			Records:           rec,
+			Blocks:            blocks,
+			Height:            t.shardLevels + maxH,
+			MeasuredOccupancy: occ,
+			ModelOccupancy:    t.occ,
+			ModelApproximate:  t.occApprox,
 		}
 	}
-	occ := math.NaN()
-	if blocks > 0 {
-		occ = float64(rec) / float64(blocks)
+	if t.dur != nil {
+		for _, ds := range t.dur.shards {
+			st.DiskRuns += ds.runCount()
+		}
+		cs := t.dur.cache.Stats()
+		st.CacheHits, st.CacheMisses, st.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
+		st.CacheUsedBytes, st.CacheBudgetBytes = cs.Used, cs.Budget
 	}
-	return Stats{
-		Records:           rec,
-		Blocks:            blocks,
-		Height:            t.shardLevels + maxH,
-		MeasuredOccupancy: occ,
-		ModelOccupancy:    t.occ,
-		ModelApproximate:  t.occApprox,
-	}
+	return st
 }

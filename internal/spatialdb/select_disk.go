@@ -1,0 +1,425 @@
+package spatialdb
+
+// The disk read path of a lazy durable table: Select, CountRange, and
+// nearest answered by streaming a k-way merged cursor over each pinned
+// shard's run stack plus its WAL-tail delta, jumping over Z-interval
+// gaps with BIGMIN so a window scan loads O(matching blocks) rather
+// than the whole interval. A query pins its shards once (stack
+// references plus a folded tail snapshot, taken under the shard read
+// locks so a cross-shard batch can never be seen half-applied), then
+// scans entirely lock-free — flushes and compactions proceed
+// underneath, and the pinned readers stay valid until the query
+// releases them.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"popana/internal/faultinject"
+	"popana/internal/geom"
+	"popana/internal/linearquad"
+	"popana/internal/quadtree"
+	"popana/internal/segment"
+)
+
+// shardView is one shard's pinned, immutable query view: the run stack
+// with references held plus the tail folded to sorted entries.
+type shardView struct {
+	s    *shard
+	runs []*openRun
+	tail []segment.Entry
+}
+
+// shardIndicesOverlapping returns the indices of shards whose cell
+// touches the closed query rectangle, ascending (see shardsOverlapping
+// for the predicate contract).
+func (t *Table) shardIndicesOverlapping(query geom.Rect) []int {
+	out := make([]int, 0, 4)
+	for si, s := range t.shards {
+		if s.region.OverlapsClosed(query) {
+			out = append(out, si)
+		}
+	}
+	return out
+}
+
+// pinShards takes a consistent cut of the given shards for a disk
+// query: under every target's read lock (ascending, the table-wide
+// order) it folds each tail to sorted entries and acquires each run
+// stack. A cross-shard InsertBatch holds all its write locks until the
+// last sub-batch lands, so the cut can never straddle a batch. The
+// locks are released before scanning; the returned views are immutable.
+func (t *Table) pinShards(sis []int) []shardView {
+	shards := make([]*shard, len(sis))
+	for i, si := range sis {
+		shards[i] = t.shards[si]
+	}
+	rlockShards(shards)
+	views := make([]shardView, len(sis))
+	for i, si := range sis {
+		s := t.shards[si]
+		views[i] = shardView{s: s, runs: t.dur.shards[si].acquireStack(), tail: tailEntries(s)}
+	}
+	runlockShards(shards)
+	return views
+}
+
+// releaseViews drops the query's run references.
+func releaseViews(views []shardView) {
+	for _, v := range views {
+		releaseRuns(v.runs)
+	}
+}
+
+// tailEntries folds the shard's tail map to sorted run entries,
+// tombstones included — the same shape a flush would seal, so the
+// merged cursor treats the tail as the newest delta. The caller holds
+// the shard's read lock.
+func tailEntries(s *shard) []segment.Entry {
+	if len(s.tail) == 0 {
+		return nil
+	}
+	es := make([]segment.Entry, 0, len(s.tail))
+	for loc, tr := range s.tail {
+		e := segment.Entry{
+			Code:      cellCodeOf(s, loc),
+			ID:        tr.rec.ID,
+			X:         loc.X,
+			Y:         loc.Y,
+			Tombstone: tr.tomb,
+		}
+		if !tr.tomb {
+			payload, err := encodePayload(tr.rec.Data)
+			if err != nil {
+				continue // unreachable: payloads were validated before logging
+			}
+			e.Payload = payload
+		}
+		es = append(es, e)
+	}
+	sort.Slice(es, func(a, b int) bool { return es[a].Less(es[b]) })
+	return es
+}
+
+// fireCursorSeal drives the DiskCursorSeal chaos point: when armed, it
+// seals every target shard's WAL tail into a delta run after the query
+// pinned its view — the schedule where a cursor mid-merge must keep
+// serving the pinned state while the ladder grows underneath it. Called
+// with no locks held.
+func (t *Table) fireCursorSeal(sis []int) {
+	if !t.inj.Fire(faultinject.DiskCursorSeal) {
+		return
+	}
+	for _, si := range sis {
+		// Best-effort, like the background worker: a failed seal leaves
+		// the WAL covering its records.
+		_ = t.flushShard(si)
+	}
+}
+
+// scanZRange streams one pinned shard view over the Z-interval of box,
+// delivering every entry whose grid cell lies inside the box's cell
+// rectangle to visit (which applies the exact floating-point
+// predicate). Entries between matching cells are skipped with BIGMIN
+// jumps translated into cursor SeekGE calls, so whole blocks whose code
+// span falls in a gap are never read. Cost mapping: NodesVisited counts
+// merged entries examined, LeavesVisited blocks consulted,
+// RecordsScanned candidates inside the cell rectangle. maxNodes > 0
+// bounds the entries examined; exhaustion sets Truncated.
+func scanZRange(v shardView, box geom.Rect, maxNodes int, visit func(segment.Entry) bool) (quadtree.RangeStats, error) {
+	var st quadtree.RangeStats
+	zmin := linearquad.CellCode(geom.Pt(box.MinX, box.MinY), v.s.region, linearquad.MaxDepth)
+	zmax := linearquad.CellCode(geom.Pt(box.MaxX, box.MaxY), v.s.region, linearquad.MaxDepth)
+	cxmin, cymin := linearquad.Deinterleave(zmin)
+	cxmax, cymax := linearquad.Deinterleave(zmax)
+
+	runCursors := make([]*segment.Cursor, len(v.runs))
+	cursors := make([]segment.EntryCursor, 0, len(v.runs)+1)
+	for i, or := range v.runs {
+		c := or.reader.Cursor()
+		runCursors[i] = c
+		cursors = append(cursors, c)
+	}
+	if len(v.tail) > 0 {
+		cursors = append(cursors, segment.NewSliceCursor(v.tail))
+	}
+	m := segment.NewMergedCursor(cursors...)
+	collect := func() {
+		for _, c := range runCursors {
+			st.LeavesVisited += c.Stats().BlocksLoaded
+		}
+	}
+	e, ok, err := m.SeekGE(zmin)
+	for {
+		if err != nil {
+			collect()
+			return st, err
+		}
+		if !ok || e.Code > zmax {
+			break
+		}
+		if maxNodes > 0 && st.NodesVisited >= maxNodes {
+			st.Truncated = true
+			break
+		}
+		st.NodesVisited++
+		cx, cy := linearquad.Deinterleave(e.Code)
+		if cx >= cxmin && cx <= cxmax && cy >= cymin && cy <= cymax {
+			st.RecordsScanned++
+			if !visit(e) {
+				break
+			}
+			e, ok, err = m.Next()
+			continue
+		}
+		// The cell is inside the Z-interval but outside the rectangle:
+		// jump to the next code that is inside, or stop if none is left.
+		next, okJump := linearquad.BigMin(e.Code, zmin, zmax)
+		if !okJump {
+			break
+		}
+		e, ok, err = m.SeekGE(next)
+	}
+	collect()
+	return st, nil
+}
+
+// selectShardDisk runs the window or radius scan of q over one pinned
+// view, delivering spatially matching decoded records to emit.
+func (t *Table) selectShardDisk(v shardView, q Query, maxNodes int, emit func(Record)) (quadtree.RangeStats, error) {
+	within := q.Within
+	var r2 float64
+	if within != nil {
+		r2 = within.Radius * within.Radius
+	}
+	var verr error
+	st, err := scanZRange(v, queryBox(q), maxNodes, func(e segment.Entry) bool {
+		p := geom.Pt(e.X, e.Y)
+		if q.Window != nil {
+			if !q.Window.ContainsClosed(p) {
+				return true
+			}
+		} else if p.Dist2(within.At) > r2 {
+			return true
+		}
+		data, derr := decodePayload(e.Payload)
+		if derr != nil {
+			verr = derr
+			return false
+		}
+		emit(Record{ID: e.ID, Loc: p, Data: data})
+		return true
+	})
+	if err == nil {
+		err = verr
+	}
+	return st, err
+}
+
+// selectLazy serves Select on a lazy table. Budgeted queries scan the
+// pinned shards sequentially, handing down the leftover budget exactly
+// like selectMultiLocked; unbudgeted queries fan out across the worker
+// pool and merge in shard order, with Query.Filter running on the
+// querying goroutine.
+func (t *Table) selectLazy(q Query, keep func(Record) bool) ([]Record, Cost, error) {
+	if q.Nearest != nil {
+		return t.nearestDisk(*q.Nearest, keep)
+	}
+	box := queryBox(q)
+	sis := t.shardIndicesOverlapping(box)
+	if len(sis) == 0 {
+		return nil, Cost{}, nil
+	}
+	views := t.pinShards(sis)
+	defer releaseViews(views)
+	t.fireCursorSeal(sis)
+	var cost Cost
+	if q.MaxNodes > 0 {
+		var out []Record
+		emit := func(r Record) {
+			if keep(r) {
+				out = append(out, r)
+			}
+		}
+		remaining := q.MaxNodes
+		for _, v := range views {
+			if remaining <= 0 {
+				cost.Truncated = true
+				break
+			}
+			st, err := t.selectShardDisk(v, q, remaining, emit)
+			addCost(&cost, st)
+			if err != nil {
+				return nil, cost, fmt.Errorf("spatialdb: select from %q: %w", t.name, err)
+			}
+			remaining -= st.NodesVisited
+			if st.Truncated {
+				break
+			}
+		}
+		return out, cost, nil
+	}
+	n := len(views)
+	outs := make([][]Record, n)
+	stats := make([]quadtree.RangeStats, n)
+	errs := make([]error, n)
+	forShards(n, func(i int) {
+		stats[i], errs[i] = t.selectShardDisk(views[i], q, 0, func(r Record) { outs[i] = append(outs[i], r) })
+	})
+	var out []Record
+	for i := range outs {
+		addCost(&cost, stats[i])
+		if errs[i] != nil {
+			return nil, cost, fmt.Errorf("spatialdb: select from %q: %w", t.name, errs[i])
+		}
+		for _, r := range outs[i] {
+			if keep(r) {
+				out = append(out, r)
+			}
+		}
+	}
+	return out, cost, nil
+}
+
+// countLazy serves CountRange on a lazy table with the same pinning,
+// budget hand-down, and fan-out shapes as selectLazy, without decoding
+// a single payload.
+func (t *Table) countLazy(window geom.Rect, maxNodes int) (int, Cost, error) {
+	sis := t.shardIndicesOverlapping(window)
+	if len(sis) == 0 {
+		return 0, Cost{}, nil
+	}
+	views := t.pinShards(sis)
+	defer releaseViews(views)
+	t.fireCursorSeal(sis)
+	countShard := func(v shardView, budget int) (int, quadtree.RangeStats, error) {
+		cnt := 0
+		st, err := scanZRange(v, window, budget, func(e segment.Entry) bool {
+			if window.ContainsClosed(geom.Pt(e.X, e.Y)) {
+				cnt++
+			}
+			return true
+		})
+		return cnt, st, err
+	}
+	var cost Cost
+	if maxNodes > 0 {
+		cnt := 0
+		remaining := maxNodes
+		for _, v := range views {
+			if remaining <= 0 {
+				cost.Truncated = true
+				break
+			}
+			c, st, err := countShard(v, remaining)
+			cnt += c
+			addCost(&cost, st)
+			if err != nil {
+				return 0, cost, fmt.Errorf("spatialdb: count in %q: %w", t.name, err)
+			}
+			remaining -= st.NodesVisited
+			if st.Truncated {
+				break
+			}
+		}
+		return cnt, cost, nil
+	}
+	n := len(views)
+	cnts := make([]int, n)
+	stats := make([]quadtree.RangeStats, n)
+	errs := make([]error, n)
+	forShards(n, func(i int) {
+		cnts[i], stats[i], errs[i] = countShard(views[i], 0)
+	})
+	cnt := 0
+	for i := range cnts {
+		addCost(&cost, stats[i])
+		if errs[i] != nil {
+			return 0, cost, fmt.Errorf("spatialdb: count in %q: %w", t.name, errs[i])
+		}
+		cnt += cnts[i]
+	}
+	return cnt, cost, nil
+}
+
+// nearestDisk serves a k-nearest query from the pinned views with an
+// expanding-box search: scan a box around the query point, count the
+// candidates confirmed by distance (d2 <= r² — no unseen point outside
+// the box can beat a confirmed one, because anything outside is farther
+// than r), and double the box until K are confirmed or the box covers
+// the region. Results merge by (distance, x, y) — the same
+// deterministic order as the in-memory multi-shard path — with
+// Query.Filter applied after the top-K cut, matching selectNearest.
+func (t *Table) nearestDisk(spec NearestSpec, keep func(Record) bool) ([]Record, Cost, error) {
+	sis := make([]int, len(t.shards))
+	for i := range sis {
+		sis[i] = i
+	}
+	views := t.pinShards(sis)
+	defer releaseViews(views)
+	t.fireCursorSeal(sis)
+
+	r0 := math.Max(t.region.MaxX-t.region.MinX, t.region.MaxY-t.region.MinY) / 64
+	type cand struct {
+		e  segment.Entry
+		d2 float64
+	}
+	var cost Cost
+	for r := r0; ; r *= 2 {
+		box := geom.R(spec.At.X-r, spec.At.Y-r, spec.At.X+r, spec.At.Y+r)
+		covers := box.MinX <= t.region.MinX && box.MinY <= t.region.MinY &&
+			box.MaxX >= t.region.MaxX && box.MaxY >= t.region.MaxY
+		r2 := r * r
+		var cands []cand
+		for _, v := range views {
+			if !v.s.region.OverlapsClosed(box) {
+				continue
+			}
+			st, err := scanZRange(v, box, 0, func(e segment.Entry) bool {
+				p := geom.Pt(e.X, e.Y)
+				if box.ContainsClosed(p) {
+					cands = append(cands, cand{e, p.Dist2(spec.At)})
+				}
+				return true
+			})
+			addCost(&cost, st)
+			if err != nil {
+				return nil, cost, fmt.Errorf("spatialdb: select from %q: %w", t.name, err)
+			}
+		}
+		confirmed := 0
+		for _, c := range cands {
+			if c.d2 <= r2 {
+				confirmed++
+			}
+		}
+		if confirmed < spec.K && !covers {
+			continue
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].d2 != cands[j].d2 {
+				return cands[i].d2 < cands[j].d2
+			}
+			if cands[i].e.X != cands[j].e.X {
+				return cands[i].e.X < cands[j].e.X
+			}
+			return cands[i].e.Y < cands[j].e.Y
+		})
+		if len(cands) > spec.K {
+			cands = cands[:spec.K]
+		}
+		out := make([]Record, 0, len(cands))
+		for _, c := range cands {
+			data, derr := decodePayload(c.e.Payload)
+			if derr != nil {
+				return nil, cost, fmt.Errorf("spatialdb: select from %q: %w", t.name, derr)
+			}
+			rec := Record{ID: c.e.ID, Loc: geom.Pt(c.e.X, c.e.Y), Data: data}
+			if keep(rec) {
+				out = append(out, rec)
+			}
+		}
+		return out, cost, nil
+	}
+}

@@ -38,6 +38,12 @@ type shard struct {
 	mu    sync.RWMutex
 	index *quadtree.Tree[Record]
 
+	// tail is the lazy-mode write buffer: the shard's WAL tail folded to
+	// its net effect per location (an insert or a tombstone), guarded by
+	// mu like index. Flush seals it into a delta run and clears it. Nil
+	// in non-lazy tables, where index holds the records instead.
+	tail map[geom.Point]tailRec
+
 	// count is the record count, maintained under mu but readable
 	// lock-free, so Len never queues behind a writer.
 	count atomic.Int64

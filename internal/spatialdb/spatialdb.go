@@ -486,6 +486,11 @@ func (t *Table) shardsOverlapping(query geom.Rect) []*shard {
 // (linearquad.ErrTooDeep) or an injected fault — in which case reads on
 // the affected shards keep falling back to their live trees.
 func (t *Table) Compact() error {
+	// A lazy table has no snapshots to rebuild; its compaction is the
+	// disk one — merge each shard's run ladder into a single full run.
+	if t.lazyMode() {
+		return t.CompactDisk()
+	}
 	var firstErr error
 	for _, s := range t.shards {
 		if err := s.compact(); err != nil && firstErr == nil {
@@ -557,7 +562,14 @@ func (t *Table) Insert(rec Record) error {
 	if _, exists := st.m[rec.ID]; exists {
 		return fmt.Errorf("%w: %d", ErrDuplicateID, rec.ID)
 	}
-	if s.index.Contains(rec.Loc) {
+	lazy := t.lazyMode()
+	occupied := false
+	if lazy {
+		occupied = t.lazyOccupied(si, rec.Loc)
+	} else {
+		occupied = s.index.Contains(rec.Loc)
+	}
+	if occupied {
 		return fmt.Errorf("spatialdb: insert into %q: location %v already occupied", t.name, rec.Loc)
 	}
 	if t.dur != nil {
@@ -570,7 +582,9 @@ func (t *Table) Insert(rec Record) error {
 		defer t.dur.notifyFlush()
 	}
 	s.epoch.Add(1) // invalidate the frozen snapshot before mutating
-	if _, err := s.index.Insert(rec.Loc, rec); err != nil {
+	if lazy {
+		s.tail[rec.Loc] = tailRec{rec: rec}
+	} else if _, err := s.index.Insert(rec.Loc, rec); err != nil {
 		return fmt.Errorf("spatialdb: insert into %q: %w", t.name, err)
 	}
 	st.m[rec.ID] = rec.Loc
@@ -649,7 +663,13 @@ func (t *Table) InsertBatch(recs []Record) error {
 		if _, dup := seenLoc[loc]; dup {
 			return fmt.Errorf("spatialdb: insert batch into %q: location %v repeated in batch", t.name, loc)
 		}
-		if t.shardOf(loc).index.Contains(loc) {
+		occupied := false
+		if t.lazyMode() {
+			occupied = t.lazyOccupied(t.shardIndexOf(loc), loc)
+		} else {
+			occupied = t.shardOf(loc).index.Contains(loc)
+		}
+		if occupied {
 			return fmt.Errorf("spatialdb: insert batch into %q: location %v already occupied", t.name, loc)
 		}
 		seenID[id] = struct{}{}
@@ -671,15 +691,21 @@ func (t *Table) InsertBatch(recs []Record) error {
 	for _, si := range involved {
 		s := t.shards[si]
 		idxs := byShard[si]
-		points := make([]geom.Point, len(idxs))
-		vals := make([]Record, len(idxs))
-		for j, ri := range idxs {
-			points[j] = recs[ri].Loc
-			vals[j] = recs[ri]
-		}
 		s.epoch.Add(uint64(len(idxs))) // invalidate the snapshot before mutating
-		if _, err := s.index.BulkLoad(points, vals); err != nil {
-			return fmt.Errorf("spatialdb: insert batch into %q: %w", t.name, err)
+		if t.lazyMode() {
+			for _, ri := range idxs {
+				s.tail[recs[ri].Loc] = tailRec{rec: recs[ri]}
+			}
+		} else {
+			points := make([]geom.Point, len(idxs))
+			vals := make([]Record, len(idxs))
+			for j, ri := range idxs {
+				points[j] = recs[ri].Loc
+				vals[j] = recs[ri]
+			}
+			if _, err := s.index.BulkLoad(points, vals); err != nil {
+				return fmt.Errorf("spatialdb: insert batch into %q: %w", t.name, err)
+			}
 		}
 		s.count.Add(int64(len(idxs)))
 		for _, ri := range idxs {
@@ -695,6 +721,9 @@ func (t *Table) Get(id uint64) (Record, bool) {
 	loc, ok := t.ids.lookup(id)
 	if !ok {
 		return Record{}, false
+	}
+	if t.lazyMode() {
+		return t.getLazy(id, loc)
 	}
 	s := t.shardOf(loc)
 	if f, _ := s.loadFresh(); f != nil {
@@ -770,6 +799,13 @@ func (t *Table) deleteAt(id uint64, loc geom.Point) (done, deleted bool, err err
 	}
 	s.epoch.Add(1) // invalidate the frozen snapshot before mutating
 	delete(st.m, id)
+	if t.lazyMode() {
+		// The id index vouched for the record (cur == loc), so the
+		// tombstone always deletes exactly one live record.
+		s.tail[loc] = tailRec{rec: Record{ID: id, Loc: loc}, tomb: true}
+		s.count.Add(-1)
+		return true, true, nil
+	}
 	if s.index.Delete(loc) {
 		s.count.Add(-1)
 		return true, true, nil

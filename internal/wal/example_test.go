@@ -1,0 +1,96 @@
+package wal_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"popana/internal/wal"
+)
+
+// ExampleOpen shows the write-ahead cycle: append records, sync, crash
+// (here: just close), then reopen and replay the survivors with Fold.
+func ExampleOpen() {
+	dir, err := os.MkdirTemp("", "wal-example")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "shard-0.wal")
+
+	log, err := wal.Open(path, wal.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, op := range []string{"insert a", "insert b", "delete a"} {
+		if err := log.Append([]byte(op)); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	if err := log.Sync(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	log.Close() // the process dies here; the file survives
+
+	// Recovery: reopen (truncating any torn tail) and replay.
+	log, err = wal.Open(path, wal.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer log.Close()
+	torn, err := log.Fold(func(payload []byte) error {
+		fmt.Println(string(payload))
+		return nil
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("records:", log.Records(), "torn tail:", torn)
+	// Output:
+	// insert a
+	// insert b
+	// delete a
+	// records: 3 torn tail: false
+}
+
+// ExampleLog_Truncate shows the checkpoint pattern: once the log's
+// records are durably covered elsewhere (a sealed run file), Truncate
+// restarts the log empty so replay cost stays bounded.
+func ExampleLog_Truncate() {
+	dir, err := os.MkdirTemp("", "wal-example")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer os.RemoveAll(dir)
+
+	log, err := wal.Open(filepath.Join(dir, "shard-0.wal"), wal.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer log.Close()
+	for i := 0; i < 4; i++ {
+		if err := log.Append([]byte{byte(i)}); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	fmt.Println("before checkpoint:", log.Records())
+
+	// ... seal the 4 records into a run file, fsync it, then:
+	if err := log.Truncate(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("after checkpoint:", log.Records())
+	// Output:
+	// before checkpoint: 4
+	// after checkpoint: 0
+}

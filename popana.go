@@ -271,9 +271,11 @@ type SpatialTableOptions = spatialdb.TableOptions
 const SpatialSingleShard = spatialdb.SingleShard
 
 // SpatialDurableOptions parameterizes a table's durable storage:
-// directory, background auto-flush/compaction thresholds, and the
-// per-append fsync policy. Pass it to SpatialDB.CreateDurableTable /
-// OpenDurableTable.
+// directory, background auto-flush/compaction thresholds, the
+// per-append fsync policy, and the lazy serving mode (Lazy +
+// CacheBytes) that answers queries from sealed runs through a block
+// cache instead of materializing records in RAM. Pass it to
+// SpatialDB.CreateDurableTable / OpenDurableTable.
 type SpatialDurableOptions = spatialdb.DurableOptions
 
 // NewSpatialDB returns an empty spatial database.
@@ -316,6 +318,14 @@ const (
 	// FaultCompactionInterrupted kills a disk compaction after the
 	// merged run is durable but before the inputs are deleted.
 	FaultCompactionInterrupted = faultinject.CompactionInterrupted
+	// FaultSegmentBlockPoison damages the in-flight buffer of a
+	// sealed-run block read; the reader's checksum must catch it and
+	// the retry must heal it.
+	FaultSegmentBlockPoison = faultinject.SegmentBlockPoison
+	// FaultDiskCursorSeal seals every pinned shard's WAL tail between a
+	// disk query's pin and its scan, racing the cursor against a
+	// growing run ladder.
+	FaultDiskCursorSeal = faultinject.DiskCursorSeal
 )
 
 // Typed errors of the spatial layer, matchable with errors.Is.

@@ -335,6 +335,60 @@ func TestFacadeDurableTable(t *testing.T) {
 	}
 }
 
+// TestFacadeLazyDurableTable is the README "Larger-than-memory tables"
+// example: a lazy durable table with a bounded block cache answers
+// window queries from its sealed runs, and Stats exposes the disk-run
+// count and cache counters.
+func TestFacadeLazyDurableTable(t *testing.T) {
+	db := popana.NewSpatialDB()
+	tab, err := db.CreateDurableTable("cities",
+		popana.SpatialTableOptions{Capacity: 8, ShardBits: 2},
+		popana.SpatialDurableOptions{
+			Dir:        t.TempDir(),
+			Lazy:       true,
+			CacheBytes: 1 << 20,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := []popana.SpatialRecord{
+		{ID: 1, Loc: popana.Pt(0.25, 0.25), Data: "lisbon"},
+		{ID: 2, Loc: popana.Pt(0.5, 0.4), Data: "madrid"},
+		{ID: 3, Loc: popana.Pt(0.9, 0.9), Data: "oslo"},
+	}
+	if err := tab.InsertBatch(records); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.CompactDisk(); err != nil {
+		t.Fatal(err)
+	}
+	window := popana.R(0.2, 0.2, 0.6, 0.5)
+	hits, cost, err := tab.Select(popana.SpatialQuery{Window: &window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 || cost.Truncated {
+		t.Fatalf("window hits = %d (truncated=%v), want 2", len(hits), cost.Truncated)
+	}
+	st := tab.Stats()
+	if st.DiskRuns == 0 {
+		t.Fatal("Stats.DiskRuns = 0 on a compacted lazy table")
+	}
+	if st.CacheHits+st.CacheMisses == 0 {
+		t.Fatal("no cache traffic recorded for a disk-served query")
+	}
+	if st.CacheUsedBytes > st.CacheBudgetBytes {
+		t.Fatalf("cache over budget: %d > %d", st.CacheUsedBytes, st.CacheBudgetBytes)
+	}
+	e, err := tab.Explain(popana.SpatialQuery{Window: &window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.FromDisk {
+		t.Fatal("Explain.FromDisk = false for a lazy table")
+	}
+}
+
 func TestFacadeSyncQuadtree(t *testing.T) {
 	sq, err := popana.NewSyncQuadtree(popana.QuadtreeConfig{Capacity: 2})
 	if err != nil {
