@@ -16,8 +16,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -40,15 +42,17 @@ func main() {
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the measured benchmark loops to this file")
 		memprof   = flag.String("memprofile", "", "write a heap profile taken after the measured loops to this file")
 		runPat    = flag.String("run", "", "run only benchmarks whose name matches this regexp")
+		frzAllocs = flag.Int64("freeze-allocs", 6900, "max allocs/op allowed for FreezeBuild64k when it runs (0: no gate)")
+		frSpeedup = flag.Float64("frozen-range-speedup", 0, "minimum geomean ns/op speedup of FrozenRange* vs the baseline (0: no gate)")
 	)
 	flag.Parse()
-	if err := run(*out, *label, *baseline, *threshold, *short, *benchtime, *cpuprof, *memprof, *runPat); err != nil {
+	if err := run(*out, *label, *baseline, *threshold, *short, *benchtime, *cpuprof, *memprof, *runPat, *frzAllocs, *frSpeedup); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, label, baseline string, threshold float64, short bool, benchtime time.Duration, cpuprof, memprof, runPat string) error {
+func run(out, label, baseline string, threshold float64, short bool, benchtime time.Duration, cpuprof, memprof, runPat string, frzAllocs int64, frSpeedup float64) error {
 	if err := bench.SetBenchtime(benchtime); err != nil {
 		return err
 	}
@@ -110,6 +114,15 @@ func run(out, label, baseline string, threshold float64, short bool, benchtime t
 		fmt.Printf("wrote heap profile %s\n", memprof)
 	}
 	report.When = time.Now().UTC().Format(time.RFC3339)
+	// A benchmark that dies mid-run (b.Fatal, b.Skip) makes
+	// testing.Benchmark return a zero result, whose 0/0 ns/op would
+	// poison the report with NaN and fail only later, anonymously, at
+	// JSON encoding. Name the casualty here instead.
+	for _, res := range report.Results {
+		if res.Iterations == 0 || math.IsNaN(res.NsPerOp) {
+			return fmt.Errorf("benchmark %s produced no result (it fataled or skipped; see output above)", res.Name)
+		}
+	}
 	// Every gate this run could not apply is announced with a SKIPPED
 	// line and recorded in the report's gates_skipped field, so a green
 	// run that proved less than usual is loud about it both on the
@@ -138,6 +151,26 @@ func run(out, label, baseline string, threshold float64, short bool, benchtime t
 	} else {
 		skipGate("parallel-insert-speedup", "ParallelInsert benchmarks not in this run")
 	}
+	// The zero-alloc freeze claim is an absolute, machine-independent
+	// gate: allocation counts are deterministic, so FreezeBuild64k must
+	// stay under the budget on every machine it runs on.
+	allocsErr := error(nil)
+	if frzAllocs > 0 {
+		found := false
+		for _, res := range report.Results {
+			if res.Name != "FreezeBuild64k" {
+				continue
+			}
+			found = true
+			fmt.Printf("FreezeBuild64k: %d allocs/op (budget %d)\n", res.AllocsPerOp, frzAllocs)
+			if res.AllocsPerOp > frzAllocs {
+				allocsErr = fmt.Errorf("FreezeBuild64k allocated %d allocs/op, budget is %d", res.AllocsPerOp, frzAllocs)
+			}
+		}
+		if !found {
+			skipGate("freeze-allocs", "FreezeBuild64k not in this run")
+		}
+	}
 	// The baseline is resolved before the report is written so skipped
 	// gates — an absent baseline, a cross-machine timing skip — land in
 	// the JSON, not just on the console.
@@ -158,6 +191,37 @@ func run(out, label, baseline string, threshold float64, short bool, benchtime t
 				fmt.Sprintf("baseline ran on %s/%s, this run on %s/%s; comparing allocs/op only",
 					base.GOOS, base.GOARCH, report.GOOS, report.GOARCH))
 		}
+		if !bench.CPUComparable(base, report) {
+			skipGate("regression-concurrency",
+				fmt.Sprintf("baseline ran with %d CPU(s), this run with %d; skipping ns/op on concurrency-sensitive benchmarks",
+					base.NumCPU, report.NumCPU))
+		}
+	}
+	// The FrozenRange* speedup gate: the geometric mean of the
+	// baseline-over-current ns/op ratios across every FrozenRange
+	// benchmark present in both reports must clear the requested factor.
+	// Opt-in (-frozen-range-speedup 2) because it only means something
+	// against a chosen baseline on the same machine.
+	frErr := error(nil)
+	if frSpeedup > 0 {
+		switch {
+		case basePath == "":
+			skipGate("frozen-range-speedup", "no baseline to compare against")
+		case !bench.ComparableTiming(base, report):
+			skipGate("frozen-range-speedup", "baseline ran on a different GOOS/GOARCH")
+		case !bench.CPUComparable(base, report):
+			skipGate("frozen-range-speedup", "baseline ran with a different CPU count")
+		default:
+			sp, n := bench.FrozenRangeSpeedup(base, report)
+			if n == 0 {
+				skipGate("frozen-range-speedup", "no FrozenRange benchmark present in both reports")
+			} else {
+				fmt.Printf("FrozenRange geomean speedup vs %s: %.2fx over %d benchmarks\n", basePath, sp, n)
+				if sp < frSpeedup {
+					frErr = fmt.Errorf("FrozenRange geomean speedup %.2fx is below the %.2fx gate", sp, frSpeedup)
+				}
+			}
+		}
 	}
 	if out != "" {
 		if err := report.WriteFile(out); err != nil {
@@ -165,18 +229,20 @@ func run(out, label, baseline string, threshold float64, short bool, benchtime t
 		}
 		fmt.Printf("wrote %s (%d benchmarks)\n", out, len(report.Results))
 	}
+	gateErr := errors.Join(speedupErr, allocsErr, frErr)
 	if basePath == "" {
-		return speedupErr
+		return gateErr
 	}
 	regs := bench.Compare(base, report, threshold)
 	if len(regs) == 0 {
 		fmt.Printf("no regressions beyond %+.0f%% vs %s\n", threshold*100, basePath)
-		return speedupErr
+		return gateErr
 	}
 	for _, g := range regs {
 		fmt.Fprintf(os.Stderr, "REGRESSION %s\n", g)
 	}
-	return fmt.Errorf("%d regression(s) beyond %+.0f%% vs %s", len(regs), threshold*100, basePath)
+	return errors.Join(gateErr,
+		fmt.Errorf("%d regression(s) beyond %+.0f%% vs %s", len(regs), threshold*100, basePath))
 }
 
 // resolveBaseline picks the report to compare against: an explicit path,

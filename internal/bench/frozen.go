@@ -24,7 +24,9 @@ import (
 func frozenSpecs(short bool) []Spec {
 	specs := []Spec{
 		{"FreezeBuild64k", benchFreezeBuild},
+		{"FreezeIncremental64k", benchFreezeIncremental(64)},
 		{"FrozenGet64k", benchFrozenGet},
+		{"FrozenGetBatch64k", benchFrozenGetBatch},
 		{"LiveRangeUniformM8", benchRange(8, false, false)},
 		{"FrozenRangeUniformM8", benchRange(8, false, true)},
 		{"LiveRangeVisitUniformM8", benchRangeVisit(false)},
@@ -36,6 +38,10 @@ func frozenSpecs(short bool) []Spec {
 	}
 	if short {
 		return specs
+	}
+	for _, k := range []int{16, 1024} { // 64 is in the short set
+		specs = append(specs,
+			Spec{fmt.Sprintf("FreezeIncrementalChurn%d", k), benchFreezeIncremental(k)})
 	}
 	for _, m := range []int{1, 2, 4, 16, 32} { // 8 is in the short set
 		specs = append(specs,
@@ -174,6 +180,88 @@ func benchFreezeBuild(b *testing.B) {
 	b.ReportMetric(frozenWorkload, "points/op")
 }
 
+// benchFreezeIncremental measures an incremental snapshot rebuild after
+// a burst of k clustered mutations on the 64k-point workload: the
+// mutation churn and dirty-cell marking run with the timer stopped, so
+// ns/op is the cost of FreezeDelta alone — the steady-state price a
+// shard pays to refresh its snapshot after localized writes.
+func benchFreezeIncremental(k int) func(*testing.B) {
+	return func(b *testing.B) {
+		qt := rangeTree(b, 8, false)
+		prev, err := linearquad.Freeze(qt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts := make([]geom.Point, 0, qt.Len())
+		qt.Range(qt.Region(), func(p geom.Point, _ int) bool { pts = append(pts, p); return true })
+		// Insert replaces silently on a location collision (possible when
+		// clampUnit pins two jittered points to the same boundary
+		// coordinate), which would orphan a pts entry and fail a later
+		// Delete; track occupancy and resample collisions instead.
+		occ := make(map[geom.Point]bool, len(pts))
+		for _, p := range pts {
+			occ[p] = true
+		}
+		coder := linearquad.NewCellCoder(qt.Region(), linearquad.MaxDepth)
+		d := linearquad.NewDirty(6)
+		mark := func(p geom.Point) {
+			d.Mark(coder.Code(p) >> uint(2*(linearquad.MaxDepth-d.Level())))
+		}
+		rng := xrand.New(4242)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			d.Reset()
+			// Move k points to jittered locations near one focus: a
+			// localized burst, most of the tree stays clean.
+			fx, fy := rng.Float64(), rng.Float64()
+			for j := 0; j < k; j++ {
+				idx := int(rng.Uint64() % uint64(len(pts)))
+				old := pts[idx]
+				if !qt.Delete(old) {
+					b.Fatalf("point %v missing", old)
+				}
+				mark(old)
+				delete(occ, old)
+				var p geom.Point
+				for {
+					p = geom.Pt(
+						clampUnit(fx+(rng.Float64()-0.5)*0.02),
+						clampUnit(fy+(rng.Float64()-0.5)*0.02),
+					)
+					if !occ[p] {
+						break
+					}
+				}
+				if _, err := qt.Insert(p, idx); err != nil {
+					b.Fatal(err)
+				}
+				occ[p] = true
+				mark(p)
+				pts[idx] = p
+			}
+			b.StartTimer()
+			f, err := linearquad.FreezeDelta(qt, prev, d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prev = f
+		}
+		b.ReportMetric(float64(k), "churn/op")
+	}
+}
+
+func clampUnit(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 0.999999
+	}
+	return x
+}
+
 func benchFrozenGet(b *testing.B) {
 	qt := rangeTree(b, 8, false)
 	f, err := linearquad.Freeze(qt)
@@ -189,6 +277,42 @@ func benchFrozenGet(b *testing.B) {
 			b.Fatal("lost point")
 		}
 	}
+}
+
+// benchFrozenGetBatch measures the batched point-lookup kernel: 256
+// probes per op (3/4 hits), bulk-encoded, sorted by Morton code, and
+// resolved in one galloping sweep. Compare per-probe cost against
+// FrozenGet64k to see what code-ordered locality buys.
+func benchFrozenGetBatch(b *testing.B) {
+	qt := rangeTree(b, 8, false)
+	f, err := linearquad.Freeze(qt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(888)
+	pts := make([]geom.Point, 256)
+	for i := range pts {
+		if i%4 == 3 {
+			pts[i] = geom.Pt(rng.Float64(), rng.Float64())
+		} else {
+			pts[i] = f.PointAt(int(rng.Uint64() % uint64(f.Len())))
+		}
+	}
+	vals := make([]int, len(pts))
+	found := make([]bool, len(pts))
+	var sc linearquad.Scratch
+	if f.GetBatch(&sc, pts, vals, found) == 0 {
+		b.Fatal("no probe hit")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		hits += f.GetBatch(&sc, pts, vals, found)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(pts)), "probes/op")
+	b.ReportMetric(float64(hits)/float64(b.N), "hits/op")
 }
 
 // benchSpatialSelect measures Table.Select (or Table.CountRange, which

@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 )
@@ -165,24 +167,77 @@ func ComparableTiming(baseline, current Report) bool {
 	return baseline.GOOS == current.GOOS && baseline.GOARCH == current.GOARCH
 }
 
+// CPUComparable reports whether concurrency-sensitive timing
+// comparisons between the two reports are meaningful: both must come
+// from machines with the same logical CPU count. A report that never
+// recorded num_cpu (pre-PR4 files) is accepted — there is nothing to
+// contradict.
+func CPUComparable(baseline, current Report) bool {
+	return baseline.NumCPU == 0 || current.NumCPU == 0 || baseline.NumCPU == current.NumCPU
+}
+
+// ConcurrencySensitive reports whether a benchmark's timing depends on
+// how many cores the machine has — the parallel-insert family and the
+// mixed reader/writer suite. Their ns/op on a 1-CPU runner says nothing
+// about an 8-CPU baseline (or vice versa), so Compare skips them when
+// the reports' num_cpu disagree.
+func ConcurrencySensitive(name string) bool {
+	return strings.Contains(name, "Parallel") || strings.Contains(name, "MixedRW")
+}
+
+// FrozenRangeSpeedup returns the geometric-mean ns/op speedup of the
+// FrozenRange* benchmarks present in both reports — baseline over
+// current, so values above 1 mean the current run is faster — and how
+// many benchmark pairs contributed. n == 0 when no pair overlaps or a
+// contributing measurement is non-positive.
+func FrozenRangeSpeedup(baseline, current Report) (speedup float64, n int) {
+	old := make(map[string]Result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		old[r.Name] = r
+	}
+	logSum := 0.0
+	for _, cur := range current.Results {
+		if !strings.HasPrefix(cur.Name, "FrozenRange") {
+			continue
+		}
+		base, ok := old[cur.Name]
+		if !ok {
+			continue
+		}
+		if base.NsPerOp <= 0 || cur.NsPerOp <= 0 {
+			return 0, 0
+		}
+		logSum += math.Log(base.NsPerOp / cur.NsPerOp)
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return math.Exp(logSum / float64(n)), n
+}
+
 // Compare flags benchmarks present in both reports whose ns/op or
 // allocs/op grew by more than threshold (0.20 = +20%). Benchmarks only
 // in one report are ignored — the suite is allowed to grow. Timing
 // comparisons are skipped when the baseline ran on different
-// GOOS/GOARCH (allocs/op is machine-independent and still compared).
+// GOOS/GOARCH (allocs/op is machine-independent and still compared),
+// and for concurrency-sensitive benchmarks when the reports disagree
+// on the machine's CPU count.
 func Compare(baseline, current Report, threshold float64) []Regression {
 	old := make(map[string]Result, len(baseline.Results))
 	for _, r := range baseline.Results {
 		old[r.Name] = r
 	}
 	comparableTiming := ComparableTiming(baseline, current)
+	comparableCPU := CPUComparable(baseline, current)
 	var regs []Regression
 	for _, cur := range current.Results {
 		base, ok := old[cur.Name]
 		if !ok {
 			continue
 		}
-		if comparableTiming && base.NsPerOp > 0 && cur.NsPerOp > base.NsPerOp*(1+threshold) {
+		timing := comparableTiming && (comparableCPU || !ConcurrencySensitive(cur.Name))
+		if timing && base.NsPerOp > 0 && cur.NsPerOp > base.NsPerOp*(1+threshold) {
 			regs = append(regs, Regression{
 				Name: cur.Name, Metric: "ns/op",
 				Old: base.NsPerOp, New: cur.NsPerOp,

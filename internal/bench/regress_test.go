@@ -68,6 +68,78 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+// TestCompareCPUMismatch: a baseline from a machine with a different
+// core count must not produce ns/op regressions for the
+// concurrency-sensitive benchmarks (their timing is a function of the
+// core count), while plain single-threaded benchmarks and allocs/op
+// are still compared.
+func TestCompareCPUMismatch(t *testing.T) {
+	base := Report{GOOS: "linux", GOARCH: "amd64", NumCPU: 8, Results: []Result{
+		{Name: "ParallelInsertSharded8", NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "MixedRW90R", NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "FrozenGet64k", NsPerOp: 100, AllocsPerOp: 0},
+	}}
+	cur := Report{GOOS: "linux", GOARCH: "amd64", NumCPU: 1, Results: []Result{
+		{Name: "ParallelInsertSharded8", NsPerOp: 900, AllocsPerOp: 14}, // 9x ns on 1 CPU: expected
+		{Name: "MixedRW90R", NsPerOp: 500, AllocsPerOp: 10},
+		{Name: "FrozenGet64k", NsPerOp: 300, AllocsPerOp: 0}, // real regression
+	}}
+	if CPUComparable(base, cur) {
+		t.Fatal("8-CPU vs 1-CPU reports marked comparable")
+	}
+	regs := Compare(base, cur, 0.20)
+	want := map[string]bool{
+		"ParallelInsertSharded8/allocs/op": true, // allocs are machine-independent
+		"FrozenGet64k/ns/op":               true,
+	}
+	if len(regs) != len(want) {
+		t.Fatalf("want %d regressions, got %d: %v", len(want), len(regs), regs)
+	}
+	for _, g := range regs {
+		if !want[g.Name+"/"+g.Metric] {
+			t.Errorf("unexpected regression survived the CPU-mismatch skip: %+v", g)
+		}
+	}
+
+	// Same core count (or a baseline that predates num_cpu): the
+	// concurrency-sensitive timings are compared again.
+	same := base
+	same.NumCPU = 1
+	if !CPUComparable(same, cur) || !CPUComparable(Report{}, cur) {
+		t.Fatal("matching or unrecorded num_cpu marked incomparable")
+	}
+	regs = Compare(same, cur, 0.20)
+	if len(regs) != 4 {
+		t.Fatalf("same-CPU compare lost regressions: %v", regs)
+	}
+}
+
+// TestFrozenRangeSpeedup checks the geomean helper the cmd/bench
+// speedup gate is built on.
+func TestFrozenRangeSpeedup(t *testing.T) {
+	base := Report{Results: []Result{
+		{Name: "FrozenRangeUniformM8", NsPerOp: 400},
+		{Name: "FrozenRangeClusterM8", NsPerOp: 100},
+		{Name: "FrozenGet64k", NsPerOp: 50}, // not a FrozenRange bench
+	}}
+	cur := Report{Results: []Result{
+		{Name: "FrozenRangeUniformM8", NsPerOp: 100}, // 4x
+		{Name: "FrozenRangeClusterM8", NsPerOp: 100}, // 1x
+		{Name: "FrozenGet64k", NsPerOp: 5000},
+		{Name: "FrozenRangeNewOnly", NsPerOp: 1}, // no baseline: ignored
+	}}
+	speedup, n := FrozenRangeSpeedup(base, cur)
+	if n != 2 {
+		t.Fatalf("want 2 contributing pairs, got %d", n)
+	}
+	if speedup < 1.99 || speedup > 2.01 { // geomean(4, 1) = 2
+		t.Fatalf("geomean speedup = %v, want 2", speedup)
+	}
+	if _, n := FrozenRangeSpeedup(Report{}, cur); n != 0 {
+		t.Fatalf("speedup with empty baseline reported %d pairs", n)
+	}
+}
+
 // TestRunSmoke runs one real (tiny) benchmark through the harness and
 // checks the report is populated.
 func TestRunSmoke(t *testing.T) {

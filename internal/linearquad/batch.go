@@ -1,0 +1,142 @@
+package linearquad
+
+import (
+	"slices"
+
+	"popana/internal/geom"
+)
+
+// Batched point kernels. A single Get pays a full binary search over
+// the code array; a batch of lookups sorted by Morton code instead
+// sweeps the array once with the galloping seek, so consecutive probes
+// land in the same or nearby leaves and the code array stays hot in
+// cache. The kernels allocate nothing once their Scratch has grown to
+// the batch size.
+
+// Scratch carries the reusable sort buffer of the batch kernels. The
+// zero value is ready to use; the buffer grows to the largest batch
+// passed and is reused across calls. A Scratch must not be shared
+// between concurrent calls.
+type Scratch struct {
+	keys []batchKey
+}
+
+// batchKey pairs one input's Morton code with its batch index.
+type batchKey struct {
+	code uint64
+	idx  int32
+}
+
+// cmpBatchKey orders keys by code, then by input position for
+// determinism among equal codes.
+func cmpBatchKey(a, b batchKey) int {
+	switch {
+	case a.code < b.code:
+		return -1
+	case a.code > b.code:
+		return 1
+	case a.idx < b.idx:
+		return -1
+	case a.idx > b.idx:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// lookupBatch is the shared sweep behind GetBatch and ContainsBatch:
+// encode every in-region input, sort by code, then resolve the sorted
+// probes left to right, seeking forward through the leaf array. vals
+// may be nil (existence only). Returns the number found.
+func (f *Frozen[V]) lookupBatch(sc *Scratch, pts []geom.Point, vals []V, found []bool) int {
+	keys := sc.keys[:0]
+	for i, p := range pts {
+		found[i] = false
+		if vals != nil {
+			var zero V
+			vals[i] = zero
+		}
+		if !f.region.Contains(p) {
+			continue
+		}
+		keys = append(keys, batchKey{
+			code: Interleave(f.csX.coord(p.X), f.csY.coord(p.Y)),
+			idx:  int32(i),
+		})
+	}
+	sc.keys = keys
+	slices.SortFunc(keys, cmpBatchKey)
+	n := 0
+	li := 0
+	for _, k := range keys {
+		// Advance to the leaf containing k.code: codes are sorted, so
+		// the target leaf is at or after the previous probe's leaf.
+		if f.codes[li+1] <= k.code {
+			li = f.seekFrom(li, k.code)
+			if f.codes[li] > k.code {
+				li--
+			}
+		}
+		p := pts[k.idx]
+		for e := f.starts[li]; e < f.starts[li+1]; e++ {
+			if f.xs[e] == p.X && f.ys[e] == p.Y {
+				if vals != nil {
+					vals[k.idx] = f.vals[e]
+				}
+				found[k.idx] = true
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// GetBatch looks up every point of pts, writing the stored value (or
+// the zero value) to vals[i] and presence to found[i], and returns the
+// number found. vals and found must have the same length as pts; the
+// kernel panics otherwise, as with a mis-sized copy destination.
+// Results are identical to calling Get per point; the batch is
+// Morton-sorted internally so the probes sweep the snapshot once.
+// Allocation-free once sc has grown to the batch size.
+func (f *Frozen[V]) GetBatch(sc *Scratch, pts []geom.Point, vals []V, found []bool) int {
+	if len(vals) != len(pts) || len(found) != len(pts) {
+		panic("linearquad: GetBatch: pts, vals, found lengths differ")
+	}
+	return f.lookupBatch(sc, pts, vals, found)
+}
+
+// ContainsBatch reports the presence of every point of pts in found[i]
+// and returns the number present. found must have the same length as
+// pts. Results are identical to calling Contains per point.
+func (f *Frozen[V]) ContainsBatch(sc *Scratch, pts []geom.Point, found []bool) int {
+	if len(found) != len(pts) {
+		panic("linearquad: ContainsBatch: pts and found lengths differ")
+	}
+	return f.lookupBatch(sc, pts, nil, found)
+}
+
+// CountRangeBatch answers every query rectangle, writing the count of
+// stored points inside the closed rectangle queries[i] to counts[i].
+// counts must have the same length as queries. Queries are answered in
+// Z-order of their minimum corners, so adjacent windows reuse the
+// cache lines the previous scan warmed; results are identical to
+// calling CountRange per query. Allocation-free once sc has grown to
+// the batch size.
+func (f *Frozen[V]) CountRangeBatch(sc *Scratch, queries []geom.Rect, counts []int) {
+	if len(counts) != len(queries) {
+		panic("linearquad: CountRangeBatch: queries and counts lengths differ")
+	}
+	keys := sc.keys[:0]
+	for i, q := range queries {
+		keys = append(keys, batchKey{
+			code: Interleave(f.csX.coord(q.MinX), f.csY.coord(q.MinY)),
+			idx:  int32(i),
+		})
+	}
+	sc.keys = keys
+	slices.SortFunc(keys, cmpBatchKey)
+	for _, k := range keys {
+		counts[k.idx] = f.CountRange(queries[k.idx])
+	}
+}

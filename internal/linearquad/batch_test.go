@@ -1,0 +1,150 @@
+package linearquad
+
+import (
+	"testing"
+
+	"popana/internal/dist"
+	"popana/internal/geom"
+	"popana/internal/quadtree"
+	"popana/internal/xrand"
+)
+
+func batchFixture(t *testing.T, n int, clustered bool) (*quadtree.Tree[int], *Frozen[int]) {
+	t.Helper()
+	rng := xrand.New(321)
+	var src dist.PointSource
+	if clustered {
+		src = dist.NewClusters(geom.UnitSquare, 6, 0.03, rng.Split())
+	} else {
+		src = dist.NewUniform(geom.UnitSquare, rng.Split())
+	}
+	qt := quadtree.MustNew[int](quadtree.Config{Capacity: 4})
+	for qt.Len() < n {
+		if _, err := qt.Insert(src.Next(), qt.Len()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := Freeze(qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qt, f
+}
+
+// TestGetBatchMatchesGet checks the batched lookup against per-point
+// Get over a mix of present, absent, and out-of-region probes, on
+// uniform and clustered snapshots.
+func TestGetBatchMatchesGet(t *testing.T) {
+	for _, clustered := range []bool{false, true} {
+		_, f := batchFixture(t, 20000, clustered)
+		rng := xrand.New(77)
+		pts := make([]geom.Point, 4096)
+		for i := range pts {
+			switch i % 4 {
+			case 0, 1:
+				pts[i] = f.PointAt(int(rng.Uint64() % uint64(f.Len())))
+			case 2:
+				pts[i] = geom.Pt(rng.Float64(), rng.Float64())
+			default:
+				pts[i] = geom.Pt(rng.Float64()*4-2, rng.Float64()*4-2) // often outside
+			}
+		}
+		vals := make([]int, len(pts))
+		found := make([]bool, len(pts))
+		var sc Scratch
+		n := f.GetBatch(&sc, pts, vals, found)
+		wantN := 0
+		for i, p := range pts {
+			wv, wok := f.Get(p)
+			if wok {
+				wantN++
+			}
+			if found[i] != wok || vals[i] != wv {
+				t.Fatalf("clustered=%v probe %d (%v): batch (%d, %v), Get (%d, %v)",
+					clustered, i, p, vals[i], found[i], wv, wok)
+			}
+		}
+		if n != wantN {
+			t.Fatalf("GetBatch returned %d, want %d", n, wantN)
+		}
+		// ContainsBatch agrees on the same probes.
+		n2 := f.ContainsBatch(&sc, pts, found)
+		if n2 != wantN {
+			t.Fatalf("ContainsBatch returned %d, want %d", n2, wantN)
+		}
+		for i, p := range pts {
+			if found[i] != f.Contains(p) {
+				t.Fatalf("ContainsBatch probe %d (%v): %v, want %v", i, p, found[i], f.Contains(p))
+			}
+		}
+	}
+}
+
+// TestCountRangeBatchMatchesCountRange checks the batched range count
+// against per-query CountRange, including windows hanging off the
+// region.
+func TestCountRangeBatchMatchesCountRange(t *testing.T) {
+	_, f := batchFixture(t, 20000, false)
+	rng := xrand.New(55)
+	queries := make([]geom.Rect, 256)
+	for i := range queries {
+		w := rng.Float64() * 0.5
+		h := rng.Float64() * 0.5
+		x := rng.Float64()*1.2 - 0.1
+		y := rng.Float64()*1.2 - 0.1
+		queries[i] = geom.R(x-w/2, y-h/2, x+w/2, y+h/2)
+	}
+	counts := make([]int, len(queries))
+	var sc Scratch
+	f.CountRangeBatch(&sc, queries, counts)
+	total := 0
+	for i, q := range queries {
+		want := f.CountRange(q)
+		if counts[i] != want {
+			t.Fatalf("query %d (%v): batch %d, CountRange %d", i, q, counts[i], want)
+		}
+		total += want
+	}
+	if total == 0 {
+		t.Fatal("query stream matched nothing; the test is vacuous")
+	}
+}
+
+// TestCountRangeMatchesLive cross-checks the counting kernel (with its
+// per-axis boundary filters) against the live tree over many windows.
+func TestCountRangeMatchesLive(t *testing.T) {
+	for _, clustered := range []bool{false, true} {
+		qt, f := batchFixture(t, 20000, clustered)
+		rng := xrand.New(31)
+		for i := 0; i < 500; i++ {
+			w := rng.Float64() * 0.6
+			h := rng.Float64() * 0.6
+			x := rng.Float64()*1.4 - 0.2
+			y := rng.Float64()*1.4 - 0.2
+			q := geom.R(x-w/2, y-h/2, x+w/2, y+h/2)
+			if got, want := f.CountRange(q), qt.CountRange(q); got != want {
+				t.Fatalf("clustered=%v window %v: frozen %d, live %d", clustered, q, got, want)
+			}
+		}
+	}
+}
+
+// TestBatchLengthMismatchPanics pins the mis-sized-destination
+// contract.
+func TestBatchLengthMismatchPanics(t *testing.T) {
+	_, f := batchFixture(t, 100, false)
+	var sc Scratch
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s with mismatched lengths did not panic", name)
+			}
+		}()
+		fn()
+	}
+	pts := make([]geom.Point, 4)
+	mustPanic("GetBatch", func() { f.GetBatch(&sc, pts, make([]int, 3), make([]bool, 4)) })
+	mustPanic("GetBatch", func() { f.GetBatch(&sc, pts, make([]int, 4), make([]bool, 5)) })
+	mustPanic("ContainsBatch", func() { f.ContainsBatch(&sc, pts, make([]bool, 3)) })
+	mustPanic("CountRangeBatch", func() { f.CountRangeBatch(&sc, make([]geom.Rect, 2), make([]int, 1)) })
+}

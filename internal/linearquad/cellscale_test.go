@@ -1,0 +1,124 @@
+package linearquad
+
+import (
+	"math"
+	"testing"
+
+	"popana/internal/geom"
+	"popana/internal/xrand"
+)
+
+// TestCellScaleFastPathEligibility checks which extents the fast path
+// accepts: exactly-representable dyadic intervals qualify, everything
+// else must keep the descent.
+func TestCellScaleFastPathEligibility(t *testing.T) {
+	cases := []struct {
+		lo, hi float64
+		fast   bool
+	}{
+		{0, 1, true},
+		{0, 1024, true},
+		{-1, 1, false}, // width 2 but lo = -0.5 * width: i not integer? lo/w = -0.5 -> reject
+		{-2, 2, false}, // lo/w = -0.5
+		{-1, 0, true},
+		{-4, 4, false},    // lo/w = -0.5
+		{-4, 0, true},     // w=4, i=-1
+		{2, 4, true},      // w=2, i=1
+		{0.25, 0.5, true}, // w=0.25, i=1
+		{0, 0.1, false},   // width not a power of two
+		{0.1, 1.1, false}, // lo not a multiple of the width
+		{0, 3, false},
+		{1 << 21, 1<<21 + 1, false}, // |i| over the 2^20 bound
+		{0, math.Inf(1), false},
+		{5, 5, false}, // empty
+	}
+	for _, c := range cases {
+		cs := makeCellScale(c.lo, c.hi, 8)
+		if cs.fast != c.fast {
+			t.Errorf("makeCellScale(%v, %v): fast=%v, want %v", c.lo, c.hi, cs.fast, c.fast)
+		}
+	}
+}
+
+// checkCoord requires the cellScale mapping to agree with the descent
+// bit for bit.
+func checkCoord(t *testing.T, lo, hi float64, depth int, x float64) {
+	t.Helper()
+	cs := makeCellScale(lo, hi, depth)
+	got := cs.coord(x)
+	want := cellCoord(x, lo, hi, depth)
+	if got != want {
+		t.Fatalf("coord(%v) over [%v, %v) depth %d: fast path %d, descent %d (fast=%v)",
+			x, lo, hi, depth, got, want, cs.fast)
+	}
+}
+
+// TestCellScaleEdgeCases hits the clamp and special-value paths the
+// fuzzer may take a while to find.
+func TestCellScaleEdgeCases(t *testing.T) {
+	for _, depth := range []int{0, 1, 5, 31} {
+		for _, r := range [][2]float64{{0, 1}, {-1024, 1024}, {-4, 0}, {0.25, 0.5}, {3, 4}} {
+			lo, hi := r[0], r[1]
+			w := hi - lo
+			xs := []float64{
+				lo, hi, lo + w/2, math.Nextafter(lo+w/2, lo), math.Nextafter(lo+w/2, hi),
+				lo - w, hi + w, math.Nextafter(lo, -1e300), math.Nextafter(hi, -1e300),
+				math.NaN(), math.Inf(1), math.Inf(-1),
+				0, math.Copysign(0, -1), 5e-324, -5e-324, minNormal / 2, -minNormal / 2,
+			}
+			for _, x := range xs {
+				checkCoord(t, lo, hi, depth, x)
+			}
+		}
+	}
+}
+
+// TestCellCoderMatchesCellCode checks the exported coder against the
+// definitional per-point CellCode on random shard-like regions.
+func TestCellCoderMatchesCellCode(t *testing.T) {
+	rng := xrand.New(17)
+	regions := []geom.Rect{
+		geom.UnitSquare,
+		geom.R(0.25, 0.5, 0.5, 0.75), // a level-2 cell
+		geom.R(0.1, 0.1, 0.9, 0.35),  // not dyadic: descent on both axes
+	}
+	for _, region := range regions {
+		coder := NewCellCoder(region, MaxDepth)
+		for i := 0; i < 2000; i++ {
+			p := geom.Pt(
+				region.MinX+(region.MaxX-region.MinX)*rng.Float64(),
+				region.MinY+(region.MaxY-region.MinY)*rng.Float64(),
+			)
+			if got, want := coder.Code(p), CellCode(p, region, MaxDepth); got != want {
+				t.Fatalf("region %v: coder %d, CellCode %d at %v", region, got, want, p)
+			}
+		}
+	}
+}
+
+// FuzzCellCoordFastPath fuzzes the fast path against the midpoint
+// descent over arbitrary regions (representable or not — the
+// non-representable ones must fall back and still agree trivially) and
+// arbitrary coordinates, including out-of-range and special values.
+func FuzzCellCoordFastPath(f *testing.F) {
+	f.Add(0.0, 1.0, 16, 0.5)
+	f.Add(0.0, 1.0, 31, 0.9999999999999999)
+	f.Add(-1024.0, 1024.0, 20, -5e-324)
+	f.Add(0.25, 0.5, 31, 0.3)
+	f.Add(0.1, 0.9, 16, 0.25)       // non-representable extent: descent fallback
+	f.Add(3.0, 4.0, 31, 2.0)        // clamp below
+	f.Add(0.0, 1.0, 8, math.Inf(1)) // clamp above
+	f.Add(0.0, 0.0078125, 31, 1e-300)
+	f.Fuzz(func(t *testing.T, lo, hi float64, depth int, x float64) {
+		if depth < 0 || depth > MaxDepth {
+			depth = ((depth % (MaxDepth + 1)) + MaxDepth + 1) % (MaxDepth + 1)
+		}
+		cs := makeCellScale(lo, hi, depth)
+		got := cs.coord(x)
+		want := cellCoord(x, lo, hi, depth)
+		if got != want {
+			t.Fatalf("coord(%v) over [%v, %v) depth %d: fast path %d, descent %d (fast=%v)",
+				x, lo, hi, depth, got, want, cs.fast)
+		}
+	})
+}

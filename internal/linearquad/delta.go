@@ -1,0 +1,269 @@
+package linearquad
+
+import (
+	"fmt"
+	"math/bits"
+
+	"popana/internal/quadtree"
+)
+
+// Incremental freezing. A steady-state shard pays a full tree rewalk
+// every SnapshotThreshold mutations even when the churn is confined to
+// one corner of its region. Dirty tracks which fixed-level grid cells
+// have absorbed mutations since the last snapshot, and FreezeDelta
+// walks only the subtrees those cells touch, splicing every clean
+// subtree's leaf run — codes, starts, and entry planes — straight out
+// of the previous snapshot. The PR quadtree makes this sound: its
+// shape is a function of the point set alone, and an insert or delete
+// restructures nodes only along the mutated point's root-to-leaf path,
+// so a subtree whose cells saw no mutation is bit-identical to what
+// the previous freeze emitted.
+
+// Dirty is a bitmap over the 4^level cells of a fixed-level grid,
+// marking the cells whose contents may have changed since the last
+// snapshot. The zero value is unusable; build with NewDirty. Callers
+// must serialize access (spatialdb marks under the shard write lock
+// and reads under its rebuild mutex).
+type Dirty struct {
+	level int
+	words []uint64
+	all   bool
+}
+
+// NewDirty returns an empty bitmap at the given grid level. Level 6
+// (4096 cells, 512 bytes) tracks a 64k-point shard at roughly leaf
+// granularity; levels outside [0, 12] (a 2 MiB bitmap) are rejected so
+// a miscomputed level cannot allocate unboundedly.
+func NewDirty(level int) *Dirty {
+	if level < 0 || level > 12 {
+		panic(fmt.Sprintf("linearquad: NewDirty: level %d outside [0, 12]", level))
+	}
+	cells := uint64(1) << uint(2*level)
+	return &Dirty{level: level, words: make([]uint64, (cells+63)/64)}
+}
+
+// Level returns the bitmap's grid level.
+func (d *Dirty) Level() int { return d.level }
+
+// Mark records that the cell with the given level-Level Morton code
+// may have changed. An out-of-range cell marks everything, the safe
+// overapproximation.
+func (d *Dirty) Mark(cell uint64) {
+	if cell >= uint64(len(d.words))*64 {
+		d.all = true
+		return
+	}
+	d.words[cell/64] |= 1 << (cell % 64)
+}
+
+// MarkAll marks every cell, forcing the next FreezeDelta to walk the
+// whole tree.
+func (d *Dirty) MarkAll() { d.all = true }
+
+// Reset clears every mark.
+func (d *Dirty) Reset() {
+	d.all = false
+	clear(d.words)
+}
+
+// Any reports whether any cell is marked.
+func (d *Dirty) Any() bool {
+	if d.all {
+		return true
+	}
+	for _, w := range d.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of marked cells.
+func (d *Dirty) Count() int {
+	if d.all {
+		return len(d.words) * 64
+	}
+	n := 0
+	for _, w := range d.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// cleanRange reports that no cell in [lo, hi) is marked.
+func (d *Dirty) cleanRange(lo, hi uint64) bool {
+	wl, bl := lo/64, lo%64
+	wh, bh := hi/64, hi%64
+	if wl == wh {
+		return d.words[wl]&((uint64(1)<<(bh-bl)-1)<<bl) == 0
+	}
+	if d.words[wl]>>bl != 0 {
+		return false
+	}
+	for w := wl + 1; w < wh; w++ {
+		if d.words[w] != 0 {
+			return false
+		}
+	}
+	return bh == 0 || d.words[wh]&(uint64(1)<<bh-1) == 0
+}
+
+// cleanSubtree reports that the subtree at (path, depth) — in the
+// WalkLeaves path convention — covers no marked cell, so its leaves
+// are unchanged since the marks were last reset.
+func (d *Dirty) cleanSubtree(path uint64, depth int) bool {
+	if d.all || depth > MaxDepth {
+		return false
+	}
+	if depth >= d.level {
+		cell := path >> uint(2*(depth-d.level))
+		return d.words[cell/64]&(1<<(cell%64)) == 0
+	}
+	shift := uint(2 * (d.level - depth))
+	lo := path << shift
+	return d.cleanRange(lo, lo+1<<shift)
+}
+
+// runOf locates the leaf run [ia, ib) of the previous snapshot that
+// exactly tiles the subtree at (path, depth): codes[ia] is the
+// subtree's first cell and codes[ib] its one-past-the-end cell. ok is
+// false when the snapshot's leaf boundaries do not line up — the
+// structure changed, so the caller must walk the live subtree instead.
+func (f *Frozen[V]) runOf(path uint64, depth int) (ia, ib int, ok bool) {
+	shift := 2 * uint(f.depth-depth)
+	lo := path << shift
+	hi := lo + 1<<shift
+	ia = f.leafOf(lo)
+	if f.codes[ia] != lo {
+		return 0, 0, false
+	}
+	ib = f.seekFrom(ia, hi)
+	if f.codes[ib] != hi {
+		return 0, 0, false
+	}
+	return ia, ib, true
+}
+
+// runMaxDepth returns the deepest leaf in the run [ia, ib): a leaf
+// spanning 4^(D-d) cells has depth d, so the deepest leaf is the one
+// with the smallest code gap.
+func (f *Frozen[V]) runMaxDepth(ia, ib int) int {
+	minTZ := 64
+	for i := ia; i < ib; i++ {
+		if tz := bits.TrailingZeros64(f.codes[i+1] - f.codes[i]); tz < minTZ {
+			minTZ = tz
+		}
+	}
+	return f.depth - minTZ/2
+}
+
+// spliceRun appends src's leaf run [ia, ib) to dst, renormalizing the
+// codes from src's grid depth to newDepth. Every leaf in the run must
+// be at depth <= newDepth (guaranteed by the sizing pass, which folds
+// runMaxDepth into the new grid depth), so a rightward renormalization
+// never discards bits.
+func spliceRun[V any](dst, src *Frozen[V], ia, ib, newDepth int) {
+	base := int32(len(dst.xs)) - src.starts[ia]
+	if shift := 2 * (newDepth - src.depth); shift >= 0 {
+		for i := ia; i < ib; i++ {
+			dst.codes = append(dst.codes, src.codes[i]<<uint(shift))
+			dst.starts = append(dst.starts, base+src.starts[i])
+		}
+	} else {
+		for i := ia; i < ib; i++ {
+			dst.codes = append(dst.codes, src.codes[i]>>uint(-shift))
+			dst.starts = append(dst.starts, base+src.starts[i])
+		}
+	}
+	lo, hi := src.starts[ia], src.starts[ib]
+	dst.xs = append(dst.xs, src.xs[lo:hi]...)
+	dst.ys = append(dst.ys, src.ys[lo:hi]...)
+	dst.vals = append(dst.vals, src.vals[lo:hi]...)
+}
+
+// FreezeDelta builds the linear snapshot of t, splicing unchanged leaf
+// runs from prev instead of rewalking them: a subtree none of whose
+// dirty-grid cells are marked is copied from prev wholesale, so the
+// rebuild cost is O(mutated region + total entries copied) with no
+// pointer chasing outside the dirty subtrees. The result is
+// bit-identical to Freeze(t) — same codes, starts, and entry planes —
+// provided d marks (at least) every cell in which a point was
+// inserted, deleted, or overwritten since prev was built from this
+// tree. With no marked cells prev itself is returned.
+//
+// A nil prev or d, a fully-marked d, or a region mismatch falls back
+// to a full Freeze. prev is read, never modified; the returned
+// snapshot shares no storage with it (unless it is prev).
+func FreezeDelta[V any](t *quadtree.Tree[V], prev *Frozen[V], d *Dirty) (*Frozen[V], error) {
+	if prev == nil || d == nil || d.all || prev.region != t.Region() {
+		return Freeze(t)
+	}
+	if !d.Any() {
+		return prev, nil
+	}
+	it := quadtree.NewLeafIter(t)
+	leaves, entries, height := 0, 0, 0
+	for it.NextNode() {
+		path, depth := it.Path(), it.Depth()
+		if depth <= prev.depth && d.cleanSubtree(path, depth) {
+			if ia, ib, ok := prev.runOf(path, depth); ok {
+				leaves += ib - ia
+				entries += int(prev.starts[ib] - prev.starts[ia])
+				if h := prev.runMaxDepth(ia, ib); h > height {
+					height = h
+				}
+				it.Skip()
+				continue
+			}
+			// prev does not tile this subtree exactly — the dirty
+			// contract was violated somewhere. Walking the live subtree
+			// is always correct, just slower.
+		}
+		if it.Internal() {
+			continue
+		}
+		leaves++
+		entries += it.Len()
+		if depth > height {
+			height = depth
+		}
+	}
+	if height > MaxDepth {
+		return nil, fmt.Errorf("%w: height %d > %d", ErrTooDeep, height, MaxDepth)
+	}
+	f := &Frozen[V]{
+		region: prev.region,
+		depth:  height,
+		codes:  make([]uint64, 0, leaves+1),
+		starts: make([]int32, 0, leaves+1),
+		xs:     make([]float64, 0, entries),
+		ys:     make([]float64, 0, entries),
+		vals:   make([]V, 0, entries),
+	}
+	// Pass 2 repeats pass 1's splice decisions exactly: the tree and
+	// the bitmap are unchanged between passes.
+	it.Reset(t)
+	for it.NextNode() {
+		path, depth := it.Path(), it.Depth()
+		if depth <= prev.depth && d.cleanSubtree(path, depth) {
+			if ia, ib, ok := prev.runOf(path, depth); ok {
+				spliceRun(f, prev, ia, ib, height)
+				it.Skip()
+				continue
+			}
+		}
+		if it.Internal() {
+			continue
+		}
+		f.codes = append(f.codes, path<<(2*uint(height-depth)))
+		f.starts = append(f.starts, int32(len(f.xs)))
+		f.xs, f.ys, f.vals = it.AppendPlanes(f.xs, f.ys, f.vals)
+	}
+	f.codes = append(f.codes, 1<<(2*uint(height)))
+	f.starts = append(f.starts, int32(len(f.xs)))
+	f.csX = makeCellScale(f.region.MinX, f.region.MaxX, height)
+	f.csY = makeCellScale(f.region.MinY, f.region.MaxY, height)
+	f.buildDir(nil)
+	return f, nil
+}

@@ -1,0 +1,247 @@
+package linearquad
+
+import (
+	"testing"
+
+	"popana/internal/dist"
+	"popana/internal/geom"
+	"popana/internal/quadtree"
+	"popana/internal/xrand"
+)
+
+// markPoint marks p's dirty cell the way spatialdb does: the point's
+// level-Level cell of the tree region, derived from its MaxDepth code.
+func markPoint(d *Dirty, coder *CellCoder, p geom.Point) {
+	d.Mark(coder.Code(p) >> uint(2*(MaxDepth-d.Level())))
+}
+
+// requireIdentical asserts two snapshots are bit-identical: same
+// region, depth, codes, starts, and entry planes.
+func requireIdentical[V comparable](t *testing.T, got, want *Frozen[V]) {
+	t.Helper()
+	if got.region != want.region || got.depth != want.depth {
+		t.Fatalf("header: (%v, %d) vs (%v, %d)", got.region, got.depth, want.region, want.depth)
+	}
+	if len(got.codes) != len(want.codes) {
+		t.Fatalf("leaf count: %d vs %d", len(got.codes)-1, len(want.codes)-1)
+	}
+	for i := range got.codes {
+		if got.codes[i] != want.codes[i] {
+			t.Fatalf("codes[%d]: %d vs %d", i, got.codes[i], want.codes[i])
+		}
+		if got.starts[i] != want.starts[i] {
+			t.Fatalf("starts[%d]: %d vs %d", i, got.starts[i], want.starts[i])
+		}
+	}
+	if len(got.xs) != len(want.xs) {
+		t.Fatalf("entry count: %d vs %d", len(got.xs), len(want.xs))
+	}
+	for k := range got.xs {
+		if got.xs[k] != want.xs[k] || got.ys[k] != want.ys[k] || got.vals[k] != want.vals[k] {
+			t.Fatalf("entry %d: (%v, %v, %v) vs (%v, %v, %v)",
+				k, got.xs[k], got.ys[k], got.vals[k], want.xs[k], want.ys[k], want.vals[k])
+		}
+	}
+}
+
+// TestFreezeDeltaBitIdentical runs rounds of random mutations (inserts,
+// deletes, and value overwrites, clustered so most of the tree stays
+// clean) against a tree, marking dirty cells as spatialdb would, and
+// requires every incremental rebuild to be bit-identical to a
+// from-scratch Freeze — codes, starts, and entries.
+func TestFreezeDeltaBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		clustered bool
+		level     int
+	}{
+		{"uniform-l6", false, 6},
+		{"clustered-l6", true, 6},
+		{"uniform-l3", false, 3},
+		{"clustered-l0", true, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := xrand.New(2024)
+			var src dist.PointSource
+			if tc.clustered {
+				src = dist.NewClusters(geom.UnitSquare, 5, 0.02, rng.Split())
+			} else {
+				src = dist.NewUniform(geom.UnitSquare, rng.Split())
+			}
+			qt := quadtree.MustNew[int](quadtree.Config{Capacity: 4})
+			live := make([]geom.Point, 0, 8000)
+			for qt.Len() < 8000 {
+				p := src.Next()
+				if rep, err := qt.Insert(p, qt.Len()); err != nil {
+					t.Fatal(err)
+				} else if !rep {
+					live = append(live, p)
+				}
+			}
+			prev, err := Freeze(qt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coder := NewCellCoder(qt.Region(), MaxDepth)
+			d := NewDirty(tc.level)
+			for round := 0; round < 12; round++ {
+				// A burst of clustered churn: mutations concentrated
+				// around one focus so splicing has clean runs to reuse.
+				fx, fy := rng.Float64(), rng.Float64()
+				for m := 0; m < 120; m++ {
+					switch rng.Uint64() % 3 {
+					case 0: // insert near the focus
+						p := geom.Pt(
+							math_clamp01(fx+(rng.Float64()-0.5)*0.05),
+							math_clamp01(fy+(rng.Float64()-0.5)*0.05),
+						)
+						if rep, err := qt.Insert(p, round*1000+m); err != nil {
+							t.Fatal(err)
+						} else if !rep {
+							live = append(live, p)
+						}
+						markPoint(d, &coder, p)
+					case 1: // delete a random live point
+						if len(live) == 0 {
+							continue
+						}
+						i := int(rng.Uint64() % uint64(len(live)))
+						p := live[i]
+						if !qt.Delete(p) {
+							t.Fatalf("live point %v missing", p)
+						}
+						live[i] = live[len(live)-1]
+						live = live[:len(live)-1]
+						markPoint(d, &coder, p)
+					default: // overwrite a random live point's value
+						if len(live) == 0 {
+							continue
+						}
+						p := live[int(rng.Uint64()%uint64(len(live)))]
+						if _, err := qt.Insert(p, -round); err != nil {
+							t.Fatal(err)
+						}
+						markPoint(d, &coder, p)
+					}
+				}
+				inc, err := FreezeDelta(qt, prev, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				full, err := Freeze(qt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireIdentical(t, inc, full)
+				d.Reset()
+				prev = inc
+			}
+		})
+	}
+}
+
+func math_clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 0.999999
+	}
+	return x
+}
+
+// TestFreezeDeltaNoMarks checks the no-mutation shortcut: with no
+// marked cells the previous snapshot itself is returned.
+func TestFreezeDeltaNoMarks(t *testing.T) {
+	rng := xrand.New(8)
+	qt := quadtree.MustNew[int](quadtree.Config{Capacity: 4})
+	for qt.Len() < 1000 {
+		if _, err := qt.Insert(geom.Pt(rng.Float64(), rng.Float64()), qt.Len()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prev, err := Freeze(qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDirty(6)
+	got, err := FreezeDelta(qt, prev, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != prev {
+		t.Fatal("FreezeDelta with no marks did not return prev")
+	}
+}
+
+// TestFreezeDeltaFallbacks checks that a nil prev, nil bitmap, MarkAll,
+// and a region mismatch all degrade to a correct full freeze.
+func TestFreezeDeltaFallbacks(t *testing.T) {
+	rng := xrand.New(9)
+	qt := quadtree.MustNew[int](quadtree.Config{Capacity: 4})
+	for qt.Len() < 3000 {
+		if _, err := qt.Insert(geom.Pt(rng.Float64(), rng.Float64()), qt.Len()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full, err := Freeze(qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDirty(6)
+	d.MarkAll()
+	other := quadtree.MustNew[int](quadtree.Config{Capacity: 4, Region: geom.R(0, 0, 2, 2)})
+	otherPrev, err := Freeze(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tc := range map[string]struct {
+		prev *Frozen[int]
+		d    *Dirty
+	}{
+		"nil-prev":        {nil, NewDirty(6)},
+		"nil-dirty":       {full, nil},
+		"mark-all":        {full, d},
+		"region-mismatch": {otherPrev, NewDirty(6)},
+	} {
+		got, err := FreezeDelta(qt, tc.prev, tc.d)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		requireIdentical(t, got, full)
+	}
+}
+
+// TestFreezeDeltaViolatedContract feeds FreezeDelta a stale prev with
+// an understated dirty set — the contract is broken, identity is not
+// promised — and checks it still returns a structurally valid
+// snapshot (the defensive walk) rather than corrupting memory.
+func TestFreezeDeltaViolatedContract(t *testing.T) {
+	rng := xrand.New(10)
+	qt := quadtree.MustNew[int](quadtree.Config{Capacity: 2})
+	for qt.Len() < 2000 {
+		if _, err := qt.Insert(geom.Pt(rng.Float64(), rng.Float64()), qt.Len()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prev, err := Freeze(qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate heavily but mark only one unrelated cell.
+	for i := 0; i < 500; i++ {
+		qt.Insert(geom.Pt(rng.Float64(), rng.Float64()), i)
+		qt.Delete(geom.Pt(rng.Float64(), rng.Float64()))
+	}
+	d := NewDirty(6)
+	d.Mark(0)
+	got, err := FreezeDelta(qt, prev, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip through FromParts to exercise the full invariant
+	// checker on the spliced result.
+	if _, err := FromParts(got.Region(), got.Depth(), got.Codes(), got.Starts(), got.Points(), got.Values()); err != nil {
+		t.Fatalf("spliced snapshot violates Frozen invariants: %v", err)
+	}
+}

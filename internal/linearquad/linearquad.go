@@ -20,6 +20,11 @@
 // so each examined leaf counts against the node budget exactly like a
 // node visit in the live tree.
 //
+// Entries are stored structure-of-arrays — the x plane, the y plane,
+// and the value plane as three parallel slices — so the boundary-leaf
+// filters of a range scan stream one coordinate plane at cache-line
+// density instead of striding through interleaved points.
+//
 // A Frozen is a snapshot: it never observes later mutations of the
 // source tree, and it is safe for concurrent use by any number of
 // goroutines with no locking whatsoever. Result sets are identical to
@@ -60,60 +65,166 @@ type Frozen[V any] struct {
 	region geom.Rect
 	depth  int // grid depth D: the source tree's height at freeze time
 
+	// csX, csY are the precomputed coordinate-to-cell mappings for the
+	// two axes (the cellCoord fast path when the region extents allow
+	// it).
+	csX, csY cellScale
+
 	// codes[i] is leaf i's locational code normalized to depth D (the
 	// Morton code of its minimum-corner grid cell); codes[len-1] is the
 	// 4^D sentinel. Leaves tile the region, so leaf i covers the cell
 	// interval [codes[i], codes[i+1]).
 	codes []uint64
-	// starts[i] is leaf i's offset into pts/vals; starts[len-1] = len(pts).
+	// starts[i] is leaf i's offset into the entry planes; starts[len-1]
+	// is the entry count.
 	starts []int32
 
-	// The flat entry array, grouped by leaf in code order.
-	pts  []geom.Point
-	vals []V
+	// The flat entry planes, grouped by leaf in code order,
+	// structure-of-arrays: entry k is the point (xs[k], ys[k]) carrying
+	// vals[k].
+	xs, ys []float64
+	vals   []V
+
+	// dir is the leaf directory: dir[c] is the index of the first leaf
+	// whose code is >= c << dirShift, over the 4^min(dirLevel, depth)
+	// cells of a coarse fixed-level grid, with one final entry holding
+	// the sentinel leaf index. It turns every seek into one table load
+	// plus a search over the handful of leaves inside one directory
+	// cell — and into no search at all for targets aligned to the
+	// directory grid, which is every quadrant boundary at or above
+	// dirLevel.
+	dir      []int32
+	dirShift uint
+}
+
+// dirMaxLevel caps the leaf directory's grid level: 4^8 cells (256 KiB
+// of int32) bounds the table for adversarially leafy snapshots; the
+// level is otherwise chosen so a directory cell holds a handful of
+// leaves (see buildDir).
+const dirMaxLevel = 8
+
+// FreezeScratch carries the reusable state of repeated freezes: the
+// leaf iterator and donated plane storage. The zero value is valid.
+// A scratch must not be shared between concurrent FreezeInto calls.
+type FreezeScratch[V any] struct {
+	it     *quadtree.LeafIter[V]
+	codes  []uint64
+	starts []int32
+	xs, ys []float64
+	vals   []V
+	dir    []int32
+}
+
+// Recycle donates a retired snapshot's plane storage to the scratch so
+// the next FreezeInto reuses it instead of allocating. The caller must
+// own f exclusively: no goroutine may still be reading it (a snapshot
+// published to concurrent readers can never be recycled). f is
+// unusable afterwards — its value plane is cleared so recycled storage
+// does not pin the caller's values against the garbage collector.
+func (s *FreezeScratch[V]) Recycle(f *Frozen[V]) {
+	s.codes = f.codes[:0]
+	s.starts = f.starts[:0]
+	s.xs, s.ys = f.xs[:0], f.ys[:0]
+	clear(f.vals)
+	s.vals = f.vals[:0]
+	s.dir = f.dir[:0]
+	f.codes, f.starts, f.xs, f.ys, f.vals, f.dir = nil, nil, nil, nil, nil, nil
+}
+
+// reuse returns s with length 0 and capacity at least n, reusing the
+// backing array when it is big enough.
+func reuse[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:0]
+	}
+	return make([]T, 0, n)
 }
 
 // Freeze builds the linear snapshot of t in one leaf walk (plus a
 // sizing pass), emitting leaves in Z-order so no sort is needed. It
 // returns ErrTooDeep if the tree's height exceeds MaxDepth.
 func Freeze[V any](t *quadtree.Tree[V]) (*Frozen[V], error) {
+	return FreezeInto(t, &FreezeScratch[V]{})
+}
+
+// FreezeInto is Freeze with scratch reuse: the iterator persists across
+// calls and plane storage donated via Recycle is reused when large
+// enough, so a steady-state rebuild cycle allocates only the Frozen
+// header. The snapshot it returns owns whatever storage it was built
+// in; the scratch forgets donated planes once they are handed out.
+func FreezeInto[V any](t *quadtree.Tree[V], s *FreezeScratch[V]) (*Frozen[V], error) {
+	if s.it == nil {
+		s.it = quadtree.NewLeafIter(t)
+	}
+	it := s.it
+	it.Reset(t)
 	leaves, entries, height := 0, 0, 0
-	t.WalkLeaves(func(_ uint64, depth int, each func(func(geom.Point, V) bool)) bool {
+	for it.Next() {
 		leaves++
-		if depth > height {
-			height = depth
+		entries += it.Len()
+		if d := it.Depth(); d > height {
+			height = d
 		}
-		each(func(geom.Point, V) bool { entries++; return true })
-		return true
-	})
+	}
 	if height > MaxDepth {
 		return nil, fmt.Errorf("%w: height %d > %d", ErrTooDeep, height, MaxDepth)
 	}
 	f := &Frozen[V]{
 		region: t.Region(),
 		depth:  height,
-		codes:  make([]uint64, 0, leaves+1),
-		starts: make([]int32, 0, leaves+1),
-		pts:    make([]geom.Point, 0, entries),
-		vals:   make([]V, 0, entries),
+		codes:  reuse(s.codes, leaves+1),
+		starts: reuse(s.starts, leaves+1),
+		xs:     reuse(s.xs, entries),
+		ys:     reuse(s.ys, entries),
+		vals:   reuse(s.vals, entries),
 	}
-	t.WalkLeaves(func(path uint64, depth int, each func(func(geom.Point, V) bool)) bool {
-		f.codes = append(f.codes, path<<(2*uint(height-depth)))
-		f.starts = append(f.starts, int32(len(f.pts)))
-		each(func(p geom.Point, v V) bool {
-			f.pts = append(f.pts, p)
-			f.vals = append(f.vals, v)
-			return true
-		})
-		return true
-	})
+	s.codes, s.starts, s.xs, s.ys, s.vals = nil, nil, nil, nil, nil
+	it.Reset(t)
+	for it.Next() {
+		f.codes = append(f.codes, it.Path()<<(2*uint(height-it.Depth())))
+		f.starts = append(f.starts, int32(len(f.xs)))
+		f.xs, f.ys, f.vals = it.AppendPlanes(f.xs, f.ys, f.vals)
+	}
 	f.codes = append(f.codes, 1<<(2*uint(height)))
-	f.starts = append(f.starts, int32(len(f.pts)))
+	f.starts = append(f.starts, int32(len(f.xs)))
+	f.csX = makeCellScale(f.region.MinX, f.region.MaxX, height)
+	f.csY = makeCellScale(f.region.MinY, f.region.MaxY, height)
+	f.buildDir(s.dir)
+	s.dir = nil
 	return f, nil
 }
 
+// buildDir fills the leaf directory from the finished code plane in one
+// merged pass over the directory cells and the leaves, reusing scratch
+// storage when it is large enough. The level is the shallowest at which
+// a directory cell averages at most four leaves — deep enough that a
+// seek's binary phase is two or three probes, shallow enough that the
+// table stays a small fraction of the code plane it indexes.
+func (f *Frozen[V]) buildDir(scratch []int32) {
+	l := 0
+	for l < dirMaxLevel && 1<<uint(2*l) < len(f.codes)/8 {
+		l++
+	}
+	if l > f.depth {
+		l = f.depth
+	}
+	f.dirShift = uint(2 * (f.depth - l))
+	cells := 1 << uint(2*l)
+	dir := reuse(scratch, cells+1)
+	j := 0
+	for c := 0; c < cells; c++ {
+		target := uint64(c) << f.dirShift
+		for f.codes[j] < target {
+			j++
+		}
+		dir = append(dir, int32(j))
+	}
+	dir = append(dir, int32(len(f.codes)-1))
+	f.dir = dir
+}
+
 // Len returns the number of stored points.
-func (f *Frozen[V]) Len() int { return len(f.pts) }
+func (f *Frozen[V]) Len() int { return len(f.xs) }
 
 // Leaves returns the number of leaf blocks (including empty ones).
 func (f *Frozen[V]) Leaves() int { return len(f.codes) - 1 }
@@ -138,11 +249,20 @@ func (f *Frozen[V]) AvgOccupancy() float64 {
 func (f *Frozen[V]) Region() geom.Rect { return f.region }
 
 // leafOf returns the index of the leaf whose cell interval contains
-// code z: the largest i with codes[i] <= z, by branch-light binary
-// search. Requires 0 <= z < 4^depth.
+// code z: the largest i with codes[i] <= z. The directory narrows the
+// search to the leaves inside one directory cell, so the binary phase
+// is two or three probes on a typical snapshot instead of log(leaves).
+// Requires 0 <= z < 4^depth.
 func (f *Frozen[V]) leafOf(z uint64) int {
-	lo, hi := 0, len(f.codes)-1 // invariant: codes[lo] <= z < codes[hi]
-	for hi-lo > 1 {
+	c := z >> f.dirShift
+	lo := int(f.dir[c])
+	if f.codes[lo] > z {
+		// The cell's first leaf starts past z: z is inside a leaf that
+		// spans across the cell boundary, necessarily the one before.
+		return lo - 1
+	}
+	hi := int(f.dir[c+1]) // codes[hi] >= (c+1)<<shift > z
+	for hi-lo > 1 {       // invariant: codes[lo] <= z < codes[hi]
 		mid := int(uint(lo+hi) >> 1)
 		if f.codes[mid] <= z {
 			lo = mid
@@ -153,18 +273,78 @@ func (f *Frozen[V]) leafOf(z uint64) int {
 	return lo
 }
 
-// Get returns the value stored at p, if any: one cell descent, one
+// dirAt returns the index of the first leaf whose code is >= target,
+// valid only for targets aligned to the directory grid (every quadrant
+// boundary at or above the directory level): one table load, no
+// search. The scan loops hoist the alignment decision out of their
+// child loops; everything finer goes through seekFrom.
+func (f *Frozen[V]) dirAt(target uint64) int { return int(f.dir[target>>f.dirShift]) }
+
+// seekFrom returns the index of the first leaf at or after i whose
+// code is >= target. Scan cursors seek past a handful of skipped
+// leaves at a time, so the fast path gallops from the cursor — the
+// probes stay on the cache lines the scan is already touching. A far
+// target (past 64 leaves) switches to the directory, which jumps
+// straight into the right cell; inside a dense cell the window can
+// still be wide, but far seeks are rare. Requires target <= the
+// 4^depth sentinel.
+func (f *Frozen[V]) seekFrom(i int, target uint64) int {
+	codes := f.codes
+	lo := i
+	if codes[lo] >= target {
+		return lo
+	}
+	last := len(codes) - 1
+	for step := 1; step <= 64; step <<= 1 {
+		hi := lo + step
+		if hi > last {
+			hi = last
+		}
+		if codes[hi] >= target {
+			for hi-lo > 1 { // invariant: codes[lo] < target <= codes[hi]
+				mid := int(uint(lo+hi) >> 1)
+				if codes[mid] < target {
+					lo = mid
+				} else {
+					hi = mid
+				}
+			}
+			return hi
+		}
+		lo = hi
+	}
+	c := target >> f.dirShift
+	if d := int(f.dir[c]); d > lo {
+		// Every leaf before d has a code below c<<shift <= target, so d
+		// is the global first candidate; codes[lo] < target puts it at
+		// or after lo.
+		if codes[d] >= target {
+			return d
+		}
+		lo = d
+	}
+	hi := int(f.dir[c+1]) // in range: codes[lo] < target < (c+1)<<shift <= 4^depth
+	for hi-lo > 1 {       // invariant: codes[lo] < target <= codes[hi]
+		mid := int(uint(lo+hi) >> 1)
+		if codes[mid] < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// Get returns the value stored at p, if any: one cell mapping, one
 // binary search, one bounded leaf scan, zero allocations.
 func (f *Frozen[V]) Get(p geom.Point) (V, bool) {
 	var zero V
 	if !f.region.Contains(p) {
 		return zero, false
 	}
-	cx := cellCoord(p.X, f.region.MinX, f.region.MaxX, f.depth)
-	cy := cellCoord(p.Y, f.region.MinY, f.region.MaxY, f.depth)
-	i := f.leafOf(Interleave(cx, cy))
+	i := f.leafOf(Interleave(f.csX.coord(p.X), f.csY.coord(p.Y)))
 	for k := f.starts[i]; k < f.starts[i+1]; k++ {
-		if f.pts[k] == p {
+		if f.xs[k] == p.X && f.ys[k] == p.Y {
 			return f.vals[k], true
 		}
 	}
@@ -203,10 +383,27 @@ func (f *Frozen[V]) RangeBudgeted(query geom.Rect, maxNodes int, visit quadtree.
 }
 
 // CountRange returns the number of stored points inside the closed
-// query rectangle, allocation-free.
+// query rectangle, allocation-free. It is the pure counting kernel: no
+// visitor dispatch and no traversal statistics, just the grid
+// decomposition with per-axis filters on the boundary leaves.
 func (f *Frozen[V]) CountRange(query geom.Rect) int {
-	st, _ := f.rangeScan(query, 0, nil)
-	return st.Matched
+	var s countState[V]
+	if !f.prepare(query, &s.scanRect) {
+		return 0
+	}
+	s.f = f
+	side := int64(1) << uint(f.depth)
+	switch {
+	case s.fx0 == 0 && s.fy0 == 0 && s.fx1 == side-1 && s.fy1 == side-1:
+		// The query covers the whole region: every entry matches.
+		return f.Len()
+	case len(f.codes) == 2:
+		// The tree never split: the root is the only leaf.
+		s.countRun(0, 0, side, 1)
+	default:
+		s.scan(0, f.depth, 0, 0)
+	}
+	return s.n
 }
 
 // CountRangeBudgeted counts matches under a node-visit budget,
@@ -217,9 +414,55 @@ func (f *Frozen[V]) CountRangeBudgeted(query geom.Rect, maxNodes int) quadtree.R
 	return st
 }
 
-// rangeScan is the shared scan behind Range, RangeBudgeted, and the
-// count variants. done reports that neither the budget nor the visitor
-// stopped the scan.
+// scanRect is the shared geometry of one range scan: the query, its
+// grid-cell rectangle, and the full-containment rectangle.
+type scanRect struct {
+	query              geom.Rect
+	x0, y0, x1, y1     int64 // the query's cell rectangle, inclusive
+	fx0, fy0, fx1, fy1 int64 // cells guaranteed inside the closed query
+}
+
+// prepare clips the query against the region and fills r; it reports
+// false when the query cannot match anything.
+func (f *Frozen[V]) prepare(query geom.Rect, r *scanRect) bool {
+	// Clip: a query strictly outside the region matches nothing.
+	if query.MinX > f.region.MaxX || query.MaxX < f.region.MinX ||
+		query.MinY > f.region.MaxY || query.MaxY < f.region.MinY {
+		return false
+	}
+	r.query = query
+	// The query's grid rectangle, inclusive on both ends: every point
+	// the closed query can contain lives in a cell within it, because
+	// the cell mapping is monotone and agrees with the tree's float
+	// midpoint geometry exactly.
+	r.x0 = int64(f.csX.coord(query.MinX))
+	r.y0 = int64(f.csY.coord(query.MinY))
+	r.x1 = int64(f.csX.coord(query.MaxX))
+	r.y1 = int64(f.csY.coord(query.MaxY))
+	// The full-containment rectangle: a cell column strictly inside
+	// (x0, x1) holds only points within the closed query bounds, by
+	// monotonicity of the cell mapping; the boundary columns x0 and x1
+	// are included only when the query edge extends to (or past) the
+	// region edge, where no point can fall outside it.
+	r.fx0, r.fy0, r.fx1, r.fy1 = r.x0, r.y0, r.x1, r.y1
+	if query.MinX > f.region.MinX {
+		r.fx0++
+	}
+	if query.MinY > f.region.MinY {
+		r.fy0++
+	}
+	if query.MaxX < f.region.MaxX {
+		r.fx1--
+	}
+	if query.MaxY < f.region.MaxY {
+		r.fy1--
+	}
+	return true
+}
+
+// rangeScan is the shared scan behind Range, RangeBudgeted, and
+// CountRangeBudgeted. done reports that neither the budget nor the
+// visitor stopped the scan.
 //
 // The unbudgeted path decomposes the implicit grid recursively over the
 // code array: a quadrant disjoint from the query's cell rectangle is
@@ -232,46 +475,14 @@ func (f *Frozen[V]) CountRangeBudgeted(query geom.Rect, maxNodes int) quadtree.R
 // NodesVisited counts each examined leaf interval and the budget cuts
 // off exactly like the live tree's node budget.
 func (f *Frozen[V]) rangeScan(query geom.Rect, maxNodes int, visit quadtree.Visit[V]) (st quadtree.RangeStats, done bool) {
-	// Clip: a query strictly outside the region matches nothing.
-	if query.MinX > f.region.MaxX || query.MaxX < f.region.MinX ||
-		query.MinY > f.region.MaxY || query.MaxY < f.region.MinY {
+	var r scanRect
+	if !f.prepare(query, &r) {
 		return st, true
 	}
-	// The query's grid rectangle, inclusive on both ends: every point
-	// the closed query can contain lives in a cell within it, because
-	// cellCoord is monotone and agrees with the tree's float midpoint
-	// geometry exactly.
-	x0 := cellCoord(query.MinX, f.region.MinX, f.region.MaxX, f.depth)
-	y0 := cellCoord(query.MinY, f.region.MinY, f.region.MaxY, f.depth)
-	x1 := cellCoord(query.MaxX, f.region.MinX, f.region.MaxX, f.depth)
-	y1 := cellCoord(query.MaxY, f.region.MinY, f.region.MaxY, f.depth)
 	if maxNodes > 0 {
-		return f.scanBudgeted(query, maxNodes, visit, x0, y0, x1, y1)
+		return f.scanBudgeted(query, maxNodes, visit, uint32(r.x0), uint32(r.y0), uint32(r.x1), uint32(r.y1))
 	}
-	s := scanState[V]{
-		f:     f,
-		query: query,
-		visit: visit,
-		x0:    int64(x0), y0: int64(y0), x1: int64(x1), y1: int64(y1),
-		// The full-containment rectangle: a cell column strictly inside
-		// (x0, x1) holds only points within the closed query bounds, by
-		// monotonicity of cellCoord; the boundary columns x0 and x1 are
-		// included only when the query edge extends to (or past) the
-		// region edge, where no point can fall outside it.
-		fx0: int64(x0), fy0: int64(y0), fx1: int64(x1), fy1: int64(y1),
-	}
-	if query.MinX > f.region.MinX {
-		s.fx0++
-	}
-	if query.MinY > f.region.MinY {
-		s.fy0++
-	}
-	if query.MaxX < f.region.MaxX {
-		s.fx1--
-	}
-	if query.MaxY < f.region.MaxY {
-		s.fy1--
-	}
+	s := scanState[V]{f: f, visit: visit, scanRect: r}
 	side := int64(1) << uint(f.depth)
 	switch {
 	case s.fx0 == 0 && s.fy0 == 0 && s.fx1 == side-1 && s.fy1 == side-1:
@@ -290,13 +501,11 @@ func (f *Frozen[V]) rangeScan(query geom.Rect, maxNodes int, visit quadtree.Visi
 // of the next unprocessed leaf, and every scan call maintains the
 // invariant codes[i] == the quadrant's first cell code.
 type scanState[V any] struct {
-	f                  *Frozen[V]
-	query              geom.Rect
-	visit              quadtree.Visit[V]
-	x0, y0, x1, y1     int64 // the query's cell rectangle, inclusive
-	fx0, fy0, fx1, fy1 int64 // cells guaranteed inside the closed query
-	st                 quadtree.RangeStats
-	i                  int
+	f *Frozen[V]
+	scanRect
+	visit quadtree.Visit[V]
+	st    quadtree.RangeStats
+	i     int
 }
 
 // bulk sweeps every entry from the cursor's leaf up to (excluding) the
@@ -304,8 +513,14 @@ type scanState[V any] struct {
 // guarantees the whole run lies inside the closed query. Returns false
 // when the visitor stopped the scan.
 func (s *scanState[V]) bulk(end uint64) bool {
+	return s.bulkTo(s.f.seekFrom(s.i, end))
+}
+
+// bulkTo is bulk with the run's end leaf already resolved (the scan
+// loops resolve directory-aligned quadrant boundaries with one table
+// load instead of a seek).
+func (s *scanState[V]) bulkTo(j int) bool {
 	f := s.f
-	j := s.seek(end)
 	lo, hi := f.starts[s.i], f.starts[j]
 	s.st.NodesVisited += j - s.i
 	s.st.LeavesVisited += j - s.i
@@ -316,7 +531,7 @@ func (s *scanState[V]) bulk(end uint64) bool {
 		return true
 	}
 	for k := lo; k < hi; k++ {
-		if !s.visit(f.pts[k], f.vals[k]) {
+		if !s.visit(geom.Point{X: f.xs[k], Y: f.ys[k]}, f.vals[k]) {
 			s.st.Matched += int(k-lo) + 1
 			return false
 		}
@@ -336,9 +551,10 @@ func (s *scanState[V]) leafScan() bool {
 	s.st.RecordsScanned += int(hi - lo)
 	s.i++
 	for k := lo; k < hi; k++ {
-		if s.query.ContainsClosed(f.pts[k]) {
+		p := geom.Point{X: f.xs[k], Y: f.ys[k]}
+		if s.query.ContainsClosed(p) {
 			s.st.Matched++
-			if s.visit != nil && !s.visit(f.pts[k], f.vals[k]) {
+			if s.visit != nil && !s.visit(p, f.vals[k]) {
 				return false
 			}
 		}
@@ -362,29 +578,48 @@ func (s *scanState[V]) scan(codeLo uint64, level int, cx, cy int64) bool {
 	f := s.f
 	quarter := uint64(1) << (2 * uint(level-1))
 	half := int64(1) << uint(level-1)
-	for q := int64(0); q < 4; q++ {
-		scx := cx + (q&1)*half
-		scy := cy + (q>>1)*half
-		if scx > s.x1 || scx+half-1 < s.x0 || scy > s.y1 || scy+half-1 < s.y0 {
+	xcl := [2]int{
+		classify(cx, half, s.x0, s.x1, s.fx0, s.fx1),
+		classify(cx+half, half, s.x0, s.x1, s.fx0, s.fx1),
+	}
+	ycl := [2]int{
+		classify(cy, half, s.y0, s.y1, s.fy0, s.fy1),
+		classify(cy+half, half, s.y0, s.y1, s.fy0, s.fy1),
+	}
+	codes := f.codes
+	aligned := uint(2*(level-1)) >= f.dirShift
+	for q := 0; q < 4; q++ {
+		xc, yc := xcl[q&1], ycl[q>>1]
+		if xc == axisOut || yc == axisOut {
 			continue
 		}
 		subLo := codeLo + uint64(q)*quarter
-		if f.codes[s.i] < subLo {
-			s.i = s.seek(subLo)
+		if codes[s.i] < subLo {
+			if aligned {
+				s.i = f.dirAt(subLo)
+			} else {
+				s.i = f.seekFrom(s.i, subLo)
+			}
 		}
 		switch {
-		case scx >= s.fx0 && scx+half-1 <= s.fx1 && scy >= s.fy0 && scy+half-1 <= s.fy1:
-			if !s.bulk(subLo + quarter) {
+		case xc == axisContained && yc == axisContained:
+			j := 0
+			if aligned {
+				j = f.dirAt(subLo + quarter)
+			} else {
+				j = f.seekFrom(s.i, subLo+quarter)
+			}
+			if !s.bulkTo(j) {
 				return false
 			}
-		case f.codes[s.i+1] >= subLo+quarter:
+		case codes[s.i+1] >= subLo+quarter:
 			// A single leaf covers the subquadrant (the tree never
 			// split this deep here).
 			if !s.leafScan() {
 				return false
 			}
 		default:
-			if !s.scan(subLo, level-1, scx, scy) {
+			if !s.scan(subLo, level-1, cx+int64(q&1)*half, cy+int64(q>>1)*half) {
 				return false
 			}
 		}
@@ -392,35 +627,336 @@ func (s *scanState[V]) scan(codeLo uint64, level int, cx, cy int64) bool {
 	return true
 }
 
-// seek returns the index of the first leaf at or after the cursor whose
-// code is >= target, by galloping then binary search — cheap for the
-// short skips that dominate and still O(log) for long ones.
-func (s *scanState[V]) seek(target uint64) int {
-	codes := s.f.codes
-	lo := s.i
-	if codes[lo] >= target {
-		return lo
+// countState is the cursor of one counting scan: the same quadrant
+// classification as scanState, stripped of visitor dispatch and
+// traversal statistics, with per-axis filters on boundary leaves. The
+// scan's answer is exactly scanState's Matched; only the bookkeeping
+// differs.
+type countState[V any] struct {
+	f *Frozen[V]
+	scanRect
+	i int
+	n int
+}
+
+// Interval classes for one child column or row of a quadrant against
+// one axis of the query: disjoint children are skipped, contained ones
+// need no further tests on that axis, boundary ones keep descending.
+const (
+	axisOut       = iota // no overlap with the query's cell interval
+	axisBoundary         // overlaps, but crosses a query edge
+	axisContained        // entirely inside the full-containment interval
+)
+
+// classify places the child interval [lo, lo+half) against one query
+// axis: [q0, q1] is the query's cell interval and [f0, f1] its
+// full-containment interval.
+func classify(lo, half, q0, q1, f0, f1 int64) int {
+	if lo > q1 || lo+half-1 < q0 {
+		return axisOut
 	}
-	hi, step := lo+1, 1
-	for hi < len(codes)-1 && codes[hi] < target {
-		lo = hi
-		hi += step
-		step <<= 1
-		if hi > len(codes)-1 {
-			hi = len(codes) - 1
+	if lo >= f0 && lo+half-1 <= f1 {
+		return axisContained
+	}
+	return axisBoundary
+}
+
+// scan is scanState.scan for counting; see there for the protocol. The
+// two child columns and two child rows are classified against their
+// axes once, ahead of the child loop — each child then combines its
+// column and row class with no further geometry — and a child fully
+// contained on one axis descends into the scanX/scanY variants, which
+// never test that axis again.
+func (s *countState[V]) scan(codeLo uint64, level int, cx, cy int64) {
+	f := s.f
+	quarter := uint64(1) << (2 * uint(level-1))
+	half := int64(1) << uint(level-1)
+	xcl := [2]int{
+		classify(cx, half, s.x0, s.x1, s.fx0, s.fx1),
+		classify(cx+half, half, s.x0, s.x1, s.fx0, s.fx1),
+	}
+	ycl := [2]int{
+		classify(cy, half, s.y0, s.y1, s.fy0, s.fy1),
+		classify(cy+half, half, s.y0, s.y1, s.fy0, s.fy1),
+	}
+	codes := f.codes
+	last := len(codes) - 1
+	aligned := uint(2*(level-1)) >= f.dirShift
+	for q := 0; q < 4; q++ {
+		xc, yc := xcl[q&1], ycl[q>>1]
+		if xc == axisOut || yc == axisOut {
+			continue
+		}
+		subLo := codeLo + uint64(q)*quarter
+		if codes[s.i] < subLo {
+			if aligned {
+				s.i = f.dirAt(subLo)
+			} else {
+				s.i = f.seekFrom(s.i, subLo)
+			}
+		}
+		subHi := subLo + quarter
+		switch {
+		case xc == axisContained && yc == axisContained:
+			j := 0
+			if aligned {
+				j = f.dirAt(subHi)
+			} else {
+				j = f.seekFrom(s.i, subHi)
+			}
+			s.n += int(f.starts[j] - f.starts[s.i])
+			s.i = j
+		default:
+			if shortRun(s.i, last, codes, subHi) {
+				// A short leaf run covers the subquadrant: when it is one
+				// leaf (recursing cannot split it) or holds few entries,
+				// filtering its points beats more recursion. An axis the
+				// run's quadrant is contained on needs no test; dispatch
+				// the one-axis filters directly.
+				j := s.i + 1
+				for codes[j] < subHi {
+					j++
+				}
+				if j == s.i+1 || int(f.starts[j]-f.starts[s.i]) <= entryCut {
+					switch {
+					case yc == axisContained:
+						s.countRunX(cx+int64(q&1)*half, half, j)
+					case xc == axisContained:
+						s.countRunY(cy+int64(q>>1)*half, half, j)
+					default:
+						s.countRun(cx+int64(q&1)*half, cy+int64(q>>1)*half, half, j)
+					}
+					continue
+				}
+			}
+			switch {
+			case yc == axisContained:
+				s.scanX(subLo, level-1, cx+int64(q&1)*half)
+			case xc == axisContained:
+				s.scanY(subLo, level-1, cy+int64(q>>1)*half)
+			default:
+				s.scan(subLo, level-1, cx+int64(q&1)*half, cy+int64(q>>1)*half)
+			}
 		}
 	}
-	// codes[lo] < target <= codes[hi]: the sentinel 4^depth bounds any
-	// in-grid target.
-	for hi-lo > 1 {
-		mid := int(uint(lo+hi) >> 1)
-		if codes[mid] < target {
-			lo = mid
-		} else {
-			hi = mid
+}
+
+// runCut and entryCut bound the leaf runs the scans count directly: a
+// boundary subquadrant covered by at most runCut leaves holding at
+// most entryCut entries (or by a single leaf, which descending cannot
+// split) is filtered in one pass instead of descending. Small buckets
+// make the bottom of the tree exactly this shape, so most of the
+// recursion disappears; the entry bound keeps large buckets on the
+// descending path, whose narrower per-axis filters win once a run
+// carries enough points.
+const (
+	runCut   = 16
+	entryCut = 64
+)
+
+// shortRun reports that at most runCut leaves cover [codes[i], subHi):
+// one probe at i+runCut, no search.
+func shortRun(i, last int, codes []uint64, subHi uint64) bool {
+	i += runCut
+	return i > last || codes[i] >= subHi
+}
+
+// scanX is scan for a quadrant whose rows are entirely inside the
+// full-containment interval: only the x axis can exclude anything, so
+// children test one axis and boundary leaves filter one coordinate
+// plane. scanY is its mirror.
+func (s *countState[V]) scanX(codeLo uint64, level int, cx int64) {
+	f := s.f
+	quarter := uint64(1) << (2 * uint(level-1))
+	half := int64(1) << uint(level-1)
+	xcl := [2]int{
+		classify(cx, half, s.x0, s.x1, s.fx0, s.fx1),
+		classify(cx+half, half, s.x0, s.x1, s.fx0, s.fx1),
+	}
+	codes := f.codes
+	last := len(codes) - 1
+	aligned := uint(2*(level-1)) >= f.dirShift
+	for q := 0; q < 4; q++ {
+		xc := xcl[q&1]
+		if xc == axisOut {
+			continue
+		}
+		subLo := codeLo + uint64(q)*quarter
+		if codes[s.i] < subLo {
+			if aligned {
+				s.i = f.dirAt(subLo)
+			} else {
+				s.i = f.seekFrom(s.i, subLo)
+			}
+		}
+		subHi := subLo + quarter
+		switch {
+		case xc == axisContained:
+			j := 0
+			if aligned {
+				j = f.dirAt(subHi)
+			} else {
+				j = f.seekFrom(s.i, subHi)
+			}
+			s.n += int(f.starts[j] - f.starts[s.i])
+			s.i = j
+		default:
+			if shortRun(s.i, last, codes, subHi) {
+				j := s.i + 1
+				for codes[j] < subHi {
+					j++
+				}
+				if j == s.i+1 || int(f.starts[j]-f.starts[s.i]) <= entryCut {
+					s.countRunX(cx+int64(q&1)*half, half, j)
+					continue
+				}
+			}
+			s.scanX(subLo, level-1, cx+int64(q&1)*half)
 		}
 	}
-	return hi
+}
+
+func (s *countState[V]) scanY(codeLo uint64, level int, cy int64) {
+	f := s.f
+	quarter := uint64(1) << (2 * uint(level-1))
+	half := int64(1) << uint(level-1)
+	ycl := [2]int{
+		classify(cy, half, s.y0, s.y1, s.fy0, s.fy1),
+		classify(cy+half, half, s.y0, s.y1, s.fy0, s.fy1),
+	}
+	codes := f.codes
+	last := len(codes) - 1
+	aligned := uint(2*(level-1)) >= f.dirShift
+	for q := 0; q < 4; q++ {
+		yc := ycl[q>>1]
+		if yc == axisOut {
+			continue
+		}
+		subLo := codeLo + uint64(q)*quarter
+		if codes[s.i] < subLo {
+			if aligned {
+				s.i = f.dirAt(subLo)
+			} else {
+				s.i = f.seekFrom(s.i, subLo)
+			}
+		}
+		subHi := subLo + quarter
+		switch {
+		case yc == axisContained:
+			j := 0
+			if aligned {
+				j = f.dirAt(subHi)
+			} else {
+				j = f.seekFrom(s.i, subHi)
+			}
+			s.n += int(f.starts[j] - f.starts[s.i])
+			s.i = j
+		default:
+			if shortRun(s.i, last, codes, subHi) {
+				j := s.i + 1
+				for codes[j] < subHi {
+					j++
+				}
+				if j == s.i+1 || int(f.starts[j]-f.starts[s.i]) <= entryCut {
+					s.countRunY(cy+int64(q>>1)*half, half, j)
+					continue
+				}
+			}
+			s.scanY(subLo, level-1, cy+int64(q>>1)*half)
+		}
+	}
+}
+
+// countRunX counts the leaf run [s.i, j) — boundary leaves of a
+// quadrant whose rows are all inside the query — under whichever x
+// edges the quadrant's column interval [scx, scx+half) can actually
+// cross. countRunY mirrors it.
+func (s *countState[V]) countRunX(scx, half int64, j int) {
+	f := s.f
+	lo, hi := f.starts[s.i], f.starts[j]
+	s.i = j
+	xs := f.xs[lo:hi]
+	n := 0
+	switch lim0, lim1 := s.query.MinX, s.query.MaxX; {
+	case scx >= s.fx0: // cannot cross the low edge
+		for _, x := range xs {
+			if x <= lim1 {
+				n++
+			}
+		}
+	case scx+half-1 <= s.fx1: // cannot cross the high edge
+		for _, x := range xs {
+			if x >= lim0 {
+				n++
+			}
+		}
+	default:
+		for _, x := range xs {
+			if x >= lim0 && x <= lim1 {
+				n++
+			}
+		}
+	}
+	s.n += n
+}
+
+func (s *countState[V]) countRunY(scy, half int64, j int) {
+	f := s.f
+	lo, hi := f.starts[s.i], f.starts[j]
+	s.i = j
+	ys := f.ys[lo:hi]
+	n := 0
+	switch lim0, lim1 := s.query.MinY, s.query.MaxY; {
+	case scy >= s.fy0:
+		for _, y := range ys {
+			if y <= lim1 {
+				n++
+			}
+		}
+	case scy+half-1 <= s.fy1:
+		for _, y := range ys {
+			if y >= lim0 {
+				n++
+			}
+		}
+	default:
+		for _, y := range ys {
+			if y >= lim0 && y <= lim1 {
+				n++
+			}
+		}
+	}
+	s.n += n
+}
+
+// countRun counts the leaf run [s.i, j) under only the query
+// constraints its quadrant can actually violate: a boundary run whose
+// cells sit entirely within the full-containment columns (rows) needs
+// no x (y) test at all — the same monotonicity argument that lets
+// interior quadrants skip geometry entirely, applied per axis. Most
+// boundary runs cross a single query edge, so the common filter is one
+// comparison streaming one coordinate plane.
+func (s *countState[V]) countRun(scx, scy, half int64, j int) {
+	switch {
+	case scy >= s.fy0 && scy+half-1 <= s.fy1: // rows contained: x only
+		s.countRunX(scx, half, j)
+	case scx >= s.fx0 && scx+half-1 <= s.fx1: // columns contained: y only
+		s.countRunY(scy, half, j)
+	default: // a corner run: both axes can cut
+		f := s.f
+		lo, hi := f.starts[s.i], f.starts[j]
+		s.i = j
+		xs := f.xs[lo:hi]
+		ys := f.ys[lo:hi][:len(xs)]
+		n := 0
+		for k, x := range xs {
+			if x >= s.query.MinX && x <= s.query.MaxX &&
+				ys[k] >= s.query.MinY && ys[k] <= s.query.MaxY {
+				n++
+			}
+		}
+		s.n += n
+	}
 }
 
 // scanBudgeted walks the query's Z-interval leaf by leaf: each leaf
@@ -458,9 +994,10 @@ func (f *Frozen[V]) scanBudgeted(query geom.Rect, maxNodes int, visit quadtree.V
 		s, e := f.starts[i], f.starts[i+1]
 		st.RecordsScanned += int(e - s)
 		for k := s; k < e; k++ {
-			if query.ContainsClosed(f.pts[k]) {
+			p := geom.Point{X: f.xs[k], Y: f.ys[k]}
+			if query.ContainsClosed(p) {
 				st.Matched++
-				if visit != nil && !visit(f.pts[k], f.vals[k]) {
+				if visit != nil && !visit(p, f.vals[k]) {
 					return st, false
 				}
 			}

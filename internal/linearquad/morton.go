@@ -1,6 +1,11 @@
 package linearquad
 
-import "math/bits"
+import (
+	"math"
+	"math/bits"
+
+	"popana/internal/geom"
+)
 
 // Morton (Z-order) locational codes: two grid coordinates interleaved
 // bit by bit, x in the even positions and y in the odd ones, matching
@@ -147,4 +152,99 @@ func cellCoord(x, lo, hi float64, depth int) uint32 {
 		}
 	}
 	return c
+}
+
+// minNormal is the smallest positive normal float64 (2^-1022).
+const minNormal = 0x1p-1022
+
+// cellScale is the precomputed single-division replacement for
+// cellCoord on one axis. When the region extent is an exactly
+// representable dyadic interval — width a power of two 2^pw and lo an
+// integer multiple i*2^pw with |i| <= 2^20 — every midpoint the
+// iterative descent computes is exact (each is (2a+1)*2^(pw-k-1) with
+// a below 2^52, so no rounding ever occurs), and the descent's cell is
+// exactly floor(x*2^(depth-pw)) - i*2^depth. One multiply by a power
+// of two (exact) and one floor then replace the 31-iteration loop.
+// Regions that fail the representability test keep the descent; so do
+// inputs whose scaled value is subnormal, where the multiply itself
+// may round. FuzzCellCoordFastPath pins the bit-identity.
+type cellScale struct {
+	lo, hi   float64 // descent fallback parameters
+	depth    int
+	scale    float64 // 2^(depth-pw)
+	min, max float64 // region edges in scaled units: base and base+2^depth
+	base     int64   // i << depth
+	last     uint32  // 2^depth - 1
+	fast     bool
+}
+
+// makeCellScale builds the fast-path state for one axis of a
+// depth-deep grid over [lo, hi). fast stays false — and coord falls
+// back to the descent — unless the extent satisfies every exactness
+// condition above.
+func makeCellScale(lo, hi float64, depth int) cellScale {
+	cs := cellScale{lo: lo, hi: hi, depth: depth, last: uint32(1)<<uint(depth) - 1}
+	w := hi - lo
+	frac, exp := math.Frexp(w) // w == frac * 2^exp, frac in [0.5, 1)
+	if !(w > 0) || frac != 0.5 || lo+w != hi {
+		return cs
+	}
+	pw := exp - 1 // w == 2^pw
+	i := math.Ldexp(lo, -pw)
+	if i != math.Trunc(i) || math.Abs(i) > 1<<20 || math.Ldexp(i, pw) != lo {
+		return cs
+	}
+	scale := math.Ldexp(1, depth-pw)
+	if scale <= 0 || math.IsInf(scale, 0) {
+		return cs
+	}
+	cs.scale = scale
+	cs.base = int64(i) << uint(depth)
+	cs.min = float64(cs.base)
+	cs.max = float64(cs.base + 1<<uint(depth))
+	cs.fast = true
+	return cs
+}
+
+// coord maps x to its grid cell, bit-identical to
+// cellCoord(x, lo, hi, depth).
+func (cs *cellScale) coord(x float64) uint32 {
+	if !cs.fast {
+		return cellCoord(x, cs.lo, cs.hi, cs.depth)
+	}
+	y := x * cs.scale // exact: scale is a power of two, y checked normal below
+	if !(y >= cs.min) {
+		return 0 // below the region, -Inf, or NaN: the descent clamps to cell 0
+	}
+	if y >= cs.max {
+		return cs.last // at or past the top edge: clamp to the last cell
+	}
+	if y < minNormal && y > -minNormal && x != 0 {
+		// The scaled value is subnormal: the multiply may have rounded
+		// (possibly across the integer 0), so only the descent is exact.
+		return cellCoord(x, cs.lo, cs.hi, cs.depth)
+	}
+	return uint32(int64(math.Floor(y)) - cs.base)
+}
+
+// CellCoder precomputes the per-axis cell mapping behind CellCode for
+// one (region, depth) pair, so callers that encode many points against
+// the same grid — the durable layer keys every entry this way — pay
+// the representability analysis once instead of a 2*depth-iteration
+// descent per point. Code agrees with CellCode bit for bit.
+type CellCoder struct {
+	x, y cellScale
+}
+
+// NewCellCoder returns the coder for the depth-level grid over region.
+func NewCellCoder(region geom.Rect, depth int) CellCoder {
+	return CellCoder{
+		x: makeCellScale(region.MinX, region.MaxX, depth),
+		y: makeCellScale(region.MinY, region.MaxY, depth),
+	}
+}
+
+// Code returns p's Morton locational code on the coder's grid.
+func (c *CellCoder) Code(p geom.Point) uint64 {
+	return Interleave(c.x.coord(p.X), c.y.coord(p.Y))
 }

@@ -25,17 +25,36 @@ func (f *Frozen[V]) Codes() []uint64 { return f.codes }
 func (f *Frozen[V]) Starts() []int32 { return f.starts }
 
 // Points returns the flat point array, grouped by leaf in code order.
-// Read-only, as with Codes.
-func (f *Frozen[V]) Points() []geom.Point { return f.pts }
+// The snapshot stores coordinates as separate planes (see XYs), so
+// this materializes a fresh slice on every call; hot paths should use
+// XYs or PointAt instead.
+func (f *Frozen[V]) Points() []geom.Point {
+	pts := make([]geom.Point, len(f.xs))
+	for i := range pts {
+		pts[i] = geom.Point{X: f.xs[i], Y: f.ys[i]}
+	}
+	return pts
+}
 
-// Values returns the value array parallel to Points. Read-only, as
-// with Codes.
+// XYs returns the snapshot's coordinate planes: entry k is the point
+// (xs[k], ys[k]). The slices are the snapshot's own storage: callers
+// must treat them as read-only.
+func (f *Frozen[V]) XYs() (xs, ys []float64) { return f.xs, f.ys }
+
+// PointAt returns entry k's location.
+func (f *Frozen[V]) PointAt(k int) geom.Point {
+	return geom.Point{X: f.xs[k], Y: f.ys[k]}
+}
+
+// Values returns the value array parallel to the coordinate planes.
+// Read-only, as with Codes.
 func (f *Frozen[V]) Values() []V { return f.vals }
 
 // FromParts reassembles a Frozen from planes previously obtained via
 // the accessors (typically deserialized from a sealed run file). It
-// takes ownership of the slices and validates every structural
-// invariant a Freeze-built snapshot holds — a snapshot that violates
+// takes ownership of the codes, starts, and values slices, copies the
+// points into the snapshot's coordinate planes, and validates every
+// structural invariant a Freeze-built snapshot holds — a snapshot that violates
 // them would serve silently wrong query results, so corrupt planes must
 // fail here, loudly, not at query time:
 //
@@ -82,7 +101,17 @@ func FromParts[V any](region geom.Rect, depth int, codes []uint64, starts []int3
 			return nil, fmt.Errorf("linearquad: FromParts: point %d (%v, %v) outside region", i, p.X, p.Y)
 		}
 	}
-	return &Frozen[V]{region: region, depth: depth, codes: codes, starts: starts, pts: pts, vals: vals}, nil
+	f := &Frozen[V]{region: region, depth: depth, codes: codes, starts: starts, vals: vals}
+	f.xs = make([]float64, len(pts))
+	f.ys = make([]float64, len(pts))
+	for i, p := range pts {
+		f.xs[i] = p.X
+		f.ys[i] = p.Y
+	}
+	f.csX = makeCellScale(region.MinX, region.MaxX, depth)
+	f.csY = makeCellScale(region.MinY, region.MaxY, depth)
+	f.buildDir(nil)
+	return f, nil
 }
 
 // CellCode returns p's Morton locational code on the depth-level grid
@@ -91,8 +120,6 @@ func FromParts[V any](region geom.Rect, depth int, codes []uint64, starts []int3
 // cell code so entries from different snapshots of the same shard merge
 // in a single canonical order.
 func CellCode(p geom.Point, region geom.Rect, depth int) uint64 {
-	return Interleave(
-		cellCoord(p.X, region.MinX, region.MaxX, depth),
-		cellCoord(p.Y, region.MinY, region.MaxY, depth),
-	)
+	c := NewCellCoder(region, depth)
+	return c.Code(p)
 }

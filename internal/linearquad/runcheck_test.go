@@ -1,0 +1,57 @@
+package linearquad
+
+import (
+	"math/rand"
+	"testing"
+
+	"popana/internal/geom"
+	"popana/internal/quadtree"
+)
+
+// TestCountRangeRandomEquivalence cross-checks CountRange against a
+// brute-force scan over many random trees and windows, stressing the
+// short-run cutoff and gallop seeks across bucket sizes and skews.
+func TestCountRangeRandomEquivalence(t *testing.T) {
+	region := geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		m := []int{1, 2, 4, 8, 32}[trial%5]
+		tr := quadtree.MustNew[int](quadtree.Config{Capacity: m, Region: region})
+		n := 50 + rng.Intn(4000)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if trial%2 == 0 {
+				xs[i], ys[i] = rng.Float64(), rng.Float64()
+			} else { // clustered
+				cx, cy := 0.3+0.4*float64(trial%3)/3, 0.6
+				xs[i] = cx + rng.NormFloat64()*0.05
+				ys[i] = cy + rng.NormFloat64()*0.05
+				if xs[i] < 0 || xs[i] >= 1 || ys[i] < 0 || ys[i] >= 1 {
+					xs[i], ys[i] = rng.Float64(), rng.Float64()
+				}
+			}
+			if _, err := tr.Insert(geom.Point{X: xs[i], Y: ys[i]}, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f, err := Freeze(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for w := 0; w < 40; w++ {
+			x0, y0 := rng.Float64(), rng.Float64()
+			q := geom.Rect{MinX: x0, MinY: y0,
+				MaxX: x0 + rng.Float64()*0.5, MaxY: y0 + rng.Float64()*0.5}
+			want := 0
+			for i := 0; i < n; i++ {
+				if xs[i] >= q.MinX && xs[i] <= q.MaxX && ys[i] >= q.MinY && ys[i] <= q.MaxY {
+					want++
+				}
+			}
+			if got := f.CountRange(q); got != want {
+				t.Fatalf("trial %d m=%d window %d: CountRange=%d brute=%d", trial, m, w, got, want)
+			}
+		}
+	}
+}

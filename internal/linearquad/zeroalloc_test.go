@@ -1,0 +1,112 @@
+package linearquad
+
+import (
+	"testing"
+
+	"popana/internal/geom"
+	"popana/internal/quadtree"
+	"popana/internal/xrand"
+)
+
+// TestZeroAlloc pins the read kernels at zero allocations per
+// operation, so an accidental escape (a closure capture, a slice
+// header spill) fails go test instead of waiting for a bench run to
+// notice the regression.
+func TestZeroAlloc(t *testing.T) {
+	rng := xrand.New(99)
+	qt := quadtree.MustNew[int](quadtree.Config{Capacity: 8})
+	for qt.Len() < 10000 {
+		if _, err := qt.Insert(geom.Pt(rng.Float64(), rng.Float64()), qt.Len()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := Freeze(qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := geom.Pt(rng.Float64(), rng.Float64())
+	window := geom.R(0.2, 0.3, 0.55, 0.7)
+
+	pts := make([]geom.Point, 64)
+	for i := range pts {
+		if i%2 == 0 {
+			pts[i] = f.PointAt(i * 37 % f.Len())
+		} else {
+			pts[i] = geom.Pt(rng.Float64(), rng.Float64())
+		}
+	}
+	vals := make([]int, len(pts))
+	found := make([]bool, len(pts))
+	queries := make([]geom.Rect, 16)
+	for i := range queries {
+		x, y := rng.Float64(), rng.Float64()
+		queries[i] = geom.R(x-0.1, y-0.1, x+0.1, y+0.1)
+	}
+	counts := make([]int, len(queries))
+	var sc Scratch
+	// Warm the scratch so the pinned runs measure steady state.
+	f.GetBatch(&sc, pts, vals, found)
+
+	sink := 0
+	cases := []struct {
+		name string
+		op   func()
+	}{
+		{"Get", func() {
+			if v, ok := f.Get(probe); ok {
+				sink += v
+			}
+		}},
+		{"Contains", func() {
+			if f.Contains(probe) {
+				sink++
+			}
+		}},
+		{"CountRange", func() { sink += f.CountRange(window) }},
+		{"CountRangeBudgeted", func() { sink += f.CountRangeBudgeted(window, 0).Matched }},
+		{"GetBatch", func() { sink += f.GetBatch(&sc, pts, vals, found) }},
+		{"ContainsBatch", func() { sink += f.ContainsBatch(&sc, pts, found) }},
+		{"CountRangeBatch", func() {
+			f.CountRangeBatch(&sc, queries, counts)
+			sink += counts[0]
+		}},
+	}
+	for _, c := range cases {
+		if allocs := testing.AllocsPerRun(100, c.op); allocs != 0 {
+			t.Errorf("%s: %.1f allocs/op, want 0", c.name, allocs)
+		}
+	}
+	_ = sink
+}
+
+// TestFreezeIntoReuse checks that a freeze into a recycled scratch
+// allocates only the snapshot header: the planes and the iterator all
+// come from the scratch.
+func TestFreezeIntoReuse(t *testing.T) {
+	rng := xrand.New(5)
+	qt := quadtree.MustNew[int](quadtree.Config{Capacity: 8})
+	for qt.Len() < 20000 {
+		if _, err := qt.Insert(geom.Pt(rng.Float64(), rng.Float64()), qt.Len()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sc FreezeScratch[int]
+	f, err := FreezeInto(qt, &sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		sc.Recycle(f)
+		f, err = FreezeInto(qt, &sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One Frozen header per freeze; everything else is recycled.
+	if allocs > 1 {
+		t.Errorf("steady-state FreezeInto: %.1f allocs/op, want <= 1", allocs)
+	}
+	if f.Len() != qt.Len() {
+		t.Fatalf("recycled freeze lost entries: %d vs %d", f.Len(), qt.Len())
+	}
+}

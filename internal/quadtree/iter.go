@@ -1,0 +1,135 @@
+package quadtree
+
+import "popana/internal/geom"
+
+// LeafIter is an allocation-free traversal of a tree's nodes in
+// Z-order (pre-order, children in quadrant order 0..3). It exists for
+// the bulk export paths — building a linear snapshot walks every leaf
+// twice (sizing, then emission), and the WalkLeaves closure protocol
+// allocates per call frame — and for incremental consumers that skip
+// whole subtrees: NextNode surfaces internal nodes too, and Skip
+// prunes the subtree under the current one.
+//
+// The iterator borrows the tree: the tree must not be mutated between
+// Reset and the last Next/NextNode call. Path follows the WalkLeaves
+// convention (two bits per level, root's quadrant choice most
+// significant; meaningful only while Depth <= 32).
+type LeafIter[V any] struct {
+	root  *node[V]
+	cur   *node[V]
+	path  uint64
+	depth int
+	// stack holds the internal nodes whose children are still being
+	// visited; frame q is the next quadrant to descend into.
+	stack   []iterFrame[V]
+	started bool
+	skip    bool
+}
+
+type iterFrame[V any] struct {
+	children *[4]node[V]
+	path     uint64
+	depth    int32
+	q        int8
+}
+
+// NewLeafIter returns an iterator positioned before t's root. The only
+// allocations the iterator ever performs are here and — for trees
+// deeper than the preallocated DefaultMaxDepth frames — when the stack
+// grows.
+func NewLeafIter[V any](t *Tree[V]) *LeafIter[V] {
+	it := &LeafIter[V]{stack: make([]iterFrame[V], 0, DefaultMaxDepth+1)}
+	it.Reset(t)
+	return it
+}
+
+// Reset re-targets the iterator at t's root, reusing the stack.
+func (it *LeafIter[V]) Reset(t *Tree[V]) {
+	it.root = t.root
+	it.cur = nil
+	it.path, it.depth = 0, 0
+	it.stack = it.stack[:0]
+	it.started = false
+	it.skip = false
+}
+
+// NextNode advances to the next node in pre-order — internal nodes
+// included — and reports whether one exists. The root is the first
+// node.
+func (it *LeafIter[V]) NextNode() bool {
+	if !it.started {
+		it.started = true
+		it.cur = it.root
+		return true
+	}
+	if it.cur != nil && it.cur.children != nil && !it.skip {
+		it.stack = append(it.stack, iterFrame[V]{
+			children: it.cur.children,
+			path:     it.path,
+			depth:    int32(it.depth),
+		})
+	}
+	it.skip = false
+	for len(it.stack) > 0 {
+		fr := &it.stack[len(it.stack)-1]
+		if fr.q < 4 {
+			q := fr.q
+			fr.q++
+			it.cur = &fr.children[q]
+			it.path = fr.path<<2 | uint64(q)
+			it.depth = int(fr.depth) + 1
+			return true
+		}
+		it.stack = it.stack[:len(it.stack)-1]
+	}
+	it.cur = nil
+	return false
+}
+
+// Skip prunes the subtree under the current node: the following
+// NextNode continues with its next sibling. A no-op on leaves (their
+// subtree is themselves) and before the first NextNode.
+func (it *LeafIter[V]) Skip() { it.skip = true }
+
+// Next advances to the next leaf, descending past internal nodes, and
+// reports whether one exists.
+func (it *LeafIter[V]) Next() bool {
+	for it.NextNode() {
+		if it.cur.leaf() {
+			return true
+		}
+	}
+	return false
+}
+
+// Internal reports whether the current node is internal (has children).
+func (it *LeafIter[V]) Internal() bool { return it.cur != nil && !it.cur.leaf() }
+
+// Path returns the current node's locational path code (see LeafVisitor).
+func (it *LeafIter[V]) Path() uint64 { return it.path }
+
+// Depth returns the current node's depth; the root is depth 0.
+func (it *LeafIter[V]) Depth() int { return it.depth }
+
+// Len returns the number of entries stored in the current node (zero
+// for internal nodes).
+func (it *LeafIter[V]) Len() int { return len(it.cur.entries) }
+
+// Entry returns the current leaf's i-th entry.
+func (it *LeafIter[V]) Entry(i int) (geom.Point, V) {
+	e := &it.cur.entries[i]
+	return e.p, e.v
+}
+
+// AppendPlanes appends the current leaf's entries to the three
+// structure-of-arrays planes and returns the extended slices. It is the
+// bulk export primitive: one call per leaf, no per-entry closures.
+func (it *LeafIter[V]) AppendPlanes(xs, ys []float64, vals []V) ([]float64, []float64, []V) {
+	for i := range it.cur.entries {
+		e := &it.cur.entries[i]
+		xs = append(xs, e.p.X)
+		ys = append(ys, e.p.Y)
+		vals = append(vals, e.v)
+	}
+	return xs, ys, vals
+}

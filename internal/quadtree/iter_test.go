@@ -1,0 +1,216 @@
+package quadtree
+
+import (
+	"testing"
+
+	"popana/internal/geom"
+	"popana/internal/xrand"
+)
+
+// walkRecord is one leaf observation, for comparing traversals.
+type walkRecord struct {
+	path  uint64
+	depth int
+	pts   []geom.Point
+	vals  []int
+}
+
+func walkViaClosures(t *Tree[int]) []walkRecord {
+	var out []walkRecord
+	t.WalkLeaves(func(path uint64, depth int, each func(func(geom.Point, int) bool)) bool {
+		r := walkRecord{path: path, depth: depth}
+		each(func(p geom.Point, v int) bool {
+			r.pts = append(r.pts, p)
+			r.vals = append(r.vals, v)
+			return true
+		})
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+func walkViaIter(it *LeafIter[int]) []walkRecord {
+	var out []walkRecord
+	for it.Next() {
+		r := walkRecord{path: it.Path(), depth: it.Depth()}
+		for i := 0; i < it.Len(); i++ {
+			p, v := it.Entry(i)
+			r.pts = append(r.pts, p)
+			r.vals = append(r.vals, v)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func sameWalk(t *testing.T, want, got []walkRecord) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("leaf count: WalkLeaves %d, LeafIter %d", len(want), len(got))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.path != g.path || w.depth != g.depth {
+			t.Fatalf("leaf %d: (path %d, depth %d) vs (path %d, depth %d)", i, w.path, w.depth, g.path, g.depth)
+		}
+		if len(w.pts) != len(g.pts) {
+			t.Fatalf("leaf %d: %d entries vs %d", i, len(w.pts), len(g.pts))
+		}
+		for k := range w.pts {
+			if w.pts[k] != g.pts[k] || w.vals[k] != g.vals[k] {
+				t.Fatalf("leaf %d entry %d: (%v, %d) vs (%v, %d)", i, k, w.pts[k], w.vals[k], g.pts[k], g.vals[k])
+			}
+		}
+	}
+}
+
+// TestLeafIterMatchesWalkLeaves checks that the iterator yields exactly
+// the WalkLeaves traversal — same leaves, same Z-order, same entries in
+// the same order — across tree shapes from empty to a few thousand
+// points, and that Reset replays it.
+func TestLeafIterMatchesWalkLeaves(t *testing.T) {
+	rng := xrand.New(42)
+	for _, n := range []int{0, 1, 5, 100, 4096} {
+		qt := MustNew[int](Config{Capacity: 4})
+		for qt.Len() < n {
+			if _, err := qt.Insert(geom.Pt(rng.Float64(), rng.Float64()), qt.Len()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := walkViaClosures(qt)
+		it := NewLeafIter(qt)
+		sameWalk(t, want, walkViaIter(it))
+		// Reset replays the identical traversal with no fresh state.
+		it.Reset(qt)
+		sameWalk(t, want, walkViaIter(it))
+	}
+}
+
+// TestLeafIterAppendPlanes checks the bulk export primitive against the
+// per-entry accessor.
+func TestLeafIterAppendPlanes(t *testing.T) {
+	rng := xrand.New(7)
+	qt := MustNew[int](Config{Capacity: 8})
+	for qt.Len() < 1000 {
+		if _, err := qt.Insert(geom.Pt(rng.Float64(), rng.Float64()), qt.Len()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var xs, ys []float64
+	var vals []int
+	it := NewLeafIter(qt)
+	for it.Next() {
+		base := len(xs)
+		xs, ys, vals = it.AppendPlanes(xs, ys, vals)
+		if len(xs) != base+it.Len() {
+			t.Fatalf("AppendPlanes grew by %d, leaf holds %d", len(xs)-base, it.Len())
+		}
+		for i := 0; i < it.Len(); i++ {
+			p, v := it.Entry(i)
+			if xs[base+i] != p.X || ys[base+i] != p.Y || vals[base+i] != v {
+				t.Fatalf("plane entry %d disagrees with Entry", base+i)
+			}
+		}
+	}
+	if len(xs) != qt.Len() || len(ys) != qt.Len() || len(vals) != qt.Len() {
+		t.Fatalf("planes hold %d/%d/%d entries, tree %d", len(xs), len(ys), len(vals), qt.Len())
+	}
+}
+
+// TestLeafIterSkip checks that skipping an internal node prunes exactly
+// its subtree: skipping every internal node at depth 1 leaves only the
+// leaves at depth <= 1.
+func TestLeafIterSkip(t *testing.T) {
+	rng := xrand.New(11)
+	qt := MustNew[int](Config{Capacity: 2})
+	for qt.Len() < 500 {
+		if _, err := qt.Insert(geom.Pt(rng.Float64(), rng.Float64()), qt.Len()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it := NewLeafIter(qt)
+	leaves := 0
+	for it.NextNode() {
+		if it.Internal() {
+			if it.Depth() >= 1 {
+				it.Skip()
+			}
+			continue
+		}
+		if it.Depth() > 2 {
+			t.Fatalf("leaf at depth %d survived skipping depth-1 subtrees", it.Depth())
+		}
+		leaves++
+	}
+	// The skipped traversal must see exactly the full traversal's leaves
+	// at depth <= 2 whose path prefix is an unskipped chain; with every
+	// depth-1 internal node skipped that is the set of depth <= 2 leaves
+	// whose depth-1 ancestor is a leaf or the node itself.
+	want := 0
+	qt.WalkLeaves(func(_ uint64, depth int, _ func(func(geom.Point, int) bool)) bool {
+		if depth <= 1 {
+			want++
+		}
+		return true
+	})
+	if leaves != want {
+		t.Fatalf("skip traversal saw %d leaves, want %d", leaves, want)
+	}
+}
+
+// TestLeafIterSkipOnLeaf checks Skip is a harmless no-op on leaves.
+func TestLeafIterSkipOnLeaf(t *testing.T) {
+	rng := xrand.New(13)
+	qt := MustNew[int](Config{Capacity: 4})
+	for qt.Len() < 300 {
+		if _, err := qt.Insert(geom.Pt(rng.Float64(), rng.Float64()), qt.Len()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := walkViaClosures(qt)
+	var got []walkRecord
+	it := NewLeafIter(qt)
+	for it.NextNode() {
+		if it.Internal() {
+			continue
+		}
+		it.Skip() // must not suppress any sibling
+		r := walkRecord{path: it.Path(), depth: it.Depth()}
+		for i := 0; i < it.Len(); i++ {
+			p, v := it.Entry(i)
+			r.pts = append(r.pts, p)
+			r.vals = append(r.vals, v)
+		}
+		got = append(got, r)
+	}
+	sameWalk(t, want, got)
+}
+
+// TestLeafIterDeepTree grows a tree deeper than the preallocated stack
+// (two coincident-ish points force max-depth splitting) and checks the
+// traversal still completes.
+func TestLeafIterDeepTree(t *testing.T) {
+	qt := MustNew[int](Config{Capacity: 1, MaxDepth: 60})
+	pts := []geom.Point{geom.Pt(0.1000000000001, 0.1), geom.Pt(0.1000000000002, 0.1)}
+	for i, p := range pts {
+		if _, err := qt.Insert(p, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it := NewLeafIter(qt)
+	entries := 0
+	maxDepth := 0
+	for it.Next() {
+		entries += it.Len()
+		if it.Depth() > maxDepth {
+			maxDepth = it.Depth()
+		}
+	}
+	if entries != 2 {
+		t.Fatalf("deep traversal saw %d entries, want 2", entries)
+	}
+	if maxDepth <= 32 {
+		t.Fatalf("test tree only reached depth %d; wanted deeper than the uint64 path range", maxDepth)
+	}
+}

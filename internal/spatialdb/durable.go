@@ -33,7 +33,6 @@ import (
 
 	"popana/internal/faultinject"
 	"popana/internal/geom"
-	"popana/internal/linearquad"
 	"popana/internal/segment"
 	"popana/internal/wal"
 )
@@ -625,7 +624,8 @@ func (d *durableTable) append(si int, rec []byte) error {
 // cellCodeOf is the canonical merge key of a location within its
 // shard: the Morton code of its cell at the deepest encodable grid.
 // Every run of a shard keys entries this way, so entries from any mix
-// of snapshots merge in one total order.
+// of snapshots merge in one total order. The shard's precomputed coder
+// takes the single-division fast path on dyadic shard extents.
 func cellCodeOf(s *shard, p geom.Point) uint64 {
-	return linearquad.CellCode(p, s.region, linearquad.MaxDepth)
+	return s.coder.Code(p)
 }

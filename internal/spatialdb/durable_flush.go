@@ -302,7 +302,7 @@ func (t *Table) checkpointShard(si int) error {
 	s := t.shards[si]
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	f, err := linearquad.Freeze(s.index)
+	f, err := s.frozenLocked()
 	if err != nil {
 		return t.sealWALLocked(si)
 	}
@@ -343,18 +343,19 @@ func (t *Table) checkpointShard(si int) error {
 // planes (codes, starts) remain exact over the sorted array — which is
 // what lets recovery rebuild the Frozen via FromParts.
 func entriesFromFrozen(s *shard, f *linearquad.Frozen[Record]) ([]segment.Entry, error) {
-	pts, vals := f.Points(), f.Values()
-	entries := make([]segment.Entry, len(pts))
-	for i, p := range pts {
+	xs, ys := f.XYs()
+	vals := f.Values()
+	entries := make([]segment.Entry, len(xs))
+	for i := range xs {
 		payload, err := encodePayload(vals[i].Data)
 		if err != nil {
 			return nil, err
 		}
 		entries[i] = segment.Entry{
-			Code:    cellCodeOf(s, p),
+			Code:    s.coder.Code(geom.Pt(xs[i], ys[i])),
 			ID:      vals[i].ID,
-			X:       p.X,
-			Y:       p.Y,
+			X:       xs[i],
+			Y:       ys[i],
 			Payload: payload,
 		}
 	}

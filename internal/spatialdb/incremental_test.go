@@ -1,0 +1,177 @@
+package spatialdb
+
+import (
+	"errors"
+	"testing"
+
+	"popana/internal/dist"
+	"popana/internal/faultinject"
+	"popana/internal/geom"
+	"popana/internal/linearquad"
+	"popana/internal/xrand"
+)
+
+// requireShardSnapshotExact asserts that a shard's published snapshot
+// is bit-identical — codes, starts, coordinate planes, record IDs — to
+// a from-scratch freeze of its live tree. This is the incremental
+// rebuild's whole contract: splicing clean runs from the previous
+// snapshot must be indistinguishable from rewalking the tree.
+func requireShardSnapshotExact(t *testing.T, si int, s *shard) {
+	t.Helper()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, _ := s.loadFresh()
+	if f == nil {
+		t.Fatalf("shard %d: no fresh snapshot after compact", si)
+	}
+	want, err := linearquad.Freeze(s.index)
+	if err != nil {
+		t.Fatalf("shard %d: reference freeze: %v", si, err)
+	}
+	if f.Region() != want.Region() || f.Depth() != want.Depth() {
+		t.Fatalf("shard %d header: (%v, %d) vs (%v, %d)",
+			si, f.Region(), f.Depth(), want.Region(), want.Depth())
+	}
+	gc, wc := f.Codes(), want.Codes()
+	gs, ws := f.Starts(), want.Starts()
+	if len(gc) != len(wc) {
+		t.Fatalf("shard %d: %d leaves vs %d", si, len(gc)-1, len(wc)-1)
+	}
+	for i := range gc {
+		if gc[i] != wc[i] || gs[i] != ws[i] {
+			t.Fatalf("shard %d leaf %d: (code %d, start %d) vs (code %d, start %d)",
+				si, i, gc[i], gs[i], wc[i], ws[i])
+		}
+	}
+	gx, gy := f.XYs()
+	wx, wy := want.XYs()
+	gv, wv := f.Values(), want.Values()
+	if len(gx) != len(wx) {
+		t.Fatalf("shard %d: %d entries vs %d", si, len(gx), len(wx))
+	}
+	for k := range gx {
+		if gx[k] != wx[k] || gy[k] != wy[k] || gv[k].ID != wv[k].ID {
+			t.Fatalf("shard %d entry %d: (%v, %v, id %d) vs (%v, %v, id %d)",
+				si, k, gx[k], gy[k], gv[k].ID, wx[k], wy[k], wv[k].ID)
+		}
+	}
+}
+
+// TestIncrementalCompactMatchesFullFreeze churns a sharded table
+// through rounds of clustered inserts, deletes, and batch inserts, and
+// after every Compact checks each shard's published snapshot against a
+// from-scratch Freeze of its live tree. Midway it arms the
+// SnapshotRebuild fault point to prove a failed rebuild keeps the
+// dirty marks and the next successful rebuild is still exact.
+func TestIncrementalCompactMatchesFullFreeze(t *testing.T) {
+	inj := faultinject.New(11)
+	db := NewDB()
+	db.SetFaultInjector(inj)
+	tab, err := db.CreateTableWith("inc", TableOptions{Capacity: 4, ShardBits: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(42)
+	src := dist.NewClusters(geom.UnitSquare, 6, 0.03, rng.Split())
+	seen := map[geom.Point]bool{}
+	recs := make([]Record, 0, 6000)
+	for len(recs) < 6000 {
+		p := src.Next()
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		recs = append(recs, Record{ID: uint64(len(recs)), Loc: p})
+	}
+	if err := tab.InsertBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	live := make([]Record, len(recs))
+	copy(live, recs)
+	nextID := uint64(len(recs))
+
+	for round := 0; round < 10; round++ {
+		if round == 5 {
+			// One injected rebuild failure: Compact surfaces it, marks
+			// stay, and the shard serves live until the next round.
+			inj.EnableN(faultinject.SnapshotRebuild, 1.0, 1)
+			if err := tab.Compact(); !errors.Is(err, faultinject.ErrInjected) {
+				t.Fatalf("round %d: Compact error = %v, want injected fault", round, err)
+			}
+		}
+		// Clustered churn around one focus, plus a scattered batch.
+		fx, fy := rng.Float64(), rng.Float64()
+		for m := 0; m < 60; m++ {
+			if rng.Uint64()%2 == 0 || len(live) == 0 {
+				p := geom.Pt(
+					clamp01(fx+(rng.Float64()-0.5)*0.04),
+					clamp01(fy+(rng.Float64()-0.5)*0.04),
+				)
+				if seen[p] {
+					continue
+				}
+				seen[p] = true
+				if err := tab.Insert(Record{ID: nextID, Loc: p}); err != nil {
+					t.Fatal(err)
+				}
+				live = append(live, Record{ID: nextID, Loc: p})
+				nextID++
+			} else {
+				i := int(rng.Uint64() % uint64(len(live)))
+				if !tab.Delete(live[i].ID) {
+					t.Fatalf("round %d: live record %d missing", round, live[i].ID)
+				}
+				delete(seen, live[i].Loc)
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		batch := make([]Record, 0, 20)
+		for len(batch) < 20 {
+			p := src.Next()
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			batch = append(batch, Record{ID: nextID, Loc: p})
+			nextID++
+		}
+		if err := tab.InsertBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, batch...)
+
+		if err := tab.Compact(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for si, s := range tab.shards {
+			requireShardSnapshotExact(t, si, s)
+		}
+		// The snapshot-served query results match the ground truth.
+		w := 0.05 + rng.Float64()*0.3
+		x, y := rng.Float64(), rng.Float64()
+		window := geom.R(x-w/2, y-w/2, x+w/2, y+w/2)
+		want := 0
+		for _, r := range live {
+			if window.Contains(r.Loc) {
+				want++
+			}
+		}
+		if n, _, err := tab.CountRange(window, 0); err != nil || n != want {
+			t.Fatalf("round %d window %v: CountRange (%d, %v), want %d", round, window, n, err, want)
+		}
+	}
+	if inj.Fired(faultinject.SnapshotRebuild) != 1 {
+		t.Fatalf("SnapshotRebuild fired %d times, want 1", inj.Fired(faultinject.SnapshotRebuild))
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 0.999999
+	}
+	return x
+}

@@ -129,8 +129,8 @@ func (t *Table) fireCursorSeal(sis []int) {
 // bounds the entries examined; exhaustion sets Truncated.
 func scanZRange(v shardView, box geom.Rect, maxNodes int, visit func(segment.Entry) bool) (quadtree.RangeStats, error) {
 	var st quadtree.RangeStats
-	zmin := linearquad.CellCode(geom.Pt(box.MinX, box.MinY), v.s.region, linearquad.MaxDepth)
-	zmax := linearquad.CellCode(geom.Pt(box.MaxX, box.MaxY), v.s.region, linearquad.MaxDepth)
+	zmin := v.s.coder.Code(geom.Pt(box.MinX, box.MinY))
+	zmax := v.s.coder.Code(geom.Pt(box.MaxX, box.MaxY))
 	cxmin, cymin := linearquad.Deinterleave(zmin)
 	cxmax, cymax := linearquad.Deinterleave(zmax)
 

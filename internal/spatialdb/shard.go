@@ -38,6 +38,22 @@ type shard struct {
 	mu    sync.RWMutex
 	index *quadtree.Tree[Record]
 
+	// coder Morton-encodes points of this shard's region at the deepest
+	// grid; shared by the durable merge key and the dirty-cell map so
+	// the two never disagree. Immutable after construction.
+	coder linearquad.CellCoder
+	// dirty marks the level-dirtyLevel cells mutated since the last
+	// published snapshot, letting rebuilds splice unchanged leaf runs
+	// from the previous frozen copy instead of rewalking the whole
+	// tree. Marked under the write lock (every index mutation holds
+	// it); read and reset only under rebuildMu.
+	dirty *linearquad.Dirty
+	// rebuildMu serializes snapshot builds that bypass the rebuilding
+	// CAS (compact, checkpoint): FreezeDelta reads dirty and the
+	// previous snapshot, and a concurrent Reset under another build
+	// would race with it.
+	rebuildMu sync.Mutex
+
 	// tail is the lazy-mode write buffer: the shard's WAL tail folded to
 	// its net effect per location (an insert or a tombstone), guarded by
 	// mu like index. Flush seals it into a delta run and clears it. Nil
@@ -56,7 +72,7 @@ type shard struct {
 	// The publish-after-build discipline the lock-free read path relies
 	// on lives entirely in the three accessors below; popvet's
 	// lockdiscipline analyzer rejects any other Load or Store.
-	//popvet:accessors loadFresh rebuildLocked maybeRebuildLocked publishRecovered
+	//popvet:accessors loadFresh rebuildLocked maybeRebuildLocked publishRecovered frozenLocked
 	snap atomic.Pointer[snapshot]
 	// rebuilding serializes snapshot builds so a thundering herd of
 	// stale readers freezes the shard once, not once per reader.
@@ -76,20 +92,64 @@ func (s *shard) loadFresh() (*linearquad.Frozen[Record], uint64) {
 	return nil, 0
 }
 
+// dirtyLevel is the grid level of each shard's dirty bitmap: 4096
+// cells (512 bytes) per shard, roughly leaf granularity for a
+// 64k-point shard, so a localized burst of churn dirties a handful of
+// cells and the rebuild splices everything else from the previous
+// snapshot.
+const dirtyLevel = 6
+
+// markDirty records that p's dirty-grid cell mutated. Must be called
+// under the shard write lock, alongside the index mutation itself.
+func (s *shard) markDirty(p geom.Point) {
+	s.dirty.Mark(s.coder.Code(p) >> uint(2*(linearquad.MaxDepth-dirtyLevel)))
+}
+
 // rebuildLocked freezes the shard's index and publishes the snapshot.
 // The caller must hold s.mu (read or write); under either the epoch is
-// stable, so the published snapshot is exact for its stamp. A failure —
-// a tree too deep to Morton-encode, or an injected SnapshotRebuild
-// fault — is published as an empty marker so queries fall back to the
-// live tree without retrying the freeze until the shard changes again.
+// stable, so the published snapshot is exact for its stamp. The build
+// is incremental: leaf runs of subtrees with no dirty-cell marks are
+// spliced from the previous snapshot, and the dirty bitmap is reset
+// only when the new snapshot publishes. A failure — a tree too deep to
+// Morton-encode, or an injected SnapshotRebuild fault — is published
+// as an empty marker so queries fall back to the live tree without
+// retrying the freeze until the shard changes again.
 func (s *shard) rebuildLocked() (*linearquad.Frozen[Record], error) {
 	if err := s.inj.Err(faultinject.SnapshotRebuild); err != nil {
 		s.snap.Store(&snapshot{frozen: nil, epoch: s.epoch.Load()})
 		return nil, err
 	}
-	f, err := linearquad.Freeze(s.index)
+	s.rebuildMu.Lock()
+	defer s.rebuildMu.Unlock()
+	var prev *linearquad.Frozen[Record]
+	if sn := s.snap.Load(); sn != nil {
+		prev = sn.frozen
+	}
+	f, err := linearquad.FreezeDelta(s.index, prev, s.dirty)
+	if err == nil {
+		s.dirty.Reset()
+	}
 	s.snap.Store(&snapshot{frozen: f, epoch: s.epoch.Load()})
 	return f, err
+}
+
+// frozenLocked returns a frozen view of the index for a checkpoint:
+// the fresh published snapshot when there is one, an incremental
+// (unpublished) freeze otherwise. Unlike rebuildLocked it neither
+// fires the SnapshotRebuild fault point nor consumes the dirty marks —
+// a checkpoint is an observer, not the snapshot publisher. The caller
+// must hold at least the read lock.
+func (s *shard) frozenLocked() (*linearquad.Frozen[Record], error) {
+	if f, _ := s.loadFresh(); f != nil {
+		return f, nil
+	}
+	s.rebuildMu.Lock()
+	defer s.rebuildMu.Unlock()
+	var prev *linearquad.Frozen[Record]
+	if sn := s.snap.Load(); sn != nil {
+		prev = sn.frozen
+	}
+	return linearquad.FreezeDelta(s.index, prev, s.dirty)
 }
 
 // maybeRebuildLocked rebuilds the snapshot if it is missing or stale by
@@ -131,6 +191,7 @@ func (s *shard) rangerLocked(every uint64) ranger {
 // copy is published before any reader can load it — the same
 // publish-after-build discipline rebuildLocked enforces.
 func (s *shard) publishRecovered(f *linearquad.Frozen[Record]) {
+	s.dirty.Reset()
 	s.snap.Store(&snapshot{frozen: f, epoch: s.epoch.Load()})
 }
 

@@ -86,6 +86,7 @@ import (
 	"popana/internal/core"
 	"popana/internal/faultinject"
 	"popana/internal/geom"
+	"popana/internal/linearquad"
 	"popana/internal/quadtree"
 	"popana/internal/solver"
 )
@@ -343,7 +344,13 @@ func (db *DB) buildTable(name string, opts TableOptions, region geom.Rect, bits 
 		if err != nil {
 			return nil, fmt.Errorf("spatialdb: create %q: %w", name, err)
 		}
-		t.shards[i] = &shard{region: cell, inj: db.inj, index: idx}
+		t.shards[i] = &shard{
+			region: cell,
+			inj:    db.inj,
+			index:  idx,
+			coder:  linearquad.NewCellCoder(cell, linearquad.MaxDepth),
+			dirty:  linearquad.NewDirty(dirtyLevel),
+		}
 	}
 	return t, nil
 }
@@ -584,8 +591,11 @@ func (t *Table) Insert(rec Record) error {
 	s.epoch.Add(1) // invalidate the frozen snapshot before mutating
 	if lazy {
 		s.tail[rec.Loc] = tailRec{rec: rec}
-	} else if _, err := s.index.Insert(rec.Loc, rec); err != nil {
-		return fmt.Errorf("spatialdb: insert into %q: %w", t.name, err)
+	} else {
+		s.markDirty(rec.Loc)
+		if _, err := s.index.Insert(rec.Loc, rec); err != nil {
+			return fmt.Errorf("spatialdb: insert into %q: %w", t.name, err)
+		}
 	}
 	st.m[rec.ID] = rec.Loc
 	s.count.Add(1)
@@ -702,6 +712,7 @@ func (t *Table) InsertBatch(recs []Record) error {
 			for j, ri := range idxs {
 				points[j] = recs[ri].Loc
 				vals[j] = recs[ri]
+				s.markDirty(recs[ri].Loc)
 			}
 			if _, err := s.index.BulkLoad(points, vals); err != nil {
 				return fmt.Errorf("spatialdb: insert batch into %q: %w", t.name, err)
@@ -806,6 +817,7 @@ func (t *Table) deleteAt(id uint64, loc geom.Point) (done, deleted bool, err err
 		s.count.Add(-1)
 		return true, true, nil
 	}
+	s.markDirty(loc)
 	if s.index.Delete(loc) {
 		s.count.Add(-1)
 		return true, true, nil
