@@ -25,8 +25,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -43,8 +46,9 @@ func main() {
 func run() int {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and the detrand deterministic core, then exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout (including suppressed ones, marked)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: popvet [-only names] [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: popvet [-only names] [-list] [-json] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "popvet machine-checks the repository's determinism, locking,\nnumeric, and fault-injection invariants.\n\n")
 		flag.PrintDefaults()
 	}
@@ -111,23 +115,75 @@ func run() int {
 		return 2
 	}
 
-	findings, err := analysis.Run(fset, selected, deps, analyzers)
+	findings, err := analysis.RunAll(fset, selected, deps, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "popvet: %v\n", err)
 		return 2
 	}
+	open := 0
 	for _, f := range findings {
-		pos := f.Pos
-		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			pos.Filename = rel
+		if !f.Suppressed {
+			open++
 		}
-		fmt.Printf("%s: [%s] %s\n", pos, f.Analyzer, f.Message)
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "popvet: %d finding(s)\n", len(findings))
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, cwd, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "popvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			if f.Suppressed {
+				continue
+			}
+			fmt.Printf("%s: [%s] %s\n", relPos(cwd, f.Pos), f.Analyzer, f.Message)
+		}
+	}
+	if open > 0 {
+		fmt.Fprintf(os.Stderr, "popvet: %d finding(s)\n", open)
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the -json wire form of one diagnostic.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// writeJSON renders findings (suppressed ones included, marked) as an
+// indented JSON array, with file paths relative to dir when possible.
+// An empty run renders as [], never null, so downstream jq stays
+// unconditional.
+func writeJSON(w io.Writer, dir string, findings []analysis.Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		pos := relPos(dir, f.Pos)
+		out = append(out, jsonFinding{
+			File:       pos.Filename,
+			Line:       pos.Line,
+			Col:        pos.Column,
+			Analyzer:   f.Analyzer,
+			Message:    f.Message,
+			Suppressed: f.Suppressed,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// relPos rewrites pos.Filename relative to dir when it lies inside it.
+func relPos(dir string, pos token.Position) token.Position {
+	if rel, err := filepath.Rel(dir, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		pos.Filename = filepath.ToSlash(rel)
+	}
+	return pos
 }
 
 // matchPatterns converts go-style package patterns ("./...",

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"popana/internal/analysis"
+	"popana/internal/analysis/suite"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden.json from current output")
+
+// TestJSONGolden pins the -json wire format: the fixture package holds
+// one open syncdiscipline finding and one suppressed one, and the
+// golden file records exactly what popvet -json emits for them —
+// field names, ordering, indentation, the suppressed marker, and []
+// instead of null.
+func TestJSONGolden(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, fset, deps, err := analysis.Load(analysis.Config{Root: root}, []string{"wal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.RunAll(fset, pkgs, deps, suite.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, root, findings); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-json output drifted from %s (run with -update to regenerate):\ngot:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+// TestJSONEmpty pins the no-findings form: an empty array, not null.
+func TestJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, ".", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "[]\n" {
+		t.Errorf("empty findings rendered %q, want %q", got, "[]\n")
+	}
+}

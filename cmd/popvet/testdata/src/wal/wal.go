@@ -1,0 +1,28 @@
+// Package wal is cmd/popvet's -json fixture: one open syncdiscipline
+// finding and one suppressed one, so the golden output pins both the
+// wire format and the suppressed marker.
+package wal
+
+import "os"
+
+// leaky forgets Close on one path.
+func leaky(path string, skip bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if skip {
+		return nil // flagged: f may still be open
+	}
+	return f.Close()
+}
+
+// parked intentionally leaks the handle, with a justification.
+func parked(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	//popvet:allow syncdiscipline -- handle is parked in a process-lifetime registry
+	return f.Name(), nil
+}

@@ -1,0 +1,372 @@
+// Package allocfree rejects heap allocation in functions marked
+// //popvet:noalloc — the static twin of linearquad's TestZeroAlloc,
+// which pins every frozen read kernel at 0 allocs/op. The dynamic
+// test only proves the inputs it runs; this analyzer proves the
+// property over every reachable block of the marked functions, so an
+// allocation hidden behind a rare branch (a fallback path, an error
+// case) cannot slip past the benchmark-shaped test.
+//
+// The directive goes in the function's doc comment:
+//
+//	// Get reports the value stored at (x, y).
+//	//popvet:noalloc
+//	func (f *Frozen) Get(x, y uint32) (uint64, bool)
+//
+// Flagged constructs (in any block reachable from the entry):
+// make/new/append, closures, slice/map literals and address-taken
+// composite literals (struct and array value literals are stack
+// values and pass), map writes, string concatenation,
+// []byte/string/rune conversions, fmt calls, boxing a concrete value
+// into an interface (arguments, assignments, returns),
+// and calls to same-package functions that do not themselves carry
+// //popvet:noalloc. Cross-package calls are exempt — the analyzer is
+// intraprocedural plus a same-package closure rule, and the kernels
+// by design only call math/bits-style leaf helpers across packages.
+// A one-time setup allocation inside a kernel (growing a scratch
+// buffer) is acknowledged with //popvet:allow allocfree and a
+// justification, which keeps the hot path auditable.
+package allocfree
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"popana/internal/analysis"
+	"popana/internal/analysis/cfg"
+)
+
+// Directive is the marker comment, exported so the registry test that
+// cross-checks the directive set against TestZeroAlloc's table and
+// this analyzer cannot drift apart on the spelling.
+const Directive = "//popvet:noalloc"
+
+// Analyzer is the popvet entry point.
+var Analyzer = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc: "reject heap allocation (make/new/append, closures, boxing, map writes, " +
+		"string building, fmt) in any reachable block of a //popvet:noalloc function, " +
+		"and require same-package callees to be marked too",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	marked := collectMarked(pass)
+	if len(marked) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !HasDirective(fn) {
+				continue
+			}
+			checkFunc(pass, fn, marked)
+		}
+	}
+	return nil
+}
+
+// HasDirective reports whether fn's doc comment carries the noalloc
+// marker.
+func HasDirective(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == Directive {
+			return true
+		}
+	}
+	return false
+}
+
+// collectMarked gathers the *types.Func objects of every noalloc
+// function in the package, for the same-package closure rule.
+func collectMarked(pass *analysis.Pass) map[*types.Func]bool {
+	marked := map[*types.Func]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !HasDirective(fn) {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fn.Name].(*types.Func); ok {
+				marked[obj] = true
+			}
+		}
+	}
+	return marked
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, marked map[*types.Func]bool) {
+	g := cfg.New(fn.Body)
+	reach := g.Reachable()
+	c := &checker{pass: pass, fn: fn, marked: marked}
+	for _, blk := range g.Blocks {
+		if !reach[blk] {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			c.node(n)
+		}
+	}
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	fn     *ast.FuncDecl
+	marked map[*types.Func]bool
+}
+
+// node scans one CFG node for allocating constructs.
+func (c *checker) node(n ast.Node) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			c.report(m.Pos(), "closure literal allocates")
+			return false // its body is the closure's problem
+		case *ast.CompositeLit:
+			// Struct and array value literals live on the stack; only
+			// slice and map literals carry a backing allocation.
+			if t := c.pass.Info.Types[m].Type; t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					c.report(m.Pos(), "slice literal allocates")
+				case *types.Map:
+					c.report(m.Pos(), "map literal allocates")
+				}
+			}
+		case *ast.UnaryExpr:
+			if m.Op == token.AND {
+				if _, ok := m.X.(*ast.CompositeLit); ok {
+					// &T{...} hands out a pointer the compiler may be
+					// forced to heap-allocate; without escape analysis,
+					// conservatively reject it in kernels.
+					c.report(m.Pos(), "address of composite literal may allocate")
+					return true
+				}
+				if c.escapingAddr(m) {
+					c.report(m.Pos(), "taking an address that escapes allocates")
+				}
+			}
+		case *ast.CallExpr:
+			c.call(m)
+		case *ast.BinaryExpr:
+			if m.Op == token.ADD && c.isString(m.X) {
+				c.report(m.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			c.assign(m)
+		case *ast.ReturnStmt:
+			c.returnStmt(m)
+		}
+		return true
+	})
+}
+
+func (c *checker) call(call *ast.CallExpr) {
+	// Builtins and conversions.
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch fun.Name {
+		case "make":
+			c.report(call.Pos(), "make allocates")
+			return
+		case "new":
+			c.report(call.Pos(), "new allocates")
+			return
+		case "append":
+			c.report(call.Pos(), "append may grow its backing array (reslice a pre-grown buffer instead)")
+			return
+		case "len", "cap", "copy", "min", "max", "delete", "clear", "panic", "print", "println", "recover":
+			return
+		}
+	case *ast.SelectorExpr:
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			if obj, ok := c.pass.Info.Uses[pkg].(*types.PkgName); ok && obj.Imported().Path() == "fmt" {
+				c.report(call.Pos(), "fmt.%s allocates (boxes arguments and builds strings)", fun.Sel.Name)
+				return
+			}
+		}
+	}
+
+	// Conversion to an allocating type: string(b), []byte(s), []rune(s).
+	if tv, ok := c.pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type.Underlying()
+		from := c.pass.Info.Types[call.Args[0]].Type
+		if from != nil {
+			switch to.(type) {
+			case *types.Slice:
+				if c.isString(call.Args[0]) {
+					c.report(call.Pos(), "string-to-slice conversion allocates")
+				}
+			case *types.Basic:
+				if to.(*types.Basic).Info()&types.IsString != 0 && !c.isString(call.Args[0]) {
+					c.report(call.Pos(), "conversion to string allocates")
+				}
+			case *types.Interface:
+				if _, concrete := from.Underlying().(*types.Interface); !concrete {
+					// conversion from concrete to interface boxes
+					c.report(call.Pos(), "conversion to interface boxes the value")
+				}
+			}
+		}
+		return
+	}
+
+	// Boxing at the call boundary: a concrete argument passed into an
+	// interface parameter.
+	if sig := c.signatureOf(call); sig != nil {
+		params := sig.Params()
+		for i, arg := range call.Args {
+			var pt types.Type
+			if sig.Variadic() && i >= params.Len()-1 {
+				if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+					pt = s.Elem()
+				}
+			} else if i < params.Len() {
+				pt = params.At(i).Type()
+			}
+			if pt != nil && c.boxes(arg, pt) {
+				c.report(arg.Pos(), "argument boxes a concrete value into %s", pt)
+			}
+		}
+	}
+
+	// Same-package closure rule: a marked function may only call
+	// same-package functions that are themselves marked. Cross-package
+	// calls, builtins, and interface-method calls are exempt.
+	if callee := c.calleeFunc(call); callee != nil {
+		// Methods of instantiated generic types resolve to
+		// instantiation objects; compare origins so countState[V]
+		// methods match their declarations.
+		callee = callee.Origin()
+		self, _ := c.pass.Info.Defs[c.fn.Name].(*types.Func)
+		if callee.Pkg() == c.pass.Pkg && !c.marked[callee] && callee != self {
+			c.report(call.Pos(), "calls %s, which is not marked %s", callee.Name(), Directive)
+		}
+	}
+}
+
+func (c *checker) assign(as *ast.AssignStmt) {
+	// Map writes allocate (bucket growth, key/value copying).
+	for _, lhs := range as.Lhs {
+		if idx, ok := lhs.(*ast.IndexExpr); ok {
+			if t := c.pass.Info.Types[idx.X].Type; t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					c.report(lhs.Pos(), "map write allocates")
+				}
+			}
+		}
+	}
+	// String += builds a new string.
+	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 && c.isString(as.Lhs[0]) {
+		c.report(as.Pos(), "string concatenation allocates")
+	}
+	// Boxing: concrete RHS into an interface-typed LHS.
+	if len(as.Lhs) == len(as.Rhs) {
+		for i := range as.Lhs {
+			if lt := c.pass.Info.Types[as.Lhs[i]].Type; lt != nil && c.boxes(as.Rhs[i], lt) {
+				c.report(as.Rhs[i].Pos(), "assignment boxes a concrete value into %s", lt)
+			}
+		}
+	}
+}
+
+func (c *checker) returnStmt(ret *ast.ReturnStmt) {
+	obj, ok := c.pass.Info.Defs[c.fn.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	results := obj.Type().(*types.Signature).Results()
+	if len(ret.Results) != results.Len() {
+		return
+	}
+	for i, e := range ret.Results {
+		if c.boxes(e, results.At(i).Type()) {
+			c.report(e.Pos(), "return boxes a concrete value into %s", results.At(i).Type())
+		}
+	}
+}
+
+// boxes reports whether assigning expr to a target of type to would
+// box a concrete value into an interface. Untyped nil never boxes.
+func (c *checker) boxes(e ast.Expr, to types.Type) bool {
+	// A type parameter's underlying type is its constraint interface,
+	// but passing a V into a V parameter is a plain copy, not a box.
+	if _, isTP := to.(*types.TypeParam); isTP {
+		return false
+	}
+	if _, ok := to.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	tv, ok := c.pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	if _, isIface := tv.Type.Underlying().(*types.Interface); isIface {
+		return false // interface-to-interface: no box
+	}
+	return true
+}
+
+// escapingAddr reports whether &x plausibly escapes. Taking the
+// address of a local that stays local is stack-allocated; without
+// escape analysis we only flag &x of composite or index expressions
+// when used outside simple field access — conservative no: the
+// composite-literal rule already covers &T{...}. Keep this a hook.
+func (c *checker) escapingAddr(*ast.UnaryExpr) bool { return false }
+
+// signatureOf returns the callee's signature for ordinary calls.
+func (c *checker) signatureOf(call *ast.CallExpr) *types.Signature {
+	tv, ok := c.pass.Info.Types[call.Fun]
+	if !ok || tv.Type == nil || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// calleeFunc resolves the called function or method object, when it
+// is a statically known func (not an interface method or func value).
+func (c *checker) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if f, ok := c.pass.Info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := c.pass.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				// Interface-method calls have no body to audit;
+				// exempt them (the kernels use none on hot paths).
+				if _, isIface := sel.Recv().Underlying().(*types.Interface); !isIface {
+					return f
+				}
+			}
+			return nil
+		}
+		if f, ok := c.pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+func (c *checker) isString(e ast.Expr) bool {
+	t := c.pass.Info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	c.pass.Reportf(pos, "%s: "+format, append([]any{Directive}, args...)...)
+}

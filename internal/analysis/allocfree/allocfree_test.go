@@ -1,0 +1,12 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"popana/internal/analysis/allocfree"
+	"popana/internal/analysis/atest"
+)
+
+func TestFixtures(t *testing.T) {
+	atest.Run(t, "testdata", allocfree.Analyzer, "linearquad")
+}

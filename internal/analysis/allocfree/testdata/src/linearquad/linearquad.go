@@ -1,0 +1,157 @@
+// Package linearquad is an allocfree fixture mirroring the frozen
+// read-kernel patterns the //popvet:noalloc directive protects.
+package linearquad
+
+import "fmt"
+
+// frozen is a stand-in for the real Frozen snapshot.
+type frozen struct {
+	codes  []uint64
+	vals   []uint64
+	counts map[uint64]int
+}
+
+// get is a clean kernel: binary search over preallocated planes.
+//
+//popvet:noalloc
+func (f *frozen) get(code uint64) (uint64, bool) {
+	lo, hi := 0, len(f.codes)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if f.codes[mid] < code {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(f.codes) && f.codes[lo] == code {
+		return f.vals[lo], true
+	}
+	return 0, false
+}
+
+// contains delegates to a marked kernel: allowed.
+//
+//popvet:noalloc
+func (f *frozen) contains(code uint64) bool {
+	_, ok := f.get(code)
+	return ok
+}
+
+// seek is self-recursive: allowed (recursion is not allocation).
+//
+//popvet:noalloc
+func (f *frozen) seek(code uint64, depth int) int {
+	if depth == 0 {
+		return 0
+	}
+	return f.seek(code, depth-1)
+}
+
+// countBad allocates on the hot path in several ways.
+//
+//popvet:noalloc
+func (f *frozen) countBad(codes []uint64) int {
+	hits := make([]uint64, 0, len(codes)) // want `make allocates`
+	for _, c := range codes {
+		if _, ok := f.get(c); ok {
+			hits = append(hits, c) // want `append may grow`
+		}
+	}
+	f.counts[42] = len(hits) // want `map write allocates`
+	return len(hits)
+}
+
+// describeBad boxes and formats.
+//
+//popvet:noalloc
+func (f *frozen) describeBad(code uint64) string {
+	return fmt.Sprintf("code=%d", code) // want `fmt.Sprintf allocates`
+}
+
+// labelBad builds strings and closures.
+//
+//popvet:noalloc
+func (f *frozen) labelBad(prefix string, code uint64) func() string {
+	s := prefix + "!"      // want `string concatenation allocates`
+	return func() string { // want `closure literal allocates`
+		return s
+	}
+}
+
+// boxBad converts a concrete value into an interface argument.
+//
+//popvet:noalloc
+func (f *frozen) boxBad(code uint64) {
+	sink(code) // want `argument boxes a concrete value` `calls sink, which is not marked`
+}
+
+// helperBad calls an unmarked same-package helper: the closure rule.
+//
+//popvet:noalloc
+func (f *frozen) helperBad(code uint64) bool {
+	return unmarkedHelper(code) // want `calls unmarkedHelper, which is not marked`
+}
+
+func unmarkedHelper(code uint64) bool { return code != 0 }
+
+func sink(v any) { _ = v }
+
+// scratchGrow is the suppressed case: a one-time setup allocation
+// acknowledged with a justification.
+//
+//popvet:noalloc
+func (f *frozen) scratchGrow(n int) {
+	if cap(f.vals) < n {
+		//popvet:allow allocfree -- one-time scratch growth before the hot loop
+		f.vals = make([]uint64, n)
+	}
+}
+
+// deadBranch allocates only in unreachable code: allowed (the CFG
+// reachability pass skips it).
+//
+//popvet:noalloc
+func (f *frozen) deadBranch(code uint64) bool {
+	_, ok := f.get(code)
+	return ok
+	f.vals = make([]uint64, 1) //nolint:govet // intentionally dead
+	return false
+}
+
+// literals: struct and array value literals are stack values and
+// pass; slice literals and address-taken literals allocate.
+//
+//popvet:noalloc
+func (f *frozen) literals(code uint64) int {
+	type pair struct{ a, b uint64 }
+	p := pair{a: code, b: code + 1}
+	cls := [2]int{int(p.a & 1), int(p.b & 1)}
+	s := []uint64{code} // want `slice literal allocates`
+	q := &pair{a: code} // want `address of composite literal may allocate`
+	return cls[0] + len(s) + int(q.a)
+}
+
+// kernel is a generic stand-in: V-to-V passing is a copy, not a box,
+// and calls to methods of instantiated generic types must resolve to
+// their declarations.
+type kernel[V any] struct{ vals []V }
+
+//popvet:noalloc
+func (k *kernel[V]) at(i int) V {
+	return k.vals[i]
+}
+
+//popvet:noalloc
+func firstOf[V any](k *kernel[V], visit func(V) bool) bool {
+	return visit(k.at(0))
+}
+
+// unmarked allocates freely: no directive, no findings.
+func (f *frozen) unmarked(n int) []uint64 {
+	out := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, uint64(i))
+	}
+	return out
+}

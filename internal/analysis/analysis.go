@@ -78,11 +78,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
-// Finding is a resolved diagnostic: analyzer, position, message.
+// Finding is a resolved diagnostic: analyzer, position, message, and
+// whether a //popvet:allow directive suppressed it.
 type Finding struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Suppressed marks a diagnostic silenced by //popvet:allow. Run
+	// drops these; RunAll keeps them so tooling (popvet -json, the
+	// suppression-audit workflow) can see every acknowledged site.
+	Suppressed bool
 }
 
 func (f Finding) String() string {
@@ -93,6 +98,23 @@ func (f Finding) String() string {
 // diagnostics, and returns the remaining findings sorted by position.
 // Analyzer errors (not findings) abort the run.
 func Run(fset *token.FileSet, pkgs []*Package, deps map[string][]string, analyzers []*Analyzer) ([]Finding, error) {
+	all, err := RunAll(fset, pkgs, deps, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	out := all[:0]
+	for _, f := range all {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}
+
+// RunAll is Run without the suppression filter: every diagnostic is
+// returned, with Suppressed set on the ones a //popvet:allow directive
+// covers, sorted by position.
+func RunAll(fset *token.FileSet, pkgs []*Package, deps map[string][]string, analyzers []*Analyzer) ([]Finding, error) {
 	var out []Finding
 	for _, pkg := range pkgs {
 		allow := allowedLines(fset, pkg.Files)
@@ -111,10 +133,12 @@ func Run(fset *token.FileSet, pkgs []*Package, deps map[string][]string, analyze
 			}
 			for _, d := range pass.diags {
 				pos := fset.Position(d.Pos)
-				if allow.allows(pos, a.Name) {
-					continue
-				}
-				out = append(out, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+				out = append(out, Finding{
+					Analyzer:   a.Name,
+					Pos:        pos,
+					Message:    d.Message,
+					Suppressed: allow.allows(pos, a.Name),
+				})
 			}
 		}
 	}

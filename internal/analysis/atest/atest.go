@@ -16,14 +16,28 @@ package atest
 
 import (
 	"go/token"
+	"io/fs"
+	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
 
 	"popana/internal/analysis"
 )
+
+// T is the subset of *testing.T the runner uses. Tests of atest itself
+// substitute a recorder to assert which mismatches are reported; a
+// substitute's Fatal/Fatalf must stop the calling goroutine the way
+// *testing.T does (panic works).
+type T interface {
+	Helper()
+	Fatal(args ...any)
+	Fatalf(format string, args ...any)
+	Errorf(format string, args ...any)
+}
 
 // want is one expectation: a line that must produce a diagnostic whose
 // message matches rx.
@@ -39,11 +53,24 @@ var wantArgRE = regexp.MustCompile("[`\"]([^`\"]*)[`\"]")
 
 // Run loads the named fixture packages from dir/src, applies the
 // analyzer, and compares its diagnostics against the // want comments.
-func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+// Packages may span multiple files and import each other (imports
+// resolve against dir/src, with full cross-package type info). With no
+// pkgs, every package directory under dir/src is discovered and loaded
+// — the default for fixtures, so adding a package to the tree cannot
+// silently go unchecked.
+func Run(t T, dir string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
 	root, err := filepath.Abs(filepath.Join(dir, "src"))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		if pkgs, err = discover(root); err != nil {
+			t.Fatalf("discovering fixture packages under %s: %v", root, err)
+		}
+		if len(pkgs) == 0 {
+			t.Fatalf("no fixture packages under %s", root)
+		}
 	}
 	loaded, fset, deps, err := analysis.Load(analysis.Config{Root: root}, pkgs)
 	if err != nil {
@@ -72,6 +99,32 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 	}
 }
 
+// discover lists every directory under root that holds at least one
+// non-test .go file, as a root-relative package path.
+func discover(root string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return err
+		}
+		r, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		seen[filepath.ToSlash(r)] = true
+		return nil
+	})
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	pkgs := make([]string, 0, len(seen))
+	for p := range seen {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+	return pkgs, nil
+}
+
 func rel(root, file string) string {
 	if r, err := filepath.Rel(root, file); err == nil {
 		return r
@@ -89,7 +142,7 @@ func matchWant(wants []*want, f analysis.Finding) *want {
 }
 
 // collectWants scans fixture comments for // want expectations.
-func collectWants(t *testing.T, fset *token.FileSet, pkgs []*analysis.Package) []*want {
+func collectWants(t T, fset *token.FileSet, pkgs []*analysis.Package) []*want {
 	t.Helper()
 	var wants []*want
 	for _, p := range pkgs {

@@ -1,0 +1,105 @@
+package atest_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+	"testing"
+
+	"popana/internal/analysis"
+	"popana/internal/analysis/atest"
+)
+
+// boomAnalyzer flags every call to a function whose name starts with
+// Boom, naming the callee's package — so a fixture want can only match
+// when cross-package type info resolved the callee.
+var boomAnalyzer = &analysis.Analyzer{
+	Name: "boom",
+	Doc:  "toy analyzer for atest's own tests",
+	Run: func(pass *analysis.Pass) error {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				var id *ast.Ident
+				switch fun := call.Fun.(type) {
+				case *ast.Ident:
+					id = fun
+				case *ast.SelectorExpr:
+					id = fun.Sel
+				default:
+					return true
+				}
+				if fn, ok := pass.Info.Uses[id].(*types.Func); ok &&
+					strings.HasPrefix(fn.Name(), "Boom") && fn.Pkg() != nil {
+					pass.Reportf(call.Pos(), "call to %s (package %s)", fn.Name(), fn.Pkg().Path())
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// silentAnalyzer reports nothing, so every want in the tree goes
+// unmatched — the mismatch-reporting test's lever.
+var silentAnalyzer = &analysis.Analyzer{
+	Name: "silent",
+	Doc:  "reports nothing",
+	Run:  func(*analysis.Pass) error { return nil },
+}
+
+// TestRunDiscovery runs the fixture tree without naming packages: both
+// a (two files) and b must be discovered, loaded together, and have
+// every want matched.
+func TestRunDiscovery(t *testing.T) {
+	atest.Run(t, "testdata", boomAnalyzer)
+}
+
+// TestRunExplicit names the packages, pinning the original calling
+// convention.
+func TestRunExplicit(t *testing.T) {
+	atest.Run(t, "testdata", boomAnalyzer, "a", "b")
+}
+
+// recorder satisfies atest.T, capturing reports instead of failing.
+type recorder struct {
+	errors []string
+	fatal  bool
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Fatal(args ...any) {
+	r.fatal = true
+	panic("recorder.Fatal")
+}
+func (r *recorder) Fatalf(format string, args ...any) {
+	r.fatal = true
+	panic(fmt.Sprintf(format, args...))
+}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, fmt.Sprintf(format, args...))
+}
+
+// TestRunReportsMismatches runs an analyzer that reports nothing over
+// the same tree: every want must surface as an "expected diagnostic"
+// error, proving the harness fails fixtures rather than silently
+// passing them.
+func TestRunReportsMismatches(t *testing.T) {
+	rec := &recorder{}
+	atest.Run(rec, "testdata", silentAnalyzer)
+	if rec.fatal {
+		t.Fatalf("harness died instead of reporting mismatches: %v", rec.errors)
+	}
+	if len(rec.errors) != 3 {
+		t.Fatalf("got %d errors, want 3 (one per want in the tree): %v", len(rec.errors), rec.errors)
+	}
+	for _, e := range rec.errors {
+		if !strings.Contains(e, "expected diagnostic matching") {
+			t.Errorf("unexpected error shape: %s", e)
+		}
+	}
+}

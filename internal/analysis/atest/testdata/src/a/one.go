@@ -1,0 +1,10 @@
+// Package a spans two files and imports fixture package b: wants must
+// be honored in every file, and the b.Boom call only resolves if the
+// loader carries b's type info across the import.
+package a
+
+import "b"
+
+func f() { b.Boom() } // want `call to Boom \(package b\)`
+
+func g() { b.Quiet() }

@@ -1,0 +1,7 @@
+package a
+
+// BoomTwo lives in the package's second file, proving multi-file
+// fixtures collect wants beyond the first file.
+func BoomTwo() {}
+
+func h() { BoomTwo() } // want `call to BoomTwo \(package a\)`

@@ -1,0 +1,11 @@
+// Package b is the imported half of atest's own fixture: package a
+// calls into it, so the runner must resolve cross-package type info.
+package b
+
+// Boom is flagged at call sites by the toy analyzer.
+func Boom() {}
+
+// Quiet is never flagged.
+func Quiet() {}
+
+func local() { Boom() } // want `call to Boom \(package b\)`

@@ -1,0 +1,447 @@
+// Package budgetflow checks the node-visit budget discipline that
+// Explain's cost accounting and the planned admission controller
+// depend on. Any function that threads a budget parameter (an int
+// named maxNodes or budget) must uphold two path properties, checked
+// over the internal/analysis/cfg control-flow graph:
+//
+//  1. Check-before-advance: inside a loop, every cursor advance
+//     (a call to a method named Next or SeekGE) and every visit-count
+//     consumption (writing a .NodesVisited field) must be preceded by
+//     a budget comparison on the same iteration — the budget fact is
+//     killed on every edge into a loop header, so a check before the
+//     loop does not excuse iteration N. A priming advance before any
+//     loop is exempt (the first SeekGE positions the cursor; nothing
+//     has been consumed yet). Self-recursive calls must instead be
+//     dominated by a budget check since function entry (the repo
+//     convention is callee-side entry checks, as in
+//     quadtree.rangeCounted).
+//
+//  2. Exhaustion-sets-Truncated: in a branch entered because the
+//     budget is exhausted (st.NodesVisited >= maxNodes,
+//     remaining <= 0, optionally guarded by maxNodes > 0 &&), every
+//     return or break must happen after Truncated is set to true —
+//     a budget stop that forgets Truncated silently reports a partial
+//     count as exact, which poisons every consumer of RangeStats.
+package budgetflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"popana/internal/analysis"
+	"popana/internal/analysis/cfg"
+)
+
+// Analyzer is the popvet entry point.
+var Analyzer = &analysis.Analyzer{
+	Name: "budgetflow",
+	Doc: "in budget-threading functions (int param named maxNodes/budget), require a " +
+		"budget check before every cursor advance on every loop iteration and before " +
+		"self-recursion, and require Truncated = true before every budget-exhaustion exit",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			c := newChecker(pass, fn)
+			if c == nil {
+				continue
+			}
+			c.checkFlow()
+			c.checkExhaustionExits()
+		}
+	}
+	return nil
+}
+
+// checker analyzes one budget-threading function.
+type checker struct {
+	pass *analysis.Pass
+	fn   *ast.FuncDecl
+	// budget holds the budget parameter plus every local derived from
+	// it (remaining := maxNodes, remaining -= n, ...).
+	budget map[*types.Var]bool
+	// derived is the subset of budget that is a decremented-remaining
+	// local rather than the original parameter: only for these does
+	// `x <= 0` mean exhaustion (for the parameter itself, <= 0 means
+	// unlimited by repo convention).
+	derived map[*types.Var]bool
+	self    *types.Func
+}
+
+// budgetParamNames are the parameter names that mark a function as
+// budget-threading.
+var budgetParamNames = map[string]bool{
+	"maxNodes": true,
+	"budget":   true,
+}
+
+// newChecker returns nil when fn does not thread a budget.
+func newChecker(pass *analysis.Pass, fn *ast.FuncDecl) *checker {
+	c := &checker{pass: pass, fn: fn, budget: map[*types.Var]bool{}, derived: map[*types.Var]bool{}}
+	c.self, _ = pass.Info.Defs[fn.Name].(*types.Func)
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			if !budgetParamNames[name.Name] {
+				continue
+			}
+			if v, ok := pass.Info.Defs[name].(*types.Var); ok && isInt(v.Type()) {
+				c.budget[v] = true
+			}
+		}
+	}
+	if len(c.budget) == 0 {
+		return nil
+	}
+	// Derived budget locals: `remaining := maxNodes` and friends.
+	// Two passes handle forward chains in source order.
+	for i := 0; i < 2; i++ {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for j, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if !c.refsBudget(as.Rhs[j]) && !refsMaxNodesField(as.Rhs[j]) {
+					continue
+				}
+				if v := c.varOf(id); v != nil && isInt(v.Type()) && !c.budget[v] {
+					c.budget[v] = true
+					c.derived[v] = true
+				}
+			}
+			return true
+		})
+	}
+	return c
+}
+
+// flowFact tracks whether a budget comparison has executed (a) since
+// the current loop iteration began and (b) since function entry.
+type flowFact struct {
+	iter  bool // checked since the innermost loop-iteration boundary
+	entry bool // checked since function entry
+}
+
+// checkFlow runs the check-before-advance dataflow.
+func (c *checker) checkFlow() {
+	g := cfg.New(c.fn.Body)
+	heads := g.LoopHeads()
+	inCycle := cyclicBlocks(g)
+
+	flow := &cfg.Forward[flowFact]{
+		Init:  func() flowFact { return flowFact{} },
+		Clone: func(f flowFact) flowFact { return f },
+		Join: func(into *flowFact, from flowFact) bool {
+			// Must-analysis: checked only if checked on all paths.
+			merged := flowFact{iter: into.iter && from.iter, entry: into.entry && from.entry}
+			changed := merged != *into
+			*into = merged
+			return changed
+		},
+		Transfer: func(f *flowFact, n ast.Node) {
+			if c.nodeChecksBudget(n) {
+				f.iter = true
+				f.entry = true
+			}
+		},
+		Edge: func(from *cfg.Block, edge int, f *flowFact) {
+			if heads[from.Succs[edge]] {
+				f.iter = false // each iteration must re-check
+			}
+		},
+	}
+	entry := flow.Solve(g)
+
+	reach := g.Reachable()
+	for _, blk := range g.Blocks {
+		if !reach[blk] {
+			continue
+		}
+		f := entry[blk.Index]
+		for _, n := range blk.Nodes {
+			c.reportUnchecked(n, f, inCycle[blk])
+			if c.nodeChecksBudget(n) {
+				f.iter = true
+				f.entry = true
+			}
+		}
+	}
+}
+
+// reportUnchecked flags consumption nodes the dataflow reached in an
+// unchecked state.
+func (c *checker) reportUnchecked(n ast.Node, f flowFact, inLoop bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false // closures are separate functions
+		case *ast.CallExpr:
+			if name, isAdvance := advanceCall(m); isAdvance && inLoop && !f.iter {
+				c.pass.Reportf(m.Pos(), "cursor advance %s without a budget check this iteration (check maxNodes before every advance)", name)
+			}
+			if c.isSelfCall(m) && !f.entry {
+				c.pass.Reportf(m.Pos(), "recursive call without a dominating budget check since entry (check-and-truncate before recursing)")
+			}
+		case *ast.IncDecStmt:
+			if m.Tok == token.INC && isNodesVisited(m.X) && inLoop && !f.iter {
+				c.pass.Reportf(m.Pos(), "NodesVisited consumed without a budget check this iteration")
+			}
+		case *ast.AssignStmt:
+			if m.Tok == token.ADD_ASSIGN && len(m.Lhs) == 1 && isNodesVisited(m.Lhs[0]) && inLoop && !f.iter {
+				c.pass.Reportf(m.Pos(), "NodesVisited consumed without a budget check this iteration")
+			}
+		}
+		return true
+	})
+}
+
+// nodeChecksBudget reports whether the node contains a comparison
+// referencing a budget variable (outside closures).
+func (c *checker) nodeChecksBudget(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		bin, ok := m.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch bin.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+			if c.refsBudget(bin.X) || c.refsBudget(bin.Y) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// refsBudget reports whether e mentions a budget variable.
+func (c *checker) refsBudget(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if v := c.varOf(id); v != nil && c.budget[v] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// refsDerived reports whether e mentions a derived budget local.
+func (c *checker) refsDerived(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if v := c.varOf(id); v != nil && c.derived[v] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (c *checker) varOf(id *ast.Ident) *types.Var {
+	if v, ok := c.pass.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := c.pass.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// isSelfCall reports whether call invokes the enclosing function.
+func (c *checker) isSelfCall(call *ast.CallExpr) bool {
+	if c.self == nil {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return c.pass.Info.Uses[fun] == c.self
+	case *ast.SelectorExpr:
+		return c.pass.Info.Uses[fun.Sel] == c.self
+	case *ast.IndexExpr: // generic instantiation: rangeCounted[V](...)
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return c.pass.Info.Uses[id] == c.self
+		}
+	}
+	return false
+}
+
+// --- exhaustion-sets-Truncated (rule 2, syntactic) ---
+
+// checkExhaustionExits walks every if whose condition is a budget
+// exhaustion test and requires Truncated = true before any
+// return/break inside the exhausted branch.
+func (c *checker) checkExhaustionExits() {
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok || !c.isExhaustionTest(ifStmt.Cond) {
+			return true
+		}
+		c.scanExhaustedBranch(ifStmt.Body.List, false)
+		return true
+	})
+}
+
+// scanExhaustedBranch walks the exhausted branch in order, tracking
+// whether Truncated has been set, and flags exits that precede it.
+func (c *checker) scanExhaustedBranch(stmts []ast.Stmt, set bool) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			if setsTruncated(s) {
+				set = true
+			}
+		case *ast.ReturnStmt:
+			if !set {
+				c.pass.Reportf(s.Pos(), "budget-exhaustion return without setting Truncated (partial result would read as exact)")
+			}
+		case *ast.BranchStmt:
+			if s.Tok == token.BREAK && !set {
+				c.pass.Reportf(s.Pos(), "budget-exhaustion break without setting Truncated (partial result would read as exact)")
+			}
+		case *ast.BlockStmt:
+			set = c.scanExhaustedBranch(s.List, set)
+		case *ast.IfStmt:
+			c.scanExhaustedBranch(s.Body.List, set)
+			if els, ok := s.Else.(*ast.BlockStmt); ok {
+				c.scanExhaustedBranch(els.List, set)
+			}
+		}
+	}
+	return set
+}
+
+// setsTruncated matches `x.Truncated = true`.
+func setsTruncated(as *ast.AssignStmt) bool {
+	if as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	sel, ok := as.Lhs[0].(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Truncated" {
+		return false
+	}
+	id, ok := as.Rhs[0].(*ast.Ident)
+	return ok && id.Name == "true"
+}
+
+// isExhaustionTest recognizes the repo's budget-exhaustion guards:
+//
+//	st.NodesVisited >= maxNodes
+//	remaining <= 0            (also < 1, == 0)
+//	maxNodes > 0 && <either>
+func (c *checker) isExhaustionTest(e ast.Expr) bool {
+	bin, ok := e.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	if bin.Op == token.LAND {
+		return c.isExhaustionTest(bin.X) || c.isExhaustionTest(bin.Y)
+	}
+	switch bin.Op {
+	case token.GEQ, token.GTR:
+		// visited >= budget (budget on the right). `maxNodes > 0` has
+		// the budget on the LEFT and is the enablement guard, not an
+		// exhaustion test.
+		return c.refsBudget(bin.Y) && !c.refsBudget(bin.X)
+	case token.LEQ, token.LSS:
+		// remaining <= 0: only a DERIVED remaining-counter hitting
+		// zero is exhaustion; for the parameter itself `maxNodes <= 0`
+		// means unlimited.
+		return c.refsDerived(bin.X) && isZeroish(bin.Y)
+	case token.EQL:
+		return c.refsDerived(bin.X) && isZeroish(bin.Y)
+	}
+	return false
+}
+
+// isZeroish matches the literals 0 and 1 (for `< 1` spellings).
+func isZeroish(e ast.Expr) bool {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return false
+	}
+	return lit.Value == "0" || lit.Value == "1"
+}
+
+// refsMaxNodesField matches selectors like q.MaxNodes, seeding the
+// derived-budget set for `remaining := q.MaxNodes`.
+func refsMaxNodesField(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(m ast.Node) bool {
+		if sel, ok := m.(*ast.SelectorExpr); ok && sel.Sel.Name == "MaxNodes" {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// advanceCall matches calls to cursor-advancing methods.
+func advanceCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Next", "SeekGE":
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// isNodesVisited matches the selector x.NodesVisited.
+func isNodesVisited(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "NodesVisited"
+}
+
+// cyclicBlocks returns the blocks that lie on a cycle (inside some
+// loop): the blocks from which a nonempty path leads back to itself.
+func cyclicBlocks(g *cfg.Graph) map[*cfg.Block]bool {
+	// Successive reachability: B is cyclic iff B is reachable from
+	// one of its successors. Graphs here are tiny; quadratic is fine.
+	out := map[*cfg.Block]bool{}
+	for _, b := range g.Blocks {
+		seen := map[*cfg.Block]bool{}
+		stack := append([]*cfg.Block{}, b.Succs...)
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			if n == b {
+				out[b] = true
+				break
+			}
+			stack = append(stack, n.Succs...)
+		}
+	}
+	return out
+}
+
+func isInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,12 @@
+package budgetflow_test
+
+import (
+	"testing"
+
+	"popana/internal/analysis/atest"
+	"popana/internal/analysis/budgetflow"
+)
+
+func TestFixtures(t *testing.T) {
+	atest.Run(t, "testdata", budgetflow.Analyzer, "linearquad")
+}

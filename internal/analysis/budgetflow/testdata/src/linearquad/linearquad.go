@@ -1,0 +1,168 @@
+// Package linearquad is a budgetflow fixture mirroring the budgeted
+// scan patterns of the real read kernels.
+package linearquad
+
+// stats is a stand-in for quadtree.RangeStats.
+type stats struct {
+	NodesVisited int
+	Matched      int
+	Truncated    bool
+}
+
+// cursor is a stand-in for segment.EntryCursor.
+type cursor struct{ pos int }
+
+func (c *cursor) Next() (uint64, bool)           { c.pos++; return uint64(c.pos), c.pos < 100 }
+func (c *cursor) SeekGE(v uint64) (uint64, bool) { c.pos = int(v); return v, true }
+
+// scanBudgeted is the clean pattern: loop-top check, then consume,
+// then advance. Allowed — including the priming SeekGE before the
+// loop, which positions the cursor without consuming budget.
+func scanBudgeted(c *cursor, zmin uint64, maxNodes int) stats {
+	var st stats
+	code, ok := c.SeekGE(zmin)
+	for ok {
+		if maxNodes > 0 && st.NodesVisited >= maxNodes {
+			st.Truncated = true
+			break
+		}
+		st.NodesVisited++
+		if code%2 == 0 {
+			st.Matched++
+		}
+		code, ok = c.Next()
+	}
+	return st
+}
+
+// advanceUnchecked never re-checks the budget inside the loop.
+func advanceUnchecked(c *cursor, zmin uint64, maxNodes int) stats {
+	var st stats
+	code, ok := c.SeekGE(zmin)
+	for ok {
+		st.NodesVisited++ // want `NodesVisited consumed without a budget check this iteration`
+		_ = code
+		code, ok = c.Next() // want `cursor advance Next without a budget check this iteration`
+	}
+	return st
+}
+
+// checkBeforeLoopOnly checks once before the loop: iteration N still
+// advances unchecked.
+func checkBeforeLoopOnly(c *cursor, zmin uint64, maxNodes int) stats {
+	var st stats
+	if st.NodesVisited >= maxNodes {
+		st.Truncated = true
+		return st
+	}
+	code, ok := c.SeekGE(zmin)
+	for ok {
+		_ = code
+		code, ok = c.Next() // want `cursor advance Next without a budget check this iteration`
+	}
+	return st
+}
+
+// forgetsTruncated stops on exhaustion but forgets to mark the result
+// partial.
+func forgetsTruncated(c *cursor, zmin uint64, maxNodes int) stats {
+	var st stats
+	code, ok := c.SeekGE(zmin)
+	for ok {
+		if maxNodes > 0 && st.NodesVisited >= maxNodes {
+			break // want `budget-exhaustion break without setting Truncated`
+		}
+		st.NodesVisited++
+		_ = code
+		code, ok = c.Next()
+	}
+	return st
+}
+
+// remainderLoop hands the budget down shard by shard: the derived
+// remaining counter hitting zero is exhaustion. Allowed.
+func remainderLoop(shards []*cursor, maxNodes int) stats {
+	var st stats
+	remaining := maxNodes
+	for _, c := range shards {
+		if remaining <= 0 {
+			st.Truncated = true
+			break
+		}
+		sub := scanBudgeted(c, 0, remaining)
+		st.Matched += sub.Matched
+		remaining -= sub.NodesVisited
+	}
+	return st
+}
+
+// remainderForgets returns early on exhaustion without Truncated.
+func remainderForgets(shards []*cursor, maxNodes int) stats {
+	var st stats
+	remaining := maxNodes
+	for _, c := range shards {
+		if remaining <= 0 {
+			return st // want `budget-exhaustion return without setting Truncated`
+		}
+		sub := scanBudgeted(c, 0, remaining)
+		st.Matched += sub.Matched
+		remaining -= sub.NodesVisited
+	}
+	return st
+}
+
+// node is a stand-in for the recursive quadtree.
+type node struct {
+	children []*node
+	count    int
+}
+
+// rangeCounted is the clean recursion pattern: the entry check
+// dominates every recursive call. Allowed.
+func rangeCounted(n *node, st *stats, maxNodes int) bool {
+	if maxNodes > 0 && st.NodesVisited >= maxNodes {
+		st.Truncated = true
+		return false
+	}
+	st.NodesVisited++
+	for _, ch := range n.children {
+		if !rangeCounted(ch, st, maxNodes) {
+			return false
+		}
+	}
+	return true
+}
+
+// recurseUnchecked recurses without ever consulting the budget.
+func recurseUnchecked(n *node, st *stats, maxNodes int) {
+	st.NodesVisited++
+	for _, ch := range n.children {
+		recurseUnchecked(ch, st, maxNodes) // want `recursive call without a dominating budget check`
+	}
+}
+
+// suppressedDrain intentionally drains without budget checks (e.g. a
+// teardown path) and says so.
+func suppressedDrain(c *cursor, maxNodes int) int {
+	n := 0
+	for {
+		//popvet:allow budgetflow -- teardown drain: budget no longer applies after seal
+		_, ok := c.Next()
+		if !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// unbudgeted has no budget parameter: out of scope, advances freely.
+func unbudgeted(c *cursor) int {
+	n := 0
+	for {
+		_, ok := c.Next()
+		if !ok {
+			return n
+		}
+		n++
+	}
+}

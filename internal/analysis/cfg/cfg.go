@@ -1,0 +1,632 @@
+// Package cfg builds per-function control-flow graphs over go/ast and
+// provides a small forward-dataflow engine on top of them, for popvet
+// analyzers whose invariants are about *ordering* and *paths* rather
+// than about the shape of single expressions: the durability ladder
+// (Sync before Close before rename before dir-sync, on every non-error
+// path), the zero-allocation kernels (no allocation in any reachable
+// block), and the budget discipline (a budget check between cursor
+// advances on every path, Truncated set on every exhaustion exit).
+//
+// # Model
+//
+// A Graph is a list of basic blocks. Block 0 is the entry; a synthetic
+// exit block (Kind KindExit) represents falling off the end of the
+// function or returning. Each block holds the AST nodes executed
+// straight-line through it, in order: statements, plus the controlling
+// condition expression of the branch that ends it. Successor edges
+// follow Go's control flow:
+//
+//   - An if-block's Succs are [then, else] in that order, so
+//     edge-sensitive analyses can key on the branch taken.
+//   - for/range loops produce a head block that is the target of the
+//     back edge; break/continue (labeled or not) and goto resolve to
+//     their syntactic targets.
+//   - switch/type-switch/select fan out one successor per clause
+//     (plus the implicit empty default when none is written).
+//   - return statements end their block with an edge to the exit
+//     block; calls to panic (and to functions the builder cannot see
+//     past, like log.Fatal) end their block with an edge to nothing —
+//     the block's Kind records why it terminated.
+//
+// Deferred calls do not get edges (they run during unwinding, in
+// reverse order, on every exit); instead each DeferStmt node appears in
+// its block in execution order, and Graph.Defers collects them so path
+// analyses can model "runs on every exit reached after this point".
+//
+// The builder is total: any parseable function body yields a graph
+// (golden tests pin the shapes, and a repo-wide smoke test feeds it
+// every function in the module). Unreachable statements — code after a
+// return, a break-less dead branch — land in blocks not reachable from
+// the entry; Reachable reports the live set so analyzers skip them.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// Kind says how a block terminates (or what role it plays).
+type Kind uint8
+
+const (
+	// KindBody is an ordinary straight-line block whose single
+	// successor is simply the next block.
+	KindBody Kind = iota
+	// KindCond ends with a branch condition: Succs[0] is the true
+	// edge, Succs[1] the false edge.
+	KindCond
+	// KindSwitch ends at a switch/type-switch/select head: one
+	// successor per clause, in source order (default last when
+	// implicit).
+	KindSwitch
+	// KindReturn ends with a return statement; its successor is the
+	// exit block.
+	KindReturn
+	// KindPanic ends with a call to panic (or a recognized
+	// no-return function); it has no successors.
+	KindPanic
+	// KindExit is the synthetic function exit: normal returns and the
+	// fall-off-the-end path converge here. It has no successors.
+	KindExit
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindBody:
+		return "body"
+	case KindCond:
+		return "cond"
+	case KindSwitch:
+		return "switch"
+	case KindReturn:
+		return "return"
+	case KindPanic:
+		return "panic"
+	case KindExit:
+		return "exit"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Block is one basic block.
+type Block struct {
+	Index int
+	Kind  Kind
+	// Nodes are the statements and controlling expressions executed
+	// through the block, in order. Condition expressions of the
+	// branch ending a KindCond block are the last node.
+	Nodes []ast.Node
+	Succs []*Block
+	// Stmt is the controlling statement that created the block, when
+	// one exists (the *ast.IfStmt for a then-branch, the *ast.ForStmt
+	// for a loop head); nil for plain body blocks. Dump labels use it.
+	Stmt ast.Stmt
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Blocks[0] is the entry. The exit block is Exit (also present in
+	// Blocks). Block order follows construction order, which tracks
+	// source order closely enough for stable dumps.
+	Blocks []*Block
+	Exit   *Block
+	// Defers lists every defer statement in the body in source order.
+	// A deferred call runs on every exit reached along a path that
+	// executed its DeferStmt node.
+	Defers []*ast.DeferStmt
+}
+
+// New builds the CFG of body. name is used only in panic messages from
+// malformed-AST edge cases (the builder itself is total over parseable
+// input). body may be nil (declared-only functions): the graph is then
+// just entry→exit.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{
+		g:      &Graph{},
+		labels: map[string]*labelTarget{},
+	}
+	entry := b.newBlock(KindBody, nil)
+	b.g.Exit = b.newBlock(KindExit, nil)
+	b.cur = entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.jump(b.g.Exit)
+	// Resolve pending gotos now that every label has been seen.
+	for _, g := range b.gotos {
+		if t, ok := b.labels[g.label]; ok && t.head != nil {
+			g.from.Succs = append(g.from.Succs, t.head)
+		}
+		// An unresolved goto (malformed input) leaves the block with
+		// no successor — the path simply ends, which is safe for
+		// every analysis built on the graph.
+	}
+	return b.g
+}
+
+// Reachable returns the set of blocks reachable from the entry.
+func (g *Graph) Reachable() map[*Block]bool {
+	seen := map[*Block]bool{}
+	if len(g.Blocks) == 0 {
+		return seen
+	}
+	stack := []*Block{g.Blocks[0]}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[blk] {
+			continue
+		}
+		seen[blk] = true
+		stack = append(stack, blk.Succs...)
+	}
+	return seen
+}
+
+// Preds returns the predecessor lists of every block, indexed like
+// Blocks. Dataflow solvers call it once per graph.
+func (g *Graph) Preds() [][]*Block {
+	preds := make([][]*Block, len(g.Blocks))
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			preds[s.Index] = append(preds[s.Index], blk)
+		}
+	}
+	return preds
+}
+
+// LoopHeads returns the blocks that are targets of a back edge under a
+// depth-first ordering from the entry — the loop headers. Analyses that
+// must re-establish a fact on every iteration (a budget check per
+// cursor advance) kill their facts at these blocks.
+func (g *Graph) LoopHeads() map[*Block]bool {
+	heads := map[*Block]bool{}
+	if len(g.Blocks) == 0 {
+		return heads
+	}
+	const (
+		white = 0 // unvisited
+		grey  = 1 // on the DFS stack
+		black = 2 // done
+	)
+	state := make([]uint8, len(g.Blocks))
+	var dfs func(*Block)
+	dfs = func(blk *Block) {
+		state[blk.Index] = grey
+		for _, s := range blk.Succs {
+			switch state[s.Index] {
+			case white:
+				dfs(s)
+			case grey:
+				heads[s] = true
+			}
+		}
+		state[blk.Index] = black
+	}
+	dfs(g.Blocks[0])
+	return heads
+}
+
+// --- builder ---
+
+// labelTarget records where a label's statement starts (for goto and
+// labeled continue) and the break/continue targets once the labeled
+// loop or switch is entered.
+type labelTarget struct {
+	head     *Block // first block of the labeled statement (goto target)
+	breakTo  *Block // block after the labeled loop/switch
+	contTo   *Block // loop post/head block (labeled continue)
+	isLoop   bool
+	resolved bool
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type builder struct {
+	g   *Graph
+	cur *Block
+	// break/continue targets of the innermost enclosing loop/switch.
+	breakTo *Block
+	contTo  *Block
+	labels  map[string]*labelTarget
+	gotos   []pendingGoto
+	// label to attach to the next loop/switch statement built.
+	pendingLabel string
+}
+
+func (b *builder) newBlock(kind Kind, stmt ast.Stmt) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind, Stmt: stmt}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// startBlock seals the current block and makes a fresh one the target
+// of fall-through from it.
+func (b *builder) startBlock(kind Kind, stmt ast.Stmt) *Block {
+	blk := b.newBlock(kind, stmt)
+	b.jump(blk)
+	b.cur = blk
+	return blk
+}
+
+// jump adds an edge cur→to unless cur already terminated (return,
+// panic, break, ...). It leaves cur untouched.
+func (b *builder) jump(to *Block) {
+	if b.cur == nil {
+		return
+	}
+	b.cur.Succs = append(b.cur.Succs, to)
+}
+
+// terminate ends the current path: subsequent statements are
+// unreachable and go into a fresh floating block with no predecessors.
+func (b *builder) terminate() {
+	b.cur = nil
+}
+
+// add appends a node to the current block, reviving a floating block
+// for unreachable code so the builder stays total.
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock(KindBody, nil)
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		if b.cur == nil { // unreachable if: add revived the block
+			b.cur = b.newBlock(KindBody, nil)
+		}
+		cond := b.cur
+		cond.Kind = KindCond
+		if cond.Stmt == nil {
+			cond.Stmt = s
+		}
+		thenBlk := b.newBlock(KindBody, s)
+		cond.Succs = append(cond.Succs, thenBlk) // Succs[0]: true edge
+		after := b.newBlock(KindBody, nil)
+		b.cur = thenBlk
+		b.stmt(s.Body)
+		b.jump(after)
+		if s.Else != nil {
+			elseBlk := b.newBlock(KindBody, s.Else.(ast.Stmt))
+			cond.Succs = append(cond.Succs, elseBlk) // Succs[1]: false edge
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			b.jump(after)
+		} else {
+			cond.Succs = append(cond.Succs, after) // false edge falls through
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.startBlock(KindBody, s)
+		after := b.newBlock(KindBody, nil)
+		var bodyEntry *Block
+		if s.Cond != nil {
+			b.add(s.Cond)
+			head.Kind = KindCond
+			bodyEntry = b.newBlock(KindBody, s)
+			head.Succs = append(head.Succs, bodyEntry, after)
+		} else {
+			bodyEntry = b.newBlock(KindBody, s)
+			head.Succs = append(head.Succs, bodyEntry)
+		}
+		// continue target: the post statement (its own block feeding
+		// the back edge) or the head directly.
+		contTo := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock(KindBody, nil)
+			post.Nodes = append(post.Nodes, s.Post)
+			post.Succs = append(post.Succs, head)
+			contTo = post
+		}
+		b.setLabel(label, head, after, contTo, true)
+		b.withTargets(after, contTo, func() {
+			b.cur = bodyEntry
+			b.stmt(s.Body)
+			if post != nil {
+				b.jump(post)
+			} else {
+				b.jump(head)
+			}
+		})
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.add(s.X)
+		head := b.startBlock(KindCond, s)
+		// The range head both re-tests (has the loop as one successor)
+		// and exits (the after block as the other).
+		bodyEntry := b.newBlock(KindBody, s)
+		after := b.newBlock(KindBody, nil)
+		head.Succs = append(head.Succs, bodyEntry, after)
+		if s.Key != nil {
+			bodyEntry.Nodes = append(bodyEntry.Nodes, s.Key)
+		}
+		if s.Value != nil {
+			bodyEntry.Nodes = append(bodyEntry.Nodes, s.Value)
+		}
+		b.setLabel(label, head, after, head, true)
+		b.withTargets(after, head, func() {
+			b.cur = bodyEntry
+			b.stmt(s.Body)
+			b.jump(head)
+		})
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s, s.Body, label, func(cc *ast.CaseClause) []ast.Node {
+			nodes := make([]ast.Node, 0, len(cc.List))
+			for _, e := range cc.List {
+				nodes = append(nodes, e)
+			}
+			return nodes
+		})
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s, s.Body, label, func(cc *ast.CaseClause) []ast.Node {
+			nodes := make([]ast.Node, 0, len(cc.List))
+			for _, e := range cc.List {
+				nodes = append(nodes, e)
+			}
+			return nodes
+		})
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.startBlock(KindSwitch, s)
+		after := b.newBlock(KindBody, nil)
+		b.setLabel(label, head, after, nil, false)
+		exhaustive := false
+		b.withTargets(after, b.contTo, func() {
+			for _, cs := range s.Body.List {
+				cc := cs.(*ast.CommClause)
+				clause := b.newBlock(KindBody, cc)
+				head.Succs = append(head.Succs, clause)
+				b.cur = clause
+				if cc.Comm != nil {
+					b.add(cc.Comm)
+				} else {
+					exhaustive = true // explicit default
+				}
+				b.stmtList(cc.Body)
+				b.jump(after)
+			}
+		})
+		// A select with no default blocks until a case is ready: every
+		// path goes through some clause, so no fall-through edge. (With
+		// zero cases it blocks forever; keep after unreachable then.)
+		_ = exhaustive
+		b.cur = after
+
+	case *ast.LabeledStmt:
+		name := s.Label.Name
+		t := &labelTarget{}
+		b.labels[name] = t
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.pendingLabel = name
+			b.stmt(s.Stmt)
+		default:
+			// Plain labeled statement: a goto target.
+			head := b.startBlock(KindBody, s)
+			t.head = head
+			t.resolved = true
+			b.stmt(s.Stmt)
+		}
+		if t.head == nil {
+			// The labeled statement didn't register itself (shouldn't
+			// happen); resolve to wherever we are so gotos don't dangle.
+			t.head = b.cur
+		}
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			target := b.breakTo
+			if s.Label != nil {
+				if t, ok := b.labels[s.Label.Name]; ok {
+					target = t.breakTo
+				}
+			}
+			if target != nil {
+				b.jump(target)
+			}
+			b.terminate()
+		case token.CONTINUE:
+			target := b.contTo
+			if s.Label != nil {
+				if t, ok := b.labels[s.Label.Name]; ok {
+					target = t.contTo
+				}
+			}
+			if target != nil {
+				b.jump(target)
+			}
+			b.terminate()
+		case token.GOTO:
+			if s.Label != nil {
+				b.gotos = append(b.gotos, pendingGoto{b.cur, s.Label.Name})
+			}
+			b.terminate()
+		case token.FALLTHROUGH:
+			// Handled by switchBody (the clause's fall edge); as a
+			// statement it just ends the clause body.
+			b.terminate()
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		if b.cur != nil {
+			b.cur.Kind = KindReturn
+		}
+		b.jump(b.g.Exit)
+		b.terminate()
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isNoReturn(s.X) {
+			if b.cur != nil {
+				b.cur.Kind = KindPanic
+			}
+			b.terminate()
+		}
+
+	case nil:
+		// tolerated: malformed input
+
+	default:
+		// Assignments, declarations, go statements, sends, inc/dec,
+		// empty statements: straight-line.
+		b.add(s)
+	}
+}
+
+// switchBody builds the clause fan-out shared by switch and type
+// switch, including fallthrough edges and the implicit default.
+func (b *builder) switchBody(stmt ast.Stmt, body *ast.BlockStmt, label string, caseNodes func(*ast.CaseClause) []ast.Node) {
+	head := b.startBlock(KindSwitch, stmt)
+	after := b.newBlock(KindBody, nil)
+	b.setLabel(label, head, after, nil, false)
+	hasDefault := false
+	// First pass: create clause entry blocks so fallthrough can edge
+	// into the next clause's body.
+	clauses := make([]*Block, len(body.List))
+	for i, cs := range body.List {
+		cc := cs.(*ast.CaseClause)
+		clauses[i] = b.newBlock(KindBody, cc)
+		head.Succs = append(head.Succs, clauses[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	b.withTargets(after, b.contTo, func() {
+		for i, cs := range body.List {
+			cc := cs.(*ast.CaseClause)
+			b.cur = clauses[i]
+			for _, n := range caseNodes(cc) {
+				b.add(n)
+			}
+			fell := false
+			for _, cStmt := range cc.Body {
+				if br, ok := cStmt.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+					if i+1 < len(clauses) {
+						b.add(br)
+						b.jump(clauses[i+1])
+						b.terminate()
+						fell = true
+						continue
+					}
+				}
+				b.stmt(cStmt)
+			}
+			if !fell {
+				b.jump(after)
+			}
+		}
+	})
+	if !hasDefault {
+		// No default: the switch can match nothing and fall through.
+		head.Succs = append(head.Succs, after)
+	}
+	b.cur = after
+}
+
+// withTargets runs fn with the break/continue targets swapped in.
+func (b *builder) withTargets(breakTo, contTo *Block, fn func()) {
+	oldB, oldC := b.breakTo, b.contTo
+	b.breakTo, b.contTo = breakTo, contTo
+	fn()
+	b.breakTo, b.contTo = oldB, oldC
+}
+
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) setLabel(name string, head, breakTo, contTo *Block, isLoop bool) {
+	if name == "" {
+		return
+	}
+	t := b.labels[name]
+	if t == nil {
+		t = &labelTarget{}
+		b.labels[name] = t
+	}
+	t.head = head
+	t.breakTo = breakTo
+	t.contTo = contTo
+	t.isLoop = isLoop
+	t.resolved = true
+}
+
+// isNoReturn recognizes expression statements that never return:
+// panic(...) and the conventional os.Exit-style terminators the
+// analyzers treat as path ends.
+func isNoReturn(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fn.X.(*ast.Ident); ok {
+			switch {
+			case pkg.Name == "os" && fn.Sel.Name == "Exit":
+				return true
+			case pkg.Name == "log" && (fn.Sel.Name == "Fatal" || fn.Sel.Name == "Fatalf" || fn.Sel.Name == "Fatalln"):
+				return true
+			case pkg.Name == "runtime" && fn.Sel.Name == "Goexit":
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,649 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildFunc parses src as a file and returns the CFG of the first
+// function declaration plus the FileSet used.
+func buildFunc(t *testing.T, src string) (*token.FileSet, *Graph) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "test.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return fset, New(fd.Body)
+		}
+	}
+	t.Fatal("no function in src")
+	return nil, nil
+}
+
+// The golden corpus: each case is a function body exercising one
+// control-flow shape, with the expected dump. These pin the block
+// structure the analyzers depend on (cond edge order, loop back edges,
+// return/panic kinds, defer recording).
+var goldenCases = []struct {
+	name string
+	src  string
+	want string
+}{
+	{
+		name: "straightline",
+		src: `package p
+func f() {
+	x := 1
+	y := x + 1
+	_ = y
+}`,
+		want: `b0 body: [x := 1; y := x + 1; _ = y] -> b1
+b1 exit
+`,
+	},
+	{
+		name: "if_else_returns",
+		src: `package p
+func f(a int) int {
+	if a > 0 {
+		return 1
+	} else {
+		return 2
+	}
+}`,
+		want: `b0 cond: [a > 0] -> b2 b4
+b1 exit
+b2 return: [return 1] -> b1
+b3 body -> b1
+b4 return: [return 2] -> b1
+`,
+	},
+	{
+		name: "if_no_else",
+		src: `package p
+func f(a int) int {
+	if a > 0 {
+		a++
+	}
+	return a
+}`,
+		want: `b0 cond: [a > 0] -> b2 b3
+b1 exit
+b2 body: [a++] -> b3
+b3 return: [return a] -> b1
+`,
+	},
+	{
+		name: "for_cond_body_post",
+		src: `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`,
+		want: `b0 body: [s := 0; i := 0] -> b2
+b1 exit
+b2 cond: [i < n] -> b4 b3
+b3 return: [return s] -> b1
+b4 body: [s += i] -> b5
+b5 body: [i++] -> b2
+`,
+	},
+	{
+		name: "for_infinite_with_break",
+		src: `package p
+func f() int {
+	n := 0
+	for {
+		n++
+		if n > 3 {
+			break
+		}
+	}
+	return n
+}`,
+		want: `b0 body: [n := 0] -> b2
+b1 exit
+b2 body -> b4
+b3 return: [return n] -> b1
+b4 cond: [n++; n > 3] -> b5 b6
+b5 body: [break] -> b3
+b6 body -> b2
+`,
+	},
+	{
+		name: "range_with_continue",
+		src: `package p
+func f(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		if x < 0 {
+			continue
+		}
+		s += x
+	}
+	return s
+}`,
+		want: `b0 body: [s := 0; xs] -> b2
+b1 exit
+b2 cond -> b3 b4
+b3 cond: [_; x; x < 0] -> b5 b6
+b4 return: [return s] -> b1
+b5 body: [continue] -> b2
+b6 body: [s += x] -> b2
+`,
+	},
+	{
+		name: "labeled_outer_break_continue",
+		src: `package p
+func f(g [][]int) int {
+	s := 0
+outer:
+	for _, row := range g {
+		for _, v := range row {
+			if v == 0 {
+				continue outer
+			}
+			if v < 0 {
+				break outer
+			}
+			s += v
+		}
+	}
+	return s
+}`,
+		want: `b0 body: [s := 0; g] -> b2
+b1 exit
+b2 cond -> b3 b4
+b3 body: [_; row; row] -> b5
+b4 return: [return s] -> b1
+b5 cond -> b6 b7
+b6 cond: [_; v; v == 0] -> b8 b9
+b7 body -> b2
+b8 body: [continue outer] -> b2
+b9 cond: [v < 0] -> b10 b11
+b10 body: [break outer] -> b4
+b11 body: [s += v] -> b5
+`,
+	},
+	{
+		name: "switch_with_fallthrough_and_default",
+		src: `package p
+func f(a int) int {
+	switch a {
+	case 1:
+		a++
+		fallthrough
+	case 2:
+		a += 2
+	default:
+		a = 0
+	}
+	return a
+}`,
+		want: `b0 body: [a] -> b2
+b1 exit
+b2 switch -> b4 b5 b6
+b3 return: [return a] -> b1
+b4 body: [1; a++; fallthrough] -> b5
+b5 body: [2; a += 2] -> b3
+b6 body: [a = 0] -> b3
+`,
+	},
+	{
+		name: "switch_no_default_falls_through",
+		src: `package p
+func f(a int) int {
+	switch {
+	case a > 0:
+		a = 1
+	}
+	return a
+}`,
+		want: `b0 body -> b2
+b1 exit
+b2 switch -> b4 b3
+b3 return: [return a] -> b1
+b4 body: [a > 0; a = 1] -> b3
+`,
+	},
+	{
+		name: "type_switch",
+		src: `package p
+func f(v any) int {
+	switch x := v.(type) {
+	case int:
+		return x
+	case string:
+		return len(x)
+	}
+	return 0
+}`,
+		want: `b0 body: [x := v.(type)] -> b2
+b1 exit
+b2 switch -> b4 b5 b3
+b3 return: [return 0] -> b1
+b4 return: [int; return x] -> b1
+b5 return: [string; return len(x)] -> b1
+`,
+	},
+	{
+		name: "select_no_default_blocks",
+		src: `package p
+func f(c, d chan int) int {
+	select {
+	case x := <-c:
+		return x
+	case <-d:
+		return 0
+	}
+}`,
+		want: `b0 body -> b2
+b1 exit
+b2 switch -> b4 b5
+b3 body -> b1
+b4 return: [x := <-c; return x] -> b1
+b5 return: [<-d; return 0] -> b1
+`,
+	},
+	{
+		name: "panic_terminates_path",
+		src: `package p
+func f(a int) int {
+	if a < 0 {
+		panic("negative")
+	}
+	return a
+}`,
+		want: `b0 cond: [a < 0] -> b2 b3
+b1 exit
+b2 panic: [panic("negative")]
+b3 return: [return a] -> b1
+`,
+	},
+	{
+		name: "defer_heavy_with_recover",
+		src: `package p
+func f() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = nil
+		}
+	}()
+	defer println("second")
+	if err != nil {
+		return err
+	}
+	return nil
+}`,
+		want: `b0 cond: [defer func() { ...; defer println("second"); err != nil] -> b2 b3
+b1 exit
+b2 return: [return err] -> b1
+b3 return: [return nil] -> b1
+`,
+	},
+	{
+		name: "naked_return",
+		src: `package p
+func f(a int) (n int, err error) {
+	n = a
+	if a < 0 {
+		return
+	}
+	n++
+	return
+}`,
+		want: `b0 cond: [n = a; a < 0] -> b2 b3
+b1 exit
+b2 return: [return] -> b1
+b3 return: [n++; return] -> b1
+`,
+	},
+	{
+		name: "goto_backward",
+		src: `package p
+func f(n int) int {
+	i := 0
+loop:
+	if i < n {
+		i++
+		goto loop
+	}
+	return i
+}`,
+		want: `b0 body: [i := 0] -> b2
+b1 exit
+b2 cond: [i < n] -> b3 b4
+b3 body: [i++; goto loop] -> b2
+b4 return: [return i] -> b1
+`,
+	},
+	{
+		name: "unreachable_after_return",
+		src: `package p
+func f() int {
+	return 1
+	println("dead")
+}`,
+		want: `b0 return: [return 1] -> b1
+b1 exit
+b2 body: [println("dead")] -> b1
+`,
+	},
+	{
+		name: "os_exit_terminates",
+		src: `package p
+import "os"
+func f(a int) int {
+	if a < 0 {
+		os.Exit(1)
+	}
+	return a
+}`,
+		want: `b0 cond: [a < 0] -> b2 b3
+b1 exit
+b2 panic: [os.Exit(1)]
+b3 return: [return a] -> b1
+`,
+	},
+}
+
+func TestGoldenCFG(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			fset, g := buildFunc(t, tc.src)
+			got := Dump(fset, g)
+			if got != tc.want {
+				t.Errorf("CFG mismatch\n--- got ---\n%s--- want ---\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+// The goto fixup in New appends the edge after the dump ordering is
+// settled, so pin the backward-goto edge explicitly.
+func TestGotoBackEdge(t *testing.T) {
+	_, g := buildFunc(t, `package p
+func f(n int) int {
+	i := 0
+loop:
+	if i < n {
+		i++
+		goto loop
+	}
+	return i
+}`)
+	// b3 (the goto block) must have exactly one successor: the
+	// labeled block b1.
+	var gotoBlk *Block
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if br, ok := n.(*ast.BranchStmt); ok && br.Tok == token.GOTO {
+				gotoBlk = blk
+			}
+		}
+	}
+	if gotoBlk == nil {
+		t.Fatal("no goto block found")
+	}
+	if len(gotoBlk.Succs) != 1 || gotoBlk.Succs[0].Index != 2 {
+		t.Errorf("goto block succs = %v, want [b2]", gotoBlk.Succs)
+	}
+	// And the loop-head detection must see the labeled block (b2) as
+	// a loop head.
+	heads := g.LoopHeads()
+	if !heads[g.Blocks[2]] {
+		t.Errorf("b2 not detected as loop head; heads=%v", heads)
+	}
+}
+
+func TestDefersRecorded(t *testing.T) {
+	_, g := buildFunc(t, `package p
+func f() {
+	defer println("a")
+	if true {
+		defer println("b")
+	}
+}`)
+	if len(g.Defers) != 2 {
+		t.Fatalf("got %d defers, want 2", len(g.Defers))
+	}
+}
+
+func TestReachable(t *testing.T) {
+	_, g := buildFunc(t, `package p
+func f() int {
+	return 1
+	println("dead")
+}`)
+	reach := g.Reachable()
+	var deadBlk *Block
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "println" {
+						deadBlk = blk
+					}
+				}
+			}
+		}
+	}
+	if deadBlk == nil {
+		t.Fatal("dead block not found")
+	}
+	if reach[deadBlk] {
+		t.Error("dead block reported reachable")
+	}
+	if !reach[g.Blocks[0]] || !reach[g.Exit] {
+		t.Error("entry or exit not reachable")
+	}
+}
+
+func TestLoopHeads(t *testing.T) {
+	_, g := buildFunc(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s++
+		}
+	}
+	return s
+}`)
+	heads := g.LoopHeads()
+	if len(heads) != 2 {
+		t.Errorf("got %d loop heads, want 2", len(heads))
+	}
+	for blk := range heads {
+		if blk.Kind != KindCond {
+			t.Errorf("loop head b%d has kind %s, want cond", blk.Index, blk.Kind)
+		}
+	}
+}
+
+func TestNilBody(t *testing.T) {
+	g := New(nil)
+	if len(g.Blocks) != 2 {
+		t.Fatalf("nil body: got %d blocks, want 2 (entry+exit)", len(g.Blocks))
+	}
+	if len(g.Blocks[0].Succs) != 1 || g.Blocks[0].Succs[0] != g.Exit {
+		t.Error("nil body entry does not flow to exit")
+	}
+}
+
+// TestSolveForwardLiveness exercises the dataflow engine end to end on
+// a tiny "was ident X assigned" may-analysis with a branch-sensitive
+// edge refinement.
+func TestSolveForward(t *testing.T) {
+	fset, g := buildFunc(t, `package p
+func f(a int) int {
+	x := 0
+	if a > 0 {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`)
+	_ = fset
+	type fact = map[string]bool
+	assigns := &Forward[fact]{
+		Init: func() fact { return fact{} },
+		Clone: func(f fact) fact {
+			c := fact{}
+			for k, v := range f {
+				c[k] = v
+			}
+			return c
+		},
+		Join: func(into *fact, from fact) bool {
+			changed := false
+			for k := range from {
+				if !(*into)[k] {
+					(*into)[k] = true
+					changed = true
+				}
+			}
+			return changed
+		},
+		Transfer: func(f *fact, n ast.Node) {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						(*f)[id.Name] = true
+					}
+				}
+			}
+		},
+	}
+	entry := assigns.Solve(g)
+	// The return block is the join point: x must be assigned there.
+	var retBlk *Block
+	for _, blk := range g.Blocks {
+		if blk.Kind == KindReturn {
+			retBlk = blk
+		}
+	}
+	if retBlk == nil {
+		t.Fatal("no return block")
+	}
+	if !entry[retBlk.Index]["x"] {
+		t.Errorf("x not seen as assigned at return; entry=%v", entry[retBlk.Index])
+	}
+	exits := assigns.ExitFacts(g, entry)
+	if !exits[retBlk.Index]["x"] {
+		t.Error("ExitFacts lost x")
+	}
+}
+
+// TestRepoSmoke feeds every function in the module through the
+// builder: construction must never panic, every graph must have a
+// reachable exit-or-panic path, and Solve must terminate on a trivial
+// problem. This is the "fuzz smoke over the real corpus" gate.
+func TestRepoSmoke(t *testing.T) {
+	root := moduleRoot(t)
+	fset := token.NewFileSet()
+	nFuncs := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil // unparseable files are out of scope
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			nFuncs++
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Errorf("cfg.New panicked on %s: %v", fset.Position(n.Pos()), r)
+					}
+				}()
+				g := New(body)
+				if len(g.Blocks) < 2 {
+					t.Errorf("%s: graph with %d blocks", fset.Position(n.Pos()), len(g.Blocks))
+				}
+				// A trivial counting problem must terminate.
+				count := &Forward[int]{
+					Init:  func() int { return 0 },
+					Clone: func(v int) int { return v },
+					Join: func(into *int, from int) bool {
+						if from > *into {
+							*into = from
+							return true
+						}
+						return false
+					},
+					Transfer: func(v *int, _ ast.Node) {
+						if *v < 1000 {
+							*v++
+						}
+					},
+				}
+				count.Solve(g)
+				g.Reachable()
+				g.LoopHeads()
+				g.Preds()
+			}()
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nFuncs < 100 {
+		t.Fatalf("smoke walked only %d functions — wrong root?", nFuncs)
+	}
+	t.Logf("built CFGs for %d functions", nFuncs)
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,99 @@
+package cfg
+
+import "go/ast"
+
+// Forward is an intraprocedural forward-dataflow problem over a Graph.
+// S is the per-block fact type (a gen/kill set, a state-machine map —
+// anything value-copyable via Clone). The solver runs a worklist to a
+// fixpoint and returns the fact holding at the *entry* of every block;
+// analyzers then re-run Transfer through a block's nodes to inspect
+// intermediate states.
+//
+// Facts must form a join-semilattice of finite height: Join must be
+// monotone and idempotent, and Transfer monotone, or the worklist will
+// not terminate.
+type Forward[S any] struct {
+	// Init is the fact at the function entry.
+	Init func() S
+	// Clone deep-copies a fact so Transfer can mutate freely.
+	Clone func(S) S
+	// Join merges a predecessor's exit fact into the accumulated
+	// entry fact of a block, reporting whether anything changed.
+	Join func(into *S, from S) bool
+	// Transfer applies one node's effect to the fact, in place.
+	Transfer func(fact *S, n ast.Node)
+	// Edge, if non-nil, refines the fact flowing along a specific
+	// edge after Transfer ran through the whole source block. It
+	// receives the source block, the index of the edge in
+	// from.Succs, and a mutable copy of the exit fact. Condition
+	// blocks use it for branch-sensitive facts (edge 0 = condition
+	// true, edge 1 = condition false).
+	Edge func(from *Block, edge int, fact *S)
+}
+
+// Solve runs the problem to a fixpoint and returns entry facts indexed
+// by Block.Index. Unreachable blocks keep Init-derived facts (they are
+// seeded but never joined into), so analyzers should intersect with
+// g.Reachable() before reporting.
+func (f *Forward[S]) Solve(g *Graph) []S {
+	n := len(g.Blocks)
+	entry := make([]S, n)
+	seeded := make([]bool, n)
+	if n == 0 {
+		return entry
+	}
+	entry[0] = f.Init()
+	seeded[0] = true
+
+	work := []*Block{g.Blocks[0]}
+	inWork := make([]bool, n)
+	inWork[0] = true
+
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		inWork[blk.Index] = false
+
+		out := f.Clone(entry[blk.Index])
+		for _, node := range blk.Nodes {
+			f.Transfer(&out, node)
+		}
+		for i, succ := range blk.Succs {
+			flow := out
+			if f.Edge != nil {
+				flow = f.Clone(out)
+				f.Edge(blk, i, &flow)
+			} else if len(blk.Succs) > 1 {
+				flow = f.Clone(out)
+			}
+			changed := false
+			if !seeded[succ.Index] {
+				entry[succ.Index] = f.Clone(flow)
+				seeded[succ.Index] = true
+				changed = true
+			} else {
+				changed = f.Join(&entry[succ.Index], flow)
+			}
+			if changed && !inWork[succ.Index] {
+				work = append(work, succ)
+				inWork[succ.Index] = true
+			}
+		}
+	}
+	return entry
+}
+
+// ExitFacts recomputes the fact at the *end* of each block from the
+// solved entry facts (Transfer applied through the block's nodes).
+// Useful for inspecting the state reaching a return or panic.
+func (f *Forward[S]) ExitFacts(g *Graph, entry []S) []S {
+	out := make([]S, len(g.Blocks))
+	for _, blk := range g.Blocks {
+		fact := f.Clone(entry[blk.Index])
+		for _, node := range blk.Nodes {
+			f.Transfer(&fact, node)
+		}
+		out[blk.Index] = fact
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// Dump renders the graph in a compact, deterministic text form for
+// golden tests:
+//
+//	b0 body: [stmt; stmt] -> b1 b2
+//	b1 return: [return x] -> b3
+//	b3 exit
+//
+// Node text is the first line of the node's source, truncated; edges
+// list successor indices in order (so cond blocks read "-> then else").
+func Dump(fset *token.FileSet, g *Graph) string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s", blk.Index, blk.Kind)
+		if len(blk.Nodes) > 0 {
+			sb.WriteString(": [")
+			for i, n := range blk.Nodes {
+				if i > 0 {
+					sb.WriteString("; ")
+				}
+				sb.WriteString(nodeText(fset, n))
+			}
+			sb.WriteString("]")
+		}
+		if len(blk.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range blk.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func nodeText(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.RawFormat}
+	if err := cfg.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	s := buf.String()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i] + " ..."
+	}
+	const max = 60
+	if len(s) > max {
+		s = s[:max] + "..."
+	}
+	return s
+}

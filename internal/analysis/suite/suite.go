@@ -5,19 +5,27 @@ package suite
 
 import (
 	"popana/internal/analysis"
+	"popana/internal/analysis/allocfree"
+	"popana/internal/analysis/budgetflow"
 	"popana/internal/analysis/detrand"
 	"popana/internal/analysis/faultpoint"
 	"popana/internal/analysis/floatcmp"
 	"popana/internal/analysis/lockdiscipline"
+	"popana/internal/analysis/syncdiscipline"
 )
 
-// All returns every popvet analyzer, in reporting order.
+// All returns every popvet analyzer, in reporting order. The first
+// four are the AST-level checks from the original popvet; the last
+// three are control-flow-aware (built on internal/analysis/cfg).
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		detrand.Analyzer,
 		floatcmp.Analyzer,
 		lockdiscipline.Analyzer,
 		faultpoint.Analyzer,
+		syncdiscipline.Analyzer,
+		allocfree.Analyzer,
+		budgetflow.Analyzer,
 	}
 }
 

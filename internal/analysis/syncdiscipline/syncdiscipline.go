@@ -1,0 +1,754 @@
+// Package syncdiscipline checks the durability ladder in the storage
+// packages (internal/wal, internal/segment): a file created for
+// atomic publication must travel Sync → Close → rename → directory
+// sync, in that order, on every non-error path; no locally opened
+// *os.File may still be open at a return unless it was handed off
+// (escaped) or has a deferred Close; and no write may land after a
+// Sync on the same handle without a later re-sync — that is exactly
+// the torn-write hole the WAL's CRC framing cannot detect, because the
+// bytes made it to the page cache but were never forced to the device
+// before the rename published them.
+//
+// The analyzer is built on the internal/analysis/cfg control-flow
+// graphs: a forward dataflow pass tracks each locally opened file
+// through a small state machine
+//
+//	created → synced → closed → renamed → dir-synced
+//
+// with a dirty state for write-after-sync, and inspects the state
+// reaching every return. Escape (returning the handle, storing it in
+// a struct, passing it to another function) transfers ownership and
+// ends tracking — inter-procedural discipline is the callee's
+// problem. Only files obtained from os.CreateTemp are held to the
+// full ladder; files from os.Open / os.OpenFile are long-lived
+// handles (the WAL keeps its file open) and are checked only for the
+// leak and torn-write rules.
+package syncdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"popana/internal/analysis"
+	"popana/internal/analysis/cfg"
+)
+
+// Analyzer is the popvet entry point.
+var Analyzer = &analysis.Analyzer{
+	Name: "syncdiscipline",
+	Doc: "enforce the Sync→Close→rename→SyncDir durability ladder on temp files, " +
+		"Close-or-escape on every locally opened *os.File, and no write after Sync " +
+		"without re-sync, in internal/wal and internal/segment",
+	Run: run,
+}
+
+// targets are the package basenames the ladder applies to. Fixture
+// packages named wal/segment match via PathBase, like the real ones.
+var targets = map[string]bool{
+	"wal":     true,
+	"segment": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !targets[analysis.PathBase(pass.PkgPath)] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// origin says how a tracked file was obtained.
+type origin uint8
+
+const (
+	originTemp origin = iota // os.CreateTemp: full ladder required
+	originOpen               // os.Open / os.OpenFile: leak + torn-write rules only
+)
+
+// state is a rung of the durability ladder.
+type state uint8
+
+const (
+	stCreated     state = iota // open, never synced (writes fine)
+	stDirty                    // open, written after a Sync — torn-write window
+	stSynced                   // open, Sync'd, clean
+	stClosedNS                 // closed without ever syncing
+	stClosedDirty              // closed with writes after the last Sync
+	stClosed                   // synced then closed
+	stRenamed                  // closed then renamed into place
+	stDirSynced                // renamed then directory synced: ladder complete
+	stEscaped                  // ownership handed off; tracking ends
+)
+
+func (s state) String() string {
+	switch s {
+	case stCreated:
+		return "unsynced"
+	case stDirty:
+		return "written after Sync"
+	case stSynced:
+		return "synced but not closed"
+	case stClosedNS:
+		return "closed without Sync"
+	case stClosedDirty:
+		return "closed with writes after its last Sync"
+	case stClosed:
+		return "closed but not renamed"
+	case stRenamed:
+		return "renamed but directory not synced"
+	case stDirSynced:
+		return "durable"
+	case stEscaped:
+		return "escaped"
+	}
+	return "?"
+}
+
+// open reports whether the handle still needs a Close.
+func (s state) open() bool {
+	return s == stCreated || s == stDirty || s == stSynced
+}
+
+// varFact is the dataflow fact for one tracked variable.
+type varFact struct {
+	origin      origin
+	st          state
+	deferClosed bool // a defer v.Close() has executed on this path
+}
+
+// fact maps each tracked file variable to its ladder state.
+type fact map[*types.Var]varFact
+
+// checker holds the per-function analysis state.
+type checker struct {
+	pass    *analysis.Pass
+	fn      *ast.FuncDecl
+	tracked map[*types.Var]origin
+	// aliases maps a string variable assigned from v.Name() to the
+	// file variable v, so os.Rename(tmpName, ...) is attributed.
+	aliases map[*types.Var]*types.Var
+	// errPair maps the error variable of `f, err := os.Open(...)` to
+	// f, so the `if err != nil` edge can invalidate the handle (on
+	// that branch f is nil — no Close owed).
+	errPair map[*types.Var]*types.Var
+	// errResult is the index of the trailing error result in the
+	// function signature, or -1.
+	errResult int
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	c := &checker{
+		pass:      pass,
+		fn:        fn,
+		tracked:   map[*types.Var]origin{},
+		aliases:   map[*types.Var]*types.Var{},
+		errPair:   map[*types.Var]*types.Var{},
+		errResult: errResultIndex(pass, fn),
+	}
+	c.collectTracked()
+	if len(c.tracked) == 0 {
+		return
+	}
+	c.collectAliases()
+
+	g := cfg.New(fn.Body)
+	flow := &cfg.Forward[fact]{
+		Init:  func() fact { return fact{} },
+		Clone: cloneFact,
+		Join:  joinFact,
+		Transfer: func(f *fact, n ast.Node) {
+			c.step(*f, n, nil)
+		},
+		Edge: c.edge,
+	}
+	entry := flow.Solve(g)
+
+	// Reporting pass: one sequential walk per reachable block with
+	// the solved entry fact, so each violating node reports once.
+	reach := g.Reachable()
+	for _, blk := range g.Blocks {
+		if !reach[blk] {
+			continue
+		}
+		f := cloneFact(entry[blk.Index])
+		for _, n := range blk.Nodes {
+			c.step(f, n, c.pass.Reportf)
+		}
+	}
+}
+
+func cloneFact(f fact) fact {
+	c := make(fact, len(f))
+	for k, v := range f {
+		c[k] = v
+	}
+	return c
+}
+
+// joinFact merges path facts pessimistically: the least-advanced rung
+// wins (a path where the file is still open makes the merge "open"),
+// escape on any path wins (ownership left this function), and a
+// deferred Close must hold on all paths to count.
+func joinFact(into *fact, from fact) bool {
+	changed := false
+	for v, fv := range from {
+		iv, ok := (*into)[v]
+		if !ok {
+			(*into)[v] = fv
+			changed = true
+			continue
+		}
+		merged := iv
+		if fv.st == stEscaped || iv.st == stEscaped {
+			merged.st = stEscaped
+		} else if fv.st < iv.st {
+			merged.st = fv.st
+		}
+		merged.deferClosed = iv.deferClosed && fv.deferClosed
+		if merged != iv {
+			(*into)[v] = merged
+			changed = true
+		}
+	}
+	return changed
+}
+
+// reporter is Pass.Reportf's shape; nil during fixpoint solving.
+type reporter func(pos token.Pos, format string, args ...any)
+
+// collectTracked finds local variables assigned directly from
+// os.CreateTemp / os.Open / os.OpenFile.
+func (c *checker) collectTracked() {
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		org, ok := openOrigin(call)
+		if !ok {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		if v := c.localVar(id); v != nil && isOSFile(v.Type()) {
+			c.tracked[v] = org
+			if len(as.Lhs) == 2 {
+				if errID, ok := as.Lhs[1].(*ast.Ident); ok && errID.Name != "_" {
+					if ev := c.localVar(errID); ev != nil {
+						c.errPair[ev] = v
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// edge refines the fact along a branch: on the error edge of the
+// `if err != nil` check paired with the open call, the handle is nil
+// and owes nothing — but only while the file is still in its initial
+// state (once written or synced, a reused err var proves nothing).
+func (c *checker) edge(from *cfg.Block, edge int, f *fact) {
+	if from.Kind != cfg.KindCond || len(from.Nodes) == 0 {
+		return
+	}
+	bin, ok := from.Nodes[len(from.Nodes)-1].(*ast.BinaryExpr)
+	if !ok {
+		return
+	}
+	var errHolds int
+	switch bin.Op {
+	case token.NEQ:
+		errHolds = 0 // err != nil: true edge
+	case token.EQL:
+		errHolds = 1 // err == nil: false edge
+	default:
+		return
+	}
+	if edge != errHolds {
+		return
+	}
+	errID, ok := nilComparand(bin)
+	if !ok {
+		return
+	}
+	ev := c.localVar(errID)
+	if ev == nil {
+		return
+	}
+	fileVar, ok := c.errPair[ev]
+	if !ok {
+		return
+	}
+	if fv, ok := (*f)[fileVar]; ok && fv.st == stCreated {
+		fv.st = stEscaped
+		(*f)[fileVar] = fv
+	}
+}
+
+// nilComparand returns the non-nil ident of an `x != nil` / `nil != x`
+// comparison.
+func nilComparand(bin *ast.BinaryExpr) (*ast.Ident, bool) {
+	x, xok := bin.X.(*ast.Ident)
+	y, yok := bin.Y.(*ast.Ident)
+	if !xok || !yok {
+		return nil, false
+	}
+	switch {
+	case y.Name == "nil" && x.Name != "nil":
+		return x, true
+	case x.Name == "nil" && y.Name != "nil":
+		return y, true
+	}
+	return nil, false
+}
+
+// collectAliases finds `name := v.Name()` for tracked v.
+func (c *checker) collectAliases() {
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+			return true
+		}
+		fv := c.fileOfNameCall(as.Rhs[0])
+		if fv == nil {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if v := c.localVar(id); v != nil {
+				c.aliases[v] = fv
+			}
+		}
+		return true
+	})
+}
+
+// fileOfNameCall returns the tracked file variable when e is
+// `v.Name()`, else nil.
+func (c *checker) fileOfNameCall(e ast.Expr) *types.Var {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Name" {
+		return nil
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if v := c.trackedIdent(id); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// localVar resolves an ident to its *types.Var (def or use).
+func (c *checker) localVar(id *ast.Ident) *types.Var {
+	if obj := c.pass.Info.Defs[id]; obj != nil {
+		if v, ok := obj.(*types.Var); ok {
+			return v
+		}
+	}
+	if obj := c.pass.Info.Uses[id]; obj != nil {
+		if v, ok := obj.(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// trackedIdent resolves an ident to a tracked file variable.
+func (c *checker) trackedIdent(id *ast.Ident) *types.Var {
+	v := c.localVar(id)
+	if v == nil {
+		return nil
+	}
+	if _, ok := c.tracked[v]; ok {
+		return v
+	}
+	return nil
+}
+
+// step applies one CFG node's effect to the fact, reporting
+// violations when report is non-nil (the post-solve walk).
+func (c *checker) step(f fact, n ast.Node, report reporter) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		// Gen: v, err := os.CreateTemp(...)
+		if len(n.Rhs) == 1 {
+			if call, ok := n.Rhs[0].(*ast.CallExpr); ok {
+				if org, ok := openOrigin(call); ok {
+					if id, ok := n.Lhs[0].(*ast.Ident); ok {
+						if v := c.trackedIdent(id); v != nil {
+							f[v] = varFact{origin: org, st: stCreated}
+							c.walkExpr(f, call, report, true) // args may reference other tracked vars
+							return
+						}
+					}
+				}
+				// Alias assignment (name := v.Name()) has no effect.
+				if c.fileOfNameCall(n.Rhs[0]) != nil {
+					return
+				}
+			}
+		}
+		for _, e := range n.Rhs {
+			c.walkExpr(f, e, report, false)
+		}
+		for _, e := range n.Lhs {
+			// Writing a tracked var into an index/selector target
+			// does not escape it; only RHS occurrences do.
+			if _, ok := e.(*ast.Ident); !ok {
+				c.walkExpr(f, e, report, false)
+			}
+		}
+
+	case *ast.DeferStmt:
+		// defer v.Close() satisfies the leak rule for all later
+		// exits on this path. Any other deferred use of a tracked
+		// var (closures included) escapes it.
+		if v, method := c.methodCall(n.Call); v != nil {
+			if method == "Close" {
+				fv := f[v]
+				fv.deferClosed = true
+				f[v] = fv
+				return
+			}
+		}
+		c.walkExpr(f, n.Call, report, false)
+
+	case *ast.ReturnStmt:
+		for _, e := range n.Results {
+			c.walkExpr(f, e, report, false)
+		}
+		c.checkReturn(f, n, report)
+
+	case *ast.ExprStmt:
+		c.walkExpr(f, n.X, report, false)
+
+	case ast.Expr:
+		c.walkExpr(f, n, report, false)
+
+	case *ast.IncDecStmt:
+		c.walkExpr(f, n.X, report, false)
+
+	case *ast.SendStmt:
+		c.walkExpr(f, n.Chan, report, false)
+		c.walkExpr(f, n.Value, report, false)
+
+	case *ast.GoStmt:
+		c.walkExpr(f, n.Call, report, false)
+
+	case *ast.DeclStmt, *ast.BranchStmt, *ast.EmptyStmt, *ast.LabeledStmt:
+		// no effect
+
+	default:
+		if stmt, ok := n.(ast.Stmt); ok {
+			// Remaining statements (range clauses land as exprs):
+			// conservatively scan for tracked uses.
+			ast.Inspect(stmt, func(m ast.Node) bool {
+				if e, ok := m.(ast.Expr); ok {
+					c.walkExpr(f, e, report, false)
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+// walkExpr scans an expression for calls with ladder effects and for
+// escaping uses of tracked variables. inCall marks that the immediate
+// context already consumed the expression (origin calls).
+func (c *checker) walkExpr(f fact, e ast.Expr, report reporter, inCall bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			c.call(f, n, report)
+			return false
+		case *ast.FuncLit:
+			// A closure capturing a tracked var escapes it.
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if v := c.trackedIdent(id); v != nil {
+						c.escape(f, v)
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.Ident:
+			if v := c.trackedIdent(n); v != nil {
+				c.escape(f, v)
+			}
+		}
+		return true
+	})
+}
+
+// escape marks a tracked variable as handed off.
+func (c *checker) escape(f fact, v *types.Var) {
+	fv := f[v]
+	fv.st = stEscaped
+	f[v] = fv
+}
+
+// methodCall returns (trackedVar, methodName) when call is
+// `v.Method(...)` on a tracked ident.
+func (c *checker) methodCall(call *ast.CallExpr) (*types.Var, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil, ""
+	}
+	if v := c.trackedIdent(id); v != nil {
+		return v, sel.Sel.Name
+	}
+	return nil, ""
+}
+
+// call applies one call expression's ladder effect.
+func (c *checker) call(f fact, call *ast.CallExpr, report reporter) {
+	// Method on a tracked handle.
+	if v, method := c.methodCall(call); v != nil {
+		fv := f[v]
+		switch method {
+		case "Write", "WriteAt", "WriteString", "WriteTo", "ReadFrom", "Truncate":
+			switch fv.st {
+			case stSynced:
+				fv.st = stDirty
+			case stClosedNS, stClosed, stRenamed, stDirSynced:
+				if report != nil {
+					report(call.Pos(), "write to %s after Close", v.Name())
+				}
+			}
+		case "Sync":
+			if fv.st == stCreated || fv.st == stDirty || fv.st == stSynced {
+				fv.st = stSynced
+			}
+		case "Close":
+			switch fv.st {
+			case stDirty:
+				fv.st = stClosedDirty
+			case stCreated:
+				fv.st = stClosedNS
+			case stSynced:
+				fv.st = stClosed
+			}
+		case "Name", "Read", "ReadAt", "Seek", "Stat", "Fd":
+			// neutral
+		default:
+			// Unknown method: keep tracking (methods cannot steal
+			// ownership of the handle).
+		}
+		f[v] = fv
+		for _, arg := range call.Args {
+			c.walkExpr(f, arg, report, false)
+		}
+		return
+	}
+
+	// os.Rename(oldpath, ...) where oldpath names a tracked file.
+	if isPkgCall(call, "os", "Rename") && len(call.Args) == 2 {
+		if v := c.renameTarget(call.Args[0]); v != nil {
+			fv := f[v]
+			switch fv.st {
+			case stClosed:
+				fv.st = stRenamed
+			case stEscaped:
+				// not ours anymore
+			default:
+				if report != nil {
+					report(call.Pos(), "os.Rename publishes %s while %s (ladder: Sync, Close, rename, SyncDir)", v.Name(), fv.st)
+				}
+				fv.st = stRenamed
+			}
+			f[v] = fv
+			c.walkExpr(f, call.Args[1], report, false)
+			return
+		}
+	}
+
+	// os.Remove of a temp name: cleanup, no ladder effect.
+	if isPkgCall(call, "os", "Remove") && len(call.Args) == 1 {
+		if c.renameTarget(call.Args[0]) != nil {
+			return
+		}
+	}
+
+	// SyncDir(dir): the directory fsync completing the ladder for
+	// every renamed file. Matched by name so both segment.SyncDir
+	// and an in-package SyncDir count.
+	if calleeName(call) == "SyncDir" {
+		for v, fv := range f {
+			if fv.st == stRenamed {
+				fv.st = stDirSynced
+				f[v] = fv
+			}
+		}
+		for _, arg := range call.Args {
+			c.walkExpr(f, arg, report, false)
+		}
+		return
+	}
+
+	// Any other call: tracked vars passed as arguments escape.
+	c.walkExpr(f, call.Fun, report, false)
+	for _, arg := range call.Args {
+		c.walkExpr(f, arg, report, false)
+	}
+}
+
+// renameTarget resolves a path argument to the tracked file it names:
+// either `v.Name()` inline or a string variable assigned from it.
+func (c *checker) renameTarget(e ast.Expr) *types.Var {
+	if v := c.fileOfNameCall(e); v != nil {
+		return v
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if v := c.localVar(id); v != nil {
+			return c.aliases[v]
+		}
+	}
+	return nil
+}
+
+// checkReturn inspects the ladder state reaching a return statement.
+func (c *checker) checkReturn(f fact, ret *ast.ReturnStmt, report reporter) {
+	if report == nil {
+		return
+	}
+	nonError := c.isNonErrorReturn(ret)
+	for v, fv := range f {
+		if fv.st == stEscaped {
+			continue
+		}
+		// Leak rule: every return, error or not.
+		if fv.st.open() && !fv.deferClosed {
+			report(ret.Pos(), "%s may still be open at this return (close it or hand it off on every path)", v.Name())
+			continue
+		}
+		if !nonError {
+			continue
+		}
+		// Torn-write rule: succeeding with unsynced writes, whether
+		// the handle was since closed or has a deferred Close.
+		if fv.st == stDirty || fv.st == stClosedDirty {
+			report(ret.Pos(), "%s has writes after its last Sync at this non-error return (torn-write hole: re-sync before Close)", v.Name())
+			continue
+		}
+		// Full ladder: only for temp files on non-error returns.
+		if c.tracked[v] == originTemp && fv.st != stDirSynced {
+			report(ret.Pos(), "temp file %s is %s at this non-error return (ladder: Sync, Close, rename, SyncDir)", v.Name(), fv.st)
+		}
+	}
+}
+
+// isNonErrorReturn reports whether ret is provably a success return:
+// the function's error result position holds a literal nil (or the
+// signature has no error result and the return is explicit). Naked
+// returns and computed error expressions are treated as error paths —
+// the ladder is only enforced where success is certain, trading
+// recall for zero false positives on error-unwinding paths.
+func (c *checker) isNonErrorReturn(ret *ast.ReturnStmt) bool {
+	if c.errResult < 0 {
+		return true
+	}
+	if len(ret.Results) <= c.errResult {
+		return false // naked return: unknowable
+	}
+	if id, ok := ret.Results[c.errResult].(*ast.Ident); ok {
+		return id.Name == "nil"
+	}
+	return false
+}
+
+// errResultIndex finds the index of the last result of type error in
+// fn's signature, or -1.
+func errResultIndex(pass *analysis.Pass, fn *ast.FuncDecl) int {
+	obj := pass.Info.Defs[fn.Name]
+	if obj == nil {
+		return -1
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	res := sig.Results()
+	for i := res.Len() - 1; i >= 0; i-- {
+		if named, ok := res.At(i).Type().(*types.Named); ok {
+			if named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// openOrigin classifies a call as a tracked file source.
+func openOrigin(call *ast.CallExpr) (origin, bool) {
+	switch {
+	case isPkgCall(call, "os", "CreateTemp"), isPkgCall(call, "os", "Create"):
+		return originTemp, true
+	case isPkgCall(call, "os", "Open"), isPkgCall(call, "os", "OpenFile"):
+		return originOpen, true
+	}
+	return 0, false
+}
+
+// isPkgCall reports whether call is pkg.Fn(...) syntactically.
+func isPkgCall(call *ast.CallExpr, pkg, fn string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != fn {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == pkg
+}
+
+// calleeName returns the bare called function name for ident or
+// selector callees.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// isOSFile reports whether t is *os.File.
+func isOSFile(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "File" && obj.Pkg() != nil && obj.Pkg().Path() == "os"
+}

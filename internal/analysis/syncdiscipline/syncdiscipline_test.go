@@ -1,0 +1,16 @@
+package syncdiscipline_test
+
+import (
+	"testing"
+
+	"popana/internal/analysis/atest"
+	"popana/internal/analysis/syncdiscipline"
+)
+
+// TestFixtures runs the analyzer over the wal+segment fixture pair.
+// The wal fixture imports the segment fixture (segment.SyncDir
+// finishing a checkpoint ladder), so this exercises multi-package
+// loading with cross-package type info.
+func TestFixtures(t *testing.T) {
+	atest.Run(t, "testdata", syncdiscipline.Analyzer, "wal", "segment")
+}

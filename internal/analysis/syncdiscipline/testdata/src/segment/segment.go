@@ -1,0 +1,125 @@
+// Package segment is a syncdiscipline fixture mirroring the real
+// segment package's atomic-write patterns.
+package segment
+
+import "os"
+
+// SyncDir fsyncs a directory, completing the durability ladder.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}
+
+// writeAtomic is the canonical ladder: temp → write → Sync → Close →
+// rename → dir-sync, error paths cleaning up. Allowed.
+func writeAtomic(dir, path string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, "seg-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := SyncDir(dir); err != nil {
+		return err
+	}
+	return nil
+}
+
+// renameBeforeClose publishes the temp file while the handle is still
+// open: the rename can land before the data does.
+func renameBeforeClose(dir, path string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, "seg-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := os.Rename(name, path); err != nil { // want `os.Rename publishes tmp while synced but not closed`
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// missingDirSync stops the ladder before the directory fsync: after a
+// crash the rename itself may be lost.
+func missingDirSync(dir, path string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, "seg-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		return err
+	}
+	return nil // want `temp file tmp is renamed but directory not synced`
+}
+
+// closeWithoutSync renames a never-synced temp file: the classic
+// publish-before-durability bug.
+func closeWithoutSync(dir, path string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, "seg-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(name, path); err != nil { // want `os.Rename publishes tmp while closed without Sync`
+		return err
+	}
+	if err := SyncDir(dir); err != nil {
+		return err
+	}
+	return nil
+}

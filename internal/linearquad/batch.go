@@ -48,8 +48,15 @@ func cmpBatchKey(a, b batchKey) int {
 // encode every in-region input, sort by code, then resolve the sorted
 // probes left to right, seeking forward through the leaf array. vals
 // may be nil (existence only). Returns the number found.
+//
+//popvet:noalloc
 func (f *Frozen[V]) lookupBatch(sc *Scratch, pts []geom.Point, vals []V, found []bool) int {
-	keys := sc.keys[:0]
+	if cap(sc.keys) < len(pts) {
+		//popvet:allow allocfree -- the scratch grows once to the largest batch; steady state reuses it (TestZeroAlloc pins 0 allocs/op)
+		sc.keys = make([]batchKey, len(pts))
+	}
+	keys := sc.keys[:len(pts)]
+	nk := 0
 	for i, p := range pts {
 		found[i] = false
 		if vals != nil {
@@ -59,11 +66,13 @@ func (f *Frozen[V]) lookupBatch(sc *Scratch, pts []geom.Point, vals []V, found [
 		if !f.region.Contains(p) {
 			continue
 		}
-		keys = append(keys, batchKey{
+		keys[nk] = batchKey{
 			code: Interleave(f.csX.coord(p.X), f.csY.coord(p.Y)),
 			idx:  int32(i),
-		})
+		}
+		nk++
 	}
+	keys = keys[:nk]
 	sc.keys = keys
 	slices.SortFunc(keys, cmpBatchKey)
 	n := 0
@@ -99,6 +108,8 @@ func (f *Frozen[V]) lookupBatch(sc *Scratch, pts []geom.Point, vals []V, found [
 // Results are identical to calling Get per point; the batch is
 // Morton-sorted internally so the probes sweep the snapshot once.
 // Allocation-free once sc has grown to the batch size.
+//
+//popvet:noalloc
 func (f *Frozen[V]) GetBatch(sc *Scratch, pts []geom.Point, vals []V, found []bool) int {
 	if len(vals) != len(pts) || len(found) != len(pts) {
 		panic("linearquad: GetBatch: pts, vals, found lengths differ")
@@ -109,6 +120,8 @@ func (f *Frozen[V]) GetBatch(sc *Scratch, pts []geom.Point, vals []V, found []bo
 // ContainsBatch reports the presence of every point of pts in found[i]
 // and returns the number present. found must have the same length as
 // pts. Results are identical to calling Contains per point.
+//
+//popvet:noalloc
 func (f *Frozen[V]) ContainsBatch(sc *Scratch, pts []geom.Point, found []bool) int {
 	if len(found) != len(pts) {
 		panic("linearquad: ContainsBatch: pts and found lengths differ")
@@ -123,16 +136,22 @@ func (f *Frozen[V]) ContainsBatch(sc *Scratch, pts []geom.Point, found []bool) i
 // cache lines the previous scan warmed; results are identical to
 // calling CountRange per query. Allocation-free once sc has grown to
 // the batch size.
+//
+//popvet:noalloc
 func (f *Frozen[V]) CountRangeBatch(sc *Scratch, queries []geom.Rect, counts []int) {
 	if len(counts) != len(queries) {
 		panic("linearquad: CountRangeBatch: queries and counts lengths differ")
 	}
-	keys := sc.keys[:0]
+	if cap(sc.keys) < len(queries) {
+		//popvet:allow allocfree -- the scratch grows once to the largest batch; steady state reuses it (TestZeroAlloc pins 0 allocs/op)
+		sc.keys = make([]batchKey, len(queries))
+	}
+	keys := sc.keys[:len(queries)]
 	for i, q := range queries {
-		keys = append(keys, batchKey{
+		keys[i] = batchKey{
 			code: Interleave(f.csX.coord(q.MinX), f.csY.coord(q.MinY)),
 			idx:  int32(i),
-		})
+		}
 	}
 	sc.keys = keys
 	slices.SortFunc(keys, cmpBatchKey)

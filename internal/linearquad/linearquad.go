@@ -224,6 +224,8 @@ func (f *Frozen[V]) buildDir(scratch []int32) {
 }
 
 // Len returns the number of stored points.
+//
+//popvet:noalloc
 func (f *Frozen[V]) Len() int { return len(f.xs) }
 
 // Leaves returns the number of leaf blocks (including empty ones).
@@ -253,6 +255,8 @@ func (f *Frozen[V]) Region() geom.Rect { return f.region }
 // search to the leaves inside one directory cell, so the binary phase
 // is two or three probes on a typical snapshot instead of log(leaves).
 // Requires 0 <= z < 4^depth.
+//
+//popvet:noalloc
 func (f *Frozen[V]) leafOf(z uint64) int {
 	c := z >> f.dirShift
 	lo := int(f.dir[c])
@@ -278,6 +282,8 @@ func (f *Frozen[V]) leafOf(z uint64) int {
 // boundary at or above the directory level): one table load, no
 // search. The scan loops hoist the alignment decision out of their
 // child loops; everything finer goes through seekFrom.
+//
+//popvet:noalloc
 func (f *Frozen[V]) dirAt(target uint64) int { return int(f.dir[target>>f.dirShift]) }
 
 // seekFrom returns the index of the first leaf at or after i whose
@@ -288,6 +294,8 @@ func (f *Frozen[V]) dirAt(target uint64) int { return int(f.dir[target>>f.dirShi
 // straight into the right cell; inside a dense cell the window can
 // still be wide, but far seeks are rare. Requires target <= the
 // 4^depth sentinel.
+//
+//popvet:noalloc
 func (f *Frozen[V]) seekFrom(i int, target uint64) int {
 	codes := f.codes
 	lo := i
@@ -337,6 +345,8 @@ func (f *Frozen[V]) seekFrom(i int, target uint64) int {
 
 // Get returns the value stored at p, if any: one cell mapping, one
 // binary search, one bounded leaf scan, zero allocations.
+//
+//popvet:noalloc
 func (f *Frozen[V]) Get(p geom.Point) (V, bool) {
 	var zero V
 	if !f.region.Contains(p) {
@@ -352,6 +362,8 @@ func (f *Frozen[V]) Get(p geom.Point) (V, bool) {
 }
 
 // Contains reports whether point p is stored in the snapshot.
+//
+//popvet:noalloc
 func (f *Frozen[V]) Contains(p geom.Point) bool {
 	_, ok := f.Get(p)
 	return ok
@@ -386,6 +398,8 @@ func (f *Frozen[V]) RangeBudgeted(query geom.Rect, maxNodes int, visit quadtree.
 // query rectangle, allocation-free. It is the pure counting kernel: no
 // visitor dispatch and no traversal statistics, just the grid
 // decomposition with per-axis filters on the boundary leaves.
+//
+//popvet:noalloc
 func (f *Frozen[V]) CountRange(query geom.Rect) int {
 	var s countState[V]
 	if !f.prepare(query, &s.scanRect) {
@@ -409,6 +423,8 @@ func (f *Frozen[V]) CountRange(query geom.Rect) int {
 // CountRangeBudgeted counts matches under a node-visit budget,
 // mirroring quadtree.Tree.CountRangeBudgeted: the count is
 // RangeStats.Matched and Truncated reports a budget stop.
+//
+//popvet:noalloc
 func (f *Frozen[V]) CountRangeBudgeted(query geom.Rect, maxNodes int) quadtree.RangeStats {
 	st, _ := f.rangeScan(query, maxNodes, nil)
 	return st
@@ -424,6 +440,8 @@ type scanRect struct {
 
 // prepare clips the query against the region and fills r; it reports
 // false when the query cannot match anything.
+//
+//popvet:noalloc
 func (f *Frozen[V]) prepare(query geom.Rect, r *scanRect) bool {
 	// Clip: a query strictly outside the region matches nothing.
 	if query.MinX > f.region.MaxX || query.MaxX < f.region.MinX ||
@@ -474,6 +492,8 @@ func (f *Frozen[V]) prepare(query geom.Rect, r *scanRect) bool {
 // query's Z-interval leaf by leaf with BIGMIN jumps (Tropf–Herzog), so
 // NodesVisited counts each examined leaf interval and the budget cuts
 // off exactly like the live tree's node budget.
+//
+//popvet:noalloc
 func (f *Frozen[V]) rangeScan(query geom.Rect, maxNodes int, visit quadtree.Visit[V]) (st quadtree.RangeStats, done bool) {
 	var r scanRect
 	if !f.prepare(query, &r) {
@@ -512,6 +532,8 @@ type scanState[V any] struct {
 // first leaf at or past code end, with no geometry tests: the caller
 // guarantees the whole run lies inside the closed query. Returns false
 // when the visitor stopped the scan.
+//
+//popvet:noalloc
 func (s *scanState[V]) bulk(end uint64) bool {
 	return s.bulkTo(s.f.seekFrom(s.i, end))
 }
@@ -519,6 +541,8 @@ func (s *scanState[V]) bulk(end uint64) bool {
 // bulkTo is bulk with the run's end leaf already resolved (the scan
 // loops resolve directory-aligned quadrant boundaries with one table
 // load instead of a seek).
+//
+//popvet:noalloc
 func (s *scanState[V]) bulkTo(j int) bool {
 	f := s.f
 	lo, hi := f.starts[s.i], f.starts[j]
@@ -543,6 +567,8 @@ func (s *scanState[V]) bulkTo(j int) bool {
 // leafScan processes the single leaf at the cursor under the closed
 // float test, advancing the cursor past it. Returns false when the
 // visitor stopped the scan.
+//
+//popvet:noalloc
 func (s *scanState[V]) leafScan() bool {
 	f := s.f
 	s.st.NodesVisited++
@@ -574,6 +600,8 @@ func (s *scanState[V]) leafScan() bool {
 // with one seek when the next overlapping quadrant is entered (a no-op
 // if no skip intervened). Fully-inside quadrants are swept flat, and
 // quadrants a single leaf covers are scanned under the float test.
+//
+//popvet:noalloc
 func (s *scanState[V]) scan(codeLo uint64, level int, cx, cy int64) bool {
 	f := s.f
 	quarter := uint64(1) << (2 * uint(level-1))
@@ -651,6 +679,8 @@ const (
 // classify places the child interval [lo, lo+half) against one query
 // axis: [q0, q1] is the query's cell interval and [f0, f1] its
 // full-containment interval.
+//
+//popvet:noalloc
 func classify(lo, half, q0, q1, f0, f1 int64) int {
 	if lo > q1 || lo+half-1 < q0 {
 		return axisOut
@@ -667,6 +697,8 @@ func classify(lo, half, q0, q1, f0, f1 int64) int {
 // column and row class with no further geometry — and a child fully
 // contained on one axis descends into the scanX/scanY variants, which
 // never test that axis again.
+//
+//popvet:noalloc
 func (s *countState[V]) scan(codeLo uint64, level int, cx, cy int64) {
 	f := s.f
 	quarter := uint64(1) << (2 * uint(level-1))
@@ -756,6 +788,8 @@ const (
 
 // shortRun reports that at most runCut leaves cover [codes[i], subHi):
 // one probe at i+runCut, no search.
+//
+//popvet:noalloc
 func shortRun(i, last int, codes []uint64, subHi uint64) bool {
 	i += runCut
 	return i > last || codes[i] >= subHi
@@ -765,6 +799,8 @@ func shortRun(i, last int, codes []uint64, subHi uint64) bool {
 // full-containment interval: only the x axis can exclude anything, so
 // children test one axis and boundary leaves filter one coordinate
 // plane. scanY is its mirror.
+//
+//popvet:noalloc
 func (s *countState[V]) scanX(codeLo uint64, level int, cx int64) {
 	f := s.f
 	quarter := uint64(1) << (2 * uint(level-1))
@@ -816,6 +852,7 @@ func (s *countState[V]) scanX(codeLo uint64, level int, cx int64) {
 	}
 }
 
+//popvet:noalloc
 func (s *countState[V]) scanY(codeLo uint64, level int, cy int64) {
 	f := s.f
 	quarter := uint64(1) << (2 * uint(level-1))
@@ -871,6 +908,8 @@ func (s *countState[V]) scanY(codeLo uint64, level int, cy int64) {
 // quadrant whose rows are all inside the query — under whichever x
 // edges the quadrant's column interval [scx, scx+half) can actually
 // cross. countRunY mirrors it.
+//
+//popvet:noalloc
 func (s *countState[V]) countRunX(scx, half int64, j int) {
 	f := s.f
 	lo, hi := f.starts[s.i], f.starts[j]
@@ -900,6 +939,7 @@ func (s *countState[V]) countRunX(scx, half int64, j int) {
 	s.n += n
 }
 
+//popvet:noalloc
 func (s *countState[V]) countRunY(scy, half int64, j int) {
 	f := s.f
 	lo, hi := f.starts[s.i], f.starts[j]
@@ -936,6 +976,8 @@ func (s *countState[V]) countRunY(scy, half int64, j int) {
 // interior quadrants skip geometry entirely, applied per axis. Most
 // boundary runs cross a single query edge, so the common filter is one
 // comparison streaming one coordinate plane.
+//
+//popvet:noalloc
 func (s *countState[V]) countRun(scx, scy, half int64, j int) {
 	switch {
 	case scy >= s.fy0 && scy+half-1 <= s.fy1: // rows contained: x only
@@ -964,6 +1006,8 @@ func (s *countState[V]) countRun(scx, scy, half int64, j int) {
 // analogue of descending into a node), runs of leaves outside the
 // query rectangle are skipped with BIGMIN jumps, and exhausting the
 // budget sets Truncated.
+//
+//popvet:noalloc
 func (f *Frozen[V]) scanBudgeted(query geom.Rect, maxNodes int, visit quadtree.Visit[V], x0, y0, x1, y1 uint32) (st quadtree.RangeStats, done bool) {
 	zmin := Interleave(x0, y0)
 	zmax := Interleave(x1, y1)

@@ -16,17 +16,23 @@ import (
 
 // Interleave returns the Morton code of grid cell (x, y): bit i of x
 // lands in bit 2i of the code, bit i of y in bit 2i+1.
+//
+//popvet:noalloc
 func Interleave(x, y uint32) uint64 {
 	return spread(x) | spread(y)<<1
 }
 
 // Deinterleave inverts Interleave.
+//
+//popvet:noalloc
 func Deinterleave(z uint64) (x, y uint32) {
 	return compact(z), compact(z >> 1)
 }
 
 // spread spaces the 32 bits of v into the even bit positions of a
 // uint64 (the standard magic-mask dilation).
+//
+//popvet:noalloc
 func spread(v uint32) uint64 {
 	z := uint64(v)
 	z = (z | z<<16) & 0x0000ffff0000ffff
@@ -39,6 +45,8 @@ func spread(v uint32) uint64 {
 
 // compact gathers the even bit positions of z back into 32 contiguous
 // bits, inverting spread.
+//
+//popvet:noalloc
 func compact(z uint64) uint32 {
 	z &= 0x5555555555555555
 	z = (z | z>>1) & 0x3333333333333333
@@ -60,6 +68,8 @@ const evenMask uint64 = 0x5555555555555555
 // Z-order scan skip runs of cells that are inside the [zmin, zmax]
 // interval but outside the rectangle, visiting O(matching blocks)
 // instead of the whole interval.
+//
+//popvet:noalloc
 func bigmin(z, zmin, zmax uint64) (uint64, bool) {
 	var bm uint64
 	have := false
@@ -102,6 +112,8 @@ func bigmin(z, zmin, zmax uint64) (uint64, bool) {
 // load1 returns v with bit p set to 1 and every lower bit of the same
 // dimension cleared — the smallest code in v's subtree that takes the
 // high branch of dimension p&1 at bit p.
+//
+//popvet:noalloc
 func load1(v uint64, p int) uint64 {
 	below := evenMask << (uint(p) & 1) & (1<<uint(p) - 1)
 	return v&^below | 1<<uint(p)
@@ -110,6 +122,8 @@ func load1(v uint64, p int) uint64 {
 // load0 returns v with bit p cleared and every lower bit of the same
 // dimension set — the largest code in v's subtree that takes the low
 // branch of dimension p&1 at bit p.
+//
+//popvet:noalloc
 func load0(v uint64, p int) uint64 {
 	below := evenMask << (uint(p) & 1) & (1<<uint(p) - 1)
 	return v&^(1<<uint(p)) | below
@@ -127,6 +141,8 @@ func BigMin(z, zmin, zmax uint64) (uint64, bool) {
 
 // cellSide returns the side length, in depth-D grid cells, of an
 // aligned block covering span cells (span = 4^(D-depth)).
+//
+//popvet:noalloc
 func cellSide(span uint64) uint32 {
 	return uint32(1) << (uint(bits.TrailingZeros64(span)) / 2)
 }
@@ -139,6 +155,8 @@ func cellSide(span uint64) uint32 {
 // exactly representable. Coordinates outside [lo, hi) clamp to the
 // first or last cell, which is exactly the conservative behavior query
 // corners need.
+//
+//popvet:noalloc
 func cellCoord(x, lo, hi float64, depth int) uint32 {
 	var c uint32
 	for i := 0; i < depth; i++ {
@@ -208,6 +226,8 @@ func makeCellScale(lo, hi float64, depth int) cellScale {
 
 // coord maps x to its grid cell, bit-identical to
 // cellCoord(x, lo, hi, depth).
+//
+//popvet:noalloc
 func (cs *cellScale) coord(x float64) uint32 {
 	if !cs.fast {
 		return cellCoord(x, cs.lo, cs.hi, cs.depth)

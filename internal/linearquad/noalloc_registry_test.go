@@ -1,0 +1,95 @@
+package linearquad
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"popana/internal/analysis/allocfree"
+)
+
+// TestNoallocRegistry mechanically ties TestZeroAlloc's kernel table
+// to the //popvet:noalloc directive set: every kernel the dynamic
+// test pins at 0 allocs/op must also carry the directive, so the
+// allocfree analyzer audits it statically. The check parses both
+// sides from source — renaming a kernel, adding a table row, or
+// dropping a directive breaks it without any list to hand-maintain.
+func TestNoallocRegistry(t *testing.T) {
+	fset := token.NewFileSet()
+	pinned := pinnedKernels(t, fset)
+	if len(pinned) < 5 {
+		t.Fatalf("parsed only %d pinned kernels from TestZeroAlloc; table extraction is broken", len(pinned))
+	}
+	marked := markedFuncs(t, fset)
+	if len(marked) == 0 {
+		t.Fatal("no " + allocfree.Directive + " directives found in the package")
+	}
+	for _, name := range pinned {
+		if !marked[name] {
+			t.Errorf("TestZeroAlloc pins %s at 0 allocs/op, but it does not carry %s", name, allocfree.Directive)
+		}
+	}
+}
+
+// pinnedKernels extracts the method names from TestZeroAlloc's cases
+// table: each row is {"Name", func() { ... }}.
+func pinnedKernels(t *testing.T, fset *token.FileSet) []string {
+	f, err := parser.ParseFile(fset, "zeroalloc_test.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Name.Name != "TestZeroAlloc" {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			row, ok := n.(*ast.CompositeLit)
+			if !ok || len(row.Elts) != 2 {
+				return true
+			}
+			lit, ok := row.Elts[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err == nil && name != "" {
+				names = append(names, name)
+			}
+			return true
+		})
+	}
+	return names
+}
+
+// markedFuncs collects the names of every function in the package's
+// non-test files whose doc comment carries the noalloc directive.
+func markedFuncs(t *testing.T, fset *token.FileSet) map[string]bool {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	marked := map[string]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(".", name), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && allocfree.HasDirective(fn) {
+				marked[fn.Name.Name] = true
+			}
+		}
+	}
+	return marked
+}
