@@ -44,15 +44,16 @@ func main() {
 		runPat    = flag.String("run", "", "run only benchmarks whose name matches this regexp")
 		frzAllocs = flag.Int64("freeze-allocs", 6900, "max allocs/op allowed for FreezeBuild64k when it runs (0: no gate)")
 		frSpeedup = flag.Float64("frozen-range-speedup", 0, "minimum geomean ns/op speedup of FrozenRange* vs the baseline (0: no gate)")
+		gbSpeedup = flag.Float64("getbatch-speedup", 0, "minimum within-report geomean speedup of TableGetBatch* vs the scalar Get loop (0: no gate)")
 	)
 	flag.Parse()
-	if err := run(*out, *label, *baseline, *threshold, *short, *benchtime, *cpuprof, *memprof, *runPat, *frzAllocs, *frSpeedup); err != nil {
+	if err := run(*out, *label, *baseline, *threshold, *short, *benchtime, *cpuprof, *memprof, *runPat, *frzAllocs, *frSpeedup, *gbSpeedup); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, label, baseline string, threshold float64, short bool, benchtime time.Duration, cpuprof, memprof, runPat string, frzAllocs int64, frSpeedup float64) error {
+func run(out, label, baseline string, threshold float64, short bool, benchtime time.Duration, cpuprof, memprof, runPat string, frzAllocs int64, frSpeedup, gbSpeedup float64) error {
 	if err := bench.SetBenchtime(benchtime); err != nil {
 		return err
 	}
@@ -171,6 +172,23 @@ func run(out, label, baseline string, threshold float64, short bool, benchtime t
 			skipGate("freeze-allocs", "FreezeBuild64k not in this run")
 		}
 	}
+	// The batched-read headline claim: one GetBatch call beats the
+	// equivalent scalar Get loop over the identical probe stream. Both
+	// sides of each pair live in this report, so the gate needs no
+	// baseline and no CPU-count comparability check — it is a
+	// within-run ratio over single-threaded benchmarks. The measured
+	// speedup is always recorded when the pairs ran; -getbatch-speedup
+	// turns it into a gate.
+	gbErr := error(nil)
+	if sp, n := report.GetBatchSpeedup(); n > 0 {
+		report.TableGetBatchSpeedup = sp
+		fmt.Printf("table GetBatch speedup vs scalar Get loop: %.2fx over %d pair(s)\n", sp, n)
+		if gbSpeedup > 0 && sp < gbSpeedup {
+			gbErr = fmt.Errorf("table GetBatch speedup %.2fx is below the %.2fx gate", sp, gbSpeedup)
+		}
+	} else if gbSpeedup > 0 {
+		skipGate("getbatch-speedup", "TableGetScalar/TableGetBatch pairs not in this run")
+	}
 	// The baseline is resolved before the report is written so skipped
 	// gates — an absent baseline, a cross-machine timing skip — land in
 	// the JSON, not just on the console.
@@ -229,20 +247,87 @@ func run(out, label, baseline string, threshold float64, short bool, benchtime t
 		}
 		fmt.Printf("wrote %s (%d benchmarks)\n", out, len(report.Results))
 	}
-	gateErr := errors.Join(speedupErr, allocsErr, frErr)
+	gateErr := errors.Join(speedupErr, allocsErr, gbErr, frErr)
 	if basePath == "" {
 		return gateErr
 	}
 	regs := bench.Compare(base, report, threshold)
+	regErr := error(nil)
 	if len(regs) == 0 {
 		fmt.Printf("no regressions beyond %+.0f%% vs %s\n", threshold*100, basePath)
-		return gateErr
+	} else {
+		for _, g := range regs {
+			fmt.Fprintf(os.Stderr, "REGRESSION %s\n", g)
+		}
+		regErr = fmt.Errorf("%d regression(s) beyond %+.0f%% vs %s", len(regs), threshold*100, basePath)
 	}
-	for _, g := range regs {
-		fmt.Fprintf(os.Stderr, "REGRESSION %s\n", g)
+	// A failing run prints the full per-benchmark delta table, worst
+	// first, so the console leads with where the damage is instead of
+	// making the reader diff two JSON files by hand.
+	if gateErr != nil || regErr != nil {
+		printDeltaTable(base, report)
 	}
-	return errors.Join(gateErr,
-		fmt.Errorf("%d regression(s) beyond %+.0f%% vs %s", len(regs), threshold*100, basePath))
+	return errors.Join(gateErr, regErr)
+}
+
+// printDeltaTable writes every benchmark present in both reports to
+// stderr with its ns/op and allocs/op movement, sorted worst-first by
+// the ns/op growth ratio (ties broken by allocs growth, then name).
+// Benchmarks only in one report are omitted — they have no delta.
+func printDeltaTable(base, cur bench.Report) {
+	old := make(map[string]bench.Result, len(base.Results))
+	for _, r := range base.Results {
+		old[r.Name] = r
+	}
+	type row struct {
+		name          string
+		nsRatio       float64
+		baseNs, curNs float64
+		allocRatio    float64
+		baseAl, curAl int64
+	}
+	ratio := func(baseV, curV float64) float64 {
+		if baseV <= 0 {
+			return 1
+		}
+		return curV / baseV
+	}
+	var rows []row
+	for _, c := range cur.Results {
+		b, ok := old[c.Name]
+		if !ok {
+			continue
+		}
+		rows = append(rows, row{
+			name:       c.Name,
+			nsRatio:    ratio(b.NsPerOp, c.NsPerOp),
+			baseNs:     b.NsPerOp,
+			curNs:      c.NsPerOp,
+			allocRatio: ratio(float64(b.AllocsPerOp), float64(c.AllocsPerOp)),
+			baseAl:     b.AllocsPerOp,
+			curAl:      c.AllocsPerOp,
+		})
+	}
+	if len(rows) == 0 {
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].nsRatio != rows[j].nsRatio {
+			return rows[i].nsRatio > rows[j].nsRatio
+		}
+		if rows[i].allocRatio != rows[j].allocRatio {
+			return rows[i].allocRatio > rows[j].allocRatio
+		}
+		return rows[i].name < rows[j].name
+	})
+	fmt.Fprintf(os.Stderr, "per-benchmark deltas vs baseline, worst first:\n")
+	fmt.Fprintf(os.Stderr, "  %-28s %14s %14s %8s %12s %8s\n",
+		"benchmark", "base ns/op", "ns/op", "delta", "allocs/op", "delta")
+	for _, r := range rows {
+		fmt.Fprintf(os.Stderr, "  %-28s %14.0f %14.0f %+7.1f%% %5d->%-5d %+7.1f%%\n",
+			r.name, r.baseNs, r.curNs, (r.nsRatio-1)*100,
+			r.baseAl, r.curAl, (r.allocRatio-1)*100)
+	}
 }
 
 // resolveBaseline picks the report to compare against: an explicit path,

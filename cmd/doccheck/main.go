@@ -66,10 +66,14 @@ func main() {
 
 // index maps the module's documentable surface: exported package-level
 // identifiers by package name, and exported methods/fields by exported
-// receiver/struct type name.
+// receiver/struct type name. Type aliases (`type A = pkg.B`) resolve
+// through to their target's members, so a doc reference like
+// `SpatialTable.GetBatch` is checked against spatialdb.Table's methods
+// instead of being silently skipped.
 type index struct {
 	pkgIdents   map[string]map[string]bool // package name -> exported top-level idents
 	typeMembers map[string]map[string]bool // exported type name -> exported methods + fields
+	aliases     map[string]string          // exported alias name -> target base type name
 }
 
 // indexModule parses every .go file under root (tests included — docs
@@ -79,6 +83,7 @@ func indexModule(root string) (*index, error) {
 	idx := &index{
 		pkgIdents:   map[string]map[string]bool{},
 		typeMembers: map[string]map[string]bool{},
+		aliases:     map[string]string{},
 	}
 	fset := token.NewFileSet()
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
@@ -107,7 +112,27 @@ func indexModule(root string) (*index, error) {
 	if err != nil {
 		return nil, err
 	}
+	idx.resolveAliases()
 	return idx, nil
+}
+
+// resolveAliases points every exported alias at its target's member
+// set, following alias-of-alias chains (bounded by the alias count, so
+// a cycle terminates). An alias of a type with no recorded members
+// resolves to nothing and its references stay unchecked, as before.
+func (idx *index) resolveAliases() {
+	for alias, target := range idx.aliases {
+		for range idx.aliases {
+			next, ok := idx.aliases[target]
+			if !ok {
+				break
+			}
+			target = next
+		}
+		if members := idx.typeMembers[target]; members != nil && idx.typeMembers[alias] == nil {
+			idx.typeMembers[alias] = members
+		}
+	}
 }
 
 func (idx *index) addFile(f *ast.File) {
@@ -143,6 +168,11 @@ func (idx *index) addFile(f *ast.File) {
 							}
 						}
 					}
+					if s.Assign.IsValid() && ast.IsExported(s.Name.Name) {
+						if target := aliasTargetName(s.Type); target != "" {
+							idx.aliases[s.Name.Name] = target
+						}
+					}
 				case *ast.ValueSpec:
 					for _, n := range s.Names {
 						add(idx.pkgIdents, pkg, n.Name)
@@ -164,6 +194,29 @@ func receiverTypeName(expr ast.Expr) string {
 			expr = e.X
 		case *ast.IndexListExpr:
 			expr = e.X
+		case *ast.Ident:
+			return e.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// aliasTargetName unwraps an alias declaration's right-hand side —
+// `B`, `pkg.B`, `B[V]`, `*B` — to the base type name the alias stands
+// for. Anything more structural (func types, struct literals) returns
+// "" and the alias keeps no members.
+func aliasTargetName(expr ast.Expr) string {
+	for {
+		switch e := expr.(type) {
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.IndexListExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			return e.Sel.Name
 		case *ast.Ident:
 			return e.Name
 		default:

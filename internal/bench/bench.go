@@ -42,6 +42,7 @@ func Suite(short bool) []Spec {
 	specs = append(specs, frozenSpecs(short)...)
 	specs = append(specs, concurrentSpecs()...)
 	specs = append(specs, durableSpecs()...)
+	specs = append(specs, tableBatchSpecs(short)...)
 	if !short {
 		specs = append(specs,
 			Spec{"Table1ExpectedDistribution", benchTable1},

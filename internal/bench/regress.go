@@ -34,6 +34,12 @@ type Report struct {
 	// sharded ns/op), recorded when both benchmarks ran. cmd/bench
 	// gates on it on multi-core machines.
 	ParallelInsertSpeedup8W float64 `json:"parallel_insert_speedup_8w,omitempty"`
+	// TableGetBatchSpeedup is the within-report geometric-mean speedup
+	// of the table-level batched read path over the scalar Get loop
+	// across the in-memory TableGetScalar*/TableGetBatch* pairs,
+	// recorded when at least one pair ran. cmd/bench gates on it when
+	// -getbatch-speedup is set.
+	TableGetBatchSpeedup float64 `json:"table_getbatch_speedup,omitempty"`
 	// GatesSkipped lists the acceptance gates cmd/bench could not apply
 	// to this run and why, as "gate: reason" strings. A green run that
 	// proved less than usual (too few CPUs for the speedup gate, no
@@ -61,6 +67,42 @@ func (r Report) InsertSpeedup8() (speedup float64, ok bool) {
 		return 0, false
 	}
 	return single / sharded, true
+}
+
+// GetBatchSpeedup computes the within-report geometric-mean ns/op
+// speedup of the table-level batch read path over the scalar Get loop:
+// for every TableGetScalar<mix> result whose TableGetBatch<mix>
+// partner is also present, the scalar-over-batch ratio contributes one
+// factor. Both benchmarks in a pair replay the identical probe stream,
+// so the ratio is a pure amortization factor and needs no baseline
+// report. The lazy durable pair is excluded — it measures the
+// disk-backed regime, which the in-memory gate must not average away.
+// n is the number of contributing pairs; n == 0 when no in-memory pair
+// is present or a contributing measurement is non-positive.
+func (r Report) GetBatchSpeedup() (speedup float64, n int) {
+	byName := make(map[string]Result, len(r.Results))
+	for _, res := range r.Results {
+		byName[res.Name] = res
+	}
+	logSum := 0.0
+	for _, res := range r.Results {
+		if !strings.HasPrefix(res.Name, "TableGetScalar") || strings.Contains(res.Name, "Lazy") {
+			continue
+		}
+		batch, ok := byName["TableGetBatch"+strings.TrimPrefix(res.Name, "TableGetScalar")]
+		if !ok {
+			continue
+		}
+		if res.NsPerOp <= 0 || batch.NsPerOp <= 0 {
+			return 0, 0
+		}
+		logSum += math.Log(res.NsPerOp / batch.NsPerOp)
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return math.Exp(logSum / float64(n)), n
 }
 
 // Result is one benchmark's measurements.

@@ -140,6 +140,40 @@ func TestFrozenRangeSpeedup(t *testing.T) {
 	}
 }
 
+// TestGetBatchSpeedup checks the within-report scalar-vs-batch geomean
+// behind cmd/bench's -getbatch-speedup gate: only TableGetScalar/
+// TableGetBatch pairs count, the Lazy (disk-regime) pair is excluded,
+// and a non-positive timing invalidates the whole gate.
+func TestGetBatchSpeedup(t *testing.T) {
+	r := Report{Results: []Result{
+		{Name: "TableGetScalar64k", NsPerOp: 400},
+		{Name: "TableGetBatch64k", NsPerOp: 100}, // 4x
+		{Name: "TableGetScalarSkew64k", NsPerOp: 100},
+		{Name: "TableGetBatchSkew64k", NsPerOp: 100}, // 1x
+		{Name: "TableGetScalarLazy", NsPerOp: 1000},
+		{Name: "TableGetBatchLazy", NsPerOp: 1},     // disk regime: excluded
+		{Name: "TableGetScalarOrphan", NsPerOp: 50}, // no batch twin: skipped
+		{Name: "TableCountBatch64k", NsPerOp: 10},   // not a Get pair
+	}}
+	speedup, n := r.GetBatchSpeedup()
+	if n != 2 {
+		t.Fatalf("want 2 contributing pairs, got %d", n)
+	}
+	if speedup < 1.99 || speedup > 2.01 { // geomean(4, 1) = 2
+		t.Fatalf("geomean speedup = %v, want 2", speedup)
+	}
+	if _, n := (Report{}).GetBatchSpeedup(); n != 0 {
+		t.Fatalf("empty report contributed %d pairs", n)
+	}
+	bad := Report{Results: []Result{
+		{Name: "TableGetScalar64k", NsPerOp: 400},
+		{Name: "TableGetBatch64k", NsPerOp: 0},
+	}}
+	if _, n := bad.GetBatchSpeedup(); n != 0 {
+		t.Fatalf("non-positive timing contributed %d pairs", n)
+	}
+}
+
 // TestRunSmoke runs one real (tiny) benchmark through the harness and
 // checks the report is populated.
 func TestRunSmoke(t *testing.T) {

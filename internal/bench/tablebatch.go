@@ -1,0 +1,249 @@
+// tablebatch.go holds the table-level batched-read benchmarks: a
+// scalar Get loop versus one GetBatch call over the identical probe
+// stream, so each scalar/batch pair's ns/op divide into a clean
+// amortization factor — the number behind cmd/bench's
+// -getbatch-speedup gate. Three id mixes exercise the three serving
+// regimes: a uniform mix across all shards of the in-memory sharded
+// path, a shard-skewed mix that lands every probe in one Morton cell,
+// and a lazy durable ladder where the batch path walks the sealed run
+// stack behind the per-run prefix filters. A CountRange pair rides
+// along for the window-batch path.
+package bench
+
+import (
+	"testing"
+
+	"popana/internal/geom"
+	"popana/internal/spatialdb"
+	"popana/internal/xrand"
+)
+
+// tableBatchSpecs returns the batched-read specs. The short set keeps
+// the in-memory Get pairs — the gate family — and drops the durable
+// ladder and the window pair, mirroring how the rest of the suite
+// trims to micro-benchmarks for CI smoke runs.
+func tableBatchSpecs(short bool) []Spec {
+	specs := []Spec{
+		{"TableGetScalar64k", benchTableGetScalar(batchUniformIDs)},
+		{"TableGetBatch64k", benchTableGetBatch(batchUniformIDs)},
+		{"TableGetScalarSkew64k", benchTableGetScalar(batchSkewedIDs)},
+		{"TableGetBatchSkew64k", benchTableGetBatch(batchSkewedIDs)},
+	}
+	if !short {
+		specs = append(specs,
+			Spec{"TableCountScalar64k", benchTableCount(false)},
+			Spec{"TableCountBatch64k", benchTableCount(true)},
+			Spec{"TableGetScalarLazy", benchTableGetLazy(false)},
+			Spec{"TableGetBatchLazy", benchTableGetLazy(true)},
+		)
+	}
+	return specs
+}
+
+const (
+	// tableBatchRecords is the population of the in-memory batch
+	// benchmarks: 64k entries, the scale the acceptance gate names.
+	tableBatchRecords = 64 * 1024
+	// tableBatchProbes is the probe count of one benchmark op — one
+	// GetBatch call, or the same number of scalar Gets.
+	tableBatchProbes = 1024
+)
+
+// newBatchBenchTable builds the shared 64k sharded in-memory table,
+// compacted so every shard serves from a frozen snapshot — the
+// steady-state read regime the batch engine targets.
+func newBatchBenchTable(b *testing.B) (*spatialdb.Table, []spatialdb.Record) {
+	b.Helper()
+	recs := uniformRecords(b, tableBatchRecords, 95)
+	tab, err := spatialdb.NewDB().CreateTableWith("t",
+		spatialdb.TableOptions{Capacity: 8, ShardBits: shardedBits})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tab.InsertBatch(recs); err != nil {
+		b.Fatal(err)
+	}
+	if err := tab.Compact(); err != nil {
+		b.Fatal(err)
+	}
+	return tab, recs
+}
+
+// batchUniformIDs is the uniform probe mix: 3 of 4 probes hit a live
+// id, 1 of 4 asks for an id above the population — the same hit ratio
+// the kernel-level FrozenGetBatch benchmark uses, so the table-level
+// numbers compose with it.
+func batchUniformIDs(recs []spatialdb.Record, seed uint64) []uint64 {
+	rng := xrand.New(seed)
+	n := uint64(len(recs))
+	ids := make([]uint64, tableBatchProbes)
+	for i := range ids {
+		if rng.Uint64()%4 == 0 {
+			ids[i] = n + rng.Uint64()%n // definite miss
+		} else {
+			ids[i] = recs[rng.Uint64()%n].ID
+		}
+	}
+	return ids
+}
+
+// batchSkewedIDs is the hot-shard mix: every probe hits a record in
+// the lowest Morton cell ([0,0.25)^2 at ShardBits 2), so the whole
+// batch collapses into one shard group — the best case for the
+// partition (one lock, one kernel call) and the worst case for
+// contention on the scalar path.
+func batchSkewedIDs(recs []spatialdb.Record, seed uint64) []uint64 {
+	var hot []uint64
+	for _, r := range recs {
+		if r.Loc.X < 0.25 && r.Loc.Y < 0.25 {
+			hot = append(hot, r.ID)
+		}
+	}
+	rng := xrand.New(seed)
+	ids := make([]uint64, tableBatchProbes)
+	for i := range ids {
+		ids[i] = hot[rng.Uint64()%uint64(len(hot))]
+	}
+	return ids
+}
+
+// benchTableGetScalar measures the baseline the batch path is gated
+// against: tableBatchProbes scalar Gets over the same id stream the
+// batch benchmark replays. One op = the full probe stream.
+func benchTableGetScalar(mix func([]spatialdb.Record, uint64) []uint64) func(*testing.B) {
+	return func(b *testing.B) {
+		tab, recs := newBatchBenchTable(b)
+		ids := mix(recs, 96)
+		hits := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			hits = 0
+			for _, id := range ids {
+				if _, ok := tab.Get(id); ok {
+					hits++
+				}
+			}
+		}
+		b.ReportMetric(tableBatchProbes, "probes/op")
+		b.ReportMetric(float64(hits), "hits/op")
+	}
+}
+
+// benchTableGetBatch measures one GetBatch call over the identical
+// probe stream, scratch warmed outside the timer so the measured loop
+// is the steady state the zero-alloc guarantee covers.
+func benchTableGetBatch(mix func([]spatialdb.Record, uint64) []uint64) func(*testing.B) {
+	return func(b *testing.B) {
+		tab, recs := newBatchBenchTable(b)
+		ids := mix(recs, 96)
+		var sc spatialdb.BatchScratch
+		out := make([]spatialdb.Record, len(ids))
+		found := make([]bool, len(ids))
+		hits := tab.GetBatch(&sc, ids, out, found) // warm the scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			hits = tab.GetBatch(&sc, ids, out, found)
+		}
+		b.ReportMetric(tableBatchProbes, "probes/op")
+		b.ReportMetric(float64(hits), "hits/op")
+	}
+}
+
+// batchCountWindows returns 64 small windows (0.05 on a side, ~0.25%
+// of the unit square each) scattered by seed, the window stream both
+// count benchmarks share.
+func batchCountWindows(seed uint64) []geom.Rect {
+	rng := xrand.New(seed)
+	ws := make([]geom.Rect, 64)
+	for i := range ws {
+		x := rng.Float64() * 0.95
+		y := rng.Float64() * 0.95
+		ws[i] = geom.R(x, y, x+0.05, y+0.05)
+	}
+	return ws
+}
+
+// benchTableCount measures the window-batch path against its scalar
+// baseline: 64 CountRange windows one by one, or one CountRangeBatch
+// call over the same slice.
+func benchTableCount(batch bool) func(*testing.B) {
+	return func(b *testing.B) {
+		tab, _ := newBatchBenchTable(b)
+		windows := batchCountWindows(97)
+		b.ReportAllocs()
+		if batch {
+			var sc spatialdb.BatchScratch
+			counts := make([]int, len(windows))
+			if err := tab.CountRangeBatch(&sc, windows, counts); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := tab.CountRangeBatch(&sc, windows, counts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		} else {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, w := range windows {
+					if _, _, err := tab.CountRange(w, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		b.ReportMetric(float64(len(windows)), "windows/op")
+	}
+}
+
+// benchTableGetLazy measures the disk-backed Get pair on the lazy
+// ladder the durable query benchmarks use (full run + delta run + WAL
+// tail): the batch path sorts each shard group by Morton code and
+// walks the run stack once behind the prefix filters, where the
+// scalar loop walks it per probe. A priming pass loads the touched
+// blocks so the measured loop is the warm-cache serving cost.
+func benchTableGetLazy(batch bool) func(*testing.B) {
+	return func(b *testing.B) {
+		tab := newLazyQueryTable(b)
+		defer tab.Kill()
+		rng := xrand.New(98)
+		ids := make([]uint64, tableBatchProbes)
+		for i := range ids {
+			if rng.Uint64()%4 == 0 {
+				ids[i] = lazyQueryRecords + rng.Uint64()%lazyQueryRecords
+			} else {
+				ids[i] = rng.Uint64() % lazyQueryRecords
+			}
+		}
+		hits := 0
+		b.ReportAllocs()
+		if batch {
+			var sc spatialdb.BatchScratch
+			out := make([]spatialdb.Record, len(ids))
+			found := make([]bool, len(ids))
+			hits = tab.GetBatch(&sc, ids, out, found) // prime cache + scratch
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hits = tab.GetBatch(&sc, ids, out, found)
+			}
+		} else {
+			for _, id := range ids { // prime the cache
+				tab.Get(id)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hits = 0
+				for _, id := range ids {
+					if _, ok := tab.Get(id); ok {
+						hits++
+					}
+				}
+			}
+		}
+		b.ReportMetric(tableBatchProbes, "probes/op")
+		b.ReportMetric(float64(hits), "hits/op")
+	}
+}

@@ -369,6 +369,26 @@ func (f *Frozen[V]) Contains(p geom.Point) bool {
 	return ok
 }
 
+// GetInto is Get writing the stored value directly into *dst, which is
+// left untouched when p is absent. It saves one value copy per hit —
+// the difference matters to the batch sweeps, which resolve thousands
+// of probes back to back into caller-owned output slots.
+//
+//popvet:noalloc
+func (f *Frozen[V]) GetInto(p geom.Point, dst *V) bool {
+	if !f.region.Contains(p) {
+		return false
+	}
+	i := f.leafOf(Interleave(f.csX.coord(p.X), f.csY.coord(p.Y)))
+	for k := f.starts[i]; k < f.starts[i+1]; k++ {
+		if f.xs[k] == p.X && f.ys[k] == p.Y {
+			*dst = f.vals[k]
+			return true
+		}
+	}
+	return false
+}
+
 // Range calls visit for every stored point inside the closed query
 // rectangle, in Z-order of leaf blocks, and reports whether the scan
 // ran to completion (visit never returned false). Results are

@@ -1,0 +1,138 @@
+package segment
+
+import "fmt"
+
+// The run filter: a fixed-budget membership summary over the Morton
+// codes a sealed run contains, consulted by the lazy read path before
+// any cursor or block fetch so point and small-range probes skip runs
+// that cannot hold them.
+//
+// The design is a prefix bitset, not a hashed Bloom filter: Morton
+// codes at a fixed canonical depth are already a hierarchy of quadrant
+// prefixes, so truncating every code by a run-specific shift maps it
+// onto at most filterBits distinct quadrants, and one bit per quadrant
+// records occupancy exactly at that granularity. The result is
+// never-false-negative by construction (a code the run contains always
+// sets its own prefix bit) and — unlike a hash filter — supports range
+// probes: a contiguous Z-interval [zmin, zmax] truncates to the
+// contiguous prefix interval [zmin>>shift, zmax>>shift], so one bitset
+// scan answers "could any entry of this run fall in the interval?".
+//
+// The shift is chosen per run as the smallest even value that fits the
+// run's largest code in filterBits prefixes; even so that truncation
+// stays quadrant-aligned (each Morton level is two bits). Small runs —
+// the common case for WAL-tail deltas — get shift 0 and an exact
+// membership map; a full run over a 2^24-code shard keeps its top six
+// quadrant levels. The budget is fixed at 513 encoded bytes so a
+// thousand-run stack costs half a megabyte of filters.
+
+const (
+	// filterBits is the fixed prefix-bitset budget: 4096 bits = 512
+	// bytes, six quadrant levels of resolution.
+	filterBits  = 4096
+	filterWords = filterBits / 64
+	// filterPayloadSize is the encoded size: shift byte + bitset.
+	filterPayloadSize = 1 + filterBits/8
+)
+
+// prefixFilter is the decoded run filter. A nil *prefixFilter (runs
+// sealed before format v3) means "no information": every probe passes.
+type prefixFilter struct {
+	shift uint8
+	bits  [filterWords]uint64
+}
+
+// buildFilter summarizes a sorted entry slice. Tombstones count as
+// members: a tombstone is exactly what a point probe must find.
+func buildFilter(entries []Entry) *prefixFilter {
+	f := &prefixFilter{}
+	if len(entries) == 0 {
+		return f // all-zero bitset: correctly rejects every probe
+	}
+	maxCode := entries[len(entries)-1].Code
+	for maxCode>>f.shift >= filterBits {
+		f.shift += 2
+	}
+	for i := range entries {
+		p := entries[i].Code >> f.shift
+		f.bits[p/64] |= 1 << (p % 64)
+	}
+	return f
+}
+
+// mayContain reports whether the run could hold an entry with the
+// given Morton code. False is definitive; true may be a false positive
+// (another entry shares the prefix quadrant).
+func (f *prefixFilter) mayContain(code uint64) bool {
+	if f == nil {
+		return true
+	}
+	p := code >> f.shift
+	if p >= filterBits {
+		// Beyond the run's largest code by construction of shift.
+		return false
+	}
+	return f.bits[p/64]&(1<<(p%64)) != 0
+}
+
+// mayContainRange reports whether the run could hold any entry with a
+// code in [lo, hi]. The prefix interval is contiguous because shifting
+// is monotone, so a word-wise bitset scan decides it.
+func (f *prefixFilter) mayContainRange(lo, hi uint64) bool {
+	if f == nil {
+		return true
+	}
+	if hi < lo {
+		return false
+	}
+	plo := lo >> f.shift
+	if plo >= filterBits {
+		return false
+	}
+	phi := hi >> f.shift
+	if phi >= filterBits {
+		phi = filterBits - 1
+	}
+	wlo, whi := plo/64, phi/64
+	if wlo == whi {
+		mask := (^uint64(0) << (plo % 64)) & (^uint64(0) >> (63 - phi%64))
+		return f.bits[wlo]&mask != 0
+	}
+	if f.bits[wlo]&(^uint64(0)<<(plo%64)) != 0 {
+		return true
+	}
+	for w := wlo + 1; w < whi; w++ {
+		if f.bits[w] != 0 {
+			return true
+		}
+	}
+	return f.bits[whi]&(^uint64(0)>>(63-phi%64)) != 0
+}
+
+// encodeFilter serializes a filter into its fixed-size block payload.
+func encodeFilter(f *prefixFilter) []byte {
+	b := make([]byte, filterPayloadSize)
+	b[0] = f.shift
+	for i, w := range f.bits {
+		for j := 0; j < 8; j++ {
+			b[1+8*i+j] = byte(w >> (8 * j))
+		}
+	}
+	return b
+}
+
+// decodeFilter parses a filter block payload.
+func decodeFilter(b []byte) (*prefixFilter, error) {
+	if len(b) != filterPayloadSize {
+		return nil, fmt.Errorf("%w: filter block is %d bytes, want %d", ErrCorrupt, len(b), filterPayloadSize)
+	}
+	f := &prefixFilter{shift: b[0]}
+	for i := range f.bits {
+		var w uint64
+		for j := 7; j >= 0; j-- {
+			w = w<<8 | uint64(b[1+8*i+j])
+		}
+		f.bits[i] = w
+	}
+	return f, nil
+}

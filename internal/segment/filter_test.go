@@ -1,0 +1,273 @@
+package segment
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"popana/internal/xrand"
+)
+
+// randomRun builds a sorted, strictly increasing entry slice with codes
+// drawn uniformly from [0, codeSpace).
+func randomRun(rng *xrand.Rand, n int, codeSpace uint64) []Entry {
+	seen := make(map[uint64]bool, n)
+	codes := make([]uint64, 0, n)
+	for len(codes) < n {
+		c := rng.Uint64() % codeSpace
+		if !seen[c] {
+			seen[c] = true
+			codes = append(codes, c)
+		}
+	}
+	sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
+	out := make([]Entry, n)
+	for i, c := range codes {
+		out[i] = Entry{Code: c, ID: uint64(i), X: float64(i), Y: float64(i), Payload: []byte{1}}
+		if i%7 == 3 {
+			out[i].Tombstone = true
+			out[i].Payload = nil
+		}
+	}
+	return out
+}
+
+// TestFilterNeverFalseNegative fuzzes seal/reopen round-trips over a
+// spread of run sizes and code densities: the reopened run's filter
+// must pass every Morton code the run actually contains (tombstones
+// included), both as point probes and as degenerate range probes.
+func TestFilterNeverFalseNegative(t *testing.T) {
+	dir := t.TempDir()
+	rng := xrand.New(31001)
+	for trial := 0; trial < 40; trial++ {
+		// Sweep densities: tiny exact-map runs (shift 0) through sparse
+		// runs over a wide code space (large shifts). Keep the unique
+		// codes well under the space so sampling terminates.
+		codeSpace := uint64(1) << (4 + rng.Uint64()%45)
+		n := 1 + int(rng.Uint64()%500)
+		if max := int(codeSpace / 2); n > max {
+			n = max
+		}
+		entries := randomRun(rng, n, codeSpace)
+		path := filepath.Join(dir, "fnfuzz.seg")
+		meta := sampleMeta()
+		meta.Kind = Delta
+		if err := Write(path, meta, nil, nil, entries, nil); err != nil {
+			t.Fatal(err)
+		}
+		r, err := OpenReader(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.HasFilter() {
+			t.Fatalf("trial %d: freshly sealed run has no filter", trial)
+		}
+		for _, e := range entries {
+			if !r.MayContain(e.Code) {
+				t.Fatalf("trial %d: filter rejected contained code %d (n=%d space=%d)",
+					trial, e.Code, n, codeSpace)
+			}
+			if !r.MayContainRange(e.Code, e.Code) {
+				t.Fatalf("trial %d: range filter rejected contained code %d", trial, e.Code)
+			}
+		}
+		// Any interval covering a contained code must pass too.
+		for i := 0; i < 50; i++ {
+			e := entries[rng.Uint64()%uint64(len(entries))]
+			lo := e.Code - rng.Uint64()%(e.Code+1)
+			hi := e.Code + rng.Uint64()%1024
+			if hi < e.Code { // wrapped
+				hi = e.Code
+			}
+			if !r.MayContainRange(lo, hi) {
+				t.Fatalf("trial %d: range [%d,%d] covering code %d rejected", trial, lo, hi, e.Code)
+			}
+		}
+		r.Close()
+	}
+}
+
+// TestFilterFalsePositiveRate measures the point-probe FP rate of the
+// fixed 4096-bit budget on a uniform 4k-entry run over a 2^40 code
+// space — the regime a full shard run lives in. Uniform misses should
+// almost always land in an empty prefix quadrant: with 4096 entries
+// spread over 4096 quadrants the occupied fraction is ≤ 1-1/e ≈ 63%,
+// and the assertion only pins that the filter prunes *something*
+// substantial rather than degenerating to all-ones.
+func TestFilterFalsePositiveRate(t *testing.T) {
+	rng := xrand.New(31002)
+	const n = 4096
+	const codeSpace = uint64(1) << 40
+	entries := randomRun(rng, n, codeSpace)
+	f := buildFilter(entries)
+	contained := make(map[uint64]bool, n)
+	for _, e := range entries {
+		contained[e.Code] = true
+	}
+	misses, passes := 0, 0
+	for i := 0; i < 100000; i++ {
+		c := rng.Uint64() % codeSpace
+		if contained[c] {
+			continue
+		}
+		misses++
+		if f.mayContain(c) {
+			passes++
+		}
+	}
+	rate := float64(passes) / float64(misses)
+	t.Logf("FP rate at 4096-bit budget, %d entries over 2^40 codes: %.4f (%d/%d)",
+		n, rate, passes, misses)
+	if rate > 0.70 {
+		t.Fatalf("FP rate %.4f exceeds 0.70: filter budget is not pruning", rate)
+	}
+}
+
+func TestFilterEmptyAndBounds(t *testing.T) {
+	f := buildFilter(nil)
+	if f.mayContain(0) || f.mayContain(12345) {
+		t.Fatal("empty-run filter passed a probe")
+	}
+	if f.mayContainRange(0, ^uint64(0)) {
+		t.Fatal("empty-run filter passed a full-space range")
+	}
+	var nilF *prefixFilter
+	if !nilF.mayContain(7) || !nilF.mayContainRange(3, 9) {
+		t.Fatal("nil (pre-v3) filter must pass every probe")
+	}
+	f = buildFilter([]Entry{{Code: 100}, {Code: 4095}})
+	if f.shift != 0 {
+		t.Fatalf("shift = %d for max code 4095, want 0", f.shift)
+	}
+	if f.mayContainRange(9, 3) {
+		t.Fatal("inverted range passed")
+	}
+	if f.mayContain(4096) || f.mayContainRange(4096, 1<<40) {
+		t.Fatal("probe beyond the run's max code passed")
+	}
+	if !f.mayContainRange(0, 1<<40) {
+		t.Fatal("covering range rejected")
+	}
+	f = buildFilter([]Entry{{Code: 4096}})
+	if f.shift != 2 {
+		t.Fatalf("shift = %d for max code 4096, want 2 (quad-aligned)", f.shift)
+	}
+}
+
+func TestFilterEncodeDecodeRoundTrip(t *testing.T) {
+	rng := xrand.New(31003)
+	for trial := 0; trial < 10; trial++ {
+		f := buildFilter(randomRun(rng, 200, uint64(1)<<30))
+		g, err := decodeFilter(encodeFilter(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *g != *f {
+			t.Fatalf("round-trip mismatch: shift %d vs %d", g.shift, f.shift)
+		}
+	}
+	if _, err := decodeFilter(make([]byte, filterPayloadSize-1)); err == nil {
+		t.Fatal("short filter payload accepted")
+	}
+}
+
+// writeLegacyV2 seals a run in the pre-filter version-2 layout: same
+// header fields with version byte 2, codes/starts/index blocks, entry
+// blocks, footer — no filter block.
+func writeLegacyV2(t *testing.T, path string, meta Meta, codes []uint64, starts []int32, entries []Entry) {
+	t.Helper()
+	meta.Entries = len(entries)
+	meta.Leaves = 0
+	if len(codes) > 0 {
+		meta.Leaves = len(codes) - 1
+	}
+	chunks := splitEntryBlocks(entries)
+	body := appendHeader(nil, meta)
+	body[5] = 2 // rewrite the version byte and re-seal the header CRC
+	binary.LittleEndian.PutUint32(body[headerSize-4:headerSize],
+		crc32.Checksum(body[:headerSize-4], castagnoli))
+	body = appendBlock(body, encodeCodes(codes))
+	body = appendBlock(body, encodeStarts(starts))
+	off := uint64(len(body)) + frameSize(uint64(indexRecSize*len(chunks)))
+	index := make([]byte, 0, indexRecSize*len(chunks))
+	payloads := make([][]byte, len(chunks))
+	for i, ch := range chunks {
+		p := encodeEntries(ch)
+		payloads[i] = p
+		index = binary.LittleEndian.AppendUint64(index, ch[0].Code)
+		index = binary.LittleEndian.AppendUint64(index, ch[len(ch)-1].Code)
+		index = binary.LittleEndian.AppendUint64(index, off)
+		index = binary.LittleEndian.AppendUint64(index, uint64(len(p)))
+		index = binary.LittleEndian.AppendUint32(index, uint32(len(ch)))
+		off += frameSize(uint64(len(p)))
+	}
+	body = appendBlock(body, index)
+	for _, p := range payloads {
+		body = appendBlock(body, p)
+	}
+	var footer [footerSize]byte
+	binary.LittleEndian.PutUint64(footer[0:8], uint64(len(body)))
+	crc := crc32.Checksum(footer[0:8], castagnoli)
+	crc = crc32.Update(crc, castagnoli, endMagic[:])
+	binary.LittleEndian.PutUint32(footer[8:12], crc)
+	copy(footer[12:20], endMagic[:])
+	if err := os.WriteFile(path, append(body, footer[:]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadLegacyV2 proves version-2 run files (sealed before the
+// filter block existed) still open through both Read and OpenReader,
+// decode identically, and conservatively pass every filter probe.
+func TestReadLegacyV2(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "legacy.seg")
+	entries := sampleEntries(20)
+	codes := []uint64{0, 7, 21, 70, 256}
+	starts := []int32{0, 1, 3, 10, 20}
+	writeLegacyV2(t, path, sampleMeta(), codes, starts, entries)
+
+	run, err := Read(path)
+	if err != nil {
+		t.Fatalf("Read(v2): %v", err)
+	}
+	if len(run.Entries) != len(entries) || run.Meta.Leaves != len(codes)-1 {
+		t.Fatalf("v2 decode: %d entries, %d leaves", len(run.Entries), run.Meta.Leaves)
+	}
+	r, err := OpenReader(path)
+	if err != nil {
+		t.Fatalf("OpenReader(v2): %v", err)
+	}
+	defer r.Close()
+	if r.HasFilter() {
+		t.Fatal("v2 run reports a filter")
+	}
+	if !r.MayContain(999999) || !r.MayContainRange(1<<40, 1<<41) {
+		t.Fatal("filterless run must pass every probe")
+	}
+	for _, e := range entries {
+		got, ok, err := r.Find(e.Code, e.X, e.Y)
+		if err != nil || !ok || got.ID != e.ID {
+			t.Fatalf("Find(v2) code %d: ok=%v err=%v", e.Code, ok, err)
+		}
+	}
+
+	// An unknown future version must be rejected, not misparsed.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[5] = formatVersion + 1
+	binary.LittleEndian.PutUint32(data[headerSize-4:headerSize],
+		crc32.Checksum(data[:headerSize-4], castagnoli))
+	future := filepath.Join(dir, "future.seg")
+	if err := os.WriteFile(future, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(future); err == nil {
+		t.Fatal("future-version run accepted")
+	}
+}

@@ -40,6 +40,7 @@ type Reader struct {
 	codes  []uint64
 	starts []int32
 	index  []blockInfo
+	filter *prefixFilter // nil for pre-v3 runs: every probe passes
 	id     uint64
 	cache  *Cache
 	inj    *faultinject.Injector
@@ -91,16 +92,17 @@ func newReader(path string, f *os.File) (*Reader, error) {
 	if _, err := f.ReadAt(hdr[:], 0); err != nil {
 		return nil, fmt.Errorf("segment: read header %s: %w", path, err)
 	}
-	meta, _, err := readHeader(hdr[:])
+	meta, version, _, err := readHeader(hdr[:])
 	if err != nil {
 		return nil, fmt.Errorf("segment: %s: %w", path, err)
 	}
 	r := &Reader{path: path, f: f, meta: meta, id: readerIDs.Add(1)}
 
-	// The three metadata blocks follow the header back to back; read
-	// each frame sequentially by offset.
+	// The metadata blocks (three before v3, four with the filter)
+	// follow the header back to back; read each frame sequentially by
+	// offset.
 	off := uint64(headerSize)
-	var metaBlocks [3][]byte
+	metaBlocks := make([][]byte, numMetaBlocks(version))
 	for i := range metaBlocks {
 		payload, next, err := r.readFrameAt(off, bodyLen)
 		if err != nil {
@@ -116,6 +118,11 @@ func newReader(path string, f *os.File) (*Reader, error) {
 	}
 	if r.index, err = decodeIndex(metaBlocks[2]); err != nil {
 		return nil, fmt.Errorf("segment: %s: %w", path, err)
+	}
+	if version >= 3 {
+		if r.filter, err = decodeFilter(metaBlocks[3]); err != nil {
+			return nil, fmt.Errorf("segment: %s: %w", path, err)
+		}
 	}
 	// Cross-check the index against the file extents so a later Block
 	// call can trust the offsets it reads at.
@@ -196,6 +203,22 @@ func (r *Reader) Starts() []int32 { return r.starts }
 
 // NumBlocks returns the number of entry blocks in the run.
 func (r *Reader) NumBlocks() int { return len(r.index) }
+
+// HasFilter reports whether the run carries a Morton-prefix filter
+// (format version ≥ 3). Without one, MayContain and MayContainRange
+// conservatively pass every probe.
+func (r *Reader) HasFilter() bool { return r.filter != nil }
+
+// MayContain reports whether the run could hold an entry with the
+// given Morton code, consulting only the in-memory prefix filter —
+// no block is fetched. False is definitive (never a false negative);
+// true may be a false positive.
+func (r *Reader) MayContain(code uint64) bool { return r.filter.mayContain(code) }
+
+// MayContainRange reports whether the run could hold any entry with a
+// code in the Z-interval [lo, hi], again from the in-memory filter
+// alone. False is definitive; true may be a false positive.
+func (r *Reader) MayContainRange(lo, hi uint64) bool { return r.filter.mayContainRange(lo, hi) }
 
 // Block returns the decoded entries of entry block bi, consulting the
 // cache first. On a checksum mismatch the block is re-read once — a

@@ -10,10 +10,10 @@
 // republish its lock-free snapshots on reopen without re-freezing.
 // Delta runs carry only entries, some of which are tombstones.
 //
-// # File format (version 2)
+// # File format (version 3)
 //
 //	header (76 bytes)
-//	  magic    "PQSEG" + version 2     6 bytes
+//	  magic    "PQSEG" + version 3     6 bytes
 //	  kind     full=1 delta=2          1 byte
 //	  pad                              1 byte
 //	  shard    uint32                  4 bytes
@@ -30,7 +30,9 @@
 //	            (firstCode u64 | lastCode u64 | off u64 | paylen u64 |
 //	            count u32), off being the absolute file offset of that
 //	            block's frame
-//	  blocks 3+ entry blocks: consecutive slices of the sorted entry
+//	  block 3   Morton-prefix filter (513 bytes: shift u8 | 4096-bit
+//	            prefix bitset; version ≥ 3 only — see filter.go)
+//	  blocks 4+ entry blocks: consecutive slices of the sorted entry
 //	            array (see Entry encoding), each targeting
 //	            TargetBlockBytes of payload
 //	footer (20 bytes)
@@ -45,7 +47,11 @@
 // query's Z-interval. The index block is small (36 bytes per ~4 KiB of
 // entries) and is held in memory by every open Reader; entry blocks
 // are fetched on demand with ReadAt and admitted to an optional Cache
-// only after their checksum verifies.
+// only after their checksum verifies. Version 3 appends a fixed-budget
+// Morton-prefix membership filter after the index so the lazy read
+// path can skip runs that cannot contain a probe without touching a
+// single entry block; version-2 files still open (they simply carry no
+// filter, which reads as "every probe passes").
 //
 // # Torn vs corrupt
 //
@@ -96,8 +102,16 @@ var ErrTorn = errors.New("segment: torn run (incomplete write)")
 var ErrCorrupt = errors.New("segment: corrupt run (checksum mismatch)")
 
 var (
-	magic    = [6]byte{'P', 'Q', 'S', 'E', 'G', 2}
-	endMagic = [8]byte{'P', 'Q', 'S', 'E', 'G', 'E', 'N', 'D'}
+	magicPrefix = [5]byte{'P', 'Q', 'S', 'E', 'G'}
+	endMagic    = [8]byte{'P', 'Q', 'S', 'E', 'G', 'E', 'N', 'D'}
+)
+
+const (
+	// formatVersion is the version new runs are sealed with.
+	formatVersion = 3
+	// minReadVersion is the oldest version Read/OpenReader accept:
+	// version-2 files (no filter block) remain fully readable.
+	minReadVersion = 2
 )
 
 const (
@@ -180,13 +194,16 @@ func Write(path string, meta Meta, codes []uint64, starts []int32, entries []Ent
 		meta.Leaves = len(codes) - 1
 	}
 	chunks := splitEntryBlocks(entries)
+	filter := encodeFilter(buildFilter(entries))
 	body := appendHeader(nil, meta)
 	body = appendBlock(body, encodeCodes(codes))
 	body = appendBlock(body, encodeStarts(starts))
-	// The index frame's size depends only on the number of entry
-	// blocks, so every block's absolute offset is known before anything
-	// is written.
-	off := uint64(len(body)) + frameSize(uint64(indexRecSize*len(chunks)))
+	// The index and filter frames' sizes depend only on the number of
+	// entry blocks (the filter is fixed-size), so every block's absolute
+	// offset is known before anything is written.
+	off := uint64(len(body)) +
+		frameSize(uint64(indexRecSize*len(chunks))) +
+		frameSize(uint64(len(filter)))
 	index := make([]byte, 0, indexRecSize*len(chunks))
 	payloads := make([][]byte, len(chunks))
 	for i, ch := range chunks {
@@ -200,6 +217,7 @@ func Write(path string, meta Meta, codes []uint64, starts []int32, entries []Ent
 		off += frameSize(uint64(len(p)))
 	}
 	body = appendBlock(body, index)
+	body = appendBlock(body, filter)
 	for _, p := range payloads {
 		body = appendBlock(body, p)
 	}
@@ -306,15 +324,23 @@ func Read(path string) (*Run, error) {
 			path, ErrCorrupt, bodyLen, len(data)-footerSize)
 	}
 	body := data[:len(data)-footerSize]
-	meta, rest, err := readHeader(body)
+	meta, version, rest, err := readHeader(body)
 	if err != nil {
 		return nil, fmt.Errorf("segment: %s: %w", path, err)
 	}
-	var blocks [3][]byte
+	blocks := make([][]byte, numMetaBlocks(version))
 	for i := range blocks {
 		blocks[i], rest, err = readBlock(rest)
 		if err != nil {
 			return nil, fmt.Errorf("segment: %s: block %d: %w", path, i, err)
+		}
+	}
+	if version >= 3 {
+		// Validate the filter block even though Run does not carry it:
+		// a decoded Run is the recovery path's full-fidelity view, and a
+		// damaged filter must fail as loudly as a damaged entry block.
+		if _, err := decodeFilter(blocks[3]); err != nil {
+			return nil, fmt.Errorf("segment: %s: %w", path, err)
 		}
 	}
 	r := &Run{Meta: meta}
@@ -427,7 +453,8 @@ func compactTombstones(run []Entry) []Entry {
 
 func appendHeader(b []byte, m Meta) []byte {
 	start := len(b)
-	b = append(b, magic[:]...)
+	b = append(b, magicPrefix[:]...)
+	b = append(b, formatVersion)
 	b = append(b, byte(m.Kind), 0)
 	b = binary.LittleEndian.AppendUint32(b, m.Shard)
 	b = binary.LittleEndian.AppendUint64(b, m.Seq)
@@ -440,20 +467,27 @@ func appendHeader(b []byte, m Meta) []byte {
 	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(b[start:], castagnoli))
 }
 
-func readHeader(b []byte) (Meta, []byte, error) {
+// readHeader decodes and validates the fixed header, returning the
+// run's metadata, its format version (needed to know whether a filter
+// block follows the index), and the bytes past the header.
+func readHeader(b []byte) (Meta, int, []byte, error) {
 	if len(b) < headerSize {
-		return Meta{}, nil, fmt.Errorf("%w: header truncated", ErrCorrupt)
+		return Meta{}, 0, nil, fmt.Errorf("%w: header truncated", ErrCorrupt)
 	}
 	h := b[:headerSize]
-	if [6]byte(h[0:6]) != magic {
-		return Meta{}, nil, fmt.Errorf("%w: bad magic/version", ErrCorrupt)
+	if [5]byte(h[0:5]) != magicPrefix {
+		return Meta{}, 0, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	version := int(h[5])
+	if version < minReadVersion || version > formatVersion {
+		return Meta{}, 0, nil, fmt.Errorf("%w: unsupported format version %d", ErrCorrupt, version)
 	}
 	if crc32.Checksum(h[:headerSize-4], castagnoli) != binary.LittleEndian.Uint32(h[headerSize-4:]) {
-		return Meta{}, nil, fmt.Errorf("%w: header checksum", ErrCorrupt)
+		return Meta{}, 0, nil, fmt.Errorf("%w: header checksum", ErrCorrupt)
 	}
 	m := Meta{Kind: Kind(h[6]), Shard: binary.LittleEndian.Uint32(h[8:12]), Seq: binary.LittleEndian.Uint64(h[12:20])}
 	if m.Kind != Full && m.Kind != Delta {
-		return Meta{}, nil, fmt.Errorf("%w: unknown run kind %d", ErrCorrupt, h[6])
+		return Meta{}, 0, nil, fmt.Errorf("%w: unknown run kind %d", ErrCorrupt, h[6])
 	}
 	m.Region = geom.Rect{
 		MinX: math.Float64frombits(binary.LittleEndian.Uint64(h[20:28])),
@@ -464,7 +498,17 @@ func readHeader(b []byte) (Meta, []byte, error) {
 	m.Depth = int(binary.LittleEndian.Uint32(h[52:56]))
 	m.Leaves = int(binary.LittleEndian.Uint64(h[56:64]))
 	m.Entries = int(binary.LittleEndian.Uint64(h[64:72]))
-	return m, b[headerSize:], nil
+	return m, version, b[headerSize:], nil
+}
+
+// numMetaBlocks returns how many metadata blocks precede the entry
+// blocks for a given format version: codes, starts, index, and (v3+)
+// the Morton-prefix filter.
+func numMetaBlocks(version int) int {
+	if version >= 3 {
+		return 4
+	}
+	return 3
 }
 
 // --- blocks ---
@@ -718,7 +762,7 @@ func ReadMeta(path string) (Meta, error) {
 	if _, err := f.ReadAt(hdr[:], 0); err != nil {
 		return Meta{}, fmt.Errorf("segment: read header %s: %w", path, err)
 	}
-	m, _, err := readHeader(hdr[:])
+	m, _, _, err := readHeader(hdr[:])
 	if err != nil {
 		return Meta{}, fmt.Errorf("segment: %s: %w", path, err)
 	}

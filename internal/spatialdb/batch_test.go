@@ -1,0 +1,367 @@
+package spatialdb
+
+// Batched-read tests: the table-level batch APIs must answer exactly
+// like their scalar counterparts — probe for probe, over every serving
+// representation (live tree, frozen snapshot, sealed run stack), under
+// chaos, and on a crashed-and-recovered table — and the in-memory
+// paths must be allocation-free in the steady state.
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"popana/internal/faultinject"
+	"popana/internal/geom"
+	"popana/internal/xrand"
+)
+
+// assertBatchMatchesScalar fires `probes` randomized probes through
+// each batch API and checks every answer against the scalar path (or
+// an independent oracle): GetBatch against Get, CountRangeBatch
+// against CountRange, ContainsBatch against a tiny-window Select
+// around each probe point. recs supplies the id/location universe;
+// roughly a quarter of the probes are guaranteed misses.
+func assertBatchMatchesScalar(t *testing.T, label string, tab *Table, recs []Record, seed uint64, probes int) {
+	t.Helper()
+	rng := xrand.New(seed)
+	var sc BatchScratch
+
+	ids := make([]uint64, probes)
+	for i := range ids {
+		if i%4 == 3 {
+			ids[i] = uint64(len(recs)) + rng.Uint64()%1000 // never inserted
+		} else {
+			ids[i] = recs[rng.Uint64()%uint64(len(recs))].ID
+		}
+	}
+	out := make([]Record, probes)
+	found := make([]bool, probes)
+	nf := tab.GetBatch(&sc, ids, out, found)
+	wantFound := 0
+	for i, id := range ids {
+		wrec, wok := tab.Get(id)
+		if wok {
+			wantFound++
+		}
+		if found[i] != wok {
+			t.Fatalf("%s: GetBatch probe %d (id %d): found=%v, scalar Get says %v", label, i, id, found[i], wok)
+		}
+		if wok && (out[i].ID != wrec.ID || out[i].Loc != wrec.Loc || !reflect.DeepEqual(out[i].Data, wrec.Data)) {
+			t.Fatalf("%s: GetBatch probe %d (id %d): %+v, scalar Get returned %+v", label, i, id, out[i], wrec)
+		}
+		if !wok && (out[i] != Record{}) {
+			t.Fatalf("%s: GetBatch probe %d (id %d): miss left residue %+v", label, i, id, out[i])
+		}
+	}
+	if nf != wantFound {
+		t.Fatalf("%s: GetBatch returned %d found, scalar loop found %d", label, nf, wantFound)
+	}
+
+	pts := make([]geom.Point, probes)
+	for i := range pts {
+		if i%3 == 0 {
+			pts[i] = geom.Pt(rng.Float64(), rng.Float64()) // almost surely empty
+		} else {
+			pts[i] = recs[rng.Uint64()%uint64(len(recs))].Loc
+		}
+	}
+	present := make([]bool, probes)
+	np, err := tab.ContainsBatch(&sc, pts, present)
+	if err != nil {
+		t.Fatalf("%s: ContainsBatch: %v", label, err)
+	}
+	wantPresent := 0
+	const eps = 1e-9
+	for i, p := range pts {
+		w := geom.R(p.X-eps, p.Y-eps, p.X+eps, p.Y+eps)
+		got, _, serr := tab.Select(Query{Window: &w})
+		if serr != nil {
+			t.Fatalf("%s: oracle select: %v", label, serr)
+		}
+		want := false
+		for _, r := range got {
+			if r.Loc == p {
+				want = true
+			}
+		}
+		if want {
+			wantPresent++
+		}
+		if present[i] != want {
+			t.Fatalf("%s: ContainsBatch probe %d at %v: %v, window oracle says %v", label, i, p, present[i], want)
+		}
+	}
+	if np != wantPresent {
+		t.Fatalf("%s: ContainsBatch returned %d present, oracle found %d", label, np, wantPresent)
+	}
+
+	nw := 64
+	windows := make([]geom.Rect, nw)
+	for i := range windows {
+		x, y := rng.Float64(), rng.Float64()
+		windows[i] = geom.R(x, y, x+0.01+rng.Float64()*0.4, y+0.01+rng.Float64()*0.4)
+	}
+	counts := make([]int, nw)
+	if err := tab.CountRangeBatch(&sc, windows, counts); err != nil {
+		t.Fatalf("%s: CountRangeBatch: %v", label, err)
+	}
+	for i, w := range windows {
+		want, _, cerr := tab.CountRange(w, 0)
+		if cerr != nil {
+			t.Fatalf("%s: scalar CountRange: %v", label, cerr)
+		}
+		if counts[i] != want {
+			t.Fatalf("%s: CountRangeBatch window %d (%v): %d, scalar CountRange says %d", label, i, w, counts[i], want)
+		}
+	}
+}
+
+// TestBatchMatchesScalarInMemory runs the randomized equivalence
+// harness over a sharded in-memory table in each serving state: live
+// trees only, compacted snapshots, and snapshots knocked out by the
+// SnapshotRebuild fault so every batch falls through to the locked
+// path.
+func TestBatchMatchesScalarInMemory(t *testing.T) {
+	inj := faultinject.New(11)
+	db := NewDB()
+	db.SetFaultInjector(inj)
+	tab, err := db.CreateTableWith("batch", TableOptions{Capacity: 8, ShardBits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := uniqueRecords(4000, 515151)
+	if err := tab.InsertBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(0); id < 4000; id += 5 {
+		if !tab.Delete(id) {
+			t.Fatalf("delete %d failed", id)
+		}
+	}
+	assertBatchMatchesScalar(t, "live-tree", tab, recs, 616161, 1000)
+
+	if err := tab.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	assertBatchMatchesScalar(t, "snapshots", tab, recs, 717171, 1000)
+
+	// Dirty every shard and make every rebuild fail: the compaction
+	// surfaces the injected fault, the shards lose their snapshots, and
+	// the batch paths must fall back to the live trees under the read
+	// locks — still agreeing with the scalar paths, which degrade
+	// identically.
+	for id := uint64(1); id < 4000; id += 101 {
+		tab.Delete(id)
+	}
+	inj.Enable(faultinject.SnapshotRebuild, 1)
+	if err := tab.Compact(); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Compact under SnapshotRebuild fault = %v, want injected error", err)
+	}
+	assertBatchMatchesScalar(t, "rebuild-fault", tab, recs, 818181, 1000)
+	if inj.Fired(faultinject.SnapshotRebuild) == 0 {
+		t.Error("SnapshotRebuild never fired: the fallback schedule did not execute")
+	}
+}
+
+// TestDurableBatchMatchesScalarRecovered is the lazy-mode acceptance
+// gate: a lazy table whose state spans full run + delta run + WAL tail
+// is crashed, recovered, and then poisoned (every uncached block read
+// hands back a damaged buffer) and mid-seal chaos is armed — and 1000
+// randomized batch probes must still agree with the scalar paths,
+// while the run-prefix filters demonstrably prune stack entries.
+func TestDurableBatchMatchesScalarRecovered(t *testing.T) {
+	dir := t.TempDir()
+	opts := TableOptions{Capacity: 4, ShardBits: 2}
+	inj := faultinject.New(3)
+	db := NewDB()
+	db.SetFaultInjector(inj)
+	tab, control := buildLazyLadder(t, db, dir, opts, DurableOptions{CacheBytes: 16 << 10})
+	recs := uniqueRecords(1100, 7331) // the ladder's record universe
+	_ = control
+
+	// Crash and recover: the batch paths must serve the rebuilt stack.
+	tab.Kill()
+	if err := db.DropTable("lazy"); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := db.OpenDurableTable("lazy", TableOptions{}, DurableOptions{Dir: dir, Lazy: true, CacheBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reopened.lazyMode() {
+		t.Fatal("reopened table is not in lazy mode")
+	}
+	assertBatchMatchesScalar(t, "lazy-recovered", reopened, recs, 929292, 1000)
+
+	// Chaos pass: poison every uncached block read (the checksum retry
+	// must heal it) and seal the tail under one mid-flight query.
+	reopened.DropBlockCache()
+	inj.Enable(faultinject.SegmentBlockPoison, 1)
+	inj.EnableN(faultinject.DiskCursorSeal, 1, 1)
+	assertBatchMatchesScalar(t, "lazy-chaos", reopened, recs, 939393, 1000)
+	if inj.Fired(faultinject.SegmentBlockPoison) == 0 {
+		t.Error("SegmentBlockPoison never fired")
+	}
+
+	// The acceptance criterion: the run filters must actually prune.
+	// Explain consults the real per-run filters over each window's
+	// Z-interval; across a spread of small windows some stack entries
+	// must be excluded, and the lifetime Stats counters must agree.
+	rng := xrand.New(41)
+	prunedTotal, consultedTotal := 0, 0
+	for i := 0; i < 100; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		w := geom.R(x, y, x+0.01, y+0.01)
+		e, err := reopened.Explain(Query{Window: &w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !e.FromDisk {
+			t.Fatal("lazy Explain did not set FromDisk")
+		}
+		prunedTotal += e.RunsPruned
+		consultedTotal += e.RunsConsulted
+	}
+	if prunedTotal == 0 {
+		t.Fatalf("Explain reported 0 pruned runs across 100 windows (%d consulted): filters never exclude", consultedTotal)
+	}
+	st := reopened.Stats()
+	if st.RunsPruned == 0 {
+		t.Error("Stats.RunsPruned is 0 after a pruning workload")
+	}
+	if st.RunsConsulted == 0 {
+		t.Error("Stats.RunsConsulted is 0 after serving from the stack")
+	}
+
+	// ExplainBatch aggregates the same consult over a window batch.
+	windows := []geom.Rect{geom.R(0.1, 0.1, 0.11, 0.11), geom.R(0.7, 0.7, 0.72, 0.72)}
+	be, err := reopened.ExplainBatch(windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !be.Batched || !be.FromDisk {
+		t.Fatalf("ExplainBatch estimate not marked batched+disk: %+v", be)
+	}
+	if be.RunsConsulted+be.RunsPruned == 0 {
+		t.Fatal("ExplainBatch consulted no run filters on a lazy table")
+	}
+}
+
+// TestBatchZeroAlloc pins the in-memory batch entry points at zero
+// allocations per call in the steady state: once the scratch has grown
+// to the batch shape, GetBatch, ContainsBatch, and CountRangeBatch
+// allocate nothing above their documented growth sites.
+func TestBatchZeroAlloc(t *testing.T) {
+	db := NewDB()
+	tab, err := db.CreateTableWith("pin", TableOptions{Capacity: 8, ShardBits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := uniqueRecords(4096, 272727)
+	if err := tab.InsertBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := xrand.New(88)
+	const n = 256
+	ids := make([]uint64, n)
+	pts := make([]geom.Point, n)
+	for i := 0; i < n; i++ {
+		if i%4 == 3 {
+			ids[i] = 1 << 40 // miss
+			pts[i] = geom.Pt(rng.Float64(), rng.Float64())
+		} else {
+			r := recs[rng.Uint64()%uint64(len(recs))]
+			ids[i] = r.ID
+			pts[i] = r.Loc
+		}
+	}
+	out := make([]Record, n)
+	found := make([]bool, n)
+	windows := make([]geom.Rect, 16)
+	for i := range windows {
+		x, y := rng.Float64()*0.8, rng.Float64()*0.8
+		windows[i] = geom.R(x, y, x+0.1, y+0.1)
+	}
+	counts := make([]int, len(windows))
+
+	var sc BatchScratch
+	// Warm the scratch so the pinned runs measure steady state.
+	tab.GetBatch(&sc, ids, out, found)
+	if err := tab.CountRangeBatch(&sc, windows, counts); err != nil {
+		t.Fatal(err)
+	}
+
+	sink := 0
+	cases := []struct {
+		name string
+		op   func()
+	}{
+		{"GetBatch", func() { sink += tab.GetBatch(&sc, ids, out, found) }},
+		{"ContainsBatch", func() {
+			np, err := tab.ContainsBatch(&sc, pts, found)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sink += np
+		}},
+		{"CountRangeBatch", func() {
+			if err := tab.CountRangeBatch(&sc, windows, counts); err != nil {
+				t.Fatal(err)
+			}
+			sink += counts[0]
+		}},
+	}
+	for _, c := range cases {
+		if allocs := testing.AllocsPerRun(100, c.op); allocs != 0 {
+			t.Errorf("%s: %.1f allocs/op, want 0", c.name, allocs)
+		}
+	}
+	_ = sink
+}
+
+// TestBatchArgumentChecks pins the contract edges: mismatched slice
+// lengths panic, invalid inputs error before any probe, and empty
+// batches are no-ops.
+func TestBatchArgumentChecks(t *testing.T) {
+	db := NewDB()
+	tab, err := db.CreateTableWith("edges", TableOptions{Capacity: 4, ShardBits: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc BatchScratch
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s with mismatched lengths did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("GetBatch", func() { tab.GetBatch(&sc, make([]uint64, 3), make([]Record, 2), make([]bool, 3)) })
+	mustPanic("ContainsBatch", func() { tab.ContainsBatch(&sc, make([]geom.Point, 2), make([]bool, 3)) })
+	mustPanic("CountRangeBatch", func() { tab.CountRangeBatch(&sc, make([]geom.Rect, 2), make([]int, 1)) })
+
+	if _, err := tab.ContainsBatch(&sc, []geom.Point{geom.Pt(0.5, 0.5), {X: 0.1, Y: geomNaN()}}, make([]bool, 2)); err == nil {
+		t.Fatal("ContainsBatch accepted a NaN point")
+	}
+	if err := tab.CountRangeBatch(&sc, []geom.Rect{geom.R(0.5, 0.5, 0.4, 0.6)}, make([]int, 1)); err == nil {
+		t.Fatal("CountRangeBatch accepted an inverted window")
+	}
+	if n := tab.GetBatch(&sc, nil, nil, nil); n != 0 {
+		t.Fatalf("empty GetBatch returned %d", n)
+	}
+	if err := tab.CountRangeBatch(&sc, nil, nil); err != nil {
+		t.Fatalf("empty CountRangeBatch errored: %v", err)
+	}
+}
+
+func geomNaN() float64 {
+	f := 0.0
+	return f / f
+}

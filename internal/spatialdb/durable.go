@@ -168,6 +168,13 @@ type durableTable struct {
 	failedMu      sync.Mutex
 	failedBatches map[uint64]struct{}
 
+	// runsConsulted and runsPruned count, across the table's lifetime,
+	// the sealed runs a lazy read opened a cursor on versus the runs its
+	// Morton-prefix filter excluded before any block was touched.
+	// Surfaced through Stats and (per query) Explain.
+	runsConsulted atomic.Int64
+	runsPruned    atomic.Int64
+
 	closed atomic.Bool
 	notify chan struct{}
 	stop   chan struct{}

@@ -288,7 +288,14 @@ func (t *Table) lazyOccupied(si int, loc geom.Point) bool {
 	stack := t.dur.shards[si].acquireStack()
 	defer releaseRuns(stack)
 	code := cellCodeOf(s, loc)
+	pruned, consulted := 0, 0
+	defer func() { t.dur.notePruning(pruned, consulted) }()
 	for i := len(stack) - 1; i >= 0; i-- {
+		if !stack[i].reader.MayContain(code) {
+			pruned++
+			continue
+		}
+		consulted++
 		e, ok, err := stack[i].reader.Find(code, loc.X, loc.Y)
 		if err != nil {
 			return false
@@ -300,10 +307,23 @@ func (t *Table) lazyOccupied(si int, loc geom.Point) bool {
 	return false
 }
 
+// notePruning folds one read's run-filter outcome into the table-wide
+// counters surfaced by Stats and Explain.
+func (d *durableTable) notePruning(pruned, consulted int) {
+	if pruned != 0 {
+		d.runsPruned.Add(int64(pruned))
+	}
+	if consulted != 0 {
+		d.runsConsulted.Add(int64(consulted))
+	}
+}
+
 // getLazy serves Get on a lazy table: the tail under the shard read
-// lock, then the pinned run stack newest-first, loading at most one
-// block per probed run. Read errors report "not found" — Get's
-// signature has no error channel; Select surfaces disk errors.
+// lock, then the pinned run stack newest-first — each run's
+// Morton-prefix filter consulted before its reader, so a probe loads
+// at most one block per run that could actually hold the code. Read
+// errors report "not found" — Get's signature has no error channel;
+// Select surfaces disk errors.
 func (t *Table) getLazy(id uint64, loc geom.Point) (Record, bool) {
 	si := t.shardIndexOf(loc)
 	s := t.shards[si]
@@ -319,7 +339,14 @@ func (t *Table) getLazy(id uint64, loc geom.Point) (Record, bool) {
 	s.mu.RUnlock()
 	defer releaseRuns(stack)
 	code := cellCodeOf(s, loc)
+	pruned, consulted := 0, 0
+	defer func() { t.dur.notePruning(pruned, consulted) }()
 	for i := len(stack) - 1; i >= 0; i-- {
+		if !stack[i].reader.MayContain(code) {
+			pruned++
+			continue
+		}
+		consulted++
 		e, ok, err := stack[i].reader.Find(code, loc.X, loc.Y)
 		if err != nil {
 			return Record{}, false

@@ -545,6 +545,15 @@ type Estimate struct {
 	// (DurableOptions.Lazy): Blocks then predicts entry-block reads —
 	// cache hits included — rather than in-memory leaf visits.
 	FromDisk bool
+	// Batched marks an estimate produced by ExplainBatch: Blocks and
+	// Records sum over the whole batch, Selectivity averages it.
+	Batched bool
+	// RunsConsulted and RunsPruned report, for a lazy table, how many
+	// serving runs the per-run Morton-prefix filters would admit versus
+	// exclude over the query's Z-interval (summed across the batch when
+	// Batched). A pruned run costs a scan nothing: no cursor is opened
+	// and no block is read. Both are zero for in-memory tables.
+	RunsConsulted, RunsPruned int
 }
 
 // Explain predicts the cost of a query from the population model before
@@ -553,8 +562,13 @@ type Estimate struct {
 // perimeter/blockSide blocks, with blockSide = sqrt(region/L). The
 // shard partition does not change the estimate — the population model
 // composes across disjoint cells, so blocks-touched is invariant under
-// the partition — and Explain never locks: the record count comes from
-// the shards' atomic counters and the region is immutable.
+// the partition — and Explain takes no tree lock: the record count
+// comes from the shards' atomic counters and the region is immutable.
+// On a lazy table it additionally consults the serving runs'
+// Morton-prefix filters (holding each overlapping shard's stack
+// mutex, a leaf lock, just long enough to pin the stack) so
+// RunsConsulted and RunsPruned report what a scan would actually
+// open.
 func (t *Table) Explain(q Query) (Estimate, error) {
 	e, err := t.explain(q)
 	if err == nil && t.lazyMode() {
@@ -563,8 +577,67 @@ func (t *Table) Explain(q Query) (Estimate, error) {
 		// same records-per-block ballpark, so the block estimate carries
 		// over; FromDisk tells the caller the unit changed.
 		e.FromDisk = true
+		if q.Nearest == nil {
+			e.RunsConsulted, e.RunsPruned = t.runFilterEstimate(queryBox(q))
+		}
 	}
 	return e, err
+}
+
+// ExplainBatch predicts the aggregate cost of answering every window
+// of a CountRangeBatch (or an equivalent batched fan-out): the
+// per-window model estimates summed, marked Batched. On a lazy table
+// the serving runs' Morton-prefix filters are consulted per
+// (shard, window) pair over each window's Z-interval, so RunsPruned
+// counts the stack entries a batched scan skips without opening a
+// cursor — the measured complement of the Blocks estimate.
+func (t *Table) ExplainBatch(windows []geom.Rect) (Estimate, error) {
+	agg := Estimate{Batched: true, Approximate: t.occApprox}
+	for i := range windows {
+		w := windows[i]
+		e, err := t.explain(Query{Window: &w})
+		if err != nil {
+			return Estimate{}, fmt.Errorf("spatialdb: explain batch in %q: window %d: %w", t.name, i, err)
+		}
+		agg.Blocks += e.Blocks
+		agg.Records += e.Records
+		agg.Selectivity += e.Selectivity
+	}
+	if len(windows) > 0 {
+		agg.Selectivity /= float64(len(windows))
+	}
+	if t.lazyMode() {
+		agg.FromDisk = true
+		for i := range windows {
+			c, p := t.runFilterEstimate(windows[i])
+			agg.RunsConsulted += c
+			agg.RunsPruned += p
+		}
+	}
+	return agg, nil
+}
+
+// runFilterEstimate counts, per shard overlapping box, the serving
+// runs whose prefix filter admits the box's Z-interval versus those it
+// excludes — without opening a cursor or reading a block.
+func (t *Table) runFilterEstimate(box geom.Rect) (consulted, pruned int) {
+	for si, s := range t.shards {
+		if !s.region.OverlapsClosed(box) {
+			continue
+		}
+		zmin := s.coder.Code(geom.Pt(box.MinX, box.MinY))
+		zmax := s.coder.Code(geom.Pt(box.MaxX, box.MaxY))
+		stack := t.dur.shards[si].acquireStack()
+		for _, or := range stack {
+			if or.reader.MayContainRange(zmin, zmax) {
+				consulted++
+			} else {
+				pruned++
+			}
+		}
+		releaseRuns(stack)
+	}
+	return consulted, pruned
 }
 
 func (t *Table) explain(q Query) (Estimate, error) {
@@ -641,6 +714,12 @@ type Stats struct {
 	// disabled (DurableOptions.CacheBytes < 0).
 	CacheHits, CacheMisses, CacheEvictions int64
 	CacheUsedBytes, CacheBudgetBytes       int64
+	// RunsConsulted and RunsPruned count, across the table's lifetime,
+	// the sealed runs lazy reads opened a cursor or reader on versus
+	// the runs their Morton-prefix filters excluded before any block
+	// was touched. Their ratio is the measured pruning power of the
+	// run filters on this workload.
+	RunsConsulted, RunsPruned int64
 }
 
 // Stats returns the table's current statistics, aggregated across
@@ -709,6 +788,8 @@ func (t *Table) Stats() Stats {
 		cs := t.dur.cache.Stats()
 		st.CacheHits, st.CacheMisses, st.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
 		st.CacheUsedBytes, st.CacheBudgetBytes = cs.Used, cs.Budget
+		st.RunsConsulted = t.dur.runsConsulted.Load()
+		st.RunsPruned = t.dur.runsPruned.Load()
 	}
 	return st
 }

@@ -121,26 +121,36 @@ func (t *Table) fireCursorSeal(sis []int) {
 // scanZRange streams one pinned shard view over the Z-interval of box,
 // delivering every entry whose grid cell lies inside the box's cell
 // rectangle to visit (which applies the exact floating-point
-// predicate). Entries between matching cells are skipped with BIGMIN
-// jumps translated into cursor SeekGE calls, so whole blocks whose code
-// span falls in a gap are never read. Cost mapping: NodesVisited counts
+// predicate). Each pinned run's Morton-prefix filter is consulted over
+// the interval first: a run the filter excludes joins no cursor merge
+// and loads no block (never-false-negative, so exclusion is exact).
+// Entries between matching cells are skipped with BIGMIN jumps
+// translated into cursor SeekGE calls, so whole blocks whose code span
+// falls in a gap are never read. Cost mapping: NodesVisited counts
 // merged entries examined, LeavesVisited blocks consulted,
 // RecordsScanned candidates inside the cell rectangle. maxNodes > 0
 // bounds the entries examined; exhaustion sets Truncated.
-func scanZRange(v shardView, box geom.Rect, maxNodes int, visit func(segment.Entry) bool) (quadtree.RangeStats, error) {
+func (t *Table) scanZRange(v shardView, box geom.Rect, maxNodes int, visit func(segment.Entry) bool) (quadtree.RangeStats, error) {
 	var st quadtree.RangeStats
 	zmin := v.s.coder.Code(geom.Pt(box.MinX, box.MinY))
 	zmax := v.s.coder.Code(geom.Pt(box.MaxX, box.MaxY))
 	cxmin, cymin := linearquad.Deinterleave(zmin)
 	cxmax, cymax := linearquad.Deinterleave(zmax)
 
-	runCursors := make([]*segment.Cursor, len(v.runs))
+	runCursors := make([]*segment.Cursor, 0, len(v.runs))
 	cursors := make([]segment.EntryCursor, 0, len(v.runs)+1)
-	for i, or := range v.runs {
+	pruned := 0
+	for _, or := range v.runs {
+		if !or.reader.MayContainRange(zmin, zmax) {
+			pruned++
+			continue
+		}
 		c := or.reader.Cursor()
-		runCursors[i] = c
+		runCursors = append(runCursors, c)
 		cursors = append(cursors, c)
 	}
+	t.dur.notePruning(pruned, len(runCursors))
+
 	if len(v.tail) > 0 {
 		cursors = append(cursors, segment.NewSliceCursor(v.tail))
 	}
@@ -194,7 +204,7 @@ func (t *Table) selectShardDisk(v shardView, q Query, maxNodes int, emit func(Re
 		r2 = within.Radius * within.Radius
 	}
 	var verr error
-	st, err := scanZRange(v, queryBox(q), maxNodes, func(e segment.Entry) bool {
+	st, err := t.scanZRange(v, queryBox(q), maxNodes, func(e segment.Entry) bool {
 		p := geom.Pt(e.X, e.Y)
 		if q.Window != nil {
 			if !q.Window.ContainsClosed(p) {
@@ -295,7 +305,7 @@ func (t *Table) countLazy(window geom.Rect, maxNodes int) (int, Cost, error) {
 	t.fireCursorSeal(sis)
 	countShard := func(v shardView, budget int) (int, quadtree.RangeStats, error) {
 		cnt := 0
-		st, err := scanZRange(v, window, budget, func(e segment.Entry) bool {
+		st, err := t.scanZRange(v, window, budget, func(e segment.Entry) bool {
 			if window.ContainsClosed(geom.Pt(e.X, e.Y)) {
 				cnt++
 			}
@@ -376,7 +386,7 @@ func (t *Table) nearestDisk(spec NearestSpec, keep func(Record) bool) ([]Record,
 			if !v.s.region.OverlapsClosed(box) {
 				continue
 			}
-			st, err := scanZRange(v, box, 0, func(e segment.Entry) bool {
+			st, err := t.scanZRange(v, box, 0, func(e segment.Entry) bool {
 				p := geom.Pt(e.X, e.Y)
 				if box.ContainsClosed(p) {
 					cands = append(cands, cand{e, p.Dist2(spec.At)})

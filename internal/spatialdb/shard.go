@@ -84,6 +84,8 @@ type shard struct {
 // otherwise. Lock-free: two atomic loads. The returned epoch lets the
 // cross-shard seqlock path revalidate that no write landed while it
 // scanned.
+//
+//popvet:noalloc
 func (s *shard) loadFresh() (*linearquad.Frozen[Record], uint64) {
 	sn := s.snap.Load()
 	if sn != nil && sn.frozen != nil && sn.epoch == s.epoch.Load() {
@@ -240,12 +242,15 @@ func unlockShards(ss []*shard) {
 // scan is what makes a multi-shard query a consistent cut: an
 // InsertBatch holds all its shard write locks until every sub-batch is
 // applied, so a reader can never observe half a batch.
+//
+//popvet:noalloc
 func rlockShards(ss []*shard) {
 	for _, s := range ss {
 		s.mu.RLock()
 	}
 }
 
+//popvet:noalloc
 func runlockShards(ss []*shard) {
 	for i := len(ss) - 1; i >= 0; i-- {
 		ss[i].mu.RUnlock()

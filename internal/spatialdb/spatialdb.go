@@ -454,6 +454,8 @@ func (t *Table) Shards() int { return len(t.shards) }
 // code of p's level-k cell. Points outside the region land in the
 // nearest boundary shard, whose tree then rejects them with the same
 // out-of-region error a single-shard table produces.
+//
+//popvet:noalloc
 func (t *Table) shardIndexOf(p geom.Point) int {
 	return int(t.region.CellOf(p, t.shardLevels))
 }

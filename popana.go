@@ -278,6 +278,15 @@ const SpatialSingleShard = spatialdb.SingleShard
 // SpatialDB.CreateDurableTable / OpenDurableTable.
 type SpatialDurableOptions = spatialdb.DurableOptions
 
+// SpatialBatchScratch carries the reusable buffers of the batched
+// table reads — SpatialTable.GetBatch, SpatialTable.ContainsBatch,
+// and SpatialTable.CountRangeBatch. The zero value is ready to use;
+// buffers grow to the largest batch passed and are reused across
+// calls, so steady-state batches allocate nothing. A scratch must not
+// be shared between concurrent callers — give each serving goroutine
+// its own.
+type SpatialBatchScratch = spatialdb.BatchScratch
+
 // NewSpatialDB returns an empty spatial database.
 func NewSpatialDB() *SpatialDB { return spatialdb.NewDB() }
 

@@ -420,3 +420,54 @@ func TestFacadePM3(t *testing.T) {
 		t.Fatalf("range edges %d", len(got))
 	}
 }
+
+// TestFacadeBatchedReads is the README "Batched reads" example: a
+// reusable SpatialBatchScratch serves GetBatch and CountRangeBatch,
+// and every batched answer matches its scalar counterpart.
+func TestFacadeBatchedReads(t *testing.T) {
+	db := popana.NewSpatialDB()
+	tab, err := db.CreateTableWith("pts", popana.SpatialTableOptions{Capacity: 8, ShardBits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := popana.NewRand(11)
+	src := popana.NewUniform(popana.UnitSquare, rng)
+	for i := 0; tab.Len() < 500; i++ {
+		if err := tab.Insert(popana.SpatialRecord{ID: uint64(i), Loc: src.Next(), Data: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tab.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	var sc popana.SpatialBatchScratch // reusable; one per serving goroutine
+	ids := []uint64{1, 2, 3, 42, 9999}
+	out := make([]popana.SpatialRecord, len(ids))
+	found := make([]bool, len(ids))
+	n := tab.GetBatch(&sc, ids, out, found) // results == calling Get per id
+	if n == 0 {
+		t.Fatal("GetBatch found nothing")
+	}
+	for i, id := range ids {
+		rec, ok := tab.Get(id)
+		if ok != found[i] || rec != out[i] {
+			t.Fatalf("id %d: batch (%+v, %v) != scalar (%+v, %v)", id, out[i], found[i], rec, ok)
+		}
+	}
+
+	windows := []popana.Rect{popana.R(0, 0, 0.25, 0.25), popana.R(0.5, 0.5, 1, 1)}
+	counts := make([]int, len(windows))
+	if err := tab.CountRangeBatch(&sc, windows, counts); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range windows {
+		want, _, err := tab.CountRange(w, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if counts[i] != want {
+			t.Fatalf("window %d: batch count %d != scalar %d", i, counts[i], want)
+		}
+	}
+}
